@@ -1,0 +1,254 @@
+// E8 — the cost anatomy behind Table 2 (Section 7.2): "structural joins
+// are substantially cheaper to evaluate than value joins, with color
+// crossings having a cost only slightly less than that of a value join in
+// our implementation."
+//
+// Microbenchmarks of the three join primitives on the same inputs (the MCT
+// TPC-W database): a structural child join order->orderline, a cross-tree
+// join (orderlines crossing cust -> auth), a hash value join on an
+// attribute, and the nested-loop inequality join.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "query/ops.h"
+#include "workload/tpcw_db.h"
+
+namespace {
+
+using namespace mct;
+using namespace mct::workload;
+using namespace mct::query;
+
+struct Fixture {
+  TpcwData data;
+  TpcwDb mct_db;
+  TpcwDb shallow_db;
+  Table orders_mct;       // all orders (cust color)
+  Table orders_shallow;   // all orders (shallow)
+  Table lines_shallow;    // all orderlines (shallow)
+
+  static Fixture* Get() {
+    static Fixture* f = [] {
+      auto out = new Fixture();
+      out->data = GenerateTpcw(TpcwScale::Default().ScaledBy(0.25));
+      out->mct_db = std::move(BuildTpcw(out->data, SchemaKind::kMct)).value();
+      out->shallow_db =
+          std::move(BuildTpcw(out->data, SchemaKind::kShallow)).value();
+      for (ColorId c = 0; c < out->mct_db.db->num_colors(); ++c) {
+        out->mct_db.db->tree(c)->EnsureLabels();
+      }
+      out->shallow_db.db->tree(out->shallow_db.doc)->EnsureLabels();
+      out->orders_mct =
+          TagScanTable(out->mct_db.db.get(), out->mct_db.cust, "$o", "order",
+                       nullptr);
+      out->orders_shallow = TagScanTable(out->shallow_db.db.get(),
+                                         out->shallow_db.doc, "$o", "order",
+                                         nullptr);
+      out->lines_shallow = TagScanTable(out->shallow_db.db.get(),
+                                        out->shallow_db.doc, "$l", "orderline",
+                                        nullptr);
+      return out;
+    }();
+    return f;
+  }
+};
+
+// Structural child join: orders -> orderlines via parent pointers.
+void BM_StructuralChildJoin(benchmark::State& state) {
+  Fixture* f = Fixture::Get();
+  for (auto _ : state) {
+    Table t = ExpandChildren(f->mct_db.db.get(), f->orders_mct, 0,
+                             f->mct_db.cust, "orderline", "$l", nullptr);
+    benchmark::DoNotOptimize(t.rows.data());
+    state.counters["rows"] = static_cast<double>(t.num_rows());
+  }
+}
+BENCHMARK(BM_StructuralChildJoin);
+
+// Structural descendant join: interval stack-merge over the whole tree.
+void BM_StructuralDescendantJoin(benchmark::State& state) {
+  Fixture* f = Fixture::Get();
+  Table customers = TagScanTable(f->mct_db.db.get(), f->mct_db.cust, "$c",
+                                 "customer", nullptr);
+  for (auto _ : state) {
+    Table t = ExpandDescendants(f->mct_db.db.get(), customers, 0,
+                                f->mct_db.cust, "orderline", "$l", nullptr);
+    benchmark::DoNotOptimize(t.rows.data());
+    state.counters["rows"] = static_cast<double>(t.num_rows());
+  }
+}
+BENCHMARK(BM_StructuralDescendantJoin);
+
+// Cross-tree join: all orderlines crossing from the cust tree to auth.
+void BM_CrossTreeJoin(benchmark::State& state) {
+  Fixture* f = Fixture::Get();
+  Table lines = TagScanTable(f->mct_db.db.get(), f->mct_db.cust, "$l",
+                             "orderline", nullptr);
+  for (auto _ : state) {
+    Table t = CrossTreeJoin(f->mct_db.db.get(), lines, 0, f->mct_db.auth,
+                            nullptr);
+    benchmark::DoNotOptimize(t.rows.data());
+    state.counters["rows"] = static_cast<double>(t.num_rows());
+  }
+}
+BENCHMARK(BM_CrossTreeJoin);
+
+// Hash value join: orderlines joined to orders on the order id attribute —
+// what the shallow schema must do instead of the child step.
+void BM_HashValueJoin(benchmark::State& state) {
+  Fixture* f = Fixture::Get();
+  for (auto _ : state) {
+    Table t = HashValueJoin(f->shallow_db.db.get(), f->orders_shallow, 0,
+                            KeySpec::Attr("id"), f->lines_shallow, 0,
+                            KeySpec::Attr("orderIdRef"), nullptr);
+    benchmark::DoNotOptimize(t.rows.data());
+    state.counters["rows"] = static_cast<double>(t.num_rows());
+  }
+}
+BENCHMARK(BM_HashValueJoin);
+
+// IDREFS containment join (token lists).
+void BM_IdrefsJoin(benchmark::State& state) {
+  Fixture* f = Fixture::Get();
+  for (auto _ : state) {
+    Table t = IdrefsJoin(f->shallow_db.db.get(), f->lines_shallow, 0,
+                         KeySpec::Attr("orderIdRef"), f->orders_shallow, 0,
+                         KeySpec::Attr("id"), nullptr);
+    benchmark::DoNotOptimize(t.rows.data());
+    state.counters["rows"] = static_cast<double>(t.num_rows());
+  }
+}
+BENCHMARK(BM_IdrefsJoin);
+
+// Nested-loop inequality join on a reduced input (quadratic!).
+void BM_NestedLoopInequalityJoin(benchmark::State& state) {
+  Fixture* f = Fixture::Get();
+  // First 500 orders on each side keeps the quadratic loop measurable.
+  Table small;
+  small.vars = f->orders_shallow.vars;
+  for (size_t i = 0; i < f->orders_shallow.rows.size() && i < 500; ++i) {
+    small.rows.push_back(f->orders_shallow.rows[i]);
+  }
+  MctDatabase* db = f->shallow_db.db.get();
+  KeySpec total = KeySpec::ChildContent(f->shallow_db.doc, "total");
+  for (auto _ : state) {
+    Table t = NestedLoopJoin(
+        db, small, small,
+        [&](const std::vector<NodeId>& l, const std::vector<NodeId>& r) {
+          auto lv = ExtractKey(*db, l[0], total);
+          auto rv = ExtractKey(*db, r[0], total);
+          return lv && rv && *lv > *rv;
+        },
+        nullptr);
+    benchmark::DoNotOptimize(t.rows.data());
+    state.counters["rows"] = static_cast<double>(t.num_rows());
+  }
+}
+BENCHMARK(BM_NestedLoopInequalityJoin);
+
+// ---- Section 6.2's plan choice: "we could choose to evaluate multiple
+// single-color queries first, and perform cross-tree joins at the end ...
+// Alternatively, it may be preferable to perform a single-color query, then
+// a cross-tree join, before evaluating the next single-color query, to
+// benefit from a selection that greatly reduces the size of the latter
+// computation."
+//
+// Workload: selective customer -> orderlines (cust), then authors of those
+// lines' items (auth).
+
+// Early crossing: filter in cust first, cross only the survivors.
+void BM_CrossTreeEarly(benchmark::State& state) {
+  Fixture* f = Fixture::Get();
+  MctDatabase* db = f->mct_db.db.get();
+  ColorId cust = f->mct_db.cust;
+  ColorId auth = f->mct_db.auth;
+  for (auto _ : state) {
+    Table c = TagScanTable(db, cust, "$c", "customer", nullptr);
+    c = FilterRows(
+        c,
+        [&](const std::vector<NodeId>& row) {
+          auto v = ExtractKey(*db, row[0], KeySpec::ChildContent(cust, "uname"));
+          return v.has_value() && *v == "user1";
+        },
+        nullptr);
+    Table lines = ExpandDescendants(db, c, 0, cust, "orderline", "$l", nullptr);
+    Table crossed = CrossTreeJoin(db, lines, 1, auth, nullptr);
+    Table items = ExpandParent(db, crossed, 1, auth, "item", "$i", nullptr);
+    Table authors = ExpandParent(db, items, 2, auth, "author", "$a", nullptr);
+    benchmark::DoNotOptimize(authors.rows.data());
+    state.counters["rows"] = static_cast<double>(authors.num_rows());
+  }
+}
+BENCHMARK(BM_CrossTreeEarly);
+
+// Late crossing: evaluate both single-color sides fully, join identities at
+// the end (the other plan of Section 6.2) — pays for the unselective side.
+void BM_CrossTreeLate(benchmark::State& state) {
+  Fixture* f = Fixture::Get();
+  MctDatabase* db = f->mct_db.db.get();
+  ColorId cust = f->mct_db.cust;
+  ColorId auth = f->mct_db.auth;
+  for (auto _ : state) {
+    // Side 1 (cust): the selective customer's orderlines.
+    Table c = TagScanTable(db, cust, "$c", "customer", nullptr);
+    c = FilterRows(
+        c,
+        [&](const std::vector<NodeId>& row) {
+          auto v = ExtractKey(*db, row[0], KeySpec::ChildContent(cust, "uname"));
+          return v.has_value() && *v == "user1";
+        },
+        nullptr);
+    Table lines = ExpandDescendants(db, c, 0, cust, "orderline", "$l", nullptr);
+    // Side 2 (auth): every orderline with its item and author.
+    Table all = TagScanTable(db, auth, "$l2", "orderline", nullptr);
+    Table items = ExpandParent(db, all, 0, auth, "item", "$i", nullptr);
+    Table authors = ExpandParent(db, items, 1, auth, "author", "$a", nullptr);
+    // Cross-tree join at the end = identity join of the two sides.
+    Table joined = IdentityJoin(db, lines, 1, authors, 0, nullptr);
+    benchmark::DoNotOptimize(joined.rows.data());
+    state.counters["rows"] = static_cast<double>(joined.num_rows());
+  }
+}
+BENCHMARK(BM_CrossTreeLate);
+
+}  // namespace
+
+// ---- Holistic vs binary structural plans (paper references [2] and [8]).
+
+#include "query/twig.h"
+
+namespace {
+
+void BM_TwigPathHolistic(benchmark::State& state) {
+  Fixture* f = Fixture::Get();
+  TwigPattern p;
+  int a = p.Add(-1, "author", false);
+  int i = p.Add(a, "item", true);
+  p.Add(i, "orderline", true);
+  for (auto _ : state) {
+    auto t = PathStackJoin(f->mct_db.db.get(), f->mct_db.auth, p, nullptr);
+    benchmark::DoNotOptimize(t->rows.data());
+    state.counters["rows"] = static_cast<double>(t->num_rows());
+  }
+}
+BENCHMARK(BM_TwigPathHolistic);
+
+void BM_TwigPathBinaryJoins(benchmark::State& state) {
+  Fixture* f = Fixture::Get();
+  MctDatabase* db = f->mct_db.db.get();
+  ColorId auth = f->mct_db.auth;
+  for (auto _ : state) {
+    Table t = TagScanTable(db, auth, "$a", "author", nullptr);
+    t = ExpandChildren(db, t, 0, auth, "item", "$i", nullptr);
+    t = ExpandChildren(db, t, 1, auth, "orderline", "$l", nullptr);
+    benchmark::DoNotOptimize(t.rows.data());
+    state.counters["rows"] = static_cast<double>(t.num_rows());
+  }
+}
+BENCHMARK(BM_TwigPathBinaryJoins);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// E7 — Section 7.2's scaling claim: "most of the times scaled linearly
+// with data set size. The only exceptions were the two queries involving an
+// inequality value join, which is implemented as nested loops, and hence
+// has a quadratic dependence on data set size."
+//
+// This harness runs a linear-shaped query (TQ13, order->orderline
+// navigation / value join) and the inequality-join query (TQ15) on the
+// shallow database at a geometric ladder of scales and reports the growth
+// exponent between successive sizes (log t ratio / log n ratio): ~1 means
+// linear, ~2 quadratic.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/catalog.h"
+#include "workload/runner.h"
+#include "workload/tpcw_db.h"
+
+namespace {
+
+using namespace mct::workload;
+
+double MeasureQuery(TpcwDb* db, const std::string& text) {
+  return mct::bench::Repeated(
+      [&]() {
+        auto run = RunQuery(db->db.get(), db->default_color(), text, false);
+        if (!run.ok()) {
+          std::fprintf(stderr, "query failed: %s\n",
+                       run.status().ToString().c_str());
+          std::exit(1);
+        }
+        return run->seconds;
+      },
+      3);
+}
+
+const CatalogQuery* FindQuery(const std::vector<CatalogQuery>& catalog,
+                              const std::string& id) {
+  for (const CatalogQuery& q : catalog) {
+    if (q.id == id) return &q;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double base = mct::bench::ScaleFromArgs(argc, argv, 0.1);
+  std::printf("=== Scaling (Section 7.2): linear vs quadratic queries ===\n\n");
+  std::vector<double> scales{base, base * 2, base * 4};
+  struct Point {
+    double n;
+    double linear_t;
+    double quad_t;
+  };
+  std::vector<Point> points;
+  for (double s : scales) {
+    TpcwData data = GenerateTpcw(TpcwScale::Default().ScaledBy(s));
+    auto shallow = BuildTpcw(data, SchemaKind::kShallow);
+    if (!shallow.ok()) {
+      std::fprintf(stderr, "build failed\n");
+      return 1;
+    }
+    shallow->db->tree(shallow->doc)->EnsureLabels();
+    auto catalog = TpcwCatalog(data);
+    const CatalogQuery* linear = FindQuery(catalog, "TQ13");
+    const CatalogQuery* quad = FindQuery(catalog, "TQ15");
+    Point p;
+    p.n = static_cast<double>(data.orders.size());
+    p.linear_t = MeasureQuery(&*shallow, linear->shallow);
+    p.quad_t = MeasureQuery(&*shallow, quad->shallow);
+    points.push_back(p);
+    std::printf("orders=%8.0f   TQ13(shallow, equality join)=%8.4fs   "
+                "TQ15(shallow, inequality nested loop)=%8.4fs\n",
+                p.n, p.linear_t, p.quad_t);
+  }
+  // Exponent over the widest span (robust against millisecond-scale noise
+  // at the small end) plus the final step, where the asymptotic term
+  // dominates.
+  const Point& lo = points.front();
+  const Point& hi = points.back();
+  const Point& mid = points[points.size() - 2];
+  double span = std::log(hi.n / lo.n);
+  double lin_overall = std::log(hi.linear_t / lo.linear_t) / span;
+  double quad_overall = std::log(hi.quad_t / lo.quad_t) / span;
+  double last = std::log(hi.n / mid.n);
+  double lin_last = std::log(hi.linear_t / mid.linear_t) / last;
+  double quad_last = std::log(hi.quad_t / mid.quad_t) / last;
+  std::printf("\nGrowth exponents (1 = linear, 2 = quadratic):\n");
+  std::printf("  TQ13 (equality join):          overall %.2f, last step %.2f\n",
+              lin_overall, lin_last);
+  std::printf("  TQ15 (inequality nested loop): overall %.2f, last step %.2f\n",
+              quad_overall, quad_last);
+  std::printf(
+      "\nExpected shape (paper Section 7.2): TQ13 stays near 1 (its small\n"
+      "absolute times make the small-scale steps noisy); TQ15 approaches 2\n"
+      "as the quadratic nested loop dominates.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// E9 — Section 5: optimal serialization. For the Figure 8 movie schema and
+// for schemas inferred from the generated workloads, compares the expected
+// and measured serialization overhead of optSerialize's scheme against
+// (a) the worst ranked scheme and (b) per-type pessimal choices, and
+// validates the round trip (export -> parse -> import -> isomorphic).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "serialize/exchange.h"
+#include "serialize/opt_serialize.h"
+#include "serialize/schema.h"
+#include "workload/sigmodr_db.h"
+#include "workload/tpcw_db.h"
+
+namespace {
+
+using namespace mct;
+using namespace mct::serialize;
+using namespace mct::workload;
+
+void ReportScheme(const char* label, MctDatabase* db,
+                  const SerializationScheme& scheme) {
+  ExportStats stats;
+  Timer t;
+  auto xml = ExportXml(db, scheme, &stats);
+  double secs = t.ElapsedSeconds();
+  if (!xml.ok()) {
+    std::fprintf(stderr, "export failed: %s\n",
+                 xml.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf(
+      "  %-22s parent-ptrs %8llu  annotations %8llu  cost-units %10.0f  "
+      "bytes %10llu  (%.3fs)\n",
+      label, static_cast<unsigned long long>(stats.parent_pointers),
+      static_cast<unsigned long long>(stats.color_annotations),
+      stats.CostUnits(), static_cast<unsigned long long>(stats.bytes), secs);
+}
+
+SerializationScheme Reversed(const SerializationScheme& s) {
+  SerializationScheme out = s;
+  for (auto& [_, ranked] : out.primary) {
+    std::reverse(ranked.begin(), ranked.end());
+  }
+  return out;
+}
+
+void RunDataset(const char* name, MctDatabase* db) {
+  std::printf("%s:\n", name);
+  MctSchema schema = InferSchema(*db);
+  auto scheme = OptSerialize(schema);
+  if (!scheme.ok()) {
+    std::fprintf(stderr, "optSerialize failed\n");
+    std::exit(1);
+  }
+  std::printf("  expected cost (DP): %.0f units\n", scheme->expected_cost);
+  ReportScheme("optSerialize", db, *scheme);
+  ReportScheme("worst ranking", db, Reversed(*scheme));
+  // Round trip.
+  auto xml = ExportXml(db, *scheme, nullptr);
+  Timer t;
+  auto imported = ImportXml(*xml);
+  if (!imported.ok()) {
+    std::fprintf(stderr, "import failed: %s\n",
+                 imported.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::string why;
+  bool iso = DatabasesIsomorphic(*db, **imported, &why);
+  std::printf("  round trip: parse+import %.3fs, isomorphic: %s%s\n",
+              t.ElapsedSeconds(), iso ? "yes" : "NO ", why.c_str());
+  if (!iso) std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = mct::bench::ScaleFromArgs(argc, argv, 0.1);
+  std::printf("=== Serialization (Section 5 / E9) ===\n\n");
+
+  {
+    std::printf("Figure 8 movie schema (DP vs exhaustive enumeration):\n");
+    MctSchema s = MovieSchemaOfFigure8();
+    auto scheme = OptSerialize(s);
+    double brute = BruteForceOptimalCost(s);
+    std::printf("  DP cost %.1f, brute-force optimum %.1f (Theorem 5.1: "
+                "%s)\n",
+                scheme->expected_cost, brute,
+                scheme->expected_cost <= brute + 1e-9 ? "optimal"
+                                                      : "SUBOPTIMAL");
+    std::printf("  chosen primaries:");
+    for (const auto& [type, ranked] : scheme->primary) {
+      if (s.Find(type)->colors.size() > 1) {
+        std::printf(" %s->%s", type.c_str(), ranked.front().c_str());
+      }
+    }
+    std::printf("\n\n");
+  }
+  {
+    TpcwData data = GenerateTpcw(TpcwScale::Default().ScaledBy(scale));
+    auto db = BuildTpcw(data, SchemaKind::kMct);
+    RunDataset("TPC-W (MCT, 5 colors)", db->db.get());
+    std::printf("\n");
+  }
+  {
+    SigmodData data = GenerateSigmod(SigmodScale::Default().ScaledBy(scale));
+    auto db = BuildSigmod(data, SchemaKind::kMct);
+    RunDataset("SIGMOD-Record (MCT, 2 colors)", db->db.get());
+  }
+  std::printf(
+      "\nExpected shape: optSerialize's scheme never costs more than the\n"
+      "reversed ranking, and every export reimports isomorphically.\n");
+  return 0;
+}

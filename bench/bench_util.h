@@ -1,0 +1,55 @@
+// Shared plumbing for the table/figure reproduction binaries.
+//
+// The paper measured each query five times, dropped the lowest and highest
+// readings, and averaged the remaining three (Section 7); Repeated() does
+// the same.
+
+#ifndef COLORFUL_XML_BENCH_BENCH_UTIL_H_
+#define COLORFUL_XML_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mct::bench {
+
+/// Runs `fn` (which returns elapsed seconds) `total` times, drops the min
+/// and max, and returns the mean of the rest — the paper's measurement
+/// protocol.
+inline double Repeated(const std::function<double()>& fn, int total = 5) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(total));
+  for (int i = 0; i < total; ++i) times.push_back(fn());
+  std::sort(times.begin(), times.end());
+  double sum = 0;
+  int used = 0;
+  for (int i = 1; i + 1 < total; ++i) {
+    sum += times[static_cast<size_t>(i)];
+    ++used;
+  }
+  return used > 0 ? sum / used : times[0];
+}
+
+/// Parses "--scale=0.25" style factor from argv (default 1.0): lets the
+/// whole suite run quickly on small machines without editing code.
+inline double ScaleFromArgs(int argc, char** argv, double fallback = 1.0) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string prefix = "--scale=";
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::stod(arg.substr(prefix.size()));
+    }
+  }
+  return fallback;
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace mct::bench
+
+#endif  // COLORFUL_XML_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,157 @@
+// The paper's running example, end to end: the Figure 2 movie database
+// (red genre hierarchy, green Oscar award hierarchy, blue actors), the
+// Figure 1 queries Q1-Q5 as the Figure 3 MCXQuery expressions, and the
+// Deep-1 vs Shallow-1 contrast of Example 1.1.
+//
+//   ./build/examples/movie_db
+
+#include <cstdio>
+
+#include "mct/database.h"
+#include "mcx/evaluator.h"
+#include "mcx/parser.h"
+
+using namespace mct;
+
+namespace {
+
+NodeId Mk(MctDatabase& db, ColorId c, NodeId parent, const char* tag,
+          const char* text = nullptr) {
+  auto n = db.CreateElement(c, parent, tag);
+  if (!n.ok()) std::abort();
+  if (text != nullptr) {
+    auto s = db.SetContent(*n, text);
+    if (!s.ok()) std::abort();
+  }
+  return *n;
+}
+
+NodeId Named(MctDatabase& db, ColorId c, NodeId parent, const char* tag,
+             const char* name) {
+  NodeId n = Mk(db, c, parent, tag);
+  Mk(db, c, n, "name", name);
+  return n;
+}
+
+void RunAndPrint(mcx::Evaluator& ev, MctDatabase& db, const char* label,
+                 const char* query) {
+  std::printf("-- %s --\n%s\n", label, query);
+  auto r = ev.Run(query);
+  if (!r.ok()) {
+    std::printf("   ERROR: %s\n\n", r.status().ToString().c_str());
+    return;
+  }
+  ColorId black = db.LookupColor("black");
+  std::printf("=> %s\n", ev.ToXml(*r, black).c_str());
+}
+
+}  // namespace
+
+int main() {
+  MctDatabase db;
+  ColorId red = *db.RegisterColor("red");
+  ColorId green = *db.RegisterColor("green");
+  ColorId blue = *db.RegisterColor("blue");
+  NodeId doc = db.document();
+
+  // Red: genre hierarchy (comedy with a slapstick sub-genre, drama).
+  NodeId all = Named(db, red, doc, "movie-genre", "All");
+  NodeId comedy = Named(db, red, all, "movie-genre", "Comedy");
+  Named(db, red, comedy, "movie-genre", "Slapstick");
+  NodeId drama = Named(db, red, all, "movie-genre", "Drama");
+  // Green: Oscar best-movie temporal hierarchy.
+  NodeId oscar = Named(db, green, doc, "movie-award", "Oscar Best Movie");
+  NodeId y1950 = Named(db, green, oscar, "movie-award", "1950");
+  Named(db, green, oscar, "movie-award", "1951");
+  // Blue: actors.
+  NodeId actors = Mk(db, blue, doc, "actors");
+  NodeId davis = Named(db, blue, actors, "actor", "Bette Davis");
+  NodeId holden = Named(db, blue, actors, "actor", "William Holden");
+
+  // "All About Eve": red (Comedy) + green (1950), 14 first-place votes.
+  NodeId eve = Mk(db, red, comedy, "movie");
+  (void)db.AddNodeColor(eve, green, y1950);
+  NodeId eve_name = Mk(db, red, eve, "name", "All About Eve");
+  (void)db.AddNodeColor(eve_name, green, eve);
+  Mk(db, green, eve, "votes", "14");
+  // Bette Davis as Margo: movie-role is red (under the movie) and blue
+  // (under the actor).
+  NodeId margo = Mk(db, red, eve, "movie-role");
+  (void)db.AddNodeColor(margo, blue, davis);
+  NodeId margo_name = Mk(db, red, margo, "name", "Margo Channing");
+  (void)db.AddNodeColor(margo_name, blue, margo);
+
+  // "Sunset Boulevard": red (Drama) + green (1950), 8 votes; Holden as Joe.
+  NodeId sunset = Mk(db, red, drama, "movie");
+  (void)db.AddNodeColor(sunset, green, y1950);
+  NodeId sunset_name = Mk(db, red, sunset, "name", "Sunset Boulevard");
+  (void)db.AddNodeColor(sunset_name, green, sunset);
+  Mk(db, green, sunset, "votes", "8");
+  NodeId joe = Mk(db, red, sunset, "movie-role");
+  (void)db.AddNodeColor(joe, blue, holden);
+  NodeId joe_name = Mk(db, red, joe, "name", "Joe Gillis");
+  (void)db.AddNodeColor(joe_name, blue, joe);
+
+  std::printf("Movie database: %zu nodes, 3 colored hierarchies\n\n",
+              db.store().size());
+
+  mcx::Evaluator ev(&db, mcx::EvalOptions{});
+
+  // Figure 3, Q1.
+  RunAndPrint(ev, db, "Q1: comedy movies whose title contains 'Eve'",
+              "for $m in document(\"mdb.xml\")/{red}descendant::movie-genre"
+              "[{red}child::name = \"Comedy\"]/"
+              "{red}descendant::movie[contains({red}child::name, \"Eve\")] "
+              "return createColor(black, <m-name> { $m/{red}child::name } "
+              "</m-name>)");
+
+  // Figure 3, Q2.
+  RunAndPrint(ev, db,
+              "Q2: comedy movies with 'Eve' nominated for an Oscar",
+              "for $m in document(\"mdb.xml\")/{red}descendant::movie-genre"
+              "[{red}child::name = \"Comedy\"]/"
+              "{red}descendant::movie[contains({red}child::name, \"Eve\")], "
+              "$m in document(\"mdb.xml\")/{green}descendant::movie-award"
+              "[contains({green}child::name, \"Oscar\")]/"
+              "{green}descendant::movie "
+              "return createColor(black, <m-name2> { createCopy("
+              "$m/{red}child::name) } </m-name2>)");
+
+  // Figure 3, Q4.
+  RunAndPrint(ev, db,
+              "Q4: actors in Oscar movies with more than 10 votes",
+              "for $a in document(\"mdb.xml\")/{green}descendant::movie-award"
+              "[contains({green}child::name, \"Oscar\")]/"
+              "{green}descendant::movie[{green}child::votes > 10]/"
+              "{red}child::movie-role/{blue}parent::actor "
+              "return createColor(black, <a-name> { createCopy("
+              "$a/{blue}child::name) } </a-name>)");
+
+  // Figure 3, Q5 (grouping by votes, Figure 7's result).
+  RunAndPrint(ev, db, "Q5: Oscar movies grouped by votes",
+              "createColor(black, <byvotes> {"
+              " for $v in distinct-values(document(\"mdb.xml\")/"
+              "{green}descendant::votes)"
+              " order by $v"
+              " return <award-byvotes> {"
+              "   for $m in document(\"mdb.xml\")/{green}descendant::movie"
+              "     [{green}child::votes = $v]"
+              "   return $m }"
+              "   <votes> { $v } </votes>"
+              " </award-byvotes>"
+              "} </byvotes>)");
+
+  // The duplicate dynamic error of Section 4.2.
+  std::printf("-- dynamic error: a node twice in one colored tree --\n");
+  auto bad = ev.Run(
+      "for $m in document(\"mdb.xml\")/{red}descendant::movie"
+      "[contains({red}child::name, \"Sunset\")] "
+      "return createColor(black, <dupl-problem>"
+      "<m1> { $m/{red}child::name } </m1>"
+      "<m2> { $m/{red}child::name } </m2>"
+      "</dupl-problem>)");
+  std::printf("=> %s\n",
+              bad.ok() ? "unexpectedly succeeded"
+                       : bad.status().ToString().c_str());
+  return 0;
+}

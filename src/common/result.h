@@ -1,0 +1,77 @@
+// Result<T>: value-or-Status, the non-throwing analogue of std::expected.
+
+#ifndef COLORFUL_XML_COMMON_RESULT_H_
+#define COLORFUL_XML_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mct {
+
+/// Holds either a T (status OK) or a non-OK Status.
+///
+/// Accessing the value of a non-OK Result is a programming error, guarded by
+/// assert in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status: failure. Constructing from an OK status
+  /// is a programming error (there would be no value).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status with no value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when the Result is an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>); on error returns its Status, otherwise
+/// move-assigns the value into `lhs`.
+#define MCT_ASSIGN_OR_RETURN(lhs, expr)             \
+  MCT_ASSIGN_OR_RETURN_IMPL_(                       \
+      MCT_RESULT_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define MCT_RESULT_CONCAT_INNER_(a, b) a##b
+#define MCT_RESULT_CONCAT_(a, b) MCT_RESULT_CONCAT_INNER_(a, b)
+#define MCT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_COMMON_RESULT_H_

@@ -1,0 +1,27 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace mct {
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  if (n <= 1) return 0;
+  // Inverse CDF of a continuous approximation to the Zipf distribution.
+  double u = UniformDouble();
+  double v = std::pow(static_cast<double>(n), 1.0 - theta);
+  double x = std::pow(u * (v - 1.0) + 1.0, 1.0 / (1.0 - theta));
+  uint64_t r = static_cast<uint64_t>(x) - 1;
+  return r >= n ? n - 1 : r;
+}
+
+std::string Rng::Word(int min_len, int max_len) {
+  int len = static_cast<int>(UniformInt(min_len, max_len));
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>('a' + Uniform(26)));
+  }
+  return out;
+}
+
+}  // namespace mct

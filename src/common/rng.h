@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation for workload generators and
+// property tests. All generators in this repository are seeded explicitly so
+// experiments are reproducible run-to-run.
+
+#ifndef COLORFUL_XML_COMMON_RNG_H_
+#define COLORFUL_XML_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mct {
+
+/// xoshiro256**-based deterministic RNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 seeding, the reference initialization for xoshiro.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Zipf-like skewed pick in [0, n): small ranks are more likely.
+  /// theta in (0,1); theta -> 1 means more skew. Uses the standard
+  /// approximate inverse-CDF method (good enough for workload skew).
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Random lowercase word of length in [min_len, max_len].
+  std::string Word(int min_len, int max_len);
+
+  /// Picks a random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_COMMON_RNG_H_

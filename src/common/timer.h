@@ -1,0 +1,30 @@
+// Wall-clock timing for the benchmark harness and EXPERIMENTS reporting.
+
+#ifndef COLORFUL_XML_COMMON_TIMER_H_
+#define COLORFUL_XML_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace mct {
+
+/// Monotonic stopwatch started at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_COMMON_TIMER_H_

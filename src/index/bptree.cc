@@ -1,0 +1,296 @@
+#include "index/bptree.h"
+
+#include <cassert>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace mct {
+
+namespace {
+
+// Raw accessors over a B+-tree page image.
+
+bool IsLeaf(const char* p) { return p[0] != 0; }
+void SetLeaf(char* p, bool leaf) { p[0] = leaf ? 1 : 0; }
+
+uint16_t NumKeys(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p + 2, sizeof(v));
+  return v;
+}
+void SetNumKeys(char* p, uint16_t v) { std::memcpy(p + 2, &v, sizeof(v)); }
+
+uint32_t Link(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p + 4, sizeof(v));
+  return v;
+}
+void SetLink(char* p, uint32_t v) { std::memcpy(p + 4, &v, sizeof(v)); }
+
+constexpr uint32_t kHeader = 8;
+constexpr uint32_t kLeafEntry = 24;
+constexpr uint32_t kIntEntry = 20;
+
+IndexKey LeafKey(const char* p, uint32_t i) {
+  IndexKey k;
+  std::memcpy(k.k, p + kHeader + i * kLeafEntry, 16);
+  return k;
+}
+uint64_t LeafValue(const char* p, uint32_t i) {
+  uint64_t v;
+  std::memcpy(&v, p + kHeader + i * kLeafEntry + 16, 8);
+  return v;
+}
+void SetLeafEntry(char* p, uint32_t i, const IndexKey& k, uint64_t v) {
+  std::memcpy(p + kHeader + i * kLeafEntry, k.k, 16);
+  std::memcpy(p + kHeader + i * kLeafEntry + 16, &v, 8);
+}
+
+IndexKey IntKey(const char* p, uint32_t i) {
+  IndexKey k;
+  std::memcpy(k.k, p + kHeader + i * kIntEntry, 16);
+  return k;
+}
+uint32_t IntChild(const char* p, uint32_t i) {
+  uint32_t v;
+  std::memcpy(&v, p + kHeader + i * kIntEntry + 16, 4);
+  return v;
+}
+void SetIntEntry(char* p, uint32_t i, const IndexKey& k, uint32_t child) {
+  std::memcpy(p + kHeader + i * kIntEntry, k.k, 16);
+  std::memcpy(p + kHeader + i * kIntEntry + 16, &child, 4);
+}
+
+// First leaf slot with key >= target (lower bound).
+uint32_t LeafLowerBound(const char* p, const IndexKey& key) {
+  uint32_t lo = 0, hi = NumKeys(p);
+  while (lo < hi) {
+    uint32_t mid = (lo + hi) / 2;
+    if (LeafKey(p, mid).Compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child to descend into for `key`: the rightmost child whose separator is
+// <= key; slot 0 refers to the header's leftmost child.
+uint32_t IntChildFor(const char* p, const IndexKey& key) {
+  uint32_t n = NumKeys(p);
+  uint32_t lo = 0, hi = n;  // number of separators <= key
+  while (lo < hi) {
+    uint32_t mid = (lo + hi) / 2;
+    if (IntKey(p, mid).Compare(key) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == 0 ? Link(p) : IntChild(p, lo - 1);
+}
+
+}  // namespace
+
+std::string IndexKey::ToString() const {
+  return StrFormat("(%u,%u,%u,%u)", k[0], k[1], k[2], k[3]);
+}
+
+BPlusTree::BPlusTree(BufferPool* pool) : pool_(pool) {
+  auto root = NewNode(/*leaf=*/true);
+  assert(root.ok());
+  root_ = *root;
+}
+
+Result<PageId> BPlusTree::NewNode(bool leaf) {
+  MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage());
+  char* p = guard.MutableData();
+  SetLeaf(p, leaf);
+  SetNumKeys(p, 0);
+  SetLink(p, kInvalidPageId);
+  ++num_pages_;
+  return guard.page_id();
+}
+
+Status BPlusTree::Insert(const IndexKey& key, uint64_t value) {
+  MCT_ASSIGN_OR_RETURN(auto split, InsertRec(root_, key, value));
+  if (split.has_value()) {
+    // Grow a new root above the old one.
+    MCT_ASSIGN_OR_RETURN(PageId new_root, NewNode(/*leaf=*/false));
+    MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(new_root));
+    char* p = guard.MutableData();
+    SetLink(p, root_);
+    SetIntEntry(p, 0, split->separator, split->new_page);
+    SetNumKeys(p, 1);
+    root_ = new_root;
+    ++height_;
+  }
+  ++num_entries_;
+  return Status::OK();
+}
+
+Result<std::optional<BPlusTree::SplitResult>> BPlusTree::InsertRec(
+    PageId node, const IndexKey& key, uint64_t value) {
+  MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(node));
+  char* p = guard.MutableData();
+  if (IsLeaf(p)) {
+    uint32_t n = NumKeys(p);
+    uint32_t pos = LeafLowerBound(p, key);
+    if (n < kLeafCapacity) {
+      std::memmove(p + kHeader + (pos + 1) * kLeafEntry,
+                   p + kHeader + pos * kLeafEntry, (n - pos) * kLeafEntry);
+      SetLeafEntry(p, pos, key, value);
+      SetNumKeys(p, static_cast<uint16_t>(n + 1));
+      return std::optional<SplitResult>();
+    }
+    // Split the full leaf: right half moves to a fresh page, then insert
+    // into whichever half owns the position.
+    MCT_ASSIGN_OR_RETURN(PageId right_id, NewNode(/*leaf=*/true));
+    MCT_ASSIGN_OR_RETURN(PageGuard rguard, pool_->FetchPage(right_id));
+    char* rp = rguard.MutableData();
+    uint32_t mid = n / 2;
+    uint32_t right_n = n - mid;
+    std::memcpy(rp + kHeader, p + kHeader + mid * kLeafEntry,
+                right_n * kLeafEntry);
+    SetNumKeys(rp, static_cast<uint16_t>(right_n));
+    SetLink(rp, Link(p));
+    SetLink(p, right_id);
+    SetNumKeys(p, static_cast<uint16_t>(mid));
+    IndexKey sep = LeafKey(rp, 0);
+    char* tp = (pos <= mid) ? p : rp;
+    uint32_t tpos = (pos <= mid) ? pos : pos - mid;
+    uint32_t tn = NumKeys(tp);
+    std::memmove(tp + kHeader + (tpos + 1) * kLeafEntry,
+                 tp + kHeader + tpos * kLeafEntry, (tn - tpos) * kLeafEntry);
+    SetLeafEntry(tp, tpos, key, value);
+    SetNumKeys(tp, static_cast<uint16_t>(tn + 1));
+    return std::optional<SplitResult>(SplitResult{sep, right_id});
+  }
+
+  // Internal node: descend, then absorb a child split if one happened.
+  uint32_t child = IntChildFor(p, key);
+  guard.Release();  // avoid holding pins along the whole root-to-leaf path
+  MCT_ASSIGN_OR_RETURN(auto child_split, InsertRec(child, key, value));
+  if (!child_split.has_value()) return std::optional<SplitResult>();
+
+  MCT_ASSIGN_OR_RETURN(PageGuard g2, pool_->FetchPage(node));
+  p = g2.MutableData();
+  uint32_t n = NumKeys(p);
+  // Position of the new separator among existing separators.
+  uint32_t pos = 0;
+  while (pos < n && IntKey(p, pos).Compare(child_split->separator) <= 0) ++pos;
+  if (n < kInternalCapacity) {
+    std::memmove(p + kHeader + (pos + 1) * kIntEntry,
+                 p + kHeader + pos * kIntEntry, (n - pos) * kIntEntry);
+    SetIntEntry(p, pos, child_split->separator, child_split->new_page);
+    SetNumKeys(p, static_cast<uint16_t>(n + 1));
+    return std::optional<SplitResult>();
+  }
+  // Split the full internal node. Assemble the n+1 separators logically,
+  // push the middle one up.
+  std::vector<IndexKey> keys;
+  std::vector<uint32_t> children;  // children[i] right of keys[i]
+  keys.reserve(n + 1);
+  children.reserve(n + 1);
+  for (uint32_t i = 0; i < n; ++i) {
+    keys.push_back(IntKey(p, i));
+    children.push_back(IntChild(p, i));
+  }
+  keys.insert(keys.begin() + pos, child_split->separator);
+  children.insert(children.begin() + pos, child_split->new_page);
+  uint32_t total = n + 1;
+  uint32_t mid = total / 2;  // keys[mid] is pushed up
+  IndexKey up_key = keys[mid];
+
+  MCT_ASSIGN_OR_RETURN(PageId right_id, NewNode(/*leaf=*/false));
+  MCT_ASSIGN_OR_RETURN(PageGuard rguard, pool_->FetchPage(right_id));
+  char* rp = rguard.MutableData();
+  SetLink(rp, children[mid]);  // leftmost child of the right node
+  uint32_t rn = 0;
+  for (uint32_t i = mid + 1; i < total; ++i) {
+    SetIntEntry(rp, rn++, keys[i], children[i]);
+  }
+  SetNumKeys(rp, static_cast<uint16_t>(rn));
+  for (uint32_t i = 0; i < mid; ++i) {
+    SetIntEntry(p, i, keys[i], children[i]);
+  }
+  SetNumKeys(p, static_cast<uint16_t>(mid));
+  return std::optional<SplitResult>(SplitResult{up_key, right_id});
+}
+
+Status BPlusTree::Delete(const IndexKey& key, uint64_t value) {
+  // Descend to the first candidate leaf, then walk the leaf chain while the
+  // key still matches (duplicates may span leaves).
+  PageId node = root_;
+  for (uint32_t level = 1; level < height_; ++level) {
+    MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(node));
+    node = IntChildFor(guard.Data(), key);
+  }
+  while (node != kInvalidPageId) {
+    MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(node));
+    char* p = guard.MutableData();
+    uint32_t n = NumKeys(p);
+    uint32_t pos = LeafLowerBound(p, key);
+    for (uint32_t i = pos; i < n; ++i) {
+      if (LeafKey(p, i).Compare(key) != 0) return Status::NotFound("no entry");
+      if (LeafValue(p, i) == value) {
+        std::memmove(p + kHeader + i * kLeafEntry,
+                     p + kHeader + (i + 1) * kLeafEntry,
+                     (n - i - 1) * kLeafEntry);
+        SetNumKeys(p, static_cast<uint16_t>(n - 1));
+        --num_entries_;
+        return Status::OK();
+      }
+    }
+    if (pos < n) return Status::NotFound("no entry");  // key run ended here
+    node = Link(p);
+  }
+  return Status::NotFound("no entry");
+}
+
+Result<BPlusTree::Iterator> BPlusTree::Seek(const IndexKey& key) const {
+  PageId node = root_;
+  for (uint32_t level = 1; level < height_; ++level) {
+    MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(node));
+    node = IntChildFor(guard.Data(), key);
+  }
+  Iterator it(pool_);
+  it.page_ = node;
+  {
+    MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(node));
+    it.slot_ = LeafLowerBound(guard.Data(), key);
+  }
+  MCT_RETURN_IF_ERROR(it.LoadCurrent());
+  return it;
+}
+
+Result<BPlusTree::Iterator> BPlusTree::Begin() const {
+  return Seek(IndexKey::Make(0, 0, 0, 0));
+}
+
+Status BPlusTree::Iterator::LoadCurrent() {
+  while (page_ != kInvalidPageId) {
+    MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page_));
+    const char* p = guard.Data();
+    if (slot_ < NumKeys(p)) {
+      key_ = LeafKey(p, slot_);
+      value_ = LeafValue(p, slot_);
+      valid_ = true;
+      return Status::OK();
+    }
+    page_ = Link(p);
+    slot_ = 0;
+  }
+  valid_ = false;
+  return Status::OK();
+}
+
+Status BPlusTree::Iterator::Next() {
+  if (!valid_) return Status::OutOfRange("advancing an exhausted iterator");
+  ++slot_;
+  return LoadCurrent();
+}
+
+}  // namespace mct

@@ -1,0 +1,140 @@
+// A paged B+-tree with fixed-width composite keys, backing the tag and value
+// indexes of the XML/MCT storage engine.
+//
+// Keys are 4-tuples of uint32 compared lexicographically; values are uint64.
+// Duplicate keys are tolerated on insert, but Seek() lower-bounds through
+// internal separators and may land past duplicates that were split to the
+// left of a separator — callers MUST therefore make keys unique by putting a
+// discriminator (e.g. the node id) in the final key component and seeking
+// with that component zeroed. Every index in this repository follows that
+// convention. Deletion is by (key, value) pair and is lazy: entries are
+// removed from their leaf but leaves are never merged, matching the
+// append-heavy usage of a database load followed by point updates.
+//
+// Node layout (8 KB page):
+//   header  [u8 is_leaf][u8 pad][u16 num_keys][u32 link]
+//     link = next-leaf page for leaves, leftmost child for internal nodes
+//   leaf    entries of {IndexKey key, u64 value}   (24 bytes)
+//   internal entries of {IndexKey key, u32 child}  (20 bytes); a child to the
+//     right of its separator key, all keys in child >= key.
+
+#ifndef COLORFUL_XML_INDEX_BPTREE_H_
+#define COLORFUL_XML_INDEX_BPTREE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+
+namespace mct {
+
+/// Composite fixed-width index key.
+struct IndexKey {
+  uint32_t k[4] = {0, 0, 0, 0};
+
+  static IndexKey Make(uint32_t a, uint32_t b = 0, uint32_t c = 0,
+                       uint32_t d = 0) {
+    return IndexKey{{a, b, c, d}};
+  }
+
+  int Compare(const IndexKey& o) const {
+    for (int i = 0; i < 4; ++i) {
+      if (k[i] < o.k[i]) return -1;
+      if (k[i] > o.k[i]) return 1;
+    }
+    return 0;
+  }
+  bool operator==(const IndexKey& o) const { return Compare(o) == 0; }
+  bool operator<(const IndexKey& o) const { return Compare(o) < 0; }
+  bool operator<=(const IndexKey& o) const { return Compare(o) <= 0; }
+
+  std::string ToString() const;
+};
+
+class BPlusTree {
+ public:
+  /// Creates an empty tree whose pages are allocated from `pool`'s disk.
+  explicit BPlusTree(BufferPool* pool);
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts (key, value). Duplicates (even identical pairs) are kept.
+  Status Insert(const IndexKey& key, uint64_t value);
+
+  /// Removes one entry equal to (key, value). NotFound if absent.
+  Status Delete(const IndexKey& key, uint64_t value);
+
+  /// Forward iterator over entries, in key order.
+  class Iterator {
+   public:
+    /// False once the scan is past the last entry.
+    bool Valid() const { return valid_; }
+    const IndexKey& key() const { return key_; }
+    uint64_t value() const { return value_; }
+    /// Advances to the next entry.
+    Status Next();
+
+   private:
+    friend class BPlusTree;
+    Iterator(BufferPool* pool) : pool_(pool) {}
+    Status LoadCurrent();
+
+    BufferPool* pool_;
+    PageId page_ = kInvalidPageId;
+    uint32_t slot_ = 0;
+    bool valid_ = false;
+    IndexKey key_;
+    uint64_t value_ = 0;
+  };
+
+  /// Iterator positioned at the first entry with key >= `key`.
+  Result<Iterator> Seek(const IndexKey& key) const;
+
+  /// Iterator at the smallest entry.
+  Result<Iterator> Begin() const;
+
+  /// Number of live entries.
+  uint64_t num_entries() const { return num_entries_; }
+
+  /// Pages allocated by this tree.
+  uint32_t num_pages() const { return num_pages_; }
+  uint64_t SizeBytes() const {
+    return static_cast<uint64_t>(num_pages_) * kPageSize;
+  }
+
+  /// Tree height (1 = just a leaf root); for tests/diagnostics.
+  uint32_t height() const { return height_; }
+
+ private:
+  struct SplitResult {
+    IndexKey separator;
+    PageId new_page;
+  };
+
+  static constexpr uint32_t kHeaderSize = 8;
+  static constexpr uint32_t kLeafEntrySize = 24;
+  static constexpr uint32_t kInternalEntrySize = 20;
+  static constexpr uint32_t kLeafCapacity =
+      (kPageSize - kHeaderSize) / kLeafEntrySize;
+  static constexpr uint32_t kInternalCapacity =
+      (kPageSize - kHeaderSize) / kInternalEntrySize;
+
+  Result<PageId> NewNode(bool leaf);
+  Result<std::optional<SplitResult>> InsertRec(PageId node,
+                                               const IndexKey& key,
+                                               uint64_t value);
+
+  BufferPool* pool_;
+  PageId root_ = kInvalidPageId;
+  uint64_t num_entries_ = 0;
+  uint32_t num_pages_ = 0;
+  uint32_t height_ = 1;
+};
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_INDEX_BPTREE_H_

@@ -1,0 +1,97 @@
+// Colors (paper Section 3.1): every node carries one or more colors from a
+// finite palette C; the database holds one colored tree per color.
+//
+// Colors are dense small integers; a node's color membership is a 64-bit
+// mask (ColorSet), so a palette holds at most 64 colors — far above the
+// paper's experiments (TPC-W uses 5, SIGMOD-Record 2, plus result colors).
+
+#ifndef COLORFUL_XML_MCT_COLOR_H_
+#define COLORFUL_XML_MCT_COLOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mct {
+
+using ColorId = uint8_t;
+inline constexpr ColorId kInvalidColorId = 0xFF;
+inline constexpr int kMaxColors = 64;
+
+/// A set of colors as a bitmask.
+class ColorSet {
+ public:
+  ColorSet() = default;
+  explicit ColorSet(uint64_t mask) : mask_(mask) {}
+  static ColorSet Of(ColorId c) { return ColorSet(1ULL << c); }
+
+  bool Has(ColorId c) const { return (mask_ >> c) & 1; }
+  void Add(ColorId c) { mask_ |= (1ULL << c); }
+  void Remove(ColorId c) { mask_ &= ~(1ULL << c); }
+  bool empty() const { return mask_ == 0; }
+  int count() const { return __builtin_popcountll(mask_); }
+  uint64_t mask() const { return mask_; }
+
+  ColorSet Union(ColorSet o) const { return ColorSet(mask_ | o.mask_); }
+  ColorSet Intersect(ColorSet o) const { return ColorSet(mask_ & o.mask_); }
+
+  bool operator==(const ColorSet&) const = default;
+
+  /// Iterates set colors in increasing id order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    uint64_t m = mask_;
+    while (m != 0) {
+      ColorId c = static_cast<ColorId>(__builtin_ctzll(m));
+      fn(c);
+      m &= m - 1;
+    }
+  }
+
+  std::vector<ColorId> ToVector() const {
+    std::vector<ColorId> out;
+    ForEach([&](ColorId c) { out.push_back(c); });
+    return out;
+  }
+
+ private:
+  uint64_t mask_ = 0;
+};
+
+/// Maps color names ("red", "green", ...) to dense ids, per database.
+class ColorRegistry {
+ public:
+  /// Registers (or finds) a color by name.
+  Result<ColorId> Register(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    if (names_.size() >= kMaxColors) {
+      return Status::OutOfRange("color palette limited to 64 colors");
+    }
+    ColorId id = static_cast<ColorId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Id of a registered color, or kInvalidColorId.
+  ColorId Lookup(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? kInvalidColorId : it->second;
+  }
+
+  const std::string& Name(ColorId id) const { return names_[id]; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, ColorId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_MCT_COLOR_H_

@@ -1,0 +1,328 @@
+#include "mct/colored_tree.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace mct {
+
+namespace {
+
+// On-disk structural record (one per node per color).
+struct DiskStructRecord {
+  NodeId node;
+  NodeId parent;
+  NodeId first_child;
+  NodeId last_child;
+  NodeId next_sibling;
+  NodeId prev_sibling;
+  uint64_t start;
+  uint64_t end;
+  uint32_t level;
+  uint32_t pad = 0;
+};
+static_assert(sizeof(DiskStructRecord) == 48);
+
+}  // namespace
+
+ColoredTree::ColoredTree(ColorId color, StorageEnv* env)
+    : color_(color), struct_file_(env->pool(), sizeof(DiskStructRecord)) {}
+
+Status ColoredTree::SetRoot(NodeId node) {
+  if (root_ != kInvalidNodeId) {
+    return Status::AlreadyExists("colored tree already has a root");
+  }
+  root_ = node;
+  StructNode sn;
+  sn.level = 0;
+  nodes_.emplace(node, sn);
+  MCT_RETURN_IF_ERROR(AppendStructRecord(node));
+  labels_dirty_ = true;
+  return Status::OK();
+}
+
+Status ColoredTree::AppendChild(NodeId parent, NodeId child) {
+  return InsertChild(parent, child, kInvalidNodeId);
+}
+
+Status ColoredTree::InsertChild(NodeId parent, NodeId child, NodeId before) {
+  if (!nodes_.contains(parent)) {
+    return Status::NotFound(
+        StrFormat("parent node %u is not in colored tree %u", parent, color_));
+  }
+  if (nodes_.contains(child)) {
+    // A node can appear at most once in any colored tree; MCXQuery turns
+    // this into its dynamic error (Section 4.2).
+    return Status::AlreadyExists(
+        StrFormat("node %u already occurs in colored tree %u", child, color_));
+  }
+  if (before != kInvalidNodeId) {
+    auto it = nodes_.find(before);
+    if (it == nodes_.end() || it->second.parent != parent) {
+      return Status::InvalidArgument("'before' is not a child of 'parent'");
+    }
+  }
+  StructNode sn;
+  sn.parent = parent;
+  sn.level = nodes_[parent].level + 1;
+  nodes_.emplace(child, sn);
+  MCT_RETURN_IF_ERROR(LinkChild(parent, child, before));
+  MCT_RETURN_IF_ERROR(AppendStructRecord(child));
+  if (!labels_dirty_) TryGapLabel(child);
+  return Status::OK();
+}
+
+Status ColoredTree::LinkChild(NodeId parent, NodeId child, NodeId before) {
+  StructNode& p = nodes_[parent];
+  StructNode& c = nodes_[child];
+  if (before == kInvalidNodeId) {
+    c.prev_sibling = p.last_child;
+    if (p.last_child != kInvalidNodeId) {
+      nodes_[p.last_child].next_sibling = child;
+      MCT_RETURN_IF_ERROR(WriteStructRecord(p.last_child));
+    } else {
+      p.first_child = child;
+    }
+    p.last_child = child;
+  } else {
+    StructNode& b = nodes_[before];
+    c.next_sibling = before;
+    c.prev_sibling = b.prev_sibling;
+    if (b.prev_sibling != kInvalidNodeId) {
+      nodes_[b.prev_sibling].next_sibling = child;
+      MCT_RETURN_IF_ERROR(WriteStructRecord(b.prev_sibling));
+    } else {
+      p.first_child = child;
+    }
+    b.prev_sibling = child;
+    MCT_RETURN_IF_ERROR(WriteStructRecord(before));
+  }
+  return WriteStructRecord(parent);
+}
+
+void ColoredTree::TryGapLabel(NodeId node) {
+  StructNode& c = nodes_[node];
+  const StructNode& p = nodes_[c.parent];
+  uint64_t lo = (c.prev_sibling != kInvalidNodeId) ? nodes_[c.prev_sibling].end
+                                                   : p.start;
+  uint64_t hi = (c.next_sibling != kInvalidNodeId)
+                    ? nodes_[c.next_sibling].start
+                    : p.end;
+  if (hi <= lo || hi - lo < 3) {
+    labels_dirty_ = true;
+    return;
+  }
+  uint64_t third = (hi - lo) / 3;
+  c.start = lo + third;
+  c.end = lo + 2 * third;
+  Status s = WriteStructRecord(node);
+  (void)s;
+}
+
+Status ColoredTree::DetachSubtree(NodeId node, std::vector<NodeId>* removed) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    return Status::NotFound(
+        StrFormat("node %u is not in colored tree %u", node, color_));
+  }
+  if (node == root_) {
+    return Status::InvalidArgument("cannot detach the document root");
+  }
+  // Unlink from parent / siblings.
+  StructNode& c = it->second;
+  StructNode& p = nodes_[c.parent];
+  if (c.prev_sibling != kInvalidNodeId) {
+    nodes_[c.prev_sibling].next_sibling = c.next_sibling;
+    MCT_RETURN_IF_ERROR(WriteStructRecord(c.prev_sibling));
+  } else {
+    p.first_child = c.next_sibling;
+  }
+  if (c.next_sibling != kInvalidNodeId) {
+    nodes_[c.next_sibling].prev_sibling = c.prev_sibling;
+    MCT_RETURN_IF_ERROR(WriteStructRecord(c.next_sibling));
+  } else {
+    p.last_child = c.prev_sibling;
+  }
+  MCT_RETURN_IF_ERROR(WriteStructRecord(c.parent));
+  // Remove the whole subtree from the member map.
+  std::vector<NodeId> stack{node};
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    removed->push_back(n);
+    const StructNode& sn = nodes_[n];
+    // Tombstone the backing record.
+    DiskStructRecord dead{};
+    dead.node = kInvalidNodeId;
+    MCT_RETURN_IF_ERROR(struct_file_.Write(sn.file_index, &dead));
+    for (NodeId ch = sn.first_child; ch != kInvalidNodeId;
+         ch = nodes_[ch].next_sibling) {
+      stack.push_back(ch);
+    }
+  }
+  for (NodeId n : *removed) nodes_.erase(n);
+  // Remaining labels stay mutually consistent after a detach (pre-order
+  // event numbers of survivors keep their relative order), so no relabel.
+  return Status::OK();
+}
+
+NodeId ColoredTree::Parent(NodeId node) const {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? kInvalidNodeId : it->second.parent;
+}
+
+NodeId ColoredTree::FirstChild(NodeId node) const {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? kInvalidNodeId : it->second.first_child;
+}
+
+NodeId ColoredTree::NextSibling(NodeId node) const {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? kInvalidNodeId : it->second.next_sibling;
+}
+
+NodeId ColoredTree::PrevSibling(NodeId node) const {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? kInvalidNodeId : it->second.prev_sibling;
+}
+
+std::vector<NodeId> ColoredTree::Children(NodeId node) const {
+  std::vector<NodeId> out;
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return out;
+  for (NodeId c = it->second.first_child; c != kInvalidNodeId;
+       c = nodes_.at(c).next_sibling) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<NodeId> ColoredTree::PreOrder() const { return PreOrder(root_); }
+
+std::vector<NodeId> ColoredTree::PreOrder(NodeId node) const {
+  std::vector<NodeId> out;
+  if (!nodes_.contains(node)) return out;
+  out.reserve(nodes_.size());
+  // Iterative pre-order using first_child / next_sibling.
+  NodeId cur = node;
+  while (cur != kInvalidNodeId) {
+    out.push_back(cur);
+    const StructNode& sn = nodes_.at(cur);
+    if (sn.first_child != kInvalidNodeId) {
+      cur = sn.first_child;
+      continue;
+    }
+    // Climb until a next sibling exists, stopping at the subtree root.
+    NodeId climb = cur;
+    cur = kInvalidNodeId;
+    while (climb != node) {
+      const StructNode& csn = nodes_.at(climb);
+      if (csn.next_sibling != kInvalidNodeId) {
+        cur = csn.next_sibling;
+        break;
+      }
+      climb = csn.parent;
+    }
+  }
+  return out;
+}
+
+uint64_t ColoredTree::Start(NodeId node) {
+  EnsureLabels();
+  return nodes_.at(node).start;
+}
+
+uint64_t ColoredTree::End(NodeId node) {
+  EnsureLabels();
+  return nodes_.at(node).end;
+}
+
+uint32_t ColoredTree::Level(NodeId node) {
+  EnsureLabels();
+  return nodes_.at(node).level;
+}
+
+bool ColoredTree::IsAncestor(NodeId anc, NodeId desc) {
+  EnsureLabels();
+  auto a = nodes_.find(anc);
+  auto d = nodes_.find(desc);
+  if (a == nodes_.end() || d == nodes_.end()) return false;
+  return a->second.start < d->second.start && d->second.end < a->second.end;
+}
+
+void ColoredTree::EnsureLabels() {
+  if (labels_dirty_) Relabel();
+}
+
+void ColoredTree::Relabel() {
+  if (root_ == kInvalidNodeId) {
+    labels_dirty_ = false;
+    return;
+  }
+  uint64_t event = 0;
+  // Iterative DFS with explicit enter/leave events.
+  struct Frame {
+    NodeId node;
+    bool entered;
+  };
+  std::vector<Frame> stack{{root_, false}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    StructNode& sn = nodes_[f.node];
+    if (!f.entered) {
+      f.entered = true;
+      sn.start = (++event) * kLabelGap;
+      sn.level = (sn.parent == kInvalidNodeId)
+                     ? 0
+                     : nodes_[sn.parent].level + 1;
+      // Push children in reverse so the leftmost is processed first.
+      std::vector<NodeId> kids;
+      for (NodeId c = sn.first_child; c != kInvalidNodeId;
+           c = nodes_[c].next_sibling) {
+        kids.push_back(c);
+      }
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+        stack.push_back({*it, false});
+      }
+    } else {
+      sn.end = (++event) * kLabelGap;
+      Status s = WriteStructRecord(f.node);
+      (void)s;
+      stack.pop_back();
+    }
+  }
+  labels_dirty_ = false;
+}
+
+Status ColoredTree::WriteStructRecord(NodeId node) {
+  const StructNode& sn = nodes_.at(node);
+  DiskStructRecord rec{node,
+                       sn.parent,
+                       sn.first_child,
+                       sn.last_child,
+                       sn.next_sibling,
+                       sn.prev_sibling,
+                       sn.start,
+                       sn.end,
+                       sn.level,
+                       0};
+  return struct_file_.Write(sn.file_index, &rec);
+}
+
+Status ColoredTree::AppendStructRecord(NodeId node) {
+  StructNode& sn = nodes_[node];
+  DiskStructRecord rec{node,
+                       sn.parent,
+                       sn.first_child,
+                       sn.last_child,
+                       sn.next_sibling,
+                       sn.prev_sibling,
+                       sn.start,
+                       sn.end,
+                       sn.level,
+                       0};
+  MCT_ASSIGN_OR_RETURN(sn.file_index, struct_file_.Append(&rec));
+  return Status::OK();
+}
+
+}  // namespace mct

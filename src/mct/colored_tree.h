@@ -1,0 +1,135 @@
+// ColoredTree: the structural side of one color c — the ordered rooted tree
+// T_c of Definition 3.1. A node's content lives once in NodeStore; here each
+// member node has a *structural record* (parent, ordered children, interval
+// label), exactly the Timber-style decomposition of Section 6.2: "we create
+// one structural relationships node for each color hierarchy that the
+// element participates in".
+//
+// Interval labels: every member carries (start, end, level) with
+// start/end drawn from a pre-order event numbering scaled by 2^16. Gaps let
+// small structural updates label new nodes in O(1); when a gap is exhausted
+// the tree is marked dirty and fully relabeled on the next label access.
+// Labels give O(1) ancestor/descendant tests and the per-color *local
+// document order* (Section 3.1), which is what the structural join
+// operators sort-merge on.
+
+#ifndef COLORFUL_XML_MCT_COLORED_TREE_H_
+#define COLORFUL_XML_MCT_COLORED_TREE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "mct/color.h"
+#include "mct/node_store.h"
+#include "storage/record_file.h"
+
+namespace mct {
+
+class ColoredTree {
+ public:
+  ColoredTree(ColorId color, StorageEnv* env);
+
+  ColoredTree(const ColoredTree&) = delete;
+  ColoredTree& operator=(const ColoredTree&) = delete;
+
+  ColorId color() const { return color_; }
+
+  /// Installs `node` as the root (the shared document node). Must be the
+  /// first node added.
+  Status SetRoot(NodeId node);
+  NodeId root() const { return root_; }
+
+  /// True when `node` participates in this colored tree.
+  bool Contains(NodeId node) const { return nodes_.contains(node); }
+
+  /// Appends `child` as the last child of `parent`.
+  /// AlreadyExists when `child` is already in this tree — the hook for
+  /// MCXQuery's duplicate-node dynamic error (Section 4.2).
+  Status AppendChild(NodeId parent, NodeId child);
+
+  /// Inserts `child` under `parent` immediately before `before`;
+  /// `before` == kInvalidNodeId appends.
+  Status InsertChild(NodeId parent, NodeId child, NodeId before);
+
+  /// Detaches the subtree rooted at `node` from this color. Appends every
+  /// detached node (pre-order) to `removed`. The nodes themselves survive in
+  /// the store and in their other colors.
+  Status DetachSubtree(NodeId node, std::vector<NodeId>* removed);
+
+  // -- Navigation (color-aware dm:parent / dm:children of Section 3.2 are
+  //    routed here by MctDatabase). All return kInvalidNodeId when absent.
+  NodeId Parent(NodeId node) const;
+  NodeId FirstChild(NodeId node) const;
+  NodeId NextSibling(NodeId node) const;
+  NodeId PrevSibling(NodeId node) const;
+  std::vector<NodeId> Children(NodeId node) const;
+
+  /// Visits children in order without materializing a vector (hot path for
+  /// per-row predicate evaluation).
+  template <typename Fn>
+  void ForEachChild(NodeId node, Fn&& fn) const {
+    auto it = nodes_.find(node);
+    if (it == nodes_.end()) return;
+    for (NodeId c = it->second.first_child; c != kInvalidNodeId;
+         c = nodes_.at(c).next_sibling) {
+      fn(c);
+    }
+  }
+
+  /// Pre-order (local document order) of the whole tree.
+  std::vector<NodeId> PreOrder() const;
+  /// Pre-order of the subtree rooted at `node` (inclusive).
+  std::vector<NodeId> PreOrder(NodeId node) const;
+
+  // -- Interval labels. Calling any of these relabels first if dirty.
+  uint64_t Start(NodeId node);
+  uint64_t End(NodeId node);
+  uint32_t Level(NodeId node);
+  /// True when `anc` is a proper ancestor of `desc` in this color.
+  bool IsAncestor(NodeId anc, NodeId desc);
+
+  /// Relabels now if dirty (updates fold this into their measured cost).
+  void EnsureLabels();
+  bool labels_dirty() const { return labels_dirty_; }
+
+  size_t size() const { return nodes_.size(); }
+
+  /// Bytes of the backing structural record file.
+  uint64_t FileBytes() const { return struct_file_.SizeBytes(); }
+
+ private:
+  struct StructNode {
+    NodeId parent = kInvalidNodeId;
+    NodeId first_child = kInvalidNodeId;
+    NodeId last_child = kInvalidNodeId;
+    NodeId next_sibling = kInvalidNodeId;
+    NodeId prev_sibling = kInvalidNodeId;
+    uint64_t start = 0;
+    uint64_t end = 0;
+    uint32_t level = 0;
+    uint64_t file_index = 0;
+  };
+
+  // Gap between consecutive pre-order events after a full relabel.
+  static constexpr uint64_t kLabelGap = 1ULL << 16;
+
+  Status LinkChild(NodeId parent, NodeId child, NodeId before);
+  /// Tries to label a freshly inserted leaf within its neighbors' gap;
+  /// marks the tree dirty when the gap is exhausted.
+  void TryGapLabel(NodeId node);
+  void Relabel();
+  Status WriteStructRecord(NodeId node);
+  Status AppendStructRecord(NodeId node);
+
+  ColorId color_;
+  NodeId root_ = kInvalidNodeId;
+  std::unordered_map<NodeId, StructNode> nodes_;
+  RecordFile struct_file_;
+  bool labels_dirty_ = true;
+};
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_MCT_COLORED_TREE_H_

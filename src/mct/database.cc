@@ -1,0 +1,247 @@
+#include "mct/database.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace mct {
+
+MctDatabase::MctDatabase() : MctDatabase(StorageEnv::CreateInMemory()) {}
+
+MctDatabase::MctDatabase(std::unique_ptr<StorageEnv> env)
+    : env_(std::move(env)),
+      store_(env_.get()),
+      tag_index_(env_->pool()),
+      content_index_(env_->pool()),
+      attr_index_(env_->pool()) {
+  auto doc = store_.CreateNode(xml::NodeKind::kDocument, "#document");
+  assert(doc.ok());
+  document_ = *doc;
+}
+
+MctDatabase::~MctDatabase() = default;
+
+uint32_t MctDatabase::HashValue(std::string_view s) {
+  // FNV-1a, folded to 32 bits.
+  uint32_t h = 2166136261u;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+Result<ColorId> MctDatabase::RegisterColor(std::string_view name) {
+  ColorId existing = colors_.Lookup(name);
+  if (existing != kInvalidColorId) return existing;
+  MCT_ASSIGN_OR_RETURN(ColorId id, colors_.Register(name));
+  assert(id == trees_.size());
+  trees_.push_back(std::make_unique<ColoredTree>(id, env_.get()));
+  MCT_RETURN_IF_ERROR(trees_[id]->SetRoot(document_));
+  store_.AddColor(document_, id);
+  return id;
+}
+
+Result<NodeId> MctDatabase::CreateElement(ColorId color, NodeId parent,
+                                          std::string_view tag) {
+  MCT_ASSIGN_OR_RETURN(NodeId node,
+                       store_.CreateNode(xml::NodeKind::kElement, tag));
+  MCT_RETURN_IF_ERROR(AddNodeColor(node, color, parent));
+  return node;
+}
+
+Result<NodeId> MctDatabase::CreateFreeElement(std::string_view tag) {
+  return store_.CreateNode(xml::NodeKind::kElement, tag);
+}
+
+Status MctDatabase::AddNodeColor(NodeId node, ColorId color, NodeId parent,
+                                 NodeId before) {
+  if (color >= trees_.size()) {
+    return Status::InvalidArgument("unregistered color");
+  }
+  MCT_RETURN_IF_ERROR(trees_[color]->InsertChild(parent, node, before));
+  store_.AddColor(node, color);
+  if (store_.Kind(node) == xml::NodeKind::kElement) {
+    MCT_RETURN_IF_ERROR(tag_index_.Insert(
+        IndexKey::Make(color, store_.Name(node), 0, node), node));
+  }
+  return Status::OK();
+}
+
+Status MctDatabase::RemoveNodeColor(NodeId node, ColorId color) {
+  if (color >= trees_.size()) {
+    return Status::InvalidArgument("unregistered color");
+  }
+  std::vector<NodeId> removed;
+  MCT_RETURN_IF_ERROR(trees_[color]->DetachSubtree(node, &removed));
+  for (NodeId n : removed) {
+    store_.RemoveColor(n, color);
+    if (store_.Kind(n) == xml::NodeKind::kElement) {
+      MCT_RETURN_IF_ERROR(
+          tag_index_.Delete(IndexKey::Make(color, store_.Name(n), 0, n), n));
+    }
+    if (store_.Colors(n).empty()) {
+      // Last color gone: the node leaves the database entirely.
+      if (store_.HasContent(n)) {
+        Status s = content_index_.Delete(
+            IndexKey::Make(store_.Name(n), HashValue(store_.Content(n)), 0, n),
+            n);
+        (void)s;  // absent for non-element content carriers
+      }
+      for (const NodeAttr& a : store_.Attrs(n)) {
+        Status s = attr_index_.Delete(
+            IndexKey::Make(a.name, HashValue(a.value), 0, n), n);
+        (void)s;
+      }
+      store_.MarkDead(n);
+    }
+  }
+  return Status::OK();
+}
+
+Status MctDatabase::SetContent(NodeId node, std::string_view text) {
+  if (store_.HasContent(node)) {
+    MCT_RETURN_IF_ERROR(content_index_.Delete(
+        IndexKey::Make(store_.Name(node), HashValue(store_.Content(node)), 0,
+                       node),
+        node));
+  }
+  MCT_RETURN_IF_ERROR(store_.SetContent(node, text));
+  return content_index_.Insert(
+      IndexKey::Make(store_.Name(node), HashValue(text), 0, node), node);
+}
+
+Status MctDatabase::SetAttr(NodeId node, std::string_view name,
+                            std::string_view value) {
+  const std::string* old = store_.FindAttr(node, name);
+  NameId name_id = store_.mutable_names()->Intern(name);
+  if (old != nullptr) {
+    MCT_RETURN_IF_ERROR(attr_index_.Delete(
+        IndexKey::Make(name_id, HashValue(*old), 0, node), node));
+  }
+  MCT_RETURN_IF_ERROR(store_.SetAttr(node, name, value));
+  return attr_index_.Insert(
+      IndexKey::Make(name_id, HashValue(value), 0, node), node);
+}
+
+std::optional<NodeId> MctDatabase::Parent(NodeId node, ColorId color) const {
+  // Color compatibility (Section 3.2): accessor on a node lacking the color
+  // returns the empty sequence.
+  if (color >= trees_.size() || !store_.Colors(node).Has(color)) {
+    return std::nullopt;
+  }
+  NodeId p = trees_[color]->Parent(node);
+  if (p == kInvalidNodeId) return std::nullopt;
+  return p;
+}
+
+std::vector<NodeId> MctDatabase::Children(NodeId node, ColorId color) const {
+  if (color >= trees_.size() || !store_.Colors(node).Has(color)) return {};
+  return trees_[color]->Children(node);
+}
+
+std::optional<std::string> MctDatabase::StringValue(NodeId node,
+                                                    ColorId color) const {
+  if (color >= trees_.size() || !store_.Colors(node).Has(color)) {
+    return std::nullopt;
+  }
+  std::string out;
+  for (NodeId n : trees_[color]->PreOrder(node)) {
+    if (store_.HasContent(n)) out += store_.Content(n);
+  }
+  return out;
+}
+
+std::optional<double> MctDatabase::TypedValue(NodeId node,
+                                              ColorId color) const {
+  auto sv = StringValue(node, color);
+  if (!sv.has_value()) return std::nullopt;
+  return ParseDouble(*sv);
+}
+
+std::vector<NodeId> MctDatabase::TagScan(ColorId color, std::string_view tag) {
+  std::vector<NodeId> out;
+  NameId tag_id = store_.names().Lookup(tag);
+  if (tag_id == kInvalidNameId || color >= trees_.size()) return out;
+  auto it = tag_index_.Seek(IndexKey::Make(color, tag_id, 0, 0));
+  if (!it.ok()) return out;
+  while (it->Valid() && it->key().k[0] == color && it->key().k[1] == tag_id) {
+    out.push_back(static_cast<NodeId>(it->value()));
+    if (!it->Next().ok()) break;
+  }
+  // Index order is by node id (stable under relabeling); re-establish the
+  // local document order the structural operators need. Keys are extracted
+  // once before sorting (Start() is a hash lookup).
+  ColoredTree* t = trees_[color].get();
+  t->EnsureLabels();
+  std::vector<std::pair<uint64_t, NodeId>> keyed;
+  keyed.reserve(out.size());
+  for (NodeId n : out) keyed.emplace_back(t->Start(n), n);
+  std::sort(keyed.begin(), keyed.end());
+  for (size_t i = 0; i < keyed.size(); ++i) out[i] = keyed[i].second;
+  return out;
+}
+
+std::vector<NodeId> MctDatabase::ContentLookup(std::string_view tag,
+                                               std::string_view value) const {
+  std::vector<NodeId> out;
+  NameId tag_id = store_.names().Lookup(tag);
+  if (tag_id == kInvalidNameId) return out;
+  uint32_t h = HashValue(value);
+  auto it = content_index_.Seek(IndexKey::Make(tag_id, h, 0, 0));
+  if (!it.ok()) return out;
+  while (it->Valid() && it->key().k[0] == tag_id && it->key().k[1] == h) {
+    NodeId n = static_cast<NodeId>(it->value());
+    if (store_.Content(n) == value) out.push_back(n);  // hash verify
+    if (!it->Next().ok()) break;
+  }
+  return out;
+}
+
+std::vector<NodeId> MctDatabase::AttrLookup(std::string_view name,
+                                            std::string_view value) const {
+  std::vector<NodeId> out;
+  NameId name_id = store_.names().Lookup(name);
+  if (name_id == kInvalidNameId) return out;
+  uint32_t h = HashValue(value);
+  auto it = attr_index_.Seek(IndexKey::Make(name_id, h, 0, 0));
+  if (!it.ok()) return out;
+  while (it->Valid() && it->key().k[0] == name_id && it->key().k[1] == h) {
+    NodeId n = static_cast<NodeId>(it->value());
+    const std::string* v = store_.FindAttr(n, name);
+    if (v != nullptr && *v == value) out.push_back(n);
+    if (!it->Next().ok()) break;
+  }
+  return out;
+}
+
+size_t MctDatabase::TagCount(ColorId color, std::string_view tag) const {
+  NameId tag_id = store_.names().Lookup(tag);
+  if (tag_id == kInvalidNameId || color >= trees_.size()) return 0;
+  auto it = tag_index_.Seek(IndexKey::Make(color, tag_id, 0, 0));
+  if (!it.ok()) return 0;
+  size_t n = 0;
+  while (it->Valid() && it->key().k[0] == color && it->key().k[1] == tag_id) {
+    ++n;
+    if (!it->Next().ok()) break;
+  }
+  return n;
+}
+
+DatabaseStats MctDatabase::Stats() const {
+  DatabaseStats s;
+  s.num_elements = store_.num_elements();
+  s.num_attrs = store_.num_attrs();
+  s.num_content_nodes = store_.num_content_nodes();
+  s.data_bytes = store_.FileBytes();
+  for (const auto& t : trees_) {
+    s.num_struct_nodes += t->size();
+    s.data_bytes += t->FileBytes();
+  }
+  s.index_bytes = tag_index_.SizeBytes() + content_index_.SizeBytes() +
+                  attr_index_.SizeBytes();
+  return s;
+}
+
+}  // namespace mct

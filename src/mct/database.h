@@ -1,0 +1,180 @@
+// MctDatabase: the public entry point of the library — a multi-colored tree
+// database (Definition 3.2): a shared node set, a palette of colors, and one
+// colored tree per color, all rooted at a single document node that carries
+// every color.
+//
+// The class exposes:
+//  * the paper's color-aware accessors (Section 3.2): Parent(n,c),
+//    Children(n,c), StringValue(n,c), TypedValue(n,c), Colors(n);
+//  * both constructor families (Section 3.3): first-color constructors
+//    (CreateElement / CreateFreeElement, a fresh identity) and next-color
+//    constructors (AddNodeColor, same identity gaining a color and tree
+//    relationships in it);
+//  * index-backed scans used by the physical query operators; and
+//  * the storage statistics behind Table 1.
+//
+// A conventional XML database is the single-color special case, which is
+// how the shallow and deep baselines of Section 7 are represented.
+
+#ifndef COLORFUL_XML_MCT_DATABASE_H_
+#define COLORFUL_XML_MCT_DATABASE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "index/bptree.h"
+#include "mct/color.h"
+#include "mct/colored_tree.h"
+#include "mct/node_store.h"
+#include "storage/storage_env.h"
+
+namespace mct {
+
+/// Storage statistics in the shape of the paper's Table 1.
+struct DatabaseStats {
+  uint64_t num_elements = 0;
+  uint64_t num_attrs = 0;
+  uint64_t num_content_nodes = 0;
+  /// Structural-node records summed over every colored tree (an element
+  /// with k colors contributes k).
+  uint64_t num_struct_nodes = 0;
+  uint64_t data_bytes = 0;
+  uint64_t index_bytes = 0;
+
+  double DataMBytes() const { return static_cast<double>(data_bytes) / (1u << 20); }
+  double IndexMBytes() const { return static_cast<double>(index_bytes) / (1u << 20); }
+};
+
+class MctDatabase {
+ public:
+  /// Creates an empty database over an in-memory storage environment.
+  MctDatabase();
+  /// Creates an empty database over a caller-provided environment.
+  explicit MctDatabase(std::unique_ptr<StorageEnv> env);
+  ~MctDatabase();
+
+  MctDatabase(const MctDatabase&) = delete;
+  MctDatabase& operator=(const MctDatabase&) = delete;
+
+  // ---- Palette ----
+
+  /// Registers a color; its colored tree is created rooted at the shared
+  /// document node (which thereby gains the color).
+  Result<ColorId> RegisterColor(std::string_view name);
+  /// Id of a registered color or kInvalidColorId.
+  ColorId LookupColor(std::string_view name) const {
+    return colors_.Lookup(name);
+  }
+  const std::string& ColorName(ColorId c) const { return colors_.Name(c); }
+  size_t num_colors() const { return colors_.size(); }
+
+  /// The shared document node, root of every colored tree.
+  NodeId document() const { return document_; }
+
+  // ---- Constructors (Section 3.3) ----
+
+  /// First-color constructor: a new element with a fresh identity, colored
+  /// `color` and appended under `parent` (which must be in that tree).
+  Result<NodeId> CreateElement(ColorId color, NodeId parent,
+                               std::string_view tag);
+
+  /// A new element with no color yet — MCXQuery constructor expressions
+  /// build fragments from these before createColor attaches them.
+  Result<NodeId> CreateFreeElement(std::string_view tag);
+
+  /// Next-color constructor: `node` (same identity) gains `color` and is
+  /// inserted under `parent` in that tree, before `before` (or appended).
+  /// AlreadyExists when `node` is already in the tree — MCXQuery's
+  /// duplicate-node dynamic error.
+  Status AddNodeColor(NodeId node, ColorId color, NodeId parent,
+                      NodeId before = kInvalidNodeId);
+
+  /// Detaches the subtree at `node` from `color`; every detached node loses
+  /// the color, and nodes left with no colors are dropped from the store.
+  Status RemoveNodeColor(NodeId node, ColorId color);
+
+  // ---- Node payload ----
+
+  Status SetContent(NodeId node, std::string_view text);
+  const std::string& Content(NodeId node) const { return store_.Content(node); }
+  Status SetAttr(NodeId node, std::string_view name, std::string_view value);
+  const std::string* FindAttr(NodeId node, std::string_view name) const {
+    return store_.FindAttr(node, name);
+  }
+  const std::vector<NodeAttr>& Attrs(NodeId node) const {
+    return store_.Attrs(node);
+  }
+  xml::NodeKind Kind(NodeId node) const { return store_.Kind(node); }
+  const std::string& Tag(NodeId node) const { return store_.NameString(node); }
+  NameId TagId(NodeId node) const { return store_.Name(node); }
+
+  // ---- Accessors (Section 3.2) ----
+
+  /// dm:colors — the colors of a node.
+  ColorSet Colors(NodeId node) const { return store_.Colors(node); }
+
+  /// dm:parent with color; nullopt when node and color are not
+  /// color-compatible ("empty sequence" in the paper), kInvalidNodeId never
+  /// escapes.
+  std::optional<NodeId> Parent(NodeId node, ColorId color) const;
+
+  /// dm:children with color; empty when not color-compatible.
+  std::vector<NodeId> Children(NodeId node, ColorId color) const;
+
+  /// dm:string-value with color: own content plus descendant content in the
+  /// local order of `color`; nullopt when not color-compatible.
+  std::optional<std::string> StringValue(NodeId node, ColorId color) const;
+
+  /// dm:typed-value with color: string value parsed as xs:double.
+  std::optional<double> TypedValue(NodeId node, ColorId color) const;
+
+  // ---- Query support ----
+
+  ColoredTree* tree(ColorId c) { return trees_[c].get(); }
+  const ColoredTree* tree(ColorId c) const { return trees_[c].get(); }
+
+  /// All elements with `tag` in `color`, sorted by local document order.
+  std::vector<NodeId> TagScan(ColorId color, std::string_view tag);
+
+  /// Elements with `tag` whose own content equals `value`
+  /// (content-index probe; color-agnostic).
+  std::vector<NodeId> ContentLookup(std::string_view tag,
+                                    std::string_view value) const;
+
+  /// Elements having attribute `name` = `value` (attribute-index probe).
+  std::vector<NodeId> AttrLookup(std::string_view name,
+                                 std::string_view value) const;
+
+  /// Number of elements of `tag` in `color` (for planner selectivity).
+  size_t TagCount(ColorId color, std::string_view tag) const;
+
+  NodeStore* mutable_store() { return &store_; }
+  const NodeStore& store() const { return store_; }
+
+  /// Table 1 statistics.
+  DatabaseStats Stats() const;
+
+ private:
+  static uint32_t HashValue(std::string_view s);
+
+  std::unique_ptr<StorageEnv> env_;
+  NodeStore store_;
+  ColorRegistry colors_;
+  std::vector<std::unique_ptr<ColoredTree>> trees_;
+  NodeId document_ = kInvalidNodeId;
+  // (color, tag, node) -> node; unique by final component per the bptree
+  // contract.
+  BPlusTree tag_index_;
+  // (tag, hash(content), node) -> node.
+  BPlusTree content_index_;
+  // (attr name, hash(value), node) -> node.
+  BPlusTree attr_index_;
+};
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_MCT_DATABASE_H_

@@ -1,0 +1,119 @@
+#include "mct/node_store.h"
+
+#include <cstring>
+
+namespace mct {
+
+namespace {
+
+// Fixed-size attribute record in the backing file: name id plus the slot of
+// the value string.
+struct DiskAttrRecord {
+  NameId name;
+  SlotId value_slot;
+};
+
+}  // namespace
+
+NodeStore::NodeStore(StorageEnv* env)
+    : node_file_(env->pool(), sizeof(DiskNodeRecord)),
+      content_file_(env->pool()),
+      attr_file_(env->pool(), sizeof(DiskAttrRecord)),
+      attr_value_file_(env->pool()) {}
+
+Result<NodeId> NodeStore::CreateNode(xml::NodeKind kind,
+                                     std::string_view name) {
+  if (nodes_.size() >= kInvalidNodeId) {
+    return Status::OutOfRange("node store full");
+  }
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node node;
+  node.kind = kind;
+  node.name = names_.Intern(name);
+  nodes_.push_back(std::move(node));
+  if (kind == xml::NodeKind::kElement) ++num_elements_;
+  // Backing file record (write-through).
+  DiskNodeRecord rec{};
+  rec.kind = static_cast<uint8_t>(kind);
+  rec.has_content = 0;
+  rec.name = nodes_[id].name;
+  rec.colors = 0;
+  rec.content_slot = kInvalidSlotId;
+  MCT_ASSIGN_OR_RETURN(uint64_t idx, node_file_.Append(&rec));
+  (void)idx;  // node ids are dense, so idx == id by construction
+  return id;
+}
+
+Status NodeStore::WriteNodeRecord(NodeId n) {
+  const Node& node = nodes_[n];
+  DiskNodeRecord rec{};
+  rec.kind = static_cast<uint8_t>(node.kind);
+  rec.has_content = node.has_content ? 1 : 0;
+  rec.name = node.name;
+  rec.colors = node.colors.mask();
+  rec.content_slot = node.content_slot;
+  return node_file_.Write(n, &rec);
+}
+
+void NodeStore::AddColor(NodeId n, ColorId c) {
+  nodes_[n].colors.Add(c);
+  // Color membership is a property of the node record (Section 6.2: links
+  // from the shared content back to each per-color structural node).
+  Status s = WriteNodeRecord(n);
+  (void)s;
+}
+
+void NodeStore::RemoveColor(NodeId n, ColorId c) {
+  nodes_[n].colors.Remove(c);
+  Status s = WriteNodeRecord(n);
+  (void)s;
+}
+
+Status NodeStore::SetContent(NodeId n, std::string_view text) {
+  Node& node = nodes_[n];
+  if (!node.has_content) {
+    ++num_content_;
+    node.has_content = true;
+    MCT_ASSIGN_OR_RETURN(node.content_slot, content_file_.Append(text));
+  } else {
+    MCT_ASSIGN_OR_RETURN(node.content_slot,
+                         content_file_.Update(node.content_slot, text));
+  }
+  node.content = std::string(text);
+  return WriteNodeRecord(n);
+}
+
+const std::string* NodeStore::FindAttr(NodeId n, std::string_view name) const {
+  NameId id = names_.Lookup(name);
+  if (id == kInvalidNameId) return nullptr;
+  for (const NodeAttr& a : nodes_[n].attrs) {
+    if (a.name == id) return &a.value;
+  }
+  return nullptr;
+}
+
+Status NodeStore::SetAttr(NodeId n, std::string_view name,
+                          std::string_view value) {
+  Node& node = nodes_[n];
+  NameId id = names_.Intern(name);
+  for (size_t i = 0; i < node.attrs.size(); ++i) {
+    if (node.attrs[i].name == id) {
+      node.attrs[i].value = std::string(value);
+      MCT_ASSIGN_OR_RETURN(
+          node.attr_value_slots[i],
+          attr_value_file_.Update(node.attr_value_slots[i], value));
+      DiskAttrRecord rec{id, node.attr_value_slots[i]};
+      return attr_file_.Write(node.attr_records[i], &rec);
+    }
+  }
+  ++num_attrs_;
+  node.attrs.push_back(NodeAttr{id, std::string(value)});
+  MCT_ASSIGN_OR_RETURN(SlotId vslot, attr_value_file_.Append(value));
+  node.attr_value_slots.push_back(vslot);
+  DiskAttrRecord rec{id, vslot};
+  MCT_ASSIGN_OR_RETURN(uint64_t ridx, attr_file_.Append(&rec));
+  node.attr_records.push_back(ridx);
+  return Status::OK();
+}
+
+}  // namespace mct

@@ -1,0 +1,132 @@
+// NodeStore: the shared node set N of an MCT database (Definition 3.2).
+//
+// Follows the Timber decomposition the paper implements on (Section 6.2):
+// an element's *content* and *attributes* are stored exactly once, no matter
+// how many colors the element has; per-color *structural* records live in
+// ColoredTree. The resident image (vectors/maps) is a write-through cache of
+// the backing record files, whose page counts provide the exact storage
+// accounting of Table 1.
+
+#ifndef COLORFUL_XML_MCT_NODE_STORE_H_
+#define COLORFUL_XML_MCT_NODE_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "mct/color.h"
+#include "storage/record_file.h"
+#include "storage/slotted_file.h"
+#include "storage/storage_env.h"
+#include "xml/dom.h"
+#include "xml/name_pool.h"
+
+namespace mct {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNodeId = 0xFFFFFFFFu;
+
+/// One attribute of an element (stored once per node, like content).
+struct NodeAttr {
+  NameId name;
+  std::string value;
+};
+
+class NodeStore {
+ public:
+  explicit NodeStore(StorageEnv* env);
+
+  NodeStore(const NodeStore&) = delete;
+  NodeStore& operator=(const NodeStore&) = delete;
+
+  /// Creates a node of `kind` named `name` (tag for elements, target for
+  /// PIs; ignored for document/text/comment nodes).
+  Result<NodeId> CreateNode(xml::NodeKind kind, std::string_view name);
+
+  size_t size() const { return nodes_.size(); }
+  bool Exists(NodeId n) const { return n < nodes_.size() && !nodes_[n].dead; }
+
+  xml::NodeKind Kind(NodeId n) const { return nodes_[n].kind; }
+  NameId Name(NodeId n) const { return nodes_[n].name; }
+  const std::string& NameString(NodeId n) const {
+    return names_.Name(nodes_[n].name);
+  }
+
+  /// dm:colors accessor (paper Section 3.2): the colors of a node.
+  ColorSet Colors(NodeId n) const { return nodes_[n].colors; }
+  void AddColor(NodeId n, ColorId c);
+  void RemoveColor(NodeId n, ColorId c);
+
+  /// The node's own text content ("" when none). An element's *string
+  /// value* additionally concatenates descendants and is color dependent;
+  /// that lives on MctDatabase.
+  const std::string& Content(NodeId n) const { return nodes_[n].content; }
+  bool HasContent(NodeId n) const { return nodes_[n].has_content; }
+  Status SetContent(NodeId n, std::string_view text);
+
+  /// Attribute access. Attribute "nodes" carry all the colors of their
+  /// owning element (Definition 3.2), so they are stored as unsharded
+  /// per-node payload.
+  const std::vector<NodeAttr>& Attrs(NodeId n) const { return nodes_[n].attrs; }
+  const std::string* FindAttr(NodeId n, std::string_view name) const;
+  Status SetAttr(NodeId n, std::string_view name, std::string_view value);
+
+  /// Marks a node dead (detached from every colored tree and dropped).
+  void MarkDead(NodeId n) { nodes_[n].dead = true; }
+
+  NamePool* mutable_names() { return &names_; }
+  const NamePool& names() const { return names_; }
+
+  /// Counts for Table 1.
+  uint64_t num_elements() const { return num_elements_; }
+  uint64_t num_attrs() const { return num_attrs_; }
+  uint64_t num_content_nodes() const { return num_content_; }
+
+  /// Bytes in the backing node / content / attribute files.
+  uint64_t FileBytes() const {
+    return node_file_.SizeBytes() + content_file_.SizeBytes() +
+           attr_file_.SizeBytes() + attr_value_file_.SizeBytes();
+  }
+
+ private:
+  // Backing-file image of the fixed-size part of a node.
+  struct DiskNodeRecord {
+    uint8_t kind;
+    uint8_t has_content;
+    NameId name;
+    uint64_t colors;
+    SlotId content_slot;
+  };
+
+  struct Node {
+    xml::NodeKind kind;
+    NameId name;
+    ColorSet colors;
+    bool has_content = false;
+    bool dead = false;
+    std::string content;
+    SlotId content_slot = kInvalidSlotId;
+    std::vector<NodeAttr> attrs;
+    std::vector<uint64_t> attr_records;  // indices into attr_file_
+    std::vector<SlotId> attr_value_slots;
+  };
+
+  Status WriteNodeRecord(NodeId n);
+
+  NamePool names_;
+  std::vector<Node> nodes_;
+  RecordFile node_file_;
+  SlottedFile content_file_;
+  RecordFile attr_file_;
+  SlottedFile attr_value_file_;
+  uint64_t num_elements_ = 0;
+  uint64_t num_attrs_ = 0;
+  uint64_t num_content_ = 0;
+};
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_MCT_NODE_STORE_H_

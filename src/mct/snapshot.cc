@@ -1,0 +1,184 @@
+#include "mct/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace mct {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'C', 'T', 'S', 'N', 'A', 'P', '1'};
+
+class Writer {
+ public:
+  explicit Writer(std::FILE* f) : f_(f) {}
+  void U8(uint8_t v) { Raw(&v, 1); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    if (ok_ && std::fwrite(p, 1, n, f_) != n) ok_ = false;
+  }
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::FILE* f) : f_(f) {}
+  Result<uint8_t> U8() {
+    uint8_t v;
+    MCT_RETURN_IF_ERROR(Raw(&v, 1));
+    return v;
+  }
+  Result<uint32_t> U32() {
+    uint32_t v;
+    MCT_RETURN_IF_ERROR(Raw(&v, 4));
+    return v;
+  }
+  Result<uint64_t> U64() {
+    uint64_t v;
+    MCT_RETURN_IF_ERROR(Raw(&v, 8));
+    return v;
+  }
+  Result<std::string> Str() {
+    MCT_ASSIGN_OR_RETURN(uint32_t len, U32());
+    if (len > (1u << 28)) return Status::Corruption("snapshot string too big");
+    std::string s(len, '\0');
+    MCT_RETURN_IF_ERROR(Raw(s.data(), len));
+    return s;
+  }
+
+ private:
+  Status Raw(void* p, size_t n) {
+    if (std::fread(p, 1, n, f_) != n) {
+      return Status::Corruption("truncated snapshot");
+    }
+    return Status::OK();
+  }
+  std::FILE* f_;
+};
+
+}  // namespace
+
+Status SaveSnapshot(MctDatabase& db, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  Writer w(f);
+  std::fwrite(kMagic, 1, 8, f);
+  w.U32(static_cast<uint32_t>(db.num_colors()));
+  for (ColorId c = 0; c < db.num_colors(); ++c) w.Str(db.ColorName(c));
+
+  // Live nodes (every element reachable in some color), dense re-ids.
+  std::unordered_map<NodeId, uint32_t> dense;
+  std::vector<NodeId> live;
+  for (ColorId c = 0; c < db.num_colors(); ++c) {
+    for (NodeId n : db.tree(c)->PreOrder()) {
+      if (n == db.document()) continue;
+      if (dense.emplace(n, static_cast<uint32_t>(live.size())).second) {
+        live.push_back(n);
+      }
+    }
+  }
+  w.U32(static_cast<uint32_t>(live.size()));
+  for (NodeId n : live) {
+    w.U8(static_cast<uint8_t>(db.Kind(n)));
+    w.Str(db.Tag(n));
+    w.U8(db.store().HasContent(n) ? 1 : 0);
+    if (db.store().HasContent(n)) w.Str(db.Content(n));
+    const auto& attrs = db.Attrs(n);
+    w.U32(static_cast<uint32_t>(attrs.size()));
+    for (const NodeAttr& a : attrs) {
+      w.Str(db.store().names().Name(a.name));
+      w.Str(a.value);
+    }
+  }
+  // Per color, edges in pre-order (parent id 0xFFFFFFFF = document).
+  for (ColorId c = 0; c < db.num_colors(); ++c) {
+    const ColoredTree* t = db.tree(c);
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    for (NodeId n : t->PreOrder()) {
+      if (n == db.document()) continue;
+      NodeId p = t->Parent(n);
+      uint32_t pd = (p == db.document()) ? 0xFFFFFFFFu : dense.at(p);
+      edges.emplace_back(pd, dense.at(n));
+    }
+    w.U64(edges.size());
+    for (const auto& [p, ch] : edges) {
+      w.U32(p);
+      w.U32(ch);
+    }
+  }
+  bool ok = w.ok();
+  if (std::fclose(f) != 0) ok = false;
+  return ok ? Status::OK() : Status::IOError("short write to " + path);
+}
+
+Result<std::unique_ptr<MctDatabase>> OpenSnapshot(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+  char magic[8];
+  if (std::fread(magic, 1, 8, f) != 8 ||
+      std::memcmp(magic, kMagic, 8) != 0) {
+    return Status::Corruption(path + " is not an MCT snapshot");
+  }
+  Reader r(f);
+  auto db = std::make_unique<MctDatabase>();
+  MCT_ASSIGN_OR_RETURN(uint32_t ncolors, r.U32());
+  if (ncolors > kMaxColors) return Status::Corruption("bad color count");
+  for (uint32_t i = 0; i < ncolors; ++i) {
+    MCT_ASSIGN_OR_RETURN(std::string name, r.Str());
+    MCT_RETURN_IF_ERROR(db->RegisterColor(name).status());
+  }
+  MCT_ASSIGN_OR_RETURN(uint32_t nnodes, r.U32());
+  std::vector<NodeId> nodes(nnodes, kInvalidNodeId);
+  for (uint32_t i = 0; i < nnodes; ++i) {
+    MCT_ASSIGN_OR_RETURN(uint8_t kind, r.U8());
+    MCT_ASSIGN_OR_RETURN(std::string tag, r.Str());
+    if (kind != static_cast<uint8_t>(xml::NodeKind::kElement)) {
+      return Status::Corruption("snapshot holds a non-element node");
+    }
+    MCT_ASSIGN_OR_RETURN(NodeId n, db->CreateFreeElement(tag));
+    nodes[i] = n;
+    MCT_ASSIGN_OR_RETURN(uint8_t has_content, r.U8());
+    if (has_content != 0) {
+      MCT_ASSIGN_OR_RETURN(std::string content, r.Str());
+      MCT_RETURN_IF_ERROR(db->SetContent(n, content));
+    }
+    MCT_ASSIGN_OR_RETURN(uint32_t nattrs, r.U32());
+    for (uint32_t a = 0; a < nattrs; ++a) {
+      MCT_ASSIGN_OR_RETURN(std::string name, r.Str());
+      MCT_ASSIGN_OR_RETURN(std::string value, r.Str());
+      MCT_RETURN_IF_ERROR(db->SetAttr(n, name, value));
+    }
+  }
+  for (ColorId c = 0; c < ncolors; ++c) {
+    MCT_ASSIGN_OR_RETURN(uint64_t nedges, r.U64());
+    for (uint64_t e = 0; e < nedges; ++e) {
+      MCT_ASSIGN_OR_RETURN(uint32_t pd, r.U32());
+      MCT_ASSIGN_OR_RETURN(uint32_t cd, r.U32());
+      if (cd >= nnodes || (pd != 0xFFFFFFFFu && pd >= nnodes)) {
+        return Status::Corruption("snapshot edge out of range");
+      }
+      NodeId parent = (pd == 0xFFFFFFFFu) ? db->document() : nodes[pd];
+      MCT_RETURN_IF_ERROR(db->AddNodeColor(nodes[cd], c, parent));
+    }
+  }
+  return db;
+}
+
+}  // namespace mct

@@ -1,0 +1,36 @@
+// Binary snapshots: persist an MctDatabase to a single file and reopen it.
+//
+// The snapshot is a compacting logical dump (palette, live nodes with
+// payloads, per-color structure in local document order); loading replays
+// it through the public constructors, which rebuilds the record files and
+// indexes consistently. Node ids are re-assigned densely — use
+// DatabasesIsomorphic (serialize/exchange.h) to compare databases across a
+// save/load cycle, not raw NodeIds.
+//
+// Format (little endian):
+//   magic "MCTSNAP1" | u32 ncolors | colors (lpstring each)
+//   u32 nnodes | per node: u8 kind, lpstring tag, u8 has_content,
+//     lpstring content?, u32 nattrs, (lpstring name, lpstring value)*
+//   per color: u64 nedges | (u32 parent, u32 child)* in pre-order
+//     (parent precedes child, so appends reproduce sibling order)
+
+#ifndef COLORFUL_XML_MCT_SNAPSHOT_H_
+#define COLORFUL_XML_MCT_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "mct/database.h"
+
+namespace mct {
+
+/// Writes a snapshot of `db` to `path` (overwrites).
+Status SaveSnapshot(MctDatabase& db, const std::string& path);
+
+/// Reconstructs a database from a snapshot file.
+Result<std::unique_ptr<MctDatabase>> OpenSnapshot(const std::string& path);
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_MCT_SNAPSHOT_H_

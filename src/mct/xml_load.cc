@@ -1,0 +1,39 @@
+#include "mct/xml_load.h"
+
+#include "xml/parser.h"
+
+namespace mct {
+
+Result<NodeId> LoadXmlElement(MctDatabase* db, ColorId color, NodeId parent,
+                              const xml::Element& elem) {
+  if (elem.kind() != xml::NodeKind::kElement) {
+    return Status::InvalidArgument("LoadXmlElement expects an element node");
+  }
+  MCT_ASSIGN_OR_RETURN(NodeId n, db->CreateElement(color, parent, elem.name()));
+  for (const xml::Attr& a : elem.attrs()) {
+    MCT_RETURN_IF_ERROR(db->SetAttr(n, a.name, a.value));
+  }
+  std::string text;
+  for (const auto& child : elem.children()) {
+    switch (child->kind()) {
+      case xml::NodeKind::kText:
+        text += child->text();
+        break;
+      case xml::NodeKind::kElement:
+        MCT_RETURN_IF_ERROR(LoadXmlElement(db, color, n, *child).status());
+        break;
+      default:
+        break;  // comments / PIs carry no queryable data here
+    }
+  }
+  if (!text.empty()) MCT_RETURN_IF_ERROR(db->SetContent(n, text));
+  return n;
+}
+
+Result<NodeId> LoadXmlText(MctDatabase* db, ColorId color,
+                           std::string_view text) {
+  MCT_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text));
+  return LoadXmlElement(db, color, db->document(), *doc.root);
+}
+
+}  // namespace mct

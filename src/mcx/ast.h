@@ -1,0 +1,147 @@
+// MCXQuery abstract syntax (Section 4).
+//
+// MCXQuery is XQuery with the paper's extensions:
+//  * color-qualified location steps   {red}descendant::movie
+//    (grammar productions 85/86/151 of Figure 6);
+//  * identity-preserving enclosed expressions in constructors;
+//  * createColor(color, expr) and createCopy(expr);
+//  * update clauses in the style of Tatarinov et al. [25].
+//
+// The subset implemented covers every query shape in the paper: FLWOR with
+// multiple for/let bindings, where conjunctions (comparisons, contains),
+// order by, nested FLWORs inside constructors, distinct-values, and the
+// abbreviated ({c}//tag, {c}/tag, @attr) plus unabbreviated
+// ({c}axis::test) step syntax.
+
+#ifndef COLORFUL_XML_MCX_AST_H_
+#define COLORFUL_XML_MCX_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mct::mcx {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class Axis {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kParent,
+  kAncestor,
+  kSelf,
+  kAttribute,
+};
+
+/// One location step: optional {color}, axis, node test, predicates.
+struct PathStep {
+  std::string color;  // empty = default color of the evaluation
+  Axis axis = Axis::kChild;
+  /// Element tag to match; empty means any element (node test * / node()).
+  /// For Axis::kAttribute this is the attribute name.
+  std::string tag;
+  std::vector<ExprPtr> predicates;
+};
+
+/// A path expression: rooted at document("...") or at a variable.
+struct PathExpr {
+  bool from_document = false;
+  std::string doc_arg;    // document("...") argument (informational)
+  std::string start_var;  // "$m" when rooted at a variable; empty otherwise
+  std::vector<PathStep> steps;
+};
+
+/// for/let binding. `is_let` distinguishes let := (paths only in this
+/// subset; general let-expressions are not needed by the catalogs).
+struct Binding {
+  bool is_let = false;
+  std::string var;  // "$m"
+  ExprPtr expr;     // kPath or kDistinctValues
+};
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Ordered attribute literal inside an element constructor.
+struct ConstructorAttr {
+  std::string name;
+  std::string value;
+};
+
+struct Expr {
+  enum class Kind {
+    kPath,            // path
+    kString,          // "literal"
+    kNumber,          // numeric literal
+    kVarRef,          // bare $v
+    kCompare,         // lhs op rhs
+    kAnd,             // children conjunction
+    kOr,              // children disjunction
+    kContains,        // contains(a, b)
+    kDistinctValues,  // distinct-values(path)
+    kCount,           // count(expr)
+    kFLWOR,           // nested FLWOR
+    kElement,         // <tag attr="v"> content </tag>
+    kCreateColor,     // createColor(color, expr)
+    kCreateCopy,      // createCopy(expr)
+    kSequence,        // comma sequence inside enclosed expressions
+    kText,            // literal text content inside a constructor
+  };
+
+  Kind kind;
+
+  // kString / kText literal value; color name for kCreateColor.
+  std::string str;
+  double num = 0;  // kNumber
+
+  PathExpr path;  // kPath
+
+  CmpOp cmp = CmpOp::kEq;          // kCompare
+  std::vector<ExprPtr> children;   // operands / content / sequence items
+
+  // kFLWOR
+  std::vector<Binding> bindings;
+  ExprPtr where;     // may be null
+  ExprPtr order_by;  // may be null
+  bool order_descending = false;
+  ExprPtr ret;       // return expression
+
+  // kElement
+  std::string tag;
+  std::vector<ConstructorAttr> attrs;
+
+  explicit Expr(Kind k) : kind(k) {}
+};
+
+/// Update actions (Tatarinov-style update extension, Section 4.3).
+struct UpdateAction {
+  enum class Kind { kInsert, kDelete, kReplace };
+  Kind kind;
+  /// Color the action applies in; empty = default color.
+  std::string color;
+  /// kInsert: the constructor to insert under the target node.
+  ExprPtr constructor;
+  /// kDelete / kReplace: path relative to the target variable selecting the
+  /// affected nodes (empty steps = the target node itself for kDelete).
+  PathExpr selector;
+  /// kReplace: the new content.
+  std::string new_value;
+};
+
+/// A parsed statement: either a query (root expression) or an update
+/// (FLWOR prefix + target variable + actions).
+struct ParsedQuery {
+  bool is_update = false;
+  ExprPtr root;  // query root (kFLWOR or constructor/createColor)
+
+  // Update form.
+  std::vector<Binding> bindings;
+  ExprPtr where;
+  std::string target_var;
+  std::vector<UpdateAction> actions;
+};
+
+}  // namespace mct::mcx
+
+#endif  // COLORFUL_XML_MCX_AST_H_

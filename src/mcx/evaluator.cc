@@ -1,0 +1,1366 @@
+#include "mcx/evaluator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "mcx/parser.h"
+#include "xml/escape.h"
+
+namespace mct::mcx {
+
+namespace {
+
+using query::ExecStats;
+using query::Table;
+
+// Flattens an AND tree into conjuncts.
+void FlattenConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::kAnd) {
+    FlattenConjuncts(e->children[0].get(), out);
+    FlattenConjuncts(e->children[1].get(), out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+void CollectVars(const Expr& e, std::vector<std::string>* out) {
+  switch (e.kind) {
+    case Expr::Kind::kVarRef:
+      out->push_back(e.str);
+      break;
+    case Expr::Kind::kPath:
+      if (!e.path.start_var.empty()) out->push_back(e.path.start_var);
+      for (const auto& step : e.path.steps) {
+        for (const auto& pred : step.predicates) CollectVars(*pred, out);
+      }
+      break;
+    default:
+      for (const auto& c : e.children) CollectVars(*c, out);
+      if (e.where) CollectVars(*e.where, out);
+      if (e.ret) CollectVars(*e.ret, out);
+      break;
+  }
+}
+
+// The single variable a (sub)expression depends on, or "" when none or
+// several — used to classify where-conjuncts as selections vs joins.
+std::string SoleVar(const Expr& e) {
+  std::vector<std::string> vars;
+  CollectVars(e, &vars);
+  if (vars.empty()) return "";
+  for (const auto& v : vars) {
+    if (v != vars[0]) return "";
+  }
+  return vars[0];
+}
+
+bool NumericCompare(CmpOp op, double a, double b) {
+  switch (op) {
+    case CmpOp::kEq: return a == b;
+    case CmpOp::kNe: return a != b;
+    case CmpOp::kLt: return a < b;
+    case CmpOp::kLe: return a <= b;
+    case CmpOp::kGt: return a > b;
+    case CmpOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+bool StringCompareOp(CmpOp op, const std::string& a, const std::string& b) {
+  switch (op) {
+    case CmpOp::kEq: return a == b;
+    case CmpOp::kNe: return a != b;
+    case CmpOp::kLt: return a < b;
+    case CmpOp::kLe: return a <= b;
+    case CmpOp::kGt: return a > b;
+    case CmpOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+// XQuery-style general comparison on atomized values: numeric when both
+// sides parse as numbers.
+bool CompareValues(CmpOp op, const std::string& a, const std::string& b) {
+  auto na = ParseDouble(a);
+  auto nb = ParseDouble(b);
+  if (na.has_value() && nb.has_value()) return NumericCompare(op, *na, *nb);
+  return StringCompareOp(op, a, b);
+}
+
+std::string FormatNumber(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  return StrFormat("%g", v);
+}
+
+}  // namespace
+
+Result<ColorId> Evaluator::ResolveColor(const std::string& name) const {
+  if (name.empty()) return opts_.default_color;
+  ColorId c = db_->LookupColor(name);
+  if (c == kInvalidColorId) {
+    return Status::InvalidArgument("unknown color '" + name + "'");
+  }
+  return c;
+}
+
+Result<QueryResult> Evaluator::Run(std::string_view text) {
+  MCT_ASSIGN_OR_RETURN(ParsedQuery q, Parse(text));
+  return Run(q);
+}
+
+Result<QueryResult> Evaluator::Run(const ParsedQuery& q) {
+  if (q.is_update) return RunUpdate(q);
+  QueryResult out;
+  Env env;
+  if (q.root->kind == Expr::Kind::kFLWOR) {
+    MCT_ASSIGN_OR_RETURN(out.items, EvalFLWOR(*q.root, env));
+  } else {
+    EvalCtx c;
+    c.env = &env;
+    c.ctx_node = db_->document();
+    c.ctx_color = opts_.default_color;
+    MCT_ASSIGN_OR_RETURN(out.items, EvalExpr(c, *q.root));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FLWOR evaluation
+// ---------------------------------------------------------------------------
+
+Result<std::vector<Item>> Evaluator::EvalFLWOR(const Expr& flwor,
+                                               const Env& env) {
+  MCT_ASSIGN_OR_RETURN(
+      Bindings b, EvalFLWORBindings(flwor.bindings, flwor.where.get(), env));
+  EvalCtx base;
+  base.b = &b;
+  base.env = &env;
+  // order by: decorate-sort on the evaluated key.
+  if (flwor.order_by != nullptr) {
+    std::vector<std::pair<std::string, size_t>> keyed;
+    keyed.reserve(b.table.rows.size());
+    for (size_t i = 0; i < b.table.rows.size(); ++i) {
+      EvalCtx c = base;
+      c.row = &b.table.rows[i];
+      MCT_ASSIGN_OR_RETURN(auto items, EvalExpr(c, *flwor.order_by));
+      keyed.emplace_back(items.empty() ? "" : Atomize(items[0]), i);
+    }
+    bool desc = flwor.order_descending;
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [&](const auto& x, const auto& y) {
+                       auto nx = ParseDouble(x.first);
+                       auto ny = ParseDouble(y.first);
+                       if (nx.has_value() && ny.has_value()) {
+                         return desc ? *nx > *ny : *nx < *ny;
+                       }
+                       return desc ? x.first > y.first : x.first < y.first;
+                     });
+    std::vector<std::vector<NodeId>> sorted;
+    sorted.reserve(b.table.rows.size());
+    for (const auto& [_, i] : keyed) sorted.push_back(b.table.rows[i]);
+    b.table.rows = std::move(sorted);
+  }
+  std::vector<Item> out;
+  for (const auto& row : b.table.rows) {
+    EvalCtx c = base;
+    c.row = &row;
+    MCT_ASSIGN_OR_RETURN(auto items, EvalExpr(c, *flwor.ret));
+    out.insert(out.end(), items.begin(), items.end());
+  }
+  return out;
+}
+
+Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
+    const std::vector<Binding>& bindings, const Expr* where, const Env& env) {
+  std::vector<const Expr*> conjuncts;
+  FlattenConjuncts(where, &conjuncts);
+  std::vector<bool> used(conjuncts.size(), false);
+
+  Bindings acc;
+  for (const auto& binding : bindings) {
+    const Expr& be = *binding.expr;
+    bool distinct = be.kind == Expr::Kind::kDistinctValues;
+    const Expr& pe = distinct ? *be.children[0] : be;
+    if (distinct && pe.kind != Expr::Kind::kPath) {
+      // distinct-values over a general expression (e.g. a nested FLWOR):
+      // evaluate it, deduplicate by atomized value, and bind the surviving
+      // node items as an atomic column.
+      if (acc.table.num_cols() != 0) {
+        return Status::NotSupported(
+            "distinct-values(non-path) must be the first binding");
+      }
+      EvalCtx c;
+      c.env = &env;
+      c.ctx_node = db_->document();
+      c.ctx_color = opts_.default_color;
+      MCT_ASSIGN_OR_RETURN(auto items, EvalExpr(c, pe));
+      if (opts_.stats != nullptr) ++opts_.stats->dup_elims;
+      std::unordered_set<std::string> seen;
+      acc.table.vars = {binding.var};
+      for (const Item& it : items) {
+        if (!it.is_node) {
+          return Status::NotSupported(
+              "distinct-values over atomic items as a binding");
+        }
+        if (seen.insert(Atomize(it)).second) {
+          acc.table.rows.push_back({it.node});
+        }
+      }
+      acc.cols = {ColumnInfo{opts_.default_color, true, ""}};
+      continue;
+    }
+    if (pe.kind != Expr::Kind::kPath) {
+      return Status::NotSupported(
+          "for/let bindings must be path expressions in this subset");
+    }
+    const PathExpr& path = pe.path;
+
+    if (!path.start_var.empty()) {
+      int col = acc.table.ColumnOf(path.start_var);
+      if (col >= 0) {
+        if (acc.cols[static_cast<size_t>(col)].atomic) {
+          return Status::InvalidArgument(
+              "axis step from atomic-valued variable " + path.start_var);
+        }
+        MCT_ASSIGN_OR_RETURN(
+            acc, EvalSteps(std::move(acc), col, path.steps, binding.var, env));
+      } else if (env.contains(path.start_var)) {
+        // Correlated with an *outer* FLWOR variable: seed from the env.
+        const Item& outer = env.at(path.start_var);
+        if (!outer.is_node) {
+          return Status::NotSupported("path from an atomic outer variable");
+        }
+        Bindings base;
+        base.table.vars = {path.start_var};
+        base.table.rows = {{outer.node}};
+        base.cols = {ColumnInfo{opts_.default_color, false, ""}};
+        MCT_ASSIGN_OR_RETURN(
+            Bindings tb,
+            EvalSteps(std::move(base), 0, path.steps, binding.var, env));
+        int keep = tb.table.ColumnOf(binding.var);
+        tb.table = query::Project(tb.table, {keep});
+        tb.cols = {tb.cols[static_cast<size_t>(keep)]};
+        if (acc.table.num_cols() == 0) {
+          acc = std::move(tb);
+        } else {
+          MCT_ASSIGN_OR_RETURN(
+              acc, JoinIn(std::move(acc), std::move(tb), nullptr, env));
+        }
+      } else {
+        return Status::InvalidArgument("unbound variable " + path.start_var);
+      }
+    } else {
+      // Does a step predicate reference a variable already bound (the
+      // paper Q3's `[. = $m]` correlation)? Then the path must be
+      // evaluated against the accumulated bindings rather than standalone.
+      bool correlated = false;
+      if (acc.table.num_cols() > 0) {
+        std::vector<std::string> pred_vars;
+        for (const PathStep& step : path.steps) {
+          for (const auto& pred : step.predicates) {
+            CollectVars(*pred, &pred_vars);
+          }
+        }
+        for (const std::string& v : pred_vars) {
+          if (acc.table.ColumnOf(v) >= 0) {
+            correlated = true;
+            break;
+          }
+        }
+      }
+      if (correlated) {
+        Bindings seeded = std::move(acc);
+        int doc_col = static_cast<int>(seeded.table.num_cols());
+        seeded.table.vars.push_back("#doc");
+        for (auto& row : seeded.table.rows) row.push_back(db_->document());
+        seeded.cols.push_back(ColumnInfo{opts_.default_color, false, ""});
+        MCT_ASSIGN_OR_RETURN(
+            acc,
+            EvalSteps(std::move(seeded), doc_col, path.steps, binding.var,
+                      env));
+        // Drop the #doc helper column.
+        std::vector<int> keep_cols;
+        for (size_t i = 0; i < acc.table.num_cols(); ++i) {
+          if (acc.table.vars[i] != "#doc") {
+            keep_cols.push_back(static_cast<int>(i));
+          }
+        }
+        acc.table = query::Project(acc.table, keep_cols);
+        std::vector<ColumnInfo> kept;
+        for (int k : keep_cols) kept.push_back(acc.cols[static_cast<size_t>(k)]);
+        acc.cols = std::move(kept);
+        if (distinct) {
+          return Status::NotSupported(
+              "distinct-values over a correlated path binding");
+        }
+        continue;
+      }
+      Bindings base;
+      base.table.vars = {"#doc"};
+      base.table.rows = {{db_->document()}};
+      base.cols = {ColumnInfo{opts_.default_color, false, ""}};
+      MCT_ASSIGN_OR_RETURN(
+          Bindings tb,
+          EvalSteps(std::move(base), 0, path.steps, binding.var, env));
+      int keep = tb.table.ColumnOf(binding.var);
+      tb.table = query::Project(tb.table, {keep});
+      tb.cols = {tb.cols[static_cast<size_t>(keep)]};
+
+      int existing = acc.table.ColumnOf(binding.var);
+      if (existing >= 0) {
+        // The paper's Figure 3 rebinds the same variable across for
+        // clauses (Q2 binds $m over red then green paths): the bindings
+        // must agree, i.e. a node-identity join between the two colored
+        // trees.
+        tb.table.vars[0] = binding.var + "#rebind";
+        Note(StrFormat("IDENTITY JOIN on rebound %s  (%zu x %zu rows)",
+                       binding.var.c_str(), acc.table.num_rows(),
+                       tb.table.num_rows()));
+        Table joined = query::IdentityJoin(db_, acc.table, existing, tb.table,
+                                           0, opts_.stats);
+        std::vector<int> cols;
+        for (size_t i = 0; i < acc.table.num_cols(); ++i) {
+          cols.push_back(static_cast<int>(i));
+        }
+        acc.table = query::Project(joined, cols);
+        // The rebound column's color context switches to the new path's.
+        acc.cols[static_cast<size_t>(existing)] = tb.cols[0];
+      } else if (acc.table.num_cols() == 0) {
+        acc = std::move(tb);
+      } else {
+        const Expr* join_conjunct = nullptr;
+        for (size_t i = 0; i < conjuncts.size(); ++i) {
+          if (used[i]) continue;
+          const Expr& c = *conjuncts[i];
+          if (c.kind != Expr::Kind::kCompare &&
+              c.kind != Expr::Kind::kContains) {
+            continue;
+          }
+          std::string lv = SoleVar(*c.children[0]);
+          std::string rv = SoleVar(*c.children[1]);
+          bool connects = (lv == binding.var && !rv.empty() &&
+                           acc.table.ColumnOf(rv) >= 0) ||
+                          (rv == binding.var && !lv.empty() &&
+                           acc.table.ColumnOf(lv) >= 0);
+          if (connects) {
+            join_conjunct = &c;
+            used[i] = true;
+            break;
+          }
+        }
+        MCT_ASSIGN_OR_RETURN(
+            acc, JoinIn(std::move(acc), std::move(tb), join_conjunct, env));
+      }
+    }
+    if (distinct) {
+      int col = acc.table.ColumnOf(binding.var);
+      std::unordered_set<std::string> seen;
+      Table dedup;
+      dedup.vars = acc.table.vars;
+      for (const auto& row : acc.table.rows) {
+        const std::string& v = db_->Content(row[static_cast<size_t>(col)]);
+        if (seen.insert(v).second) dedup.rows.push_back(row);
+      }
+      if (opts_.stats != nullptr) ++opts_.stats->dup_elims;
+      acc.table = std::move(dedup);
+      acc.cols[static_cast<size_t>(col)].atomic = true;
+    }
+  }
+
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (!used[i]) {
+      MCT_RETURN_IF_ERROR(ApplyResidual(&acc, *conjuncts[i], env));
+    }
+  }
+  return acc;
+}
+
+Result<Evaluator::Bindings> Evaluator::EvalSteps(
+    Bindings in, int ctx_col, const std::vector<PathStep>& steps,
+    const std::string& out_var, const Env& env) {
+  ExecStats* stats = opts_.stats;
+  int cur = ctx_col;
+  ColorId cur_color = in.cols[static_cast<size_t>(cur)].color;
+  size_t original_cols = in.table.num_cols();
+
+  for (size_t si = 0; si < steps.size(); ++si) {
+    const PathStep& step = steps[si];
+    MCT_ASSIGN_OR_RETURN(ColorId c, ResolveColor(step.color));
+    // Color transition on a bound column = the paper's color crossing,
+    // implemented as the cross-tree join access method. Stepping off the
+    // document node is free: the document carries every color.
+    if (c != cur_color && in.table.vars[static_cast<size_t>(cur)] != "#doc") {
+      in.table = query::CrossTreeJoin(db_, in.table, cur, c, stats);
+      in.cols[static_cast<size_t>(cur)].color = c;
+      Note(StrFormat("CROSS-TREE JOIN %s -> {%s}  (%zu rows)",
+                     in.table.vars[static_cast<size_t>(cur)].c_str(),
+                     db_->ColorName(c).c_str(), in.table.num_rows()));
+    }
+    cur_color = c;
+    bool is_final = si + 1 == steps.size();
+    std::string col_name =
+        is_final ? out_var : "#s" + std::to_string(si) + out_var;
+    Table next;
+    switch (step.axis) {
+      case Axis::kChild:
+        next = query::ExpandChildren(db_, in.table, cur, c, step.tag,
+                                     col_name, stats);
+        break;
+      case Axis::kDescendant:
+        next = query::ExpandDescendants(db_, in.table, cur, c, step.tag,
+                                        col_name, stats);
+        break;
+      case Axis::kDescendantOrSelf: {
+        next = query::ExpandDescendants(db_, in.table, cur, c, step.tag,
+                                        col_name, stats);
+        for (const auto& row : in.table.rows) {
+          NodeId n = row[static_cast<size_t>(cur)];
+          if (db_->Kind(n) == xml::NodeKind::kElement &&
+              (step.tag.empty() || db_->Tag(n) == step.tag)) {
+            auto copy = row;
+            copy.push_back(n);
+            next.rows.push_back(std::move(copy));
+          }
+        }
+        break;
+      }
+      case Axis::kParent:
+        next = query::ExpandParent(db_, in.table, cur, c, step.tag, col_name,
+                                   stats);
+        break;
+      case Axis::kAncestor:
+        next = query::ExpandAncestors(db_, in.table, cur, c, step.tag,
+                                      col_name, stats);
+        break;
+      case Axis::kSelf: {
+        next = in.table;
+        next.vars.push_back(col_name);
+        for (auto& row : next.rows) {
+          row.push_back(row[static_cast<size_t>(cur)]);
+        }
+        if (!step.tag.empty()) {
+          next = query::FilterRows(
+              next,
+              [&](const std::vector<NodeId>& row) {
+                return db_->Tag(row.back()) == step.tag;
+              },
+              stats);
+        }
+        break;
+      }
+      case Axis::kAttribute: {
+        if (!is_final) {
+          return Status::NotSupported(
+              "attribute steps are only supported as the final step");
+        }
+        next = in.table;
+        next.vars.push_back(col_name);
+        for (auto& row : next.rows) {
+          row.push_back(row[static_cast<size_t>(cur)]);
+        }
+        next = query::FilterRows(
+            next,
+            [&](const std::vector<NodeId>& row) {
+              return db_->FindAttr(row.back(), step.tag) != nullptr;
+            },
+            stats);
+        break;
+      }
+    }
+    in.table = std::move(next);
+    in.cols.push_back(step.axis == Axis::kAttribute
+                          ? ColumnInfo{c, true, step.tag}
+                          : ColumnInfo{c, false, ""});
+    cur = static_cast<int>(in.table.num_cols()) - 1;
+    if (opts_.plan != nullptr) {
+      const char* axis_name =
+          step.axis == Axis::kChild ? "child"
+          : step.axis == Axis::kDescendant ? "descendant"
+          : step.axis == Axis::kDescendantOrSelf ? "descendant-or-self"
+          : step.axis == Axis::kParent ? "parent"
+          : step.axis == Axis::kAncestor ? "ancestor"
+          : step.axis == Axis::kSelf ? "self"
+                                      : "attribute";
+      Note(StrFormat("STRUCTURAL STEP {%s}%s::%s -> %s  (%zu rows)",
+                     db_->ColorName(c).c_str(), axis_name,
+                     step.tag.empty() ? "node()" : step.tag.c_str(),
+                     col_name.c_str(), in.table.num_rows()));
+    }
+
+    for (const auto& pred : step.predicates) {
+      // Positional predicate [N]: keep the N-th (1-based) result of this
+      // step per context row (rows grouped by every column but the new
+      // one).
+      if (pred->kind == Expr::Kind::kNumber) {
+        int64_t want = static_cast<int64_t>(pred->num);
+        Table filtered;
+        filtered.vars = in.table.vars;
+        std::unordered_map<std::string, int64_t> counts;
+        std::string key;
+        for (const auto& row : in.table.rows) {
+          key.clear();
+          for (size_t i = 0; i + 1 < row.size(); ++i) {
+            key.append(reinterpret_cast<const char*>(&row[i]),
+                       sizeof(NodeId));
+          }
+          if (++counts[key] == want) filtered.rows.push_back(row);
+        }
+        Note(StrFormat("POSITION [%lld]  (%zu -> %zu rows)",
+                       static_cast<long long>(want), in.table.num_rows(),
+                       filtered.num_rows()));
+        in.table = std::move(filtered);
+        continue;
+      }
+      // Index-backed fast path for string-literal equality predicates —
+      // the paper built content and attribute-value indexes "where needed"
+      // (Section 7): [child::x = "lit"], [@a = "lit"], [. = "lit"] probe
+      // the index and semi-join instead of filtering row by row.
+      std::unordered_set<NodeId> probe;
+      bool use_probe = false;
+      if (pred->kind == Expr::Kind::kCompare && pred->cmp == CmpOp::kEq &&
+          pred->children[1]->kind == Expr::Kind::kString &&
+          pred->children[0]->kind == Expr::Kind::kPath) {
+        const PathExpr& lp = pred->children[0]->path;
+        const std::string& lit = pred->children[1]->str;
+        if (lp.start_var.empty() && !lp.from_document &&
+            lp.steps.size() == 1 && lp.steps[0].predicates.empty()) {
+          const PathStep& ps = lp.steps[0];
+          if (ps.axis == Axis::kChild && !ps.tag.empty()) {
+            MCT_ASSIGN_OR_RETURN(ColorId pc, [&]() -> Result<ColorId> {
+              if (ps.color.empty()) return cur_color;
+              return ResolveColor(ps.color);
+            }());
+            for (NodeId hit : db_->ContentLookup(ps.tag, lit)) {
+              auto parent = db_->Parent(hit, pc);
+              if (parent.has_value()) probe.insert(*parent);
+            }
+            use_probe = true;
+          } else if (ps.axis == Axis::kAttribute) {
+            for (NodeId hit : db_->AttrLookup(ps.tag, lit)) {
+              probe.insert(hit);
+            }
+            use_probe = true;
+          } else if (ps.axis == Axis::kSelf && ps.tag.empty() &&
+                     !step.tag.empty()) {
+            for (NodeId hit : db_->ContentLookup(step.tag, lit)) {
+              probe.insert(hit);
+            }
+            use_probe = true;
+          }
+        }
+      }
+      Table filtered;
+      filtered.vars = in.table.vars;
+      if (use_probe) {
+        for (const auto& row : in.table.rows) {
+          if (probe.contains(row[static_cast<size_t>(cur)])) {
+            filtered.rows.push_back(row);
+          }
+        }
+        Note(StrFormat("INDEX PROBE predicate  (%zu -> %zu rows)",
+                       in.table.num_rows(), filtered.num_rows()));
+      } else {
+        for (const auto& row : in.table.rows) {
+          EvalCtx pc;
+          pc.b = &in;
+          pc.row = &row;
+          pc.env = &env;
+          pc.ctx_node = row[static_cast<size_t>(cur)];
+          pc.ctx_color = cur_color;
+          MCT_ASSIGN_OR_RETURN(bool keep, EvalBool(pc, *pred));
+          if (keep) filtered.rows.push_back(row);
+        }
+        Note(StrFormat("FILTER predicate  (%zu -> %zu rows)",
+                       in.table.num_rows(), filtered.num_rows()));
+      }
+      in.table = std::move(filtered);
+    }
+  }
+
+  // Keep the original columns plus the final step column.
+  std::vector<int> keep;
+  for (size_t i = 0; i < original_cols; ++i) {
+    keep.push_back(static_cast<int>(i));
+  }
+  if (cur >= static_cast<int>(original_cols)) keep.push_back(cur);
+  Bindings out;
+  out.table = query::Project(in.table, keep);
+  for (int k : keep) out.cols.push_back(in.cols[static_cast<size_t>(k)]);
+  if (steps.empty()) {
+    // Zero steps: alias the context column under the new name.
+    out.table.vars.push_back(out_var);
+    for (auto& row : out.table.rows) {
+      row.push_back(row[static_cast<size_t>(ctx_col)]);
+    }
+    out.cols.push_back(out.cols[static_cast<size_t>(ctx_col)]);
+  } else if (cur >= static_cast<int>(original_cols)) {
+    out.table.vars.back() = out_var;
+  }
+  return out;
+}
+
+Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
+                                              const Expr* conjunct,
+                                              const Env& env) {
+  ExecStats* stats = opts_.stats;
+  Bindings out;
+  out.table.vars = left.table.vars;
+  out.table.vars.insert(out.table.vars.end(), right.table.vars.begin(),
+                        right.table.vars.end());
+  out.cols = left.cols;
+  out.cols.insert(out.cols.end(), right.cols.begin(), right.cols.end());
+
+  // Per-row key evaluation against one side's bindings.
+  auto key_fn = [&](const Bindings& b, const std::vector<NodeId>& row,
+                    const Expr& e) -> Result<std::optional<std::string>> {
+    EvalCtx c;
+    c.b = &b;
+    c.row = &row;
+    c.env = &env;
+    MCT_ASSIGN_OR_RETURN(auto items, EvalExpr(c, e));
+    if (items.empty()) return std::optional<std::string>();
+    return std::optional<std::string>(Atomize(items[0]));
+  };
+
+  auto side_of = [&](const Expr& e) -> const Bindings* {
+    std::string v = SoleVar(e);
+    if (!v.empty() && left.table.ColumnOf(v) >= 0) return &left;
+    if (!v.empty() && right.table.ColumnOf(v) >= 0) return &right;
+    return nullptr;
+  };
+
+  auto emit = [&](const std::vector<NodeId>& l, const std::vector<NodeId>& r) {
+    std::vector<NodeId> row = l;
+    row.insert(row.end(), r.begin(), r.end());
+    out.table.rows.push_back(std::move(row));
+  };
+
+  if (conjunct == nullptr) {
+    // No connecting condition: Cartesian product.
+    if (stats != nullptr) ++stats->nested_loop_joins;
+    for (const auto& l : left.table.rows) {
+      for (const auto& r : right.table.rows) emit(l, r);
+    }
+    Note(StrFormat("CARTESIAN PRODUCT  (%zu x %zu -> %zu rows)",
+                   left.table.num_rows(), right.table.num_rows(),
+                   out.table.num_rows()));
+    return out;
+  }
+
+  const Expr& a = *conjunct->children[0];
+  const Expr& b2 = *conjunct->children[1];
+  const Bindings* sa = side_of(a);
+  const Bindings* sb = side_of(b2);
+  if (sa == nullptr || sb == nullptr || sa == sb) {
+    return Status::Internal("join conjunct does not connect the two sides");
+  }
+
+  if (conjunct->kind == Expr::Kind::kContains) {
+    // contains(list, id): IDREFS-style containment join; the first argument
+    // is the whitespace-separated list.
+    if (stats != nullptr) ++stats->value_joins;
+    // Hash the id side.
+    const Bindings& id_side = *sb;
+    const Bindings& list_side = *sa;
+    std::unordered_map<std::string, std::vector<size_t>> ht;
+    for (size_t i = 0; i < id_side.table.rows.size(); ++i) {
+      MCT_ASSIGN_OR_RETURN(auto k, key_fn(id_side, id_side.table.rows[i], b2));
+      if (k.has_value() && !k->empty()) ht[*k].push_back(i);
+    }
+    for (const auto& lrow : list_side.table.rows) {
+      MCT_ASSIGN_OR_RETURN(auto list, key_fn(list_side, lrow, a));
+      if (!list.has_value()) continue;
+      for (const std::string& token : SplitWhitespace(*list)) {
+        auto it = ht.find(token);
+        if (it == ht.end()) continue;
+        for (size_t ri : it->second) {
+          const auto& rrow = id_side.table.rows[ri];
+          if (&list_side == &left) {
+            emit(lrow, rrow);
+          } else {
+            emit(rrow, lrow);
+          }
+        }
+      }
+    }
+    Note(StrFormat("IDREFS VALUE JOIN  (%zu x %zu -> %zu rows)",
+                   left.table.num_rows(), right.table.num_rows(),
+                   out.table.num_rows()));
+    return out;
+  }
+
+  if (conjunct->cmp == CmpOp::kEq) {
+    // Hash equality join; build on the smaller side.
+    if (stats != nullptr) ++stats->value_joins;
+    const Bindings* build = sa;
+    const Expr* build_key = &a;
+    const Bindings* probe = sb;
+    const Expr* probe_key = &b2;
+    if (probe->table.rows.size() < build->table.rows.size()) {
+      std::swap(build, probe);
+      std::swap(build_key, probe_key);
+    }
+    std::unordered_map<std::string, std::vector<size_t>> ht;
+    for (size_t i = 0; i < build->table.rows.size(); ++i) {
+      MCT_ASSIGN_OR_RETURN(auto k,
+                           key_fn(*build, build->table.rows[i], *build_key));
+      if (k.has_value()) ht[*k].push_back(i);
+    }
+    for (const auto& prow : probe->table.rows) {
+      MCT_ASSIGN_OR_RETURN(auto k, key_fn(*probe, prow, *probe_key));
+      if (!k.has_value()) continue;
+      auto it = ht.find(*k);
+      if (it == ht.end()) continue;
+      for (size_t bi : it->second) {
+        const auto& brow = build->table.rows[bi];
+        const auto& lrow = (build == &left) ? brow : prow;
+        const auto& rrow = (build == &left) ? prow : brow;
+        emit(lrow, rrow);
+      }
+    }
+    Note(StrFormat("HASH VALUE JOIN  (%zu x %zu -> %zu rows)",
+                   left.table.num_rows(), right.table.num_rows(),
+                   out.table.num_rows()));
+    return out;
+  }
+
+  // Inequality: nested loop (the quadratic case the paper calls out).
+  // Keys are extracted once per row; the loop itself is the quadratic part,
+  // exactly as in the paper's plans.
+  if (stats != nullptr) ++stats->nested_loop_joins;
+  CmpOp op = conjunct->cmp;
+  bool a_is_left = (sa == &left);
+  std::vector<std::optional<std::string>> lkeys(left.table.rows.size());
+  for (size_t i = 0; i < left.table.rows.size(); ++i) {
+    MCT_ASSIGN_OR_RETURN(
+        lkeys[i], key_fn(left, left.table.rows[i], a_is_left ? a : b2));
+  }
+  std::vector<std::optional<std::string>> rkeys(right.table.rows.size());
+  for (size_t i = 0; i < right.table.rows.size(); ++i) {
+    MCT_ASSIGN_OR_RETURN(
+        rkeys[i], key_fn(right, right.table.rows[i], a_is_left ? b2 : a));
+  }
+  for (size_t i = 0; i < left.table.rows.size(); ++i) {
+    if (!lkeys[i].has_value()) continue;
+    for (size_t j = 0; j < right.table.rows.size(); ++j) {
+      if (!rkeys[j].has_value()) continue;
+      bool ok = a_is_left ? CompareValues(op, *lkeys[i], *rkeys[j])
+                          : CompareValues(op, *rkeys[j], *lkeys[i]);
+      if (ok) emit(left.table.rows[i], right.table.rows[j]);
+    }
+  }
+  Note(StrFormat("NESTED-LOOP INEQUALITY JOIN  (%zu x %zu -> %zu rows)",
+                 left.table.num_rows(), right.table.num_rows(),
+                 out.table.num_rows()));
+  return out;
+}
+
+Status Evaluator::ApplyResidual(Bindings* b, const Expr& conjunct,
+                                const Env& env) {
+  Table filtered;
+  filtered.vars = b->table.vars;
+  for (const auto& row : b->table.rows) {
+    EvalCtx c;
+    c.b = b;
+    c.row = &row;
+    c.env = &env;
+    MCT_ASSIGN_OR_RETURN(bool keep, EvalBool(c, conjunct));
+    if (keep) filtered.rows.push_back(row);
+  }
+  b->table = std::move(filtered);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Scalar / constructor evaluation
+// ---------------------------------------------------------------------------
+
+Item Evaluator::ColumnItem(const Bindings& b, const std::vector<NodeId>& row,
+                           int col) const {
+  const ColumnInfo& info = b.cols[static_cast<size_t>(col)];
+  NodeId n = row[static_cast<size_t>(col)];
+  if (!info.atomic) return Item::OfNode(n);
+  if (!info.attr.empty()) {
+    const std::string* v = db_->FindAttr(n, info.attr);
+    return Item::OfAtomic(v != nullptr ? *v : "");
+  }
+  return Item::OfAtomic(db_->Content(n));
+}
+
+std::string Evaluator::Atomize(const Item& item) const {
+  if (!item.is_node) return item.atomic;
+  // Atomize a node: its own content when present, else its string value in
+  // its first color.
+  if (db_->store().HasContent(item.node)) return db_->Content(item.node);
+  ColorSet colors = db_->Colors(item.node);
+  if (colors.empty()) return "";
+  return db_->StringValue(item.node, colors.ToVector().front()).value_or("");
+}
+
+Result<std::vector<Item>> Evaluator::EvalRelPath(NodeId ctx,
+                                                 ColorId default_color,
+                                                 const PathExpr& p,
+                                                 const EvalCtx& outer) {
+  std::vector<NodeId> cur{ctx};
+  ColorId color = default_color;
+  for (size_t si = 0; si < p.steps.size(); ++si) {
+    const PathStep& step = p.steps[si];
+    MCT_ASSIGN_OR_RETURN(color, [&]() -> Result<ColorId> {
+      if (step.color.empty()) return color;
+      return ResolveColor(step.color);
+    }());
+    std::vector<NodeId> next;
+    // Start offset of each context node's results in `next` (positional
+    // predicates are per context, XPath semantics).
+    std::vector<size_t> group_start;
+    auto mark = [&]() { group_start.push_back(next.size()); };
+    switch (step.axis) {
+      case Axis::kChild:
+        for (NodeId n : cur) {
+          mark();
+          if (!db_->Colors(n).Has(color)) continue;
+          db_->tree(color)->ForEachChild(n, [&](NodeId k) {
+            if (db_->Kind(k) == xml::NodeKind::kElement &&
+                (step.tag.empty() || db_->Tag(k) == step.tag)) {
+              next.push_back(k);
+            }
+          });
+        }
+        break;
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf:
+        for (NodeId n : cur) {
+          mark();
+          if (!db_->tree(color)->Contains(n)) continue;
+          for (NodeId d : db_->tree(color)->PreOrder(n)) {
+            if (d == n && step.axis == Axis::kDescendant) continue;
+            if (db_->Kind(d) == xml::NodeKind::kElement &&
+                (step.tag.empty() || db_->Tag(d) == step.tag)) {
+              next.push_back(d);
+            }
+          }
+        }
+        break;
+      case Axis::kParent:
+        for (NodeId n : cur) {
+          mark();
+          auto par = db_->Parent(n, color);
+          if (par.has_value() && db_->Kind(*par) == xml::NodeKind::kElement &&
+              (step.tag.empty() || db_->Tag(*par) == step.tag)) {
+            next.push_back(*par);
+          }
+        }
+        break;
+      case Axis::kAncestor:
+        for (NodeId n : cur) {
+          mark();
+          const ColoredTree* t = db_->tree(color);
+          for (NodeId a = t->Parent(n); a != kInvalidNodeId;
+               a = t->Parent(a)) {
+            if (db_->Kind(a) == xml::NodeKind::kElement &&
+                (step.tag.empty() || db_->Tag(a) == step.tag)) {
+              next.push_back(a);
+            }
+          }
+        }
+        break;
+      case Axis::kSelf:
+        for (NodeId n : cur) {
+          mark();
+          if (step.tag.empty() || db_->Tag(n) == step.tag) next.push_back(n);
+        }
+        break;
+      case Axis::kAttribute: {
+        // Final step: produce atomic items.
+        std::vector<Item> items;
+        for (NodeId n : cur) {
+          const std::string* v = db_->FindAttr(n, step.tag);
+          if (v != nullptr) items.push_back(Item::OfAtomic(*v));
+        }
+        if (si + 1 != p.steps.size()) {
+          return Status::NotSupported("attribute step must be final");
+        }
+        return items;
+      }
+    }
+    // Step predicates. Positional [N] keeps the N-th candidate *per
+    // context node* (XPath semantics), using the group offsets recorded
+    // above; value predicates filter within groups so later positional
+    // predicates see re-indexed groups.
+    group_start.push_back(next.size());
+    for (const auto& pred : step.predicates) {
+      std::vector<NodeId> kept;
+      std::vector<size_t> kept_starts;
+      for (size_t g = 0; g + 1 < group_start.size(); ++g) {
+        kept_starts.push_back(kept.size());
+        size_t lo = group_start[g], hi = group_start[g + 1];
+        if (pred->kind == Expr::Kind::kNumber) {
+          int64_t want = static_cast<int64_t>(pred->num);
+          if (want >= 1 && lo + static_cast<size_t>(want) - 1 < hi) {
+            kept.push_back(next[lo + static_cast<size_t>(want) - 1]);
+          }
+        } else {
+          for (size_t i = lo; i < hi; ++i) {
+            EvalCtx pc = outer;
+            pc.ctx_node = next[i];
+            pc.ctx_color = color;
+            MCT_ASSIGN_OR_RETURN(bool keep, EvalBool(pc, *pred));
+            if (keep) kept.push_back(next[i]);
+          }
+        }
+      }
+      kept_starts.push_back(kept.size());
+      next = std::move(kept);
+      group_start = std::move(kept_starts);
+    }
+    cur = std::move(next);
+    if (cur.empty()) break;
+  }
+  std::vector<Item> out;
+  out.reserve(cur.size());
+  for (NodeId n : cur) out.push_back(Item::OfNode(n));
+  return out;
+}
+
+Result<std::vector<Item>> Evaluator::EvalExpr(const EvalCtx& c,
+                                              const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kString:
+    case Expr::Kind::kText:
+      return std::vector<Item>{Item::OfAtomic(e.str)};
+    case Expr::Kind::kNumber:
+      return std::vector<Item>{Item::OfAtomic(FormatNumber(e.num))};
+    case Expr::Kind::kVarRef: {
+      if (c.b != nullptr && c.row != nullptr) {
+        int col = c.b->table.ColumnOf(e.str);
+        if (col >= 0) {
+          return std::vector<Item>{ColumnItem(*c.b, *c.row, col)};
+        }
+      }
+      if (c.env != nullptr && c.env->contains(e.str)) {
+        return std::vector<Item>{c.env->at(e.str)};
+      }
+      return Status::InvalidArgument("unbound variable " + e.str);
+    }
+    case Expr::Kind::kPath: {
+      const PathExpr& p = e.path;
+      NodeId start;
+      ColorId start_color;
+      if (!p.start_var.empty()) {
+        Item base;
+        if (c.b != nullptr && c.row != nullptr &&
+            c.b->table.ColumnOf(p.start_var) >= 0) {
+          int col = c.b->table.ColumnOf(p.start_var);
+          base = ColumnItem(*c.b, *c.row, col);
+          start_color = c.b->cols[static_cast<size_t>(col)].color;
+        } else if (c.env != nullptr && c.env->contains(p.start_var)) {
+          base = c.env->at(p.start_var);
+          start_color = opts_.default_color;
+        } else {
+          return Status::InvalidArgument("unbound variable " + p.start_var);
+        }
+        if (!base.is_node) {
+          return Status::InvalidArgument("path from atomic value");
+        }
+        start = base.node;
+      } else if (p.from_document) {
+        start = db_->document();
+        start_color = opts_.default_color;
+      } else {
+        // Relative path: needs a context node (predicate evaluation).
+        if (c.ctx_node == kInvalidNodeId) {
+          return Status::InvalidArgument("relative path without context");
+        }
+        start = c.ctx_node;
+        start_color = c.ctx_color;
+      }
+      return EvalRelPath(start, start_color, p, c);
+    }
+    case Expr::Kind::kCompare:
+    case Expr::Kind::kContains:
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      MCT_ASSIGN_OR_RETURN(bool v, EvalBool(c, e));
+      return std::vector<Item>{Item::OfAtomic(v ? "true" : "false")};
+    }
+    case Expr::Kind::kDistinctValues: {
+      MCT_ASSIGN_OR_RETURN(auto items, EvalExpr(c, *e.children[0]));
+      std::unordered_set<std::string> seen;
+      std::vector<Item> out;
+      for (const Item& it : items) {
+        std::string v = Atomize(it);
+        if (seen.insert(v).second) out.push_back(Item::OfAtomic(v));
+      }
+      if (opts_.stats != nullptr) ++opts_.stats->dup_elims;
+      return out;
+    }
+    case Expr::Kind::kCount: {
+      MCT_ASSIGN_OR_RETURN(auto items, EvalExpr(c, *e.children[0]));
+      return std::vector<Item>{
+          Item::OfAtomic(std::to_string(items.size()))};
+    }
+    case Expr::Kind::kFLWOR: {
+      // Correlated nested FLWOR: current row variables become the outer
+      // environment.
+      Env child_env = c.env != nullptr ? *c.env : Env{};
+      if (c.b != nullptr && c.row != nullptr) {
+        for (size_t i = 0; i < c.b->table.vars.size(); ++i) {
+          child_env[c.b->table.vars[i]] =
+              ColumnItem(*c.b, *c.row, static_cast<int>(i));
+        }
+      }
+      return EvalFLWOR(e, child_env);
+    }
+    case Expr::Kind::kSequence: {
+      std::vector<Item> out;
+      for (const auto& ch : e.children) {
+        MCT_ASSIGN_OR_RETURN(auto items, EvalExpr(c, *ch));
+        out.insert(out.end(), items.begin(), items.end());
+      }
+      return out;
+    }
+    case Expr::Kind::kElement: {
+      // Constructor: fresh identity; enclosed expressions keep identity and
+      // become pending children.
+      MCT_ASSIGN_OR_RETURN(NodeId node, db_->CreateFreeElement(e.tag));
+      for (const auto& attr : e.attrs) {
+        MCT_RETURN_IF_ERROR(db_->SetAttr(node, attr.name, attr.value));
+      }
+      std::string text;
+      std::vector<NodeId>& kids = pending_children_[node];
+      for (const auto& ch : e.children) {
+        MCT_ASSIGN_OR_RETURN(auto items, EvalExpr(c, *ch));
+        for (const Item& it : items) {
+          if (it.is_node) {
+            kids.push_back(it.node);
+          } else {
+            if (!text.empty()) text += " ";
+            text += it.atomic;
+          }
+        }
+      }
+      if (!text.empty()) MCT_RETURN_IF_ERROR(db_->SetContent(node, text));
+      return std::vector<Item>{Item::OfNode(node)};
+    }
+    case Expr::Kind::kCreateColor: {
+      MCT_ASSIGN_OR_RETURN(ColorId color, [&]() -> Result<ColorId> {
+        ColorId existing = db_->LookupColor(e.str);
+        if (existing != kInvalidColorId) return existing;
+        return db_->RegisterColor(e.str);
+      }());
+      MCT_ASSIGN_OR_RETURN(auto items, EvalExpr(c, *e.children[0]));
+      for (const Item& it : items) {
+        if (!it.is_node) continue;
+        MCT_RETURN_IF_ERROR(AttachPending(it.node, color, db_->document()));
+      }
+      return items;
+    }
+    case Expr::Kind::kCreateCopy: {
+      MCT_ASSIGN_OR_RETURN(auto items, EvalExpr(c, *e.children[0]));
+      std::vector<Item> out;
+      for (const Item& it : items) {
+        if (!it.is_node) {
+          out.push_back(it);
+          continue;
+        }
+        MCT_ASSIGN_OR_RETURN(NodeId copy, DeepCopy(it.node));
+        out.push_back(Item::OfNode(copy));
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<bool> Evaluator::EvalBool(const EvalCtx& c, const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kAnd: {
+      MCT_ASSIGN_OR_RETURN(bool a, EvalBool(c, *e.children[0]));
+      if (!a) return false;
+      return EvalBool(c, *e.children[1]);
+    }
+    case Expr::Kind::kOr: {
+      MCT_ASSIGN_OR_RETURN(bool a, EvalBool(c, *e.children[0]));
+      if (a) return true;
+      return EvalBool(c, *e.children[1]);
+    }
+    case Expr::Kind::kCompare: {
+      MCT_ASSIGN_OR_RETURN(auto lhs, EvalExpr(c, *e.children[0]));
+      MCT_ASSIGN_OR_RETURN(auto rhs, EvalExpr(c, *e.children[1]));
+      // Node-vs-node equality is identity (the `[. = $m]` correlation of
+      // Figure 3's Q3); otherwise existential comparison on atomized
+      // values.
+      for (const Item& l : lhs) {
+        for (const Item& r : rhs) {
+          bool match;
+          if (l.is_node && r.is_node &&
+              (e.cmp == CmpOp::kEq || e.cmp == CmpOp::kNe)) {
+            match = (e.cmp == CmpOp::kEq) ? l.node == r.node
+                                          : l.node != r.node;
+          } else {
+            match = CompareValues(e.cmp, Atomize(l), Atomize(r));
+          }
+          if (match) return true;
+        }
+      }
+      return false;
+    }
+    case Expr::Kind::kContains: {
+      MCT_ASSIGN_OR_RETURN(auto lhs, EvalExpr(c, *e.children[0]));
+      MCT_ASSIGN_OR_RETURN(auto rhs, EvalExpr(c, *e.children[1]));
+      for (const Item& l : lhs) {
+        for (const Item& r : rhs) {
+          if (Contains(Atomize(l), Atomize(r))) return true;
+        }
+      }
+      return false;
+    }
+    default: {
+      MCT_ASSIGN_OR_RETURN(auto items, EvalExpr(c, e));
+      if (items.empty()) return false;
+      if (items.size() == 1 && !items[0].is_node) {
+        const std::string& v = items[0].atomic;
+        return !v.empty() && v != "false";
+      }
+      return true;  // non-empty node sequence
+    }
+  }
+}
+
+Result<NodeId> Evaluator::DeepCopy(NodeId n) {
+  MCT_ASSIGN_OR_RETURN(NodeId copy, db_->CreateFreeElement(db_->Tag(n)));
+  for (const NodeAttr& a : db_->Attrs(n)) {
+    MCT_RETURN_IF_ERROR(
+        db_->SetAttr(copy, db_->store().names().Name(a.name), a.value));
+  }
+  if (db_->store().HasContent(n)) {
+    MCT_RETURN_IF_ERROR(db_->SetContent(copy, db_->Content(n)));
+  }
+  // Copy structure: pending children for constructed nodes; otherwise the
+  // subtree in the node's first color.
+  auto pit = pending_children_.find(n);
+  if (pit != pending_children_.end()) {
+    for (NodeId ch : pit->second) {
+      MCT_ASSIGN_OR_RETURN(NodeId ch_copy, DeepCopy(ch));
+      pending_children_[copy].push_back(ch_copy);
+    }
+  } else {
+    ColorSet colors = db_->Colors(n);
+    if (!colors.empty()) {
+      ColorId c0 = colors.ToVector().front();
+      for (NodeId ch : db_->Children(n, c0)) {
+        if (db_->Kind(ch) != xml::NodeKind::kElement) continue;
+        MCT_ASSIGN_OR_RETURN(NodeId ch_copy, DeepCopy(ch));
+        pending_children_[copy].push_back(ch_copy);
+      }
+    }
+  }
+  return copy;
+}
+
+Status Evaluator::AttachPending(NodeId node, ColorId color, NodeId parent) {
+  Status s = db_->AddNodeColor(node, color, parent);
+  if (s.IsAlreadyExists()) {
+    // Section 4.2: a node may occur at most once in any colored tree.
+    return Status::DynamicError(
+        "node occurs more than once in colored tree '" +
+        db_->ColorName(color) + "' — use createCopy to duplicate content");
+  }
+  MCT_RETURN_IF_ERROR(s);
+  auto it = pending_children_.find(node);
+  if (it == pending_children_.end()) return Status::OK();
+  // Detach the pending list before recursing (children may themselves have
+  // pending lists).
+  std::vector<NodeId> kids = it->second;
+  pending_children_.erase(it);
+  for (NodeId ch : kids) {
+    MCT_RETURN_IF_ERROR(AttachPending(ch, color, node));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Updates
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> Evaluator::RunUpdate(const ParsedQuery& q) {
+  Env env;
+  MCT_ASSIGN_OR_RETURN(Bindings b,
+                       EvalFLWORBindings(q.bindings, q.where.get(), env));
+  int target = b.table.ColumnOf(q.target_var);
+  if (target < 0) {
+    return Status::InvalidArgument("update target " + q.target_var +
+                                   " is not bound");
+  }
+  ColorId target_color = b.cols[static_cast<size_t>(target)].color;
+
+  // Deduplicate target nodes (a node may be bound by several rows).
+  std::vector<NodeId> targets;
+  std::unordered_set<NodeId> seen;
+  for (const auto& row : b.table.rows) {
+    NodeId n = row[static_cast<size_t>(target)];
+    if (seen.insert(n).second) targets.push_back(n);
+  }
+
+  QueryResult result;
+  ColorSet touched;
+  for (NodeId t : targets) {
+    for (const UpdateAction& action : q.actions) {
+      ColorId color = target_color;
+      if (!action.color.empty()) {
+        MCT_ASSIGN_OR_RETURN(color, ResolveColor(action.color));
+      }
+      switch (action.kind) {
+        case UpdateAction::Kind::kInsert: {
+          EvalCtx c;
+          c.env = &env;
+          c.ctx_node = t;
+          c.ctx_color = color;
+          MCT_ASSIGN_OR_RETURN(auto items, EvalExpr(c, *action.constructor));
+          for (const Item& it : items) {
+            if (!it.is_node) continue;
+            MCT_RETURN_IF_ERROR(AttachPending(it.node, color, t));
+            ++result.updated_count;
+          }
+          touched.Add(color);
+          break;
+        }
+        case UpdateAction::Kind::kDelete: {
+          std::vector<NodeId> victims;
+          if (action.selector.steps.empty()) {
+            victims.push_back(t);
+          } else {
+            EvalCtx c;
+            c.env = &env;
+            MCT_ASSIGN_OR_RETURN(auto items,
+                                 EvalRelPath(t, color, action.selector, c));
+            for (const Item& it : items) {
+              if (it.is_node) victims.push_back(it.node);
+            }
+          }
+          for (NodeId v : victims) {
+            Status s = db_->RemoveNodeColor(v, color);
+            if (s.ok()) {
+              ++result.updated_count;
+            } else if (!s.IsNotFound()) {
+              return s;
+            }
+          }
+          touched.Add(color);
+          break;
+        }
+        case UpdateAction::Kind::kReplace: {
+          EvalCtx c;
+          c.env = &env;
+          MCT_ASSIGN_OR_RETURN(auto items,
+                               EvalRelPath(t, color, action.selector, c));
+          for (const Item& it : items) {
+            if (!it.is_node) continue;
+            MCT_RETURN_IF_ERROR(db_->SetContent(it.node, action.new_value));
+            ++result.updated_count;
+          }
+          break;
+        }
+      }
+    }
+  }
+  // Fold any relabeling cost into the update, as a real engine would.
+  touched.ForEach([&](ColorId c) { db_->tree(c)->EnsureLabels(); });
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Result serialization
+// ---------------------------------------------------------------------------
+
+void Evaluator::ToXmlRec(NodeId n, ColorId color, std::string* out) {
+  out->push_back('<');
+  out->append(db_->Tag(n));
+  for (const NodeAttr& a : db_->Attrs(n)) {
+    out->push_back(' ');
+    out->append(db_->store().names().Name(a.name));
+    out->append("=\"");
+    out->append(xml::EscapeAttr(a.value));
+    out->push_back('"');
+  }
+  auto children = db_->Children(n, color);
+  bool has_content = db_->store().HasContent(n);
+  if (children.empty() && !has_content) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  if (has_content) out->append(xml::EscapeText(db_->Content(n)));
+  for (NodeId ch : children) {
+    if (db_->Kind(ch) == xml::NodeKind::kElement) ToXmlRec(ch, color, out);
+  }
+  out->append("</");
+  out->append(db_->Tag(n));
+  out->push_back('>');
+}
+
+std::string Evaluator::ToXml(const QueryResult& r, ColorId color) {
+  std::string out;
+  for (const Item& it : r.items) {
+    if (it.is_node) {
+      ToXmlRec(it.node, color, &out);
+    } else {
+      out.append(xml::EscapeText(it.atomic));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Specification complexity (Figures 11 / 12)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void CountExpr(const Expr& e, QueryComplexity* out);
+
+void CountPath(const PathExpr& p, QueryComplexity* out) {
+  ++out->num_path_exprs;
+  for (const auto& step : p.steps) {
+    for (const auto& pred : step.predicates) CountExpr(*pred, out);
+  }
+}
+
+void CountExpr(const Expr& e, QueryComplexity* out) {
+  if (e.kind == Expr::Kind::kPath) {
+    CountPath(e.path, out);
+  }
+  if (e.kind == Expr::Kind::kFLWOR) {
+    out->num_variable_bindings += static_cast<int>(e.bindings.size());
+    for (const auto& b : e.bindings) CountExpr(*b.expr, out);
+    if (e.where) CountExpr(*e.where, out);
+    if (e.order_by) CountExpr(*e.order_by, out);
+    if (e.ret) CountExpr(*e.ret, out);
+    return;
+  }
+  for (const auto& c : e.children) CountExpr(*c, out);
+  if (e.where) CountExpr(*e.where, out);
+  if (e.ret) CountExpr(*e.ret, out);
+}
+
+}  // namespace
+
+QueryComplexity AnalyzeComplexity(const ParsedQuery& q) {
+  QueryComplexity out;
+  if (q.root) CountExpr(*q.root, &out);
+  out.num_variable_bindings += static_cast<int>(q.bindings.size());
+  for (const auto& b : q.bindings) CountExpr(*b.expr, &out);
+  if (q.where) CountExpr(*q.where, &out);
+  for (const auto& a : q.actions) {
+    if (a.constructor) CountExpr(*a.constructor, &out);
+    if (!a.selector.steps.empty()) CountPath(a.selector, &out);
+  }
+  return out;
+}
+
+}  // namespace mct::mcx

@@ -1,0 +1,167 @@
+// MCXQuery evaluator.
+//
+// Executes parsed MCXQuery statements against an MctDatabase through the
+// physical operators of src/query. Planning follows the paper's methodology
+// (Section 6.2: plans were chosen by hand to be the best; ours uses the
+// equivalent deterministic heuristics):
+//
+//  * each for-binding's colored path compiles to TagScan + structural
+//    join steps, with a CrossTreeJoin inserted at every color transition
+//    between consecutive steps;
+//  * where-clause conjuncts that equate values across two bound variables
+//    become hash value joins (IdrefsJoin for contains(list, id) shapes);
+//    inequality conjuncts become nested-loop joins; conjuncts over a single
+//    variable become selections;
+//  * `[. = $x]` correlations become node-identity joins.
+//
+// Constructor expressions create new free nodes whose parent/child edges
+// stay *pending* until createColor attaches the fragment to a colored tree
+// — at which point a node occurring twice in one tree raises the paper's
+// dynamic error. Enclosed expressions preserve node identity; createCopy
+// makes fresh deep copies.
+
+#ifndef COLORFUL_XML_MCX_EVALUATOR_H_
+#define COLORFUL_XML_MCX_EVALUATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "mct/database.h"
+#include "mcx/ast.h"
+#include "query/ops.h"
+#include "query/table.h"
+
+namespace mct::mcx {
+
+/// One item of an XQuery result sequence: a node or an atomic value.
+struct Item {
+  bool is_node = false;
+  NodeId node = kInvalidNodeId;
+  std::string atomic;
+
+  static Item OfNode(NodeId n) {
+    Item i;
+    i.is_node = true;
+    i.node = n;
+    return i;
+  }
+  static Item OfAtomic(std::string v) {
+    Item i;
+    i.atomic = std::move(v);
+    return i;
+  }
+};
+
+struct QueryResult {
+  std::vector<Item> items;
+  /// For update statements: number of nodes inserted/deleted/replaced.
+  uint64_t updated_count = 0;
+};
+
+struct EvalOptions {
+  /// Color used by steps without an explicit {color} — the single color of
+  /// a shallow/deep database, or any default for MCT dialect queries (which
+  /// normally specify every color).
+  ColorId default_color = 0;
+  query::ExecStats* stats = nullptr;
+  /// When set, the evaluator appends one line per physical operator it
+  /// executes (EXPLAIN ANALYZE-style plan trace).
+  std::vector<std::string>* plan = nullptr;
+};
+
+class Evaluator {
+ public:
+  Evaluator(MctDatabase* db, EvalOptions opts) : db_(db), opts_(opts) {}
+
+  /// Runs a query or update.
+  Result<QueryResult> Run(const ParsedQuery& q);
+
+  /// Convenience: parse + run.
+  Result<QueryResult> Run(std::string_view text);
+
+  /// Serializes result items to XML text; node items are rendered with
+  /// their subtree in `color`.
+  std::string ToXml(const QueryResult& r, ColorId color);
+
+ private:
+  // Column metadata alongside query::Table.
+  struct ColumnInfo {
+    ColorId color = 0;    // color the node was reached in
+    bool atomic = false;  // column carries values, not node identity
+                          // (distinct-values bindings, attribute steps)
+    std::string attr;     // when set, the value reads through this attribute
+                          // of the stored node; else through its content
+  };
+  struct Bindings {
+    query::Table table;
+    std::vector<ColumnInfo> cols;
+  };
+  // Outer variable environment for correlated nested FLWORs.
+  using Env = std::unordered_map<std::string, Item>;
+
+  Result<ColorId> ResolveColor(const std::string& name) const;
+
+  // FLWOR machinery.
+  Result<Bindings> EvalFLWORBindings(const std::vector<Binding>& bindings,
+                                     const Expr* where, const Env& env);
+  Result<Bindings> EvalSteps(Bindings in, int ctx_col,
+                             const std::vector<PathStep>& steps,
+                             const std::string& out_var, const Env& env);
+  Result<Bindings> JoinIn(Bindings left, Bindings right, const Expr* conjunct,
+                          const Env& env);
+  Status ApplyResidual(Bindings* b, const Expr& conjunct, const Env& env);
+
+  // Scalar/per-row evaluation context: the current binding row (if any),
+  // the outer variable environment, and a context node for relative paths.
+  struct EvalCtx {
+    const Bindings* b = nullptr;
+    const std::vector<NodeId>* row = nullptr;
+    const Env* env = nullptr;
+    NodeId ctx_node = kInvalidNodeId;
+    ColorId ctx_color = 0;
+  };
+
+  /// Evaluates any expression to an item sequence (constructors included).
+  Result<std::vector<Item>> EvalExpr(const EvalCtx& c, const Expr& e);
+  /// Effective boolean value (existential comparison semantics).
+  Result<bool> EvalBool(const EvalCtx& c, const Expr& e);
+  Result<std::vector<Item>> EvalRelPath(NodeId ctx, ColorId default_color,
+                                        const PathExpr& p, const EvalCtx& c);
+  /// Reads the value of a bound variable column for a row.
+  Item ColumnItem(const Bindings& b, const std::vector<NodeId>& row,
+                  int col) const;
+  std::string Atomize(const Item& item) const;
+
+  Result<std::vector<Item>> EvalFLWOR(const Expr& flwor, const Env& env);
+  Result<NodeId> DeepCopy(NodeId n);
+  Status AttachPending(NodeId node, ColorId color, NodeId parent);
+
+  // Updates.
+  Result<QueryResult> RunUpdate(const ParsedQuery& q);
+
+  /// Appends a plan-trace line when opts_.plan is set.
+  void Note(std::string line) {
+    if (opts_.plan != nullptr) opts_.plan->push_back(std::move(line));
+  }
+
+  void ToXmlRec(NodeId n, ColorId color, std::string* out);
+
+  MctDatabase* db_;
+  EvalOptions opts_;
+  // Pending constructed edges: parent -> ordered children, waiting for
+  // createColor.
+  std::unordered_map<NodeId, std::vector<NodeId>> pending_children_;
+};
+
+/// Specification-complexity metrics of Figures 11 and 12.
+struct QueryComplexity {
+  int num_path_exprs = 0;
+  int num_variable_bindings = 0;
+};
+QueryComplexity AnalyzeComplexity(const ParsedQuery& q);
+
+}  // namespace mct::mcx
+
+#endif  // COLORFUL_XML_MCX_EVALUATOR_H_

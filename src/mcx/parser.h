@@ -1,0 +1,22 @@
+// MCXQuery parser: recursive descent over the raw query text. Both the
+// unabbreviated syntax of the paper's Figure 3
+// ({red}descendant::movie-genre[{red}child::name = "Comedy"]) and the
+// abbreviated syntax of the introduction ({red}//movie-genre[name =
+// "Comedy"], @attr) are accepted.
+
+#ifndef COLORFUL_XML_MCX_PARSER_H_
+#define COLORFUL_XML_MCX_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "mcx/ast.h"
+
+namespace mct::mcx {
+
+/// Parses a query or update statement. ParseError with offset on failure.
+Result<ParsedQuery> Parse(std::string_view text);
+
+}  // namespace mct::mcx
+
+#endif  // COLORFUL_XML_MCX_PARSER_H_

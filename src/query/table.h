@@ -1,0 +1,71 @@
+// Binding tables: the tuple stream flowing between physical operators.
+//
+// A Table holds the bindings of one or more query variables (columns) to
+// nodes (rows), exactly the "tuple of bindings" an XQuery FLWOR produces.
+// Operators are set-oriented functions over Tables (Timber evaluated its
+// algebra bulk-wise too), which keeps join algorithms — the heart of the
+// paper's performance story — explicit and measurable.
+
+#ifndef COLORFUL_XML_QUERY_TABLE_H_
+#define COLORFUL_XML_QUERY_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mct/node_store.h"
+
+namespace mct::query {
+
+struct Table {
+  /// Column names (variable names like "$m"; internal step columns use
+  /// positional names).
+  std::vector<std::string> vars;
+  /// rows[i][j] binds vars[j].
+  std::vector<std::vector<NodeId>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_cols() const { return vars.size(); }
+
+  /// Index of a variable, or -1.
+  int ColumnOf(const std::string& var) const {
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i] == var) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Single-column table from a node list.
+  static Table FromNodes(std::string var, const std::vector<NodeId>& nodes) {
+    Table t;
+    t.vars.push_back(std::move(var));
+    t.rows.reserve(nodes.size());
+    for (NodeId n : nodes) t.rows.push_back({n});
+    return t;
+  }
+
+  /// The nodes bound in one column, in row order (with duplicates).
+  std::vector<NodeId> Column(int col) const {
+    std::vector<NodeId> out;
+    out.reserve(rows.size());
+    for (const auto& r : rows) out.push_back(r[static_cast<size_t>(col)]);
+    return out;
+  }
+};
+
+/// Counters for the cost anatomy the paper reports alongside Table 2: how
+/// many structural joins, value joins and color crossings a plan performed.
+struct ExecStats {
+  uint64_t structural_joins = 0;
+  uint64_t value_joins = 0;
+  uint64_t cross_tree_joins = 0;
+  uint64_t nested_loop_joins = 0;
+  uint64_t dup_elims = 0;
+  uint64_t rows_scanned = 0;
+
+  void Reset() { *this = ExecStats(); }
+};
+
+}  // namespace mct::query
+
+#endif  // COLORFUL_XML_QUERY_TABLE_H_

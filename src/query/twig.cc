@@ -1,0 +1,268 @@
+#include "query/twig.h"
+
+#include "query/ops.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace mct::query {
+
+namespace {
+
+std::string ColName(const TwigPattern& p, int i) {
+  return StrFormat("#%d:%s", i, p.nodes[static_cast<size_t>(i)].tag.c_str());
+}
+
+struct StreamElem {
+  uint64_t start, end;
+  NodeId node;
+};
+
+// Sorted (by start) stream of one pattern node's tag.
+std::vector<StreamElem> StreamOf(MctDatabase* db, ColorId color,
+                                 const std::string& tag, ExecStats* stats) {
+  std::vector<StreamElem> out;
+  ColoredTree* t = db->tree(color);
+  t->EnsureLabels();
+  for (NodeId n : db->TagScan(color, tag)) {  // already in start order
+    out.push_back(StreamElem{t->Start(n), t->End(n), n});
+  }
+  if (stats != nullptr) stats->rows_scanned += out.size();
+  return out;
+}
+
+}  // namespace
+
+bool TwigPattern::IsPath() const {
+  std::vector<int> fanout(nodes.size(), 0);
+  for (const TwigNode& n : nodes) {
+    if (n.parent >= 0) fanout[static_cast<size_t>(n.parent)]++;
+  }
+  for (int f : fanout) {
+    if (f > 1) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<int>> TwigPattern::RootToLeafPaths() const {
+  std::vector<std::vector<int>> kids(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].parent >= 0) {
+      kids[static_cast<size_t>(nodes[i].parent)].push_back(
+          static_cast<int>(i));
+    }
+  }
+  std::vector<std::vector<int>> paths;
+  std::vector<int> cur;
+  // DFS from node 0.
+  struct Frame {
+    int node;
+    size_t next_kid;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  cur.push_back(0);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    auto& k = kids[static_cast<size_t>(f.node)];
+    if (k.empty() && f.next_kid == 0) {
+      paths.push_back(cur);
+      ++f.next_kid;  // mark leaf done
+      stack.pop_back();
+      cur.pop_back();
+      continue;
+    }
+    if (f.next_kid < k.size()) {
+      int child = k[f.next_kid++];
+      stack.push_back({child, 0});
+      cur.push_back(child);
+    } else {
+      stack.pop_back();
+      cur.pop_back();
+    }
+  }
+  return paths;
+}
+
+Result<Table> PathStackJoin(MctDatabase* db, ColorId color,
+                            const TwigPattern& pattern, ExecStats* stats) {
+  if (!pattern.IsPath()) {
+    return Status::InvalidArgument("PathStackJoin requires a path pattern");
+  }
+  if (pattern.nodes.empty()) {
+    return Status::InvalidArgument("empty twig pattern");
+  }
+  if (stats != nullptr) ++stats->structural_joins;  // one holistic join
+  const int k = static_cast<int>(pattern.nodes.size());
+
+  Table out;
+  for (int i = 0; i < k; ++i) out.vars.push_back(ColName(pattern, i));
+
+  // Streams in pattern order (node 0 is the path root).
+  std::vector<std::vector<StreamElem>> streams;
+  for (int i = 0; i < k; ++i) {
+    streams.push_back(
+        StreamOf(db, color, pattern.nodes[static_cast<size_t>(i)].tag, stats));
+    if (streams.back().empty()) return out;  // some tag never occurs
+  }
+  std::vector<size_t> cursor(static_cast<size_t>(k), 0);
+
+  struct Entry {
+    StreamElem e;
+    int parent_top;  // index of S_{i-1}'s top when pushed (-1 when i == 0)
+  };
+  std::vector<std::vector<Entry>> stacks(static_cast<size_t>(k));
+  ColoredTree* t = db->tree(color);
+
+  // Emits every solution ending at the just-pushed leaf entry.
+  std::vector<NodeId> partial(static_cast<size_t>(k));
+  auto expand = [&](auto&& self, int level, int max_idx) -> void {
+    if (level < 0) {
+      out.rows.push_back(partial);
+      return;
+    }
+    for (int idx = 0; idx <= max_idx; ++idx) {
+      const Entry& entry = stacks[static_cast<size_t>(level)]
+                                 [static_cast<size_t>(idx)];
+      // Child-axis edges are verified against the parent pointer; the
+      // stacks only guarantee ancestorship.
+      if (level + 1 < k &&
+          pattern.nodes[static_cast<size_t>(level + 1)].child_axis) {
+        NodeId below = partial[static_cast<size_t>(level + 1)];
+        if (t->Parent(below) != entry.e.node) continue;
+      }
+      partial[static_cast<size_t>(level)] = entry.e.node;
+      self(self, level - 1, entry.parent_top);
+    }
+  };
+
+  while (cursor[static_cast<size_t>(k - 1)] <
+         streams[static_cast<size_t>(k - 1)].size()) {
+    // qmin: the stream whose next element has the smallest start.
+    int qmin = -1;
+    uint64_t min_start = ~0ULL;
+    for (int i = 0; i < k; ++i) {
+      if (cursor[static_cast<size_t>(i)] >=
+          streams[static_cast<size_t>(i)].size()) {
+        continue;
+      }
+      uint64_t s =
+          streams[static_cast<size_t>(i)][cursor[static_cast<size_t>(i)]]
+              .start;
+      if (s < min_start) {
+        min_start = s;
+        qmin = i;
+      }
+    }
+    if (qmin < 0) break;
+    const StreamElem& e =
+        streams[static_cast<size_t>(qmin)][cursor[static_cast<size_t>(qmin)]];
+    // Clean every stack of entries that cannot contain e (or anything
+    // after it).
+    for (auto& s : stacks) {
+      while (!s.empty() && s.back().e.end < e.start) s.pop_back();
+    }
+    // Push when the chain above is extendable. The linked ancestor entry
+    // must contain e *strictly* (start < e.start): with a tag repeated
+    // along the pattern (a//a) the same element sits on both stacks and
+    // must not chain to itself.
+    int ptr = -1;
+    if (qmin > 0) {
+      const auto& above = stacks[static_cast<size_t>(qmin - 1)];
+      ptr = static_cast<int>(above.size()) - 1;
+      while (ptr >= 0 &&
+             above[static_cast<size_t>(ptr)].e.start >= e.start) {
+        --ptr;
+      }
+    }
+    if (qmin == 0 || ptr >= 0) {
+      stacks[static_cast<size_t>(qmin)].push_back(Entry{e, ptr});
+      if (qmin == k - 1) {
+        partial[static_cast<size_t>(k - 1)] = e.node;
+        expand(expand, k - 2,
+               stacks[static_cast<size_t>(qmin)].back().parent_top);
+        stacks[static_cast<size_t>(qmin)].pop_back();  // leaves never nest usefully
+      }
+    }
+    cursor[static_cast<size_t>(qmin)]++;
+  }
+  return out;
+}
+
+Result<Table> TwigStackJoin(MctDatabase* db, ColorId color,
+                            const TwigPattern& pattern, ExecStats* stats) {
+  if (pattern.nodes.empty()) {
+    return Status::InvalidArgument("empty twig pattern");
+  }
+  auto paths = pattern.RootToLeafPaths();
+  // Solve each root-to-leaf path holistically.
+  std::vector<Table> tables;
+  for (const auto& path : paths) {
+    TwigPattern sub;
+    for (size_t j = 0; j < path.size(); ++j) {
+      const TwigNode& n = pattern.nodes[static_cast<size_t>(path[j])];
+      sub.Add(static_cast<int>(j) - 1, n.tag, n.child_axis);
+    }
+    MCT_ASSIGN_OR_RETURN(Table t, PathStackJoin(db, color, sub, stats));
+    // Rename columns back to the global pattern indices.
+    for (size_t j = 0; j < path.size(); ++j) {
+      t.vars[j] = ColName(pattern, path[j]);
+    }
+    tables.push_back(std::move(t));
+  }
+  // Merge path solutions on their shared columns.
+  Table acc = std::move(tables[0]);
+  for (size_t pi = 1; pi < tables.size(); ++pi) {
+    Table& right = tables[pi];
+    // Columns shared with acc (by name) and right-only columns.
+    std::vector<int> shared_l, shared_r, extra_r;
+    for (size_t j = 0; j < right.vars.size(); ++j) {
+      int li = acc.ColumnOf(right.vars[j]);
+      if (li >= 0) {
+        shared_l.push_back(li);
+        shared_r.push_back(static_cast<int>(j));
+      } else {
+        extra_r.push_back(static_cast<int>(j));
+      }
+    }
+    auto key_of = [](const std::vector<NodeId>& row,
+                     const std::vector<int>& cols) {
+      std::string key;
+      for (int c : cols) {
+        key.append(reinterpret_cast<const char*>(&row[static_cast<size_t>(c)]),
+                   sizeof(NodeId));
+      }
+      return key;
+    };
+    std::unordered_map<std::string, std::vector<size_t>> ht;
+    for (size_t i = 0; i < right.rows.size(); ++i) {
+      ht[key_of(right.rows[i], shared_r)].push_back(i);
+    }
+    Table merged;
+    merged.vars = acc.vars;
+    for (int c : extra_r) {
+      merged.vars.push_back(right.vars[static_cast<size_t>(c)]);
+    }
+    for (const auto& lrow : acc.rows) {
+      auto it = ht.find(key_of(lrow, shared_l));
+      if (it == ht.end()) continue;
+      for (size_t ri : it->second) {
+        std::vector<NodeId> row = lrow;
+        for (int c : extra_r) {
+          row.push_back(right.rows[ri][static_cast<size_t>(c)]);
+        }
+        merged.rows.push_back(std::move(row));
+      }
+    }
+    acc = std::move(merged);
+  }
+  // Normalize column order to pattern index order.
+  std::vector<int> order;
+  for (size_t i = 0; i < pattern.nodes.size(); ++i) {
+    order.push_back(acc.ColumnOf(ColName(pattern, static_cast<int>(i))));
+  }
+  return Project(acc, order);
+}
+
+}  // namespace mct::query

@@ -1,0 +1,61 @@
+// Holistic twig joins (Bruno, Koudas, Srivastava: "Holistic twig joins:
+// optimal XML pattern matching", SIGMOD 2002 — the paper's reference [8]).
+//
+// A twig pattern is a small tree of (tag, axis) tests. PathStackJoin
+// evaluates a *path* pattern (no branching) holistically: all tag streams
+// are merged in one pass over their interval labels with chained stacks, so
+// no intermediate binary-join result can blow up. TwigStackJoin decomposes
+// a branching twig into its root-to-leaf paths, solves each holistically,
+// and merge-joins the path solutions on their shared prefixes.
+//
+// Both agree exactly with composing the binary structural joins of ops.h
+// (property-tested); the ablation benchmark compares their costs.
+
+#ifndef COLORFUL_XML_QUERY_TWIG_H_
+#define COLORFUL_XML_QUERY_TWIG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mct/database.h"
+#include "query/table.h"
+
+namespace mct::query {
+
+/// One node of a twig pattern.
+struct TwigNode {
+  std::string tag;      // element test (must be non-empty)
+  bool child_axis = false;  // edge from parent: child (true) or descendant
+  int parent = -1;      // index in TwigPattern::nodes; -1 for the root node
+};
+
+/// A twig pattern; node 0 is the pattern root (matched via descendant from
+/// the document).
+struct TwigPattern {
+  std::vector<TwigNode> nodes;
+
+  /// Adds a node; returns its index.
+  int Add(int parent, std::string tag, bool child_axis) {
+    nodes.push_back(TwigNode{std::move(tag), child_axis, parent});
+    return static_cast<int>(nodes.size()) - 1;
+  }
+
+  bool IsPath() const;
+  /// Root-to-leaf paths as index sequences.
+  std::vector<std::vector<int>> RootToLeafPaths() const;
+};
+
+/// Holistic path join: `pattern` must be a path (each node at most one
+/// child). Output columns follow pattern-node order.
+Result<Table> PathStackJoin(MctDatabase* db, ColorId color,
+                            const TwigPattern& pattern, ExecStats* stats);
+
+/// General twig: path decomposition + merge on shared prefixes. Output
+/// columns follow pattern-node index order (var = "#<i>:<tag>").
+Result<Table> TwigStackJoin(MctDatabase* db, ColorId color,
+                            const TwigPattern& pattern, ExecStats* stats);
+
+}  // namespace mct::query
+
+#endif  // COLORFUL_XML_QUERY_TWIG_H_

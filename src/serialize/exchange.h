@@ -1,0 +1,62 @@
+// MCT <-> XML exchange (Section 5): serializes an MCT database as a single
+// plain-XML document that a receiver can reconstruct the database from.
+//
+// Encoding. Every element is emitted exactly once, nested inside its parent
+// in its *primary* color (per a SerializationScheme, normally produced by
+// optSerialize; instances lacking the chosen color fall back to the next
+// ranked color, Section 5.3). Bookkeeping attributes carry what nesting
+// alone cannot:
+//   mct.id            node identifier (emitted when any reference needs it)
+//   mct.colors        the node's colors, space separated, when they differ
+//                     from the single enclosing color (this plays the role
+//                     of the paper's color="c+/c-/c" annotations; the
+//                     information content is identical and decoding is
+//                     simpler — see DESIGN.md)
+//   mct.ref.<color>   id of the node's parent in a non-primary color
+//   mct.pos.<color>   sibling position under that parent (restores the
+//                     per-color local order)
+// User attributes are emitted as-is; names starting with "mct." are
+// reserved by the format.
+
+#ifndef COLORFUL_XML_SERIALIZE_EXCHANGE_H_
+#define COLORFUL_XML_SERIALIZE_EXCHANGE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "mct/database.h"
+#include "serialize/opt_serialize.h"
+
+namespace mct::serialize {
+
+/// Overhead accounting of one serialization, in the units of the cost
+/// model: 2 per non-primary parent pointer, 1 per color re-annotation.
+struct ExportStats {
+  uint64_t parent_pointers = 0;
+  uint64_t color_annotations = 0;
+  uint64_t elements = 0;
+  uint64_t bytes = 0;
+
+  double CostUnits() const {
+    return 2.0 * static_cast<double>(parent_pointers) +
+           static_cast<double>(color_annotations);
+  }
+};
+
+/// Serializes the database as XML using `scheme`'s primary colors.
+Result<std::string> ExportXml(MctDatabase* db,
+                              const SerializationScheme& scheme,
+                              ExportStats* stats = nullptr);
+
+/// Reconstructs an MCT database from ExportXml output.
+Result<std::unique_ptr<MctDatabase>> ImportXml(const std::string& xml);
+
+/// Deep structural equality of two MCT databases (same colors, isomorphic
+/// colored trees, same tags/content/attributes), for round-trip tests.
+bool DatabasesIsomorphic(const MctDatabase& a, const MctDatabase& b,
+                         std::string* why = nullptr);
+
+}  // namespace mct::serialize
+
+#endif  // COLORFUL_XML_SERIALIZE_EXCHANGE_H_

@@ -1,0 +1,243 @@
+#include "serialize/opt_serialize.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace mct::serialize {
+
+namespace {
+
+// Union of child slots over every real-color production of `m`: a child
+// type shared by several hierarchies (movie/name in red and green) is one
+// physical node, so it is counted once, with the largest per-parent count.
+std::map<std::string, double> ChildQuants(const MctSchema& schema,
+                                          const ElementType& m) {
+  std::map<std::string, double> out;
+  for (const std::string& c : m.colors) {
+    auto pit = m.productions.find(c);
+    if (pit == m.productions.end()) continue;
+    for (const ProductionChild& pc : pit->second.children) {
+      double q = schema.Quant(pc.elem, c);
+      auto [it, inserted] = out.try_emplace(pc.elem, q);
+      if (!inserted) it->second = std::max(it->second, q);
+    }
+  }
+  return out;
+}
+
+// Memoized DP over (type, shade). Cycles (recursive productions such as
+// movie-genre under movie-genre) contribute a shade-independent constant,
+// so the guard returns 0 for in-progress pairs without affecting the
+// argmin (see header).
+class CostSolver {
+ public:
+  explicit CostSolver(const MctSchema& schema) : schema_(schema) {}
+
+  double Cost(const std::string& type, const std::string& shade) {
+    auto key = std::make_pair(type, shade);
+    auto mit = memo_.find(key);
+    if (mit != memo_.end()) return mit->second;
+    if (!in_progress_.insert(key).second) return 0.0;  // cycle guard
+    const ElementType* m = schema_.Find(type);
+    double cost = 0;
+    if (m != nullptr) {
+      // Parent pointers (ID + IDREF) for every real hierarchy other than
+      // the primary one — the "+2" of Section 5.2.
+      int others = static_cast<int>(m->colors.size()) -
+                   (m->colors.contains(shade) ? 1 : 0);
+      cost = 2.0 * others;
+      for (const auto& [child, q] : ChildQuants(schema_, *m)) {
+        cost += q * BestChildCost(child, shade);
+      }
+    }
+    in_progress_.erase(key);
+    memo_[key] = cost;
+    return cost;
+  }
+
+  /// min over the child's legal primaries given the parent's shade:
+  /// its real colors, plus the parent's shade flowing down (Section 5.1).
+  double BestChildCost(const std::string& child,
+                       const std::string& parent_shade) {
+    const ElementType* t = schema_.Find(child);
+    std::set<std::string> choices;
+    if (t != nullptr) choices = t->colors;
+    choices.insert(parent_shade);
+    double best = std::numeric_limits<double>::infinity();
+    for (const std::string& s : choices) {
+      // "+1" re-annotation when the child's primary differs from the
+      // enclosing hierarchy's color.
+      double c = Cost(child, s) + (s == parent_shade ? 0.0 : 1.0);
+      best = std::min(best, c);
+    }
+    return best;
+  }
+
+ private:
+  const MctSchema& schema_;
+  std::map<std::pair<std::string, std::string>, double> memo_;
+  std::set<std::pair<std::string, std::string>> in_progress_;
+};
+
+// Root types: produced by nobody in any color.
+std::vector<const ElementType*> RootTypes(const MctSchema& schema) {
+  std::set<std::string> produced;
+  for (const auto& [_, e] : schema.elements()) {
+    for (const auto& [c, prod] : e.productions) {
+      for (const ProductionChild& pc : prod.children) {
+        if (pc.elem != e.name) produced.insert(pc.elem);
+      }
+    }
+  }
+  std::vector<const ElementType*> roots;
+  for (const auto& [name, e] : schema.elements()) {
+    if (!produced.contains(name)) roots.push_back(&e);
+  }
+  return roots;
+}
+
+// Cost of one instance of `type` serialized with the FIXED assignment,
+// under a parent serialized in `parent_shade` ("" for roots).
+double FixedCost(const MctSchema& schema,
+                 const std::map<std::string, std::string>& primary,
+                 const std::string& type, const std::string& shade,
+                 std::set<std::pair<std::string, std::string>>* in_progress) {
+  auto key = std::make_pair(type, shade);
+  if (!in_progress->insert(key).second) return 0.0;  // cycle guard
+  const ElementType* m = schema.Find(type);
+  double cost = 0;
+  if (m != nullptr) {
+    int others = static_cast<int>(m->colors.size()) -
+                 (m->colors.contains(shade) ? 1 : 0);
+    cost = 2.0 * others;
+    for (const auto& [child, q] : ChildQuants(schema, *m)) {
+      auto pit = primary.find(child);
+      std::string assigned = pit != primary.end() ? pit->second : "";
+      const ElementType* t = schema.Find(child);
+      double child_cost;
+      if (assigned == shade) {
+        child_cost = FixedCost(schema, primary, child, shade, in_progress);
+      } else if (t != nullptr && t->colors.contains(assigned)) {
+        child_cost =
+            FixedCost(schema, primary, child, assigned, in_progress) + 1.0;
+      } else {
+        // Assignment not realizable in this context: fall back to inlining
+        // under the parent's shade with a re-annotation.
+        child_cost =
+            FixedCost(schema, primary, child, shade, in_progress) + 1.0;
+      }
+      cost += q * child_cost;
+    }
+  }
+  in_progress->erase(key);
+  return cost;
+}
+
+}  // namespace
+
+double CostOf(const MctSchema& schema, const std::string& type,
+              const std::string& shade) {
+  CostSolver solver(schema);
+  return solver.Cost(type, shade);
+}
+
+double AssignmentCost(const MctSchema& schema,
+                      const std::map<std::string, std::string>& primary) {
+  double total = 0;
+  for (const ElementType* r : RootTypes(schema)) {
+    auto pit = primary.find(r->name);
+    std::string shade = pit != primary.end()
+                            ? pit->second
+                            : (r->colors.empty() ? "" : *r->colors.begin());
+    std::set<std::pair<std::string, std::string>> in_progress;
+    total += FixedCost(schema, primary, r->name, shade, &in_progress);
+  }
+  return total;
+}
+
+Result<SerializationScheme> OptSerialize(const MctSchema& schema) {
+  CostSolver solver(schema);
+  SerializationScheme scheme;
+  for (const auto& [name, e] : schema.elements()) {
+    std::vector<std::pair<double, std::string>> ranked;
+    for (const std::string& c : e.colors) {
+      ranked.emplace_back(solver.Cost(name, c), c);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    std::vector<std::string> colors;
+    for (const auto& [_, c] : ranked) colors.push_back(c);
+    scheme.primary[name] = std::move(colors);
+  }
+  std::map<std::string, std::string> top;
+  for (const auto& [name, ranked] : scheme.primary) {
+    if (!ranked.empty()) top[name] = ranked.front();
+  }
+  // The DP's per-type argmin is exact under the paper's Section 5.3
+  // assumption (one production context per multi-colored type). When a
+  // type appears under parents serialized in different shades (the movie
+  // schema's movie-role, under movie *and* actor), contextual optima can
+  // disagree with the best single global choice; a greedy local search
+  // over the multi-colored types repairs that, seeded by the DP ranking.
+  double best_cost = AssignmentCost(schema, top);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (const ElementType* m : schema.MultiColoredTypes()) {
+      const std::string current = top[m->name];
+      for (const std::string& alt : m->colors) {
+        if (alt == current) continue;
+        top[m->name] = alt;
+        double cost = AssignmentCost(schema, top);
+        if (cost + 1e-12 < best_cost) {
+          best_cost = cost;
+          improved = true;
+        } else {
+          top[m->name] = current;
+        }
+      }
+    }
+  }
+  // Promote the search's winners to the front of each ranking.
+  for (auto& [name, ranked] : scheme.primary) {
+    auto it = std::find(ranked.begin(), ranked.end(), top[name]);
+    if (it != ranked.end()) std::rotate(ranked.begin(), it, it + 1);
+  }
+  scheme.expected_cost = best_cost;
+  return scheme;
+}
+
+double BruteForceOptimalCost(const MctSchema& schema) {
+  // Enumerate assignments of every multi-colored type over its real colors.
+  std::vector<const ElementType*> multi = schema.MultiColoredTypes();
+  std::map<std::string, std::string> primary;
+  for (const auto& [name, e] : schema.elements()) {
+    if (e.colors.size() == 1) primary[name] = *e.colors.begin();
+  }
+  double best = std::numeric_limits<double>::infinity();
+  // Odometer over choices.
+  std::vector<std::vector<std::string>> domains;
+  for (const ElementType* m : multi) {
+    domains.emplace_back(m->colors.begin(), m->colors.end());
+  }
+  std::vector<size_t> idx(multi.size(), 0);
+  while (true) {
+    for (size_t i = 0; i < multi.size(); ++i) {
+      primary[multi[i]->name] = domains[i][idx[i]];
+    }
+    best = std::min(best, AssignmentCost(schema, primary));
+    // Advance odometer.
+    size_t d = 0;
+    while (d < idx.size()) {
+      if (++idx[d] < domains[d].size()) break;
+      idx[d] = 0;
+      ++d;
+    }
+    if (d == idx.size()) break;
+    if (multi.empty()) break;
+  }
+  if (multi.empty()) best = AssignmentCost(schema, primary);
+  return best;
+}
+
+}  // namespace mct::serialize

@@ -1,0 +1,76 @@
+// Algorithm optSerialize (paper Figure 9): choose, per element type, the
+// *primary color* — the hierarchy in which its instances are nested inline
+// in the XML serialization — minimizing the expected serialization overhead.
+//
+// Cost model (reconstructed from Section 5.2's worked example; the paper's
+// pseudocode is abridged, see DESIGN.md):
+//  * an element type serialized under primary color `shade` pays 2 units
+//    (an ID plus an IDREF parent pointer) for every *other* real color it
+//    participates in — the "+2" of the example;
+//  * a child type whose chosen primary differs from its parent's pays 1
+//    unit (the color re-annotation, the "+1" of the example);
+//  * a child's legal primary choices are its real colors plus the parent's
+//    shade flowing down (Section 5.1's "surprisingly, green is also a
+//    primary color choice for movie-role");
+//  * expected counts come from quant(child, color).
+//
+// The dynamic program memoizes cost(type, shade); Theorem 5.1 (optimality
+// w.r.t. the schema + statistics) is validated in tests against exhaustive
+// enumeration of all assignments.
+
+#ifndef COLORFUL_XML_SERIALIZE_OPT_SERIALIZE_H_
+#define COLORFUL_XML_SERIALIZE_OPT_SERIALIZE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "serialize/schema.h"
+
+namespace mct::serialize {
+
+/// The serialization scheme: per element type, its primary-color choices
+/// ranked best-first (Section 5.3's fallback for instances missing the
+/// chosen color), and the scheme's expected cost.
+struct SerializationScheme {
+  /// type name -> colors ranked by cost (best first). Types with a single
+  /// real color rank it first, followed by nothing.
+  std::map<std::string, std::vector<std::string>> primary;
+  /// Expected overhead (cost units) of the whole scheme, per schema root
+  /// statistics.
+  double expected_cost = 0;
+
+  const std::string& PrimaryOf(const std::string& type) const {
+    static const std::string kEmpty;
+    auto it = primary.find(type);
+    return it == primary.end() || it->second.empty() ? kEmpty
+                                                     : it->second.front();
+  }
+};
+
+/// Expected cost of serializing one instance of `type` with primary color
+/// `shade` (recursively over the schema), for a fixed assignment of
+/// primaries to all other types being *free* (the DP chooses children
+/// optimally given the parent's shade). Exposed for tests.
+double CostOf(const MctSchema& schema, const std::string& type,
+              const std::string& shade);
+
+/// Runs the dynamic program and returns the optimal scheme.
+/// InvalidArgument on cyclic multi-colored productions (excluded by the
+/// paper's assumption in Section 5.3).
+Result<SerializationScheme> OptSerialize(const MctSchema& schema);
+
+/// Exhaustive oracle: tries every assignment of primaries to multi-colored
+/// types and returns the minimum expected cost. Exponential; only for small
+/// schemas in tests (validates Theorem 5.1).
+double BruteForceOptimalCost(const MctSchema& schema);
+
+/// Expected cost of one fixed assignment (type -> primary color). Used by
+/// the oracle and the serialization benchmarks.
+double AssignmentCost(const MctSchema& schema,
+                      const std::map<std::string, std::string>& primary);
+
+}  // namespace mct::serialize
+
+#endif  // COLORFUL_XML_SERIALIZE_OPT_SERIALIZE_H_

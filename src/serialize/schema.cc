@@ -1,0 +1,123 @@
+#include "serialize/schema.h"
+
+#include <unordered_map>
+
+namespace mct::serialize {
+
+ElementType* MctSchema::AddElement(const std::string& name) {
+  auto [it, _] = elements_.try_emplace(name);
+  it->second.name = name;
+  return &it->second;
+}
+
+void MctSchema::AddChild(const std::string& color, const std::string& parent,
+                         const std::string& child, char quant) {
+  colors_.insert(color);
+  ElementType* p = AddElement(parent);
+  ElementType* c = AddElement(child);
+  p->colors.insert(color);
+  c->colors.insert(color);
+  Production& prod = p->productions[color];
+  for (const ProductionChild& pc : prod.children) {
+    if (pc.elem == child) return;  // already declared
+  }
+  prod.children.push_back(ProductionChild{child, quant});
+}
+
+const ElementType* MctSchema::Find(const std::string& name) const {
+  auto it = elements_.find(name);
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ElementType*> MctSchema::MultiColoredTypes() const {
+  std::vector<const ElementType*> out;
+  for (const auto& [_, e] : elements_) {
+    if (e.colors.size() > 1) out.push_back(&e);
+  }
+  return out;
+}
+
+MctSchema InferSchema(const MctDatabase& db) {
+  MctSchema schema;
+  // parent-type x child-type x color -> (total children, parent instances).
+  struct Acc {
+    uint64_t child_count = 0;
+  };
+  std::map<std::tuple<std::string, std::string, std::string>, Acc> accs;
+  std::map<std::pair<std::string, std::string>, uint64_t> parent_instances;
+
+  for (ColorId c = 0; c < db.num_colors(); ++c) {
+    const std::string& color = db.ColorName(c);
+    const ColoredTree* t = db.tree(c);
+    for (NodeId n : t->PreOrder()) {
+      if (db.Kind(n) != xml::NodeKind::kElement) continue;
+      const std::string& ptag = db.Tag(n);
+      parent_instances[{ptag, color}]++;
+      schema.AddElement(ptag)->colors.insert(color);
+      for (NodeId ch : t->Children(n)) {
+        if (db.Kind(ch) != xml::NodeKind::kElement) continue;
+        schema.AddChild(color, ptag, db.Tag(ch));
+        accs[{ptag, db.Tag(ch), color}].child_count++;
+      }
+    }
+  }
+  // quant(child, color) = avg children per parent instance. When a child
+  // type appears under several parent types in one color (rare in our
+  // schemas), the averages are summed per parent type and the last wins;
+  // workloads here have a unique parent type per (child, color).
+  for (const auto& [key, acc] : accs) {
+    const auto& [ptag, ctag, color] = key;
+    uint64_t parents = parent_instances[{ptag, color}];
+    if (parents > 0) {
+      schema.SetQuant(ctag, color,
+                      static_cast<double>(acc.child_count) /
+                          static_cast<double>(parents));
+    }
+  }
+  return schema;
+}
+
+MctSchema MovieSchemaOfFigure8() {
+  MctSchema s;
+  // Red: movie-genre hierarchy down to movies and roles.
+  s.AddChild("red", "movie-genre", "movie-genre", '*');
+  s.AddChild("red", "movie-genre", "name", '1');
+  s.AddChild("red", "movie-genre", "movie", '*');
+  s.AddChild("red", "movie", "name", '1');
+  s.AddChild("red", "movie", "movie-role", '*');
+  s.AddChild("red", "movie-role", "name", '1');
+  s.AddChild("red", "movie-role", "description", '?');
+  s.AddChild("red", "movie-role", "scene", '*');
+  // Green: movie-award hierarchy.
+  s.AddChild("green", "movie-award", "movie-award", '*');
+  s.AddChild("green", "movie-award", "name", '1');
+  s.AddChild("green", "movie-award", "movie", '*');
+  s.AddChild("green", "movie", "name", '1');
+  s.AddChild("green", "movie", "votes", '?');
+  s.AddChild("green", "movie", "category", '?');
+  // Blue: actors.
+  s.AddChild("blue", "actor", "name", '1');
+  s.AddChild("blue", "actor", "movie-role", '*');
+  s.AddChild("blue", "movie-role", "name", '1');
+  s.AddChild("blue", "movie-role", "payment", '?');
+
+  // Statistics in the spirit of Section 5.2's example: each movie-role has
+  // one name and description but 3 scenes on average; a movie has 10 roles.
+  s.SetQuant("name", "red", 1);
+  s.SetQuant("name", "green", 1);
+  s.SetQuant("name", "blue", 1);
+  s.SetQuant("description", "red", 1);
+  s.SetQuant("scene", "red", 3);
+  s.SetQuant("movie-role", "red", 10);
+  s.SetQuant("movie-role", "blue", 5);
+  s.SetQuant("movie", "red", 20);
+  s.SetQuant("movie", "green", 5);
+  s.SetQuant("movie-genre", "red", 3);
+  s.SetQuant("movie-award", "green", 4);
+  s.SetQuant("votes", "green", 1);
+  s.SetQuant("category", "green", 1);
+  s.SetQuant("payment", "blue", 1);
+  return s;
+}
+
+}  // namespace mct::serialize

@@ -1,0 +1,138 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace mct {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_id_ = other.page_id_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+const char* PageGuard::Data() const { return pool_->FrameData(frame_); }
+
+char* PageGuard::MutableData() { return pool_->FrameMutableData(frame_); }
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_, page_id_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, uint32_t capacity_pages)
+    : disk_(disk) {
+  frames_.resize(capacity_pages);
+  free_frames_.reserve(capacity_pages);
+  for (uint32_t i = 0; i < capacity_pages; ++i) {
+    frames_[i].data = std::make_unique<char[]>(kPageSize);
+    free_frames_.push_back(capacity_pages - 1 - i);
+  }
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++hits_;
+    Frame& f = frames_[it->second];
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    return PageGuard(this, it->second, id);
+  }
+  ++misses_;
+  MCT_ASSIGN_OR_RETURN(uint32_t frame, GetVictimFrame());
+  Frame& f = frames_[frame];
+  MCT_RETURN_IF_ERROR(disk_->ReadPage(id, f.data.get()));
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  page_table_[id] = frame;
+  return PageGuard(this, frame, id);
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  PageId id = disk_->AllocatePage();
+  MCT_ASSIGN_OR_RETURN(uint32_t frame, GetVictimFrame());
+  Frame& f = frames_[frame];
+  std::memset(f.data.get(), 0, kPageSize);
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = true;
+  page_table_[id] = frame;
+  return PageGuard(this, frame, id);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.dirty) {
+      MCT_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.get()));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictAll() {
+  MCT_RETURN_IF_ERROR(FlushAll());
+  for (uint32_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.page_id == kInvalidPageId || f.pin_count > 0) continue;
+    page_table_.erase(f.page_id);
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    f.page_id = kInvalidPageId;
+    free_frames_.push_back(i);
+  }
+  return Status::OK();
+}
+
+void BufferPool::Unpin(uint32_t frame, PageId page_id) {
+  Frame& f = frames_[frame];
+  // The guard outlived an eviction cycle only if pins were mismanaged;
+  // pin_count > 0 is an invariant here.
+  if (f.page_id != page_id || f.pin_count == 0) return;
+  if (--f.pin_count == 0) {
+    lru_.push_front(frame);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+Result<uint32_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    uint32_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  if (lru_.empty()) {
+    return Status::Internal(
+        StrFormat("buffer pool exhausted: all %zu frames pinned",
+                  frames_.size()));
+  }
+  uint32_t frame = lru_.back();
+  lru_.pop_back();
+  Frame& f = frames_[frame];
+  f.in_lru = false;
+  if (f.dirty) {
+    MCT_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.get()));
+    f.dirty = false;
+  }
+  page_table_.erase(f.page_id);
+  f.page_id = kInvalidPageId;
+  return frame;
+}
+
+}  // namespace mct

@@ -1,0 +1,97 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace mct {
+
+Status DiskManager::OpenFile(const std::string& path,
+                             std::unique_ptr<DiskManager>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    f = std::fopen(path.c_str(), "w+b");
+  }
+  if (f == nullptr) {
+    return Status::IOError("cannot open storage file: " + path);
+  }
+  auto dm = std::unique_ptr<DiskManager>(new DiskManager());
+  dm->file_ = f;
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed on: " + path);
+  }
+  long size = std::ftell(f);
+  if (size < 0) return Status::IOError("ftell failed on: " + path);
+  dm->num_pages_ = static_cast<uint32_t>(static_cast<uint64_t>(size) / kPageSize);
+  *out = std::move(dm);
+  return Status::OK();
+}
+
+std::unique_ptr<DiskManager> DiskManager::CreateInMemory() {
+  return std::unique_ptr<DiskManager>(new DiskManager());
+}
+
+DiskManager::~DiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+PageId DiskManager::AllocatePage() {
+  PageId id = num_pages_++;
+  if (file_ == nullptr) {
+    auto page = std::make_unique<char[]>(kPageSize);
+    std::memset(page.get(), 0, kPageSize);
+    mem_pages_.push_back(std::move(page));
+  } else {
+    // Extend the file with a zero page so reads of fresh pages succeed.
+    char zeros[kPageSize];
+    std::memset(zeros, 0, kPageSize);
+    std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET);
+    std::fwrite(zeros, 1, kPageSize, file_);
+  }
+  return id;
+}
+
+Status DiskManager::ReadPage(PageId id, char* out) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange(
+        StrFormat("read of page %u beyond %u allocated pages", id, num_pages_));
+  }
+  if (file_ == nullptr) {
+    std::memcpy(out, mem_pages_[id].get(), kPageSize);
+    return Status::OK();
+  }
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fread(out, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError(StrFormat("short read of page %u", id));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const char* data) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange(
+        StrFormat("write of page %u beyond %u allocated pages", id, num_pages_));
+  }
+  if (file_ == nullptr) {
+    std::memcpy(mem_pages_[id].get(), data, kPageSize);
+    return Status::OK();
+  }
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError(StrFormat("short write of page %u", id));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  if (file_ != nullptr && std::fflush(file_) != 0) {
+    return Status::IOError("fflush failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace mct

@@ -1,0 +1,72 @@
+// DiskManager: allocation and page-granular I/O over a single storage file.
+//
+// Two backings are supported:
+//  * file-backed  — a real file on disk, used by examples and persistence
+//    tests;
+//  * in-memory    — an anonymous page vector, used by benchmarks so timing
+//    measures the engine (the paper reports warm-cache numbers; an in-memory
+//    backing is the warm-cache limit).
+//
+// Either way, all page traffic flows through the BufferPool, and the number
+// of allocated pages is the storage footprint reported in Table 1.
+
+#ifndef COLORFUL_XML_STORAGE_DISK_MANAGER_H_
+#define COLORFUL_XML_STORAGE_DISK_MANAGER_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace mct {
+
+class DiskManager {
+ public:
+  /// Opens (creating if absent) a file-backed manager.
+  static Status OpenFile(const std::string& path,
+                         std::unique_ptr<DiskManager>* out);
+
+  /// Creates an in-memory manager.
+  static std::unique_ptr<DiskManager> CreateInMemory();
+
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Allocates a fresh zeroed page and returns its id.
+  PageId AllocatePage();
+
+  /// Reads page `id` into `out` (kPageSize bytes).
+  Status ReadPage(PageId id, char* out);
+
+  /// Writes kPageSize bytes from `data` to page `id`.
+  Status WritePage(PageId id, const char* data);
+
+  /// Number of allocated pages.
+  uint32_t num_pages() const { return num_pages_; }
+
+  /// Total allocated bytes (pages * page size).
+  uint64_t SizeBytes() const {
+    return static_cast<uint64_t>(num_pages_) * kPageSize;
+  }
+
+  /// Forces file contents to the OS (no-op for in-memory backing).
+  Status Sync();
+
+  bool in_memory() const { return file_ == nullptr; }
+
+ private:
+  DiskManager() = default;
+
+  std::FILE* file_ = nullptr;           // null => in-memory
+  std::vector<std::unique_ptr<char[]>> mem_pages_;
+  uint32_t num_pages_ = 0;
+};
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_STORAGE_DISK_MANAGER_H_

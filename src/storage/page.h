@@ -1,0 +1,20 @@
+// Page constants and identifiers for the paged storage layer.
+//
+// The paper's experimental setup used 8 KB data pages (Section 7); we use the
+// same page size so storage sizes in Table 1 are computed on equal footing.
+
+#ifndef COLORFUL_XML_STORAGE_PAGE_H_
+#define COLORFUL_XML_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace mct {
+
+using PageId = uint32_t;
+
+inline constexpr uint32_t kPageSize = 8192;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_STORAGE_PAGE_H_

@@ -1,0 +1,65 @@
+#include "storage/record_file.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace mct {
+
+RecordFile::RecordFile(BufferPool* pool, uint32_t record_size)
+    : pool_(pool), record_size_(record_size) {
+  assert(record_size >= 1 && record_size <= kPageSize);
+  records_per_page_ = kPageSize / record_size_;
+}
+
+Result<uint64_t> RecordFile::Append(const void* record) {
+  uint64_t index = num_records_;
+  uint32_t page_no = static_cast<uint32_t>(index / records_per_page_);
+  uint32_t slot = static_cast<uint32_t>(index % records_per_page_);
+  if (page_no == pages_.size()) {
+    MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage());
+    pages_.push_back(guard.page_id());
+    std::memcpy(guard.MutableData() + slot * record_size_, record,
+                record_size_);
+  } else {
+    MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(pages_[page_no]));
+    std::memcpy(guard.MutableData() + slot * record_size_, record,
+                record_size_);
+  }
+  ++num_records_;
+  return index;
+}
+
+Status RecordFile::Locate(uint64_t index, PageId* page,
+                          uint32_t* offset) const {
+  if (index >= num_records_) {
+    return Status::OutOfRange(StrFormat(
+        "record %llu beyond %llu records",
+        static_cast<unsigned long long>(index),
+        static_cast<unsigned long long>(num_records_)));
+  }
+  *page = pages_[static_cast<size_t>(index / records_per_page_)];
+  *offset = static_cast<uint32_t>(index % records_per_page_) * record_size_;
+  return Status::OK();
+}
+
+Status RecordFile::Read(uint64_t index, void* out) const {
+  PageId page;
+  uint32_t offset;
+  MCT_RETURN_IF_ERROR(Locate(index, &page, &offset));
+  MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page));
+  std::memcpy(out, guard.Data() + offset, record_size_);
+  return Status::OK();
+}
+
+Status RecordFile::Write(uint64_t index, const void* record) {
+  PageId page;
+  uint32_t offset;
+  MCT_RETURN_IF_ERROR(Locate(index, &page, &offset));
+  MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page));
+  std::memcpy(guard.MutableData() + offset, record, record_size_);
+  return Status::OK();
+}
+
+}  // namespace mct

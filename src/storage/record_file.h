@@ -1,0 +1,54 @@
+// RecordFile: an append-mostly file of fixed-size records over buffered
+// pages. Structural nodes (one per node per color, Timber decomposition) and
+// attribute records live in RecordFiles.
+
+#ifndef COLORFUL_XML_STORAGE_RECORD_FILE_H_
+#define COLORFUL_XML_STORAGE_RECORD_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+
+namespace mct {
+
+class RecordFile {
+ public:
+  /// `record_size` must be in [1, kPageSize].
+  RecordFile(BufferPool* pool, uint32_t record_size);
+
+  RecordFile(const RecordFile&) = delete;
+  RecordFile& operator=(const RecordFile&) = delete;
+
+  /// Appends one record (exactly record_size bytes); returns its index.
+  Result<uint64_t> Append(const void* record);
+
+  /// Reads record `index` into `out` (record_size bytes).
+  Status Read(uint64_t index, void* out) const;
+
+  /// Overwrites record `index`.
+  Status Write(uint64_t index, const void* record);
+
+  uint64_t num_records() const { return num_records_; }
+  uint32_t record_size() const { return record_size_; }
+
+  /// Pages owned by this file.
+  uint32_t num_pages() const { return static_cast<uint32_t>(pages_.size()); }
+  uint64_t SizeBytes() const {
+    return static_cast<uint64_t>(pages_.size()) * kPageSize;
+  }
+
+ private:
+  Status Locate(uint64_t index, PageId* page, uint32_t* offset) const;
+
+  BufferPool* pool_;
+  uint32_t record_size_;
+  uint32_t records_per_page_;
+  std::vector<PageId> pages_;
+  uint64_t num_records_ = 0;
+};
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_STORAGE_RECORD_FILE_H_

@@ -1,0 +1,121 @@
+#include "storage/slotted_file.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace mct {
+
+namespace {
+
+uint16_t ReadU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void WriteU16(char* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+}  // namespace
+
+Result<SlotId> SlottedFile::Append(std::string_view data) {
+  if (data.size() > kMaxRecordSize) {
+    return Status::InvalidArgument(
+        StrFormat("record of %zu bytes exceeds page capacity", data.size()));
+  }
+  // 4 bytes for the new slot directory entry plus the payload.
+  uint32_t needed = static_cast<uint32_t>(data.size()) + 4;
+  size_t page_no = pages_.size();
+  // First-fit over the tail page only: content loads are append-heavy, and
+  // scanning all pages would make bulk load quadratic.
+  if (!pages_.empty() && pages_.back().free_bytes >= needed) {
+    page_no = pages_.size() - 1;
+  }
+  if (page_no == pages_.size()) {
+    MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage());
+    char* p = guard.MutableData();
+    WriteU16(p, 0);                       // num_slots
+    WriteU16(p + 2, static_cast<uint16_t>(kPageSize));  // free_end
+    pages_.push_back(PageInfo{guard.page_id(), kPageSize - 4});
+  }
+  PageInfo& info = pages_[page_no];
+  MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(info.page_id));
+  char* p = guard.MutableData();
+  uint16_t num_slots = ReadU16(p);
+  uint32_t free_end = ReadU16(p + 2);
+  uint32_t data_start = free_end - static_cast<uint32_t>(data.size());
+  std::memcpy(p + data_start, data.data(), data.size());
+  uint32_t slot_off = 4 + static_cast<uint32_t>(num_slots) * 4;
+  WriteU16(p + slot_off, static_cast<uint16_t>(data_start));
+  WriteU16(p + slot_off + 2, static_cast<uint16_t>(data.size()));
+  WriteU16(p, static_cast<uint16_t>(num_slots + 1));
+  WriteU16(p + 2, static_cast<uint16_t>(data_start));
+  info.free_bytes -= needed;
+  ++num_records_;
+  return (static_cast<SlotId>(page_no) << 16) | num_slots;
+}
+
+Status SlottedFile::Locate(SlotId id, PageId* page, uint32_t* slot) const {
+  size_t page_no = static_cast<size_t>(id >> 16);
+  if (page_no >= pages_.size()) {
+    return Status::OutOfRange("slot id refers to unknown page");
+  }
+  *page = pages_[page_no].page_id;
+  *slot = static_cast<uint32_t>(id & 0xFFFF);
+  return Status::OK();
+}
+
+Result<std::string> SlottedFile::Read(SlotId id) const {
+  PageId page;
+  uint32_t slot;
+  MCT_RETURN_IF_ERROR(Locate(id, &page, &slot));
+  MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page));
+  const char* p = guard.Data();
+  uint16_t num_slots = ReadU16(p);
+  if (slot >= num_slots) return Status::OutOfRange("slot beyond directory");
+  uint32_t off = ReadU16(p + 4 + slot * 4);
+  uint16_t len = ReadU16(p + 4 + slot * 4 + 2);
+  if (len == kTombstoneLen) return Status::NotFound("record deleted");
+  return std::string(p + off, len);
+}
+
+Result<SlotId> SlottedFile::Update(SlotId id, std::string_view data) {
+  PageId page;
+  uint32_t slot;
+  MCT_RETURN_IF_ERROR(Locate(id, &page, &slot));
+  {
+    MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page));
+    char* p = guard.MutableData();
+    uint16_t num_slots = ReadU16(p);
+    if (slot >= num_slots) return Status::OutOfRange("slot beyond directory");
+    uint32_t off = ReadU16(p + 4 + slot * 4);
+    uint16_t len = ReadU16(p + 4 + slot * 4 + 2);
+    if (len == kTombstoneLen) return Status::NotFound("record deleted");
+    if (data.size() <= len && data.size() <= 0xFFFE) {
+      std::memcpy(p + off, data.data(), data.size());
+      // Keep the original offset; shrink the recorded length.
+      WriteU16(p + 4 + slot * 4 + 2, static_cast<uint16_t>(data.size()));
+      return id;
+    }
+    WriteU16(p + 4 + slot * 4 + 2, kTombstoneLen);
+    --num_records_;
+  }
+  return Append(data);
+}
+
+Status SlottedFile::Delete(SlotId id) {
+  PageId page;
+  uint32_t slot;
+  MCT_RETURN_IF_ERROR(Locate(id, &page, &slot));
+  MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page));
+  char* p = guard.MutableData();
+  uint16_t num_slots = ReadU16(p);
+  if (slot >= num_slots) return Status::OutOfRange("slot beyond directory");
+  uint16_t len = ReadU16(p + 4 + slot * 4 + 2);
+  if (len == kTombstoneLen) return Status::NotFound("record already deleted");
+  WriteU16(p + 4 + slot * 4 + 2, kTombstoneLen);
+  --num_records_;
+  return Status::OK();
+}
+
+}  // namespace mct

@@ -1,0 +1,78 @@
+// SlottedFile: variable-size records over slotted pages. Element content
+// (text values) is stored here, exactly once per node regardless of how many
+// colors the node has — the storage-sharing property at the heart of the
+// MCT physical design (paper Section 6.2).
+//
+// Page layout:
+//   [u16 num_slots][u16 free_end]  header (4 bytes)
+//   [u16 offset, u16 length] * num_slots  slot directory, grows up
+//   ... free space ...
+//   record bytes, grow down from free_end
+// A deleted slot has length 0xFFFF.
+
+#ifndef COLORFUL_XML_STORAGE_SLOTTED_FILE_H_
+#define COLORFUL_XML_STORAGE_SLOTTED_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+
+namespace mct {
+
+/// Identifier of a record in a SlottedFile: (page ordinal << 16) | slot.
+using SlotId = uint64_t;
+
+inline constexpr SlotId kInvalidSlotId = ~0ULL;
+
+class SlottedFile {
+ public:
+  explicit SlottedFile(BufferPool* pool) : pool_(pool) {}
+
+  SlottedFile(const SlottedFile&) = delete;
+  SlottedFile& operator=(const SlottedFile&) = delete;
+
+  /// Maximum record payload a single page can hold.
+  static constexpr uint32_t kMaxRecordSize = kPageSize - 4 - 4;
+
+  /// Appends `data`; returns its SlotId.
+  Result<SlotId> Append(std::string_view data);
+
+  /// Reads the record at `id`.
+  Result<std::string> Read(SlotId id) const;
+
+  /// Replaces the record at `id`. In-place when the new data fits in the old
+  /// slot's space; otherwise the old slot is tombstoned and a new SlotId is
+  /// returned. Always returns the record's current SlotId.
+  Result<SlotId> Update(SlotId id, std::string_view data);
+
+  /// Tombstones the record at `id`.
+  Status Delete(SlotId id);
+
+  uint64_t num_records() const { return num_records_; }
+  uint32_t num_pages() const { return static_cast<uint32_t>(pages_.size()); }
+  uint64_t SizeBytes() const {
+    return static_cast<uint64_t>(pages_.size()) * kPageSize;
+  }
+
+ private:
+  struct PageInfo {
+    PageId page_id;
+    uint32_t free_bytes;  // usable free space (between slot dir and free_end)
+  };
+
+  static constexpr uint16_t kTombstoneLen = 0xFFFF;
+
+  Status Locate(SlotId id, PageId* page, uint32_t* slot) const;
+
+  BufferPool* pool_;
+  std::vector<PageInfo> pages_;
+  uint64_t num_records_ = 0;
+};
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_STORAGE_SLOTTED_FILE_H_

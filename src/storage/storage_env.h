@@ -1,0 +1,48 @@
+// StorageEnv: one DiskManager plus one BufferPool shared by every record
+// file and index of a database instance. Individual files own disjoint page
+// sets allocated from the shared manager, so per-file sizes (Table 1's data
+// and index megabytes) are exact page counts.
+
+#ifndef COLORFUL_XML_STORAGE_STORAGE_ENV_H_
+#define COLORFUL_XML_STORAGE_STORAGE_ENV_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace mct {
+
+class StorageEnv {
+ public:
+  /// In-memory environment (warm-cache benchmarking; default pool is
+  /// effectively unbounded so timing measures the engine, not eviction).
+  static std::unique_ptr<StorageEnv> CreateInMemory(
+      uint32_t pool_pages = 32768) {
+    auto env = std::make_unique<StorageEnv>();
+    env->disk_ = DiskManager::CreateInMemory();
+    env->pool_ = std::make_unique<BufferPool>(env->disk_.get(), pool_pages);
+    return env;
+  }
+
+  /// File-backed environment at `path`.
+  static Result<std::unique_ptr<StorageEnv>> OpenFile(const std::string& path,
+                                                      uint32_t pool_pages) {
+    auto env = std::make_unique<StorageEnv>();
+    MCT_RETURN_IF_ERROR(DiskManager::OpenFile(path, &env->disk_));
+    env->pool_ = std::make_unique<BufferPool>(env->disk_.get(), pool_pages);
+    return env;
+  }
+
+  BufferPool* pool() { return pool_.get(); }
+  DiskManager* disk() { return disk_.get(); }
+
+ private:
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_STORAGE_STORAGE_ENV_H_

@@ -1,0 +1,47 @@
+#include "workload/runner.h"
+
+#include "common/timer.h"
+#include "mcx/parser.h"
+
+namespace mct::workload {
+
+Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
+                          const std::string& text, bool collect_values) {
+  QueryRun run;
+  mcx::EvalOptions opts;
+  opts.default_color = default_color;
+  opts.stats = &run.stats;
+  mcx::Evaluator ev(db, opts);
+  MCT_ASSIGN_OR_RETURN(mcx::ParsedQuery parsed, mcx::Parse(text));
+  Timer timer;
+  MCT_ASSIGN_OR_RETURN(mcx::QueryResult result, ev.Run(parsed));
+  run.seconds = timer.ElapsedSeconds();
+  if (parsed.is_update) {
+    run.result_count = result.updated_count;
+  } else {
+    run.result_count = result.items.size();
+    if (collect_values) {
+      run.values.reserve(result.items.size());
+      for (const mcx::Item& item : result.items) {
+        if (item.is_node) {
+          // Atomize by own content (catalog queries return field nodes),
+          // falling back to the first-color string value.
+          if (db->store().HasContent(item.node)) {
+            run.values.push_back(db->Content(item.node));
+          } else {
+            auto colors = db->Colors(item.node).ToVector();
+            run.values.push_back(
+                colors.empty()
+                    ? ""
+                    : db->StringValue(item.node, colors.front()).value_or(""));
+          }
+        } else {
+          run.values.push_back(item.atomic);
+        }
+      }
+    }
+  }
+  return run;
+}
+
+}  // namespace mct::workload

@@ -1,0 +1,34 @@
+// Query runner shared by the benchmark harness and the cross-schema
+// equivalence tests: parse + plan + execute one catalog query against one
+// database, reporting the paper's metrics (wall time, result cardinality,
+// join anatomy).
+
+#ifndef COLORFUL_XML_WORKLOAD_RUNNER_H_
+#define COLORFUL_XML_WORKLOAD_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mct/database.h"
+#include "mcx/evaluator.h"
+#include "query/table.h"
+
+namespace mct::workload {
+
+struct QueryRun {
+  uint64_t result_count = 0;   // items for reads, affected nodes for updates
+  double seconds = 0;
+  query::ExecStats stats;
+  /// Atomized result items (only when collect_values was set).
+  std::vector<std::string> values;
+};
+
+/// Runs `text` against `db` with `default_color` for uncolored steps.
+Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
+                          const std::string& text,
+                          bool collect_values = false);
+
+}  // namespace mct::workload
+
+#endif  // COLORFUL_XML_WORKLOAD_RUNNER_H_

@@ -1,0 +1,191 @@
+#include "common/strings.h"
+#include "workload/catalog.h"
+
+namespace mct::workload {
+
+namespace {
+constexpr char kDoc[] = "document(\"sigmod.xml\")";
+}
+
+std::vector<CatalogQuery> SigmodCatalog(const SigmodData& d) {
+  std::vector<CatalogQuery> out;
+
+  // Parameters from the data. The SU2 target article is drawn from the
+  // most-published topic so the deep baseline visibly rewrites replicas
+  // (the paper's SU2D row).
+  std::vector<int> topic_articles(d.topics.size(), 0);
+  for (const SigmodArticle& a : d.articles) {
+    topic_articles[static_cast<size_t>(a.topic_id)]++;
+  }
+  int hot_topic = 0;
+  for (size_t t = 0; t < topic_articles.size(); ++t) {
+    if (topic_articles[t] > topic_articles[static_cast<size_t>(hot_topic)]) {
+      hot_topic = static_cast<int>(t);
+    }
+  }
+  const SigmodArticle* hot_article = &d.articles[0];
+  for (const SigmodArticle& a : d.articles) {
+    if (a.topic_id == hot_topic) {
+      hot_article = &a;
+      break;
+    }
+  }
+  const SigmodArticle& a0 = d.articles[0];
+  const std::string title0 = a0.title;
+  const SigmodIssue& is0 = d.issues[d.issues.size() / 2];
+  const std::string vol = std::to_string(is0.volume);
+  const std::string num = std::to_string(is0.number);
+  const std::string editor0 = d.editors[0];
+  // A reasonably popular topic (Zipf favors topic 0).
+  const std::string topic0 = d.topics[0];
+  const std::string hot_title = hot_article->title;
+  const std::string topic_of_hot =
+      d.topics[static_cast<size_t>(hot_article->topic_id)];
+
+  CatalogQuery q;
+
+  // ---- SQ1: point query on articles. ----
+  q = {};
+  q.id = "SQ1";
+  q.description = "end page of one article by title";
+  q.mct = StrFormat(
+      "for $a in %s/{time}descendant::article[{time}child::title = \"%s\"] "
+      "return $a/{time}child::endPage",
+      kDoc, title0.c_str());
+  q.shallow = StrFormat(
+      "for $a in %s//article[title = \"%s\"] return $a/endPage", kDoc,
+      title0.c_str());
+  q.deep = q.shallow;
+  q.colors = 1;
+  q.trees = 1;
+  out.push_back(std::move(q));
+
+  // ---- SQ2: issue -> articles; MCT/deep nest it, shallow joins. ----
+  q = {};
+  q.id = "SQ2";
+  q.description = "titles of the articles of one issue";
+  q.mct = StrFormat(
+      "for $a in %s/{time}descendant::issue[{time}child::volume = %s]"
+      "[{time}child::number = %s]/{time}child::article "
+      "return $a/{time}child::title",
+      kDoc, vol.c_str(), num.c_str());
+  q.shallow = StrFormat(
+      "for $i in %s//issue[volume = %s][number = %s], $a in %s//article "
+      "where $a/@issueIdRef = $i/@id "
+      "return $a/title",
+      kDoc, vol.c_str(), num.c_str(), kDoc);
+  q.deep = StrFormat(
+      "for $a in %s//issue[volume = %s][number = %s]/article "
+      "return $a/title",
+      kDoc, vol.c_str(), num.c_str());
+  q.colors = 1;
+  q.trees = 2;
+  out.push_back(std::move(q));
+
+  // ---- SQ3: editor -> topics -> articles (paper: 0.02 vs 10.32). ----
+  q = {};
+  q.id = "SQ3";
+  q.description = "titles of articles under one editor";
+  q.mct = StrFormat(
+      "for $a in %s/{topic}descendant::editor[{topic}child::name = \"%s\"]/"
+      "{topic}descendant::article "
+      "return $a/{topic}child::title",
+      kDoc, editor0.c_str());
+  q.shallow = StrFormat(
+      "for $t in %s//editor[name = \"%s\"]/topic, $a in %s//article "
+      "where $a/@topicIdRef = $t/@id "
+      "return $a/title",
+      kDoc, editor0.c_str(), kDoc);
+  q.deep = StrFormat(
+      "for $a in %s//article[topic/editor/name = \"%s\"] return $a/title",
+      kDoc, editor0.c_str());
+  q.colors = 1;
+  q.trees = 2;
+  out.push_back(std::move(q));
+
+  // ---- SQ4: distinct editors — replicated per article in deep. ----
+  q = {};
+  q.id = "SQ4";
+  q.description = "distinct editor names";
+  q.mct = StrFormat(
+      "for $n in distinct-values(%s/{topic}descendant::editor/"
+      "{topic}child::name) return $n",
+      kDoc);
+  q.shallow = StrFormat(
+      "for $n in distinct-values(%s//editor/name) return $n", kDoc);
+  q.deep = StrFormat(
+      "for $n in distinct-values(%s//article/topic/editor/name) return $n",
+      kDoc);
+  q.deep_nodup = StrFormat(
+      "for $e in %s//article/topic/editor return $e/name", kDoc);
+  q.colors = 1;
+  q.trees = 1;
+  out.push_back(std::move(q));
+
+  // ---- SQ5: topic -> articles. ----
+  q = {};
+  q.id = "SQ5";
+  q.description = "start pages of the articles in one topic";
+  q.mct = StrFormat(
+      "for $a in %s/{topic}descendant::topic[{topic}child::name = \"%s\"]/"
+      "{topic}child::article "
+      "return $a/{topic}child::initPage",
+      kDoc, topic0.c_str());
+  q.shallow = StrFormat(
+      "for $t in %s//topic[name = \"%s\"], $a in %s//article "
+      "where $a/@topicIdRef = $t/@id "
+      "return $a/initPage",
+      kDoc, topic0.c_str(), kDoc);
+  q.deep = StrFormat(
+      "for $a in %s//article[topic/name = \"%s\"] return $a/initPage", kDoc,
+      topic0.c_str());
+  q.colors = 1;
+  q.trees = 2;
+  out.push_back(std::move(q));
+
+  // ---- SU1: insert into one editor; replicated per article in deep. ----
+  q = {};
+  q.id = "SU1";
+  q.description = "add an email to one editor";
+  q.mct = StrFormat(
+      "for $e in %s/{topic}descendant::editor[{topic}child::name = \"%s\"] "
+      "update $e { insert <email>ed@acm.org</email> into {topic} }",
+      kDoc, editor0.c_str());
+  q.shallow = StrFormat(
+      "for $e in %s//editor[name = \"%s\"] "
+      "update $e { insert <email>ed@acm.org</email> }",
+      kDoc, editor0.c_str());
+  q.deep = q.shallow;
+  q.colors = 1;
+  q.trees = 1;
+  q.is_update = true;
+  out.push_back(std::move(q));
+
+  // ---- SU2: rename the topic of one article — reaching the target takes
+  // a value join in shallow; deep must rewrite every replica. ----
+  q = {};
+  q.id = "SU2";
+  q.description = "rename the topic of one article";
+  q.mct = StrFormat(
+      "for $t in %s/{topic}descendant::article[{topic}child::title = \"%s\"]/"
+      "{topic}parent::topic "
+      "update $t { replace name with \"renamed-topic\" }",
+      kDoc, hot_title.c_str());
+  q.shallow = StrFormat(
+      "for $a in %s//article[title = \"%s\"], $t in %s//topic "
+      "where $a/@topicIdRef = $t/@id "
+      "update $t { replace name with \"renamed-topic\" }",
+      kDoc, hot_title.c_str(), kDoc);
+  q.deep = StrFormat(
+      "for $t in %s//topic[name = \"%s\"] "
+      "update $t { replace name with \"renamed-topic\" }",
+      kDoc, topic_of_hot.c_str());
+  q.colors = 1;
+  q.trees = 2;
+  q.is_update = true;
+  out.push_back(std::move(q));
+
+  return out;
+}
+
+}  // namespace mct::workload

@@ -1,0 +1,96 @@
+// SIGMOD-Record dataset (Section 7's second dataset) and its three physical
+// schemas. The paper scaled the public SIGMOD Record XML by 100x; we
+// generate an equivalent synthetic corpus (issues, articles with authors,
+// plus the editor/topic classification the paper's 2-color MCT schema
+// needs) at a configurable scale.
+//
+//  * MCT — 2 colors:  time:  date -- issue -- articles
+//                     topic: editor -- topic -- articles
+//  * Shallow — 3 trees: articles; date--issue; editor--topic (ID/IDREFs).
+//  * Deep — single hierarchy date/issue/article with the editor and topic
+//    information replicated inside every article.
+
+#ifndef COLORFUL_XML_WORKLOAD_SIGMODR_DB_H_
+#define COLORFUL_XML_WORKLOAD_SIGMODR_DB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mct/database.h"
+#include "workload/tpcw_db.h"  // SchemaKind
+
+namespace mct::workload {
+
+struct SigmodScale {
+  int num_years = 10;
+  int issues_per_year = 4;
+  int articles_per_issue = 60;
+  int num_authors = 3000;
+  int num_editors = 25;
+  int num_topics = 40;
+  int min_article_authors = 1;
+  int max_article_authors = 4;
+  uint64_t seed = 7;
+
+  static SigmodScale Tiny() {
+    SigmodScale s;
+    s.num_years = 3;
+    s.issues_per_year = 2;
+    s.articles_per_issue = 8;
+    s.num_authors = 30;
+    s.num_editors = 4;
+    s.num_topics = 6;
+    return s;
+  }
+  static SigmodScale Default() { return SigmodScale(); }
+  SigmodScale ScaledBy(double f) const;
+};
+
+struct SigmodArticle {
+  int id;
+  std::string title;
+  int init_page, end_page;
+  std::vector<int> author_ids;
+  int issue_id;
+  int topic_id;
+};
+
+struct SigmodIssue {
+  int id;
+  int volume, number;
+  std::string date;  // year-month
+  int year;
+};
+
+struct SigmodData {
+  SigmodScale scale;
+  std::vector<std::string> years;           // "1994" ...
+  std::vector<SigmodIssue> issues;
+  std::vector<SigmodArticle> articles;
+  std::vector<std::string> authors;         // names
+  std::vector<std::string> editors;         // names
+  std::vector<std::string> topics;          // names
+  std::vector<int> topic_editor;            // topic -> editor
+};
+
+SigmodData GenerateSigmod(const SigmodScale& scale);
+
+struct SigmodDb {
+  std::unique_ptr<MctDatabase> db;
+  SchemaKind kind;
+  ColorId time = kInvalidColorId;   // date--issue--articles
+  ColorId topic = kInvalidColorId;  // editor--topic--articles
+  ColorId doc = kInvalidColorId;    // shallow/deep
+
+  ColorId default_color() const {
+    return kind == SchemaKind::kMct ? time : doc;
+  }
+};
+
+Result<SigmodDb> BuildSigmod(const SigmodData& data, SchemaKind kind);
+
+}  // namespace mct::workload
+
+#endif  // COLORFUL_XML_WORKLOAD_SIGMODR_DB_H_

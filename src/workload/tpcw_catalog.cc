@@ -1,0 +1,448 @@
+#include "common/strings.h"
+#include "workload/catalog.h"
+
+namespace mct::workload {
+
+namespace {
+
+constexpr char kDoc[] = "document(\"tpcw.xml\")";
+
+std::string D(const char* fmt, const std::string& a = "",
+              const std::string& b = "") {
+  return StrFormat(fmt, a.c_str(), b.c_str());
+}
+
+}  // namespace
+
+std::vector<CatalogQuery> TpcwCatalog(const TpcwData& d) {
+  std::vector<CatalogQuery> out;
+
+  // Parameters derived from the data so queries hit at every scale.
+  const TpcwOrder& o0 = d.orders[0];
+  const std::string uname0 =
+      d.customers[static_cast<size_t>(o0.customer_id)].uname;
+  const std::string subj0 = d.items[0].subject;
+  const TpcwAddress& bill0 = d.addresses[static_cast<size_t>(o0.bill_addr_id)];
+  const std::string country0 =
+      d.countries[static_cast<size_t>(bill0.country_id)].name;
+  const std::string ship_city0 =
+      d.addresses[static_cast<size_t>(o0.ship_addr_id)].city;
+  const std::string date_mid = d.dates[d.dates.size() / 2].value;
+  // The most-ordered item (Zipf makes item 0 popular, but count to be sure).
+  std::vector<int> item_lines(d.items.size(), 0);
+  for (const TpcwOrderLine& ol : d.orderlines) {
+    item_lines[static_cast<size_t>(ol.item_id)]++;
+  }
+  int popular_item = 0;
+  for (size_t i = 0; i < item_lines.size(); ++i) {
+    if (item_lines[i] > item_lines[static_cast<size_t>(popular_item)]) {
+      popular_item = static_cast<int>(i);
+    }
+  }
+  const std::string pop_title = d.items[static_cast<size_t>(popular_item)].title;
+  const std::string street0 = bill0.street;
+  const std::string author_ln0 =
+      d.authors[static_cast<size_t>(d.items[0].author_id)].lname;
+
+  CatalogQuery q;
+
+  // ---- TQ1: point lookup, no joins anywhere. ----
+  q = {};
+  q.id = "TQ1";
+  q.description = "last name of the customer with a given uname";
+  q.mct = D("for $c in %s/{cust}descendant::customer"
+            "[{cust}child::uname = \"%s\"] "
+            "return $c/{cust}child::lname",
+            kDoc, uname0);
+  q.shallow = D("for $c in %s//customer[uname = \"%s\"] return $c/lname", kDoc,
+                uname0);
+  q.deep = q.shallow;
+  q.colors = 1;
+  q.trees = 1;
+  out.push_back(std::move(q));
+
+  // ---- TQ2: selective scan over one entity. ----
+  q = {};
+  q.id = "TQ2";
+  q.description = "totals of orders over 500";
+  q.mct = D("for $o in %s/{cust}descendant::order[{cust}child::total > 500] "
+            "return $o/{cust}child::total",
+            kDoc);
+  q.shallow = D("for $o in %s//order[total > 500] return $o/total", kDoc);
+  q.deep = q.shallow;
+  q.colors = 1;
+  q.trees = 1;
+  out.push_back(std::move(q));
+
+  // ---- TQ3: billing country + shipping city — 2 colors for MCT, 2 value
+  // joins for shallow, pure nesting for deep (the paper's row where deep
+  // wins). ----
+  q = {};
+  q.id = "TQ3";
+  q.description = "orders billed in a country and shipped to a city";
+  q.mct = StrFormat(
+      "for $o in %s/{bill}descendant::address[{bill}child::country = \"%s\"]/"
+      "{bill}child::order"
+      "[{ship}parent::address/{ship}child::city = \"%s\"] "
+      "return $o/@id",
+      kDoc, country0.c_str(), ship_city0.c_str());
+  q.shallow = StrFormat(
+      "for $a in %s//address[country = \"%s\"], "
+      "$o in %s//order, "
+      "$a2 in %s//address[city = \"%s\"] "
+      "where $o/@billAddrIdRef = $a/@id and $o/@shipAddrIdRef = $a2/@id "
+      "return $o/@id",
+      kDoc, country0.c_str(), kDoc, kDoc, ship_city0.c_str());
+  // Deep plan: start from the selective country content, climb to the
+  // order, then check the shipping predicate — the nesting makes both
+  // conditions structural (the paper's row where deep wins).
+  q.deep = StrFormat(
+      "for $o in %s//country[. = \"%s\"]/parent::address"
+      "[@role = \"billing\"]/parent::order"
+      "[address[@role = \"shipping\"]/city = \"%s\"] "
+      "return $o/@id",
+      kDoc, country0.c_str(), ship_city0.c_str());
+  q.colors = 2;
+  q.trees = 2;
+  out.push_back(std::move(q));
+
+  // ---- TQ4: range scan on customers (not replicated anywhere). ----
+  q = {};
+  q.id = "TQ4";
+  q.description = "unames of customers registered after 2003-09";
+  q.mct = D("for $c in %s/{cust}descendant::customer"
+            "[{cust}child::since > \"2003-09\"] "
+            "return $c/{cust}child::uname",
+            kDoc);
+  q.shallow =
+      D("for $c in %s//customer[since > \"2003-09\"] return $c/uname", kDoc);
+  q.deep = q.shallow;
+  q.colors = 1;
+  q.trees = 1;
+  out.push_back(std::move(q));
+
+  // ---- TQ5: conjunctive selection on one entity. The threshold is set
+  // just above the cheapest pending order so the query is satisfiable at
+  // every scale. ----
+  double min_pending = 1e18;
+  for (const TpcwOrder& o : d.orders) {
+    if (o.status == "pending" && o.total < min_pending) min_pending = o.total;
+  }
+  const std::string cheap = StrFormat("%.2f", min_pending + 25.0);
+  q = {};
+  q.id = "TQ5";
+  q.description = "cheap pending orders";
+  q.mct = StrFormat(
+      "for $o in %s/{cust}descendant::order"
+      "[{cust}child::status = \"pending\"][{cust}child::total < %s] "
+      "return $o/@id",
+      kDoc, cheap.c_str());
+  q.shallow = StrFormat(
+      "for $o in %s//order[status = \"pending\"][total < %s] "
+      "return $o/@id",
+      kDoc, cheap.c_str());
+  q.deep = q.shallow;
+  q.colors = 1;
+  q.trees = 1;
+  out.push_back(std::move(q));
+
+  // ---- TQ6: large scan over orderlines. ----
+  q = {};
+  q.id = "TQ6";
+  q.description = "quantities of orderlines with deep discounts";
+  q.mct = D("for $l in %s/{cust}descendant::orderline"
+            "[{cust}child::discount >= 0.25] "
+            "return $l/{cust}child::qty",
+            kDoc);
+  q.shallow = D("for $l in %s//orderline[discount >= 0.25] return $l/qty",
+                kDoc);
+  q.deep = q.shallow;
+  q.colors = 1;
+  q.trees = 1;
+  out.push_back(std::move(q));
+
+  // ---- TQ7: item scan — items are replicated per orderline in deep, so
+  // deep pays duplicates + elimination (paper: 112s vs 0.02s). ----
+  q = {};
+  q.id = "TQ7";
+  q.description = "distinct titles of items costing over 90";
+  q.mct = D("for $t in distinct-values(%s/{auth}descendant::item"
+            "[{auth}child::cost > 90]/{auth}child::title) return $t",
+            kDoc);
+  q.shallow = D("for $t in distinct-values(%s//item[cost > 90]/title) "
+                "return $t",
+                kDoc);
+  q.deep = q.shallow;
+  q.deep_nodup =
+      D("for $i in %s//item[cost > 90] return $i/title", kDoc);
+  q.colors = 1;
+  q.trees = 1;
+  out.push_back(std::move(q));
+
+  // ---- TQ8: point lookup by attribute. ----
+  q = {};
+  q.id = "TQ8";
+  q.description = "total of one order by id";
+  q.mct = D("for $o in %s/{cust}descendant::order[@id = \"o77\"] "
+            "return $o/{cust}child::total",
+            kDoc);
+  q.shallow = D("for $o in %s//order[@id = \"o77\"] return $o/total", kDoc);
+  q.deep = q.shallow;
+  q.colors = 1;
+  q.trees = 1;
+  out.push_back(std::move(q));
+
+  // ---- TQ9: orderline–item relationship. MCT folded it into the auth
+  // hierarchy (1 color); shallow needs the value join (paper: 0.55 vs
+  // 30.16). ----
+  q = {};
+  q.id = "TQ9";
+  q.description = "quantities of orderlines of items costing over 80";
+  q.mct = D("for $l in %s/{auth}descendant::item[{auth}child::cost > 80]/"
+            "{auth}child::orderline "
+            "return $l/{auth}child::qty",
+            kDoc);
+  q.shallow = StrFormat(
+      "for $i in %s//item[cost > 80], $l in %s//orderline "
+      "where $l/@itemIdRef = $i/@id "
+      "return $l/qty",
+      kDoc, kDoc);
+  q.deep = D("for $l in %s//orderline[item/cost > 80] return $l/qty", kDoc);
+  q.colors = 1;
+  q.trees = 2;
+  out.push_back(std::move(q));
+
+  // ---- TQ10: customer -> items' authors — a genuine color crossing for
+  // MCT (cust -> auth), nesting for deep, a join chain for shallow. ----
+  q = {};
+  q.id = "TQ10";
+  q.description = "authors of items ordered by one customer";
+  q.mct = StrFormat(
+      "for $a in %s/{cust}descendant::customer[{cust}child::uname = \"%s\"]/"
+      "{cust}descendant::orderline/{auth}parent::item/{auth}parent::author "
+      "return $a/{auth}child::lname",
+      kDoc, uname0.c_str());
+  q.shallow = StrFormat(
+      "for $c in %s//customer[uname = \"%s\"], $o in %s//order, "
+      "$l in %s//orderline, $i in %s//item, $a in %s//author "
+      "where $o/@customerIdRef = $c/@id and $l/@orderIdRef = $o/@id and "
+      "$l/@itemIdRef = $i/@id and $i/@authorIdRef = $a/@id "
+      "return $a/lname",
+      kDoc, uname0.c_str(), kDoc, kDoc, kDoc, kDoc);
+  q.deep = StrFormat(
+      "for $a in %s//customer[uname = \"%s\"]/order/orderline/item/author "
+      "return $a/lname",
+      kDoc, uname0.c_str());
+  q.colors = 2;
+  q.trees = 2;
+  out.push_back(std::move(q));
+
+  // ---- TQ11: date -> orders. MCT's date hierarchy absorbs the join. ----
+  q = {};
+  q.id = "TQ11";
+  q.description = "statuses of orders placed on one date";
+  q.mct = StrFormat(
+      "for $o in %s/{date}descendant::date[. = \"%s\"]/{date}child::order "
+      "return $o/{date}child::status",
+      kDoc, date_mid.c_str());
+  q.shallow = StrFormat(
+      "for $dt in %s//date[. = \"%s\"], $o in %s//order "
+      "where $o/@dateIdRef = $dt/@id "
+      "return $o/status",
+      kDoc, date_mid.c_str(), kDoc);
+  q.deep = StrFormat(
+      "for $o in %s//order[order_date = \"%s\"] return $o/status", kDoc,
+      date_mid.c_str());
+  q.colors = 1;
+  q.trees = 2;
+  out.push_back(std::move(q));
+
+  // ---- TQ12: item point lookup — replicated in deep (paper: TQ12D). ----
+  q = {};
+  q.id = "TQ12";
+  q.description = "title of one item by id";
+  q.mct = D("for $t in distinct-values(%s/{auth}descendant::item"
+            "[@id = \"i7\"]/{auth}child::title) return $t",
+            kDoc);
+  q.shallow =
+      D("for $t in distinct-values(%s//item[@id = \"i7\"]/title) return $t",
+        kDoc);
+  q.deep = q.shallow;
+  q.deep_nodup = D("for $i in %s//item[@id = \"i7\"] return $i/title", kDoc);
+  q.colors = 1;
+  q.trees = 1;
+  out.push_back(std::move(q));
+
+  // ---- TQ13: order -> orderline navigation, large. ----
+  q = {};
+  q.id = "TQ13";
+  q.description = "quantities of orderlines of pending orders";
+  q.mct = D("for $l in %s/{cust}descendant::order"
+            "[{cust}child::status = \"pending\"]/{cust}child::orderline "
+            "return $l/{cust}child::qty",
+            kDoc);
+  q.shallow = StrFormat(
+      "for $o in %s//order[status = \"pending\"], $l in %s//orderline "
+      "where $l/@orderIdRef = $o/@id "
+      "return $l/qty",
+      kDoc, kDoc);
+  q.deep = D("for $l in %s//order[status = \"pending\"]/orderline "
+             "return $l/qty",
+             kDoc);
+  q.colors = 1;
+  q.trees = 2;
+  out.push_back(std::move(q));
+
+  // ---- TQ14: like TQ13, more selective. ----
+  q = {};
+  q.id = "TQ14";
+  q.description = "discounts of orderlines of orders over 900";
+  q.mct = D("for $l in %s/{cust}descendant::order[{cust}child::total > 900]/"
+            "{cust}child::orderline "
+            "return $l/{cust}child::discount",
+            kDoc);
+  q.shallow = StrFormat(
+      "for $o in %s//order[total > 900], $l in %s//orderline "
+      "where $l/@orderIdRef = $o/@id "
+      "return $l/discount",
+      kDoc, kDoc);
+  q.deep = D("for $l in %s//order[total > 900]/orderline return $l/discount",
+             kDoc);
+  q.colors = 1;
+  q.trees = 2;
+  out.push_back(std::move(q));
+
+  // ---- TQ15: the inequality value join (quadratic nested loops for
+  // shallow, per the paper's Section 7.2 scaling remark); MCT and deep
+  // correlate through the customer instead. ----
+  q = {};
+  q.id = "TQ15";
+  q.description = "order pairs of one customer where one outspends the other";
+  q.mct = D("for $c in %s/{cust}descendant::customer, "
+            "$o1 in $c/{cust}child::order, $o2 in $c/{cust}child::order "
+            "where $o1/{cust}child::total > $o2/{cust}child::total "
+            "return $o1/@id",
+            kDoc);
+  q.shallow = StrFormat(
+      "for $o1 in %s//order, $o2 in %s//order "
+      "where $o1/total > $o2/total and "
+      "$o1/@customerIdRef = $o2/@customerIdRef "
+      "return $o1/@id",
+      kDoc, kDoc);
+  q.deep = D("for $c in %s//customer, $o1 in $c/order, $o2 in $c/order "
+             "where $o1/total > $o2/total "
+             "return $o1/@id",
+             kDoc);
+  q.colors = 1;
+  q.trees = 2;
+  out.push_back(std::move(q));
+
+  // ---- TQ16: value join for shallow AND duplicate-laden intermediates for
+  // deep — MCT beats both (the paper's highlighted row). ----
+  q = {};
+  q.id = "TQ16";
+  q.description = "distinct authors with an orderline of quantity 9";
+  q.mct = D("for $n in distinct-values(%s/{auth}descendant::orderline"
+            "[{auth}child::qty = 9]/{auth}parent::item/{auth}parent::author/"
+            "{auth}child::lname) return $n",
+            kDoc);
+  q.shallow = StrFormat(
+      "for $n in distinct-values("
+      "for $l in %s//orderline[qty = 9], $i in %s//item, $a in %s//author "
+      "where $l/@itemIdRef = $i/@id and $i/@authorIdRef = $a/@id "
+      "return $a/lname) return $n",
+      kDoc, kDoc, kDoc);
+  q.deep = D("for $n in distinct-values(%s//orderline[qty = 9]/item/author/"
+             "lname) return $n",
+             kDoc);
+  q.colors = 1;
+  q.trees = 2;
+  out.push_back(std::move(q));
+
+  // ---- TU1: update one item's stock; deep must touch every replica. ----
+  q = {};
+  q.id = "TU1";
+  q.description = "zero the stock of the most-ordered item";
+  q.mct = StrFormat(
+      "for $i in %s/{auth}descendant::item[{auth}child::title = \"%s\"] "
+      "update $i { replace stock with \"0\" }",
+      kDoc, pop_title.c_str());
+  q.shallow = StrFormat(
+      "for $i in %s//item[title = \"%s\"] update $i { replace stock with "
+      "\"0\" }",
+      kDoc, pop_title.c_str());
+  q.deep = q.shallow;
+  q.colors = 1;
+  q.trees = 1;
+  q.is_update = true;
+  out.push_back(std::move(q));
+
+  // ---- TU2: insert into one address; replicated per order in deep. ----
+  q = {};
+  q.id = "TU2";
+  q.description = "mark one address as verified";
+  q.mct = StrFormat(
+      "for $a in %s/{bill}descendant::address[{bill}child::street = \"%s\"] "
+      "update $a { insert <verified>yes</verified> into {bill} }",
+      kDoc, street0.c_str());
+  q.shallow = StrFormat(
+      "for $a in %s//address[street = \"%s\"] "
+      "update $a { insert <verified>yes</verified> }",
+      kDoc, street0.c_str());
+  q.deep = q.shallow;
+  q.colors = 1;
+  q.trees = 1;
+  q.is_update = true;
+  out.push_back(std::move(q));
+
+  // ---- TU3: identify targets across the date relationship — a value join
+  // for shallow (paper: 15.14s vs 0.36s). ----
+  q = {};
+  q.id = "TU3";
+  q.description = "mark all orders of one date as shipped";
+  q.mct = StrFormat(
+      "for $o in %s/{date}descendant::date[. = \"%s\"]/{date}child::order "
+      "update $o { replace status with \"shipped\" }",
+      kDoc, date_mid.c_str());
+  q.shallow = StrFormat(
+      "for $dt in %s//date[. = \"%s\"], $o in %s//order "
+      "where $o/@dateIdRef = $dt/@id "
+      "update $o { replace status with \"shipped\" }",
+      kDoc, date_mid.c_str(), kDoc);
+  q.deep = StrFormat(
+      "for $o in %s//order[order_date = \"%s\"] "
+      "update $o { replace status with \"shipped\" }",
+      kDoc, date_mid.c_str());
+  q.colors = 1;
+  q.trees = 2;
+  q.is_update = true;
+  out.push_back(std::move(q));
+
+  // ---- TU4: insert into the items of one author; author-item value join
+  // for shallow, replicas for deep. ----
+  q = {};
+  q.id = "TU4";
+  q.description = "flag the items of one author";
+  q.mct = StrFormat(
+      "for $i in %s/{auth}descendant::author[{auth}child::lname = \"%s\"]/"
+      "{auth}child::item "
+      "update $i { insert <award>bestseller</award> into {auth} }",
+      kDoc, author_ln0.c_str());
+  q.shallow = StrFormat(
+      "for $a in %s//author[lname = \"%s\"], $i in %s//item "
+      "where $i/@authorIdRef = $a/@id "
+      "update $i { insert <award>bestseller</award> }",
+      kDoc, author_ln0.c_str(), kDoc);
+  q.deep = StrFormat(
+      "for $i in %s//item[author/lname = \"%s\"] "
+      "update $i { insert <award>bestseller</award> }",
+      kDoc, author_ln0.c_str());
+  q.colors = 1;
+  q.trees = 2;
+  q.is_update = true;
+  out.push_back(std::move(q));
+
+  return out;
+}
+
+}  // namespace mct::workload

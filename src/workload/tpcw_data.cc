@@ -1,0 +1,161 @@
+#include "workload/tpcw_data.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace mct::workload {
+
+namespace {
+
+const char* kSubjects[] = {"ARTS",    "BIOGRAPHIES", "BUSINESS", "CHILDREN",
+                           "COMPUTERS", "COOKING",   "HEALTH",   "HISTORY",
+                           "HOME",     "HUMOR",      "LITERATURE", "MYSTERY",
+                           "NON-FICTION", "PARENTING", "POLITICS", "REFERENCE",
+                           "RELIGION", "ROMANCE",    "SCIENCE",  "TRAVEL"};
+const char* kStatuses[] = {"pending", "processing", "shipped", "denied"};
+
+std::string DateString(int ordinal) {
+  // Dates over 2003, day granularity wrapping months of 28 days for
+  // simplicity of generation (values only need to be distinct and ordered).
+  int month = 1 + (ordinal / 28) % 12;
+  int day = 1 + ordinal % 28;
+  return StrFormat("2003-%02d-%02d", month, day);
+}
+
+}  // namespace
+
+TpcwScale TpcwScale::ScaledBy(double f) const {
+  TpcwScale s = *this;
+  auto scale = [&](int v) { return std::max(1, static_cast<int>(std::lround(v * f))); };
+  s.num_countries = scale(num_countries);
+  s.num_authors = scale(num_authors);
+  s.num_items = scale(num_items);
+  s.num_customers = scale(num_customers);
+  s.num_addresses = scale(num_addresses);
+  s.num_dates = scale(num_dates);
+  s.num_orders = scale(num_orders);
+  return s;
+}
+
+TpcwData GenerateTpcw(const TpcwScale& scale) {
+  Rng rng(scale.seed);
+  TpcwData d;
+  d.scale = scale;
+
+  d.countries.reserve(static_cast<size_t>(scale.num_countries));
+  for (int i = 0; i < scale.num_countries; ++i) {
+    d.countries.push_back(TpcwCountry{i, "country-" + std::to_string(i)});
+  }
+
+  d.authors.reserve(static_cast<size_t>(scale.num_authors));
+  for (int i = 0; i < scale.num_authors; ++i) {
+    d.authors.push_back(TpcwAuthor{i, rng.Word(4, 8), rng.Word(5, 10)});
+  }
+
+  d.items.reserve(static_cast<size_t>(scale.num_items));
+  for (int i = 0; i < scale.num_items; ++i) {
+    TpcwItem item;
+    item.id = i;
+    item.title = "title-" + rng.Word(3, 6) + "-" + std::to_string(i);
+    // Popular authors get more titles (Zipf), as in TPC-W's skew.
+    item.author_id = static_cast<int>(
+        rng.Zipf(static_cast<uint64_t>(scale.num_authors), 0.5));
+    item.cost = static_cast<double>(rng.UniformInt(100, 9999)) / 100.0;
+    item.subject = kSubjects[rng.Uniform(20)];
+    item.stock = static_cast<int>(rng.UniformInt(0, 500));
+    d.items.push_back(std::move(item));
+  }
+
+  d.customers.reserve(static_cast<size_t>(scale.num_customers));
+  for (int i = 0; i < scale.num_customers; ++i) {
+    TpcwCustomer c;
+    c.id = i;
+    c.uname = "user" + std::to_string(i);
+    c.fname = rng.Word(4, 8);
+    c.lname = rng.Word(5, 10);
+    c.since = DateString(static_cast<int>(rng.Uniform(300)));
+    d.customers.push_back(std::move(c));
+  }
+
+  d.addresses.reserve(static_cast<size_t>(scale.num_addresses));
+  for (int i = 0; i < scale.num_addresses; ++i) {
+    TpcwAddress a;
+    a.id = i;
+    a.street = std::to_string(rng.UniformInt(1, 999)) + " " + rng.Word(5, 9) +
+               " st";
+    a.city = "city-" + std::to_string(rng.Uniform(
+                           static_cast<uint64_t>(scale.num_addresses) / 8 + 1));
+    a.country_id = static_cast<int>(
+        rng.Zipf(static_cast<uint64_t>(scale.num_countries), 0.6));
+    d.addresses.push_back(std::move(a));
+  }
+
+  d.dates.reserve(static_cast<size_t>(scale.num_dates));
+  for (int i = 0; i < scale.num_dates; ++i) {
+    d.dates.push_back(TpcwDate{i, DateString(i)});
+  }
+
+  d.orders.reserve(static_cast<size_t>(scale.num_orders));
+  int next_orderline = 0;
+  for (int i = 0; i < scale.num_orders; ++i) {
+    TpcwOrder o;
+    o.id = i;
+    o.customer_id = static_cast<int>(
+        rng.Zipf(static_cast<uint64_t>(scale.num_customers), 0.4));
+    o.bill_addr_id =
+        static_cast<int>(rng.Uniform(static_cast<uint64_t>(scale.num_addresses)));
+    o.ship_addr_id = rng.Bernoulli(0.8)
+                         ? o.bill_addr_id
+                         : static_cast<int>(rng.Uniform(
+                               static_cast<uint64_t>(scale.num_addresses)));
+    o.date_id =
+        static_cast<int>(rng.Uniform(static_cast<uint64_t>(scale.num_dates)));
+    o.status = kStatuses[rng.Uniform(4)];
+    o.total = 0;
+    int lines = static_cast<int>(
+        rng.UniformInt(scale.min_orderlines, scale.max_orderlines));
+    for (int l = 0; l < lines; ++l) {
+      TpcwOrderLine ol;
+      ol.id = next_orderline++;
+      ol.order_id = i;
+      // Popular items sell more (Zipf).
+      ol.item_id = static_cast<int>(
+          rng.Zipf(static_cast<uint64_t>(scale.num_items), 0.7));
+      ol.qty = static_cast<int>(rng.UniformInt(1, 9));
+      ol.discount = static_cast<double>(rng.UniformInt(0, 30)) / 100.0;
+      o.total += static_cast<double>(ol.qty) *
+                 d.items[static_cast<size_t>(ol.item_id)].cost *
+                 (1.0 - ol.discount);
+      d.orderlines.push_back(std::move(ol));
+    }
+    o.total = std::round(o.total * 100.0) / 100.0;
+    d.orders.push_back(std::move(o));
+  }
+
+  // Ensure every item has at least one orderline: the deep schema only
+  // materializes items inside orderlines, and the query catalogs are
+  // result-equivalent across schemas only when the item sets agree.
+  std::vector<bool> ordered(static_cast<size_t>(scale.num_items), false);
+  for (const TpcwOrderLine& ol : d.orderlines) {
+    ordered[static_cast<size_t>(ol.item_id)] = true;
+  }
+  for (int i = 0; i < scale.num_items; ++i) {
+    if (ordered[static_cast<size_t>(i)]) continue;
+    TpcwOrderLine ol;
+    ol.id = next_orderline++;
+    ol.order_id = static_cast<int>(
+        rng.Uniform(static_cast<uint64_t>(scale.num_orders)));
+    ol.item_id = i;
+    ol.qty = 1;
+    ol.discount = 0;
+    TpcwOrder& o = d.orders[static_cast<size_t>(ol.order_id)];
+    o.total = std::round((o.total + d.items[static_cast<size_t>(i)].cost) *
+                         100.0) /
+              100.0;
+    d.orderlines.push_back(std::move(ol));
+  }
+  return d;
+}
+
+}  // namespace mct::workload

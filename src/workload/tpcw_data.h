@@ -1,0 +1,124 @@
+// TPC-W logical data (Section 7's first dataset).
+//
+// The paper generated TPC-W data as XML with ToXgene into a multi-colored
+// schema of the authors' design, plus shallow and deep baselines. ToXgene is
+// long dead; this generator produces the same *logical* relations with
+// TPC-W's relative cardinalities (deterministic, seeded), from which the
+// three physical schemas of Section 7 are built (tpcw_db.h).
+
+#ifndef COLORFUL_XML_WORKLOAD_TPCW_DATA_H_
+#define COLORFUL_XML_WORKLOAD_TPCW_DATA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mct::workload {
+
+struct TpcwScale {
+  int num_countries = 30;
+  int num_authors = 250;
+  int num_items = 1000;
+  int num_customers = 2500;
+  int num_addresses = 5000;
+  int num_dates = 365;
+  int num_orders = 10000;
+  int min_orderlines = 1;
+  int max_orderlines = 5;
+  uint64_t seed = 42;
+
+  /// Tiny instance for unit tests.
+  static TpcwScale Tiny() {
+    TpcwScale s;
+    s.num_countries = 5;
+    s.num_authors = 8;
+    s.num_items = 20;
+    s.num_customers = 30;
+    s.num_addresses = 50;
+    s.num_dates = 20;
+    s.num_orders = 80;
+    return s;
+  }
+
+  /// Benchmark default — laptop-scale stand-in for the paper's 1.5M-element
+  /// database, keeping TPC-W's relative cardinalities.
+  static TpcwScale Default() { return TpcwScale(); }
+
+  /// Multiplies every entity count by `f` (scaling experiments, E7).
+  TpcwScale ScaledBy(double f) const;
+};
+
+struct TpcwCountry {
+  int id;
+  std::string name;
+};
+
+struct TpcwAuthor {
+  int id;
+  std::string fname, lname;
+};
+
+struct TpcwItem {
+  int id;
+  std::string title;
+  int author_id;
+  double cost;
+  std::string subject;  // one of a small set of subjects
+  int stock;
+};
+
+struct TpcwCustomer {
+  int id;
+  std::string uname, fname, lname;
+  std::string since;  // date string
+};
+
+struct TpcwAddress {
+  int id;
+  std::string street, city;
+  int country_id;
+};
+
+struct TpcwDate {
+  int id;
+  std::string value;  // "2003-01-17"
+};
+
+struct TpcwOrder {
+  int id;
+  int customer_id;
+  int bill_addr_id;
+  int ship_addr_id;
+  int date_id;
+  std::string status;  // pending / shipped / denied
+  double total;
+};
+
+struct TpcwOrderLine {
+  int id;
+  int order_id;
+  int item_id;
+  int qty;
+  double discount;
+};
+
+struct TpcwData {
+  TpcwScale scale;
+  std::vector<TpcwCountry> countries;
+  std::vector<TpcwAuthor> authors;
+  std::vector<TpcwItem> items;
+  std::vector<TpcwCustomer> customers;
+  std::vector<TpcwAddress> addresses;
+  std::vector<TpcwDate> dates;
+  std::vector<TpcwOrder> orders;
+  std::vector<TpcwOrderLine> orderlines;
+};
+
+/// Generates the logical relations, deterministically from scale.seed.
+TpcwData GenerateTpcw(const TpcwScale& scale);
+
+}  // namespace mct::workload
+
+#endif  // COLORFUL_XML_WORKLOAD_TPCW_DATA_H_

@@ -1,0 +1,59 @@
+// Builds the three physical TPC-W databases of Section 7 from one logical
+// dataset:
+//
+//  * MCT — the paper's 5-color schema:
+//      cust: customer -- order -- orderline
+//      bill: billing address -- order -- orderline
+//      ship: shipping address -- order -- orderline
+//      date: date -- order -- orderline
+//      auth: author -- item -- orderline
+//    Every entity element (and its field children, which carry all the
+//    colors of their parent, as in the paper's movie example) is stored
+//    once; orders live in four trees, orderlines in five.
+//
+//  * Shallow — single hierarchy in XNF: flat entity lists under containers,
+//    relationships as id / *IdRef attributes.
+//
+//  * Deep — single un-normalized hierarchy: customer / order / addresses +
+//    date + orderline / item / author, replicating items, authors,
+//    addresses and dates per use (the source of the deep baseline's
+//    duplicate troubles in Table 2).
+
+#ifndef COLORFUL_XML_WORKLOAD_TPCW_DB_H_
+#define COLORFUL_XML_WORKLOAD_TPCW_DB_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "mct/database.h"
+#include "workload/tpcw_data.h"
+
+namespace mct::workload {
+
+enum class SchemaKind { kMct, kShallow, kDeep };
+
+std::string_view SchemaKindName(SchemaKind k);
+
+struct TpcwDb {
+  std::unique_ptr<MctDatabase> db;
+  SchemaKind kind;
+  /// MCT colors (kMct only).
+  ColorId cust = kInvalidColorId;
+  ColorId bill = kInvalidColorId;
+  ColorId ship = kInvalidColorId;
+  ColorId date = kInvalidColorId;
+  ColorId auth = kInvalidColorId;
+  /// The single color of shallow/deep databases.
+  ColorId doc = kInvalidColorId;
+
+  /// Default color for evaluating this database's dialect.
+  ColorId default_color() const {
+    return kind == SchemaKind::kMct ? cust : doc;
+  }
+};
+
+Result<TpcwDb> BuildTpcw(const TpcwData& data, SchemaKind kind);
+
+}  // namespace mct::workload
+
+#endif  // COLORFUL_XML_WORKLOAD_TPCW_DB_H_

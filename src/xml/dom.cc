@@ -1,0 +1,84 @@
+#include "xml/dom.h"
+
+namespace mct::xml {
+
+std::string_view NodeKindToString(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kDocument:
+      return "document";
+    case NodeKind::kElement:
+      return "element";
+    case NodeKind::kAttribute:
+      return "attribute";
+    case NodeKind::kText:
+      return "text";
+    case NodeKind::kNamespace:
+      return "namespace";
+    case NodeKind::kProcessingInstruction:
+      return "processing-instruction";
+    case NodeKind::kComment:
+      return "comment";
+  }
+  return "unknown";
+}
+
+const std::string* Element::FindAttr(std::string_view name) const {
+  for (const Attr& a : attrs_) {
+    if (a.name == name) return &a.value;
+  }
+  return nullptr;
+}
+
+void Element::SetAttr(std::string_view name, std::string_view value) {
+  for (Attr& a : attrs_) {
+    if (a.name == name) {
+      a.value = std::string(value);
+      return;
+    }
+  }
+  attrs_.push_back(Attr{std::string(name), std::string(value)});
+}
+
+Element* Element::AddElement(std::string name) {
+  return AddChild(std::make_unique<Element>(std::move(name)));
+}
+
+void Element::AddText(std::string text) {
+  auto node = std::make_unique<Element>("", NodeKind::kText);
+  node->set_text(std::move(text));
+  AddChild(std::move(node));
+}
+
+Element* Element::AddTextElement(std::string name, std::string text) {
+  Element* e = AddElement(std::move(name));
+  e->AddText(std::move(text));
+  return e;
+}
+
+std::string Element::StringValue() const {
+  if (kind_ == NodeKind::kText) return text_;
+  std::string out;
+  for (const auto& c : children_) {
+    if (c->kind() == NodeKind::kText) {
+      out += c->text();
+    } else if (c->kind() == NodeKind::kElement) {
+      out += c->StringValue();
+    }
+  }
+  return out;
+}
+
+const Element* Element::FindChild(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->kind() == NodeKind::kElement && c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+size_t Element::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& c : children_) n += c->SubtreeSize();
+  return n;
+}
+
+}  // namespace mct::xml

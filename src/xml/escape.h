@@ -1,0 +1,25 @@
+// XML character escaping / entity resolution.
+
+#ifndef COLORFUL_XML_XML_ESCAPE_H_
+#define COLORFUL_XML_XML_ESCAPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace mct::xml {
+
+/// Escapes text content: & < >.
+std::string EscapeText(std::string_view s);
+
+/// Escapes an attribute value (also " and newline-safe).
+std::string EscapeAttr(std::string_view s);
+
+/// Resolves the five predefined entities and decimal/hex character
+/// references. ParseError on an unknown or malformed entity.
+Result<std::string> Unescape(std::string_view s);
+
+}  // namespace mct::xml
+
+#endif  // COLORFUL_XML_XML_ESCAPE_H_

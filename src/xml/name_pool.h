@@ -1,0 +1,47 @@
+// NamePool: interns tag and attribute names to dense uint32 ids, so node
+// records and index keys store 4-byte name ids instead of strings.
+
+#ifndef COLORFUL_XML_XML_NAME_POOL_H_
+#define COLORFUL_XML_XML_NAME_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mct {
+
+using NameId = uint32_t;
+inline constexpr NameId kInvalidNameId = 0xFFFFFFFFu;
+
+class NamePool {
+ public:
+  /// Returns the id for `name`, interning it if new.
+  NameId Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    NameId id = static_cast<NameId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name` or kInvalidNameId when never interned.
+  NameId Lookup(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? kInvalidNameId : it->second;
+  }
+
+  const std::string& Name(NameId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, NameId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_XML_NAME_POOL_H_

@@ -1,0 +1,22 @@
+// Non-validating XML parser: elements, attributes, character data (with
+// entity resolution), CDATA, comments, processing instructions, and an
+// optional XML declaration / DOCTYPE line (skipped). Namespace declarations
+// are kept as ordinary attributes, which is sufficient for the exchange
+// format of Section 5 and for ingesting generated workloads.
+
+#ifndef COLORFUL_XML_XML_PARSER_H_
+#define COLORFUL_XML_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace mct::xml {
+
+/// Parses a whole document; ParseError (with offset info) on malformed input.
+Result<Document> Parse(std::string_view input);
+
+}  // namespace mct::xml
+
+#endif  // COLORFUL_XML_XML_PARSER_H_

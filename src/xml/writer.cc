@@ -1,0 +1,85 @@
+#include "xml/writer.h"
+
+#include "xml/escape.h"
+
+namespace mct::xml {
+
+namespace {
+
+void WriteRec(const Element& e, const WriteOptions& opt, int depth,
+              std::string* out) {
+  auto indent = [&](int d) {
+    if (opt.pretty) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(d) * 2, ' ');
+    }
+  };
+
+  switch (e.kind()) {
+    case NodeKind::kText:
+      out->append(EscapeText(e.text()));
+      return;
+    case NodeKind::kComment:
+      out->append("<!--").append(e.text()).append("-->");
+      return;
+    case NodeKind::kProcessingInstruction:
+      out->append("<?").append(e.name());
+      if (!e.text().empty()) out->append(" ").append(e.text());
+      out->append("?>");
+      return;
+    default:
+      break;
+  }
+
+  out->push_back('<');
+  out->append(e.name());
+  for (const Attr& a : e.attrs()) {
+    out->push_back(' ');
+    out->append(a.name);
+    out->append("=\"");
+    out->append(EscapeAttr(a.value));
+    out->push_back('"');
+  }
+  if (e.children().empty()) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  // Mixed content (any text child) is written inline to preserve the text
+  // exactly; element-only content may be pretty printed.
+  bool has_text_child = false;
+  for (const auto& c : e.children()) {
+    if (c->kind() == NodeKind::kText) {
+      has_text_child = true;
+      break;
+    }
+  }
+  bool pretty_here = opt.pretty && !has_text_child;
+  for (const auto& c : e.children()) {
+    if (pretty_here) indent(depth + 1);
+    WriteOptions child_opt = opt;
+    child_opt.pretty = pretty_here;
+    WriteRec(*c, child_opt, depth + 1, out);
+  }
+  if (pretty_here) indent(depth);
+  out->append("</");
+  out->append(e.name());
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string Write(const Element& elem, const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) out += "<?xml version=\"1.0\"?>";
+  if (options.pretty && options.declaration) out += "\n";
+  WriteRec(elem, options, 0, &out);
+  if (options.pretty) out += "\n";
+  return out;
+}
+
+std::string Write(const Document& doc, const WriteOptions& options) {
+  return doc.root ? Write(*doc.root, options) : std::string();
+}
+
+}  // namespace mct::xml

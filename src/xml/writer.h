@@ -1,0 +1,27 @@
+// XML writer: serializes a DOM back to text, compact or pretty-printed.
+
+#ifndef COLORFUL_XML_XML_WRITER_H_
+#define COLORFUL_XML_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/dom.h"
+
+namespace mct::xml {
+
+struct WriteOptions {
+  /// Indent children by 2 spaces per depth; false emits compact XML.
+  bool pretty = false;
+  /// Emit an <?xml version="1.0"?> declaration.
+  bool declaration = false;
+};
+
+/// Serializes `elem` (and its subtree).
+std::string Write(const Element& elem, const WriteOptions& options = {});
+
+/// Serializes a whole document.
+std::string Write(const Document& doc, const WriteOptions& options = {});
+
+}  // namespace mct::xml
+
+#endif  // COLORFUL_XML_XML_WRITER_H_

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/bptree.h"
+#include "storage/storage_env.h"
+
+namespace mct {
+namespace {
+
+using Entry = std::pair<IndexKey, uint64_t>;
+
+std::vector<Entry> ScanAll(const BPlusTree& tree) {
+  std::vector<Entry> out;
+  auto it = tree.Begin();
+  EXPECT_TRUE(it.ok());
+  while (it->Valid()) {
+    out.emplace_back(it->key(), it->value());
+    EXPECT_TRUE(it->Next().ok());
+  }
+  return out;
+}
+
+TEST(IndexKeyTest, LexicographicCompare) {
+  EXPECT_LT(IndexKey::Make(1, 2, 3, 4).Compare(IndexKey::Make(1, 2, 3, 5)), 0);
+  EXPECT_LT(IndexKey::Make(1, 9, 9, 9).Compare(IndexKey::Make(2, 0, 0, 0)), 0);
+  EXPECT_EQ(IndexKey::Make(5, 5, 5, 5).Compare(IndexKey::Make(5, 5, 5, 5)), 0);
+  EXPECT_GT(IndexKey::Make(2).Compare(IndexKey::Make(1, 9, 9, 9)), 0);
+  EXPECT_EQ(IndexKey::Make(1, 2).ToString(), "(1,2,0,0)");
+}
+
+TEST(BPlusTreeTest, EmptyTreeScanIsEmpty) {
+  auto env = StorageEnv::CreateInMemory();
+  BPlusTree tree(env->pool());
+  EXPECT_EQ(tree.num_entries(), 0u);
+  EXPECT_EQ(tree.height(), 1u);
+  auto it = tree.Begin();
+  ASSERT_TRUE(it.ok());
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST(BPlusTreeTest, InsertAndPointSeek) {
+  auto env = StorageEnv::CreateInMemory();
+  BPlusTree tree(env->pool());
+  for (uint32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.Insert(IndexKey::Make(1, i), i * 10).ok());
+  }
+  auto it = tree.Seek(IndexKey::Make(1, 50));
+  ASSERT_TRUE(it.ok());
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), IndexKey::Make(1, 50));
+  EXPECT_EQ(it->value(), 500u);
+}
+
+TEST(BPlusTreeTest, SeekBetweenKeysFindsSuccessor) {
+  auto env = StorageEnv::CreateInMemory();
+  BPlusTree tree(env->pool());
+  for (uint32_t i = 0; i < 100; i += 10) {
+    ASSERT_TRUE(tree.Insert(IndexKey::Make(i), i).ok());
+  }
+  auto it = tree.Seek(IndexKey::Make(41));
+  ASSERT_TRUE(it.ok());
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), IndexKey::Make(50));
+  // Seek past everything.
+  auto end = tree.Seek(IndexKey::Make(1000));
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end->Valid());
+}
+
+TEST(BPlusTreeTest, SplitsGrowHeightAndKeepOrder) {
+  auto env = StorageEnv::CreateInMemory();
+  BPlusTree tree(env->pool());
+  // Enough entries to force internal splits (leaf holds ~341).
+  constexpr uint32_t kN = 200000;
+  for (uint32_t i = 0; i < kN; ++i) {
+    // Insert in a scrambled order (64-bit product, so this is a true
+    // permutation of [0, kN) since gcd(2654435761, kN) == 1).
+    uint32_t k = static_cast<uint32_t>((i * 2654435761ULL) % kN);
+    ASSERT_TRUE(tree.Insert(IndexKey::Make(k, k), k).ok());
+  }
+  EXPECT_EQ(tree.num_entries(), kN);
+  EXPECT_GE(tree.height(), 3u);
+  auto entries = ScanAll(tree);
+  ASSERT_EQ(entries.size(), kN);
+  for (uint32_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(entries[i].first, IndexKey::Make(i, i));
+    EXPECT_EQ(entries[i].second, i);
+  }
+}
+
+TEST(BPlusTreeTest, RangeScanOverPrefix) {
+  auto env = StorageEnv::CreateInMemory();
+  BPlusTree tree(env->pool());
+  // Three "colors" interleaved; scan color 2 only.
+  for (uint32_t c = 1; c <= 3; ++c) {
+    for (uint32_t i = 0; i < 1000; ++i) {
+      ASSERT_TRUE(tree.Insert(IndexKey::Make(c, i * 7, 0, i), i).ok());
+    }
+  }
+  auto it = tree.Seek(IndexKey::Make(2));
+  ASSERT_TRUE(it.ok());
+  uint32_t count = 0;
+  uint64_t prev = 0;
+  while (it->Valid() && it->key().k[0] == 2) {
+    EXPECT_GE(it->key().k[1], prev);
+    prev = it->key().k[1];
+    ++count;
+    ASSERT_TRUE(it->Next().ok());
+  }
+  EXPECT_EQ(count, 1000u);
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key().k[0], 3u);
+}
+
+TEST(BPlusTreeTest, DeleteRemovesExactPair) {
+  auto env = StorageEnv::CreateInMemory();
+  BPlusTree tree(env->pool());
+  for (uint32_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(tree.Insert(IndexKey::Make(0, 0, 0, i), i).ok());
+  }
+  EXPECT_TRUE(tree.Delete(IndexKey::Make(0, 0, 0, 777), 777).ok());
+  EXPECT_TRUE(tree.Delete(IndexKey::Make(0, 0, 0, 777), 777).IsNotFound());
+  EXPECT_TRUE(tree.Delete(IndexKey::Make(0, 0, 0, 778), 999).IsNotFound());
+  EXPECT_EQ(tree.num_entries(), 1999u);
+  auto entries = ScanAll(tree);
+  EXPECT_EQ(entries.size(), 1999u);
+  for (const auto& [k, v] : entries) EXPECT_NE(v, 777u);
+}
+
+TEST(BPlusTreeTest, IteratorPastEndErrors) {
+  auto env = StorageEnv::CreateInMemory();
+  BPlusTree tree(env->pool());
+  ASSERT_TRUE(tree.Insert(IndexKey::Make(1), 1).ok());
+  auto it = tree.Begin();
+  ASSERT_TRUE(it.ok());
+  ASSERT_TRUE(it->Valid());
+  ASSERT_TRUE(it->Next().ok());
+  EXPECT_FALSE(it->Valid());
+  EXPECT_TRUE(it->Next().IsOutOfRange());
+}
+
+// Property test: random workload against std::multimap ground truth.
+class BPlusTreeRandomized : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(BPlusTreeRandomized, MatchesReferenceMultimap) {
+  auto env = StorageEnv::CreateInMemory();
+  BPlusTree tree(env->pool());
+  Rng rng(GetParam());
+  // Reference keyed by (key tuple, value); unique-key convention from the
+  // header: last component is a discriminator.
+  std::map<std::array<uint32_t, 4>, uint64_t> ref;
+  uint32_t next_disc = 0;
+  for (int op = 0; op < 30000; ++op) {
+    if (rng.Uniform(10) < 7 || ref.empty()) {
+      uint32_t a = static_cast<uint32_t>(rng.Uniform(50));
+      uint32_t b = static_cast<uint32_t>(rng.Uniform(1000));
+      uint32_t d = next_disc++;
+      uint64_t v = rng.Next();
+      ASSERT_TRUE(tree.Insert(IndexKey::Make(a, b, 0, d), v).ok());
+      ref[{a, b, 0, d}] = v;
+    } else {
+      auto it = ref.begin();
+      std::advance(it, static_cast<long>(rng.Uniform(ref.size())));
+      IndexKey k = IndexKey::Make(it->first[0], it->first[1], it->first[2],
+                                  it->first[3]);
+      ASSERT_TRUE(tree.Delete(k, it->second).ok());
+      ref.erase(it);
+    }
+  }
+  ASSERT_EQ(tree.num_entries(), ref.size());
+  auto entries = ScanAll(tree);
+  ASSERT_EQ(entries.size(), ref.size());
+  size_t i = 0;
+  for (const auto& [k, v] : ref) {
+    EXPECT_EQ(entries[i].first, IndexKey::Make(k[0], k[1], k[2], k[3]));
+    EXPECT_EQ(entries[i].second, v);
+    ++i;
+  }
+  // Spot-check seeks.
+  for (int probe = 0; probe < 200 && !ref.empty(); ++probe) {
+    uint32_t a = static_cast<uint32_t>(rng.Uniform(50));
+    uint32_t b = static_cast<uint32_t>(rng.Uniform(1000));
+    IndexKey target = IndexKey::Make(a, b, 0, 0);
+    auto lb = ref.lower_bound({a, b, 0, 0});
+    auto it = tree.Seek(target);
+    ASSERT_TRUE(it.ok());
+    if (lb == ref.end()) {
+      EXPECT_FALSE(it->Valid());
+    } else {
+      ASSERT_TRUE(it->Valid());
+      EXPECT_EQ(it->key(), IndexKey::Make(lb->first[0], lb->first[1],
+                                          lb->first[2], lb->first[3]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeRandomized,
+                         testing::Values(1u, 2u, 3u, 17u, 99u));
+
+TEST(BPlusTreeTest, SizeAccountingGrowsWithPages) {
+  auto env = StorageEnv::CreateInMemory();
+  BPlusTree tree(env->pool());
+  EXPECT_EQ(tree.num_pages(), 1u);
+  for (uint32_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(tree.Insert(IndexKey::Make(i, 0, 0, i), i).ok());
+  }
+  // 10000 entries / ~341 per leaf => at least 29 leaves.
+  EXPECT_GE(tree.num_pages(), 29u);
+  EXPECT_EQ(tree.SizeBytes(), static_cast<uint64_t>(tree.num_pages()) * kPageSize);
+}
+
+}  // namespace
+}  // namespace mct

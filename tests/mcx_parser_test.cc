@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "mcx/ast.h"
+#include "mcx/evaluator.h"
+#include "mcx/parser.h"
+
+namespace mct::mcx {
+namespace {
+
+ParsedQuery MustParse(const std::string& text) {
+  auto r = Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status() << "\nquery: " << text;
+  if (!r.ok()) std::abort();
+  return std::move(r).value();
+}
+
+TEST(ParserTest, UnabbreviatedColoredPath) {
+  ParsedQuery q = MustParse(
+      "for $m in document(\"mdb.xml\")/{red}descendant::movie-genre"
+      "[{red}child::name = \"Comedy\"]/{red}descendant::movie "
+      "return $m");
+  ASSERT_EQ(q.root->kind, Expr::Kind::kFLWOR);
+  ASSERT_EQ(q.root->bindings.size(), 1u);
+  const PathExpr& p = q.root->bindings[0].expr->path;
+  EXPECT_TRUE(p.from_document);
+  EXPECT_EQ(p.doc_arg, "mdb.xml");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].color, "red");
+  EXPECT_EQ(p.steps[0].axis, Axis::kDescendant);
+  EXPECT_EQ(p.steps[0].tag, "movie-genre");
+  ASSERT_EQ(p.steps[0].predicates.size(), 1u);
+  const Expr& pred = *p.steps[0].predicates[0];
+  EXPECT_EQ(pred.kind, Expr::Kind::kCompare);
+  EXPECT_EQ(pred.cmp, CmpOp::kEq);
+  EXPECT_EQ(pred.children[0]->kind, Expr::Kind::kPath);
+  EXPECT_EQ(pred.children[0]->path.steps[0].axis, Axis::kChild);
+  EXPECT_EQ(pred.children[0]->path.steps[0].color, "red");
+  EXPECT_EQ(pred.children[1]->str, "Comedy");
+  EXPECT_EQ(p.steps[1].tag, "movie");
+}
+
+TEST(ParserTest, AbbreviatedColoredPath) {
+  ParsedQuery q = MustParse(
+      "for $m in document(\"mdb.xml\")/{red}//movie-genre[name = \"Comedy\"]"
+      "/{red}//movie return $m");
+  const PathExpr& p = q.root->bindings[0].expr->path;
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kDescendant);
+  EXPECT_EQ(p.steps[0].color, "red");
+  // Abbreviated predicate path: bare child step, no color (inherits).
+  const Expr& pred = *p.steps[0].predicates[0];
+  EXPECT_EQ(pred.children[0]->path.steps[0].axis, Axis::kChild);
+  EXPECT_EQ(pred.children[0]->path.steps[0].color, "");
+}
+
+TEST(ParserTest, UncoloredPathsForSingleColorDatabases) {
+  ParsedQuery q = MustParse(
+      "for $m in document(\"db.xml\")//movie[.//actor/name = \"Bette Davis\"]"
+      " return $m");
+  const PathExpr& p = q.root->bindings[0].expr->path;
+  ASSERT_EQ(p.steps.size(), 1u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kDescendant);
+  // .//actor -> self step then descendant.
+  const PathExpr& pp = p.steps[0].predicates[0]->children[0]->path;
+  EXPECT_EQ(pp.steps[0].axis, Axis::kSelf);
+  EXPECT_EQ(pp.steps[1].axis, Axis::kDescendant);
+  EXPECT_EQ(pp.steps[1].tag, "actor");
+  EXPECT_EQ(pp.steps[2].axis, Axis::kChild);
+}
+
+TEST(ParserTest, AttributeSteps) {
+  ParsedQuery q = MustParse(
+      "for $m in document(\"d\")//movie, $g in document(\"d\")//genre "
+      "where $g/@id = $m/@genreIdRef return $m");
+  ASSERT_NE(q.root->where, nullptr);
+  const Expr& w = *q.root->where;
+  EXPECT_EQ(w.kind, Expr::Kind::kCompare);
+  EXPECT_EQ(w.children[0]->path.start_var, "$g");
+  EXPECT_EQ(w.children[0]->path.steps[0].axis, Axis::kAttribute);
+  EXPECT_EQ(w.children[0]->path.steps[0].tag, "id");
+  EXPECT_EQ(w.children[1]->path.start_var, "$m");
+}
+
+TEST(ParserTest, WhereWithAndContains) {
+  ParsedQuery q = MustParse(
+      "for $m in document(\"d\")//movie "
+      "where contains($m/movie-award/name, \"Oscar\") and $m/votes > 10 "
+      "return $m");
+  const Expr& w = *q.root->where;
+  EXPECT_EQ(w.kind, Expr::Kind::kAnd);
+  EXPECT_EQ(w.children[0]->kind, Expr::Kind::kContains);
+  EXPECT_EQ(w.children[1]->kind, Expr::Kind::kCompare);
+  EXPECT_EQ(w.children[1]->cmp, CmpOp::kGt);
+  EXPECT_EQ(w.children[1]->children[1]->num, 10.0);
+}
+
+TEST(ParserTest, IdentityPredicate) {
+  ParsedQuery q = MustParse(
+      "for $m in document(\"d\")/{green}//movie, "
+      "$r in document(\"d\")/{red}//movie[. = $m]/{red}child::movie-role "
+      "return $r");
+  const PathExpr& p = q.root->bindings[1].expr->path;
+  const Expr& pred = *p.steps[0].predicates[0];
+  EXPECT_EQ(pred.kind, Expr::Kind::kCompare);
+  EXPECT_EQ(pred.children[0]->path.steps[0].axis, Axis::kSelf);
+  EXPECT_EQ(pred.children[1]->kind, Expr::Kind::kVarRef);
+  EXPECT_EQ(pred.children[1]->str, "$m");
+}
+
+TEST(ParserTest, ConstructorWithEnclosedExpr) {
+  ParsedQuery q = MustParse(
+      "for $m in document(\"d\")//movie "
+      "return createColor(black, <m-name> { $m/{red}child::name } </m-name>)");
+  const Expr& ret = *q.root->ret;
+  EXPECT_EQ(ret.kind, Expr::Kind::kCreateColor);
+  EXPECT_EQ(ret.str, "black");
+  const Expr& elem = *ret.children[0];
+  EXPECT_EQ(elem.kind, Expr::Kind::kElement);
+  EXPECT_EQ(elem.tag, "m-name");
+  ASSERT_EQ(elem.children.size(), 1u);
+  EXPECT_EQ(elem.children[0]->kind, Expr::Kind::kPath);
+}
+
+TEST(ParserTest, ConstructorWithAttrsTextAndNesting) {
+  ParsedQuery q = MustParse(
+      "createColor(black, <a x=\"1\"><b>hi</b><c/>{ count($m) }</a>)");
+  const Expr& elem = *q.root->children[0];
+  ASSERT_EQ(elem.attrs.size(), 1u);
+  EXPECT_EQ(elem.attrs[0].name, "x");
+  ASSERT_EQ(elem.children.size(), 3u);
+  EXPECT_EQ(elem.children[0]->kind, Expr::Kind::kElement);
+  EXPECT_EQ(elem.children[0]->children[0]->kind, Expr::Kind::kText);
+  EXPECT_EQ(elem.children[0]->children[0]->str, "hi");
+  EXPECT_EQ(elem.children[2]->kind, Expr::Kind::kCount);
+}
+
+TEST(ParserTest, NestedFLWORInConstructor) {
+  ParsedQuery q = MustParse(
+      "createColor(black, <byvotes> {"
+      " for $v in distinct-values(document(\"d\")/{green}descendant::votes)"
+      " order by $v"
+      " return <award-byvotes> {"
+      "   for $m in document(\"d\")/{green}descendant::movie"
+      "     [{green}child::votes = $v] return $m }"
+      "   <votes> { $v } </votes>"
+      " </award-byvotes> } </byvotes>)");
+  const Expr& byvotes = *q.root->children[0];
+  EXPECT_EQ(byvotes.tag, "byvotes");
+  const Expr& flwor = *byvotes.children[0];
+  EXPECT_EQ(flwor.kind, Expr::Kind::kFLWOR);
+  EXPECT_EQ(flwor.bindings[0].expr->kind, Expr::Kind::kDistinctValues);
+  ASSERT_NE(flwor.order_by, nullptr);
+  const Expr& inner_elem = *flwor.ret;
+  EXPECT_EQ(inner_elem.tag, "award-byvotes");
+  EXPECT_EQ(inner_elem.children[0]->kind, Expr::Kind::kFLWOR);
+  EXPECT_EQ(inner_elem.children[1]->tag, "votes");
+}
+
+TEST(ParserTest, CreateCopy) {
+  ParsedQuery q = MustParse("createCopy($m/{red}child::name)");
+  EXPECT_EQ(q.root->kind, Expr::Kind::kCreateCopy);
+}
+
+TEST(ParserTest, MultipleBindingsCommaAndFor) {
+  ParsedQuery q = MustParse(
+      "for $a in document(\"d\")//x, $b in document(\"d\")//y "
+      "for $c in $a/z return $c");
+  EXPECT_EQ(q.root->bindings.size(), 3u);
+  EXPECT_EQ(q.root->bindings[2].expr->path.start_var, "$a");
+}
+
+TEST(ParserTest, LetBinding) {
+  ParsedQuery q = MustParse("let $n := document(\"d\")//x return $n");
+  EXPECT_TRUE(q.root->bindings[0].is_let);
+}
+
+TEST(ParserTest, OrderByDescending) {
+  ParsedQuery q = MustParse(
+      "for $m in document(\"d\")//movie order by $m/votes descending "
+      "return $m");
+  EXPECT_TRUE(q.root->order_descending);
+  ASSERT_NE(q.root->order_by, nullptr);
+}
+
+TEST(ParserTest, UpdateInsert) {
+  ParsedQuery q = MustParse(
+      "for $o in document(\"d\")//order[status = \"open\"] "
+      "update $o { insert <flag>expedite</flag> into {cust} }");
+  ASSERT_TRUE(q.is_update);
+  EXPECT_EQ(q.target_var, "$o");
+  ASSERT_EQ(q.actions.size(), 1u);
+  EXPECT_EQ(q.actions[0].kind, UpdateAction::Kind::kInsert);
+  EXPECT_EQ(q.actions[0].color, "cust");
+  EXPECT_EQ(q.actions[0].constructor->tag, "flag");
+}
+
+TEST(ParserTest, UpdateDeleteAndReplace) {
+  ParsedQuery q = MustParse(
+      "for $o in document(\"d\")//order "
+      "where $o/@id = \"o1\" "
+      "update $o { delete {cust} flag, replace status with \"closed\" }");
+  ASSERT_TRUE(q.is_update);
+  ASSERT_EQ(q.actions.size(), 2u);
+  EXPECT_EQ(q.actions[0].kind, UpdateAction::Kind::kDelete);
+  EXPECT_EQ(q.actions[0].color, "cust");
+  EXPECT_EQ(q.actions[0].selector.steps[0].tag, "flag");
+  EXPECT_EQ(q.actions[1].kind, UpdateAction::Kind::kReplace);
+  EXPECT_EQ(q.actions[1].new_value, "closed");
+}
+
+TEST(ParserTest, UpdateDeleteSelf) {
+  ParsedQuery q = MustParse(
+      "for $x in document(\"d\")//obsolete update $x { delete }");
+  ASSERT_TRUE(q.is_update);
+  EXPECT_TRUE(q.actions[0].selector.steps.empty());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_TRUE(Parse("").status().IsParseError());
+  EXPECT_TRUE(Parse("for $m in").status().IsParseError());
+  EXPECT_TRUE(Parse("for $m in document(\"d\")//x").status().IsParseError());
+  EXPECT_TRUE(Parse("for m in document(\"d\")//x return $m")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(Parse("return $m").status().IsParseError());
+  EXPECT_TRUE(
+      Parse("for $m in document(\"d\")/{red descendant::x return $m")
+          .status()
+          .IsParseError());
+  EXPECT_TRUE(Parse("for $m in document(\"d\")//x return <a>{$m}</b>")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(Parse("for $m in document(\"d\")//x return $m extra")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(Parse("for $m in document(\"d\")/child::x[1tag] return $m")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(ComplexityTest, CountsPathsAndBindings) {
+  // Shallow-1 query from Example 1.1: 5 bindings, several paths.
+  ParsedQuery q = MustParse(
+      "for $mg in document(\"mdb.xml\")//movie-genre[name = \"Comedy\"], "
+      "$m in document(\"mdb.xml\")//movie, "
+      "$ma in document(\"mdb.xml\")//movie-award, "
+      "$a in document(\"mdb.xml\")//actor[name = \"Bette Davis\"], "
+      "$r in document(\"mdb.xml\")//movie-role "
+      "where contains($ma/name, \"Oscar\") and "
+      "$mg/@id = $m/@movieGenreIdRef and "
+      "contains($m/@movieAwardIdRefs, $ma/@id) and "
+      "contains($m/@roleIdRefs, $r/@id) and "
+      "contains($a/@roleIdRefs, $r/@id) "
+      "return <m-name> { $m/name } </m-name>");
+  QueryComplexity c = AnalyzeComplexity(q);
+  EXPECT_EQ(c.num_variable_bindings, 5);
+  // 5 binding paths + 2 predicate paths + 9 where paths + 1 return path.
+  EXPECT_EQ(c.num_path_exprs, 17);
+
+  // Deep-1 equivalent: 1 binding, far fewer paths.
+  ParsedQuery qd = MustParse(
+      "for $m in document(\"mdb.xml\")//movie-genre[name = \"Comedy\"]"
+      "//movie[.//actor/name = \"Bette Davis\"] "
+      "where contains($m/movie-award/name, \"Oscar\") "
+      "return <m-name> { $m/name } </m-name>");
+  QueryComplexity cd = AnalyzeComplexity(qd);
+  EXPECT_EQ(cd.num_variable_bindings, 1);
+  EXPECT_LT(cd.num_path_exprs, c.num_path_exprs);
+}
+
+}  // namespace
+}  // namespace mct::mcx

@@ -1,0 +1,126 @@
+// Shared test fixture: the example MCT movie database of the paper's
+// Figure 2 — three colored trees (red = movie-genre hierarchy, green =
+// Oscar movie-award temporal hierarchy, blue = actors), movie nodes that are
+// red+green when Oscar-nominated, and movie-role nodes that are red+blue.
+
+#ifndef COLORFUL_XML_TESTS_MOVIE_FIXTURE_H_
+#define COLORFUL_XML_TESTS_MOVIE_FIXTURE_H_
+
+#include <memory>
+#include <string>
+
+#include "mct/database.h"
+
+namespace mct::testfix {
+
+struct MovieDb {
+  std::unique_ptr<MctDatabase> db;
+  ColorId red, green, blue;
+
+  // Red (genre) tree.
+  NodeId genre_root, genre_comedy, genre_slapstick, genre_drama;
+  // Green (award) tree.
+  NodeId award_oscar, award_1950, award_1951;
+  // Blue (actor) tree.
+  NodeId actors_root, actor_davis, actor_chaplin;
+  // Movies.
+  NodeId movie_eve;        // "All About Eve": red (comedy) + green (1950)
+  NodeId movie_lights;     // "City Lights": red (slapstick) only
+  NodeId movie_sunset;     // "Sunset Boulevard": red (drama) + green (1950)
+  // Roles (red child of movie, blue child of actor).
+  NodeId role_margo;       // Davis in Eve
+  NodeId role_tramp;       // Chaplin in City Lights
+};
+
+inline NodeId MustCreate(MctDatabase& db, ColorId c, NodeId parent,
+                         const std::string& tag, const std::string& text = "") {
+  auto r = db.CreateElement(c, parent, tag);
+  if (!r.ok()) std::abort();
+  if (!text.empty() && !db.SetContent(*r, text).ok()) std::abort();
+  return *r;
+}
+
+inline NodeId MustCreateNamed(MctDatabase& db, ColorId c, NodeId parent,
+                              const std::string& tag,
+                              const std::string& name_text) {
+  NodeId n = MustCreate(db, c, parent, tag);
+  MustCreate(db, c, n, "name", name_text);
+  return n;
+}
+
+/// Builds the Figure 2 database.
+inline MovieDb BuildMovieDb() {
+  MovieDb f;
+  f.db = std::make_unique<MctDatabase>();
+  MctDatabase& db = *f.db;
+  f.red = *db.RegisterColor("red");
+  f.green = *db.RegisterColor("green");
+  f.blue = *db.RegisterColor("blue");
+  NodeId doc = db.document();
+
+  // Red: movie-genre hierarchy.
+  f.genre_root = MustCreateNamed(db, f.red, doc, "movie-genre", "All");
+  f.genre_comedy =
+      MustCreateNamed(db, f.red, f.genre_root, "movie-genre", "Comedy");
+  f.genre_slapstick =
+      MustCreateNamed(db, f.red, f.genre_comedy, "movie-genre", "Slapstick");
+  f.genre_drama =
+      MustCreateNamed(db, f.red, f.genre_root, "movie-genre", "Drama");
+
+  // Green: Oscar best-movie temporal hierarchy.
+  f.award_oscar =
+      MustCreateNamed(db, f.green, doc, "movie-award", "Oscar Best Movie");
+  f.award_1950 =
+      MustCreateNamed(db, f.green, f.award_oscar, "movie-award", "1950");
+  f.award_1951 =
+      MustCreateNamed(db, f.green, f.award_oscar, "movie-award", "1951");
+
+  // Blue: actors.
+  f.actors_root = MustCreate(db, f.blue, doc, "actors");
+  f.actor_davis =
+      MustCreateNamed(db, f.blue, f.actors_root, "actor", "Bette Davis");
+  f.actor_chaplin =
+      MustCreateNamed(db, f.blue, f.actors_root, "actor", "Charlie Chaplin");
+
+  // Movies. "All About Eve" is red (child of Comedy) and green (child of
+  // Oscar 1950); its name child carries both colors too; votes is
+  // green-only (paper Section 2.1).
+  f.movie_eve = MustCreate(db, f.red, f.genre_comedy, "movie");
+  if (!db.AddNodeColor(f.movie_eve, f.green, f.award_1950).ok()) std::abort();
+  NodeId eve_name = MustCreate(db, f.red, f.movie_eve, "name", "All About Eve");
+  if (!db.AddNodeColor(eve_name, f.green, f.movie_eve).ok()) std::abort();
+  MustCreate(db, f.green, f.movie_eve, "votes", "14");
+
+  f.movie_lights = MustCreate(db, f.red, f.genre_slapstick, "movie");
+  MustCreate(db, f.red, f.movie_lights, "name", "City Lights");
+
+  f.movie_sunset = MustCreate(db, f.red, f.genre_drama, "movie");
+  if (!db.AddNodeColor(f.movie_sunset, f.green, f.award_1950).ok()) {
+    std::abort();
+  }
+  NodeId sunset_name =
+      MustCreate(db, f.red, f.movie_sunset, "name", "Sunset Boulevard");
+  if (!db.AddNodeColor(sunset_name, f.green, f.movie_sunset).ok()) {
+    std::abort();
+  }
+  MustCreate(db, f.green, f.movie_sunset, "votes", "8");
+
+  // Roles: red child of the movie, blue child of the actor.
+  f.role_margo = MustCreate(db, f.red, f.movie_eve, "movie-role");
+  if (!db.AddNodeColor(f.role_margo, f.blue, f.actor_davis).ok()) std::abort();
+  NodeId margo_name = MustCreate(db, f.red, f.role_margo, "name", "Margo");
+  if (!db.AddNodeColor(margo_name, f.blue, f.role_margo).ok()) std::abort();
+
+  f.role_tramp = MustCreate(db, f.red, f.movie_lights, "movie-role");
+  if (!db.AddNodeColor(f.role_tramp, f.blue, f.actor_chaplin).ok()) {
+    std::abort();
+  }
+  NodeId tramp_name = MustCreate(db, f.red, f.role_tramp, "name", "Tramp");
+  if (!db.AddNodeColor(tramp_name, f.blue, f.role_tramp).ok()) std::abort();
+
+  return f;
+}
+
+}  // namespace mct::testfix
+
+#endif  // COLORFUL_XML_TESTS_MOVIE_FIXTURE_H_

@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "movie_fixture.h"
+#include "query/ops.h"
+#include "query/table.h"
+
+namespace mct::query {
+namespace {
+
+using testfix::BuildMovieDb;
+using testfix::MovieDb;
+
+std::multiset<NodeId> ColumnBag(const Table& t, const std::string& var) {
+  int c = t.ColumnOf(var);
+  EXPECT_GE(c, 0);
+  auto col = t.Column(c);
+  return std::multiset<NodeId>(col.begin(), col.end());
+}
+
+TEST(TableTest, FromNodesAndColumn) {
+  Table t = Table::FromNodes("$x", {3, 1, 4});
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_cols(), 1u);
+  EXPECT_EQ(t.ColumnOf("$x"), 0);
+  EXPECT_EQ(t.ColumnOf("$y"), -1);
+  EXPECT_EQ(t.Column(0), (std::vector<NodeId>{3, 1, 4}));
+}
+
+TEST(KeySpecTest, ExtractAllKinds) {
+  MovieDb f = BuildMovieDb();
+  ASSERT_TRUE(f.db->SetAttr(f.movie_eve, "id", "m1").ok());
+  // Own content of a name node.
+  NodeId name = f.db->Children(f.movie_eve, f.red)[0];
+  EXPECT_EQ(*ExtractKey(*f.db, name, KeySpec::OwnContent()), "All About Eve");
+  // Child content.
+  EXPECT_EQ(*ExtractKey(*f.db, f.movie_eve,
+                        KeySpec::ChildContent(f.red, "name")),
+            "All About Eve");
+  EXPECT_FALSE(ExtractKey(*f.db, f.movie_eve,
+                          KeySpec::ChildContent(f.red, "votes"))
+                   .has_value());  // votes is green-only
+  EXPECT_EQ(*ExtractKey(*f.db, f.movie_eve,
+                        KeySpec::ChildContent(f.green, "votes")),
+            "14");
+  // Attribute.
+  EXPECT_EQ(*ExtractKey(*f.db, f.movie_eve, KeySpec::Attr("id")), "m1");
+  EXPECT_FALSE(ExtractKey(*f.db, f.movie_eve, KeySpec::Attr("no")).has_value());
+  // Color-aware string value.
+  EXPECT_EQ(*ExtractKey(*f.db, f.movie_eve, KeySpec::StringValue(f.green)),
+            "All About Eve14");
+}
+
+TEST(ScanTest, TagScanTable) {
+  MovieDb f = BuildMovieDb();
+  ExecStats stats;
+  Table t = TagScanTable(f.db.get(), f.red, "$m", "movie", &stats);
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(stats.rows_scanned, 3u);
+}
+
+TEST(ExpandTest, ChildrenStep) {
+  MovieDb f = BuildMovieDb();
+  ExecStats stats;
+  Table movies = TagScanTable(f.db.get(), f.red, "$m", "movie", &stats);
+  Table names =
+      ExpandChildren(f.db.get(), movies, 0, f.red, "name", "$n", &stats);
+  EXPECT_EQ(names.num_rows(), 3u);  // every movie has one red name
+  EXPECT_EQ(names.num_cols(), 2u);
+  EXPECT_EQ(stats.structural_joins, 1u);
+  // Wildcard tag matches all element children.
+  Table all = ExpandChildren(f.db.get(), movies, 0, f.red, "", "$c", &stats);
+  // Eve: name+role, Lights: name+role, Sunset: name -> 5 rows.
+  EXPECT_EQ(all.num_rows(), 5u);
+}
+
+TEST(ExpandTest, DescendantsStep) {
+  MovieDb f = BuildMovieDb();
+  ExecStats stats;
+  Table genres = TagScanTable(f.db.get(), f.red, "$g", "movie-genre", &stats);
+  Table sub = FilterRows(
+      genres,
+      [&](const std::vector<NodeId>& r) { return r[0] == f.genre_comedy; },
+      &stats);
+  Table movies =
+      ExpandDescendants(f.db.get(), sub, 0, f.red, "movie", "$m", &stats);
+  // Comedy subtree holds Eve and (via Slapstick) City Lights.
+  auto bag = ColumnBag(movies, "$m");
+  EXPECT_EQ(bag.size(), 2u);
+  EXPECT_TRUE(bag.contains(f.movie_eve));
+  EXPECT_TRUE(bag.contains(f.movie_lights));
+}
+
+TEST(ExpandTest, DescendantsFromAllGenresProducesPerAncestorRows) {
+  MovieDb f = BuildMovieDb();
+  ExecStats stats;
+  Table genres = TagScanTable(f.db.get(), f.red, "$g", "movie-genre", &stats);
+  Table movies =
+      ExpandDescendants(f.db.get(), genres, 0, f.red, "movie", "$m", &stats);
+  // All(3 movies) + Comedy(2) + Slapstick(1) + Drama(1) = 7 rows.
+  EXPECT_EQ(movies.num_rows(), 7u);
+}
+
+TEST(ExpandTest, ParentStep) {
+  MovieDb f = BuildMovieDb();
+  ExecStats stats;
+  Table roles = TagScanTable(f.db.get(), f.blue, "$r", "movie-role", &stats);
+  Table actors =
+      ExpandParent(f.db.get(), roles, 0, f.blue, "actor", "$a", &stats);
+  auto bag = ColumnBag(actors, "$a");
+  EXPECT_EQ(bag.size(), 2u);
+  EXPECT_TRUE(bag.contains(f.actor_davis));
+  EXPECT_TRUE(bag.contains(f.actor_chaplin));
+  // Parent with wrong tag drops rows.
+  Table none =
+      ExpandParent(f.db.get(), roles, 0, f.blue, "movie", "$x", &stats);
+  EXPECT_EQ(none.num_rows(), 0u);
+}
+
+TEST(ExpandTest, AncestorsStep) {
+  MovieDb f = BuildMovieDb();
+  ExecStats stats;
+  Table t;
+  t.vars = {"$m"};
+  t.rows = {{f.movie_lights}};
+  Table ancs =
+      ExpandAncestors(f.db.get(), t, 0, f.red, "movie-genre", "$g", &stats);
+  // Slapstick, Comedy, All.
+  EXPECT_EQ(ancs.num_rows(), 3u);
+}
+
+TEST(CrossTreeTest, ColorTransitionKeepsIdentity) {
+  MovieDb f = BuildMovieDb();
+  ExecStats stats;
+  Table red_movies = TagScanTable(f.db.get(), f.red, "$m", "movie", &stats);
+  EXPECT_EQ(red_movies.num_rows(), 3u);
+  Table green_too = CrossTreeJoin(f.db.get(), red_movies, 0, f.green, &stats);
+  // Only Eve and Sunset are Oscar-nominated (red+green).
+  auto bag = ColumnBag(green_too, "$m");
+  EXPECT_EQ(bag.size(), 2u);
+  EXPECT_TRUE(bag.contains(f.movie_eve));
+  EXPECT_TRUE(bag.contains(f.movie_sunset));
+  EXPECT_EQ(stats.cross_tree_joins, 1u);
+}
+
+TEST(SemiJoinTest, FiltersByContainment) {
+  MovieDb f = BuildMovieDb();
+  ExecStats stats;
+  Table movies = TagScanTable(f.db.get(), f.red, "$m", "movie", &stats);
+  Table under_comedy = StructuralSemiJoin(f.db.get(), movies, 0, f.red,
+                                          {f.genre_comedy}, &stats);
+  auto bag = ColumnBag(under_comedy, "$m");
+  EXPECT_EQ(bag.size(), 2u);
+  EXPECT_FALSE(bag.contains(f.movie_sunset));
+  // Empty ancestor set -> empty result.
+  Table none = StructuralSemiJoin(f.db.get(), movies, 0, f.red, {}, &stats);
+  EXPECT_EQ(none.num_rows(), 0u);
+}
+
+TEST(ValueJoinTest, HashJoinOnChildContent) {
+  MovieDb f = BuildMovieDb();
+  ExecStats stats;
+  // Join movies with actors on nothing sensible — use the role name vs role
+  // name to exercise key equality: join roles (red) with roles (blue) on
+  // child name content.
+  Table red_roles = TagScanTable(f.db.get(), f.red, "$r1", "movie-role", &stats);
+  Table blue_roles =
+      TagScanTable(f.db.get(), f.blue, "$r2", "movie-role", &stats);
+  Table joined = HashValueJoin(
+      f.db.get(), red_roles, 0, KeySpec::ChildContent(f.red, "name"),
+      blue_roles, 0, KeySpec::ChildContent(f.blue, "name"), &stats);
+  // Each role matches itself (names are unique).
+  EXPECT_EQ(joined.num_rows(), 2u);
+  for (const auto& row : joined.rows) EXPECT_EQ(row[0], row[1]);
+  EXPECT_EQ(stats.value_joins, 1u);
+}
+
+TEST(ValueJoinTest, IdrefsJoin) {
+  MovieDb f = BuildMovieDb();
+  ExecStats stats;
+  ASSERT_TRUE(f.db->SetAttr(f.actor_davis, "id", "a1").ok());
+  ASSERT_TRUE(f.db->SetAttr(f.actor_chaplin, "id", "a2").ok());
+  ASSERT_TRUE(f.db->SetAttr(f.movie_eve, "actorIdRefs", "a1 a9").ok());
+  ASSERT_TRUE(f.db->SetAttr(f.movie_lights, "actorIdRefs", "a2").ok());
+  ASSERT_TRUE(f.db->SetAttr(f.movie_sunset, "actorIdRefs", "").ok());
+  Table movies = TagScanTable(f.db.get(), f.red, "$m", "movie", &stats);
+  Table actors = TagScanTable(f.db.get(), f.blue, "$a", "actor", &stats);
+  Table joined =
+      IdrefsJoin(f.db.get(), movies, 0, KeySpec::Attr("actorIdRefs"), actors,
+                 0, KeySpec::Attr("id"), &stats);
+  EXPECT_EQ(joined.num_rows(), 2u);
+  for (const auto& row : joined.rows) {
+    if (row[0] == f.movie_eve) {
+      EXPECT_EQ(row[1], f.actor_davis);
+    }
+    if (row[0] == f.movie_lights) {
+      EXPECT_EQ(row[1], f.actor_chaplin);
+    }
+  }
+}
+
+TEST(JoinTest, IdentityJoin) {
+  MovieDb f = BuildMovieDb();
+  ExecStats stats;
+  Table red_movies = TagScanTable(f.db.get(), f.red, "$m1", "movie", &stats);
+  Table green_movies = TagScanTable(f.db.get(), f.green, "$m2", "movie", &stats);
+  Table joined =
+      IdentityJoin(f.db.get(), red_movies, 0, green_movies, 0, &stats);
+  EXPECT_EQ(joined.num_rows(), 2u);  // Eve, Sunset
+  for (const auto& row : joined.rows) EXPECT_EQ(row[0], row[1]);
+}
+
+TEST(JoinTest, NestedLoopInequality) {
+  MovieDb f = BuildMovieDb();
+  ExecStats stats;
+  Table g = TagScanTable(f.db.get(), f.green, "$m1", "movie", &stats);
+  Table g2 = TagScanTable(f.db.get(), f.green, "$m2", "movie", &stats);
+  KeySpec votes = KeySpec::ChildContent(f.green, "votes");
+  Table joined = NestedLoopJoin(
+      f.db.get(), g, g2,
+      [&](const std::vector<NodeId>& l, const std::vector<NodeId>& r) {
+        auto lv = ExtractKey(*f.db, l[0], votes);
+        auto rv = ExtractKey(*f.db, r[0], votes);
+        if (!lv || !rv) return false;
+        return *mct::ParseDouble(*lv) > *mct::ParseDouble(*rv);
+      },
+      &stats);
+  // Eve (14) > Sunset (8): exactly one pair.
+  ASSERT_EQ(joined.num_rows(), 1u);
+  EXPECT_EQ(joined.rows[0][0], f.movie_eve);
+  EXPECT_EQ(joined.rows[0][1], f.movie_sunset);
+  EXPECT_EQ(stats.nested_loop_joins, 1u);
+}
+
+TEST(DupElimTest, RemovesDuplicateProjections) {
+  Table t;
+  t.vars = {"$a", "$b"};
+  t.rows = {{1, 2}, {1, 3}, {1, 2}, {2, 2}};
+  ExecStats stats;
+  Table d1 = DupElim(t, {0, 1}, &stats);
+  EXPECT_EQ(d1.num_rows(), 3u);
+  Table d2 = DupElim(t, {0}, &stats);
+  EXPECT_EQ(d2.num_rows(), 2u);
+  EXPECT_EQ(stats.dup_elims, 2u);
+}
+
+TEST(ProjectTest, ReordersColumns) {
+  Table t;
+  t.vars = {"$a", "$b", "$c"};
+  t.rows = {{1, 2, 3}};
+  Table p = Project(t, {2, 0});
+  EXPECT_EQ(p.vars, (std::vector<std::string>{"$c", "$a"}));
+  EXPECT_EQ(p.rows[0], (std::vector<NodeId>{3, 1}));
+}
+
+TEST(SortTest, NumericAndLexicographic) {
+  MovieDb f = BuildMovieDb();
+  ExecStats stats;
+  Table movies = TagScanTable(f.db.get(), f.green, "$m", "movie", &stats);
+  KeySpec votes = KeySpec::ChildContent(f.green, "votes");
+  Table asc = SortRowsBy(*f.db, movies, 0, votes);
+  ASSERT_EQ(asc.num_rows(), 2u);
+  EXPECT_EQ(asc.rows[0][0], f.movie_sunset);  // 8 before 14 numerically
+  Table desc = SortRowsBy(*f.db, movies, 0, votes, /*descending=*/true);
+  EXPECT_EQ(desc.rows[0][0], f.movie_eve);
+  // Lexicographic on names.
+  Table by_name =
+      SortRowsBy(*f.db, movies, 0, KeySpec::ChildContent(f.green, "name"));
+  EXPECT_EQ(by_name.rows[0][0], f.movie_eve);  // "All..." < "Sunset..."
+}
+
+// Property: ExpandDescendants agrees with a naive O(n*m) oracle on random
+// trees of varying shapes.
+class StructuralJoinProperty : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(StructuralJoinProperty, MatchesNaiveOracle) {
+  Rng rng(GetParam());
+  MctDatabase db;
+  ColorId c = *db.RegisterColor("c");
+  std::vector<NodeId> pool{db.document()};
+  for (int i = 0; i < 600; ++i) {
+    NodeId parent = pool[rng.Uniform(pool.size())];
+    std::string tag = rng.Bernoulli(0.4) ? "a" : (rng.Bernoulli(0.5) ? "b" : "x");
+    pool.push_back(*db.CreateElement(c, parent, tag));
+  }
+  ExecStats stats;
+  Table as = TagScanTable(&db, c, "$a", "a", &stats);
+  Table joined = ExpandDescendants(&db, as, 0, c, "b", "$b", &stats);
+  // Oracle.
+  std::multiset<std::pair<NodeId, NodeId>> expect;
+  ColoredTree* t = db.tree(c);
+  for (const auto& arow : as.rows) {
+    auto pre = t->PreOrder(arow[0]);
+    for (NodeId d : pre) {
+      if (d != arow[0] && db.Tag(d) == "b") expect.insert({arow[0], d});
+    }
+  }
+  std::multiset<std::pair<NodeId, NodeId>> got;
+  for (const auto& row : joined.rows) got.insert({row[0], row[1]});
+  EXPECT_EQ(got, expect);
+
+  // Children step also agrees with a direct oracle.
+  Table kids = ExpandChildren(&db, as, 0, c, "b", "$b", &stats);
+  std::multiset<std::pair<NodeId, NodeId>> expect_kids;
+  for (const auto& arow : as.rows) {
+    for (NodeId k : t->Children(arow[0])) {
+      if (db.Tag(k) == "b") expect_kids.insert({arow[0], k});
+    }
+  }
+  std::multiset<std::pair<NodeId, NodeId>> got_kids;
+  for (const auto& row : kids.rows) got_kids.insert({row[0], row[1]});
+  EXPECT_EQ(got_kids, expect_kids);
+
+  // SemiJoin(b under a-set) == distinct right sides of the descendant join.
+  Table bs = TagScanTable(&db, c, "$b", "b", &stats);
+  Table semi = StructuralSemiJoin(&db, bs, 0, c, as.Column(0), &stats);
+  std::set<NodeId> expect_semi;
+  for (const auto& [a, b] : expect) expect_semi.insert(b);
+  std::vector<NodeId> semi_nodes = semi.Column(0);
+  std::set<NodeId> got_semi(semi_nodes.begin(), semi_nodes.end());
+  EXPECT_EQ(semi.num_rows(), got_semi.size());  // bs rows are distinct
+  EXPECT_EQ(got_semi, expect_semi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructuralJoinProperty,
+                         testing::Values(5u, 6u, 7u, 8u, 9u));
+
+}  // namespace
+}  // namespace mct::query

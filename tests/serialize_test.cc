@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "movie_fixture.h"
+#include "serialize/exchange.h"
+#include "serialize/opt_serialize.h"
+#include "serialize/schema.h"
+
+namespace mct::serialize {
+namespace {
+
+using testfix::BuildMovieDb;
+using testfix::MovieDb;
+
+TEST(SchemaTest, BuildAndQuery) {
+  MctSchema s;
+  s.AddChild("red", "a", "b", '*');
+  s.AddChild("green", "a", "c", '?');
+  s.SetQuant("b", "red", 4);
+  const ElementType* a = s.Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->colors, (std::set<std::string>{"red", "green"}));
+  EXPECT_EQ(s.Find("b")->colors, (std::set<std::string>{"red"}));
+  EXPECT_DOUBLE_EQ(s.Quant("b", "red"), 4);
+  EXPECT_DOUBLE_EQ(s.Quant("c", "green"), 1);  // default
+  ASSERT_EQ(s.MultiColoredTypes().size(), 1u);
+  EXPECT_EQ(s.MultiColoredTypes()[0]->name, "a");
+  EXPECT_EQ(s.Find("zzz"), nullptr);
+}
+
+TEST(SchemaTest, AddChildIsIdempotent) {
+  MctSchema s;
+  s.AddChild("red", "a", "b");
+  s.AddChild("red", "a", "b");
+  EXPECT_EQ(s.Find("a")->productions.at("red").children.size(), 1u);
+}
+
+TEST(SchemaTest, InferFromMovieDb) {
+  MovieDb f = BuildMovieDb();
+  MctSchema s = InferSchema(*f.db);
+  const ElementType* movie = s.Find("movie");
+  ASSERT_NE(movie, nullptr);
+  EXPECT_EQ(movie->colors, (std::set<std::string>{"red", "green"}));
+  const ElementType* role = s.Find("movie-role");
+  ASSERT_NE(role, nullptr);
+  EXPECT_EQ(role->colors, (std::set<std::string>{"red", "blue"}));
+  // movie's red production includes name and movie-role.
+  const Production& red_prod = movie->productions.at("red");
+  std::set<std::string> kids;
+  for (const auto& c : red_prod.children) kids.insert(c.elem);
+  EXPECT_TRUE(kids.contains("name"));
+  EXPECT_TRUE(kids.contains("movie-role"));
+  // quant(movie-role, red): 2 roles over 3 red movies.
+  EXPECT_NEAR(s.Quant("movie-role", "red"), 2.0 / 3.0, 1e-9);
+  // quant(votes, green): 2 votes over 2 green movies.
+  EXPECT_NEAR(s.Quant("votes", "green"), 1.0, 1e-9);
+}
+
+TEST(OptSerializeTest, SingleColorSchemaTrivial) {
+  MctSchema s;
+  s.AddChild("red", "a", "b");
+  auto scheme = OptSerialize(s);
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_EQ(scheme->PrimaryOf("a"), "red");
+  EXPECT_EQ(scheme->PrimaryOf("b"), "red");
+  EXPECT_DOUBLE_EQ(scheme->expected_cost, 0);
+}
+
+TEST(OptSerializeTest, TwoColorSharedLeaf) {
+  // x is red+green; serialized either way it pays 2 for the other
+  // hierarchy's parent pointer.
+  MctSchema s;
+  s.AddChild("red", "r", "x");
+  s.AddChild("green", "g", "x");
+  EXPECT_DOUBLE_EQ(CostOf(s, "x", "red"), 2);
+  EXPECT_DOUBLE_EQ(CostOf(s, "x", "green"), 2);
+  auto scheme = OptSerialize(s);
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_FALSE(scheme->primary.at("x").empty());
+}
+
+TEST(OptSerializeTest, QuantSkewsTheChoice) {
+  // x is red+green; x has heavy green-only children, light red-only
+  // children. Serializing x green keeps the heavy kids inline (no
+  // annotation), so green must win.
+  MctSchema s;
+  s.AddChild("red", "r", "x");
+  s.AddChild("green", "g", "x");
+  s.AddChild("red", "x", "rkid");
+  s.AddChild("green", "x", "gkid");
+  s.SetQuant("rkid", "red", 1);
+  s.SetQuant("gkid", "green", 50);
+  double cost_red = CostOf(s, "x", "red");
+  double cost_green = CostOf(s, "x", "green");
+  // red: 2 (green pointer) + 50 gkids x 1 annotation + 0 rkid.
+  EXPECT_DOUBLE_EQ(cost_red, 2 + 50);
+  // green: 2 (red pointer) + 1 rkid x 1 annotation.
+  EXPECT_DOUBLE_EQ(cost_green, 2 + 1);
+  auto scheme = OptSerialize(s);
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_EQ(scheme->PrimaryOf("x"), "green");
+  // Ranking keeps the loser second (the Section 5.3 fallback order).
+  EXPECT_EQ(scheme->primary.at("x")[1], "red");
+}
+
+TEST(OptSerializeTest, ColorFlowsDownToChildren) {
+  // Section 5.1: movie-role may take green as primary when movie chose
+  // green, even though green is not a real color of movie-role. In cost
+  // terms: a red+blue child under a green-primary parent can inline as
+  // green, paying pointers for red AND blue but no extra annotation beyond
+  // the flow-down one.
+  MctSchema s;
+  s.AddChild("red", "movie", "movie-role");
+  s.AddChild("blue", "actor", "movie-role");
+  s.AddChild("green", "award", "movie");
+  s.AddChild("red", "genre", "movie");
+  // cost(movie-role, green): 2 pointers x 2 colors = 4.
+  EXPECT_DOUBLE_EQ(CostOf(s, "movie-role", "green"), 4);
+  EXPECT_DOUBLE_EQ(CostOf(s, "movie-role", "red"), 2);
+}
+
+TEST(OptSerializeTest, RecursiveProductionTerminates) {
+  MctSchema s;
+  s.AddChild("red", "genre", "genre", '*');  // recursive hierarchy
+  s.AddChild("red", "genre", "movie");
+  s.AddChild("green", "award", "movie");
+  auto scheme = OptSerialize(s);
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_FALSE(scheme->PrimaryOf("movie").empty());
+}
+
+TEST(OptSerializeTest, Figure8MovieSchema) {
+  MctSchema s = MovieSchemaOfFigure8();
+  auto scheme = OptSerialize(s);
+  ASSERT_TRUE(scheme.ok());
+  // movie: red has 10 roles vs green's votes/category singletons; red
+  // nesting avoids annotating the heavy role subtrees, so red wins.
+  EXPECT_EQ(scheme->PrimaryOf("movie"), "red");
+  // Every multi-colored type got a full ranking.
+  EXPECT_EQ(scheme->primary.at("movie").size(), 2u);
+  EXPECT_EQ(scheme->primary.at("movie-role").size(), 2u);
+  EXPECT_GT(scheme->expected_cost, 0);
+}
+
+// Theorem 5.1 validation: on schemas satisfying the paper's assumptions
+// (acyclic multi-colored types, one production context each), the DP's
+// chosen assignment matches exhaustive enumeration.
+class OptimalityProperty : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimalityProperty, DpMatchesBruteForce) {
+  Rng rng(GetParam());
+  // Random layered schema: 3 colors, layer of roots, layer of multi-colored
+  // middles (each with a unique parent per color), layer of leaves.
+  MctSchema s;
+  const std::vector<std::string> colors{"c0", "c1", "c2"};
+  int n_mid = static_cast<int>(rng.UniformInt(1, 3));
+  for (int m = 0; m < n_mid; ++m) {
+    std::string mid = "mid" + std::to_string(m);
+    // Belongs to 2 or 3 hierarchies.
+    int k = static_cast<int>(rng.UniformInt(2, 3));
+    for (int c = 0; c < k; ++c) {
+      s.AddChild(colors[static_cast<size_t>(c)],
+                 "root" + colors[static_cast<size_t>(c)], mid);
+      s.SetQuant(mid, colors[static_cast<size_t>(c)],
+                 static_cast<double>(rng.UniformInt(1, 5)));
+    }
+    // Leaves under each color.
+    int n_leaves = static_cast<int>(rng.UniformInt(0, 3));
+    for (int l = 0; l < n_leaves; ++l) {
+      std::string leaf = mid + "leaf" + std::to_string(l);
+      std::string lc = colors[rng.Uniform(static_cast<uint64_t>(k))];
+      s.AddChild(lc, mid, leaf);
+      s.SetQuant(leaf, lc, static_cast<double>(rng.UniformInt(1, 20)));
+    }
+  }
+  auto scheme = OptSerialize(s);
+  ASSERT_TRUE(scheme.ok());
+  double brute = BruteForceOptimalCost(s);
+  EXPECT_NEAR(scheme->expected_cost, brute, 1e-9)
+      << "DP assignment is not optimal";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalityProperty,
+                         testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// ---- Exchange: export / import round trip ----
+
+TEST(ExchangeTest, MovieDbRoundTrip) {
+  MovieDb f = BuildMovieDb();
+  ASSERT_TRUE(f.db->SetAttr(f.movie_eve, "year", "1950").ok());
+  MctSchema schema = InferSchema(*f.db);
+  auto scheme = OptSerialize(schema);
+  ASSERT_TRUE(scheme.ok());
+  ExportStats stats;
+  auto xml = ExportXml(f.db.get(), *scheme, &stats);
+  ASSERT_TRUE(xml.ok()) << xml.status();
+  EXPECT_GT(stats.elements, 20u);
+  EXPECT_GT(stats.parent_pointers, 0u);  // multi-colored nodes exist
+  auto imported = ImportXml(*xml);
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  std::string why;
+  EXPECT_TRUE(DatabasesIsomorphic(*f.db, **imported, &why)) << why;
+}
+
+TEST(ExchangeTest, RoundTripPreservesLocalOrder) {
+  MctDatabase db;
+  ColorId a = *db.RegisterColor("a");
+  ColorId b = *db.RegisterColor("b");
+  NodeId pa = *db.CreateElement(a, db.document(), "pa");
+  NodeId pb = *db.CreateElement(b, db.document(), "pb");
+  // Children of pb in b interleave nodes whose primary will be a or b.
+  std::vector<NodeId> kids;
+  for (int i = 0; i < 6; ++i) {
+    NodeId k = *db.CreateElement(b, pb, "k");
+    ASSERT_TRUE(db.SetContent(k, "k" + std::to_string(i)).ok());
+    kids.push_back(k);
+    if (i % 2 == 0) {
+      ASSERT_TRUE(db.AddNodeColor(k, a, pa).ok());
+    }
+  }
+  MctSchema schema = InferSchema(db);
+  // Force primary of k to be "a" so even-indexed kids nest under pa and
+  // odd ones under pb: order under pb must still come back 0..5.
+  SerializationScheme scheme;
+  scheme.primary["k"] = {"a", "b"};
+  scheme.primary["pa"] = {"a"};
+  scheme.primary["pb"] = {"b"};
+  auto xml = ExportXml(&db, scheme, nullptr);
+  ASSERT_TRUE(xml.ok()) << xml.status();
+  auto imported = ImportXml(*xml);
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  MctDatabase& db2 = **imported;
+  ColorId b2 = db2.LookupColor("b");
+  NodeId pb2 = kInvalidNodeId;
+  for (NodeId n : db2.tree(b2)->PreOrder()) {
+    if (db2.Kind(n) == xml::NodeKind::kElement && db2.Tag(n) == "pb") {
+      pb2 = n;
+    }
+  }
+  ASSERT_NE(pb2, kInvalidNodeId);
+  auto children = db2.Children(pb2, b2);
+  ASSERT_EQ(children.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(db2.Content(children[static_cast<size_t>(i)]),
+              "k" + std::to_string(i));
+  }
+  std::string why;
+  EXPECT_TRUE(DatabasesIsomorphic(db, db2, &why)) << why;
+}
+
+TEST(ExchangeTest, SingleColorDatabaseIsPlainNesting) {
+  MctDatabase db;
+  ColorId doc = *db.RegisterColor("doc");
+  NodeId root = *db.CreateElement(doc, db.document(), "r");
+  NodeId child = *db.CreateElement(doc, root, "c");
+  ASSERT_TRUE(db.SetContent(child, "hi").ok());
+  MctSchema schema = InferSchema(db);
+  auto scheme = OptSerialize(schema);
+  ASSERT_TRUE(scheme.ok());
+  ExportStats stats;
+  auto xml = ExportXml(&db, *scheme, &stats);
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(stats.parent_pointers, 0u);
+  EXPECT_EQ(stats.color_annotations, 0u);
+  // No mct.ref anywhere.
+  EXPECT_EQ(xml->find("mct.ref"), std::string::npos);
+  auto imported = ImportXml(*xml);
+  ASSERT_TRUE(imported.ok());
+  std::string why;
+  EXPECT_TRUE(DatabasesIsomorphic(db, **imported, &why)) << why;
+}
+
+TEST(ExchangeTest, OptimalSchemeCostsNoMoreThanWorst) {
+  MovieDb f = BuildMovieDb();
+  MctSchema schema = InferSchema(*f.db);
+  auto best = OptSerialize(schema);
+  ASSERT_TRUE(best.ok());
+  ExportStats best_stats;
+  ASSERT_TRUE(ExportXml(f.db.get(), *best, &best_stats).ok());
+
+  // Adversarial scheme: reverse every ranking.
+  SerializationScheme worst = *best;
+  for (auto& [_, ranked] : worst.primary) {
+    std::reverse(ranked.begin(), ranked.end());
+  }
+  ExportStats worst_stats;
+  ASSERT_TRUE(ExportXml(f.db.get(), worst, &worst_stats).ok());
+  EXPECT_LE(best_stats.CostUnits(), worst_stats.CostUnits());
+}
+
+TEST(ExchangeTest, ImportRejectsGarbage) {
+  EXPECT_FALSE(ImportXml("<not-mct/>").ok());
+  EXPECT_FALSE(ImportXml("no xml at all").ok());
+  EXPECT_FALSE(ImportXml("<mct-database/>").ok());  // no colors attr
+  EXPECT_FALSE(ImportXml("<mct-database colors=\"a\">"
+                         "<x mct.pc=\"zzz\"/></mct-database>")
+                   .ok());
+  EXPECT_FALSE(ImportXml("<mct-database colors=\"a b\">"
+                         "<x mct.pc=\"a\" mct.ref.b=\"77\"/></mct-database>")
+                   .ok());  // dangling ref
+}
+
+// Randomized round-trip property over arbitrary multi-colored databases.
+class ExchangeRoundTrip : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExchangeRoundTrip, RandomDatabasesSurviveRoundTrip) {
+  Rng rng(GetParam());
+  MctDatabase db;
+  std::vector<ColorId> colors;
+  for (int i = 0; i < 3; ++i) {
+    colors.push_back(*db.RegisterColor("c" + std::to_string(i)));
+  }
+  std::vector<std::vector<NodeId>> members(3, {db.document()});
+  std::vector<NodeId> all;
+  for (int step = 0; step < 300; ++step) {
+    size_t ci = rng.Uniform(3);
+    NodeId parent = members[ci][rng.Uniform(members[ci].size())];
+    if (!all.empty() && rng.Bernoulli(0.25)) {
+      NodeId n = all[rng.Uniform(all.size())];
+      if (!db.Colors(n).Has(colors[ci]) && parent != n) {
+        if (db.AddNodeColor(n, colors[ci], parent).ok()) {
+          members[ci].push_back(n);
+        }
+      }
+    } else {
+      auto n = db.CreateElement(colors[ci], parent,
+                                "t" + std::to_string(rng.Uniform(4)));
+      ASSERT_TRUE(n.ok());
+      members[ci].push_back(*n);
+      all.push_back(*n);
+      if (rng.Bernoulli(0.5)) {
+        ASSERT_TRUE(db.SetContent(*n, rng.Word(1, 12)).ok());
+      }
+      if (rng.Bernoulli(0.3)) {
+        ASSERT_TRUE(db.SetAttr(*n, "a" + std::to_string(rng.Uniform(3)),
+                               rng.Word(1, 8))
+                        .ok());
+      }
+    }
+  }
+  MctSchema schema = InferSchema(db);
+  auto scheme = OptSerialize(schema);
+  ASSERT_TRUE(scheme.ok());
+  auto xml = ExportXml(&db, *scheme, nullptr);
+  ASSERT_TRUE(xml.ok()) << xml.status();
+  auto imported = ImportXml(*xml);
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  std::string why;
+  EXPECT_TRUE(DatabasesIsomorphic(db, **imported, &why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExchangeRoundTrip,
+                         testing::Values(101u, 102u, 103u, 104u, 105u));
+
+}  // namespace
+}  // namespace mct::serialize

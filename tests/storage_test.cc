@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/record_file.h"
+#include "storage/slotted_file.h"
+#include "storage/storage_env.h"
+
+namespace mct {
+namespace {
+
+TEST(DiskManagerTest, InMemoryReadWriteRoundTrip) {
+  auto dm = DiskManager::CreateInMemory();
+  PageId p0 = dm->AllocatePage();
+  PageId p1 = dm->AllocatePage();
+  EXPECT_EQ(p0, 0u);
+  EXPECT_EQ(p1, 1u);
+  EXPECT_EQ(dm->num_pages(), 2u);
+  EXPECT_EQ(dm->SizeBytes(), 2u * kPageSize);
+
+  char buf[kPageSize];
+  std::memset(buf, 0xAB, kPageSize);
+  ASSERT_TRUE(dm->WritePage(p1, buf).ok());
+  char out[kPageSize];
+  ASSERT_TRUE(dm->ReadPage(p1, out).ok());
+  EXPECT_EQ(std::memcmp(buf, out, kPageSize), 0);
+
+  // Fresh page is zeroed.
+  ASSERT_TRUE(dm->ReadPage(p0, out).ok());
+  for (uint32_t i = 0; i < kPageSize; ++i) ASSERT_EQ(out[i], 0);
+}
+
+TEST(DiskManagerTest, OutOfRangeAccessFails) {
+  auto dm = DiskManager::CreateInMemory();
+  char buf[kPageSize] = {};
+  EXPECT_TRUE(dm->ReadPage(0, buf).IsOutOfRange());
+  EXPECT_TRUE(dm->WritePage(5, buf).IsOutOfRange());
+}
+
+TEST(DiskManagerTest, FileBackedPersistsAcrossReopen) {
+  std::string path = testing::TempDir() + "/mct_dm_test.db";
+  std::filesystem::remove(path);
+  {
+    std::unique_ptr<DiskManager> dm;
+    ASSERT_TRUE(DiskManager::OpenFile(path, &dm).ok());
+    PageId p = dm->AllocatePage();
+    char buf[kPageSize];
+    std::memset(buf, 0x5C, kPageSize);
+    ASSERT_TRUE(dm->WritePage(p, buf).ok());
+    ASSERT_TRUE(dm->Sync().ok());
+  }
+  {
+    std::unique_ptr<DiskManager> dm;
+    ASSERT_TRUE(DiskManager::OpenFile(path, &dm).ok());
+    EXPECT_EQ(dm->num_pages(), 1u);
+    char out[kPageSize];
+    ASSERT_TRUE(dm->ReadPage(0, out).ok());
+    EXPECT_EQ(out[100], 0x5C);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(BufferPoolTest, FetchHitsAfterFirstMiss) {
+  auto dm = DiskManager::CreateInMemory();
+  BufferPool pool(dm.get(), 4);
+  auto page = pool.NewPage();
+  ASSERT_TRUE(page.ok());
+  PageId id = page->page_id();
+  page->MutableData()[0] = 42;
+  page->Release();
+
+  auto g1 = pool.FetchPage(id);
+  ASSERT_TRUE(g1.ok());
+  EXPECT_EQ(g1->Data()[0], 42);
+  uint64_t h = pool.hits();
+  g1->Release();
+  auto g2 = pool.FetchPage(id);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(pool.hits(), h + 1);
+}
+
+TEST(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  auto dm = DiskManager::CreateInMemory();
+  BufferPool pool(dm.get(), 2);  // tiny pool forces eviction
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto g = pool.NewPage();
+    ASSERT_TRUE(g.ok());
+    g->MutableData()[0] = static_cast<char>(i + 1);
+    ids.push_back(g->page_id());
+  }
+  // All pages round-trip through eviction.
+  for (int i = 0; i < 8; ++i) {
+    auto g = pool.FetchPage(ids[static_cast<size_t>(i)]);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g->Data()[0], static_cast<char>(i + 1));
+  }
+}
+
+TEST(BufferPoolTest, AllFramesPinnedFails) {
+  auto dm = DiskManager::CreateInMemory();
+  BufferPool pool(dm.get(), 2);
+  auto g1 = pool.NewPage();
+  auto g2 = pool.NewPage();
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  auto g3 = pool.NewPage();
+  EXPECT_FALSE(g3.ok());
+  EXPECT_TRUE(g3.status().IsInternal());
+  // Releasing a pin makes room again.
+  g1->Release();
+  auto g4 = pool.NewPage();
+  EXPECT_TRUE(g4.ok());
+}
+
+TEST(BufferPoolTest, FlushAllThenEvictAllKeepsData) {
+  auto dm = DiskManager::CreateInMemory();
+  BufferPool pool(dm.get(), 8);
+  auto g = pool.NewPage();
+  ASSERT_TRUE(g.ok());
+  PageId id = g->page_id();
+  g->MutableData()[7] = 99;
+  g->Release();
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.EvictAll().ok());
+  uint64_t misses_before = pool.misses();
+  auto g2 = pool.FetchPage(id);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(pool.misses(), misses_before + 1);  // truly evicted
+  EXPECT_EQ(g2->Data()[7], 99);
+}
+
+TEST(BufferPoolTest, MoveGuardTransfersPin) {
+  auto dm = DiskManager::CreateInMemory();
+  BufferPool pool(dm.get(), 2);
+  auto g = pool.NewPage();
+  ASSERT_TRUE(g.ok());
+  PageGuard moved = std::move(*g);
+  EXPECT_TRUE(moved.valid());
+  moved.Release();
+  EXPECT_FALSE(moved.valid());
+}
+
+TEST(RecordFileTest, AppendReadWrite) {
+  auto env = StorageEnv::CreateInMemory();
+  struct Rec {
+    uint32_t a;
+    uint32_t b;
+  };
+  RecordFile rf(env->pool(), sizeof(Rec));
+  for (uint32_t i = 0; i < 10000; ++i) {
+    Rec r{i, i * 2};
+    auto idx = rf.Append(&r);
+    ASSERT_TRUE(idx.ok());
+    EXPECT_EQ(*idx, i);
+  }
+  EXPECT_EQ(rf.num_records(), 10000u);
+  for (uint32_t i = 0; i < 10000; i += 37) {
+    Rec r;
+    ASSERT_TRUE(rf.Read(i, &r).ok());
+    EXPECT_EQ(r.a, i);
+    EXPECT_EQ(r.b, i * 2);
+  }
+  Rec upd{7, 7};
+  ASSERT_TRUE(rf.Write(5000, &upd).ok());
+  Rec r;
+  ASSERT_TRUE(rf.Read(5000, &r).ok());
+  EXPECT_EQ(r.a, 7u);
+  // Footprint: 1024 records of 8 bytes per 8K page -> 10 pages.
+  EXPECT_EQ(rf.num_pages(), 10u);
+}
+
+TEST(RecordFileTest, OutOfRange) {
+  auto env = StorageEnv::CreateInMemory();
+  RecordFile rf(env->pool(), 16);
+  char rec[16] = {};
+  EXPECT_TRUE(rf.Read(0, rec).IsOutOfRange());
+  ASSERT_TRUE(rf.Append(rec).ok());
+  EXPECT_TRUE(rf.Read(1, rec).IsOutOfRange());
+  EXPECT_TRUE(rf.Write(1, rec).IsOutOfRange());
+}
+
+TEST(SlottedFileTest, AppendAndReadVariableSizes) {
+  auto env = StorageEnv::CreateInMemory();
+  SlottedFile sf(env->pool());
+  std::vector<SlotId> ids;
+  std::vector<std::string> values;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(rng.Word(1, 200));
+    auto id = sf.Append(values.back());
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  EXPECT_EQ(sf.num_records(), 5000u);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto v = sf.Read(ids[i]);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, values[i]);
+  }
+}
+
+TEST(SlottedFileTest, EmptyRecord) {
+  auto env = StorageEnv::CreateInMemory();
+  SlottedFile sf(env->pool());
+  auto id = sf.Append("");
+  ASSERT_TRUE(id.ok());
+  auto v = sf.Read(*id);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "");
+}
+
+TEST(SlottedFileTest, OversizeRecordRejected) {
+  auto env = StorageEnv::CreateInMemory();
+  SlottedFile sf(env->pool());
+  std::string big(SlottedFile::kMaxRecordSize + 1, 'x');
+  EXPECT_TRUE(sf.Append(big).status().IsInvalidArgument());
+  std::string max(SlottedFile::kMaxRecordSize, 'x');
+  auto id = sf.Append(max);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(sf.Read(*id)->size(), max.size());
+}
+
+TEST(SlottedFileTest, UpdateInPlaceWhenSmaller) {
+  auto env = StorageEnv::CreateInMemory();
+  SlottedFile sf(env->pool());
+  auto id = sf.Append("hello world");
+  ASSERT_TRUE(id.ok());
+  auto id2 = sf.Update(*id, "hi");
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(*id2, *id);  // in place
+  EXPECT_EQ(*sf.Read(*id2), "hi");
+}
+
+TEST(SlottedFileTest, UpdateRelocatesWhenLarger) {
+  auto env = StorageEnv::CreateInMemory();
+  SlottedFile sf(env->pool());
+  auto id = sf.Append("ab");
+  ASSERT_TRUE(id.ok());
+  auto id2 = sf.Update(*id, "a considerably longer value");
+  ASSERT_TRUE(id2.ok());
+  EXPECT_NE(*id2, *id);
+  EXPECT_EQ(*sf.Read(*id2), "a considerably longer value");
+  EXPECT_TRUE(sf.Read(*id).status().IsNotFound());  // tombstoned
+}
+
+TEST(SlottedFileTest, DeleteTombstones) {
+  auto env = StorageEnv::CreateInMemory();
+  SlottedFile sf(env->pool());
+  auto id = sf.Append("doomed");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(sf.Delete(*id).ok());
+  EXPECT_TRUE(sf.Read(*id).status().IsNotFound());
+  EXPECT_TRUE(sf.Delete(*id).IsNotFound());
+  EXPECT_EQ(sf.num_records(), 0u);
+}
+
+TEST(SlottedFileTest, RandomizedAgainstReferenceMap) {
+  auto env = StorageEnv::CreateInMemory();
+  SlottedFile sf(env->pool());
+  Rng rng(42);
+  std::map<SlotId, std::string> ref;
+  std::vector<SlotId> live;
+  for (int op = 0; op < 20000; ++op) {
+    uint64_t dice = rng.Uniform(10);
+    if (dice < 6 || live.empty()) {
+      std::string v = rng.Word(0, 300);
+      auto id = sf.Append(v);
+      ASSERT_TRUE(id.ok());
+      ref[*id] = v;
+      live.push_back(*id);
+    } else if (dice < 8) {
+      size_t pick = rng.Uniform(live.size());
+      SlotId id = live[pick];
+      std::string v = rng.Word(0, 300);
+      auto nid = sf.Update(id, v);
+      ASSERT_TRUE(nid.ok());
+      if (*nid != id) {
+        ref.erase(id);
+        live[pick] = *nid;
+      }
+      ref[*nid] = v;
+    } else {
+      size_t pick = rng.Uniform(live.size());
+      SlotId id = live[pick];
+      ASSERT_TRUE(sf.Delete(id).ok());
+      ref.erase(id);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_EQ(sf.num_records(), ref.size());
+  for (const auto& [id, v] : ref) {
+    auto got = sf.Read(id);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+}  // namespace
+}  // namespace mct

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "xml/dom.h"
+#include "xml/escape.h"
+#include "xml/name_pool.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace mct::xml {
+namespace {
+
+TEST(NamePoolTest, InternIsIdempotent) {
+  NamePool pool;
+  NameId a = pool.Intern("movie");
+  NameId b = pool.Intern("actor");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.Intern("movie"), a);
+  EXPECT_EQ(pool.Name(a), "movie");
+  EXPECT_EQ(pool.Lookup("actor"), b);
+  EXPECT_EQ(pool.Lookup("nope"), kInvalidNameId);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(EscapeTest, TextRoundTrip) {
+  std::string raw = "a < b && c > d";
+  auto back = Unescape(EscapeText(raw));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, raw);
+}
+
+TEST(EscapeTest, AttrRoundTrip) {
+  std::string raw = "say \"hi\" & <bye>\n";
+  auto back = Unescape(EscapeAttr(raw));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, raw);
+}
+
+TEST(EscapeTest, NumericReferences) {
+  EXPECT_EQ(*Unescape("&#65;&#x42;"), "AB");
+  EXPECT_EQ(*Unescape("&#233;"), "\xC3\xA9");  // e-acute, 2-byte UTF-8
+  EXPECT_EQ(*Unescape("&#x20AC;"), "\xE2\x82\xAC");  // euro, 3-byte
+  EXPECT_EQ(*Unescape("&apos;"), "'");
+}
+
+TEST(EscapeTest, MalformedEntitiesError) {
+  EXPECT_TRUE(Unescape("&bogus;").status().IsParseError());
+  EXPECT_TRUE(Unescape("&#xz;").status().IsParseError());
+  EXPECT_TRUE(Unescape("&#;").status().IsParseError());
+  EXPECT_TRUE(Unescape("a & b").status().IsParseError());
+  EXPECT_TRUE(Unescape("&#1114112;").status().IsParseError());  // > 0x10FFFF
+}
+
+TEST(DomTest, StringValueConcatenatesDescendants) {
+  Element root("movie");
+  root.AddTextElement("name", "All About ");
+  root.children()[0]->AddChild([] {
+    auto e = std::make_unique<Element>("em");
+    e->AddText("Eve");
+    return e;
+  }());
+  EXPECT_EQ(root.StringValue(), "All About Eve");
+}
+
+TEST(DomTest, FindAttrAndChild) {
+  Element e("movie");
+  e.SetAttr("id", "m1");
+  e.SetAttr("id", "m2");  // overwrite
+  ASSERT_NE(e.FindAttr("id"), nullptr);
+  EXPECT_EQ(*e.FindAttr("id"), "m2");
+  EXPECT_EQ(e.FindAttr("missing"), nullptr);
+  e.AddElement("name");
+  e.AddElement("votes");
+  EXPECT_NE(e.FindChild("votes"), nullptr);
+  EXPECT_EQ(e.FindChild("zzz"), nullptr);
+  EXPECT_EQ(e.SubtreeSize(), 3u);
+}
+
+TEST(ParserTest, SimpleDocument) {
+  auto doc = Parse("<movie id='m1'><name>Eve</name><votes>12</votes></movie>");
+  ASSERT_TRUE(doc.ok());
+  const Element& root = *doc->root;
+  EXPECT_EQ(root.name(), "movie");
+  EXPECT_EQ(*root.FindAttr("id"), "m1");
+  ASSERT_EQ(root.children().size(), 2u);
+  EXPECT_EQ(root.FindChild("name")->StringValue(), "Eve");
+  EXPECT_EQ(root.FindChild("votes")->StringValue(), "12");
+}
+
+TEST(ParserTest, DeclarationDoctypeCommentsPIs) {
+  auto doc = Parse(
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE mdb>\n"
+      "<!-- prologue comment -->\n"
+      "<mdb><!-- inner --><?proc data?><x/></mdb>\n"
+      "<!-- epilogue -->");
+  ASSERT_TRUE(doc.ok());
+  const Element& root = *doc->root;
+  ASSERT_EQ(root.children().size(), 3u);
+  EXPECT_EQ(root.children()[0]->kind(), NodeKind::kComment);
+  EXPECT_EQ(root.children()[0]->text(), " inner ");
+  EXPECT_EQ(root.children()[1]->kind(), NodeKind::kProcessingInstruction);
+  EXPECT_EQ(root.children()[1]->name(), "proc");
+  EXPECT_EQ(root.children()[1]->text(), "data");
+  EXPECT_EQ(root.children()[2]->name(), "x");
+}
+
+TEST(ParserTest, CdataAndEntities) {
+  auto doc = Parse("<t>&lt;tag&gt; &amp; <![CDATA[raw <stuff> & more]]></t>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->StringValue(), "<tag> & raw <stuff> & more");
+}
+
+TEST(ParserTest, SelfClosingAndNesting) {
+  auto doc = Parse("<a><b/><c><d x=\"1\"/></c></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->SubtreeSize(), 4u);
+  EXPECT_EQ(*doc->root->FindChild("c")->FindChild("d")->FindAttr("x"), "1");
+}
+
+TEST(ParserTest, WhitespaceBetweenElementsDropped) {
+  auto doc = Parse("<a>\n  <b>x</b>\n  <c>y</c>\n</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->children().size(), 2u);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_TRUE(Parse("").status().IsParseError());
+  EXPECT_TRUE(Parse("<a>").status().IsParseError());
+  EXPECT_TRUE(Parse("<a></b>").status().IsParseError());
+  EXPECT_TRUE(Parse("<a x=1></a>").status().IsParseError());
+  EXPECT_TRUE(Parse("<a x='1' x='2'></a>").status().IsParseError());
+  EXPECT_TRUE(Parse("<a></a><b></b>").status().IsParseError());
+  EXPECT_TRUE(Parse("<1tag/>").status().IsParseError());
+  EXPECT_TRUE(Parse("<a>&nosuch;</a>").status().IsParseError());
+}
+
+TEST(WriterTest, CompactRoundTrip) {
+  std::string src =
+      "<mdb><movie id=\"m1\" genre=\"comedy\"><name>All About Eve</name>"
+      "<votes>12</votes></movie><movie id=\"m2\"/></mdb>";
+  auto doc = Parse(src);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(Write(*doc), src);
+}
+
+TEST(WriterTest, EscapingRoundTrip) {
+  Element e("t");
+  e.SetAttr("a", "x \"y\" & <z>");
+  e.AddText("1 < 2 & 3 > 2");
+  std::string out = Write(e);
+  auto doc = Parse(out);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc->root->FindAttr("a"), "x \"y\" & <z>");
+  EXPECT_EQ(doc->root->StringValue(), "1 < 2 & 3 > 2");
+}
+
+TEST(WriterTest, PrettyPrintingParsesBack) {
+  auto doc = Parse("<a><b><c>text</c></b><d/></a>");
+  ASSERT_TRUE(doc.ok());
+  WriteOptions opt;
+  opt.pretty = true;
+  opt.declaration = true;
+  std::string pretty = Write(*doc, opt);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto re = Parse(pretty);
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(re->root->FindChild("b")->FindChild("c")->StringValue(), "text");
+}
+
+// Parse(Write(Parse(x))) == Parse(x) over a corpus of tricky documents.
+class XmlRoundTrip : public testing::TestWithParam<const char*> {};
+
+TEST_P(XmlRoundTrip, WriteThenParseIsIdentity) {
+  auto doc1 = Parse(GetParam());
+  ASSERT_TRUE(doc1.ok()) << doc1.status();
+  std::string text = Write(*doc1);
+  auto doc2 = Parse(text);
+  ASSERT_TRUE(doc2.ok()) << doc2.status();
+  EXPECT_EQ(Write(*doc2), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, XmlRoundTrip,
+    testing::Values(
+        "<a/>",
+        "<a b=\"c\"/>",
+        "<a>text</a>",
+        "<a>x<b/>y</a>",
+        "<a><![CDATA[<raw>]]></a>",
+        "<ns:a xmlns:ns=\"http://x\"><ns:b/></ns:a>",
+        "<a att=\"&quot;q&quot;\">&amp;</a>",
+        "<deep><l1><l2><l3><l4>v</l4></l3></l2></l1></deep>",
+        "<mixed>one<e1/>two<e2/>three</mixed>"));
+
+}  // namespace
+}  // namespace mct::xml
