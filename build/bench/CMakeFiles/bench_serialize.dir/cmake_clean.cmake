@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serialize.dir/bench_serialize.cc.o"
+  "CMakeFiles/bench_serialize.dir/bench_serialize.cc.o.d"
+  "bench_serialize"
+  "bench_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

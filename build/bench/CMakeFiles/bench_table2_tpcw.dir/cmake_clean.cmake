@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_tpcw.dir/bench_table2_tpcw.cc.o"
+  "CMakeFiles/bench_table2_tpcw.dir/bench_table2_tpcw.cc.o.d"
+  "bench_table2_tpcw"
+  "bench_table2_tpcw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_tpcw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exchange_roundtrip.dir/exchange_roundtrip.cpp.o"
+  "CMakeFiles/exchange_roundtrip.dir/exchange_roundtrip.cpp.o.d"
+  "exchange_roundtrip"
+  "exchange_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exchange_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcw_analytics.dir/tpcw_analytics.cpp.o"
+  "CMakeFiles/tpcw_analytics.dir/tpcw_analytics.cpp.o.d"
+  "tpcw_analytics"
+  "tpcw_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcw_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_common.dir/rng.cc.o"
+  "CMakeFiles/mct_common.dir/rng.cc.o.d"
+  "CMakeFiles/mct_common.dir/status.cc.o"
+  "CMakeFiles/mct_common.dir/status.cc.o.d"
+  "CMakeFiles/mct_common.dir/strings.cc.o"
+  "CMakeFiles/mct_common.dir/strings.cc.o.d"
+  "libmct_common.a"
+  "libmct_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_index.dir/bptree.cc.o"
+  "CMakeFiles/mct_index.dir/bptree.cc.o.d"
+  "libmct_index.a"
+  "libmct_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mct/colored_tree.cc" "src/mct/CMakeFiles/mct_core.dir/colored_tree.cc.o" "gcc" "src/mct/CMakeFiles/mct_core.dir/colored_tree.cc.o.d"
+  "/root/repo/src/mct/database.cc" "src/mct/CMakeFiles/mct_core.dir/database.cc.o" "gcc" "src/mct/CMakeFiles/mct_core.dir/database.cc.o.d"
+  "/root/repo/src/mct/node_store.cc" "src/mct/CMakeFiles/mct_core.dir/node_store.cc.o" "gcc" "src/mct/CMakeFiles/mct_core.dir/node_store.cc.o.d"
+  "/root/repo/src/mct/snapshot.cc" "src/mct/CMakeFiles/mct_core.dir/snapshot.cc.o" "gcc" "src/mct/CMakeFiles/mct_core.dir/snapshot.cc.o.d"
+  "/root/repo/src/mct/validate.cc" "src/mct/CMakeFiles/mct_core.dir/validate.cc.o" "gcc" "src/mct/CMakeFiles/mct_core.dir/validate.cc.o.d"
+  "/root/repo/src/mct/xml_load.cc" "src/mct/CMakeFiles/mct_core.dir/xml_load.cc.o" "gcc" "src/mct/CMakeFiles/mct_core.dir/xml_load.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mct_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mct_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mct_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mct_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

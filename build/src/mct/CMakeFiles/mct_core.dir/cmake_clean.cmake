@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_core.dir/colored_tree.cc.o"
+  "CMakeFiles/mct_core.dir/colored_tree.cc.o.d"
+  "CMakeFiles/mct_core.dir/database.cc.o"
+  "CMakeFiles/mct_core.dir/database.cc.o.d"
+  "CMakeFiles/mct_core.dir/node_store.cc.o"
+  "CMakeFiles/mct_core.dir/node_store.cc.o.d"
+  "CMakeFiles/mct_core.dir/snapshot.cc.o"
+  "CMakeFiles/mct_core.dir/snapshot.cc.o.d"
+  "CMakeFiles/mct_core.dir/validate.cc.o"
+  "CMakeFiles/mct_core.dir/validate.cc.o.d"
+  "CMakeFiles/mct_core.dir/xml_load.cc.o"
+  "CMakeFiles/mct_core.dir/xml_load.cc.o.d"
+  "libmct_core.a"
+  "libmct_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

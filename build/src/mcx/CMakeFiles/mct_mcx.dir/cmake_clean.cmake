@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_mcx.dir/evaluator.cc.o"
+  "CMakeFiles/mct_mcx.dir/evaluator.cc.o.d"
+  "CMakeFiles/mct_mcx.dir/parser.cc.o"
+  "CMakeFiles/mct_mcx.dir/parser.cc.o.d"
+  "CMakeFiles/mct_mcx.dir/printer.cc.o"
+  "CMakeFiles/mct_mcx.dir/printer.cc.o.d"
+  "libmct_mcx.a"
+  "libmct_mcx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_mcx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

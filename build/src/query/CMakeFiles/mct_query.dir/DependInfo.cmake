@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/ops.cc" "src/query/CMakeFiles/mct_query.dir/ops.cc.o" "gcc" "src/query/CMakeFiles/mct_query.dir/ops.cc.o.d"
+  "/root/repo/src/query/twig.cc" "src/query/CMakeFiles/mct_query.dir/twig.cc.o" "gcc" "src/query/CMakeFiles/mct_query.dir/twig.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mct_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mct/CMakeFiles/mct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mct_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mct_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mct_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_query.dir/ops.cc.o"
+  "CMakeFiles/mct_query.dir/ops.cc.o.d"
+  "CMakeFiles/mct_query.dir/twig.cc.o"
+  "CMakeFiles/mct_query.dir/twig.cc.o.d"
+  "libmct_query.a"
+  "libmct_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

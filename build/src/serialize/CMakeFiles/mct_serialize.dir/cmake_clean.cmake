@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_serialize.dir/exchange.cc.o"
+  "CMakeFiles/mct_serialize.dir/exchange.cc.o.d"
+  "CMakeFiles/mct_serialize.dir/opt_serialize.cc.o"
+  "CMakeFiles/mct_serialize.dir/opt_serialize.cc.o.d"
+  "CMakeFiles/mct_serialize.dir/schema.cc.o"
+  "CMakeFiles/mct_serialize.dir/schema.cc.o.d"
+  "libmct_serialize.a"
+  "libmct_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

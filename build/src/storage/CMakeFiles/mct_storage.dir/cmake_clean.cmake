@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/mct_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/mct_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/mct_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/mct_storage.dir/record_file.cc.o"
+  "CMakeFiles/mct_storage.dir/record_file.cc.o.d"
+  "CMakeFiles/mct_storage.dir/slotted_file.cc.o"
+  "CMakeFiles/mct_storage.dir/slotted_file.cc.o.d"
+  "libmct_storage.a"
+  "libmct_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

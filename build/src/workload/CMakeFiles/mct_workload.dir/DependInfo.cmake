@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/runner.cc" "src/workload/CMakeFiles/mct_workload.dir/runner.cc.o" "gcc" "src/workload/CMakeFiles/mct_workload.dir/runner.cc.o.d"
+  "/root/repo/src/workload/sigmod_catalog.cc" "src/workload/CMakeFiles/mct_workload.dir/sigmod_catalog.cc.o" "gcc" "src/workload/CMakeFiles/mct_workload.dir/sigmod_catalog.cc.o.d"
+  "/root/repo/src/workload/sigmodr_db.cc" "src/workload/CMakeFiles/mct_workload.dir/sigmodr_db.cc.o" "gcc" "src/workload/CMakeFiles/mct_workload.dir/sigmodr_db.cc.o.d"
+  "/root/repo/src/workload/tpcw_catalog.cc" "src/workload/CMakeFiles/mct_workload.dir/tpcw_catalog.cc.o" "gcc" "src/workload/CMakeFiles/mct_workload.dir/tpcw_catalog.cc.o.d"
+  "/root/repo/src/workload/tpcw_data.cc" "src/workload/CMakeFiles/mct_workload.dir/tpcw_data.cc.o" "gcc" "src/workload/CMakeFiles/mct_workload.dir/tpcw_data.cc.o.d"
+  "/root/repo/src/workload/tpcw_db.cc" "src/workload/CMakeFiles/mct_workload.dir/tpcw_db.cc.o" "gcc" "src/workload/CMakeFiles/mct_workload.dir/tpcw_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mct_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mct/CMakeFiles/mct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mct_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcx/CMakeFiles/mct_mcx.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mct_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mct_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mct_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

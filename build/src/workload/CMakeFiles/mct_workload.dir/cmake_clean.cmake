@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_workload.dir/runner.cc.o"
+  "CMakeFiles/mct_workload.dir/runner.cc.o.d"
+  "CMakeFiles/mct_workload.dir/sigmod_catalog.cc.o"
+  "CMakeFiles/mct_workload.dir/sigmod_catalog.cc.o.d"
+  "CMakeFiles/mct_workload.dir/sigmodr_db.cc.o"
+  "CMakeFiles/mct_workload.dir/sigmodr_db.cc.o.d"
+  "CMakeFiles/mct_workload.dir/tpcw_catalog.cc.o"
+  "CMakeFiles/mct_workload.dir/tpcw_catalog.cc.o.d"
+  "CMakeFiles/mct_workload.dir/tpcw_data.cc.o"
+  "CMakeFiles/mct_workload.dir/tpcw_data.cc.o.d"
+  "CMakeFiles/mct_workload.dir/tpcw_db.cc.o"
+  "CMakeFiles/mct_workload.dir/tpcw_db.cc.o.d"
+  "libmct_workload.a"
+  "libmct_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

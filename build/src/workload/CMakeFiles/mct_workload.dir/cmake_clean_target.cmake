@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmct_workload.a"
+)

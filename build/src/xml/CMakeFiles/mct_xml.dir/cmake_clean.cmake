@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_xml.dir/dom.cc.o"
+  "CMakeFiles/mct_xml.dir/dom.cc.o.d"
+  "CMakeFiles/mct_xml.dir/escape.cc.o"
+  "CMakeFiles/mct_xml.dir/escape.cc.o.d"
+  "CMakeFiles/mct_xml.dir/parser.cc.o"
+  "CMakeFiles/mct_xml.dir/parser.cc.o.d"
+  "CMakeFiles/mct_xml.dir/writer.cc.o"
+  "CMakeFiles/mct_xml.dir/writer.cc.o.d"
+  "libmct_xml.a"
+  "libmct_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colored_tree_test.dir/colored_tree_test.cc.o"
+  "CMakeFiles/colored_tree_test.dir/colored_tree_test.cc.o.d"
+  "colored_tree_test"
+  "colored_tree_test.pdb"
+  "colored_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colored_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_model_test.dir/mct_model_test.cc.o"
+  "CMakeFiles/mct_model_test.dir/mct_model_test.cc.o.d"
+  "mct_model_test"
+  "mct_model_test.pdb"
+  "mct_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcx_eval_test.dir/mcx_eval_test.cc.o"
+  "CMakeFiles/mcx_eval_test.dir/mcx_eval_test.cc.o.d"
+  "mcx_eval_test"
+  "mcx_eval_test.pdb"
+  "mcx_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcx_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcx_more_test.dir/mcx_more_test.cc.o"
+  "CMakeFiles/mcx_more_test.dir/mcx_more_test.cc.o.d"
+  "mcx_more_test"
+  "mcx_more_test.pdb"
+  "mcx_more_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcx_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcx_parser_test.dir/mcx_parser_test.cc.o"
+  "CMakeFiles/mcx_parser_test.dir/mcx_parser_test.cc.o.d"
+  "mcx_parser_test"
+  "mcx_parser_test.pdb"
+  "mcx_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcx_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_ops_test.dir/query_ops_test.cc.o"
+  "CMakeFiles/query_ops_test.dir/query_ops_test.cc.o.d"
+  "query_ops_test"
+  "query_ops_test.pdb"
+  "query_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/bptree_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/mct_model_test[1]_include.cmake")
+include("/root/repo/build/tests/query_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/mcx_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/mcx_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/twig_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/colored_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/mcx_more_test[1]_include.cmake")
+include("/root/repo/build/tests/tools_test[1]_include.cmake")
