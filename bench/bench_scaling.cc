@@ -22,10 +22,11 @@ namespace {
 
 using namespace mct::workload;
 
-double MeasureQuery(TpcwDb* db, const std::string& text) {
+double MeasureQuery(TpcwDb* db, const std::string& text, int num_threads = 1) {
   return mct::bench::Repeated(
       [&]() {
-        auto run = RunQuery(db->db.get(), db->default_color(), text, false);
+        auto run = RunQuery(db->db.get(), db->default_color(), text, false,
+                            num_threads);
         if (!run.ok()) {
           std::fprintf(stderr, "query failed: %s\n",
                        run.status().ToString().c_str());
@@ -97,5 +98,63 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper Section 7.2): TQ13 stays near 1 (its small\n"
       "absolute times make the small-scale steps noisy); TQ15 approaches 2\n"
       "as the quadratic nested loop dominates.\n");
+
+  // --- Morsel-driven parallel thread sweep (not in the paper; measures the
+  // worker-pool execution path). Serial remains the default everywhere; this
+  // section opts in per query and reports speedup over num_threads = 1.
+  // Results also land in BENCH_parallel.json for machine consumption.
+  std::printf("\n=== Morsel-driven parallel execution: thread sweep ===\n\n");
+  double par_scale = base * 10;  // scale 1.0 at the default --scale=0.1
+  TpcwData pdata = GenerateTpcw(TpcwScale::Default().ScaledBy(par_scale));
+  auto pmct = BuildTpcw(pdata, SchemaKind::kMct);
+  auto pshallow = BuildTpcw(pdata, SchemaKind::kShallow);
+  if (!pmct.ok() || !pshallow.ok()) {
+    std::fprintf(stderr, "parallel-sweep build failed\n");
+    return 1;
+  }
+  auto pcatalog = TpcwCatalog(pdata);
+  struct Sweep {
+    const char* id;
+    const char* schema;
+    std::string text;
+    TpcwDb* db;
+  };
+  std::vector<Sweep> sweeps = {
+      {"TQ2", "mct", FindQuery(pcatalog, "TQ2")->mct, &*pmct},
+      {"TQ6", "mct", FindQuery(pcatalog, "TQ6")->mct, &*pmct},
+      {"TQ6", "shallow", FindQuery(pcatalog, "TQ6")->shallow, &*pshallow},
+      {"TQ15", "shallow", FindQuery(pcatalog, "TQ15")->shallow, &*pshallow},
+  };
+  const std::vector<int> thread_counts{1, 2, 4, 8};
+  std::FILE* json = std::fopen("BENCH_parallel.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"scale\": %g,\n  \"orders\": %zu,\n"
+                 "  \"queries\": [\n", par_scale, pdata.orders.size());
+  }
+  bool first = true;
+  for (const Sweep& s : sweeps) {
+    std::printf("%-5s (%s):", s.id, s.schema);
+    std::vector<double> times;
+    for (int t : thread_counts) {
+      times.push_back(MeasureQuery(s.db, s.text, t));
+      std::printf("  %dt=%7.4fs", t, times.back());
+    }
+    double speedup4 = times[0] / times[2];
+    std::printf("  | 4-thread speedup %.2fx\n", speedup4);
+    if (json != nullptr) {
+      std::fprintf(json, "%s    {\"id\": \"%s\", \"schema\": \"%s\"",
+                   first ? "" : ",\n", s.id, s.schema);
+      for (size_t i = 0; i < thread_counts.size(); ++i) {
+        std::fprintf(json, ", \"t%d\": %.6f", thread_counts[i], times[i]);
+      }
+      std::fprintf(json, ", \"speedup_4t\": %.3f}", speedup4);
+      first = false;
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nWrote BENCH_parallel.json\n");
+  }
   return 0;
 }

@@ -1,0 +1,82 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace mct {
+
+ThreadPool::ThreadPool(int num_threads) {
+  size_t total = num_threads > 0
+                     ? static_cast<size_t>(num_threads)
+                     : static_cast<size_t>(std::thread::hardware_concurrency());
+  if (total == 0) total = 1;
+  workers_.reserve(total - 1);
+  for (size_t i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Execute(const std::function<void()>& fn) {
+  if (workers_.empty()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    ++generation_;
+    pending_ = workers_.size();
+  }
+  work_cv_.notify_all();
+  fn();  // the caller is a worker too
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void()>* job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t num_tasks,
+                 const std::function<void(size_t)>& body) {
+  if (pool == nullptr || pool->num_threads() == 1 || num_tasks <= 1) {
+    for (size_t i = 0; i < num_tasks; ++i) body(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  pool->Execute([&] {
+    for (;;) {
+      size_t task = next.fetch_add(1, std::memory_order_relaxed);
+      if (task >= num_tasks) return;
+      body(task);
+    }
+  });
+}
+
+}  // namespace mct

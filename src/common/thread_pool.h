@@ -1,0 +1,64 @@
+// A reusable worker pool for morsel-driven parallel execution.
+//
+// The pool owns N-1 long-lived workers; the thread calling Execute() acts as
+// the Nth worker, so a pool of size 1 degenerates to plain serial execution
+// with no thread ever spawned. ParallelFor splits an index range into tasks
+// that are claimed off a shared atomic counter (work stealing between
+// morsels), which keeps load balanced when per-morsel cost is skewed —
+// e.g. descendant expansion under one hot subtree.
+//
+// Callers are responsible for determinism: workers must write to
+// task-indexed output slots, never to shared append-only state.
+
+#ifndef COLORFUL_XML_COMMON_THREAD_POOL_H_
+#define COLORFUL_XML_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mct {
+
+class ThreadPool {
+ public:
+  /// `num_threads` is the total concurrency including the calling thread;
+  /// 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs `fn` on every worker and on the calling thread, returning when all
+  /// invocations finish. `fn` must be callable concurrently; it typically
+  /// drains a shared atomic task counter. Not reentrant.
+  void Execute(const std::function<void()>& fn);
+
+  /// Total concurrency (workers + caller).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void()>* job_ = nullptr;  // guarded by mu_
+  uint64_t generation_ = 0;                     // guarded by mu_
+  size_t pending_ = 0;                          // guarded by mu_
+  bool shutdown_ = false;                       // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+/// Runs body(task) for task in [0, num_tasks), fanning out across the pool.
+/// Tasks are claimed dynamically; any task may run on any thread. A null
+/// pool, a single-thread pool, or num_tasks <= 1 runs inline on the caller.
+void ParallelFor(ThreadPool* pool, size_t num_tasks,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_COMMON_THREAD_POOL_H_

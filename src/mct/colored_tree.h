@@ -16,6 +16,7 @@
 #ifndef COLORFUL_XML_MCT_COLORED_TREE_H_
 #define COLORFUL_XML_MCT_COLORED_TREE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -83,12 +84,35 @@ class ColoredTree {
   /// Pre-order of the subtree rooted at `node` (inclusive).
   std::vector<NodeId> PreOrder(NodeId node) const;
 
-  // -- Interval labels. Calling any of these relabels first if dirty.
+  // -- Interval labels. Calling any of the mutable overloads relabels first
+  //    if dirty. The const overloads are the thread-safe read path used by
+  //    parallel operator workers: they require clean labels (callers run
+  //    EnsureLabels() before fanning out) and never mutate the tree.
   uint64_t Start(NodeId node);
   uint64_t End(NodeId node);
   uint32_t Level(NodeId node);
   /// True when `anc` is a proper ancestor of `desc` in this color.
   bool IsAncestor(NodeId anc, NodeId desc);
+
+  uint64_t Start(NodeId node) const {
+    assert(!labels_dirty_);
+    return nodes_.at(node).start;
+  }
+  uint64_t End(NodeId node) const {
+    assert(!labels_dirty_);
+    return nodes_.at(node).end;
+  }
+  uint32_t Level(NodeId node) const {
+    assert(!labels_dirty_);
+    return nodes_.at(node).level;
+  }
+  bool IsAncestor(NodeId anc, NodeId desc) const {
+    assert(!labels_dirty_);
+    auto a = nodes_.find(anc);
+    auto d = nodes_.find(desc);
+    if (a == nodes_.end() || d == nodes_.end()) return false;
+    return a->second.start < d->second.start && d->second.end < a->second.end;
+  }
 
   /// Relabels now if dirty (updates fold this into their measured cost).
   void EnsureLabels();

@@ -158,9 +158,11 @@ class MctDatabase {
   /// Table 1 statistics.
   DatabaseStats Stats() const;
 
- private:
+  /// The 32-bit value hash the content/attribute indexes key on. Public so
+  /// tests can engineer colliding values and assert the lookup recheck.
   static uint32_t HashValue(std::string_view s);
 
+ private:
   std::unique_ptr<StorageEnv> env_;
   NodeStore store_;
   ColorRegistry colors_;

@@ -96,6 +96,35 @@ std::string FormatNumber(double v) {
   return StrFormat("%g", v);
 }
 
+// True when evaluating `e` cannot mutate evaluator or database state: no
+// constructors (they create store nodes), no createColor/createCopy, no
+// nested FLWOR (it runs physical operators, which count stats), and no
+// distinct-values (it counts dup_elims). Pure expressions touch only const
+// read paths of the tree/store images, so per-row evaluation may fan out
+// across workers and still produce serial-identical results and stats.
+bool IsPureExpr(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kElement:
+    case Expr::Kind::kCreateColor:
+    case Expr::Kind::kCreateCopy:
+    case Expr::Kind::kFLWOR:
+    case Expr::Kind::kDistinctValues:
+      return false;
+    case Expr::Kind::kPath:
+      for (const auto& step : e.path.steps) {
+        for (const auto& pred : step.predicates) {
+          if (!IsPureExpr(*pred)) return false;
+        }
+      }
+      return true;
+    default:
+      for (const auto& c : e.children) {
+        if (!IsPureExpr(*c)) return false;
+      }
+      return true;
+  }
+}
+
 }  // namespace
 
 Result<ColorId> Evaluator::ResolveColor(const std::string& name) const {
@@ -112,7 +141,48 @@ Result<QueryResult> Evaluator::Run(std::string_view text) {
   return Run(q);
 }
 
+Status Evaluator::ForRows(size_t n, bool parallel_ok,
+                          const std::function<Status(size_t)>& fn,
+                          size_t morsel_override) {
+  const size_t morsel =
+      morsel_override != 0 ? morsel_override : opts_.morsel_size;
+  if (pool_ == nullptr || !parallel_ok || opts_.morsel_size == 0 ||
+      n <= morsel) {
+    for (size_t i = 0; i < n; ++i) {
+      MCT_RETURN_IF_ERROR(fn(i));
+    }
+    return Status::OK();
+  }
+  const size_t num_morsels = (n + morsel - 1) / morsel;
+  std::vector<Status> errors(num_morsels);
+  ParallelFor(pool_.get(), num_morsels, [&](size_t m) {
+    const size_t begin = m * morsel;
+    const size_t end = std::min(n, begin + morsel);
+    for (size_t i = begin; i < end; ++i) {
+      Status s = fn(i);
+      if (!s.ok()) {
+        errors[m] = std::move(s);
+        return;  // abandon the rest of this morsel, as the serial run would
+      }
+    }
+  });
+  // First error in morsel order == lowest-indexed error == the error the
+  // serial run would have reported.
+  for (Status& s : errors) {
+    if (!s.ok()) return std::move(s);
+  }
+  return Status::OK();
+}
+
 Result<QueryResult> Evaluator::Run(const ParsedQuery& q) {
+  if (pool_ != nullptr) {
+    // Interval relabeling is lazy-on-access; workers read labels through the
+    // const accessors, which never relabel. Force every color's labels clean
+    // before any operator fans out.
+    for (size_t c = 0; c < db_->num_colors(); ++c) {
+      db_->tree(static_cast<ColorId>(c))->EnsureLabels();
+    }
+  }
   if (q.is_update) return RunUpdate(q);
   QueryResult out;
   Env env;
@@ -139,16 +209,20 @@ Result<std::vector<Item>> Evaluator::EvalFLWOR(const Expr& flwor,
   EvalCtx base;
   base.b = &b;
   base.env = &env;
-  // order by: decorate-sort on the evaluated key.
+  // order by: decorate-sort on the evaluated key. Key evaluation (the
+  // expensive part) fans out per row when the key expression is pure; the
+  // sort stays serial and stable.
   if (flwor.order_by != nullptr) {
-    std::vector<std::pair<std::string, size_t>> keyed;
-    keyed.reserve(b.table.rows.size());
-    for (size_t i = 0; i < b.table.rows.size(); ++i) {
-      EvalCtx c = base;
-      c.row = &b.table.rows[i];
-      MCT_ASSIGN_OR_RETURN(auto items, EvalExpr(c, *flwor.order_by));
-      keyed.emplace_back(items.empty() ? "" : Atomize(items[0]), i);
-    }
+    std::vector<std::pair<std::string, size_t>> keyed(b.table.rows.size());
+    MCT_RETURN_IF_ERROR(ForRows(
+        b.table.rows.size(), IsPureExpr(*flwor.order_by), [&](size_t i) {
+          EvalCtx c = base;
+          c.row = &b.table.rows[i];
+          std::vector<Item> items;
+          MCT_ASSIGN_OR_RETURN(items, EvalExpr(c, *flwor.order_by));
+          keyed[i] = {items.empty() ? "" : Atomize(items[0]), i};
+          return Status::OK();
+        }));
     bool desc = flwor.order_descending;
     std::stable_sort(keyed.begin(), keyed.end(),
                      [&](const auto& x, const auto& y) {
@@ -164,12 +238,22 @@ Result<std::vector<Item>> Evaluator::EvalFLWOR(const Expr& flwor,
     for (const auto& [_, i] : keyed) sorted.push_back(b.table.rows[i]);
     b.table.rows = std::move(sorted);
   }
+  // Return clause: evaluate per row into per-row buffers (parallel when the
+  // expression is pure), then concatenate in row order.
+  std::vector<std::vector<Item>> per_row(b.table.rows.size());
+  MCT_RETURN_IF_ERROR(
+      ForRows(b.table.rows.size(), IsPureExpr(*flwor.ret), [&](size_t i) {
+        EvalCtx c = base;
+        c.row = &b.table.rows[i];
+        MCT_ASSIGN_OR_RETURN(per_row[i], EvalExpr(c, *flwor.ret));
+        return Status::OK();
+      }));
+  size_t total = 0;
+  for (const auto& items : per_row) total += items.size();
   std::vector<Item> out;
-  for (const auto& row : b.table.rows) {
-    EvalCtx c = base;
-    c.row = &row;
-    MCT_ASSIGN_OR_RETURN(auto items, EvalExpr(c, *flwor.ret));
-    out.insert(out.end(), items.begin(), items.end());
+  out.reserve(total);
+  for (auto& items : per_row) {
+    for (auto& item : items) out.push_back(std::move(item));
   }
   return out;
 }
@@ -321,7 +405,7 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
                        binding.var.c_str(), acc.table.num_rows(),
                        tb.table.num_rows()));
         Table joined = query::IdentityJoin(db_, acc.table, existing, tb.table,
-                                           0, opts_.stats);
+                                           0, exec_);
         std::vector<int> cols;
         for (size_t i = 0; i < acc.table.num_cols(); ++i) {
           cols.push_back(static_cast<int>(i));
@@ -382,7 +466,7 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
 Result<Evaluator::Bindings> Evaluator::EvalSteps(
     Bindings in, int ctx_col, const std::vector<PathStep>& steps,
     const std::string& out_var, const Env& env) {
-  ExecStats* stats = opts_.stats;
+  const query::ExecContext& ctx = exec_;
   int cur = ctx_col;
   ColorId cur_color = in.cols[static_cast<size_t>(cur)].color;
   size_t original_cols = in.table.num_cols();
@@ -394,7 +478,7 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
     // implemented as the cross-tree join access method. Stepping off the
     // document node is free: the document carries every color.
     if (c != cur_color && in.table.vars[static_cast<size_t>(cur)] != "#doc") {
-      in.table = query::CrossTreeJoin(db_, in.table, cur, c, stats);
+      in.table = query::CrossTreeJoin(db_, in.table, cur, c, ctx);
       in.cols[static_cast<size_t>(cur)].color = c;
       Note(StrFormat("CROSS-TREE JOIN %s -> {%s}  (%zu rows)",
                      in.table.vars[static_cast<size_t>(cur)].c_str(),
@@ -408,15 +492,15 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
     switch (step.axis) {
       case Axis::kChild:
         next = query::ExpandChildren(db_, in.table, cur, c, step.tag,
-                                     col_name, stats);
+                                     col_name, ctx);
         break;
       case Axis::kDescendant:
         next = query::ExpandDescendants(db_, in.table, cur, c, step.tag,
-                                        col_name, stats);
+                                        col_name, ctx);
         break;
       case Axis::kDescendantOrSelf: {
         next = query::ExpandDescendants(db_, in.table, cur, c, step.tag,
-                                        col_name, stats);
+                                        col_name, ctx);
         for (const auto& row : in.table.rows) {
           NodeId n = row[static_cast<size_t>(cur)];
           if (db_->Kind(n) == xml::NodeKind::kElement &&
@@ -430,11 +514,11 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
       }
       case Axis::kParent:
         next = query::ExpandParent(db_, in.table, cur, c, step.tag, col_name,
-                                   stats);
+                                   ctx);
         break;
       case Axis::kAncestor:
         next = query::ExpandAncestors(db_, in.table, cur, c, step.tag,
-                                      col_name, stats);
+                                      col_name, ctx);
         break;
       case Axis::kSelf: {
         next = in.table;
@@ -448,7 +532,7 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
               [&](const std::vector<NodeId>& row) {
                 return db_->Tag(row.back()) == step.tag;
               },
-              stats);
+              ctx);
         }
         break;
       }
@@ -467,7 +551,7 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
             [&](const std::vector<NodeId>& row) {
               return db_->FindAttr(row.back(), step.tag) != nullptr;
             },
-            stats);
+            ctx);
         break;
       }
     }
@@ -564,15 +648,24 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
         Note(StrFormat("INDEX PROBE predicate  (%zu -> %zu rows)",
                        in.table.num_rows(), filtered.num_rows()));
       } else {
-        for (const auto& row : in.table.rows) {
+        // Per-row predicate evaluation: the hot path of scan-filter
+        // queries. Pure predicates fan out across the pool; the keep mask
+        // preserves row order exactly.
+        const size_t n = in.table.rows.size();
+        std::vector<char> keep(n, 0);
+        MCT_RETURN_IF_ERROR(ForRows(n, IsPureExpr(*pred), [&](size_t i) {
           EvalCtx pc;
           pc.b = &in;
-          pc.row = &row;
+          pc.row = &in.table.rows[i];
           pc.env = &env;
-          pc.ctx_node = row[static_cast<size_t>(cur)];
+          pc.ctx_node = in.table.rows[i][static_cast<size_t>(cur)];
           pc.ctx_color = cur_color;
-          MCT_ASSIGN_OR_RETURN(bool keep, EvalBool(pc, *pred));
-          if (keep) filtered.rows.push_back(row);
+          MCT_ASSIGN_OR_RETURN(bool k, EvalBool(pc, *pred));
+          keep[i] = k ? 1 : 0;
+          return Status::OK();
+        }));
+        for (size_t i = 0; i < n; ++i) {
+          if (keep[i]) filtered.rows.push_back(std::move(in.table.rows[i]));
         }
         Note(StrFormat("FILTER predicate  (%zu -> %zu rows)",
                        in.table.num_rows(), filtered.num_rows()));
@@ -588,7 +681,7 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
   }
   if (cur >= static_cast<int>(original_cols)) keep.push_back(cur);
   Bindings out;
-  out.table = query::Project(in.table, keep);
+  out.table = query::Project(std::move(in.table), keep);
   for (int k : keep) out.cols.push_back(in.cols[static_cast<size_t>(k)]);
   if (steps.empty()) {
     // Zero steps: alias the context column under the new name.
@@ -694,7 +787,9 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
   }
 
   if (conjunct->cmp == CmpOp::kEq) {
-    // Hash equality join; build on the smaller side.
+    // Hash equality join; build on the smaller side. Key extraction (the
+    // expensive per-row expression evaluation) fans out when the key
+    // expressions are pure; the hash build and the ordered emit stay serial.
     if (stats != nullptr) ++stats->value_joins;
     const Bindings* build = sa;
     const Expr* build_key = &a;
@@ -704,17 +799,29 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
       std::swap(build, probe);
       std::swap(build_key, probe_key);
     }
-    std::unordered_map<std::string, std::vector<size_t>> ht;
-    for (size_t i = 0; i < build->table.rows.size(); ++i) {
-      MCT_ASSIGN_OR_RETURN(auto k,
+    const size_t bn = build->table.rows.size();
+    std::vector<std::optional<std::string>> bkeys(bn);
+    MCT_RETURN_IF_ERROR(ForRows(bn, IsPureExpr(*build_key), [&](size_t i) {
+      MCT_ASSIGN_OR_RETURN(bkeys[i],
                            key_fn(*build, build->table.rows[i], *build_key));
-      if (k.has_value()) ht[*k].push_back(i);
+      return Status::OK();
+    }));
+    std::unordered_map<std::string, std::vector<size_t>> ht;
+    for (size_t i = 0; i < bn; ++i) {
+      if (bkeys[i].has_value()) ht[*bkeys[i]].push_back(i);
     }
-    for (const auto& prow : probe->table.rows) {
-      MCT_ASSIGN_OR_RETURN(auto k, key_fn(*probe, prow, *probe_key));
-      if (!k.has_value()) continue;
-      auto it = ht.find(*k);
+    const size_t pn = probe->table.rows.size();
+    std::vector<std::optional<std::string>> pkeys(pn);
+    MCT_RETURN_IF_ERROR(ForRows(pn, IsPureExpr(*probe_key), [&](size_t i) {
+      MCT_ASSIGN_OR_RETURN(pkeys[i],
+                           key_fn(*probe, probe->table.rows[i], *probe_key));
+      return Status::OK();
+    }));
+    for (size_t pi = 0; pi < pn; ++pi) {
+      if (!pkeys[pi].has_value()) continue;
+      auto it = ht.find(*pkeys[pi]);
       if (it == ht.end()) continue;
+      const auto& prow = probe->table.rows[pi];
       for (size_t bi : it->second) {
         const auto& brow = build->table.rows[bi];
         const auto& lrow = (build == &left) ? brow : prow;
@@ -734,24 +841,44 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
   if (stats != nullptr) ++stats->nested_loop_joins;
   CmpOp op = conjunct->cmp;
   bool a_is_left = (sa == &left);
-  std::vector<std::optional<std::string>> lkeys(left.table.rows.size());
-  for (size_t i = 0; i < left.table.rows.size(); ++i) {
-    MCT_ASSIGN_OR_RETURN(
-        lkeys[i], key_fn(left, left.table.rows[i], a_is_left ? a : b2));
-  }
-  std::vector<std::optional<std::string>> rkeys(right.table.rows.size());
-  for (size_t i = 0; i < right.table.rows.size(); ++i) {
-    MCT_ASSIGN_OR_RETURN(
-        rkeys[i], key_fn(right, right.table.rows[i], a_is_left ? b2 : a));
-  }
-  for (size_t i = 0; i < left.table.rows.size(); ++i) {
-    if (!lkeys[i].has_value()) continue;
-    for (size_t j = 0; j < right.table.rows.size(); ++j) {
-      if (!rkeys[j].has_value()) continue;
-      bool ok = a_is_left ? CompareValues(op, *lkeys[i], *rkeys[j])
-                          : CompareValues(op, *rkeys[j], *lkeys[i]);
-      if (ok) emit(left.table.rows[i], right.table.rows[j]);
-    }
+  const Expr& lkey_expr = a_is_left ? a : b2;
+  const Expr& rkey_expr = a_is_left ? b2 : a;
+  const size_t ln = left.table.rows.size();
+  const size_t rn = right.table.rows.size();
+  std::vector<std::optional<std::string>> lkeys(ln);
+  MCT_RETURN_IF_ERROR(ForRows(ln, IsPureExpr(lkey_expr), [&](size_t i) {
+    MCT_ASSIGN_OR_RETURN(lkeys[i], key_fn(left, left.table.rows[i], lkey_expr));
+    return Status::OK();
+  }));
+  std::vector<std::optional<std::string>> rkeys(rn);
+  MCT_RETURN_IF_ERROR(ForRows(rn, IsPureExpr(rkey_expr), [&](size_t i) {
+    MCT_ASSIGN_OR_RETURN(rkeys[i],
+                         key_fn(right, right.table.rows[i], rkey_expr));
+    return Status::OK();
+  }));
+  // The quadratic compare scans pre-extracted keys only, so it is always
+  // safe to fan out. Each left row records its match indexes; the ordered
+  // emit below reproduces the serial output exactly. A left-row morsel
+  // covers O(rn) compares, so shrink it to keep ~morsel_size compares per
+  // claim.
+  std::vector<std::vector<size_t>> matches(ln);
+  const size_t compare_morsel = std::max<size_t>(
+      1, opts_.morsel_size / std::max<size_t>(1, rn));
+  MCT_RETURN_IF_ERROR(ForRows(
+      ln, true,
+      [&](size_t i) {
+        if (!lkeys[i].has_value()) return Status::OK();
+        for (size_t j = 0; j < rn; ++j) {
+          if (!rkeys[j].has_value()) continue;
+          bool ok = a_is_left ? CompareValues(op, *lkeys[i], *rkeys[j])
+                              : CompareValues(op, *rkeys[j], *lkeys[i]);
+          if (ok) matches[i].push_back(j);
+        }
+        return Status::OK();
+      },
+      compare_morsel));
+  for (size_t i = 0; i < ln; ++i) {
+    for (size_t j : matches[i]) emit(left.table.rows[i], right.table.rows[j]);
   }
   Note(StrFormat("NESTED-LOOP INEQUALITY JOIN  (%zu x %zu -> %zu rows)",
                  left.table.num_rows(), right.table.num_rows(),
@@ -761,15 +888,23 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
 
 Status Evaluator::ApplyResidual(Bindings* b, const Expr& conjunct,
                                 const Env& env) {
-  Table filtered;
-  filtered.vars = b->table.vars;
-  for (const auto& row : b->table.rows) {
+  // Residual where-conjuncts filter row by row; pure conjuncts fan out
+  // across the pool with an order-preserving keep mask.
+  const size_t n = b->table.rows.size();
+  std::vector<char> keep(n, 0);
+  MCT_RETURN_IF_ERROR(ForRows(n, IsPureExpr(conjunct), [&](size_t i) {
     EvalCtx c;
     c.b = b;
-    c.row = &row;
+    c.row = &b->table.rows[i];
     c.env = &env;
-    MCT_ASSIGN_OR_RETURN(bool keep, EvalBool(c, conjunct));
-    if (keep) filtered.rows.push_back(row);
+    MCT_ASSIGN_OR_RETURN(bool k, EvalBool(c, conjunct));
+    keep[i] = k ? 1 : 0;
+    return Status::OK();
+  }));
+  Table filtered;
+  filtered.vars = b->table.vars;
+  for (size_t i = 0; i < n; ++i) {
+    if (keep[i]) filtered.rows.push_back(std::move(b->table.rows[i]));
   }
   b->table = std::move(filtered);
   return Status::OK();

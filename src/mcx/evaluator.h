@@ -23,11 +23,13 @@
 #ifndef COLORFUL_XML_MCX_EVALUATOR_H_
 #define COLORFUL_XML_MCX_EVALUATOR_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "mct/database.h"
 #include "mcx/ast.h"
 #include "query/ops.h"
@@ -69,11 +71,23 @@ struct EvalOptions {
   /// When set, the evaluator appends one line per physical operator it
   /// executes (EXPLAIN ANALYZE-style plan trace).
   std::vector<std::string>* plan = nullptr;
+  /// Total execution threads: 1 = serial (default, no pool is created),
+  /// 0 = hardware concurrency, N = exactly N including the caller.
+  int num_threads = 1;
+  /// Rows per morsel for parallel operators; inputs at or below this size
+  /// run serially regardless of num_threads.
+  size_t morsel_size = 1024;
 };
 
 class Evaluator {
  public:
-  Evaluator(MctDatabase* db, EvalOptions opts) : db_(db), opts_(opts) {}
+  Evaluator(MctDatabase* db, EvalOptions opts)
+      : db_(db),
+        opts_(opts),
+        pool_(opts.num_threads != 1
+                  ? std::make_unique<ThreadPool>(opts.num_threads)
+                  : nullptr),
+        exec_(opts.stats, pool_.get(), opts.morsel_size) {}
 
   /// Runs a query or update.
   Result<QueryResult> Run(const ParsedQuery& q);
@@ -135,6 +149,18 @@ class Evaluator {
   std::string Atomize(const Item& item) const;
 
   Result<std::vector<Item>> EvalFLWOR(const Expr& flwor, const Env& env);
+
+  /// Runs fn(i) for every i in [0, n). Fans out across the worker pool when
+  /// one exists, `parallel_ok` holds (the caller proved fn only performs
+  /// const reads — see IsPureExpr), and n exceeds one morsel; otherwise runs
+  /// serially. fn(i) must write only to its own index's output slot. On
+  /// error, the lowest-indexed failure is returned, matching the serial run.
+  /// `morsel_override` (when nonzero) replaces opts_.morsel_size — used by
+  /// loops whose per-index cost is itself O(rows), like the quadratic
+  /// nested-loop compare, where a row-count morsel would be far too coarse.
+  Status ForRows(size_t n, bool parallel_ok,
+                 const std::function<Status(size_t)>& fn,
+                 size_t morsel_override = 0);
   Result<NodeId> DeepCopy(NodeId n);
   Status AttachPending(NodeId node, ColorId color, NodeId parent);
 
@@ -150,6 +176,10 @@ class Evaluator {
 
   MctDatabase* db_;
   EvalOptions opts_;
+  // Worker pool for morsel-driven execution (null when num_threads == 1);
+  // exec_ is the ExecContext handed to every physical operator.
+  std::unique_ptr<ThreadPool> pool_;
+  query::ExecContext exec_;
   // Pending constructed edges: parent -> ordered children, waiting for
   // createColor.
   std::unordered_map<NodeId, std::vector<NodeId>> pending_children_;

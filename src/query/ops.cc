@@ -1,14 +1,18 @@
 #include "query/ops.h"
 
 #include <algorithm>
+#include <numeric>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace mct::query {
 
 namespace {
+
+using Row = std::vector<NodeId>;
 
 // Groups row indices by the node bound in `col`.
 std::unordered_map<NodeId, std::vector<size_t>> GroupByNode(const Table& t,
@@ -27,10 +31,10 @@ Table WithExtraColumn(const Table& in, const std::string& out_var) {
   return out;
 }
 
-void EmitRow(Table* out, const std::vector<NodeId>& base, NodeId extra) {
-  std::vector<NodeId> row = base;
+void EmitRow(std::vector<Row>* out, const Row& base, NodeId extra) {
+  Row row = base;
   row.push_back(extra);
-  out->rows.push_back(std::move(row));
+  out->push_back(std::move(row));
 }
 
 // Resolves a tag to its interned id once per operator call; kInvalidNameId
@@ -42,6 +46,55 @@ NameId TagFilterId(const MctDatabase& db, const std::string& tag) {
 bool TagIdMatches(const MctDatabase& db, NodeId n, const std::string& tag,
                   NameId tag_id) {
   return tag.empty() || db.TagId(n) == tag_id;
+}
+
+// Morsel-driven fan-out for emit-style operators: splits [0, n) into
+// ctx.morsel_size chunks, runs `body(begin, end, rows, stats)` per chunk
+// (workers claim chunks off a shared counter), and concatenates the
+// per-morsel row buffers in morsel index order — so the output row order is
+// byte-identical to the serial run. Per-morsel ExecStats are merged into
+// ctx.stats after the fan-out; the hot path never touches an atomic.
+// Bodies may only perform const reads of shared state.
+template <typename Body>
+void MorselRun(const ExecContext& ctx, size_t n, Table* out,
+               const Body& body) {
+  if (ctx.pool == nullptr || ctx.morsel_size == 0 || n <= ctx.morsel_size) {
+    body(0, n, &out->rows, ctx.stats);
+    return;
+  }
+  const size_t num_morsels = (n + ctx.morsel_size - 1) / ctx.morsel_size;
+  std::vector<std::vector<Row>> parts(num_morsels);
+  std::vector<ExecStats> part_stats(ctx.stats != nullptr ? num_morsels : 0);
+  ParallelFor(ctx.pool, num_morsels, [&](size_t m) {
+    const size_t begin = m * ctx.morsel_size;
+    const size_t end = std::min(n, begin + ctx.morsel_size);
+    body(begin, end, &parts[m],
+         ctx.stats != nullptr ? &part_stats[m] : nullptr);
+  });
+  size_t total = out->rows.size();
+  for (const auto& p : parts) total += p.size();
+  out->rows.reserve(total);
+  for (auto& p : parts) {
+    for (auto& r : p) out->rows.push_back(std::move(r));
+  }
+  if (ctx.stats != nullptr) {
+    for (const ExecStats& s : part_stats) ctx.stats->Merge(s);
+  }
+}
+
+// Morsel fan-out for slot-writing loops (each index writes its own output
+// slot, nothing is appended): just splits the range across workers.
+template <typename Body>
+void ForEachMorsel(const ExecContext& ctx, size_t n, const Body& body) {
+  if (ctx.pool == nullptr || ctx.morsel_size == 0 || n <= ctx.morsel_size) {
+    body(0, n);
+    return;
+  }
+  const size_t num_morsels = (n + ctx.morsel_size - 1) / ctx.morsel_size;
+  ParallelFor(ctx.pool, num_morsels, [&](size_t m) {
+    const size_t begin = m * ctx.morsel_size;
+    body(begin, std::min(n, begin + ctx.morsel_size));
+  });
 }
 
 }  // namespace
@@ -72,47 +125,54 @@ std::optional<std::string> ExtractKey(const MctDatabase& db, NodeId node,
 }
 
 Table TagScanTable(MctDatabase* db, ColorId color, const std::string& var,
-                   const std::string& tag, ExecStats* stats) {
+                   const std::string& tag, const ExecContext& ctx) {
   std::vector<NodeId> nodes = db->TagScan(color, tag);
-  if (stats != nullptr) stats->rows_scanned += nodes.size();
+  if (ctx.stats != nullptr) ctx.stats->rows_scanned += nodes.size();
   return Table::FromNodes(var, nodes);
 }
 
 Table ExpandChildren(MctDatabase* db, const Table& in, int col, ColorId color,
                      const std::string& tag, const std::string& out_var,
-                     ExecStats* stats) {
-  if (stats != nullptr) ++stats->structural_joins;
+                     const ExecContext& ctx) {
+  if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
   Table out = WithExtraColumn(in, out_var);
   const ColoredTree* t = db->tree(color);
   NameId tag_id = TagFilterId(*db, tag);
   if (!tag.empty() && tag_id == kInvalidNameId) return out;  // unknown tag
-  for (const auto& row : in.rows) {
-    NodeId n = row[static_cast<size_t>(col)];
-    if (!db->Colors(n).Has(color)) continue;
-    t->ForEachChild(n, [&](NodeId c) {
-      if (db->Kind(c) == xml::NodeKind::kElement &&
-          TagIdMatches(*db, c, tag, tag_id)) {
-        EmitRow(&out, row, c);
-      }
-    });
-  }
+  const MctDatabase& cdb = *db;
+  MorselRun(ctx, in.rows.size(), &out,
+            [&](size_t begin, size_t end, std::vector<Row>* rows,
+                ExecStats*) {
+              for (size_t i = begin; i < end; ++i) {
+                const Row& row = in.rows[i];
+                NodeId n = row[static_cast<size_t>(col)];
+                if (!cdb.Colors(n).Has(color)) continue;
+                t->ForEachChild(n, [&](NodeId c) {
+                  if (cdb.Kind(c) == xml::NodeKind::kElement &&
+                      TagIdMatches(cdb, c, tag, tag_id)) {
+                    EmitRow(rows, row, c);
+                  }
+                });
+              }
+            });
   return out;
 }
 
 Table ExpandDescendants(MctDatabase* db, const Table& in, int col,
                         ColorId color, const std::string& tag,
-                        const std::string& out_var, ExecStats* stats) {
-  if (stats != nullptr) ++stats->structural_joins;
+                        const std::string& out_var, const ExecContext& ctx) {
+  if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
   Table out = WithExtraColumn(in, out_var);
   std::vector<NodeId> descs = db->TagScan(color, tag);
-  if (stats != nullptr) stats->rows_scanned += descs.size();
+  if (ctx.stats != nullptr) ctx.stats->rows_scanned += descs.size();
   if (descs.empty() || in.rows.empty()) return out;
 
   ColoredTree* t = db->tree(color);
   t->EnsureLabels();
+  const ColoredTree& ct = *t;  // clean labels: const reads from here on
 
   // Distinct ancestor candidates (rows grouped per node), sorted by start.
-  auto groups = GroupByNode(in, col);
+  const auto groups = GroupByNode(in, col);
   struct Anc {
     uint64_t start, end;
     NodeId node;
@@ -120,38 +180,46 @@ Table ExpandDescendants(MctDatabase* db, const Table& in, int col,
   std::vector<Anc> ancs;
   ancs.reserve(groups.size());
   for (const auto& [n, _] : groups) {
-    if (!t->Contains(n)) continue;
-    ancs.push_back(Anc{t->Start(n), t->End(n), n});
+    if (!ct.Contains(n)) continue;
+    ancs.push_back(Anc{ct.Start(n), ct.End(n), n});
   }
   std::sort(ancs.begin(), ancs.end(),
             [](const Anc& a, const Anc& b) { return a.start < b.start; });
 
   // Stack-based interval merge (stack-tree join, Al-Khalifa et al.): both
   // inputs in ascending start order; the stack holds the chain of ancestor
-  // candidates currently open around the scan point.
-  std::vector<const Anc*> stack;
-  size_t ai = 0;
-  for (NodeId d : descs) {
-    uint64_t ds = t->Start(d);
-    uint64_t de = t->End(d);
-    while (ai < ancs.size() && ancs[ai].start < ds) {
-      while (!stack.empty() && stack.back()->end < ancs[ai].start) {
-        stack.pop_back();
-      }
-      stack.push_back(&ancs[ai]);
-      ++ai;
-    }
-    while (!stack.empty() && stack.back()->end < ds) stack.pop_back();
-    // Every remaining stack entry contains d (intervals are properly
-    // nested). Guard de anyway for robustness against equal labels.
-    for (const Anc* a : stack) {
-      if (a->end > de) {
-        for (size_t ri : groups[a->node]) {
-          EmitRow(&out, in.rows[ri], d);
+  // candidates currently open around the scan point. The stack state at a
+  // given descendant depends only on its start label, so each morsel of the
+  // descendant stream can rebuild it independently (one O(|ancs|) replay
+  // per morsel) and emit exactly the serial subsequence.
+  MorselRun(
+      ctx, descs.size(), &out,
+      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
+        std::vector<const Anc*> stack;
+        size_t ai = 0;
+        for (size_t di = begin; di < end; ++di) {
+          NodeId d = descs[di];
+          uint64_t ds = ct.Start(d);
+          uint64_t de = ct.End(d);
+          while (ai < ancs.size() && ancs[ai].start < ds) {
+            while (!stack.empty() && stack.back()->end < ancs[ai].start) {
+              stack.pop_back();
+            }
+            stack.push_back(&ancs[ai]);
+            ++ai;
+          }
+          while (!stack.empty() && stack.back()->end < ds) stack.pop_back();
+          // Every remaining stack entry contains d (intervals are properly
+          // nested). Guard de anyway for robustness against equal labels.
+          for (const Anc* a : stack) {
+            if (a->end > de) {
+              for (size_t ri : groups.at(a->node)) {
+                EmitRow(rows, in.rows[ri], d);
+              }
+            }
+          }
         }
-      }
-    }
-  }
+      });
   // Re-establish row order of the left input (group expansion visits in
   // descendant order): callers that need input order should sort; FLWOR
   // semantics here only require the binding set, so we keep merge order.
@@ -160,72 +228,93 @@ Table ExpandDescendants(MctDatabase* db, const Table& in, int col,
 
 Table ExpandParent(MctDatabase* db, const Table& in, int col, ColorId color,
                    const std::string& tag, const std::string& out_var,
-                   ExecStats* stats) {
-  if (stats != nullptr) ++stats->structural_joins;
+                   const ExecContext& ctx) {
+  if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
   Table out = WithExtraColumn(in, out_var);
   NameId tag_id = TagFilterId(*db, tag);
   if (!tag.empty() && tag_id == kInvalidNameId) return out;
-  for (const auto& row : in.rows) {
-    auto p = db->Parent(row[static_cast<size_t>(col)], color);
-    if (p.has_value() && db->Kind(*p) == xml::NodeKind::kElement &&
-        TagIdMatches(*db, *p, tag, tag_id)) {
-      EmitRow(&out, row, *p);
-    }
-  }
+  const MctDatabase& cdb = *db;
+  MorselRun(ctx, in.rows.size(), &out,
+            [&](size_t begin, size_t end, std::vector<Row>* rows,
+                ExecStats*) {
+              for (size_t i = begin; i < end; ++i) {
+                const Row& row = in.rows[i];
+                auto p = cdb.Parent(row[static_cast<size_t>(col)], color);
+                if (p.has_value() &&
+                    cdb.Kind(*p) == xml::NodeKind::kElement &&
+                    TagIdMatches(cdb, *p, tag, tag_id)) {
+                  EmitRow(rows, row, *p);
+                }
+              }
+            });
   return out;
 }
 
 Table ExpandAncestors(MctDatabase* db, const Table& in, int col, ColorId color,
                       const std::string& tag, const std::string& out_var,
-                      ExecStats* stats) {
-  if (stats != nullptr) ++stats->structural_joins;
+                      const ExecContext& ctx) {
+  if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
   Table out = WithExtraColumn(in, out_var);
-  ColoredTree* t = db->tree(color);
-  for (const auto& row : in.rows) {
-    NodeId n = row[static_cast<size_t>(col)];
-    if (!t->Contains(n)) continue;
-    for (NodeId p = t->Parent(n); p != kInvalidNodeId; p = t->Parent(p)) {
-      if (db->Kind(p) == xml::NodeKind::kElement &&
-          TagIdMatches(*db, p, tag, TagFilterId(*db, tag))) {
-        EmitRow(&out, row, p);
-      }
-    }
-  }
+  NameId tag_id = TagFilterId(*db, tag);
+  if (!tag.empty() && tag_id == kInvalidNameId) return out;
+  const ColoredTree* t = db->tree(color);
+  const MctDatabase& cdb = *db;
+  MorselRun(ctx, in.rows.size(), &out,
+            [&](size_t begin, size_t end, std::vector<Row>* rows,
+                ExecStats*) {
+              for (size_t i = begin; i < end; ++i) {
+                const Row& row = in.rows[i];
+                NodeId n = row[static_cast<size_t>(col)];
+                if (!t->Contains(n)) continue;
+                for (NodeId p = t->Parent(n); p != kInvalidNodeId;
+                     p = t->Parent(p)) {
+                  if (cdb.Kind(p) == xml::NodeKind::kElement &&
+                      TagIdMatches(cdb, p, tag, tag_id)) {
+                    EmitRow(rows, row, p);
+                  }
+                }
+              }
+            });
   return out;
 }
 
 Table CrossTreeJoin(MctDatabase* db, const Table& in, int col, ColorId to_color,
-                    ExecStats* stats) {
-  if (stats != nullptr) ++stats->cross_tree_joins;
+                    const ExecContext& ctx) {
+  if (ctx.stats != nullptr) ++ctx.stats->cross_tree_joins;
   Table out;
   out.vars = in.vars;
   // Bulk identity join: follow the back-links from the shared node record
   // to the structural node of the target color (Section 6.2); rows whose
   // node lacks the color are dropped.
   const ColoredTree* t = db->tree(to_color);
-  for (const auto& row : in.rows) {
-    if (t->Contains(row[static_cast<size_t>(col)])) {
-      out.rows.push_back(row);
-    }
-  }
+  MorselRun(ctx, in.rows.size(), &out,
+            [&](size_t begin, size_t end, std::vector<Row>* rows,
+                ExecStats*) {
+              for (size_t i = begin; i < end; ++i) {
+                if (t->Contains(in.rows[i][static_cast<size_t>(col)])) {
+                  rows->push_back(in.rows[i]);
+                }
+              }
+            });
   return out;
 }
 
 Table StructuralSemiJoin(MctDatabase* db, const Table& in, int col,
                          ColorId color, const std::vector<NodeId>& anc_set,
-                         ExecStats* stats) {
-  if (stats != nullptr) ++stats->structural_joins;
+                         const ExecContext& ctx) {
+  if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
   Table out;
   out.vars = in.vars;
   ColoredTree* t = db->tree(color);
   t->EnsureLabels();
+  const ColoredTree& ct = *t;
   struct Iv {
     uint64_t start, end;
   };
   std::vector<Iv> ivs;
   ivs.reserve(anc_set.size());
   for (NodeId a : anc_set) {
-    if (t->Contains(a)) ivs.push_back(Iv{t->Start(a), t->End(a)});
+    if (ct.Contains(a)) ivs.push_back(Iv{ct.Start(a), ct.End(a)});
   }
   std::sort(ivs.begin(), ivs.end(),
             [](const Iv& a, const Iv& b) { return a.start < b.start; });
@@ -238,33 +327,39 @@ Table StructuralSemiJoin(MctDatabase* db, const Table& in, int col,
     running = std::max(running, ivs[i].end);
     prefix_max_end[i] = running;
   }
-  for (const auto& row : in.rows) {
-    NodeId n = row[static_cast<size_t>(col)];
-    if (!t->Contains(n)) continue;
-    uint64_t s = t->Start(n);
-    // Last interval with start < s.
-    size_t lo = 0, hi = ivs.size();
-    while (lo < hi) {
-      size_t mid = (lo + hi) / 2;
-      if (ivs[mid].start < s) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    if (lo > 0 && prefix_max_end[lo - 1] > s) out.rows.push_back(row);
-  }
+  MorselRun(
+      ctx, in.rows.size(), &out,
+      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
+        for (size_t i = begin; i < end; ++i) {
+          NodeId n = in.rows[i][static_cast<size_t>(col)];
+          if (!ct.Contains(n)) continue;
+          uint64_t s = ct.Start(n);
+          // Last interval with start < s.
+          size_t lo = 0, hi = ivs.size();
+          while (lo < hi) {
+            size_t mid = (lo + hi) / 2;
+            if (ivs[mid].start < s) {
+              lo = mid + 1;
+            } else {
+              hi = mid;
+            }
+          }
+          if (lo > 0 && prefix_max_end[lo - 1] > s) {
+            rows->push_back(in.rows[i]);
+          }
+        }
+      });
   return out;
 }
 
 Table HashValueJoin(MctDatabase* db, const Table& left, int lcol,
                     const KeySpec& lkey, const Table& right, int rcol,
-                    const KeySpec& rkey, ExecStats* stats) {
-  if (stats != nullptr) ++stats->value_joins;
+                    const KeySpec& rkey, const ExecContext& ctx) {
+  if (ctx.stats != nullptr) ++ctx.stats->value_joins;
   Table out;
   out.vars = left.vars;
   out.vars.insert(out.vars.end(), right.vars.begin(), right.vars.end());
-  // Build on the smaller input.
+  // Build on the smaller input (serial); probe in parallel morsels.
   const bool build_left = left.rows.size() <= right.rows.size();
   const Table& build = build_left ? left : right;
   const Table& probe = build_left ? right : left;
@@ -272,127 +367,181 @@ Table HashValueJoin(MctDatabase* db, const Table& left, int lcol,
   const int pcol = build_left ? rcol : lcol;
   const KeySpec& bkey = build_left ? lkey : rkey;
   const KeySpec& pkey = build_left ? rkey : lkey;
+  const MctDatabase& cdb = *db;
 
   std::unordered_map<std::string, std::vector<size_t>> ht;
   for (size_t i = 0; i < build.rows.size(); ++i) {
-    auto k = ExtractKey(*db, build.rows[i][static_cast<size_t>(bcol)], bkey);
+    auto k = ExtractKey(cdb, build.rows[i][static_cast<size_t>(bcol)], bkey);
     if (k.has_value()) ht[*k].push_back(i);
   }
-  for (const auto& prow : probe.rows) {
-    auto k = ExtractKey(*db, prow[static_cast<size_t>(pcol)], pkey);
-    if (!k.has_value()) continue;
-    auto it = ht.find(*k);
-    if (it == ht.end()) continue;
-    for (size_t bi : it->second) {
-      const auto& brow = build.rows[bi];
-      std::vector<NodeId> row;
-      row.reserve(out.vars.size());
-      const auto& l = build_left ? brow : prow;
-      const auto& r = build_left ? prow : brow;
-      row.insert(row.end(), l.begin(), l.end());
-      row.insert(row.end(), r.begin(), r.end());
-      out.rows.push_back(std::move(row));
-    }
-  }
+  MorselRun(
+      ctx, probe.rows.size(), &out,
+      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
+        for (size_t pi = begin; pi < end; ++pi) {
+          const Row& prow = probe.rows[pi];
+          auto k = ExtractKey(cdb, prow[static_cast<size_t>(pcol)], pkey);
+          if (!k.has_value()) continue;
+          auto it = ht.find(*k);
+          if (it == ht.end()) continue;
+          for (size_t bi : it->second) {
+            const Row& brow = build.rows[bi];
+            Row row;
+            row.reserve(out.vars.size());
+            const Row& l = build_left ? brow : prow;
+            const Row& r = build_left ? prow : brow;
+            row.insert(row.end(), l.begin(), l.end());
+            row.insert(row.end(), r.begin(), r.end());
+            rows->push_back(std::move(row));
+          }
+        }
+      });
   return out;
 }
 
 Table IdrefsJoin(MctDatabase* db, const Table& left, int lcol,
                  const KeySpec& lkey, const Table& right, int rcol,
-                 const KeySpec& rkey, ExecStats* stats) {
-  if (stats != nullptr) ++stats->value_joins;
+                 const KeySpec& rkey, const ExecContext& ctx) {
+  if (ctx.stats != nullptr) ++ctx.stats->value_joins;
   Table out;
   out.vars = left.vars;
   out.vars.insert(out.vars.end(), right.vars.begin(), right.vars.end());
-  // Hash the single-id side, then probe once per token of each list.
+  const MctDatabase& cdb = *db;
+  // Hash the single-id side (serial), then probe once per token of each
+  // list, morsel-parallel over the list side.
   std::unordered_map<std::string, std::vector<size_t>> ht;
   for (size_t i = 0; i < right.rows.size(); ++i) {
-    auto k = ExtractKey(*db, right.rows[i][static_cast<size_t>(rcol)], rkey);
+    auto k = ExtractKey(cdb, right.rows[i][static_cast<size_t>(rcol)], rkey);
     if (k.has_value()) ht[*k].push_back(i);
   }
-  for (const auto& lrow : left.rows) {
-    auto list = ExtractKey(*db, lrow[static_cast<size_t>(lcol)], lkey);
-    if (!list.has_value()) continue;
-    for (const std::string& token : SplitWhitespace(*list)) {
-      auto it = ht.find(token);
-      if (it == ht.end()) continue;
-      for (size_t ri : it->second) {
-        std::vector<NodeId> row = lrow;
-        row.insert(row.end(), right.rows[ri].begin(), right.rows[ri].end());
-        out.rows.push_back(std::move(row));
-      }
-    }
-  }
+  MorselRun(
+      ctx, left.rows.size(), &out,
+      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
+        for (size_t li = begin; li < end; ++li) {
+          const Row& lrow = left.rows[li];
+          auto list = ExtractKey(cdb, lrow[static_cast<size_t>(lcol)], lkey);
+          if (!list.has_value()) continue;
+          for (const std::string& token : SplitWhitespace(*list)) {
+            auto it = ht.find(token);
+            if (it == ht.end()) continue;
+            for (size_t ri : it->second) {
+              Row row = lrow;
+              row.insert(row.end(), right.rows[ri].begin(),
+                         right.rows[ri].end());
+              rows->push_back(std::move(row));
+            }
+          }
+        }
+      });
   return out;
 }
 
 Table NestedLoopJoin(MctDatabase* db, const Table& left, const Table& right,
                      const std::function<bool(const std::vector<NodeId>&,
                                               const std::vector<NodeId>&)>& pred,
-                     ExecStats* stats) {
+                     const ExecContext& ctx) {
   (void)db;
-  if (stats != nullptr) ++stats->nested_loop_joins;
+  if (ctx.stats != nullptr) ++ctx.stats->nested_loop_joins;
   Table out;
   out.vars = left.vars;
   out.vars.insert(out.vars.end(), right.vars.begin(), right.vars.end());
-  for (const auto& l : left.rows) {
-    for (const auto& r : right.rows) {
-      if (pred(l, r)) {
-        std::vector<NodeId> row = l;
-        row.insert(row.end(), r.begin(), r.end());
-        out.rows.push_back(std::move(row));
-      }
-    }
-  }
+  MorselRun(
+      ctx, left.rows.size(), &out,
+      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
+        for (size_t i = begin; i < end; ++i) {
+          const Row& l = left.rows[i];
+          for (const Row& r : right.rows) {
+            if (pred(l, r)) {
+              Row row = l;
+              row.insert(row.end(), r.begin(), r.end());
+              rows->push_back(std::move(row));
+            }
+          }
+        }
+      });
   return out;
 }
 
 Table IdentityJoin(MctDatabase* db, const Table& left, int lcol,
-                   const Table& right, int rcol, ExecStats* stats) {
+                   const Table& right, int rcol, const ExecContext& ctx) {
   (void)db;
-  if (stats != nullptr) ++stats->structural_joins;  // identity = label equality
+  if (ctx.stats != nullptr) {
+    ++ctx.stats->structural_joins;  // identity = label equality
+  }
   Table out;
   out.vars = left.vars;
   out.vars.insert(out.vars.end(), right.vars.begin(), right.vars.end());
-  auto groups = GroupByNode(right, rcol);
-  for (const auto& lrow : left.rows) {
-    auto it = groups.find(lrow[static_cast<size_t>(lcol)]);
-    if (it == groups.end()) continue;
-    for (size_t ri : it->second) {
-      std::vector<NodeId> row = lrow;
-      row.insert(row.end(), right.rows[ri].begin(), right.rows[ri].end());
-      out.rows.push_back(std::move(row));
-    }
-  }
+  const auto groups = GroupByNode(right, rcol);
+  MorselRun(
+      ctx, left.rows.size(), &out,
+      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
+        for (size_t li = begin; li < end; ++li) {
+          const Row& lrow = left.rows[li];
+          auto it = groups.find(lrow[static_cast<size_t>(lcol)]);
+          if (it == groups.end()) continue;
+          for (size_t ri : it->second) {
+            Row row = lrow;
+            row.insert(row.end(), right.rows[ri].begin(),
+                       right.rows[ri].end());
+            rows->push_back(std::move(row));
+          }
+        }
+      });
   return out;
 }
 
 Table FilterRows(const Table& in,
                  const std::function<bool(const std::vector<NodeId>&)>& pred,
-                 ExecStats* stats) {
-  (void)stats;
+                 const ExecContext& ctx) {
   Table out;
   out.vars = in.vars;
-  for (const auto& row : in.rows) {
-    if (pred(row)) out.rows.push_back(row);
-  }
+  MorselRun(ctx, in.rows.size(), &out,
+            [&](size_t begin, size_t end, std::vector<Row>* rows,
+                ExecStats*) {
+              for (size_t i = begin; i < end; ++i) {
+                if (pred(in.rows[i])) rows->push_back(in.rows[i]);
+              }
+            });
   return out;
 }
 
-Table DupElim(const Table& in, const std::vector<int>& cols, ExecStats* stats) {
-  if (stats != nullptr) ++stats->dup_elims;
+namespace {
+
+void DupKey(const Row& row, const std::vector<int>& cols, std::string* key) {
+  key->clear();
+  for (int c : cols) {
+    key->append(reinterpret_cast<const char*>(&row[static_cast<size_t>(c)]),
+                sizeof(NodeId));
+  }
+}
+
+}  // namespace
+
+Table DupElim(const Table& in, const std::vector<int>& cols,
+              const ExecContext& ctx) {
+  if (ctx.stats != nullptr) ++ctx.stats->dup_elims;
   Table out;
   out.vars = in.vars;
   std::unordered_set<std::string> seen;
   std::string key;
   for (const auto& row : in.rows) {
-    key.clear();
-    for (int c : cols) {
-      key.append(reinterpret_cast<const char*>(&row[static_cast<size_t>(c)]),
-                 sizeof(NodeId));
-    }
+    DupKey(row, cols, &key);
     if (seen.insert(key).second) out.rows.push_back(row);
   }
+  return out;
+}
+
+Table DupElim(Table&& in, const std::vector<int>& cols,
+              const ExecContext& ctx) {
+  if (ctx.stats != nullptr) ++ctx.stats->dup_elims;
+  Table out;
+  out.vars = std::move(in.vars);
+  std::unordered_set<std::string> seen;
+  std::string key;
+  for (auto& row : in.rows) {
+    DupKey(row, cols, &key);
+    if (seen.insert(key).second) out.rows.push_back(std::move(row));
+  }
+  in.rows.clear();
   return out;
 }
 
@@ -401,7 +550,7 @@ Table Project(const Table& in, const std::vector<int>& cols) {
   for (int c : cols) out.vars.push_back(in.vars[static_cast<size_t>(c)]);
   out.rows.reserve(in.rows.size());
   for (const auto& row : in.rows) {
-    std::vector<NodeId> r;
+    Row r;
     r.reserve(cols.size());
     for (int c : cols) r.push_back(row[static_cast<size_t>(c)]);
     out.rows.push_back(std::move(r));
@@ -409,23 +558,58 @@ Table Project(const Table& in, const std::vector<int>& cols) {
   return out;
 }
 
+Table Project(Table&& in, const std::vector<int>& cols) {
+  // When the projection keeps columns in increasing order, each row can be
+  // compacted in place (cols[j] >= j, so left-to-right copies never clobber
+  // a source) — no per-row allocation at all.
+  bool increasing = true;
+  for (size_t j = 0; j + 1 < cols.size(); ++j) {
+    if (cols[j] >= cols[j + 1]) {
+      increasing = false;
+      break;
+    }
+  }
+  if (!increasing) return Project(in, cols);
+  Table out;
+  for (int c : cols) out.vars.push_back(in.vars[static_cast<size_t>(c)]);
+  out.rows = std::move(in.rows);
+  for (auto& row : out.rows) {
+    for (size_t j = 0; j < cols.size(); ++j) {
+      row[j] = row[static_cast<size_t>(cols[j])];
+    }
+    row.resize(cols.size());
+  }
+  return out;
+}
+
 Table SortRowsBy(const MctDatabase& db, const Table& in, int col,
-                 const KeySpec& key, bool descending) {
-  Table out = in;
-  auto key_of = [&](const std::vector<NodeId>& row) {
-    return ExtractKey(db, row[static_cast<size_t>(col)], key).value_or("");
-  };
+                 const KeySpec& key, bool descending, const ExecContext& ctx) {
+  // Decorate-sort: extract every key once (morsel-parallel — extraction is
+  // the expensive part), then a serial stable sort of row indices, so the
+  // result is identical to sorting rows with per-comparison extraction.
+  const size_t n = in.rows.size();
+  std::vector<std::string> keys(n);
+  ForEachMorsel(ctx, n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      keys[i] =
+          ExtractKey(db, in.rows[i][static_cast<size_t>(col)], key).value_or("");
+    }
+  });
   auto key_less = [](const std::string& ka, const std::string& kb) {
     auto na = ParseDouble(ka), nb = ParseDouble(kb);
     if (na.has_value() && nb.has_value()) return *na < *nb;
     return ka < kb;
   };
-  std::stable_sort(
-      out.rows.begin(), out.rows.end(),
-      [&](const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
-        return descending ? key_less(key_of(b), key_of(a))
-                          : key_less(key_of(a), key_of(b));
-      });
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return descending ? key_less(keys[b], keys[a])
+                      : key_less(keys[a], keys[b]);
+  });
+  Table out;
+  out.vars = in.vars;
+  out.rows.reserve(n);
+  for (size_t i : order) out.rows.push_back(in.rows[i]);
   return out;
 }
 

@@ -1,5 +1,15 @@
 // Physical operators over binding tables.
 //
+// Every operator takes an ExecContext (stats sink + optional worker pool).
+// When a pool is present, row-oriented operators run morsel-driven: the
+// input rows are split into fixed-size morsels claimed by workers off a
+// shared counter; each morsel emits into a private buffer and the buffers
+// are concatenated in morsel index order, so the output is byte-identical
+// to the serial run (the determinism contract the tests enforce). Index
+// probes (TagScan, content/attr lookups) and hash-table builds stay in the
+// serial prefix of each operator; workers only perform const reads of the
+// in-memory tree and store images.
+//
 // The cost asymmetry these implement is the paper's central performance
 // claim (Section 7.2): structural (containment) joins are merge/hash joins
 // over pre-ordered interval labels and parent pointers — much cheaper than
@@ -67,88 +77,99 @@ std::optional<std::string> ExtractKey(const MctDatabase& db, NodeId node,
 /// Index scan: one-column table of all `tag` elements in `color`, in local
 /// document order.
 Table TagScanTable(MctDatabase* db, ColorId color, const std::string& var,
-                   const std::string& tag, ExecStats* stats);
+                   const std::string& tag, const ExecContext& ctx);
 
 /// Appends a column `out_var` binding children of `col` with `tag` in
 /// `color` (one output row per child; rows without such children drop out).
 /// Empty `tag` matches any element child.
 Table ExpandChildren(MctDatabase* db, const Table& in, int col, ColorId color,
                      const std::string& tag, const std::string& out_var,
-                     ExecStats* stats);
+                     const ExecContext& ctx);
 
 /// Appends a column binding descendants with `tag` in `color`, via a
 /// stack-based interval merge against the tag index (a structural join).
 Table ExpandDescendants(MctDatabase* db, const Table& in, int col,
                         ColorId color, const std::string& tag,
-                        const std::string& out_var, ExecStats* stats);
+                        const std::string& out_var, const ExecContext& ctx);
 
 /// Appends a column binding the parent of `col` in `color` when its tag is
 /// `tag` (empty = any); other rows drop out.
 Table ExpandParent(MctDatabase* db, const Table& in, int col, ColorId color,
                    const std::string& tag, const std::string& out_var,
-                   ExecStats* stats);
+                   const ExecContext& ctx);
 
 /// Appends a column binding every ancestor with `tag` in `color`.
 Table ExpandAncestors(MctDatabase* db, const Table& in, int col, ColorId color,
                       const std::string& tag, const std::string& out_var,
-                      ExecStats* stats);
+                      const ExecContext& ctx);
 
 /// Cross-tree join (the paper's color-transition access method): keeps rows
 /// whose `col` node also has `to_color`. The node keeps its identity; its
 /// structural context simply switches trees. Bulk identity join.
 Table CrossTreeJoin(MctDatabase* db, const Table& in, int col, ColorId to_color,
-                    ExecStats* stats);
+                    const ExecContext& ctx);
 
 /// Keeps rows where `filter` contains a node that is an ancestor (axis
 /// descendant: filter-ancestors-of-col ... ) — precisely: keeps row when
 /// col's node is a descendant of some node in `anc_set` (color's labels).
 Table StructuralSemiJoin(MctDatabase* db, const Table& in, int col,
                          ColorId color, const std::vector<NodeId>& anc_set,
-                         ExecStats* stats);
+                         const ExecContext& ctx);
 
 /// Hash equality join: rows of `left` and `right` combine when the
 /// extracted keys match. Inner join; rows with missing keys drop.
 Table HashValueJoin(MctDatabase* db, const Table& left, int lcol,
                     const KeySpec& lkey, const Table& right, int rcol,
-                    const KeySpec& rkey, ExecStats* stats);
+                    const KeySpec& rkey, const ExecContext& ctx);
 
 /// IDREFS containment join: `lkey` extracts a whitespace-separated id list
 /// from the left node, `rkey` a single id from the right; rows combine when
 /// the list contains the id. The shallow baseline's bread and butter.
 Table IdrefsJoin(MctDatabase* db, const Table& left, int lcol,
                  const KeySpec& lkey, const Table& right, int rcol,
-                 const KeySpec& rkey, ExecStats* stats);
+                 const KeySpec& rkey, const ExecContext& ctx);
 
 /// General theta join (used for inequality predicates; quadratic, matching
 /// the paper's observation that its two inequality-join queries scaled
-/// quadratically).
+/// quadratically). `pred` must be safe to call concurrently when ctx.pool
+/// is set.
 Table NestedLoopJoin(MctDatabase* db, const Table& left, const Table& right,
                      const std::function<bool(const std::vector<NodeId>&,
                                               const std::vector<NodeId>&)>& pred,
-                     ExecStats* stats);
+                     const ExecContext& ctx);
 
 /// Joins two tables on node identity of (lcol, rcol) — how MCXQuery's
 /// `[. = $m]` correlation evaluates (hash join on NodeId).
 Table IdentityJoin(MctDatabase* db, const Table& left, int lcol,
-                   const Table& right, int rcol, ExecStats* stats);
+                   const Table& right, int rcol, const ExecContext& ctx);
 
-/// Keeps rows satisfying `pred`.
+/// Keeps rows satisfying `pred`. `pred` must be safe to call concurrently
+/// when ctx.pool is set.
 Table FilterRows(const Table& in,
                  const std::function<bool(const std::vector<NodeId>&)>& pred,
-                 ExecStats* stats);
+                 const ExecContext& ctx);
 
 /// Removes duplicate rows w.r.t. the projection onto `cols` (first
 /// occurrence wins) — the duplicate elimination that hurts the deep
-/// baseline in Table 2.
-Table DupElim(const Table& in, const std::vector<int>& cols, ExecStats* stats);
+/// baseline in Table 2. Inherently order-dependent, so it stays serial; the
+/// rvalue overload moves the surviving rows instead of copying them.
+Table DupElim(const Table& in, const std::vector<int>& cols,
+              const ExecContext& ctx);
+Table DupElim(Table&& in, const std::vector<int>& cols,
+              const ExecContext& ctx);
 
-/// Projects onto `cols` (in the given order).
+/// Projects onto `cols` (in the given order). The rvalue overload compacts
+/// rows in place when possible instead of materializing fresh ones.
 Table Project(const Table& in, const std::vector<int>& cols);
+Table Project(Table&& in, const std::vector<int>& cols);
 
 /// Stable-sorts rows by the key extracted from `col` (numeric when both
-/// keys parse as numbers, else lexicographic).
+/// keys parse as numbers, else lexicographic). With a pool, key extraction
+/// (the expensive part) is parallel; the sort itself stays serial and
+/// stable, so the output order is unchanged.
 Table SortRowsBy(const MctDatabase& db, const Table& in, int col,
-                 const KeySpec& key, bool descending = false);
+                 const KeySpec& key, bool descending = false,
+                 const ExecContext& ctx = {});
 
 }  // namespace mct::query
 

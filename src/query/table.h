@@ -15,6 +15,10 @@
 
 #include "mct/node_store.h"
 
+namespace mct {
+class ThreadPool;
+}
+
 namespace mct::query {
 
 struct Table {
@@ -64,6 +68,38 @@ struct ExecStats {
   uint64_t rows_scanned = 0;
 
   void Reset() { *this = ExecStats(); }
+
+  /// Serial and parallel runs of the same plan must produce equal counters.
+  bool operator==(const ExecStats&) const = default;
+
+  /// Folds another counter set into this one. Parallel operators keep one
+  /// ExecStats per morsel and merge at operator exit, so the hot path never
+  /// touches an atomic and the merged totals equal the serial run exactly.
+  void Merge(const ExecStats& other) {
+    structural_joins += other.structural_joins;
+    value_joins += other.value_joins;
+    cross_tree_joins += other.cross_tree_joins;
+    nested_loop_joins += other.nested_loop_joins;
+    dup_elims += other.dup_elims;
+    rows_scanned += other.rows_scanned;
+  }
+};
+
+/// Everything an operator needs beyond its operands: the stats sink and the
+/// parallel execution configuration. Implicitly constructible from a bare
+/// ExecStats* so legacy call sites (`&stats`, `nullptr`) keep working and
+/// run serially.
+struct ExecContext {
+  ExecStats* stats = nullptr;
+  /// Worker pool; nullptr = serial execution.
+  ThreadPool* pool = nullptr;
+  /// Rows per morsel; inputs at or below this size run serially.
+  size_t morsel_size = 1024;
+
+  ExecContext() = default;
+  ExecContext(ExecStats* s) : stats(s) {}  // NOLINT: implicit by design
+  ExecContext(ExecStats* s, ThreadPool* p, size_t morsel)
+      : stats(s), pool(p), morsel_size(morsel) {}
 };
 
 }  // namespace mct::query

@@ -22,7 +22,8 @@ struct StreamElem {
 
 // Sorted (by start) stream of one pattern node's tag.
 std::vector<StreamElem> StreamOf(MctDatabase* db, ColorId color,
-                                 const std::string& tag, ExecStats* stats) {
+                                 const std::string& tag,
+                                 query::ExecStats* stats) {
   std::vector<StreamElem> out;
   ColoredTree* t = db->tree(color);
   t->EnsureLabels();
@@ -86,14 +87,14 @@ std::vector<std::vector<int>> TwigPattern::RootToLeafPaths() const {
 }
 
 Result<Table> PathStackJoin(MctDatabase* db, ColorId color,
-                            const TwigPattern& pattern, ExecStats* stats) {
+                            const TwigPattern& pattern, const ExecContext& ctx) {
   if (!pattern.IsPath()) {
     return Status::InvalidArgument("PathStackJoin requires a path pattern");
   }
   if (pattern.nodes.empty()) {
     return Status::InvalidArgument("empty twig pattern");
   }
-  if (stats != nullptr) ++stats->structural_joins;  // one holistic join
+  if (ctx.stats != nullptr) ++ctx.stats->structural_joins;  // one holistic join
   const int k = static_cast<int>(pattern.nodes.size());
 
   Table out;
@@ -103,7 +104,8 @@ Result<Table> PathStackJoin(MctDatabase* db, ColorId color,
   std::vector<std::vector<StreamElem>> streams;
   for (int i = 0; i < k; ++i) {
     streams.push_back(
-        StreamOf(db, color, pattern.nodes[static_cast<size_t>(i)].tag, stats));
+        StreamOf(db, color, pattern.nodes[static_cast<size_t>(i)].tag,
+                 ctx.stats));
     if (streams.back().empty()) return out;  // some tag never occurs
   }
   std::vector<size_t> cursor(static_cast<size_t>(k), 0);
@@ -191,7 +193,7 @@ Result<Table> PathStackJoin(MctDatabase* db, ColorId color,
 }
 
 Result<Table> TwigStackJoin(MctDatabase* db, ColorId color,
-                            const TwigPattern& pattern, ExecStats* stats) {
+                            const TwigPattern& pattern, const ExecContext& ctx) {
   if (pattern.nodes.empty()) {
     return Status::InvalidArgument("empty twig pattern");
   }
@@ -204,7 +206,7 @@ Result<Table> TwigStackJoin(MctDatabase* db, ColorId color,
       const TwigNode& n = pattern.nodes[static_cast<size_t>(path[j])];
       sub.Add(static_cast<int>(j) - 1, n.tag, n.child_axis);
     }
-    MCT_ASSIGN_OR_RETURN(Table t, PathStackJoin(db, color, sub, stats));
+    MCT_ASSIGN_OR_RETURN(Table t, PathStackJoin(db, color, sub, ctx));
     // Rename columns back to the global pattern indices.
     for (size_t j = 0; j < path.size(); ++j) {
       t.vars[j] = ColName(pattern, path[j]);

@@ -49,12 +49,12 @@ struct TwigPattern {
 /// Holistic path join: `pattern` must be a path (each node at most one
 /// child). Output columns follow pattern-node order.
 Result<Table> PathStackJoin(MctDatabase* db, ColorId color,
-                            const TwigPattern& pattern, ExecStats* stats);
+                            const TwigPattern& pattern, const ExecContext& ctx);
 
 /// General twig: path decomposition + merge on shared prefixes. Output
 /// columns follow pattern-node index order (var = "#<i>:<tag>").
 Result<Table> TwigStackJoin(MctDatabase* db, ColorId color,
-                            const TwigPattern& pattern, ExecStats* stats);
+                            const TwigPattern& pattern, const ExecContext& ctx);
 
 }  // namespace mct::query
 

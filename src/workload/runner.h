@@ -25,9 +25,11 @@ struct QueryRun {
 };
 
 /// Runs `text` against `db` with `default_color` for uncolored steps.
+/// `num_threads` follows EvalOptions: 1 = serial (default), 0 = hardware
+/// concurrency; `morsel_size` sets the parallel row granularity.
 Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
-                          const std::string& text,
-                          bool collect_values = false);
+                          const std::string& text, bool collect_values = false,
+                          int num_threads = 1, size_t morsel_size = 1024);
 
 }  // namespace mct::workload
 

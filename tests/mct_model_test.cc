@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 
 #include "common/rng.h"
 #include "mct/color.h"
@@ -269,6 +270,46 @@ TEST(IndexTest, AttrLookup) {
   EXPECT_EQ(hits[0], f.movie_sunset);
   ASSERT_TRUE(f.db->SetAttr(f.movie_sunset, "id", "m3").ok());
   EXPECT_TRUE(f.db->AttrLookup("id", "m2").empty());
+}
+
+// Regression: the value indexes key on a 32-bit hash, so two distinct
+// values can share a bucket; the lookups must recheck the stored value and
+// never return the colliding neighbor.
+TEST(IndexTest, LookupRechecksValueOnHashCollision) {
+  // Brute-force a 32-bit collision (birthday bound ~80k candidates).
+  std::unordered_map<uint32_t, std::string> by_hash;
+  std::string va, vb;
+  for (uint64_t i = 0;; ++i) {
+    std::string s = "collide-" + std::to_string(i);
+    uint32_t h = MctDatabase::HashValue(s);
+    auto [it, inserted] = by_hash.emplace(h, s);
+    if (!inserted) {
+      va = it->second;
+      vb = s;
+      break;
+    }
+  }
+  ASSERT_NE(va, vb);
+  ASSERT_EQ(MctDatabase::HashValue(va), MctDatabase::HashValue(vb));
+
+  MovieDb f = BuildMovieDb();
+  NodeId ea = MustCreate(*f.db, f.red, f.genre_root, "coll", va);
+  NodeId eb = MustCreate(*f.db, f.red, f.genre_root, "coll", vb);
+  auto hits_a = f.db->ContentLookup("coll", va);
+  ASSERT_EQ(hits_a.size(), 1u);
+  EXPECT_EQ(hits_a[0], ea);
+  auto hits_b = f.db->ContentLookup("coll", vb);
+  ASSERT_EQ(hits_b.size(), 1u);
+  EXPECT_EQ(hits_b[0], eb);
+
+  ASSERT_TRUE(f.db->SetAttr(f.movie_eve, "ref", va).ok());
+  ASSERT_TRUE(f.db->SetAttr(f.movie_sunset, "ref", vb).ok());
+  auto attr_a = f.db->AttrLookup("ref", va);
+  ASSERT_EQ(attr_a.size(), 1u);
+  EXPECT_EQ(attr_a[0], f.movie_eve);
+  auto attr_b = f.db->AttrLookup("ref", vb);
+  ASSERT_EQ(attr_b.size(), 1u);
+  EXPECT_EQ(attr_b[0], f.movie_sunset);
 }
 
 // ---- Labels and local order ----

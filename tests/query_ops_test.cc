@@ -5,9 +5,13 @@
 
 #include "common/rng.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "movie_fixture.h"
 #include "query/ops.h"
 #include "query/table.h"
+#include "workload/catalog.h"
+#include "workload/runner.h"
+#include "workload/tpcw_db.h"
 
 namespace mct::query {
 namespace {
@@ -328,6 +332,191 @@ TEST_P(StructuralJoinProperty, MatchesNaiveOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StructuralJoinProperty,
                          testing::Values(5u, 6u, 7u, 8u, 9u));
+
+// ---------------------------------------------------------------------------
+// Parallel determinism: every morsel-driven operator must produce output
+// byte-identical to its serial run (same rows, same order) and the same
+// merged ExecStats, at any thread count and morsel size.
+// ---------------------------------------------------------------------------
+
+// Runs `op` serially and under pools of 2 and 8 threads with a tiny morsel
+// size (so even small test tables split into many morsels), asserting
+// identical rows and stats each time.
+template <typename Op>
+void ExpectParallelMatchesSerial(const Op& op) {
+  ExecStats serial_stats;
+  Table serial = op(ExecContext(&serial_stats));
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    for (size_t morsel : {1u, 3u}) {
+      ExecStats par_stats;
+      Table par = op(ExecContext(&par_stats, &pool, morsel));
+      EXPECT_EQ(par.vars, serial.vars)
+          << "threads=" << threads << " morsel=" << morsel;
+      EXPECT_EQ(par.rows, serial.rows)
+          << "threads=" << threads << " morsel=" << morsel;
+      EXPECT_EQ(par_stats, serial_stats)
+          << "threads=" << threads << " morsel=" << morsel;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, MovieFixtureOperators) {
+  MovieDb f = BuildMovieDb();
+  ASSERT_TRUE(f.db->SetAttr(f.actor_davis, "id", "a1").ok());
+  ASSERT_TRUE(f.db->SetAttr(f.actor_chaplin, "id", "a2").ok());
+  ASSERT_TRUE(f.db->SetAttr(f.movie_eve, "actorIdRefs", "a1 a2").ok());
+  ASSERT_TRUE(f.db->SetAttr(f.movie_lights, "actorIdRefs", "a2").ok());
+  MctDatabase* db = f.db.get();
+
+  Table movies = TagScanTable(db, f.red, "$m", "movie", nullptr);
+  Table genres = TagScanTable(db, f.red, "$g", "movie-genre", nullptr);
+  Table actors = TagScanTable(db, f.blue, "$a", "actor", nullptr);
+  Table green = TagScanTable(db, f.green, "$m2", "movie", nullptr);
+
+  ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
+    return ExpandChildren(db, movies, 0, f.red, "name", "$n", ctx);
+  });
+  ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
+    return ExpandDescendants(db, genres, 0, f.red, "movie", "$m", ctx);
+  });
+  ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
+    return ExpandParent(db, movies, 0, f.red, "movie-genre", "$g", ctx);
+  });
+  ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
+    return ExpandAncestors(db, movies, 0, f.red, "movie-genre", "$g", ctx);
+  });
+  ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
+    return CrossTreeJoin(db, movies, 0, f.green, ctx);
+  });
+  ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
+    return StructuralSemiJoin(db, movies, 0, f.red,
+                              {f.genre_comedy, f.genre_drama}, ctx);
+  });
+  ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
+    return HashValueJoin(db, movies, 0, KeySpec::ChildContent(f.red, "name"),
+                         green, 0, KeySpec::ChildContent(f.green, "name"),
+                         ctx);
+  });
+  ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
+    return IdrefsJoin(db, movies, 0, KeySpec::Attr("actorIdRefs"), actors, 0,
+                      KeySpec::Attr("id"), ctx);
+  });
+  ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
+    return IdentityJoin(db, movies, 0, green, 0, ctx);
+  });
+  KeySpec votes = KeySpec::ChildContent(f.green, "votes");
+  ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
+    return NestedLoopJoin(
+        db, green, green,
+        [&](const std::vector<NodeId>& l, const std::vector<NodeId>& r) {
+          auto lv = ExtractKey(*db, l[0], votes);
+          auto rv = ExtractKey(*db, r[0], votes);
+          return lv && rv && *lv > *rv;
+        },
+        ctx);
+  });
+  ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
+    return FilterRows(
+        movies,
+        [&](const std::vector<NodeId>& r) { return r[0] != f.movie_lights; },
+        ctx);
+  });
+  ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
+    return SortRowsBy(*db, green, 0, votes, /*descending=*/false, ctx);
+  });
+}
+
+// Property: on random trees, the parallel structural-join pipeline emits the
+// exact serial row sequence (not just the same bag).
+class ParallelDeterminismProperty : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelDeterminismProperty, RandomTreesByteIdentical) {
+  Rng rng(GetParam());
+  MctDatabase db;
+  ColorId c = *db.RegisterColor("c");
+  std::vector<NodeId> pool{db.document()};
+  for (int i = 0; i < 800; ++i) {
+    NodeId parent = pool[rng.Uniform(pool.size())];
+    std::string tag =
+        rng.Bernoulli(0.4) ? "a" : (rng.Bernoulli(0.5) ? "b" : "x");
+    pool.push_back(*db.CreateElement(c, parent, tag));
+  }
+  Table as = TagScanTable(&db, c, "$a", "a", nullptr);
+  Table bs = TagScanTable(&db, c, "$b", "b", nullptr);
+  ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
+    return ExpandDescendants(&db, as, 0, c, "b", "$b", ctx);
+  });
+  ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
+    return ExpandChildren(&db, as, 0, c, "", "$k", ctx);
+  });
+  ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
+    return ExpandAncestors(&db, bs, 0, c, "a", "$anc", ctx);
+  });
+  ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
+    return StructuralSemiJoin(&db, bs, 0, c, as.Column(0), ctx);
+  });
+  // Realistic morsel counts too, not just morsel=1/3: a 257-row morsel
+  // leaves a ragged tail.
+  ExecStats s1;
+  Table serial = ExpandDescendants(&db, as, 0, c, "b", "$b", &s1);
+  ThreadPool pool4(4);
+  ExecStats s2;
+  Table par = ExpandDescendants(&db, as, 0, c, "b", "$b",
+                                ExecContext(&s2, &pool4, 257));
+  EXPECT_EQ(par.rows, serial.rows);
+  EXPECT_EQ(s1, s2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminismProperty,
+                         testing::Values(11u, 12u, 13u));
+
+// End-to-end: every read query of the TPC-W catalog returns the same item
+// sequence (values, in order) and the same ExecStats whether evaluated
+// serially or with 2 or 8 threads, on both the MCT and the shallow schema.
+TEST(ParallelDeterminismTest, TpcwCatalogEndToEnd) {
+  using workload::BuildTpcw;
+  using workload::CatalogQuery;
+  using workload::GenerateTpcw;
+  using workload::RunQuery;
+  using workload::SchemaKind;
+  using workload::TpcwScale;
+
+  auto data = GenerateTpcw(TpcwScale::Tiny());
+  auto mct_db = BuildTpcw(data, SchemaKind::kMct);
+  auto shallow_db = BuildTpcw(data, SchemaKind::kShallow);
+  ASSERT_TRUE(mct_db.ok());
+  ASSERT_TRUE(shallow_db.ok());
+
+  for (const CatalogQuery& q : workload::TpcwCatalog(data)) {
+    if (q.is_update) continue;  // updates mutate; parallel applies to reads
+    struct Dialect {
+      workload::TpcwDb* db;
+      const std::string* text;
+      const char* name;
+    };
+    Dialect dialects[] = {{&*mct_db, &q.mct, "mct"},
+                          {&*shallow_db, &q.shallow, "shallow"}};
+    for (const Dialect& d : dialects) {
+      if (d.text->empty()) continue;
+      auto serial = RunQuery(d.db->db.get(), d.db->default_color(), *d.text,
+                             /*collect_values=*/true);
+      ASSERT_TRUE(serial.ok()) << q.id << " " << d.name;
+      for (int threads : {2, 8}) {
+        auto par = RunQuery(d.db->db.get(), d.db->default_color(), *d.text,
+                            /*collect_values=*/true, threads,
+                            /*morsel_size=*/4);
+        ASSERT_TRUE(par.ok()) << q.id << " " << d.name << " x" << threads;
+        EXPECT_EQ(par->result_count, serial->result_count)
+            << q.id << " " << d.name << " x" << threads;
+        EXPECT_EQ(par->values, serial->values)
+            << q.id << " " << d.name << " x" << threads;
+        EXPECT_EQ(par->stats, serial->stats)
+            << q.id << " " << d.name << " x" << threads;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace mct::query
