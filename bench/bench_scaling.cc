@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "query/trace.h"
 #include "workload/catalog.h"
 #include "workload/runner.h"
 #include "workload/tpcw_db.h"
@@ -49,6 +50,65 @@ const CatalogQuery* FindQuery(const std::vector<CatalogQuery>& catalog,
 
 int main(int argc, char** argv) {
   double base = mct::bench::ScaleFromArgs(argc, argv, 0.1);
+  if (mct::bench::HasFlag(argc, argv, "--trace")) {
+    // EXPLAIN ANALYZE mode: trace the thread-sweep queries serially and at
+    // 8 threads (to exercise the morsel counters), print the text trees,
+    // and mirror the data as JSON.
+    TpcwData data = GenerateTpcw(TpcwScale::Default().ScaledBy(base * 10));
+    auto mct_db = BuildTpcw(data, SchemaKind::kMct);
+    auto shallow_db = BuildTpcw(data, SchemaKind::kShallow);
+    if (!mct_db.ok() || !shallow_db.ok()) {
+      std::fprintf(stderr, "trace-mode build failed\n");
+      return 1;
+    }
+    auto catalog = TpcwCatalog(data);
+    struct Traced {
+      const char* id;
+      const char* schema;
+      std::string text;
+      TpcwDb* db;
+    };
+    std::vector<Traced> queries = {
+        {"TQ2", "mct", FindQuery(catalog, "TQ2")->mct, &*mct_db},
+        {"TQ6", "mct", FindQuery(catalog, "TQ6")->mct, &*mct_db},
+        {"TQ6", "shallow", FindQuery(catalog, "TQ6")->shallow, &*shallow_db},
+        {"TQ15", "shallow", FindQuery(catalog, "TQ15")->shallow,
+         &*shallow_db},
+    };
+    std::FILE* out = std::fopen("BENCH_trace_scaling.json", "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot create BENCH_trace_scaling.json\n");
+      return 1;
+    }
+    std::fprintf(out, "[");
+    bool first = true;
+    for (const Traced& q : queries) {
+      for (int threads : {1, 8}) {
+        mct::query::QueryTrace trace;
+        auto run = RunQuery(q.db->db.get(), q.db->default_color(), q.text,
+                            false, threads, 1024, &trace);
+        if (!run.ok()) {
+          std::fprintf(stderr, "query %s failed: %s\n", q.id,
+                       run.status().ToString().c_str());
+          return 1;
+        }
+        std::printf("EXPLAIN ANALYZE %s (%s, %d threads)  (%llu results)\n%s\n",
+                    q.id, q.schema, threads,
+                    static_cast<unsigned long long>(run->result_count),
+                    trace.ToText().c_str());
+        if (!first) std::fprintf(out, ",\n");
+        first = false;
+        std::fprintf(out,
+                     "{\"query\": \"%s\", \"schema\": \"%s\", "
+                     "\"threads\": %d, \"trace\": %s}",
+                     q.id, q.schema, threads, trace.ToJson().c_str());
+      }
+    }
+    std::fprintf(out, "]\n");
+    std::fclose(out);
+    std::printf("per-operator JSON written to BENCH_trace_scaling.json\n");
+    return 0;
+  }
   std::printf("=== Scaling (Section 7.2): linear vs quadratic queries ===\n\n");
   std::vector<double> scales{base, base * 2, base * 4};
   struct Point {

@@ -18,6 +18,7 @@
 
 #include "bench_util.h"
 #include "common/strings.h"
+#include "query/trace.h"
 #include "workload/catalog.h"
 #include "workload/runner.h"
 #include "workload/tpcw_db.h"
@@ -82,6 +83,41 @@ int main(int argc, char** argv) {
   }
   shallow_db->db->tree(shallow_db->doc)->EnsureLabels();
   deep_db->db->tree(deep_db->doc)->EnsureLabels();
+
+  if (mct::bench::HasFlag(argc, argv, "--trace")) {
+    // EXPLAIN ANALYZE mode: run each read query once against the MCT schema
+    // with plan tracing on, print the text tree, and mirror the same data
+    // as JSON for downstream tooling.
+    std::FILE* out = std::fopen("BENCH_trace_tpcw.json", "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot create BENCH_trace_tpcw.json\n");
+      return 1;
+    }
+    std::fprintf(out, "[");
+    bool first = true;
+    for (const CatalogQuery& q : TpcwCatalog(data)) {
+      if (q.is_update || q.mct.empty()) continue;
+      mct::query::QueryTrace trace;
+      auto run = RunQuery(mct_db->db.get(), mct_db->default_color(), q.mct,
+                          false, 1, 1024, &trace);
+      if (!run.ok()) {
+        std::fprintf(stderr, "query %s failed: %s\n", q.id.c_str(),
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("EXPLAIN ANALYZE %s  (%llu results)\n%s\n", q.id.c_str(),
+                  static_cast<unsigned long long>(run->result_count),
+                  trace.ToText().c_str());
+      if (!first) std::fprintf(out, ",\n");
+      first = false;
+      std::fprintf(out, "{\"query\": \"%s\", \"trace\": %s}", q.id.c_str(),
+                   trace.ToJson().c_str());
+    }
+    std::fprintf(out, "]\n");
+    std::fclose(out);
+    std::printf("per-operator JSON written to BENCH_trace_tpcw.json\n");
+    return 0;
+  }
 
   std::printf("%-6s %9s %8s %8s %8s %7s %6s\n", "Query", "Results", "MCT",
               "Shallow", "Deep", "Colors", "Trees");

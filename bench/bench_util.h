@@ -50,6 +50,14 @@ inline void PrintRule(int width = 78) {
   std::putchar('\n');
 }
 
+/// True when `flag` (e.g. "--trace") appears in argv.
+inline bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
 }  // namespace mct::bench
 
 #endif  // COLORFUL_XML_BENCH_BENCH_UTIL_H_

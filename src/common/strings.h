@@ -43,6 +43,10 @@ std::string AsciiLower(std::string_view s);
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string EscapeJson(std::string_view s);
+
 }  // namespace mct
 
 #endif  // COLORFUL_XML_COMMON_STRINGS_H_

@@ -1,8 +1,22 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
+
+#include "common/metrics.h"
 
 namespace mct {
+
+namespace {
+
+uint64_t MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   size_t total = num_threads > 0
@@ -25,8 +39,20 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Execute(const std::function<void()>& fn) {
+  static Counter* executes =
+      MetricsRegistry::Global().counter("mct.thread_pool.executes");
+  static Histogram* exec_micros = MetricsRegistry::Global().histogram(
+      "mct.thread_pool.execute_micros");
+  static Histogram* wait_micros =
+      MetricsRegistry::Global().histogram("mct.thread_pool.wait_micros");
+  static Gauge* fanout =
+      MetricsRegistry::Global().gauge("mct.thread_pool.fanout_width");
+  executes->Inc();
+  fanout->Set(static_cast<int64_t>(num_threads()));
+  const auto t0 = std::chrono::steady_clock::now();
   if (workers_.empty()) {
     fn();
+    exec_micros->Observe(MicrosSince(t0));
     return;
   }
   {
@@ -37,9 +63,14 @@ void ThreadPool::Execute(const std::function<void()>& fn) {
   }
   work_cv_.notify_all();
   fn();  // the caller is a worker too
+  // Time the caller spends blocked after its own share of the work is the
+  // pool's load-imbalance signal.
+  const auto wait_t0 = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return pending_ == 0; });
   job_ = nullptr;
+  wait_micros->Observe(MicrosSince(wait_t0));
+  exec_micros->Observe(MicrosSince(t0));
 }
 
 void ThreadPool::WorkerLoop() {
@@ -65,6 +96,9 @@ void ThreadPool::WorkerLoop() {
 
 void ParallelFor(ThreadPool* pool, size_t num_tasks,
                  const std::function<void(size_t)>& body) {
+  static Counter* tasks =
+      MetricsRegistry::Global().counter("mct.thread_pool.tasks");
+  tasks->Inc(num_tasks);
   if (pool == nullptr || pool->num_threads() == 1 || num_tasks <= 1) {
     for (size_t i = 0; i < num_tasks; ++i) body(i);
     return;

@@ -3,11 +3,28 @@
 #include <cassert>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/strings.h"
 
 namespace mct {
 
 namespace {
+
+// Process-wide B+-tree instruments; looked up once, then one relaxed atomic
+// add per event.
+Counter* ProbeCounter() {
+  static Counter* c = MetricsRegistry::Global().counter("mct.bptree.probes");
+  return c;
+}
+Counter* SplitCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("mct.bptree.node_splits");
+  return c;
+}
+Counter* InsertCounter() {
+  static Counter* c = MetricsRegistry::Global().counter("mct.bptree.inserts");
+  return c;
+}
 
 // Raw accessors over a B+-tree page image.
 
@@ -115,6 +132,7 @@ Result<PageId> BPlusTree::NewNode(bool leaf) {
 }
 
 Status BPlusTree::Insert(const IndexKey& key, uint64_t value) {
+  InsertCounter()->Inc();
   MCT_ASSIGN_OR_RETURN(auto split, InsertRec(root_, key, value));
   if (split.has_value()) {
     // Grow a new root above the old one.
@@ -147,6 +165,7 @@ Result<std::optional<BPlusTree::SplitResult>> BPlusTree::InsertRec(
     }
     // Split the full leaf: right half moves to a fresh page, then insert
     // into whichever half owns the position.
+    SplitCounter()->Inc();
     MCT_ASSIGN_OR_RETURN(PageId right_id, NewNode(/*leaf=*/true));
     MCT_ASSIGN_OR_RETURN(PageGuard rguard, pool_->FetchPage(right_id));
     char* rp = rguard.MutableData();
@@ -190,6 +209,7 @@ Result<std::optional<BPlusTree::SplitResult>> BPlusTree::InsertRec(
   }
   // Split the full internal node. Assemble the n+1 separators logically,
   // push the middle one up.
+  SplitCounter()->Inc();
   std::vector<IndexKey> keys;
   std::vector<uint32_t> children;  // children[i] right of keys[i]
   keys.reserve(n + 1);
@@ -223,6 +243,7 @@ Result<std::optional<BPlusTree::SplitResult>> BPlusTree::InsertRec(
 Status BPlusTree::Delete(const IndexKey& key, uint64_t value) {
   // Descend to the first candidate leaf, then walk the leaf chain while the
   // key still matches (duplicates may span leaves).
+  ProbeCounter()->Inc();
   PageId node = root_;
   for (uint32_t level = 1; level < height_; ++level) {
     MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(node));
@@ -251,6 +272,7 @@ Status BPlusTree::Delete(const IndexKey& key, uint64_t value) {
 }
 
 Result<BPlusTree::Iterator> BPlusTree::Seek(const IndexKey& key) const {
+  ProbeCounter()->Inc();
   PageId node = root_;
   for (uint32_t level = 1; level < height_; ++level) {
     MCT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(node));

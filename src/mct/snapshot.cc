@@ -145,6 +145,9 @@ Result<std::unique_ptr<MctDatabase>> OpenSnapshot(const std::string& path) {
     MCT_RETURN_IF_ERROR(db->RegisterColor(name).status());
   }
   MCT_ASSIGN_OR_RETURN(uint32_t nnodes, r.U32());
+  // Bound the count before the pre-allocation below: a bit-flipped header
+  // must produce Corruption, not a multi-gigabyte allocation.
+  if (nnodes > (1u << 27)) return Status::Corruption("bad node count");
   std::vector<NodeId> nodes(nnodes, kInvalidNodeId);
   for (uint32_t i = 0; i < nnodes; ++i) {
     MCT_ASSIGN_OR_RETURN(uint8_t kind, r.U8());

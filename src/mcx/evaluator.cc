@@ -1,10 +1,13 @@
 #include "mcx/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "mcx/parser.h"
+#include "query/trace.h"
 #include "xml/escape.h"
 
 namespace mct::mcx {
@@ -13,6 +16,55 @@ namespace {
 
 using query::ExecStats;
 using query::Table;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Opens a trace group node on construction and closes it (stamping wall
+// time) on destruction, so error returns unwind the trace stack correctly.
+class TraceGroup {
+ public:
+  TraceGroup(query::QueryTrace* t, std::string op, std::string detail)
+      : t_(t) {
+    if (t_ == nullptr) return;
+    node_ = t_->Open(std::move(op), std::move(detail));
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~TraceGroup() {
+    if (t_ == nullptr) return;
+    node_->seconds = SecondsSince(start_);
+    t_->Close(node_);
+  }
+  TraceGroup(const TraceGroup&) = delete;
+  TraceGroup& operator=(const TraceGroup&) = delete;
+
+  bool enabled() const { return node_ != nullptr; }
+  query::OpTrace* node() { return node_; }
+
+ private:
+  query::QueryTrace* t_ = nullptr;
+  query::OpTrace* node_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Suspends trace recording for a scope. Nested per-row FLWORs would bloat
+// the trace by the outer cardinality, so their subplans are discarded.
+class TracePause {
+ public:
+  explicit TracePause(query::QueryTrace* t) : t_(t) {
+    if (t_ != nullptr) t_->Pause();
+  }
+  ~TracePause() {
+    if (t_ != nullptr) t_->Resume();
+  }
+  TracePause(const TracePause&) = delete;
+  TracePause& operator=(const TracePause&) = delete;
+
+ private:
+  query::QueryTrace* t_;
+};
 
 // Flattens an AND tree into conjuncts.
 void FlattenConjuncts(const Expr* e, std::vector<const Expr*>* out) {
@@ -148,6 +200,14 @@ Status Evaluator::ForRows(size_t n, bool parallel_ok,
       morsel_override != 0 ? morsel_override : opts_.morsel_size;
   if (pool_ == nullptr || !parallel_ok || opts_.morsel_size == 0 ||
       n <= morsel) {
+    if (pool_ != nullptr && opts_.morsel_size != 0 && !parallel_ok &&
+        n > morsel) {
+      // A pool exists and the input is large enough to fan out, but the
+      // purity gate forced this loop serial.
+      static Counter* fallbacks =
+          MetricsRegistry::Global().counter("mct.eval.serial_fallbacks");
+      fallbacks->Inc();
+    }
     for (size_t i = 0; i < n; ++i) {
       MCT_RETURN_IF_ERROR(fn(i));
     }
@@ -183,7 +243,16 @@ Result<QueryResult> Evaluator::Run(const ParsedQuery& q) {
       db_->tree(static_cast<ColorId>(c))->EnsureLabels();
     }
   }
-  if (q.is_update) return RunUpdate(q);
+  if (q.is_update) {
+    static Counter* updates =
+        MetricsRegistry::Global().counter("mct.eval.updates");
+    updates->Inc();
+    return RunUpdate(q);
+  }
+  static Counter* queries =
+      MetricsRegistry::Global().counter("mct.eval.queries");
+  queries->Inc();
+  const auto t0 = std::chrono::steady_clock::now();
   QueryResult out;
   Env env;
   if (q.root->kind == Expr::Kind::kFLWOR) {
@@ -194,6 +263,11 @@ Result<QueryResult> Evaluator::Run(const ParsedQuery& q) {
     c.ctx_node = db_->document();
     c.ctx_color = opts_.default_color;
     MCT_ASSIGN_OR_RETURN(out.items, EvalExpr(c, *q.root));
+  }
+  if (exec_.trace != nullptr) {
+    query::OpTrace* root = exec_.trace->mutable_root();
+    root->rows_out = out.items.size();
+    root->seconds = SecondsSince(t0);
   }
   return out;
 }
@@ -213,6 +287,7 @@ Result<std::vector<Item>> Evaluator::EvalFLWOR(const Expr& flwor,
   // expensive part) fans out per row when the key expression is pure; the
   // sort stays serial and stable.
   if (flwor.order_by != nullptr) {
+    const auto sort_t0 = std::chrono::steady_clock::now();
     std::vector<std::pair<std::string, size_t>> keyed(b.table.rows.size());
     MCT_RETURN_IF_ERROR(ForRows(
         b.table.rows.size(), IsPureExpr(*flwor.order_by), [&](size_t i) {
@@ -237,9 +312,15 @@ Result<std::vector<Item>> Evaluator::EvalFLWOR(const Expr& flwor,
     sorted.reserve(b.table.rows.size());
     for (const auto& [_, i] : keyed) sorted.push_back(b.table.rows[i]);
     b.table.rows = std::move(sorted);
+    if (exec_.trace != nullptr) {
+      query::OpTrace* n = exec_.trace->Leaf("ORDER BY");
+      n->rows_in = n->rows_out = b.table.rows.size();
+      n->seconds = SecondsSince(sort_t0);
+    }
   }
   // Return clause: evaluate per row into per-row buffers (parallel when the
   // expression is pure), then concatenate in row order.
+  const auto ret_t0 = std::chrono::steady_clock::now();
   std::vector<std::vector<Item>> per_row(b.table.rows.size());
   MCT_RETURN_IF_ERROR(
       ForRows(b.table.rows.size(), IsPureExpr(*flwor.ret), [&](size_t i) {
@@ -254,6 +335,12 @@ Result<std::vector<Item>> Evaluator::EvalFLWOR(const Expr& flwor,
   out.reserve(total);
   for (auto& items : per_row) {
     for (auto& item : items) out.push_back(std::move(item));
+  }
+  if (exec_.trace != nullptr) {
+    query::OpTrace* n = exec_.trace->Leaf("RETURN");
+    n->rows_in = b.table.rows.size();
+    n->rows_out = total;
+    n->seconds = SecondsSince(ret_t0);
   }
   return out;
 }
@@ -295,6 +382,12 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
         }
       }
       acc.cols = {ColumnInfo{opts_.default_color, true, ""}};
+      if (exec_.trace != nullptr) {
+        query::OpTrace* n =
+            exec_.trace->Leaf("DISTINCT VALUES", binding.var);
+        n->rows_in = items.size();
+        n->rows_out = acc.table.num_rows();
+      }
       continue;
     }
     if (pe.kind != Expr::Kind::kPath) {
@@ -310,6 +403,7 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
           return Status::InvalidArgument(
               "axis step from atomic-valued variable " + path.start_var);
         }
+        TraceGroup g(exec_.trace, "FOR", binding.var);
         MCT_ASSIGN_OR_RETURN(
             acc, EvalSteps(std::move(acc), col, path.steps, binding.var, env));
       } else if (env.contains(path.start_var)) {
@@ -322,9 +416,12 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
         base.table.vars = {path.start_var};
         base.table.rows = {{outer.node}};
         base.cols = {ColumnInfo{opts_.default_color, false, ""}};
-        MCT_ASSIGN_OR_RETURN(
-            Bindings tb,
-            EvalSteps(std::move(base), 0, path.steps, binding.var, env));
+        Bindings tb;
+        {
+          TraceGroup g(exec_.trace, "FOR", binding.var);
+          MCT_ASSIGN_OR_RETURN(
+              tb, EvalSteps(std::move(base), 0, path.steps, binding.var, env));
+        }
         int keep = tb.table.ColumnOf(binding.var);
         tb.table = query::Project(tb.table, {keep});
         tb.cols = {tb.cols[static_cast<size_t>(keep)]};
@@ -362,10 +459,13 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
         seeded.table.vars.push_back("#doc");
         for (auto& row : seeded.table.rows) row.push_back(db_->document());
         seeded.cols.push_back(ColumnInfo{opts_.default_color, false, ""});
-        MCT_ASSIGN_OR_RETURN(
-            acc,
-            EvalSteps(std::move(seeded), doc_col, path.steps, binding.var,
-                      env));
+        {
+          TraceGroup g(exec_.trace, "FOR", binding.var);
+          MCT_ASSIGN_OR_RETURN(
+              acc,
+              EvalSteps(std::move(seeded), doc_col, path.steps, binding.var,
+                        env));
+        }
         // Drop the #doc helper column.
         std::vector<int> keep_cols;
         for (size_t i = 0; i < acc.table.num_cols(); ++i) {
@@ -387,9 +487,12 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
       base.table.vars = {"#doc"};
       base.table.rows = {{db_->document()}};
       base.cols = {ColumnInfo{opts_.default_color, false, ""}};
-      MCT_ASSIGN_OR_RETURN(
-          Bindings tb,
-          EvalSteps(std::move(base), 0, path.steps, binding.var, env));
+      Bindings tb;
+      {
+        TraceGroup g(exec_.trace, "FOR", binding.var);
+        MCT_ASSIGN_OR_RETURN(
+            tb, EvalSteps(std::move(base), 0, path.steps, binding.var, env));
+      }
       int keep = tb.table.ColumnOf(binding.var);
       tb.table = query::Project(tb.table, {keep});
       tb.cols = {tb.cols[static_cast<size_t>(keep)]};
@@ -450,6 +553,12 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
         if (seen.insert(v).second) dedup.rows.push_back(row);
       }
       if (opts_.stats != nullptr) ++opts_.stats->dup_elims;
+      if (exec_.trace != nullptr) {
+        query::OpTrace* n =
+            exec_.trace->Leaf("DISTINCT VALUES", binding.var);
+        n->rows_in = acc.table.num_rows();
+        n->rows_out = dedup.num_rows();
+      }
       acc.table = std::move(dedup);
       acc.cols[static_cast<size_t>(col)].atomic = true;
     }
@@ -501,6 +610,7 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
       case Axis::kDescendantOrSelf: {
         next = query::ExpandDescendants(db_, in.table, cur, c, step.tag,
                                         col_name, ctx);
+        size_t desc_rows = next.rows.size();
         for (const auto& row : in.table.rows) {
           NodeId n = row[static_cast<size_t>(cur)];
           if (db_->Kind(n) == xml::NodeKind::kElement &&
@@ -509,6 +619,14 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
             copy.push_back(n);
             next.rows.push_back(std::move(copy));
           }
+        }
+        // The descendant expansion above already closed its trace record;
+        // account for the self rows merged in afterwards so the per-group
+        // row chain stays consistent.
+        if (exec_.trace != nullptr) {
+          query::OpTrace* n = exec_.trace->Leaf("SELF MERGE");
+          n->rows_in = desc_rows;
+          n->rows_out = next.rows.size();
         }
         break;
       }
@@ -576,6 +694,7 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
     }
 
     for (const auto& pred : step.predicates) {
+      const auto pred_t0 = std::chrono::steady_clock::now();
       // Positional predicate [N]: keep the N-th (1-based) result of this
       // step per context row (rows grouped by every column but the new
       // one).
@@ -596,6 +715,13 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
         Note(StrFormat("POSITION [%lld]  (%zu -> %zu rows)",
                        static_cast<long long>(want), in.table.num_rows(),
                        filtered.num_rows()));
+        if (exec_.trace != nullptr) {
+          query::OpTrace* n = exec_.trace->Leaf(
+              "POSITION", StrFormat("[%lld]", static_cast<long long>(want)));
+          n->rows_in = in.table.num_rows();
+          n->rows_out = filtered.num_rows();
+          n->seconds = SecondsSince(pred_t0);
+        }
         in.table = std::move(filtered);
         continue;
       }
@@ -647,6 +773,12 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
         }
         Note(StrFormat("INDEX PROBE predicate  (%zu -> %zu rows)",
                        in.table.num_rows(), filtered.num_rows()));
+        if (exec_.trace != nullptr) {
+          query::OpTrace* n = exec_.trace->Leaf("INDEX PROBE", "predicate");
+          n->rows_in = in.table.num_rows();
+          n->rows_out = filtered.num_rows();
+          n->seconds = SecondsSince(pred_t0);
+        }
       } else {
         // Per-row predicate evaluation: the hot path of scan-filter
         // queries. Pure predicates fan out across the pool; the keep mask
@@ -669,6 +801,12 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
         }
         Note(StrFormat("FILTER predicate  (%zu -> %zu rows)",
                        in.table.num_rows(), filtered.num_rows()));
+        if (exec_.trace != nullptr) {
+          query::OpTrace* tn = exec_.trace->Leaf("FILTER", "predicate");
+          tn->rows_in = in.table.num_rows();
+          tn->rows_out = filtered.num_rows();
+          tn->seconds = SecondsSince(pred_t0);
+        }
       }
       in.table = std::move(filtered);
     }
@@ -700,6 +838,7 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
                                               const Expr* conjunct,
                                               const Env& env) {
   ExecStats* stats = opts_.stats;
+  const auto join_t0 = std::chrono::steady_clock::now();
   Bindings out;
   out.table.vars = left.table.vars;
   out.table.vars.insert(out.table.vars.end(), right.table.vars.begin(),
@@ -732,6 +871,16 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
     out.table.rows.push_back(std::move(row));
   };
 
+  // Records the chosen join strategy as one trace leaf; rows_in counts both
+  // inputs, mirroring the physical join operators.
+  auto trace_join = [&](const char* op) {
+    if (exec_.trace == nullptr) return;
+    query::OpTrace* n = exec_.trace->Leaf(op);
+    n->rows_in = left.table.num_rows() + right.table.num_rows();
+    n->rows_out = out.table.num_rows();
+    n->seconds = SecondsSince(join_t0);
+  };
+
   if (conjunct == nullptr) {
     // No connecting condition: Cartesian product.
     if (stats != nullptr) ++stats->nested_loop_joins;
@@ -741,6 +890,7 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
     Note(StrFormat("CARTESIAN PRODUCT  (%zu x %zu -> %zu rows)",
                    left.table.num_rows(), right.table.num_rows(),
                    out.table.num_rows()));
+    trace_join("CARTESIAN PRODUCT");
     return out;
   }
 
@@ -783,6 +933,7 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
     Note(StrFormat("IDREFS VALUE JOIN  (%zu x %zu -> %zu rows)",
                    left.table.num_rows(), right.table.num_rows(),
                    out.table.num_rows()));
+    trace_join("IDREFS VALUE JOIN");
     return out;
   }
 
@@ -832,6 +983,7 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
     Note(StrFormat("HASH VALUE JOIN  (%zu x %zu -> %zu rows)",
                    left.table.num_rows(), right.table.num_rows(),
                    out.table.num_rows()));
+    trace_join("HASH VALUE JOIN");
     return out;
   }
 
@@ -883,6 +1035,7 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
   Note(StrFormat("NESTED-LOOP INEQUALITY JOIN  (%zu x %zu -> %zu rows)",
                  left.table.num_rows(), right.table.num_rows(),
                  out.table.num_rows()));
+  trace_join("NESTED-LOOP INEQUALITY JOIN");
   return out;
 }
 
@@ -890,6 +1043,7 @@ Status Evaluator::ApplyResidual(Bindings* b, const Expr& conjunct,
                                 const Env& env) {
   // Residual where-conjuncts filter row by row; pure conjuncts fan out
   // across the pool with an order-preserving keep mask.
+  const auto t0 = std::chrono::steady_clock::now();
   const size_t n = b->table.rows.size();
   std::vector<char> keep(n, 0);
   MCT_RETURN_IF_ERROR(ForRows(n, IsPureExpr(conjunct), [&](size_t i) {
@@ -905,6 +1059,12 @@ Status Evaluator::ApplyResidual(Bindings* b, const Expr& conjunct,
   filtered.vars = b->table.vars;
   for (size_t i = 0; i < n; ++i) {
     if (keep[i]) filtered.rows.push_back(std::move(b->table.rows[i]));
+  }
+  if (exec_.trace != nullptr) {
+    query::OpTrace* tn = exec_.trace->Leaf("FILTER", "residual");
+    tn->rows_in = n;
+    tn->rows_out = filtered.num_rows();
+    tn->seconds = SecondsSince(t0);
   }
   b->table = std::move(filtered);
   return Status::OK();
@@ -1148,6 +1308,10 @@ Result<std::vector<Item>> Evaluator::EvalExpr(const EvalCtx& c,
               ColumnItem(*c.b, *c.row, static_cast<int>(i));
         }
       }
+      // A nested FLWOR runs once per outer row; recording every per-row
+      // subplan would bloat the trace by the outer cardinality, so its
+      // physical operators record into the discard sink instead.
+      TracePause pause(exec_.trace);
       return EvalFLWOR(e, child_env);
     }
     case Expr::Kind::kSequence: {

@@ -71,6 +71,11 @@ struct EvalOptions {
   /// When set, the evaluator appends one line per physical operator it
   /// executes (EXPLAIN ANALYZE-style plan trace).
   std::vector<std::string>* plan = nullptr;
+  /// When set, the evaluator records a structured per-operator trace tree
+  /// (rows, morsels, wall time, color transitions) into this sink; render
+  /// it with QueryTrace::ToText()/ToJson(). Null disables recording at one
+  /// branch per operator.
+  query::QueryTrace* trace = nullptr;
   /// Total execution threads: 1 = serial (default, no pool is created),
   /// 0 = hardware concurrency, N = exactly N including the caller.
   int num_threads = 1;
@@ -87,7 +92,7 @@ class Evaluator {
         pool_(opts.num_threads != 1
                   ? std::make_unique<ThreadPool>(opts.num_threads)
                   : nullptr),
-        exec_(opts.stats, pool_.get(), opts.morsel_size) {}
+        exec_(opts.stats, pool_.get(), opts.morsel_size, opts.trace) {}
 
   /// Runs a query or update.
   Result<QueryResult> Run(const ParsedQuery& q);

@@ -7,6 +7,7 @@
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "query/trace.h"
 
 namespace mct::query {
 
@@ -54,13 +55,14 @@ bool TagIdMatches(const MctDatabase& db, NodeId n, const std::string& tag,
 // per-morsel row buffers in morsel index order — so the output row order is
 // byte-identical to the serial run. Per-morsel ExecStats are merged into
 // ctx.stats after the fan-out; the hot path never touches an atomic.
-// Bodies may only perform const reads of shared state.
+// Bodies may only perform const reads of shared state. Returns the number
+// of morsels claimed (1 for a serial run) for the plan trace.
 template <typename Body>
-void MorselRun(const ExecContext& ctx, size_t n, Table* out,
-               const Body& body) {
+size_t MorselRun(const ExecContext& ctx, size_t n, Table* out,
+                 const Body& body) {
   if (ctx.pool == nullptr || ctx.morsel_size == 0 || n <= ctx.morsel_size) {
     body(0, n, &out->rows, ctx.stats);
-    return;
+    return n > 0 ? 1 : 0;
   }
   const size_t num_morsels = (n + ctx.morsel_size - 1) / ctx.morsel_size;
   std::vector<std::vector<Row>> parts(num_morsels);
@@ -80,21 +82,24 @@ void MorselRun(const ExecContext& ctx, size_t n, Table* out,
   if (ctx.stats != nullptr) {
     for (const ExecStats& s : part_stats) ctx.stats->Merge(s);
   }
+  return num_morsels;
 }
 
 // Morsel fan-out for slot-writing loops (each index writes its own output
 // slot, nothing is appended): just splits the range across workers.
+// Returns the number of morsels claimed, as MorselRun does.
 template <typename Body>
-void ForEachMorsel(const ExecContext& ctx, size_t n, const Body& body) {
+size_t ForEachMorsel(const ExecContext& ctx, size_t n, const Body& body) {
   if (ctx.pool == nullptr || ctx.morsel_size == 0 || n <= ctx.morsel_size) {
     body(0, n);
-    return;
+    return n > 0 ? 1 : 0;
   }
   const size_t num_morsels = (n + ctx.morsel_size - 1) / ctx.morsel_size;
   ParallelFor(ctx.pool, num_morsels, [&](size_t m) {
     const size_t begin = m * ctx.morsel_size;
     body(begin, std::min(n, begin + ctx.morsel_size));
   });
+  return num_morsels;
 }
 
 }  // namespace
@@ -126,8 +131,14 @@ std::optional<std::string> ExtractKey(const MctDatabase& db, NodeId node,
 
 Table TagScanTable(MctDatabase* db, ColorId color, const std::string& var,
                    const std::string& tag, const ExecContext& ctx) {
+  OpScope tr(ctx, "TAG SCAN", 0);
   std::vector<NodeId> nodes = db->TagScan(color, tag);
   if (ctx.stats != nullptr) ctx.stats->rows_scanned += nodes.size();
+  if (tr.enabled()) {
+    tr.set_detail(StrFormat("{%s}%s -> %s", db->ColorName(color).c_str(),
+                            tag.c_str(), var.c_str()));
+    tr.Finish(nodes.size(), nodes.empty() ? 0 : 1, nodes.size());
+  }
   return Table::FromNodes(var, nodes);
 }
 
@@ -135,26 +146,37 @@ Table ExpandChildren(MctDatabase* db, const Table& in, int col, ColorId color,
                      const std::string& tag, const std::string& out_var,
                      const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
+  OpScope tr(ctx, "CHILD STEP", in.rows.size());
+  if (tr.enabled()) {
+    tr.set_detail(StrFormat("{%s}child::%s -> %s",
+                            db->ColorName(color).c_str(),
+                            tag.empty() ? "node()" : tag.c_str(),
+                            out_var.c_str()));
+  }
   Table out = WithExtraColumn(in, out_var);
   const ColoredTree* t = db->tree(color);
   NameId tag_id = TagFilterId(*db, tag);
-  if (!tag.empty() && tag_id == kInvalidNameId) return out;  // unknown tag
+  if (!tag.empty() && tag_id == kInvalidNameId) {
+    if (tr.enabled()) tr.Finish(0, 0, 0);
+    return out;  // unknown tag
+  }
   const MctDatabase& cdb = *db;
-  MorselRun(ctx, in.rows.size(), &out,
-            [&](size_t begin, size_t end, std::vector<Row>* rows,
-                ExecStats*) {
-              for (size_t i = begin; i < end; ++i) {
-                const Row& row = in.rows[i];
-                NodeId n = row[static_cast<size_t>(col)];
-                if (!cdb.Colors(n).Has(color)) continue;
-                t->ForEachChild(n, [&](NodeId c) {
-                  if (cdb.Kind(c) == xml::NodeKind::kElement &&
-                      TagIdMatches(cdb, c, tag, tag_id)) {
-                    EmitRow(rows, row, c);
-                  }
-                });
-              }
-            });
+  size_t morsels = MorselRun(
+      ctx, in.rows.size(), &out,
+      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
+        for (size_t i = begin; i < end; ++i) {
+          const Row& row = in.rows[i];
+          NodeId n = row[static_cast<size_t>(col)];
+          if (!cdb.Colors(n).Has(color)) continue;
+          t->ForEachChild(n, [&](NodeId c) {
+            if (cdb.Kind(c) == xml::NodeKind::kElement &&
+                TagIdMatches(cdb, c, tag, tag_id)) {
+              EmitRow(rows, row, c);
+            }
+          });
+        }
+      });
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels);
   return out;
 }
 
@@ -162,10 +184,20 @@ Table ExpandDescendants(MctDatabase* db, const Table& in, int col,
                         ColorId color, const std::string& tag,
                         const std::string& out_var, const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
+  OpScope tr(ctx, "DESCENDANT STEP", in.rows.size());
+  if (tr.enabled()) {
+    tr.set_detail(StrFormat("{%s}descendant::%s -> %s",
+                            db->ColorName(color).c_str(),
+                            tag.empty() ? "node()" : tag.c_str(),
+                            out_var.c_str()));
+  }
   Table out = WithExtraColumn(in, out_var);
   std::vector<NodeId> descs = db->TagScan(color, tag);
   if (ctx.stats != nullptr) ctx.stats->rows_scanned += descs.size();
-  if (descs.empty() || in.rows.empty()) return out;
+  if (descs.empty() || in.rows.empty()) {
+    if (tr.enabled()) tr.Finish(0, 0, descs.size());
+    return out;
+  }
 
   ColoredTree* t = db->tree(color);
   t->EnsureLabels();
@@ -192,7 +224,7 @@ Table ExpandDescendants(MctDatabase* db, const Table& in, int col,
   // given descendant depends only on its start label, so each morsel of the
   // descendant stream can rebuild it independently (one O(|ancs|) replay
   // per morsel) and emit exactly the serial subsequence.
-  MorselRun(
+  size_t morsels = MorselRun(
       ctx, descs.size(), &out,
       [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
         std::vector<const Anc*> stack;
@@ -223,6 +255,7 @@ Table ExpandDescendants(MctDatabase* db, const Table& in, int col,
   // Re-establish row order of the left input (group expansion visits in
   // descendant order): callers that need input order should sort; FLWOR
   // semantics here only require the binding set, so we keep merge order.
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels, descs.size());
   return out;
 }
 
@@ -230,23 +263,33 @@ Table ExpandParent(MctDatabase* db, const Table& in, int col, ColorId color,
                    const std::string& tag, const std::string& out_var,
                    const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
+  OpScope tr(ctx, "PARENT STEP", in.rows.size());
+  if (tr.enabled()) {
+    tr.set_detail(StrFormat("{%s}parent::%s -> %s",
+                            db->ColorName(color).c_str(),
+                            tag.empty() ? "node()" : tag.c_str(),
+                            out_var.c_str()));
+  }
   Table out = WithExtraColumn(in, out_var);
   NameId tag_id = TagFilterId(*db, tag);
-  if (!tag.empty() && tag_id == kInvalidNameId) return out;
+  if (!tag.empty() && tag_id == kInvalidNameId) {
+    if (tr.enabled()) tr.Finish(0, 0, 0);
+    return out;
+  }
   const MctDatabase& cdb = *db;
-  MorselRun(ctx, in.rows.size(), &out,
-            [&](size_t begin, size_t end, std::vector<Row>* rows,
-                ExecStats*) {
-              for (size_t i = begin; i < end; ++i) {
-                const Row& row = in.rows[i];
-                auto p = cdb.Parent(row[static_cast<size_t>(col)], color);
-                if (p.has_value() &&
-                    cdb.Kind(*p) == xml::NodeKind::kElement &&
-                    TagIdMatches(cdb, *p, tag, tag_id)) {
-                  EmitRow(rows, row, *p);
-                }
-              }
-            });
+  size_t morsels = MorselRun(
+      ctx, in.rows.size(), &out,
+      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
+        for (size_t i = begin; i < end; ++i) {
+          const Row& row = in.rows[i];
+          auto p = cdb.Parent(row[static_cast<size_t>(col)], color);
+          if (p.has_value() && cdb.Kind(*p) == xml::NodeKind::kElement &&
+              TagIdMatches(cdb, *p, tag, tag_id)) {
+            EmitRow(rows, row, *p);
+          }
+        }
+      });
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels);
   return out;
 }
 
@@ -254,48 +297,67 @@ Table ExpandAncestors(MctDatabase* db, const Table& in, int col, ColorId color,
                       const std::string& tag, const std::string& out_var,
                       const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
+  OpScope tr(ctx, "ANCESTOR STEP", in.rows.size());
+  if (tr.enabled()) {
+    tr.set_detail(StrFormat("{%s}ancestor::%s -> %s",
+                            db->ColorName(color).c_str(),
+                            tag.empty() ? "node()" : tag.c_str(),
+                            out_var.c_str()));
+  }
   Table out = WithExtraColumn(in, out_var);
   NameId tag_id = TagFilterId(*db, tag);
-  if (!tag.empty() && tag_id == kInvalidNameId) return out;
+  if (!tag.empty() && tag_id == kInvalidNameId) {
+    if (tr.enabled()) tr.Finish(0, 0, 0);
+    return out;
+  }
   const ColoredTree* t = db->tree(color);
   const MctDatabase& cdb = *db;
-  MorselRun(ctx, in.rows.size(), &out,
-            [&](size_t begin, size_t end, std::vector<Row>* rows,
-                ExecStats*) {
-              for (size_t i = begin; i < end; ++i) {
-                const Row& row = in.rows[i];
-                NodeId n = row[static_cast<size_t>(col)];
-                if (!t->Contains(n)) continue;
-                for (NodeId p = t->Parent(n); p != kInvalidNodeId;
-                     p = t->Parent(p)) {
-                  if (cdb.Kind(p) == xml::NodeKind::kElement &&
-                      TagIdMatches(cdb, p, tag, tag_id)) {
-                    EmitRow(rows, row, p);
-                  }
-                }
-              }
-            });
+  size_t morsels = MorselRun(
+      ctx, in.rows.size(), &out,
+      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
+        for (size_t i = begin; i < end; ++i) {
+          const Row& row = in.rows[i];
+          NodeId n = row[static_cast<size_t>(col)];
+          if (!t->Contains(n)) continue;
+          for (NodeId p = t->Parent(n); p != kInvalidNodeId;
+               p = t->Parent(p)) {
+            if (cdb.Kind(p) == xml::NodeKind::kElement &&
+                TagIdMatches(cdb, p, tag, tag_id)) {
+              EmitRow(rows, row, p);
+            }
+          }
+        }
+      });
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels);
   return out;
 }
 
 Table CrossTreeJoin(MctDatabase* db, const Table& in, int col, ColorId to_color,
                     const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->cross_tree_joins;
+  OpScope tr(ctx, "CROSS-TREE JOIN", in.rows.size());
+  if (tr.enabled()) {
+    tr.set_detail(StrFormat("%s -> {%s}",
+                            in.vars[static_cast<size_t>(col)].c_str(),
+                            db->ColorName(to_color).c_str()));
+    tr.AddColorTransition();
+  }
   Table out;
   out.vars = in.vars;
   // Bulk identity join: follow the back-links from the shared node record
   // to the structural node of the target color (Section 6.2); rows whose
   // node lacks the color are dropped.
   const ColoredTree* t = db->tree(to_color);
-  MorselRun(ctx, in.rows.size(), &out,
-            [&](size_t begin, size_t end, std::vector<Row>* rows,
-                ExecStats*) {
-              for (size_t i = begin; i < end; ++i) {
-                if (t->Contains(in.rows[i][static_cast<size_t>(col)])) {
-                  rows->push_back(in.rows[i]);
-                }
-              }
-            });
+  size_t morsels = MorselRun(
+      ctx, in.rows.size(), &out,
+      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
+        for (size_t i = begin; i < end; ++i) {
+          if (t->Contains(in.rows[i][static_cast<size_t>(col)])) {
+            rows->push_back(in.rows[i]);
+          }
+        }
+      });
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels);
   return out;
 }
 
@@ -303,6 +365,12 @@ Table StructuralSemiJoin(MctDatabase* db, const Table& in, int col,
                          ColorId color, const std::vector<NodeId>& anc_set,
                          const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
+  OpScope tr(ctx, "STRUCTURAL SEMI-JOIN", in.rows.size());
+  if (tr.enabled()) {
+    tr.set_detail(StrFormat("{%s} %llu ancestors",
+                            db->ColorName(color).c_str(),
+                            static_cast<unsigned long long>(anc_set.size())));
+  }
   Table out;
   out.vars = in.vars;
   ColoredTree* t = db->tree(color);
@@ -327,7 +395,7 @@ Table StructuralSemiJoin(MctDatabase* db, const Table& in, int col,
     running = std::max(running, ivs[i].end);
     prefix_max_end[i] = running;
   }
-  MorselRun(
+  size_t morsels = MorselRun(
       ctx, in.rows.size(), &out,
       [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
         for (size_t i = begin; i < end; ++i) {
@@ -349,6 +417,7 @@ Table StructuralSemiJoin(MctDatabase* db, const Table& in, int col,
           }
         }
       });
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels);
   return out;
 }
 
@@ -356,6 +425,12 @@ Table HashValueJoin(MctDatabase* db, const Table& left, int lcol,
                     const KeySpec& lkey, const Table& right, int rcol,
                     const KeySpec& rkey, const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->value_joins;
+  OpScope tr(ctx, "HASH VALUE JOIN", left.rows.size() + right.rows.size());
+  if (tr.enabled()) {
+    tr.set_detail(StrFormat("%s = %s",
+                            left.vars[static_cast<size_t>(lcol)].c_str(),
+                            right.vars[static_cast<size_t>(rcol)].c_str()));
+  }
   Table out;
   out.vars = left.vars;
   out.vars.insert(out.vars.end(), right.vars.begin(), right.vars.end());
@@ -374,7 +449,7 @@ Table HashValueJoin(MctDatabase* db, const Table& left, int lcol,
     auto k = ExtractKey(cdb, build.rows[i][static_cast<size_t>(bcol)], bkey);
     if (k.has_value()) ht[*k].push_back(i);
   }
-  MorselRun(
+  size_t morsels = MorselRun(
       ctx, probe.rows.size(), &out,
       [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
         for (size_t pi = begin; pi < end; ++pi) {
@@ -395,6 +470,7 @@ Table HashValueJoin(MctDatabase* db, const Table& left, int lcol,
           }
         }
       });
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels, probe.rows.size());
   return out;
 }
 
@@ -402,6 +478,12 @@ Table IdrefsJoin(MctDatabase* db, const Table& left, int lcol,
                  const KeySpec& lkey, const Table& right, int rcol,
                  const KeySpec& rkey, const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->value_joins;
+  OpScope tr(ctx, "IDREFS VALUE JOIN", left.rows.size() + right.rows.size());
+  if (tr.enabled()) {
+    tr.set_detail(StrFormat("%s ~ %s",
+                            left.vars[static_cast<size_t>(lcol)].c_str(),
+                            right.vars[static_cast<size_t>(rcol)].c_str()));
+  }
   Table out;
   out.vars = left.vars;
   out.vars.insert(out.vars.end(), right.vars.begin(), right.vars.end());
@@ -413,7 +495,7 @@ Table IdrefsJoin(MctDatabase* db, const Table& left, int lcol,
     auto k = ExtractKey(cdb, right.rows[i][static_cast<size_t>(rcol)], rkey);
     if (k.has_value()) ht[*k].push_back(i);
   }
-  MorselRun(
+  size_t morsels = MorselRun(
       ctx, left.rows.size(), &out,
       [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
         for (size_t li = begin; li < end; ++li) {
@@ -432,6 +514,7 @@ Table IdrefsJoin(MctDatabase* db, const Table& left, int lcol,
           }
         }
       });
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels, left.rows.size());
   return out;
 }
 
@@ -441,10 +524,17 @@ Table NestedLoopJoin(MctDatabase* db, const Table& left, const Table& right,
                      const ExecContext& ctx) {
   (void)db;
   if (ctx.stats != nullptr) ++ctx.stats->nested_loop_joins;
+  OpScope tr(ctx, "NESTED-LOOP JOIN",
+             left.rows.size() + right.rows.size());
+  if (tr.enabled()) {
+    tr.set_detail(StrFormat("%llu x %llu",
+                            static_cast<unsigned long long>(left.rows.size()),
+                            static_cast<unsigned long long>(right.rows.size())));
+  }
   Table out;
   out.vars = left.vars;
   out.vars.insert(out.vars.end(), right.vars.begin(), right.vars.end());
-  MorselRun(
+  size_t morsels = MorselRun(
       ctx, left.rows.size(), &out,
       [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
         for (size_t i = begin; i < end; ++i) {
@@ -458,6 +548,7 @@ Table NestedLoopJoin(MctDatabase* db, const Table& left, const Table& right,
           }
         }
       });
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels, left.rows.size());
   return out;
 }
 
@@ -467,11 +558,17 @@ Table IdentityJoin(MctDatabase* db, const Table& left, int lcol,
   if (ctx.stats != nullptr) {
     ++ctx.stats->structural_joins;  // identity = label equality
   }
+  OpScope tr(ctx, "IDENTITY JOIN", left.rows.size() + right.rows.size());
+  if (tr.enabled()) {
+    tr.set_detail(StrFormat("%s is %s",
+                            left.vars[static_cast<size_t>(lcol)].c_str(),
+                            right.vars[static_cast<size_t>(rcol)].c_str()));
+  }
   Table out;
   out.vars = left.vars;
   out.vars.insert(out.vars.end(), right.vars.begin(), right.vars.end());
   const auto groups = GroupByNode(right, rcol);
-  MorselRun(
+  size_t morsels = MorselRun(
       ctx, left.rows.size(), &out,
       [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
         for (size_t li = begin; li < end; ++li) {
@@ -486,21 +583,25 @@ Table IdentityJoin(MctDatabase* db, const Table& left, int lcol,
           }
         }
       });
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels, left.rows.size());
   return out;
 }
 
 Table FilterRows(const Table& in,
                  const std::function<bool(const std::vector<NodeId>&)>& pred,
                  const ExecContext& ctx) {
+  OpScope tr(ctx, "FILTER", in.rows.size());
   Table out;
   out.vars = in.vars;
-  MorselRun(ctx, in.rows.size(), &out,
-            [&](size_t begin, size_t end, std::vector<Row>* rows,
-                ExecStats*) {
-              for (size_t i = begin; i < end; ++i) {
-                if (pred(in.rows[i])) rows->push_back(in.rows[i]);
-              }
-            });
+  size_t morsels =
+      MorselRun(ctx, in.rows.size(), &out,
+                [&](size_t begin, size_t end, std::vector<Row>* rows,
+                    ExecStats*) {
+                  for (size_t i = begin; i < end; ++i) {
+                    if (pred(in.rows[i])) rows->push_back(in.rows[i]);
+                  }
+                });
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels);
   return out;
 }
 
@@ -519,6 +620,7 @@ void DupKey(const Row& row, const std::vector<int>& cols, std::string* key) {
 Table DupElim(const Table& in, const std::vector<int>& cols,
               const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->dup_elims;
+  OpScope tr(ctx, "DUP ELIM", in.rows.size());
   Table out;
   out.vars = in.vars;
   std::unordered_set<std::string> seen;
@@ -527,12 +629,14 @@ Table DupElim(const Table& in, const std::vector<int>& cols,
     DupKey(row, cols, &key);
     if (seen.insert(key).second) out.rows.push_back(row);
   }
+  if (tr.enabled()) tr.Finish(out.num_rows(), in.rows.empty() ? 0 : 1, 0);
   return out;
 }
 
 Table DupElim(Table&& in, const std::vector<int>& cols,
               const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->dup_elims;
+  OpScope tr(ctx, "DUP ELIM", in.rows.size());
   Table out;
   out.vars = std::move(in.vars);
   std::unordered_set<std::string> seen;
@@ -541,6 +645,7 @@ Table DupElim(Table&& in, const std::vector<int>& cols,
     DupKey(row, cols, &key);
     if (seen.insert(key).second) out.rows.push_back(std::move(row));
   }
+  if (tr.enabled()) tr.Finish(out.num_rows(), in.rows.empty() ? 0 : 1, 0);
   in.rows.clear();
   return out;
 }
@@ -587,9 +692,14 @@ Table SortRowsBy(const MctDatabase& db, const Table& in, int col,
   // Decorate-sort: extract every key once (morsel-parallel — extraction is
   // the expensive part), then a serial stable sort of row indices, so the
   // result is identical to sorting rows with per-comparison extraction.
+  OpScope tr(ctx, "SORT", in.rows.size());
+  if (tr.enabled()) {
+    tr.set_detail(StrFormat("by %s%s", in.vars[static_cast<size_t>(col)].c_str(),
+                            descending ? " desc" : ""));
+  }
   const size_t n = in.rows.size();
   std::vector<std::string> keys(n);
-  ForEachMorsel(ctx, n, [&](size_t begin, size_t end) {
+  size_t morsels = ForEachMorsel(ctx, n, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       keys[i] =
           ExtractKey(db, in.rows[i][static_cast<size_t>(col)], key).value_or("");
@@ -610,6 +720,7 @@ Table SortRowsBy(const MctDatabase& db, const Table& in, int col,
   out.vars = in.vars;
   out.rows.reserve(n);
   for (size_t i : order) out.rows.push_back(in.rows[i]);
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels);
   return out;
 }
 

@@ -21,6 +21,8 @@ class ThreadPool;
 
 namespace mct::query {
 
+class QueryTrace;
+
 struct Table {
   /// Column names (variable names like "$m"; internal step columns use
   /// positional names).
@@ -95,11 +97,16 @@ struct ExecContext {
   ThreadPool* pool = nullptr;
   /// Rows per morsel; inputs at or below this size run serially.
   size_t morsel_size = 1024;
+  /// Plan trace sink (see query/trace.h); nullptr disables tracing. Each
+  /// operator checks this exactly once, so a disabled trace costs one
+  /// branch per operator call, never per row.
+  QueryTrace* trace = nullptr;
 
   ExecContext() = default;
   ExecContext(ExecStats* s) : stats(s) {}  // NOLINT: implicit by design
-  ExecContext(ExecStats* s, ThreadPool* p, size_t morsel)
-      : stats(s), pool(p), morsel_size(morsel) {}
+  ExecContext(ExecStats* s, ThreadPool* p, size_t morsel,
+              QueryTrace* t = nullptr)
+      : stats(s), pool(p), morsel_size(morsel), trace(t) {}
 };
 
 }  // namespace mct::query

@@ -1,0 +1,111 @@
+#include "query/trace.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace mct::query {
+
+QueryTrace::QueryTrace() {
+  root_.op = "QUERY";
+  stack_.push_back(&root_);
+}
+
+OpTrace* QueryTrace::Open(std::string op, std::string detail) {
+  if (paused_ > 0) return &scratch_;
+  auto node = std::make_unique<OpTrace>();
+  node->op = std::move(op);
+  node->detail = std::move(detail);
+  OpTrace* ptr = node.get();
+  stack_.back()->children.push_back(std::move(node));
+  stack_.push_back(ptr);
+  return ptr;
+}
+
+void QueryTrace::Close(const OpTrace* node) {
+  if (paused_ > 0) return;
+  assert(stack_.size() > 1 && stack_.back() == node);
+  (void)node;
+  if (stack_.size() > 1) stack_.pop_back();
+}
+
+OpTrace* QueryTrace::Leaf(std::string op, std::string detail) {
+  if (paused_ > 0) return &scratch_;
+  auto node = std::make_unique<OpTrace>();
+  node->op = std::move(op);
+  node->detail = std::move(detail);
+  OpTrace* ptr = node.get();
+  stack_.back()->children.push_back(std::move(node));
+  return ptr;
+}
+
+uint64_t QueryTrace::TotalColorTransitions() const {
+  uint64_t total = 0;
+  root_.Visit([&](const OpTrace& t) { total += t.color_transitions; });
+  return total;
+}
+
+uint64_t QueryTrace::NodeCount() const {
+  uint64_t total = 0;
+  root_.Visit([&](const OpTrace&) { ++total; });
+  return total - 1;  // exclude the root
+}
+
+namespace {
+
+void AppendTextRec(const OpTrace& t, int depth, std::string* out) {
+  for (int i = 0; i < depth; ++i) out->append("  ");
+  out->append(t.op);
+  if (!t.detail.empty()) {
+    out->push_back(' ');
+    out->append(t.detail);
+  }
+  out->append(StrFormat("  (rows %llu -> %llu",
+                        static_cast<unsigned long long>(t.rows_in),
+                        static_cast<unsigned long long>(t.rows_out)));
+  if (t.morsels > 0) {
+    out->append(StrFormat(", morsels %llu",
+                          static_cast<unsigned long long>(t.morsels)));
+  }
+  if (t.color_transitions > 0) {
+    out->append(
+        StrFormat(", crossings %llu",
+                  static_cast<unsigned long long>(t.color_transitions)));
+  }
+  out->append(StrFormat(", %.3f ms)\n", t.seconds * 1e3));
+  for (const auto& c : t.children) AppendTextRec(*c, depth + 1, out);
+}
+
+void AppendJsonRec(const OpTrace& t, std::string* out) {
+  out->append(StrFormat(
+      "{\"op\": \"%s\", \"detail\": \"%s\", \"rows_in\": %llu, "
+      "\"rows_out\": %llu, \"morsels\": %llu, \"fanout_rows\": %llu, "
+      "\"color_transitions\": %llu, \"seconds\": %.9f, \"children\": [",
+      EscapeJson(t.op).c_str(), EscapeJson(t.detail).c_str(),
+      static_cast<unsigned long long>(t.rows_in),
+      static_cast<unsigned long long>(t.rows_out),
+      static_cast<unsigned long long>(t.morsels),
+      static_cast<unsigned long long>(t.fanout_rows),
+      static_cast<unsigned long long>(t.color_transitions), t.seconds));
+  for (size_t i = 0; i < t.children.size(); ++i) {
+    if (i > 0) out->append(", ");
+    AppendJsonRec(*t.children[i], out);
+  }
+  out->append("]}");
+}
+
+}  // namespace
+
+std::string QueryTrace::ToText() const {
+  std::string out;
+  AppendTextRec(root_, 0, &out);
+  return out;
+}
+
+std::string QueryTrace::ToJson() const {
+  std::string out;
+  AppendJsonRec(root_, &out);
+  return out;
+}
+
+}  // namespace mct::query

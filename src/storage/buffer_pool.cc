@@ -29,7 +29,11 @@ void PageGuard::Release() {
 }
 
 BufferPool::BufferPool(DiskManager* disk, uint32_t capacity_pages)
-    : disk_(disk) {
+    : disk_(disk),
+      m_hits_(MetricsRegistry::Global().counter("mct.buffer_pool.hits")),
+      m_misses_(MetricsRegistry::Global().counter("mct.buffer_pool.misses")),
+      m_evictions_(
+          MetricsRegistry::Global().counter("mct.buffer_pool.evictions")) {
   frames_.resize(capacity_pages);
   free_frames_.reserve(capacity_pages);
   for (uint32_t i = 0; i < capacity_pages; ++i) {
@@ -42,6 +46,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++hits_;
+    m_hits_->Inc();
     Frame& f = frames_[it->second];
     if (f.in_lru) {
       lru_.erase(f.lru_pos);
@@ -51,6 +56,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
     return PageGuard(this, it->second, id);
   }
   ++misses_;
+  m_misses_->Inc();
   MCT_ASSIGN_OR_RETURN(uint32_t frame, GetVictimFrame());
   Frame& f = frames_[frame];
   MCT_RETURN_IF_ERROR(disk_->ReadPage(id, f.data.get()));
@@ -124,6 +130,8 @@ Result<uint32_t> BufferPool::GetVictimFrame() {
   }
   uint32_t frame = lru_.back();
   lru_.pop_back();
+  ++evictions_;
+  m_evictions_->Inc();
   Frame& f = frames_[frame];
   f.in_lru = false;
   if (f.dirty) {

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/disk_manager.h"
@@ -74,6 +75,7 @@ class BufferPool {
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
   uint32_t capacity() const { return static_cast<uint32_t>(frames_.size()); }
   DiskManager* disk() const { return disk_; }
 
@@ -111,6 +113,12 @@ class BufferPool {
   std::unordered_map<PageId, uint32_t> page_table_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  // Process-wide metric instruments (common/metrics.h), looked up once at
+  // construction and bumped alongside the per-pool counters above.
+  Counter* m_hits_;
+  Counter* m_misses_;
+  Counter* m_evictions_;
 };
 
 }  // namespace mct

@@ -7,13 +7,15 @@ namespace mct::workload {
 
 Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
                           const std::string& text, bool collect_values,
-                          int num_threads, size_t morsel_size) {
+                          int num_threads, size_t morsel_size,
+                          query::QueryTrace* trace) {
   QueryRun run;
   mcx::EvalOptions opts;
   opts.default_color = default_color;
   opts.stats = &run.stats;
   opts.num_threads = num_threads;
   opts.morsel_size = morsel_size;
+  opts.trace = trace;
   mcx::Evaluator ev(db, opts);
   MCT_ASSIGN_OR_RETURN(mcx::ParsedQuery parsed, mcx::Parse(text));
   Timer timer;

@@ -26,10 +26,13 @@ struct QueryRun {
 
 /// Runs `text` against `db` with `default_color` for uncolored steps.
 /// `num_threads` follows EvalOptions: 1 = serial (default), 0 = hardware
-/// concurrency; `morsel_size` sets the parallel row granularity.
+/// concurrency; `morsel_size` sets the parallel row granularity. When
+/// `trace` is non-null the evaluator records an EXPLAIN ANALYZE plan trace
+/// into it (see query/trace.h).
 Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
                           const std::string& text, bool collect_values = false,
-                          int num_threads = 1, size_t morsel_size = 1024);
+                          int num_threads = 1, size_t morsel_size = 1024,
+                          query::QueryTrace* trace = nullptr);
 
 }  // namespace mct::workload
 

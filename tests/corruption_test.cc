@@ -1,0 +1,170 @@
+// Corrupt-input robustness: truncated and bit-flipped MCTSNAP1 snapshots
+// and malformed exchange XML must come back as clean Status errors — never
+// a crash, hang, or multi-gigabyte allocation.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mct/snapshot.h"
+#include "mct/validate.h"
+#include "movie_fixture.h"
+#include "serialize/exchange.h"
+
+namespace mct {
+namespace {
+
+using testfix::BuildMovieDb;
+using testfix::MovieDb;
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// A good snapshot of the Figure 2 movie database, written once per test.
+std::vector<char> GoodSnapshotBytes() {
+  MovieDb f = BuildMovieDb();
+  std::string path = TempPath("good.snap");
+  EXPECT_TRUE(SaveSnapshot(*f.db, path).ok());
+  std::vector<char> bytes = ReadAll(path);
+  EXPECT_GT(bytes.size(), 16u);
+  std::filesystem::remove(path);
+  return bytes;
+}
+
+TEST(CorruptionTest, TruncatedSnapshotsFailCleanly) {
+  std::vector<char> good = GoodSnapshotBytes();
+  std::string path = TempPath("trunc.snap");
+  // Every prefix length in a coarse sweep, plus the boundary cases.
+  std::vector<size_t> lengths = {0, 1, 7, 8, 9, 11, 12, good.size() - 1};
+  for (size_t step = 16; step < good.size(); step += 16) {
+    lengths.push_back(step);
+  }
+  for (size_t len : lengths) {
+    WriteAll(path, std::vector<char>(good.begin(),
+                                     good.begin() + static_cast<long>(len)));
+    auto loaded = OpenSnapshot(path);
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << len << " bytes loaded";
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(CorruptionTest, BitFlippedSnapshotsNeverCrash) {
+  std::vector<char> good = GoodSnapshotBytes();
+  std::string path = TempPath("flip.snap");
+  // Flip one bit at a sweep of offsets. A flip in free-form payload (tag or
+  // content text) may load as a *different* valid database; everything else
+  // must be rejected. Either way: clean Status, bounded memory, and any
+  // database that does load passes full validation.
+  for (size_t off = 0; off < good.size(); off += 3) {
+    std::vector<char> bad = good;
+    bad[off] = static_cast<char>(bad[off] ^ (1 << (off % 8)));
+    WriteAll(path, bad);
+    auto loaded = OpenSnapshot(path);
+    if (loaded.ok()) {
+      ValidationReport report = ValidateDatabase(**loaded);
+      EXPECT_TRUE(report.ok())
+          << "flip at " << off << " loaded an inconsistent database\n"
+          << report.ToString();
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(CorruptionTest, HugeNodeCountIsRejectedBeforeAllocation) {
+  // magic + ncolors=0 + nnodes=0xFFFFFFFF: must be Corruption, not an
+  // attempted 4-billion-node pre-allocation.
+  std::vector<char> bytes;
+  const char magic[] = "MCTSNAP1";
+  bytes.insert(bytes.end(), magic, magic + 8);
+  for (int i = 0; i < 4; ++i) bytes.push_back(0);  // ncolors = 0
+  for (int i = 0; i < 4; ++i) bytes.push_back('\xFF');  // nnodes
+  std::string path = TempPath("huge.snap");
+  WriteAll(path, bytes);
+  auto loaded = OpenSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+}
+
+TEST(CorruptionTest, HugeStringLengthIsRejectedBeforeAllocation) {
+  // magic + ncolors=1 + color-name length 0xFFFFFFFF.
+  std::vector<char> bytes;
+  const char magic[] = "MCTSNAP1";
+  bytes.insert(bytes.end(), magic, magic + 8);
+  bytes.push_back(1);
+  for (int i = 0; i < 3; ++i) bytes.push_back(0);  // ncolors = 1
+  for (int i = 0; i < 4; ++i) bytes.push_back('\xFF');  // name length
+  std::string path = TempPath("hugestr.snap");
+  WriteAll(path, bytes);
+  auto loaded = OpenSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+}
+
+TEST(CorruptionTest, WrongMagicIsRejected) {
+  std::string path = TempPath("magic.snap");
+  WriteAll(path, {'N', 'O', 'T', 'S', 'N', 'A', 'P', '1', 0, 0, 0, 0});
+  auto loaded = OpenSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+  std::filesystem::remove(path);
+}
+
+TEST(CorruptionTest, MalformedExchangeXmlIsAStatusNotACrash) {
+  const char* inputs[] = {
+      "",
+      "not xml at all",
+      "<unclosed>",
+      "<a><b></a></b>",            // mismatched nesting
+      "<a attr=></a>",             // broken attribute
+      "<a>&bogus;</a>",            // undefined entity
+      "<?xml version=\"1.0\"?>",   // prolog only
+      "<a xmlns:mct=\"urn:mct\"><mct:node/></a>",  // dangling exchange markup
+  };
+  for (const char* xml : inputs) {
+    auto db = serialize::ImportXml(xml);
+    // Whatever the verdict, it must arrive as a Result, and a success must
+    // be a consistent database.
+    if (db.ok()) {
+      ValidationReport report = ValidateDatabase(**db);
+      EXPECT_TRUE(report.ok()) << "input: " << xml << "\n" << report.ToString();
+    }
+  }
+}
+
+TEST(CorruptionTest, ExchangeRoundTripSurvivesTruncation) {
+  // Truncating serialized exchange XML mid-document must never crash the
+  // importer.
+  MovieDb f = BuildMovieDb();
+  serialize::MctSchema schema = serialize::InferSchema(*f.db);
+  auto scheme = serialize::OptSerialize(schema);
+  ASSERT_TRUE(scheme.ok()) << scheme.status();
+  auto xml = serialize::ExportXml(f.db.get(), *scheme);
+  ASSERT_TRUE(xml.ok()) << xml.status();
+  for (size_t len = 0; len < xml->size(); len += 37) {
+    auto db = serialize::ImportXml(xml->substr(0, len));
+    if (db.ok()) {
+      ValidationReport report = ValidateDatabase(**db);
+      EXPECT_TRUE(report.ok()) << "truncated at " << len;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mct
