@@ -1,0 +1,31 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum guarding WAL records and snapshot files. Chosen over CRC32
+// (IEEE) for its better error-detection properties on storage payloads and
+// because it is the checksum real storage engines (LevelDB, RocksDB, ext4)
+// standardize on, so test vectors are widely published.
+
+#ifndef COLORFUL_XML_COMMON_CRC32C_H_
+#define COLORFUL_XML_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mct {
+
+/// Extends `crc` (a previous Crc32c result, or 0 for a fresh computation)
+/// with `n` bytes at `data`. Streaming-friendly:
+/// Crc32c(Extend(Crc32c(a), b)) == Crc32c(a ++ b).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// CRC32C of a buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+inline uint32_t Crc32c(std::string_view s) {
+  return Crc32cExtend(0, s.data(), s.size());
+}
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_COMMON_CRC32C_H_

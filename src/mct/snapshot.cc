@@ -1,21 +1,24 @@
 #include "mct/snapshot.h"
 
-#include <cstdio>
 #include <cstring>
 #include <unordered_map>
 #include <vector>
 
+#include "common/crc32c.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 
 namespace mct {
 
 namespace {
 
-constexpr char kMagic[8] = {'M', 'C', 'T', 'S', 'N', 'A', 'P', '1'};
+constexpr char kMagic[8] = {'M', 'C', 'T', 'S', 'N', 'A', 'P', '2'};
+constexpr char kMagicV1[8] = {'M', 'C', 'T', 'S', 'N', 'A', 'P', '1'};
+constexpr uint32_t kFormatVersion = 2;
 
 class Writer {
  public:
-  explicit Writer(std::FILE* f) : f_(f) {}
+  explicit Writer(std::string* out) : out_(out) {}
   void U8(uint8_t v) { Raw(&v, 1); }
   void U32(uint32_t v) { Raw(&v, 4); }
   void U64(uint64_t v) { Raw(&v, 8); }
@@ -23,19 +26,17 @@ class Writer {
     U32(static_cast<uint32_t>(s.size()));
     Raw(s.data(), s.size());
   }
-  bool ok() const { return ok_; }
+  void Raw(const void* p, size_t n) {
+    out_->append(static_cast<const char*>(p), n);
+  }
 
  private:
-  void Raw(const void* p, size_t n) {
-    if (ok_ && std::fwrite(p, 1, n, f_) != n) ok_ = false;
-  }
-  std::FILE* f_;
-  bool ok_ = true;
+  std::string* out_;
 };
 
 class Reader {
  public:
-  explicit Reader(std::FILE* f) : f_(f) {}
+  explicit Reader(std::string_view data) : data_(data) {}
   Result<uint8_t> U8() {
     uint8_t v;
     MCT_RETURN_IF_ERROR(Raw(&v, 1));
@@ -54,28 +55,31 @@ class Reader {
   Result<std::string> Str() {
     MCT_ASSIGN_OR_RETURN(uint32_t len, U32());
     if (len > (1u << 28)) return Status::Corruption("snapshot string too big");
-    std::string s(len, '\0');
-    MCT_RETURN_IF_ERROR(Raw(s.data(), len));
+    if (data_.size() - off_ < len) {
+      return Status::Corruption("truncated snapshot");
+    }
+    std::string s(data_.substr(off_, len));
+    off_ += len;
     return s;
   }
+  size_t remaining() const { return data_.size() - off_; }
 
  private:
   Status Raw(void* p, size_t n) {
-    if (std::fread(p, 1, n, f_) != n) {
+    if (data_.size() - off_ < n) {
       return Status::Corruption("truncated snapshot");
     }
+    std::memcpy(p, data_.data() + off_, n);
+    off_ += n;
     return Status::OK();
   }
-  std::FILE* f_;
+  std::string_view data_;
+  size_t off_ = 0;
 };
 
-}  // namespace
-
-Status SaveSnapshot(MctDatabase& db, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot create " + path);
-  Writer w(f);
-  std::fwrite(kMagic, 1, 8, f);
+/// Serializes header (sans magic/version/lsn) + body into `out`.
+void SerializeBody(MctDatabase& db, std::string* out) {
+  Writer w(out);
   w.U32(static_cast<uint32_t>(db.num_colors()));
   for (ColorId c = 0; c < db.num_colors(); ++c) w.Str(db.ColorName(c));
 
@@ -119,24 +123,10 @@ Status SaveSnapshot(MctDatabase& db, const std::string& path) {
       w.U32(ch);
     }
   }
-  bool ok = w.ok();
-  if (std::fclose(f) != 0) ok = false;
-  return ok ? Status::OK() : Status::IOError("short write to " + path);
 }
 
-Result<std::unique_ptr<MctDatabase>> OpenSnapshot(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  struct Closer {
-    std::FILE* f;
-    ~Closer() { std::fclose(f); }
-  } closer{f};
-  char magic[8];
-  if (std::fread(magic, 1, 8, f) != 8 ||
-      std::memcmp(magic, kMagic, 8) != 0) {
-    return Status::Corruption(path + " is not an MCT snapshot");
-  }
-  Reader r(f);
+Result<std::unique_ptr<MctDatabase>> DeserializeBody(std::string_view body) {
+  Reader r(body);
   auto db = std::make_unique<MctDatabase>();
   MCT_ASSIGN_OR_RETURN(uint32_t ncolors, r.U32());
   if (ncolors > kMaxColors) return Status::Corruption("bad color count");
@@ -181,7 +171,90 @@ Result<std::unique_ptr<MctDatabase>> OpenSnapshot(const std::string& path) {
       MCT_RETURN_IF_ERROR(db->AddNodeColor(nodes[cd], c, parent));
     }
   }
+  if (r.remaining() != 0) {
+    return Status::Corruption("snapshot has trailing bytes");
+  }
   return db;
+}
+
+/// Directory part of `path` ("." when bare).
+std::string DirOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+}  // namespace
+
+Status SaveSnapshot(MctDatabase& db, const std::string& path, FileEnv* env,
+                    uint64_t last_lsn) {
+  if (env == nullptr) env = FileEnv::Default();
+  std::string image;
+  image.append(kMagic, sizeof(kMagic));
+  {
+    Writer w(&image);
+    w.U32(kFormatVersion);
+    w.U64(last_lsn);
+  }
+  SerializeBody(db, &image);
+  uint32_t crc = Crc32c(image);
+  image.append(reinterpret_cast<const char*>(&crc), 4);
+
+  // Temp write + fsync + rename + dir fsync: a crash leaves either the old
+  // complete snapshot or the new one, never a torn file under `path`.
+  const std::string tmp = path + ".tmp";
+  {
+    MCT_ASSIGN_OR_RETURN(auto file, env->NewWritableFile(tmp, true));
+    MCT_RETURN_IF_ERROR(file->Append(image));
+    MCT_RETURN_IF_ERROR(file->Sync());
+    MCT_RETURN_IF_ERROR(file->Close());
+  }
+  MCT_RETURN_IF_ERROR(env->RenameFile(tmp, path));
+  MCT_RETURN_IF_ERROR(env->SyncDir(DirOf(path)));
+  MetricsRegistry::Global().counter("mct.checkpoint.writes")->Inc();
+  MetricsRegistry::Global().counter("mct.checkpoint.bytes")->Inc(image.size());
+  return Status::OK();
+}
+
+Result<std::unique_ptr<MctDatabase>> OpenSnapshot(const std::string& path,
+                                                  FileEnv* env,
+                                                  uint64_t* last_lsn) {
+  if (env == nullptr) env = FileEnv::Default();
+  auto read = env->ReadFileToString(path);
+  if (!read.ok()) {
+    if (read.status().IsNotFound()) {
+      return Status::IOError("cannot open " + path);
+    }
+    return read.status();
+  }
+  const std::string& data = *read;
+  if (data.size() >= sizeof(kMagicV1) &&
+      std::memcmp(data.data(), kMagicV1, sizeof(kMagicV1)) == 0) {
+    return Status::Corruption(path +
+                              " is a legacy v1 snapshot without a checksum; "
+                              "re-save it with this build");
+  }
+  // magic + version + lsn + crc is the smallest possible image.
+  if (data.size() < sizeof(kMagic) + 4 + 8 + 4 ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption(path + " is not an MCT snapshot");
+  }
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, data.data() + data.size() - 4, 4);
+  if (Crc32c(data.data(), data.size() - 4) != stored_crc) {
+    MetricsRegistry::Global().counter("mct.snapshot.crc_failures")->Inc();
+    return Status::Corruption(path + " failed checksum verification");
+  }
+  Reader header(std::string_view(data).substr(sizeof(kMagic)));
+  MCT_ASSIGN_OR_RETURN(uint32_t version, header.U32());
+  if (version != kFormatVersion) {
+    return Status::Corruption(
+        StrFormat("unsupported snapshot format version %u", version));
+  }
+  MCT_ASSIGN_OR_RETURN(uint64_t lsn, header.U64());
+  if (last_lsn != nullptr) *last_lsn = lsn;
+  std::string_view body(data.data() + sizeof(kMagic) + 4 + 8,
+                        data.size() - sizeof(kMagic) - 4 - 8 - 4);
+  return DeserializeBody(body);
 }
 
 }  // namespace mct

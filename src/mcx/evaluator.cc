@@ -7,6 +7,8 @@
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "mcx/parser.h"
+#include "mcx/printer.h"
+#include "storage/wal.h"
 #include "query/trace.h"
 #include "xml/escape.h"
 
@@ -1569,6 +1571,20 @@ Result<QueryResult> Evaluator::RunUpdate(const ParsedQuery& q) {
   }
   // Fold any relabeling cost into the update, as a real engine would.
   touched.ForEach([&](ColorId c) { db_->tree(c)->EnsureLabels(); });
+  // Durability: one logical redo record per effectful statement. The
+  // canonical text (Print/Parse round-trips structurally, and evaluation is
+  // deterministic) replayed against the covering checkpoint reproduces this
+  // exact mutation, so statement granularity is the finest level at which
+  // node identities stay stable across a snapshot reload.
+  if (opts_.wal != nullptr && result.updated_count > 0) {
+    std::string payload;
+    uint32_t dc = opts_.default_color;
+    payload.append(reinterpret_cast<const char*>(&dc), sizeof(dc));
+    payload += Print(q);
+    MCT_RETURN_IF_ERROR(
+        opts_.wal->Append(WalRecordType::kUpdateStatement, payload).status());
+    if (opts_.wal_sync_each) MCT_RETURN_IF_ERROR(opts_.wal->Sync());
+  }
   return result;
 }
 

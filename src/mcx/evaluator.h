@@ -35,6 +35,10 @@
 #include "query/ops.h"
 #include "query/table.h"
 
+namespace mct {
+class WalWriter;
+}
+
 namespace mct::mcx {
 
 /// One item of an XQuery result sequence: a node or an atomic value.
@@ -82,6 +86,15 @@ struct EvalOptions {
   /// Rows per morsel for parallel operators; inputs at or below this size
   /// run serially regardless of num_threads.
   size_t morsel_size = 1024;
+  /// When set, every successfully applied update statement is appended to
+  /// this write-ahead log as a logical redo record (canonical statement
+  /// text, replayable by RecoverDatabase) before Run returns.
+  WalWriter* wal = nullptr;
+  /// Fsync the WAL after each logged statement. Batch loaders set this
+  /// false and call WalWriter::Sync() once per batch (group commit); the
+  /// statements in the unsynced window are then atomically all-or-prefix
+  /// on a crash.
+  bool wal_sync_each = true;
 };
 
 class Evaluator {

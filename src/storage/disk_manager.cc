@@ -1,28 +1,34 @@
 #include "storage/disk_manager.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
 
 #include "common/strings.h"
+#include "storage/io_util.h"
 
 namespace mct {
 
 Status DiskManager::OpenFile(const std::string& path,
                              std::unique_ptr<DiskManager>* out) {
-  std::FILE* f = std::fopen(path.c_str(), "r+b");
-  if (f == nullptr) {
-    f = std::fopen(path.c_str(), "w+b");
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return ErrnoStatus("open storage file", path, errno);
   }
-  if (f == nullptr) {
-    return Status::IOError("cannot open storage file: " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return ErrnoStatus("fstat", path, err);
   }
   auto dm = std::unique_ptr<DiskManager>(new DiskManager());
-  dm->file_ = f;
-  if (std::fseek(f, 0, SEEK_END) != 0) {
-    return Status::IOError("seek failed on: " + path);
-  }
-  long size = std::ftell(f);
-  if (size < 0) return Status::IOError("ftell failed on: " + path);
-  dm->num_pages_ = static_cast<uint32_t>(static_cast<uint64_t>(size) / kPageSize);
+  dm->fd_ = fd;
+  dm->path_ = path;
+  dm->num_pages_ =
+      static_cast<uint32_t>(static_cast<uint64_t>(st.st_size) / kPageSize);
   *out = std::move(dm);
   return Status::OK();
 }
@@ -32,12 +38,17 @@ std::unique_ptr<DiskManager> DiskManager::CreateInMemory() {
 }
 
 DiskManager::~DiskManager() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (fd_ >= 0) {
+    // Destruction is the last chance to make WritePage traffic durable;
+    // errors here have no caller to report to.
+    ::fsync(fd_);
+    ::close(fd_);
+  }
 }
 
 PageId DiskManager::AllocatePage() {
   PageId id = num_pages_++;
-  if (file_ == nullptr) {
+  if (fd_ < 0) {
     auto page = std::make_unique<char[]>(kPageSize);
     std::memset(page.get(), 0, kPageSize);
     mem_pages_.push_back(std::move(page));
@@ -45,8 +56,8 @@ PageId DiskManager::AllocatePage() {
     // Extend the file with a zero page so reads of fresh pages succeed.
     char zeros[kPageSize];
     std::memset(zeros, 0, kPageSize);
-    std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET);
-    std::fwrite(zeros, 1, kPageSize, file_);
+    (void)PWriteFull(fd_, zeros, kPageSize,
+                     static_cast<uint64_t>(id) * kPageSize, path_);
   }
   return id;
 }
@@ -56,40 +67,31 @@ Status DiskManager::ReadPage(PageId id, char* out) {
     return Status::OutOfRange(
         StrFormat("read of page %u beyond %u allocated pages", id, num_pages_));
   }
-  if (file_ == nullptr) {
+  if (fd_ < 0) {
     std::memcpy(out, mem_pages_[id].get(), kPageSize);
     return Status::OK();
   }
-  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
-    return Status::IOError("seek failed");
-  }
-  if (std::fread(out, 1, kPageSize, file_) != kPageSize) {
-    return Status::IOError(StrFormat("short read of page %u", id));
-  }
-  return Status::OK();
+  return PReadFull(fd_, out, kPageSize, static_cast<uint64_t>(id) * kPageSize,
+                   StrFormat("page %u of %s", id, path_.c_str()));
 }
 
 Status DiskManager::WritePage(PageId id, const char* data) {
   if (id >= num_pages_) {
     return Status::OutOfRange(
-        StrFormat("write of page %u beyond %u allocated pages", id, num_pages_));
+        StrFormat("write of page %u beyond %u allocated pages", id,
+                  num_pages_));
   }
-  if (file_ == nullptr) {
+  if (fd_ < 0) {
     std::memcpy(mem_pages_[id].get(), data, kPageSize);
     return Status::OK();
   }
-  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
-    return Status::IOError("seek failed");
-  }
-  if (std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
-    return Status::IOError(StrFormat("short write of page %u", id));
-  }
-  return Status::OK();
+  return PWriteFull(fd_, data, kPageSize, static_cast<uint64_t>(id) * kPageSize,
+                    StrFormat("page %u of %s", id, path_.c_str()));
 }
 
 Status DiskManager::Sync() {
-  if (file_ != nullptr && std::fflush(file_) != 0) {
-    return Status::IOError("fflush failed");
+  if (fd_ >= 0 && ::fsync(fd_) != 0) {
+    return ErrnoStatus("fsync", path_, errno);
   }
   return Status::OK();
 }

@@ -1,19 +1,24 @@
 // DiskManager: allocation and page-granular I/O over a single storage file.
 //
 // Two backings are supported:
-//  * file-backed  — a real file on disk, used by examples and persistence
-//    tests;
+//  * file-backed  — a real file on disk accessed through a POSIX fd with
+//    positioned reads/writes that retry EINTR and short transfers (a signal
+//    mid-pwrite must not become a torn page), used by examples and
+//    persistence tests;
 //  * in-memory    — an anonymous page vector, used by benchmarks so timing
 //    measures the engine (the paper reports warm-cache numbers; an in-memory
 //    backing is the warm-cache limit).
 //
 // Either way, all page traffic flows through the BufferPool, and the number
 // of allocated pages is the storage footprint reported in Table 1.
+//
+// Destruction of a file-backed manager syncs: pages written through
+// WritePage are durable once the manager (and any pool flushing into it)
+// is gone, without requiring an explicit Sync() from every caller.
 
 #ifndef COLORFUL_XML_STORAGE_DISK_MANAGER_H_
 #define COLORFUL_XML_STORAGE_DISK_MANAGER_H_
 
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +37,7 @@ class DiskManager {
   /// Creates an in-memory manager.
   static std::unique_ptr<DiskManager> CreateInMemory();
 
+  /// Best-effort Sync() then close for file backings.
   ~DiskManager();
 
   DiskManager(const DiskManager&) = delete;
@@ -54,15 +60,16 @@ class DiskManager {
     return static_cast<uint64_t>(num_pages_) * kPageSize;
   }
 
-  /// Forces file contents to the OS (no-op for in-memory backing).
+  /// fsyncs file contents to stable storage (no-op for in-memory backing).
   Status Sync();
 
-  bool in_memory() const { return file_ == nullptr; }
+  bool in_memory() const { return fd_ < 0; }
 
  private:
   DiskManager() = default;
 
-  std::FILE* file_ = nullptr;           // null => in-memory
+  int fd_ = -1;  // < 0 => in-memory
+  std::string path_;
   std::vector<std::unique_ptr<char[]>> mem_pages_;
   uint32_t num_pages_ = 0;
 };

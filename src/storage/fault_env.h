@@ -1,0 +1,121 @@
+// FaultInjectionEnv: a deterministic in-memory FileEnv for crash-recovery
+// testing. Every file tracks a durable part (synced) and a volatile tail
+// (appended but not yet synced); reads see both, like the OS page cache,
+// and SimulateCrash discards the volatile tails — optionally keeping an
+// arbitrary prefix of one file's tail, which is how tests manufacture torn
+// WAL records at every byte boundary.
+//
+// Named failure points arm one-shot errors on the Nth matching append, the
+// next rename / truncate / remove / sync. After a failure point fires the
+// environment keeps working, so a test can arm a fault, watch the operation
+// fail, crash, and then run recovery against the same environment.
+//
+// Metadata model: creates, renames and removes take effect immediately and
+// survive SimulateCrash (as if every directory op were synchronously
+// journaled). The lost-rename crash mode is therefore expressed as
+// FailNextRename — from recovery's viewpoint the two are identical.
+//
+// Writers created before a crash belong to the pre-crash epoch and fail all
+// subsequent operations, preventing a stale handle from "writing through"
+// the simulated power cut.
+
+#ifndef COLORFUL_XML_STORAGE_FAULT_ENV_H_
+#define COLORFUL_XML_STORAGE_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/file_env.h"
+
+namespace mct {
+
+class FaultInjectionEnv : public FileEnv {
+ public:
+  FaultInjectionEnv() = default;
+
+  // ---- Failure points ----
+
+  /// Fails the `nth` (1-based) Append to a path containing `path_substring`
+  /// with IOError. Counting starts when armed; one-shot.
+  void FailNthAppend(const std::string& path_substring, int nth) {
+    append_fault_.substring = path_substring;
+    append_fault_.remaining = nth;
+  }
+  void FailNextRename() { fail_next_rename_ = true; }
+  void FailNextTruncate() { fail_next_truncate_ = true; }
+  void FailNextRemove() { fail_next_remove_ = true; }
+  void FailNextSync() { fail_next_sync_ = true; }
+  void ClearFaults() {
+    append_fault_ = AppendFault{};
+    fail_next_rename_ = fail_next_truncate_ = false;
+    fail_next_remove_ = fail_next_sync_ = false;
+  }
+
+  // ---- Crash simulation ----
+
+  /// Discards all unsynced data in every file; open writers become dead.
+  void SimulateCrash() { SimulateCrashKeepingPrefix("", 0); }
+
+  /// Like SimulateCrash, but the file whose path contains `path_substring`
+  /// keeps the first `bytes` bytes of its unsynced tail (a torn write).
+  void SimulateCrashKeepingPrefix(const std::string& path_substring,
+                                  size_t bytes);
+
+  // ---- Introspection ----
+
+  uint64_t num_appends() const { return num_appends_; }
+  uint64_t num_syncs() const { return num_syncs_; }
+  uint64_t num_renames() const { return num_renames_; }
+  /// Unsynced tail length of `path` (0 if absent).
+  uint64_t UnsyncedBytes(const std::string& path) const;
+
+  // ---- FileEnv ----
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate_existing) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Result<bool> FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status CreateDirIfMissing(const std::string& dir) override;
+  Status SyncDir(const std::string& dir) override;
+
+ private:
+  friend class FaultWritableFile;
+
+  struct FileState {
+    std::string synced;
+    std::string unsynced;
+  };
+  struct AppendFault {
+    std::string substring;
+    int remaining = 0;  // 0 = disarmed
+  };
+
+  // Called by FaultWritableFile.
+  Status DoAppend(const std::string& path, std::string_view data,
+                  uint64_t epoch);
+  Status DoSync(const std::string& path, uint64_t epoch);
+
+  std::map<std::string, FileState> files_;
+  std::vector<std::string> dirs_;
+  AppendFault append_fault_;
+  bool fail_next_rename_ = false;
+  bool fail_next_truncate_ = false;
+  bool fail_next_remove_ = false;
+  bool fail_next_sync_ = false;
+  uint64_t epoch_ = 0;  // bumped on every simulated crash
+  uint64_t num_appends_ = 0;
+  uint64_t num_syncs_ = 0;
+  uint64_t num_renames_ = 0;
+};
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_STORAGE_FAULT_ENV_H_

@@ -1,0 +1,175 @@
+#include "storage/file_env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "storage/io_util.h"
+
+namespace mct {
+
+namespace {
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path, uint64_t offset)
+      : fd_(fd), path_(std::move(path)), offset_(offset) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::IOError("append to closed file " + path_);
+    MCT_RETURN_IF_ERROR(
+        PWriteFull(fd_, data.data(), data.size(), offset_, path_));
+    offset_ += data.size();
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IOError("sync of closed file " + path_);
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close", path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+  uint64_t offset_;
+};
+
+class PosixFileEnv : public FileEnv {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate_existing) override {
+    int flags = O_WRONLY | O_CREAT | O_CLOEXEC;
+    if (truncate_existing) flags |= O_TRUNC;
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    uint64_t offset = 0;
+    if (!truncate_existing) {
+      struct stat st;
+      if (::fstat(fd, &st) != 0) {
+        int err = errno;
+        ::close(fd);
+        return ErrnoStatus("fstat", path, err);
+      }
+      offset = static_cast<uint64_t>(st.st_size);
+    }
+    return std::unique_ptr<WritableFile>(
+        new PosixWritableFile(fd, path, offset));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      int err = errno;
+      if (err == ENOENT) return Status::NotFound("no such file: " + path);
+      return ErrnoStatus("open", path, err);
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      int err = errno;
+      ::close(fd);
+      return ErrnoStatus("fstat", path, err);
+    }
+    std::string out(static_cast<size_t>(st.st_size), '\0');
+    Status s = out.empty() ? Status::OK()
+                           : PReadFull(fd, out.data(), out.size(), 0, path);
+    ::close(fd);
+    if (!s.ok()) return s;
+    return out;
+  }
+
+  Result<bool> FileExists(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0) return true;
+    if (errno == ENOENT || errno == ENOTDIR) return false;
+    return ErrnoStatus("stat", path, errno);
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return ErrnoStatus("stat", path, errno);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from + " -> " + to, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return ErrnoStatus("unlink", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("truncate", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return ErrnoStatus("opendir", dir, errno);
+    std::vector<std::string> names;
+    while (struct dirent* e = ::readdir(d)) {
+      std::string name = e->d_name;
+      if (name != "." && name != "..") names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  Status CreateDirIfMissing(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+      return Status::OK();
+    }
+    return ErrnoStatus("mkdir", dir, errno);
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open", dir, errno);
+    int rc = ::fsync(fd);
+    int err = errno;
+    ::close(fd);
+    // Some filesystems reject fsync on directories; the rename durability
+    // they provide without it is the best available.
+    if (rc != 0 && err != EINVAL && err != EBADF) {
+      return ErrnoStatus("fsync dir", dir, err);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+FileEnv* FileEnv::Default() {
+  static PosixFileEnv* env = new PosixFileEnv();
+  return env;
+}
+
+}  // namespace mct

@@ -1,0 +1,63 @@
+// FileEnv: the filesystem surface the durability layer (WAL, checkpoints,
+// recovery) goes through. Everything that must survive a crash — appends,
+// fsyncs, renames, truncates, directory listings — is a virtual call here,
+// so FaultInjectionEnv (fault_env.h) can substitute a deterministic
+// in-memory filesystem with named failure points and simulated crashes,
+// while production uses the POSIX implementation behind Default().
+//
+// Durability contract (matched by both implementations):
+//  * WritableFile::Append buffers in the OS — data is readable immediately
+//    but survives a crash only after Sync().
+//  * RenameFile is atomic: readers see the old file or the new, never a mix.
+//  * SyncDir makes preceding renames/creates/removes in that directory
+//    durable.
+
+#ifndef COLORFUL_XML_STORAGE_FILE_ENV_H_
+#define COLORFUL_XML_STORAGE_FILE_ENV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mct {
+
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  /// Makes every byte appended so far durable.
+  virtual Status Sync() = 0;
+  /// Releases the handle; does NOT imply durability.
+  virtual Status Close() = 0;
+};
+
+class FileEnv {
+ public:
+  virtual ~FileEnv() = default;
+
+  /// The process-wide POSIX environment.
+  static FileEnv* Default();
+
+  /// Opens `path` for writing; `truncate_existing` starts from empty,
+  /// otherwise appends at the current end.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate_existing) = 0;
+
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+  virtual Result<bool> FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+  /// Entry names (not full paths), unordered.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+  virtual Status CreateDirIfMissing(const std::string& dir) = 0;
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_STORAGE_FILE_ENV_H_

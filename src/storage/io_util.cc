@@ -1,0 +1,78 @@
+#include "storage/io_util.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+#include "common/strings.h"
+
+namespace mct {
+
+namespace {
+
+IoSyscallHooks* Hooks() {
+  static IoSyscallHooks hooks;
+  return &hooks;
+}
+
+ssize_t DoPRead(int fd, void* buf, size_t n, off_t off) {
+  const auto& hook = Hooks()->pread;
+  return hook ? hook(fd, buf, n, off) : ::pread(fd, buf, n, off);
+}
+
+ssize_t DoPWrite(int fd, const void* buf, size_t n, off_t off) {
+  const auto& hook = Hooks()->pwrite;
+  return hook ? hook(fd, buf, n, off) : ::pwrite(fd, buf, n, off);
+}
+
+}  // namespace
+
+void SetIoSyscallHooksForTest(IoSyscallHooks hooks) { *Hooks() = std::move(hooks); }
+
+void ClearIoSyscallHooksForTest() { *Hooks() = IoSyscallHooks{}; }
+
+Status ErrnoStatus(const std::string& op, const std::string& target, int err) {
+  return Status::IOError(op + " " + target + ": " + std::strerror(err));
+}
+
+Status PReadFull(int fd, char* buf, size_t n, uint64_t offset,
+                 const std::string& what) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = DoPRead(fd, buf + done, n - done,
+                        static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread", what, errno);
+    }
+    if (r == 0) {
+      return Status::IOError(StrFormat("short read of %s: got %zu of %zu bytes",
+                                       what.c_str(), done, n));
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status PWriteFull(int fd, const char* buf, size_t n, uint64_t offset,
+                  const std::string& what) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = DoPWrite(fd, buf + done, n - done,
+                         static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pwrite", what, errno);
+    }
+    if (r == 0) {
+      // POSIX never returns 0 for n > 0; bail rather than spin.
+      return Status::IOError(StrFormat(
+          "zero-length write to %s: got %zu of %zu bytes", what.c_str(), done,
+          n));
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace mct

@@ -16,6 +16,15 @@ namespace mct {
 
 class StorageEnv {
  public:
+  /// Flushes dirty frames and syncs the disk manager so a file-backed
+  /// environment's pages survive destruction without an explicit FlushAll
+  /// from every caller. Errors are unreportable here; callers that need to
+  /// observe them flush and sync explicitly first.
+  ~StorageEnv() {
+    if (pool_ != nullptr) (void)pool_->FlushAll();
+    if (disk_ != nullptr) (void)disk_->Sync();
+  }
+
   /// In-memory environment (warm-cache benchmarking; default pool is
   /// effectively unbounded so timing measures the engine, not eviction).
   static std::unique_ptr<StorageEnv> CreateInMemory(

@@ -1,0 +1,142 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace mct {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'M', 'C', 'T', 'W', 'A', 'L', '0', '1'};
+constexpr size_t kHeaderSize = 4 + 4 + 8 + 1;  // crc, len, lsn, type
+// Records are update statements — a gigabyte-scale length is corruption,
+// not data, and must not drive an allocation.
+constexpr uint32_t kMaxPayload = 1u << 30;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+Result<WalContents> ReadWal(FileEnv* env, const std::string& path) {
+  WalContents out;
+  auto exists = env->FileExists(path);
+  MCT_RETURN_IF_ERROR(exists.status());
+  if (!*exists) return out;
+  auto read = env->ReadFileToString(path);
+  MCT_RETURN_IF_ERROR(read.status());
+  const std::string& data = *read;
+  if (data.empty()) return out;
+  if (data.size() < sizeof(kWalMagic)) {
+    // A crash can leave a partial magic; the file holds nothing durable.
+    out.torn_tail = true;
+    return out;
+  }
+  if (std::memcmp(data.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::Corruption(path + " is not an MCT WAL");
+  }
+  size_t off = sizeof(kWalMagic);
+  out.valid_bytes = off;
+  while (off < data.size()) {
+    if (data.size() - off < kHeaderSize) break;  // torn header
+    const char* p = data.data() + off;
+    uint32_t crc = GetU32(p);
+    uint32_t len = GetU32(p + 4);
+    uint64_t lsn = GetU64(p + 8);
+    uint8_t type = static_cast<uint8_t>(p[16]);
+    if (len > kMaxPayload) break;                          // absurd length
+    if (data.size() - off - kHeaderSize < len) break;      // torn payload
+    if (Crc32c(p + 4, kHeaderSize - 4 + len) != crc) break;  // bit flip / torn
+    if (lsn <= out.max_lsn) break;  // non-monotonic: not a record we wrote
+    WalRecord rec;
+    rec.lsn = lsn;
+    rec.type = static_cast<WalRecordType>(type);
+    rec.payload.assign(p + kHeaderSize, len);
+    out.records.push_back(std::move(rec));
+    out.max_lsn = lsn;
+    off += kHeaderSize + len;
+    out.valid_bytes = off;
+  }
+  out.torn_tail = out.valid_bytes < data.size();
+  return out;
+}
+
+WalWriter::WalWriter(std::unique_ptr<WritableFile> file, std::string path,
+                     uint64_t next_lsn)
+    : file_(std::move(file)),
+      path_(std::move(path)),
+      next_lsn_(next_lsn),
+      dirty_(false),
+      m_appends_(MetricsRegistry::Global().counter("mct.wal.appends")),
+      m_bytes_(MetricsRegistry::Global().counter("mct.wal.bytes")),
+      m_fsyncs_(MetricsRegistry::Global().counter("mct.wal.fsyncs")) {}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(FileEnv* env,
+                                                   const std::string& path,
+                                                   uint64_t next_lsn,
+                                                   bool truncate) {
+  auto exists = env->FileExists(path);
+  MCT_RETURN_IF_ERROR(exists.status());
+  bool fresh = truncate || !*exists;
+  if (!fresh) {
+    MCT_ASSIGN_OR_RETURN(uint64_t size, env->FileSize(path));
+    fresh = size == 0;
+  }
+  MCT_ASSIGN_OR_RETURN(auto file, env->NewWritableFile(path, fresh));
+  auto writer = std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(file), path, next_lsn));
+  if (fresh) {
+    MCT_RETURN_IF_ERROR(
+        writer->file_->Append(std::string_view(kWalMagic, sizeof(kWalMagic))));
+    writer->dirty_ = true;
+  }
+  return writer;
+}
+
+Result<uint64_t> WalWriter::Append(WalRecordType type,
+                                   std::string_view payload) {
+  if (payload.size() > kMaxPayload) {
+    return Status::InvalidArgument("WAL payload too large");
+  }
+  uint64_t lsn = next_lsn_;
+  std::string rec;
+  rec.reserve(kHeaderSize + payload.size());
+  PutU32(&rec, 0);  // crc placeholder
+  PutU32(&rec, static_cast<uint32_t>(payload.size()));
+  PutU64(&rec, lsn);
+  rec.push_back(static_cast<char>(type));
+  rec.append(payload.data(), payload.size());
+  uint32_t crc = Crc32c(rec.data() + 4, rec.size() - 4);
+  std::memcpy(rec.data(), &crc, 4);
+  MCT_RETURN_IF_ERROR(file_->Append(rec));
+  ++next_lsn_;
+  dirty_ = true;
+  m_appends_->Inc();
+  m_bytes_->Inc(rec.size());
+  return lsn;
+}
+
+Status WalWriter::Sync() {
+  if (!dirty_) return Status::OK();
+  MCT_RETURN_IF_ERROR(file_->Sync());
+  dirty_ = false;
+  m_fsyncs_->Inc();
+  return Status::OK();
+}
+
+}  // namespace mct

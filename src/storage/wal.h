@@ -1,0 +1,94 @@
+// Write-ahead log of logical redo records.
+//
+// File layout:
+//   magic "MCTWAL01" (8 bytes)
+//   record*:  u32 crc32c | u32 payload_len | u64 lsn | u8 type | payload
+//
+// The CRC covers everything after itself (payload_len, lsn, type, payload),
+// so a torn or bit-flipped record — including a corrupted length — fails
+// verification. LSNs are assigned by the writer and strictly increase
+// within a file; the reader treats any violation (bad CRC, short header,
+// payload past EOF, non-monotonic LSN, absurd length) as the start of a
+// torn tail: it returns every record before it plus the byte offset of the
+// valid prefix, and recovery truncates the file there.
+//
+// Group commit: Append only buffers (one env Append); Sync issues a single
+// fsync covering every record appended since the previous Sync. Callers
+// running batches disable per-statement sync (EvalOptions::wal_sync_each)
+// and sync once per batch.
+
+#ifndef COLORFUL_XML_STORAGE_WAL_H_
+#define COLORFUL_XML_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "storage/file_env.h"
+
+namespace mct {
+
+enum class WalRecordType : uint8_t {
+  /// Payload: u32 default_color | canonical MCXQuery update statement text.
+  kUpdateStatement = 1,
+};
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kUpdateStatement;
+  std::string payload;
+};
+
+struct WalContents {
+  std::vector<WalRecord> records;
+  /// Byte length of the well-formed prefix (magic + whole valid records).
+  uint64_t valid_bytes = 0;
+  /// True when trailing bytes past valid_bytes exist (torn final record).
+  bool torn_tail = false;
+  /// Largest LSN seen; 0 when empty.
+  uint64_t max_lsn = 0;
+};
+
+/// Reads a WAL. A missing or empty file yields empty contents; a file whose
+/// leading magic is wrong is Corruption (it is not a WAL at all); a torn
+/// tail is reported, not an error.
+Result<WalContents> ReadWal(FileEnv* env, const std::string& path);
+
+class WalWriter {
+ public:
+  /// Opens `path` for appending with LSNs starting at `next_lsn`.
+  /// `truncate` starts a fresh log (magic rewritten); otherwise the caller
+  /// must have repaired any torn tail first (see RecoverDatabase).
+  static Result<std::unique_ptr<WalWriter>> Open(FileEnv* env,
+                                                 const std::string& path,
+                                                 uint64_t next_lsn,
+                                                 bool truncate);
+
+  /// Buffers one record; returns its LSN. Durable only after Sync().
+  Result<uint64_t> Append(WalRecordType type, std::string_view payload);
+
+  /// One fsync covering every append since the last Sync; no-op when clean.
+  Status Sync();
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, std::string path,
+            uint64_t next_lsn);
+
+  std::unique_ptr<WritableFile> file_;
+  std::string path_;
+  uint64_t next_lsn_;
+  bool dirty_;
+  Counter* m_appends_;
+  Counter* m_bytes_;
+  Counter* m_fsyncs_;
+};
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_STORAGE_WAL_H_

@@ -8,7 +8,7 @@ namespace mct::workload {
 Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
                           const std::string& text, bool collect_values,
                           int num_threads, size_t morsel_size,
-                          query::QueryTrace* trace) {
+                          query::QueryTrace* trace, WalWriter* wal) {
   QueryRun run;
   mcx::EvalOptions opts;
   opts.default_color = default_color;
@@ -16,6 +16,7 @@ Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
   opts.num_threads = num_threads;
   opts.morsel_size = morsel_size;
   opts.trace = trace;
+  opts.wal = wal;
   mcx::Evaluator ev(db, opts);
   MCT_ASSIGN_OR_RETURN(mcx::ParsedQuery parsed, mcx::Parse(text));
   Timer timer;

@@ -13,6 +13,7 @@
 #include "mct/database.h"
 #include "mcx/evaluator.h"
 #include "query/table.h"
+#include "storage/wal.h"
 
 namespace mct::workload {
 
@@ -28,11 +29,16 @@ struct QueryRun {
 /// `num_threads` follows EvalOptions: 1 = serial (default), 0 = hardware
 /// concurrency; `morsel_size` sets the parallel row granularity. When
 /// `trace` is non-null the evaluator records an EXPLAIN ANALYZE plan trace
-/// into it (see query/trace.h).
+/// into it (see query/trace.h). Durable mode: when `wal` is non-null,
+/// update statements are logged and fsynced to it before returning, so a
+/// crash after RunQuery reports an update is recoverable
+/// (mct::RecoverDatabase); the reported wall time then includes the fsync,
+/// as a real durable engine's commit latency would.
 Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
                           const std::string& text, bool collect_values = false,
                           int num_threads = 1, size_t morsel_size = 1024,
-                          query::QueryTrace* trace = nullptr);
+                          query::QueryTrace* trace = nullptr,
+                          WalWriter* wal = nullptr);
 
 }  // namespace mct::workload
 

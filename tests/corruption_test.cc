@@ -1,6 +1,8 @@
-// Corrupt-input robustness: truncated and bit-flipped MCTSNAP1 snapshots
-// and malformed exchange XML must come back as clean Status errors — never
-// a crash, hang, or multi-gigabyte allocation.
+// Corrupt-input robustness: truncated and bit-flipped snapshots and
+// malformed exchange XML must come back as clean Status errors — never a
+// crash, hang, or multi-gigabyte allocation. Since MCTSNAP2 carries a
+// whole-file CRC32C trailer, *every* single-bit flip and truncation must be
+// rejected outright.
 
 #include <gtest/gtest.h>
 
@@ -11,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/crc32c.h"
 #include "mct/snapshot.h"
 #include "mct/validate.h"
 #include "movie_fixture.h"
@@ -48,6 +51,26 @@ std::vector<char> GoodSnapshotBytes() {
   return bytes;
 }
 
+// A multi-page snapshot (hundreds of extra movies), so 1KiB-granular
+// truncation sweeps cross many internal section boundaries.
+std::vector<char> BigSnapshotBytes() {
+  MovieDb f = BuildMovieDb();
+  MctDatabase& db = *f.db;
+  for (int i = 0; i < 400; ++i) {
+    NodeId m = testfix::MustCreate(db, f.red, f.genre_drama, "movie");
+    testfix::MustCreate(db, f.red, m, "name",
+                        "Filler Movie #" + std::to_string(i));
+    testfix::MustCreate(db, f.red, m, "year",
+                        std::to_string(1900 + i % 100));
+  }
+  std::string path = TempPath("big.snap");
+  EXPECT_TRUE(SaveSnapshot(db, path).ok());
+  std::vector<char> bytes = ReadAll(path);
+  EXPECT_GT(bytes.size(), 8u * 1024u);  // the sweep needs several KiB
+  std::filesystem::remove(path);
+  return bytes;
+}
+
 TEST(CorruptionTest, TruncatedSnapshotsFailCleanly) {
   std::vector<char> good = GoodSnapshotBytes();
   std::string path = TempPath("trunc.snap");
@@ -65,56 +88,120 @@ TEST(CorruptionTest, TruncatedSnapshotsFailCleanly) {
   std::filesystem::remove(path);
 }
 
-TEST(CorruptionTest, BitFlippedSnapshotsNeverCrash) {
+TEST(CorruptionTest, TruncationAtEveryKilobyteBoundaryIsRejected) {
+  std::vector<char> good = BigSnapshotBytes();
+  std::string path = TempPath("ktrunc.snap");
+  size_t cases = 0;
+  for (size_t len = 0; len < good.size(); len += 1024) {
+    // The 1KiB grid plus the off-by-one lengths around each boundary.
+    for (size_t delta : {size_t{0}, size_t{1}}) {
+      size_t n = len + delta;
+      if (n >= good.size()) continue;
+      WriteAll(path,
+               std::vector<char>(good.begin(),
+                                 good.begin() + static_cast<long>(n)));
+      auto loaded = OpenSnapshot(path);
+      EXPECT_FALSE(loaded.ok()) << "prefix of " << n << " bytes loaded";
+      EXPECT_FALSE(loaded.status().message().empty());
+      ++cases;
+    }
+  }
+  // And one byte short of complete — the tightest torn write.
+  WriteAll(path, std::vector<char>(good.begin(), good.end() - 1));
+  EXPECT_FALSE(OpenSnapshot(path).ok());
+  EXPECT_GT(cases, 16u);
+  std::filesystem::remove(path);
+}
+
+TEST(CorruptionTest, BitFlippedSnapshotsAreAllRejected) {
   std::vector<char> good = GoodSnapshotBytes();
   std::string path = TempPath("flip.snap");
-  // Flip one bit at a sweep of offsets. A flip in free-form payload (tag or
-  // content text) may load as a *different* valid database; everything else
-  // must be rejected. Either way: clean Status, bounded memory, and any
-  // database that does load passes full validation.
-  for (size_t off = 0; off < good.size(); off += 3) {
+  // The CRC32C trailer covers the whole file, so every single-bit flip —
+  // header, body, or the trailer itself — must be rejected with a clean
+  // Status, not loaded as a subtly different database.
+  for (size_t off = 0; off < good.size(); ++off) {
     std::vector<char> bad = good;
     bad[off] = static_cast<char>(bad[off] ^ (1 << (off % 8)));
     WriteAll(path, bad);
     auto loaded = OpenSnapshot(path);
-    if (loaded.ok()) {
-      ValidationReport report = ValidateDatabase(**loaded);
-      EXPECT_TRUE(report.ok())
-          << "flip at " << off << " loaded an inconsistent database\n"
-          << report.ToString();
+    EXPECT_FALSE(loaded.ok()) << "flip at byte " << off << " loaded";
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(CorruptionTest, EveryHeaderFieldBitFlipIsRejected) {
+  std::vector<char> good = GoodSnapshotBytes();
+  std::string path = TempPath("hdrflip.snap");
+  // Exhaustive over the header: magic (8) + format version (4) + LSN stamp
+  // (8), every bit of every field.
+  size_t header_bytes = 8 + 4 + 8;
+  ASSERT_LT(header_bytes, good.size());
+  for (size_t off = 0; off < header_bytes; ++off) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<char> bad = good;
+      bad[off] = static_cast<char>(bad[off] ^ (1 << bit));
+      WriteAll(path, bad);
+      auto loaded = OpenSnapshot(path);
+      ASSERT_FALSE(loaded.ok())
+          << "header flip at byte " << off << " bit " << bit << " loaded";
+      EXPECT_FALSE(loaded.status().message().empty());
     }
   }
   std::filesystem::remove(path);
 }
 
-TEST(CorruptionTest, HugeNodeCountIsRejectedBeforeAllocation) {
-  // magic + ncolors=0 + nnodes=0xFFFFFFFF: must be Corruption, not an
-  // attempted 4-billion-node pre-allocation.
-  std::vector<char> bytes;
-  const char magic[] = "MCTSNAP1";
-  bytes.insert(bytes.end(), magic, magic + 8);
-  for (int i = 0; i < 4; ++i) bytes.push_back(0);  // ncolors = 0
-  for (int i = 0; i < 4; ++i) bytes.push_back('\xFF');  // nnodes
-  std::string path = TempPath("huge.snap");
-  WriteAll(path, bytes);
+TEST(CorruptionTest, LegacyV1SnapshotIsRejectedAsUnchecksummed) {
+  std::vector<char> good = GoodSnapshotBytes();
+  std::vector<char> v1 = good;
+  v1[7] = '1';  // MCTSNAP2 -> MCTSNAP1
+  std::string path = TempPath("v1.snap");
+  WriteAll(path, v1);
   auto loaded = OpenSnapshot(path);
   ASSERT_FALSE(loaded.ok());
   EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+  std::filesystem::remove(path);
+}
+
+// A hand-crafted MCTSNAP2 image around `body`, with a *correct* CRC32C
+// trailer — so the reader's allocation caps are exercised past the checksum.
+std::vector<char> CraftedV2Snapshot(const std::vector<char>& body) {
+  std::string image = "MCTSNAP2";
+  uint32_t version = 2;
+  uint64_t lsn = 0;
+  image.append(reinterpret_cast<const char*>(&version), 4);
+  image.append(reinterpret_cast<const char*>(&lsn), 8);
+  image.append(body.data(), body.size());
+  uint32_t crc = Crc32c(image.data(), image.size());
+  image.append(reinterpret_cast<const char*>(&crc), 4);
+  return std::vector<char>(image.begin(), image.end());
+}
+
+TEST(CorruptionTest, HugeNodeCountIsRejectedBeforeAllocation) {
+  // ncolors=0 + nnodes=0xFFFFFFFF behind a valid checksum: must be
+  // Corruption, not an attempted 4-billion-node pre-allocation.
+  std::vector<char> body;
+  for (int i = 0; i < 4; ++i) body.push_back(0);  // ncolors = 0
+  for (int i = 0; i < 4; ++i) body.push_back('\xFF');  // nnodes
+  std::string path = TempPath("huge.snap");
+  WriteAll(path, CraftedV2Snapshot(body));
+  auto loaded = OpenSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+  std::filesystem::remove(path);
 }
 
 TEST(CorruptionTest, HugeStringLengthIsRejectedBeforeAllocation) {
-  // magic + ncolors=1 + color-name length 0xFFFFFFFF.
-  std::vector<char> bytes;
-  const char magic[] = "MCTSNAP1";
-  bytes.insert(bytes.end(), magic, magic + 8);
-  bytes.push_back(1);
-  for (int i = 0; i < 3; ++i) bytes.push_back(0);  // ncolors = 1
-  for (int i = 0; i < 4; ++i) bytes.push_back('\xFF');  // name length
+  // ncolors=1 + color-name length 0xFFFFFFFF behind a valid checksum.
+  std::vector<char> body;
+  body.push_back(1);
+  for (int i = 0; i < 3; ++i) body.push_back(0);  // ncolors = 1
+  for (int i = 0; i < 4; ++i) body.push_back('\xFF');  // name length
   std::string path = TempPath("hugestr.snap");
-  WriteAll(path, bytes);
+  WriteAll(path, CraftedV2Snapshot(body));
   auto loaded = OpenSnapshot(path);
   ASSERT_FALSE(loaded.ok());
   EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+  std::filesystem::remove(path);
 }
 
 TEST(CorruptionTest, WrongMagicIsRejected) {

@@ -1,0 +1,337 @@
+// Kill-point matrix over FaultInjectionEnv: for every injected crash point
+// (WAL append, torn WAL tail, checkpoint temp write, checkpoint rename,
+// post-rename prune, WAL reset), RecoverDatabase must converge to a database
+// isomorphic to either the pre-update or the post-update state — never a
+// torn intermediate.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "common/metrics.h"
+#include "mct/durability.h"
+#include "mct/snapshot.h"
+#include "mcx/evaluator.h"
+#include "serialize/exchange.h"
+#include "movie_fixture.h"
+#include "storage/fault_env.h"
+
+namespace mct {
+namespace {
+
+using serialize::DatabasesIsomorphic;
+using testfix::BuildMovieDb;
+
+// The update statements of the matrix, applied in order. Each one changes
+// observable state, so isomorphism distinguishes "before" from "after".
+constexpr const char* kUpdates[] = {
+    // U1: give Bette Davis a birthDate (blue insert).
+    "for $a in document(\"d\")/{blue}descendant::actor"
+    "[{blue}child::name = \"Bette Davis\"] "
+    "update $a { insert <birthDate>1908-04-05</birthDate> into {blue} }",
+    // U2: delete the votes of every movie with votes > 10 (green delete).
+    "for $m in document(\"d\")/{green}descendant::movie"
+    "[{green}child::votes > 10] "
+    "update $m { delete {green} votes }",
+    // U3: Sunset Boulevard's votes become "9" (green replace).
+    "for $m in document(\"d\")/{green}descendant::movie"
+    "[{green}child::name = \"Sunset Boulevard\"] "
+    "update $m { replace {green}child::votes with \"9\" }",
+};
+
+/// The movie database after the first `n` updates, built in memory with a
+/// plain (non-durable) evaluator — the oracle each recovery compares against.
+std::unique_ptr<MctDatabase> ExpectedDb(size_t n) {
+  auto f = BuildMovieDb();
+  for (size_t i = 0; i < n; ++i) {
+    mcx::Evaluator ev(f.db.get(), {});
+    auto r = ev.Run(kUpdates[i]);
+    EXPECT_TRUE(r.ok()) << r.status();
+  }
+  return std::move(f.db);
+}
+
+void ExpectState(MctDatabase* got, size_t n) {
+  auto want = ExpectedDb(n);
+  std::string why;
+  EXPECT_TRUE(DatabasesIsomorphic(*got, *want, &why))
+      << "not the state after " << n << " updates: " << why;
+}
+
+constexpr char kDir[] = "/db";
+
+/// Opens a session on `env`, bootstraps the movie fixture, and applies U1,
+/// leaving a checkpoint at "fixture" state plus one durable WAL record.
+std::unique_ptr<DurableSession> SetupSession(FaultInjectionEnv* env) {
+  auto s = DurableSession::Open(kDir, env);
+  EXPECT_TRUE(s.ok()) << s.status();
+  EXPECT_TRUE((*s)->Bootstrap(BuildMovieDb().db).ok());
+  auto r = (*s)->Run(kUpdates[0]);
+  EXPECT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(r->updated_count, 0u);
+  return std::move(*s);
+}
+
+TEST(RecoveryTest, CleanReopenSeesAllUpdates) {
+  FaultInjectionEnv env;
+  auto s = SetupSession(&env);
+  ASSERT_TRUE(s->Run(kUpdates[1]).ok());
+  s.reset();
+  auto rec = RecoverDatabase(kDir, &env);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->replayed_records, 2u);
+  EXPECT_FALSE(rec->wal_tail_truncated);
+  ExpectState(rec->db.get(), 2);
+}
+
+TEST(RecoveryTest, CrashDuringWalAppendRecoversPreUpdateState) {
+  FaultInjectionEnv env;
+  auto s = SetupSession(&env);
+  env.FailNthAppend("wal.log", 1);
+  auto r = s->Run(kUpdates[1]);
+  ASSERT_FALSE(r.ok());  // the commit correctly reports failure
+  env.SimulateCrash();
+  auto rec = RecoverDatabase(kDir, &env);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  ExpectState(rec->db.get(), 1);
+}
+
+TEST(RecoveryTest, EveryTornAppendPrefixRecoversPreOrPostState) {
+  // Measure the record U2 appends by running it once with fsync disabled.
+  uint64_t tail_bytes;
+  {
+    FaultInjectionEnv env;
+    auto s = SetupSession(&env);
+    ASSERT_TRUE(s->Run(kUpdates[1], 0, /*sync_each=*/false).ok());
+    tail_bytes = env.UnsyncedBytes("/db/wal.log");
+    ASSERT_GT(tail_bytes, 17u);
+  }
+  // Crash with every possible prefix of that record on disk.
+  for (uint64_t keep = 0; keep <= tail_bytes; ++keep) {
+    FaultInjectionEnv env;
+    auto s = SetupSession(&env);
+    ASSERT_TRUE(s->Run(kUpdates[1], 0, /*sync_each=*/false).ok());
+    env.SimulateCrashKeepingPrefix("wal.log", keep);
+    auto rec = RecoverDatabase(kDir, &env);
+    ASSERT_TRUE(rec.ok()) << "keep=" << keep << ": " << rec.status();
+    // A whole record replays; any torn prefix is truncated away.
+    size_t want = keep == tail_bytes ? 2 : 1;
+    EXPECT_EQ(rec->wal_tail_truncated, keep != 0 && keep != tail_bytes)
+        << "keep=" << keep;
+    ExpectState(rec->db.get(), want);
+    // Recovery repaired the log: running it again is clean.
+    auto again = RecoverDatabase(kDir, &env);
+    ASSERT_TRUE(again.ok());
+    EXPECT_FALSE(again->wal_tail_truncated) << "keep=" << keep;
+    ExpectState(again->db.get(), want);
+  }
+}
+
+TEST(RecoveryTest, CrashDuringCheckpointTempWriteKeepsWalState) {
+  FaultInjectionEnv env;
+  auto s = SetupSession(&env);
+  ASSERT_TRUE(s->Run(kUpdates[1]).ok());
+  env.FailNthAppend(".tmp", 1);
+  ASSERT_FALSE(s->Checkpoint().ok());
+  env.SimulateCrash();
+  auto rec = RecoverDatabase(kDir, &env);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->replayed_records, 2u);  // old checkpoint + full WAL replay
+  ExpectState(rec->db.get(), 2);
+}
+
+TEST(RecoveryTest, CrashDuringCheckpointRenameKeepsWalState) {
+  FaultInjectionEnv env;
+  auto s = SetupSession(&env);
+  ASSERT_TRUE(s->Run(kUpdates[1]).ok());
+  env.FailNextRename();
+  ASSERT_FALSE(s->Checkpoint().ok());
+  env.SimulateCrash();
+  auto rec = RecoverDatabase(kDir, &env);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->replayed_records, 2u);
+  ExpectState(rec->db.get(), 2);
+}
+
+TEST(RecoveryTest, CrashAfterRenameBeforePruneUsesNewCheckpoint) {
+  FaultInjectionEnv env;
+  auto s = SetupSession(&env);
+  ASSERT_TRUE(s->Run(kUpdates[1]).ok());
+  env.FailNextRemove();  // checkpoint lands, pruning the old one fails
+  ASSERT_FALSE(s->Checkpoint().ok());
+  env.SimulateCrash();
+  auto rec = RecoverDatabase(kDir, &env);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  // The new checkpoint covers both records; the stale WAL is filtered by LSN.
+  EXPECT_EQ(rec->replayed_records, 0u);
+  ExpectState(rec->db.get(), 2);
+}
+
+TEST(RecoveryTest, CrashDuringWalResetAfterCheckpointIsFilteredByLsn) {
+  FaultInjectionEnv env;
+  auto s = SetupSession(&env);
+  ASSERT_TRUE(s->Run(kUpdates[1]).ok());
+  // The checkpoint itself succeeds; re-creating the truncated WAL fails.
+  env.FailNthAppend("wal.log", 1);  // next wal.log append = the fresh magic
+  ASSERT_FALSE(s->Checkpoint().ok());
+  env.SimulateCrash();
+  auto rec = RecoverDatabase(kDir, &env);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->replayed_records, 0u);
+  ExpectState(rec->db.get(), 2);
+}
+
+TEST(RecoveryTest, CorruptNewestCheckpointFallsBackToOlderOne) {
+  FaultInjectionEnv env;
+  auto s = SetupSession(&env);
+  ASSERT_TRUE(s->Checkpoint().ok());  // checkpoint-000002 at state 1
+  ASSERT_TRUE(s->Run(kUpdates[1]).ok());
+  ASSERT_TRUE(s->Checkpoint().ok());  // checkpoint-000003 at state 2
+  s.reset();
+  // Re-plant the older checkpoint (pruned by the newer one), then corrupt
+  // the newest.
+  {
+    auto older = ExpectedDb(1);
+    ASSERT_TRUE(
+        SaveSnapshot(*older, std::string(kDir) + "/checkpoint-000002.snap",
+                     &env, /*last_lsn=*/1)
+            .ok());
+    auto bytes = env.ReadFileToString(std::string(kDir) +
+                                      "/checkpoint-000003.snap");
+    ASSERT_TRUE(bytes.ok());
+    std::string bad = *bytes;
+    bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0x01);
+    auto f = env.NewWritableFile(std::string(kDir) + "/checkpoint-000003.snap",
+                                 true);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append(bad).ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+  }
+  MetricsRegistry::Global().ResetForTest();
+  auto rec = RecoverDatabase(kDir, &env);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(MetricsRegistry::Global()
+                .counter("mct.recovery.checkpoint_rejects")
+                ->value(),
+            1u);
+  // Fallback checkpoint has state 1; the WAL was reset at the newest
+  // checkpoint, so U2 is gone — recovery honestly reports the older state.
+  ExpectState(rec->db.get(), 1);
+}
+
+TEST(RecoveryTest, AllCheckpointsCorruptIsCorruptionNotSilentEmpty) {
+  FaultInjectionEnv env;
+  auto s = SetupSession(&env);
+  s.reset();
+  auto names = env.ListDir(kDir);
+  ASSERT_TRUE(names.ok());
+  for (const std::string& name : *names) {
+    if (name.find("checkpoint-") != 0) continue;
+    std::string path = std::string(kDir) + "/" + name;
+    auto f = env.NewWritableFile(path, true);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("garbage").ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+  }
+  auto rec = RecoverDatabase(kDir, &env);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_TRUE(rec.status().IsCorruption()) << rec.status();
+}
+
+TEST(RecoveryTest, MissingDirectoryRecoversToEmptyDatabase) {
+  FaultInjectionEnv env;
+  auto rec = RecoverDatabase("/nonexistent", &env);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->checkpoint_lsn, 0u);
+  EXPECT_EQ(rec->next_lsn, 1u);
+  MctDatabase empty;
+  std::string why;
+  EXPECT_TRUE(DatabasesIsomorphic(*rec->db, empty, &why)) << why;
+}
+
+TEST(RecoveryTest, RecoveryIsIdempotent) {
+  FaultInjectionEnv env;
+  auto s = SetupSession(&env);
+  ASSERT_TRUE(s->Run(kUpdates[1]).ok());
+  env.SimulateCrash();
+  auto first = RecoverDatabase(kDir, &env);
+  ASSERT_TRUE(first.ok());
+  auto second = RecoverDatabase(kDir, &env);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->next_lsn, second->next_lsn);
+  std::string why;
+  EXPECT_TRUE(DatabasesIsomorphic(*first->db, *second->db, &why)) << why;
+  ExpectState(second->db.get(), 2);
+}
+
+TEST(RecoveryTest, SessionContinuesAcrossCrashesAndReopens) {
+  FaultInjectionEnv env;
+  {
+    auto s = SetupSession(&env);
+    env.SimulateCrash();
+  }
+  {
+    auto s = DurableSession::Open(kDir, &env);
+    ASSERT_TRUE(s.ok()) << s.status();
+    ExpectState((*s)->db(), 1);
+    ASSERT_TRUE((*s)->Run(kUpdates[1]).ok());
+    ASSERT_TRUE((*s)->Run(kUpdates[2]).ok());
+    env.SimulateCrash();
+  }
+  auto s = DurableSession::Open(kDir, &env);
+  ASSERT_TRUE(s.ok()) << s.status();
+  ExpectState((*s)->db(), 3);
+  // LSNs never regress across reopens.
+  EXPECT_GE((*s)->next_lsn(), 4u);
+}
+
+TEST(RecoveryTest, MetricsCountAppendsFsyncsAndReplays) {
+  MetricsRegistry::Global().ResetForTest();
+  FaultInjectionEnv env;
+  auto s = SetupSession(&env);
+  ASSERT_TRUE(s->Run(kUpdates[1]).ok());
+  auto& m = MetricsRegistry::Global();
+  EXPECT_EQ(m.counter("mct.wal.appends")->value(), 2u);
+  // One fsync per update, plus one from Bootstrap's checkpoint syncing the
+  // freshly-written WAL magic.
+  EXPECT_EQ(m.counter("mct.wal.fsyncs")->value(), 3u);
+  EXPECT_GT(m.counter("mct.wal.bytes")->value(), 0u);
+  EXPECT_EQ(m.counter("mct.checkpoint.writes")->value(), 1u);  // bootstrap
+  EXPECT_GT(m.counter("mct.checkpoint.bytes")->value(), 0u);
+  env.SimulateCrash();
+  auto rec = RecoverDatabase(kDir, &env);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(m.counter("mct.recovery.count")->value(), 2u);  // Open + this
+  EXPECT_EQ(m.counter("mct.recovery.replayed_records")->value(), 2u);
+  EXPECT_EQ(m.counter("mct.recovery.torn_tails")->value(), 0u);
+}
+
+TEST(RecoveryTest, RealFilesystemEndToEnd) {
+  std::string dir = testing::TempDir() + "/mct_recovery_e2e";
+  std::filesystem::remove_all(dir);
+  {
+    auto s = DurableSession::Open(dir);
+    ASSERT_TRUE(s.ok()) << s.status();
+    ASSERT_TRUE((*s)->Bootstrap(BuildMovieDb().db).ok());
+    ASSERT_TRUE((*s)->Run(kUpdates[0]).ok());
+    ASSERT_TRUE((*s)->Run(kUpdates[1]).ok());
+    // No clean shutdown: the session is dropped with the WAL as the only
+    // record of the updates.
+  }
+  auto s = DurableSession::Open(dir);
+  ASSERT_TRUE(s.ok()) << s.status();
+  ExpectState((*s)->db(), 2);
+  ASSERT_TRUE((*s)->Checkpoint().ok());
+  ASSERT_TRUE((*s)->Run(kUpdates[2]).ok());
+  s->reset();
+  auto rec = RecoverDatabase(dir);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->replayed_records, 1u);  // only U3 is past the checkpoint
+  ExpectState(rec->db.get(), 3);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mct

@@ -67,6 +67,32 @@ TEST(DiskManagerTest, FileBackedPersistsAcrossReopen) {
   std::filesystem::remove(path);
 }
 
+TEST(StorageEnvTest, DestructorFlushesAndSyncsWithoutExplicitFlushAll) {
+  // Regression: dropping a file-backed StorageEnv without calling FlushAll
+  // must not lose dirty frames — the destructor flushes and syncs.
+  std::string path = testing::TempDir() + "/mct_env_dtor.db";
+  std::filesystem::remove(path);
+  PageId id;
+  {
+    auto env = StorageEnv::OpenFile(path, 16);
+    ASSERT_TRUE(env.ok());
+    auto g = (*env)->pool()->NewPage();
+    ASSERT_TRUE(g.ok());
+    id = g->page_id();
+    g->MutableData()[123] = 77;
+    g->Release();
+    // No FlushAll, no Sync: the env is simply destroyed.
+  }
+  {
+    auto env = StorageEnv::OpenFile(path, 16);
+    ASSERT_TRUE(env.ok());
+    auto g = (*env)->pool()->FetchPage(id);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g->Data()[123], 77);
+  }
+  std::filesystem::remove(path);
+}
+
 TEST(BufferPoolTest, FetchHitsAfterFirstMiss) {
   auto dm = DiskManager::CreateInMemory();
   BufferPool pool(dm.get(), 4);
