@@ -75,6 +75,40 @@ int main(int argc, char** argv) {
   shallow_db->db->tree(shallow_db->doc)->EnsureLabels();
   deep_db->db->tree(deep_db->doc)->EnsureLabels();
 
+  if (mct::bench::HasFlag(argc, argv, "--check")) {
+    // EXPLAIN CHECK mode, as in bench_table2_tpcw: strict static analysis
+    // over every catalog statement; any rejection is a catalog bug.
+    std::FILE* out = std::fopen("BENCH_check_sigmod.json", "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot create BENCH_check_sigmod.json\n");
+      return 1;
+    }
+    std::fprintf(out, "[");
+    bool first = true;
+    for (const CatalogQuery& q : SigmodCatalog(data)) {
+      if (q.mct.empty()) continue;
+      mct::mcx::AnalysisReport report;
+      auto run = RunQuery(mct_db->db.get(), mct_db->default_color(), q.mct,
+                          false, 1, 1024, nullptr, nullptr,
+                          mct::mcx::AnalyzeMode::kStrict, &report);
+      std::printf("EXPLAIN CHECK %s\n%s\n", q.id.c_str(),
+                  report.ToText().c_str());
+      if (!first) std::fprintf(out, ",\n");
+      first = false;
+      std::fprintf(out, "{\"query\": \"%s\", \"check\": %s}", q.id.c_str(),
+                   report.ToJson().c_str());
+      if (!run.ok()) {
+        std::fprintf(stderr, "statement %s rejected: %s\n", q.id.c_str(),
+                     run.status().ToString().c_str());
+        return 1;
+      }
+    }
+    std::fprintf(out, "]\n");
+    std::fclose(out);
+    std::printf("analysis JSON written to BENCH_check_sigmod.json\n");
+    return 0;
+  }
+
   if (mct::bench::HasFlag(argc, argv, "--trace")) {
     // EXPLAIN ANALYZE mode, as in bench_table2_tpcw.
     std::FILE* out = std::fopen("BENCH_trace_sigmod.json", "w");

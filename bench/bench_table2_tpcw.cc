@@ -84,6 +84,41 @@ int main(int argc, char** argv) {
   shallow_db->db->tree(shallow_db->doc)->EnsureLabels();
   deep_db->db->tree(deep_db->doc)->EnsureLabels();
 
+  if (mct::bench::HasFlag(argc, argv, "--check")) {
+    // EXPLAIN CHECK mode: statically analyze and execute every catalog
+    // statement against the MCT schema in strict mode. A catalog that fails
+    // analysis is a bug (exit 1), so CI can run this as a gate.
+    std::FILE* out = std::fopen("BENCH_check_tpcw.json", "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot create BENCH_check_tpcw.json\n");
+      return 1;
+    }
+    std::fprintf(out, "[");
+    bool first = true;
+    for (const CatalogQuery& q : TpcwCatalog(data)) {
+      if (q.mct.empty()) continue;
+      mct::mcx::AnalysisReport report;
+      auto run = RunQuery(mct_db->db.get(), mct_db->default_color(), q.mct,
+                          false, 1, 1024, nullptr, nullptr,
+                          mct::mcx::AnalyzeMode::kStrict, &report);
+      std::printf("EXPLAIN CHECK %s\n%s\n", q.id.c_str(),
+                  report.ToText().c_str());
+      if (!first) std::fprintf(out, ",\n");
+      first = false;
+      std::fprintf(out, "{\"query\": \"%s\", \"check\": %s}", q.id.c_str(),
+                   report.ToJson().c_str());
+      if (!run.ok()) {
+        std::fprintf(stderr, "statement %s rejected: %s\n", q.id.c_str(),
+                     run.status().ToString().c_str());
+        return 1;
+      }
+    }
+    std::fprintf(out, "]\n");
+    std::fclose(out);
+    std::printf("analysis JSON written to BENCH_check_tpcw.json\n");
+    return 0;
+  }
+
   if (mct::bench::HasFlag(argc, argv, "--trace")) {
     // EXPLAIN ANALYZE mode: run each read query once against the MCT schema
     // with plan tracing on, print the text tree, and mirror the same data

@@ -15,8 +15,10 @@ namespace mct {
 ///
 /// Accessing the value of a non-OK Result is a programming error, guarded by
 /// assert in debug builds.
+///
+/// [[nodiscard]]: a dropped Result discards both the value and any error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: success.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -26,6 +26,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "ParseError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kStaticError:
+      return "StaticError";
   }
   return "Unknown";
 }

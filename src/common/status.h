@@ -29,6 +29,9 @@ enum class StatusCode : int {
   kDynamicError = 8,
   kParseError = 9,
   kInternal = 10,
+  // MCXQuery static-analysis rejection: strict mode refused to execute a
+  // statement whose analysis produced errors (MCX0xx diagnostics).
+  kStaticError = 11,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -36,7 +39,9 @@ enum class StatusCode : int {
 std::string_view StatusCodeToString(StatusCode code);
 
 /// Outcome of an operation: a code plus, for non-OK outcomes, a message.
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides failures; callers must
+/// check, propagate, or explicitly discard with a (void) cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -86,6 +91,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status StaticError(std::string msg) {
+    return Status(StatusCode::kStaticError, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -107,6 +115,7 @@ class Status {
   bool IsDynamicError() const { return code() == StatusCode::kDynamicError; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsStaticError() const { return code() == StatusCode::kStaticError; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -38,17 +38,17 @@ class Reader {
  public:
   explicit Reader(std::string_view data) : data_(data) {}
   Result<uint8_t> U8() {
-    uint8_t v;
+    uint8_t v = 0;
     MCT_RETURN_IF_ERROR(Raw(&v, 1));
     return v;
   }
   Result<uint32_t> U32() {
-    uint32_t v;
+    uint32_t v = 0;
     MCT_RETURN_IF_ERROR(Raw(&v, 4));
     return v;
   }
   Result<uint64_t> U64() {
-    uint64_t v;
+    uint64_t v = 0;
     MCT_RETURN_IF_ERROR(Raw(&v, 8));
     return v;
   }

@@ -1,0 +1,87 @@
+// Schema-aware static analysis for MCXQuery (the compile-time companion of
+// the evaluator's dynamic checks).
+//
+// The analyzer runs between parse and evaluation: it walks the statement
+// AST against an MCT schema (serialize/schema.h), propagating the
+// color-flow lattice of color_flow.h through every location step, and
+// emits span-carrying diagnostics with stable codes:
+//
+//   errors (strict mode rejects the statement)
+//     MCX001  unknown color in a step / update action
+//     MCX002  unknown element name in a node test
+//     MCX003  statically-empty step ({c}axis::test unsatisfiable)
+//     MCX004  createColor / insert provably raises the paper's
+//             duplicate-node dynamic error (Section 4.2)
+//     MCX005  unbound variable
+//     MCX006  update action targets a color the target node can never carry
+//
+//   warnings (reported, never block)
+//     MCX101  cross-tree color transition with no shared element type
+//     MCX102  predicate / where clause always evaluates false
+//     MCX103  quant(e,c) statistics imply cardinality blowup
+//     MCX104  positional predicate beyond the schema's quantifier bound
+//
+// The full catalog with rationale lives in DESIGN.md §11.
+
+#ifndef COLORFUL_XML_MCX_ANALYSIS_H_
+#define COLORFUL_XML_MCX_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "mcx/ast.h"
+#include "mcx/color_flow.h"
+#include "serialize/schema.h"
+
+namespace mct::mcx {
+
+enum class Severity { kWarning, kError };
+
+/// One analyzer finding: stable code, severity, source span (with the
+/// line/column resolved against the statement text when available).
+struct Diagnostic {
+  std::string code;  // "MCX003"
+  Severity severity = Severity::kError;
+  SourceSpan span;
+  size_t line = 0;  // 1-based; 0 when the AST carried no source
+  size_t col = 0;
+  std::string message;
+
+  /// "error MCX003 at 1:42: ..." (the EXPLAIN CHECK line).
+  std::string ToString() const;
+};
+
+/// Result of one analysis run: diagnostics plus the step-by-step lattice
+/// states (the EXPLAIN CHECK flow trace).
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+  /// One line per analyzed location step: the reachable (type, color)
+  /// pairs and the quant-derived cardinality estimate.
+  std::vector<std::string> flow;
+  std::string default_color;
+
+  size_t num_errors() const;
+  size_t num_warnings() const;
+  bool HasErrors() const { return num_errors() > 0; }
+
+  /// EXPLAIN CHECK rendering: header, flow lines, diagnostics.
+  std::string ToText() const;
+  /// The same data as one JSON object (schema in DESIGN.md §11).
+  std::string ToJson() const;
+};
+
+struct AnalyzeOptions {
+  /// The schema to check against (required).
+  const serialize::MctSchema* schema = nullptr;
+  /// Color assumed for steps without an explicit {color}.
+  std::string default_color;
+  /// MCX103 fires when a step's estimated cardinality exceeds this.
+  double blowup_threshold = 1e8;
+};
+
+/// Analyzes a parsed statement. Never fails: problems become diagnostics.
+AnalysisReport Analyze(const ParsedQuery& q, const AnalyzeOptions& opts);
+
+}  // namespace mct::mcx
+
+#endif  // COLORFUL_XML_MCX_ANALYSIS_H_

@@ -16,14 +16,32 @@
 #ifndef COLORFUL_XML_MCX_AST_H_
 #define COLORFUL_XML_MCX_AST_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mct::mcx {
 
 struct Expr;
 using ExprPtr = std::unique_ptr<Expr>;
+
+/// Half-open byte range [begin, end) into the source text a construct was
+/// parsed from. Spans survive into diagnostics (static analysis, parse
+/// errors) so every message can point at the offending query fragment.
+struct SourceSpan {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  bool valid() const { return end > begin; }
+};
+
+/// 1-based line/column of byte offset `pos` in `text`.
+struct LineCol {
+  size_t line = 1;
+  size_t col = 1;
+};
+LineCol ResolveLineCol(std::string_view text, size_t pos);
 
 enum class Axis {
   kChild,
@@ -43,6 +61,7 @@ struct PathStep {
   /// For Axis::kAttribute this is the attribute name.
   std::string tag;
   std::vector<ExprPtr> predicates;
+  SourceSpan span;
 };
 
 /// A path expression: rooted at document("...") or at a variable.
@@ -59,6 +78,7 @@ struct Binding {
   bool is_let = false;
   std::string var;  // "$m"
   ExprPtr expr;     // kPath or kDistinctValues
+  SourceSpan span;
 };
 
 enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
@@ -111,6 +131,8 @@ struct Expr {
   std::string tag;
   std::vector<ConstructorAttr> attrs;
 
+  SourceSpan span;
+
   explicit Expr(Kind k) : kind(k) {}
 };
 
@@ -127,6 +149,7 @@ struct UpdateAction {
   PathExpr selector;
   /// kReplace: the new content.
   std::string new_value;
+  SourceSpan span;
 };
 
 /// A parsed statement: either a query (root expression) or an update
@@ -139,7 +162,12 @@ struct ParsedQuery {
   std::vector<Binding> bindings;
   ExprPtr where;
   std::string target_var;
+  SourceSpan target_span;
   std::vector<UpdateAction> actions;
+
+  /// The statement text this query was parsed from; diagnostics resolve
+  /// their spans to line/column against it. Empty for hand-built ASTs.
+  std::string source;
 };
 
 }  // namespace mct::mcx

@@ -1,0 +1,284 @@
+#include "mcx/color_flow.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace mct::mcx {
+
+namespace {
+
+// Depth cap for transitive closures: recursive productions (movie-genre
+// inside movie-genre) would otherwise iterate forever. 64 levels is far
+// deeper than any real document hierarchy.
+constexpr int kClosureDepth = 64;
+
+double CapEst(double v) {
+  return std::min(v, FlowSet::kEstCap);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FlowSet
+// ---------------------------------------------------------------------------
+
+FlowSet FlowSet::Document(const std::set<std::string>& colors) {
+  FlowSet f;
+  for (const std::string& c : colors) f.Add(TypeColor{kDocumentType, c}, 1.0);
+  return f;
+}
+
+void FlowSet::Add(const TypeColor& tc, double est) {
+  double& slot = points_[tc];
+  slot = CapEst(slot + est);
+}
+
+void FlowSet::Join(const FlowSet& other) {
+  for (const auto& [tc, est] : other.points_) Add(tc, est);
+}
+
+bool FlowSet::ContainsType(const std::string& type) const {
+  for (const auto& [tc, _] : points_) {
+    if (tc.type == type) return true;
+  }
+  return false;
+}
+
+bool FlowSet::ContainsColor(const std::string& color) const {
+  for (const auto& [tc, _] : points_) {
+    if (tc.color == color) return true;
+  }
+  return false;
+}
+
+bool FlowSet::IsDocumentOnly() const {
+  if (points_.empty()) return false;
+  for (const auto& [tc, _] : points_) {
+    if (tc.type != kDocumentType) return false;
+  }
+  return true;
+}
+
+double FlowSet::TotalEstimate() const {
+  double total = 0;
+  for (const auto& [_, est] : points_) total = CapEst(total + est);
+  return total;
+}
+
+std::vector<std::string> FlowSet::Render() const {
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const auto& [tc, _] : points_) {
+    out.push_back(tc.type + "@" + tc.color);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ColorFlowGraph
+// ---------------------------------------------------------------------------
+
+ColorFlowGraph::ColorFlowGraph(const serialize::MctSchema* schema)
+    : schema_(schema) {
+  for (const std::string& color : schema->colors()) per_color_[color];
+  for (const auto& [name, elem] : schema->elements()) {
+    all_types_.insert(name);
+    for (const std::string& color : elem.colors) {
+      per_color_[color].types.insert(name);
+    }
+    for (const auto& [color, prod] : elem.productions) {
+      Edges& e = per_color_[color];
+      for (const serialize::ProductionChild& pc : prod.children) {
+        e.children[name].push_back(pc);
+        e.parents[pc.elem].push_back(name);
+      }
+    }
+  }
+  // Roots: real-colored types never produced as a child in that color. A
+  // fully recursive color (every type also appears as a child, e.g. the
+  // Figure 8 movie-genre hierarchy) leaves the set empty; fall back to
+  // every type of the color rather than declaring the whole color
+  // unreachable — the analyzer must over-approximate, never under.
+  for (auto& [color, e] : per_color_) {
+    for (const std::string& t : e.types) {
+      if (!e.parents.contains(t)) e.roots.insert(t);
+    }
+    if (e.roots.empty()) e.roots = e.types;
+  }
+}
+
+const ColorFlowGraph::Edges* ColorFlowGraph::EdgesFor(
+    const std::string& color) const {
+  auto it = per_color_.find(color);
+  return it == per_color_.end() ? nullptr : &it->second;
+}
+
+bool ColorFlowGraph::KnownColor(const std::string& color) const {
+  return per_color_.contains(color);
+}
+
+bool ColorFlowGraph::KnownType(const std::string& tag) const {
+  return all_types_.contains(tag);
+}
+
+FlowSet ColorFlowGraph::Child(const FlowSet& in, const std::string& tag) const {
+  FlowSet out;
+  for (const auto& [tc, est] : in.points()) {
+    const Edges* e = EdgesFor(tc.color);
+    if (e == nullptr) continue;
+    if (tc.type == kDocumentType) {
+      // The document's children in a color are the color's root types.
+      for (const std::string& r : e->roots) {
+        if (tag.empty() || r == tag) {
+          out.Add(TypeColor{r, tc.color},
+                  CapEst(est * schema_->Quant(r, tc.color)));
+        }
+      }
+      continue;
+    }
+    auto cit = e->children.find(tc.type);
+    if (cit == e->children.end()) continue;
+    for (const serialize::ProductionChild& pc : cit->second) {
+      if (tag.empty() || pc.elem == tag) {
+        out.Add(TypeColor{pc.elem, tc.color},
+                CapEst(est * schema_->Quant(pc.elem, tc.color)));
+      }
+    }
+  }
+  return out;
+}
+
+FlowSet ColorFlowGraph::Descendant(const FlowSet& in,
+                                   const std::string& tag) const {
+  // Iterated child expansion: frontier holds every depth's types; matches
+  // accumulate at every level. The depth cap bounds recursive productions.
+  FlowSet out;
+  FlowSet frontier = in;
+  for (int depth = 0; depth < kClosureDepth && !frontier.empty(); ++depth) {
+    FlowSet next = Child(frontier, "");
+    if (!tag.empty()) {
+      for (const auto& [tc, est] : next.points()) {
+        if (tc.type == tag) out.Add(tc, est);
+      }
+    } else {
+      out.Join(next);
+    }
+    // Fixpoint check: stop when the frontier no longer discovers new types
+    // and estimates have saturated (all capped or stable).
+    bool progressed = false;
+    for (const auto& [tc, est] : next.points()) {
+      auto it = frontier.points().find(tc);
+      if (it == frontier.points().end() || it->second < est) {
+        progressed = true;
+        break;
+      }
+    }
+    frontier = std::move(next);
+    if (!progressed && depth > 0) break;
+  }
+  return out;
+}
+
+FlowSet ColorFlowGraph::DescendantOrSelf(const FlowSet& in,
+                                         const std::string& tag) const {
+  FlowSet out = Descendant(in, tag);
+  out.Join(Self(in, tag));
+  return out;
+}
+
+FlowSet ColorFlowGraph::Parent(const FlowSet& in,
+                               const std::string& tag) const {
+  FlowSet out;
+  for (const auto& [tc, est] : in.points()) {
+    if (tc.type == kDocumentType) continue;
+    const Edges* e = EdgesFor(tc.color);
+    if (e == nullptr) continue;
+    // Every node has at most one parent per color, so the parent estimate
+    // shrinks by the child slot's quant (expected children per parent).
+    double q = std::max(1.0, schema_->Quant(tc.type, tc.color));
+    auto pit = e->parents.find(tc.type);
+    if (pit == e->parents.end()) continue;
+    for (const std::string& p : pit->second) {
+      if (tag.empty() || p == tag) out.Add(TypeColor{p, tc.color}, est / q);
+    }
+  }
+  return out;
+}
+
+FlowSet ColorFlowGraph::Ancestor(const FlowSet& in,
+                                 const std::string& tag) const {
+  FlowSet out;
+  FlowSet frontier = in;
+  for (int depth = 0; depth < kClosureDepth && !frontier.empty(); ++depth) {
+    FlowSet next = Parent(frontier, "");
+    if (!tag.empty()) {
+      for (const auto& [tc, est] : next.points()) {
+        if (tc.type == tag) out.Add(tc, est);
+      }
+    } else {
+      out.Join(next);
+    }
+    bool progressed = false;
+    for (const auto& [tc, _] : next.points()) {
+      if (!frontier.points().contains(tc)) {
+        progressed = true;
+        break;
+      }
+    }
+    frontier = std::move(next);
+    if (!progressed && depth > 0) break;
+  }
+  return out;
+}
+
+FlowSet ColorFlowGraph::Self(const FlowSet& in, const std::string& tag) const {
+  if (tag.empty()) return in;
+  FlowSet out;
+  for (const auto& [tc, est] : in.points()) {
+    if (tc.type == tag) out.Add(tc, est);
+  }
+  return out;
+}
+
+FlowSet ColorFlowGraph::Recolor(const FlowSet& in,
+                                const std::string& color) const {
+  FlowSet out;
+  for (const auto& [tc, est] : in.points()) {
+    if (tc.color == color) {
+      out.Add(tc, est);
+      continue;
+    }
+    if (tc.type == kDocumentType) {
+      // The document carries every color: free transition.
+      if (KnownColor(color)) out.Add(TypeColor{kDocumentType, color}, est);
+      continue;
+    }
+    const serialize::ElementType* et = schema_->Find(tc.type);
+    if (et != nullptr && et->colors.contains(color)) {
+      out.Add(TypeColor{tc.type, color}, est);
+    }
+  }
+  return out;
+}
+
+int ColorFlowGraph::MaxOccurs(const FlowSet& in) const {
+  int max_occurs = 1;
+  for (const auto& [tc, _] : in.points()) {
+    const Edges* e = EdgesFor(tc.color);
+    if (e == nullptr || tc.type == kDocumentType) return 0;
+    auto pit = e->parents.find(tc.type);
+    if (pit == e->parents.end()) return 0;  // root type: count unknown
+    for (const std::string& p : pit->second) {
+      auto cit = e->children.find(p);
+      if (cit == e->children.end()) continue;
+      for (const serialize::ProductionChild& pc : cit->second) {
+        if (pc.elem != tc.type) continue;
+        if (pc.quant == '+' || pc.quant == '*') return 0;  // unbounded
+      }
+    }
+  }
+  return max_occurs;
+}
+
+}  // namespace mct::mcx

@@ -1,0 +1,130 @@
+// Color-flow lattice over an MCT schema (the static-analysis domain).
+//
+// An abstract value is a map from (element type, color) points to an
+// estimated cardinality: the set of places a location step's result can
+// live in the multi-colored database, weighted by the schema's quant(e, c)
+// statistics (Section 5). The lattice order is pointwise: bottom is the
+// empty map (a statically-empty step), join is map union with summed
+// estimates. Axis steps, color transitions (cross-tree joins) and node
+// tests are monotone transfer functions, so a single forward pass over a
+// query's location steps computes, per step, the exact set of
+// schema-reachable (type, color) pairs — the basis for every MCX0xx
+// diagnostic in analysis.h.
+//
+// The special type name "#document" stands for the shared document node,
+// which carries every color; its children in color c are the root element
+// types of c (types never produced as a child in that color).
+
+#ifndef COLORFUL_XML_MCX_COLOR_FLOW_H_
+#define COLORFUL_XML_MCX_COLOR_FLOW_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "serialize/schema.h"
+
+namespace mct::mcx {
+
+/// One lattice point: an element type inside one colored tree.
+struct TypeColor {
+  std::string type;
+  std::string color;
+
+  bool operator<(const TypeColor& o) const {
+    return type != o.type ? type < o.type : color < o.color;
+  }
+  bool operator==(const TypeColor& o) const {
+    return type == o.type && color == o.color;
+  }
+};
+
+/// An abstract step result: reachable points with cardinality estimates.
+/// Empty map == lattice bottom == the step is statically unsatisfiable.
+class FlowSet {
+ public:
+  static constexpr double kEstCap = 1e18;
+
+  /// The document node: every color, cardinality 1.
+  static FlowSet Document(const std::set<std::string>& colors);
+
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+  const std::map<TypeColor, double>& points() const { return points_; }
+
+  /// Adds `est` to the point's estimate (join with a singleton).
+  void Add(const TypeColor& tc, double est);
+  /// Pointwise join (map union, estimates summed).
+  void Join(const FlowSet& other);
+
+  bool ContainsType(const std::string& type) const;
+  bool ContainsColor(const std::string& color) const;
+  bool IsDocumentOnly() const;
+
+  /// Sum of all estimates (total expected cardinality of the step).
+  double TotalEstimate() const;
+
+  /// Deterministic "type@color" renderings, for EXPLAIN CHECK output.
+  std::vector<std::string> Render() const;
+
+ private:
+  std::map<TypeColor, double> points_;
+};
+
+/// The transfer functions, precomputed from one schema: per color, the
+/// child relation between element types, its reverse, and the root types.
+class ColorFlowGraph {
+ public:
+  explicit ColorFlowGraph(const serialize::MctSchema* schema);
+
+  const serialize::MctSchema& schema() const { return *schema_; }
+
+  bool KnownColor(const std::string& color) const;
+  /// True when `tag` names an element type in any color.
+  bool KnownType(const std::string& tag) const;
+
+  /// dm:children — child step. Empty `tag` matches any element type.
+  FlowSet Child(const FlowSet& in, const std::string& tag) const;
+  /// Transitive child closure (descendant axis).
+  FlowSet Descendant(const FlowSet& in, const std::string& tag) const;
+  /// Descendant-or-self.
+  FlowSet DescendantOrSelf(const FlowSet& in, const std::string& tag) const;
+  FlowSet Parent(const FlowSet& in, const std::string& tag) const;
+  FlowSet Ancestor(const FlowSet& in, const std::string& tag) const;
+  FlowSet Self(const FlowSet& in, const std::string& tag) const;
+
+  /// Cross-tree color transition: keeps points whose type carries `color`
+  /// as a real color (the document keeps every color). Estimates survive
+  /// unchanged — identity is preserved across trees.
+  FlowSet Recolor(const FlowSet& in, const std::string& color) const;
+
+  /// Quantifier bound for a positional predicate on points of `in`: the
+  /// loosest quantifier ('1' < '?' < '+'/'*') any parent production gives
+  /// the matched child slot. Returns 1 when every slot is '1'/'?' (so a
+  /// positional predicate [N], N >= 2 is statically empty); 0 = unbounded
+  /// or unknown.
+  int MaxOccurs(const FlowSet& in) const;
+
+ private:
+  // Per color: type -> child types (with quant char), and the reverse.
+  struct Edges {
+    std::map<std::string, std::vector<serialize::ProductionChild>> children;
+    std::map<std::string, std::vector<std::string>> parents;
+    std::set<std::string> roots;  // types never produced as a child
+    std::set<std::string> types;  // all types with this real color
+  };
+
+  const Edges* EdgesFor(const std::string& color) const;
+
+  const serialize::MctSchema* schema_;
+  std::map<std::string, Edges> per_color_;
+  std::set<std::string> all_types_;
+};
+
+/// The document's lattice type name.
+inline const char kDocumentType[] = "#document";
+
+}  // namespace mct::mcx
+
+#endif  // COLORFUL_XML_MCX_COLOR_FLOW_H_

@@ -8,6 +8,7 @@
 #include "common/strings.h"
 #include "mcx/parser.h"
 #include "mcx/printer.h"
+#include "serialize/schema.h"
 #include "storage/wal.h"
 #include "query/trace.h"
 #include "xml/escape.h"
@@ -195,6 +196,58 @@ Result<QueryResult> Evaluator::Run(std::string_view text) {
   return Run(q);
 }
 
+Status Evaluator::MaybeAnalyze(const ParsedQuery& q) {
+  if (opts_.analyze == AnalyzeMode::kOff) return Status::OK();
+  static Counter* runs =
+      MetricsRegistry::Global().counter("mct.analysis.runs");
+  static Counter* errors =
+      MetricsRegistry::Global().counter("mct.analysis.errors");
+  static Counter* warnings =
+      MetricsRegistry::Global().counter("mct.analysis.warnings");
+  static Counter* rejected =
+      MetricsRegistry::Global().counter("mct.analysis.rejected");
+  runs->Inc();
+
+  const serialize::MctSchema* schema = opts_.schema;
+  if (schema == nullptr) {
+    if (inferred_schema_ == nullptr) {
+      inferred_schema_ =
+          std::make_unique<serialize::MctSchema>(serialize::InferSchema(*db_));
+    }
+    schema = inferred_schema_.get();
+  }
+
+  AnalyzeOptions ao;
+  ao.schema = schema;
+  ao.default_color = db_->ColorName(opts_.default_color);
+  AnalysisReport report = Analyze(q, ao);
+  errors->Inc(report.num_errors());
+  warnings->Inc(report.num_warnings());
+
+  const bool reject =
+      opts_.analyze == AnalyzeMode::kStrict && report.HasErrors();
+  std::string first_error;
+  if (reject) {
+    for (const Diagnostic& d : report.diagnostics) {
+      if (d.severity == Severity::kError) {
+        first_error = d.ToString();
+        break;
+      }
+    }
+  }
+  const size_t num_errors = report.num_errors();
+  if (opts_.check != nullptr) *opts_.check = std::move(report);
+  if (reject) {
+    rejected->Inc();
+    std::string msg = first_error;
+    if (num_errors > 1) {
+      msg += StrFormat(" (and %zu more error(s))", num_errors - 1);
+    }
+    return Status::StaticError(std::move(msg));
+  }
+  return Status::OK();
+}
+
 Status Evaluator::ForRows(size_t n, bool parallel_ok,
                           const std::function<Status(size_t)>& fn,
                           size_t morsel_override) {
@@ -237,6 +290,7 @@ Status Evaluator::ForRows(size_t n, bool parallel_ok,
 }
 
 Result<QueryResult> Evaluator::Run(const ParsedQuery& q) {
+  MCT_RETURN_IF_ERROR(MaybeAnalyze(q));
   if (pool_ != nullptr) {
     // Interval relabeling is lazy-on-access; workers read labels through the
     // const accessors, which never relabel. Force every color's labels clean

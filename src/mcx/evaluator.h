@@ -31,6 +31,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "mct/database.h"
+#include "mcx/analysis.h"
 #include "mcx/ast.h"
 #include "query/ops.h"
 #include "query/table.h"
@@ -66,11 +67,28 @@ struct QueryResult {
   uint64_t updated_count = 0;
 };
 
+/// Static-analysis gate applied by Evaluator::Run before execution.
+enum class AnalyzeMode {
+  kOff,     // no analysis
+  kWarn,    // analyze, report via EvalOptions::check, never block
+  kStrict,  // additionally reject statements with errors (StaticError)
+};
+
 struct EvalOptions {
   /// Color used by steps without an explicit {color} — the single color of
   /// a shallow/deep database, or any default for MCT dialect queries (which
   /// normally specify every color).
   ColorId default_color = 0;
+  /// Schema-aware static analysis (analysis.h) between parse and
+  /// evaluation.
+  AnalyzeMode analyze = AnalyzeMode::kOff;
+  /// Schema the analyzer checks against. Null infers one from the database
+  /// on first analyzed statement and caches it for the Evaluator's lifetime
+  /// (re-create the Evaluator, or pass a schema, after bulk loads).
+  const serialize::MctSchema* schema = nullptr;
+  /// When set, each analyzed statement's report (the EXPLAIN CHECK payload)
+  /// is stored here, including when strict mode rejects the statement.
+  AnalysisReport* check = nullptr;
   query::ExecStats* stats = nullptr;
   /// When set, the evaluator appends one line per physical operator it
   /// executes (EXPLAIN ANALYZE-style plan trace).
@@ -135,6 +153,10 @@ class Evaluator {
 
   Result<ColorId> ResolveColor(const std::string& name) const;
 
+  /// Runs static analysis per opts_.analyze; returns StaticError when
+  /// strict mode rejects the statement.
+  Status MaybeAnalyze(const ParsedQuery& q);
+
   // FLWOR machinery.
   Result<Bindings> EvalFLWORBindings(const std::vector<Binding>& bindings,
                                      const Expr* where, const Env& env);
@@ -194,6 +216,9 @@ class Evaluator {
 
   MctDatabase* db_;
   EvalOptions opts_;
+  // Schema inferred from db_ on first analyzed statement (opts_.schema
+  // null); cached for the Evaluator's lifetime.
+  std::unique_ptr<serialize::MctSchema> inferred_schema_;
   // Worker pool for morsel-driven execution (null when num_threads == 1);
   // exec_ is the ExecContext handed to every physical operator.
   std::unique_ptr<ThreadPool> pool_;

@@ -1,10 +1,24 @@
 #include "mcx/parser.h"
 
+#include <algorithm>
 #include <cctype>
 
 #include "common/strings.h"
 
 namespace mct::mcx {
+
+LineCol ResolveLineCol(std::string_view text, size_t pos) {
+  LineCol lc;
+  for (size_t i = 0; i < pos && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++lc.line;
+      lc.col = 1;
+    } else {
+      ++lc.col;
+    }
+  }
+  return lc;
+}
 
 namespace {
 
@@ -12,9 +26,17 @@ class Parser {
  public:
   explicit Parser(std::string_view in) : in_(in) {}
 
+  static SourceSpan Union(const SourceSpan& a, const SourceSpan& b) {
+    if (!a.valid()) return b;
+    if (!b.valid()) return a;
+    return SourceSpan{std::min(a.begin, b.begin), std::max(a.end, b.end)};
+  }
+
   Result<ParsedQuery> ParseStatement() {
     SkipWs();
     ParsedQuery q;
+    q.source = std::string(in_);
+    const size_t stmt_start = pos_;
     if (LookKeyword("for") || LookKeyword("let")) {
       // Could be a query FLWOR or an update statement; parse the prefix and
       // decide at the 'return' / 'update' keyword.
@@ -45,6 +67,7 @@ class Parser {
       }
       if (!ConsumeKeyword("return")) return Err("expected 'return'");
       MCT_ASSIGN_OR_RETURN(flwor->ret, ParseExpr());
+      flwor->span = SpanFrom(stmt_start);
       q.root = std::move(flwor);
     } else {
       MCT_ASSIGN_OR_RETURN(q.root, ParseExpr());
@@ -56,17 +79,28 @@ class Parser {
 
  private:
   Status Err(const std::string& what) const {
-    size_t line = 1, col = 1;
-    for (size_t i = 0; i < pos_ && i < in_.size(); ++i) {
-      if (in_[i] == '\n') {
-        ++line;
-        col = 1;
-      } else {
-        ++col;
-      }
+    LineCol lc = ResolveLineCol(in_, pos_);
+    // Excerpt the upcoming input (up to the line end, clipped) so the
+    // message carries the offending token, not just coordinates.
+    std::string_view rest = in_.substr(pos_);
+    size_t cut = rest.find('\n');
+    if (cut == std::string_view::npos || cut > 24) cut = std::min<size_t>(rest.size(), 24);
+    std::string near(rest.substr(0, cut));
+    if (near.empty()) near = "<end of input>";
+    return Status::ParseError(StrFormat("%s at line %zu col %zu near '%s'",
+                                        what.c_str(), lc.line, lc.col,
+                                        near.c_str()));
+  }
+
+  /// Span from `start` to the current cursor, trailing whitespace excluded.
+  SourceSpan SpanFrom(size_t start) const {
+    size_t end = pos_;
+    while (end > start &&
+           std::isspace(static_cast<unsigned char>(in_[end - 1]))) {
+      --end;
     }
-    return Status::ParseError(
-        StrFormat("%s at line %zu col %zu", what.c_str(), line, col));
+    return SourceSpan{static_cast<uint32_t>(start),
+                      static_cast<uint32_t>(end)};
   }
 
   bool AtEnd() const { return pos_ >= in_.size(); }
@@ -156,6 +190,8 @@ class Parser {
       bool is_let = !is_for && ConsumeKeyword("let");
       if (!is_for && !is_let) break;
       do {
+        SkipWs();
+        const size_t bind_start = pos_;
         Binding b;
         b.is_let = is_let;
         MCT_ASSIGN_OR_RETURN(b.var, ParseVar());
@@ -165,6 +201,7 @@ class Parser {
           if (!ConsumeSymbol(":=")) return Err("expected ':='");
         }
         MCT_ASSIGN_OR_RETURN(b.expr, ParseExpr());
+        b.span = SpanFrom(bind_start);
         out->push_back(std::move(b));
       } while (ConsumeSymbol(","));
     }
@@ -181,6 +218,7 @@ class Parser {
     while (ConsumeKeyword("or")) {
       MCT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
       auto node = std::make_unique<Expr>(Expr::Kind::kOr);
+      node->span = Union(lhs->span, rhs->span);
       node->children.push_back(std::move(lhs));
       node->children.push_back(std::move(rhs));
       lhs = std::move(node);
@@ -193,6 +231,7 @@ class Parser {
     while (ConsumeKeyword("and")) {
       MCT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
       auto node = std::make_unique<Expr>(Expr::Kind::kAnd);
+      node->span = Union(lhs->span, rhs->span);
       node->children.push_back(std::move(lhs));
       node->children.push_back(std::move(rhs));
       lhs = std::move(node);
@@ -224,12 +263,23 @@ class Parser {
     MCT_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
     auto node = std::make_unique<Expr>(Expr::Kind::kCompare);
     node->cmp = op;
+    node->span = Union(lhs->span, rhs->span);
     node->children.push_back(std::move(lhs));
     node->children.push_back(std::move(rhs));
     return node;
   }
 
+  /// Wrapper stamping the source span of whatever primary was parsed; the
+  /// grammar dispatch lives in ParsePrimaryInner.
   Result<ExprPtr> ParsePrimary() {
+    SkipWs();
+    const size_t start = pos_;
+    MCT_ASSIGN_OR_RETURN(ExprPtr node, ParsePrimaryInner());
+    if (node != nullptr && !node->span.valid()) node->span = SpanFrom(start);
+    return node;
+  }
+
+  Result<ExprPtr> ParsePrimaryInner() {
     SkipWs();
     if (AtEnd()) return Err("unexpected end of input");
     char c = Peek();
@@ -356,15 +406,19 @@ class Parser {
       }
       // Predicate directly on the variable: $m[...]: model as self step.
       if (Peek() == '[') {
+        const size_t step_start = pos_;
         PathStep self;
         self.axis = Axis::kSelf;
         MCT_RETURN_IF_ERROR(ParsePredicates(&self));
+        self.span = SpanFrom(step_start);
         p.steps.push_back(std::move(self));
       }
     } else if (Peek() == '.') {
       // Context item ".": a self step path (predicates like [. = $m]).
-      ++pos_;
       PathStep self;
+      self.span = SourceSpan{static_cast<uint32_t>(pos_),
+                             static_cast<uint32_t>(pos_ + 1)};
+      ++pos_;
       self.axis = Axis::kSelf;
       p.steps.push_back(std::move(self));
       SkipWs();
@@ -404,8 +458,11 @@ class Parser {
         return Status::OK();
       }
       first = false;
+      SkipWs();
+      const size_t step_start = pos_;
       PathStep step;
       MCT_RETURN_IF_ERROR(ParseOneStep(&step, descendant_slash));
+      step.span = SpanFrom(step_start);
       p->steps.push_back(std::move(step));
     }
   }
@@ -511,6 +568,7 @@ class Parser {
   Result<ExprPtr> ParseElementConstructor() {
     // At '<'.
     if (Peek() != '<') return Err("expected '<'");
+    const size_t ctor_start = pos_;
     ++pos_;
     auto node = std::make_unique<Expr>(Expr::Kind::kElement);
     MCT_ASSIGN_OR_RETURN(node->tag, ParseName());
@@ -519,6 +577,7 @@ class Parser {
       SkipWs();
       if (LookSymbol("/>")) {
         ConsumeSymbol("/>");
+        node->span = SpanFrom(ctor_start);
         return node;
       }
       if (LookSymbol(">")) {
@@ -552,6 +611,7 @@ class Parser {
           return Err("mismatched </" + close + "> for <" + node->tag + ">");
         }
         if (!ConsumeSymbol(">")) return Err("expected '>'");
+        node->span = SpanFrom(ctor_start);
         return node;
       }
       if (Peek() == '<') {
@@ -589,9 +649,14 @@ class Parser {
   // ---- Updates ----
 
   Status ParseUpdateTail(ParsedQuery* q) {
+    SkipWs();
+    const size_t target_start = pos_;
     MCT_ASSIGN_OR_RETURN(q->target_var, ParseVar());
+    q->target_span = SpanFrom(target_start);
     if (!ConsumeSymbol("{")) return Err("expected '{' after update target");
     do {
+      SkipWs();
+      const size_t action_start = pos_;
       UpdateAction action;
       if (ConsumeKeyword("insert")) {
         action.kind = UpdateAction::Kind::kInsert;
@@ -624,6 +689,7 @@ class Parser {
       } else {
         return Err("expected insert/delete/replace");
       }
+      action.span = SpanFrom(action_start);
       q->actions.push_back(std::move(action));
     } while (ConsumeSymbol(","));
     if (!ConsumeSymbol("}")) return Err("expected '}' after update actions");

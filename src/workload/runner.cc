@@ -8,7 +8,9 @@ namespace mct::workload {
 Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
                           const std::string& text, bool collect_values,
                           int num_threads, size_t morsel_size,
-                          query::QueryTrace* trace, WalWriter* wal) {
+                          query::QueryTrace* trace, WalWriter* wal,
+                          mcx::AnalyzeMode analyze,
+                          mcx::AnalysisReport* check) {
   QueryRun run;
   mcx::EvalOptions opts;
   opts.default_color = default_color;
@@ -17,6 +19,8 @@ Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
   opts.morsel_size = morsel_size;
   opts.trace = trace;
   opts.wal = wal;
+  opts.analyze = analyze;
+  opts.check = check;
   mcx::Evaluator ev(db, opts);
   MCT_ASSIGN_OR_RETURN(mcx::ParsedQuery parsed, mcx::Parse(text));
   Timer timer;

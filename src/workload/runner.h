@@ -33,12 +33,17 @@ struct QueryRun {
 /// update statements are logged and fsynced to it before returning, so a
 /// crash after RunQuery reports an update is recoverable
 /// (mct::RecoverDatabase); the reported wall time then includes the fsync,
-/// as a real durable engine's commit latency would.
+/// as a real durable engine's commit latency would. `analyze` gates the
+/// static analyzer (mcx/analysis.h): kWarn records diagnostics into
+/// `check` (when non-null) without blocking, kStrict additionally rejects
+/// statements with MCX0xx errors before execution (Status::StaticError).
 Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
                           const std::string& text, bool collect_values = false,
                           int num_threads = 1, size_t morsel_size = 1024,
                           query::QueryTrace* trace = nullptr,
-                          WalWriter* wal = nullptr);
+                          WalWriter* wal = nullptr,
+                          mcx::AnalyzeMode analyze = mcx::AnalyzeMode::kOff,
+                          mcx::AnalysisReport* check = nullptr);
 
 }  // namespace mct::workload
 

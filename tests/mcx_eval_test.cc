@@ -53,7 +53,7 @@ TEST(EvalTest, PredicateOnChildContent) {
 TEST(EvalTest, PaperQ1) {
   MovieDb f = BuildMovieDb();
   query::ExecStats stats;
-  Evaluator ev(f.db.get(), EvalOptions{0, &stats});
+  Evaluator ev(f.db.get(), EvalOptions{.default_color = 0, .stats = &stats});
   QueryResult r = MustRun(
       ev,
       "for $m in document(\"mdb.xml\")/{red}descendant::movie-genre"
@@ -142,7 +142,7 @@ TEST(EvalTest, PaperQ3) {
 TEST(EvalTest, PaperQ4) {
   MovieDb f = BuildMovieDb();
   query::ExecStats stats;
-  Evaluator ev(f.db.get(), EvalOptions{0, &stats});
+  Evaluator ev(f.db.get(), EvalOptions{.default_color = 0, .stats = &stats});
   QueryResult r = MustRun(
       ev,
       "for $a in document(\"mdb.xml\")/{green}descendant::movie-award"
@@ -262,7 +262,7 @@ TEST(EvalTest, ShallowStyleValueJoin) {
                     .ok());
   }
   query::ExecStats stats;
-  Evaluator ev(&db, EvalOptions{doc, &stats});
+  Evaluator ev(&db, EvalOptions{.default_color = doc, .stats = &stats});
   QueryResult r = MustRun(
       ev,
       "for $g in document(\"d\")//genre[name = \"Comedy\"], "
@@ -283,7 +283,7 @@ TEST(EvalTest, IdrefsListJoin) {
     NodeId r = *db.CreateElement(doc, root, "movie-role");
     ASSERT_TRUE(db.SetAttr(r, "id", rid).ok());
   }
-  Evaluator ev(&db, EvalOptions{doc, nullptr});
+  Evaluator ev(&db, EvalOptions{.default_color = doc});
   QueryResult r = MustRun(
       ev,
       "for $m in document(\"d\")//movie, $r in document(\"d\")//movie-role "
@@ -295,7 +295,7 @@ TEST(EvalTest, IdrefsListJoin) {
 TEST(EvalTest, InequalityJoinNestedLoop) {
   MovieDb f = BuildMovieDb();
   query::ExecStats stats;
-  Evaluator ev(f.db.get(), EvalOptions{0, &stats});
+  Evaluator ev(f.db.get(), EvalOptions{.default_color = 0, .stats = &stats});
   QueryResult r = MustRun(
       ev,
       "for $a in document(\"d\")/{green}descendant::movie, "

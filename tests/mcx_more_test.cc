@@ -150,7 +150,7 @@ TEST(ResultTest, ToXmlRendersAtomicsAndNodes) {
 TEST(PlannerTest, IdentityJoinCountsAsStructural) {
   MovieDb f = BuildMovieDb();
   query::ExecStats stats;
-  Evaluator ev(f.db.get(), EvalOptions{0, &stats});
+  Evaluator ev(f.db.get(), EvalOptions{.default_color = 0, .stats = &stats});
   MustRun(ev,
           "for $m in document(\"d\")/{red}descendant::movie, "
           "$m in document(\"d\")/{green}descendant::movie "
@@ -161,7 +161,7 @@ TEST(PlannerTest, IdentityJoinCountsAsStructural) {
 TEST(PlannerTest, CartesianWhenNoJoinCondition) {
   MovieDb f = BuildMovieDb();
   query::ExecStats stats;
-  Evaluator ev(f.db.get(), EvalOptions{0, &stats});
+  Evaluator ev(f.db.get(), EvalOptions{.default_color = 0, .stats = &stats});
   QueryResult r = MustRun(
       ev,
       "for $g in document(\"d\")/{red}child::movie-genre, "

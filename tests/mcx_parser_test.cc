@@ -238,6 +238,68 @@ TEST(ParserTest, Errors) {
                   .IsParseError());
 }
 
+TEST(ParserTest, ErrorMessagesCarryLineColAndNearText) {
+  // Single-line error: position points at the offending token.
+  Status s = Parse("for $m in document(\"d\")//x return $m extra").status();
+  ASSERT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("line 1 col"), std::string::npos) << s;
+  EXPECT_NE(s.message().find("near 'extra'"), std::string::npos) << s;
+
+  // Multi-line statement: the line number advances past the newline.
+  Status s2 = Parse("for $m in document(\"d\")//x\nreturn $m ???").status();
+  ASSERT_TRUE(s2.IsParseError());
+  EXPECT_NE(s2.message().find("line 2"), std::string::npos) << s2;
+}
+
+TEST(ParserTest, ResolveLineColComputesPositions) {
+  const std::string text = "abc\ndef\nghi";
+  LineCol a = ResolveLineCol(text, 0);
+  EXPECT_EQ(a.line, 1u);
+  EXPECT_EQ(a.col, 1u);
+  LineCol b = ResolveLineCol(text, 5);  // 'e'
+  EXPECT_EQ(b.line, 2u);
+  EXPECT_EQ(b.col, 2u);
+  LineCol c = ResolveLineCol(text, 10);  // 'i'
+  EXPECT_EQ(c.line, 3u);
+  EXPECT_EQ(c.col, 3u);
+}
+
+TEST(ParserTest, AstCarriesSourceSpans) {
+  const std::string text =
+      "for $m in document(\"mdb.xml\")/{red}descendant::movie "
+      "return $m/{red}child::name";
+  ParsedQuery q = MustParse(text);
+  EXPECT_EQ(q.source, text);
+  ASSERT_EQ(q.root->bindings.size(), 1u);
+  const Binding& b = q.root->bindings[0];
+  ASSERT_TRUE(b.span.valid());
+  // The binding's span covers "$m in document(...)...movie".
+  EXPECT_EQ(text.substr(b.span.begin, 2), "$m");
+  const PathExpr& p = b.expr->path;
+  ASSERT_EQ(p.steps.size(), 1u);
+  ASSERT_TRUE(p.steps[0].span.valid());
+  std::string step_text = text.substr(
+      p.steps[0].span.begin, p.steps[0].span.end - p.steps[0].span.begin);
+  EXPECT_EQ(step_text, "{red}descendant::movie");
+}
+
+TEST(ParserTest, UpdateActionsCarrySpans) {
+  const std::string text =
+      "for $m in document(\"d\")/{red}descendant::movie "
+      "update $m { insert <verified>yes</verified> into {red}, "
+      "delete {red} name }";
+  ParsedQuery q = MustParse(text);
+  ASSERT_TRUE(q.is_update);
+  ASSERT_TRUE(q.target_span.valid());
+  EXPECT_EQ(text.substr(q.target_span.begin, 2), "$m");
+  ASSERT_EQ(q.actions.size(), 2u);
+  for (const UpdateAction& a : q.actions) {
+    ASSERT_TRUE(a.span.valid());
+  }
+  EXPECT_EQ(text.substr(q.actions[0].span.begin, 6), "insert");
+  EXPECT_EQ(text.substr(q.actions[1].span.begin, 6), "delete");
+}
+
 TEST(ComplexityTest, CountsPathsAndBindings) {
   // Shallow-1 query from Example 1.1: 5 bindings, several paths.
   ParsedQuery q = MustParse(

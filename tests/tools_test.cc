@@ -114,7 +114,7 @@ TEST(XmlLoadTest, LoadedDocumentIsQueryable) {
                           "</book><book><title>Emma</title><year>1815</year>"
                           "</book></lib>")
                   .ok());
-  mcx::Evaluator ev(&db, mcx::EvalOptions{c, nullptr});
+  mcx::Evaluator ev(&db, mcx::EvalOptions{.default_color = c});
   auto r = ev.Run(
       "for $b in document(\"lib\")//book[year < 1900] return $b/title");
   ASSERT_TRUE(r.ok()) << r.status();
