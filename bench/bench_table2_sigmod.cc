@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_planner_compare.h"
 #include "bench_util.h"
 #include "common/strings.h"
 #include "query/trace.h"
@@ -74,6 +75,15 @@ int main(int argc, char** argv) {
   }
   shallow_db->db->tree(shallow_db->doc)->EnsureLabels();
   deep_db->db->tree(deep_db->doc)->EnsureLabels();
+
+  if (mct::bench::HasFlag(argc, argv, "--planner")) {
+    // Planner A/B mode, as in bench_table2_tpcw.
+    std::printf("=== Planner A/B (SIGMOD-Record, MCT schema) ===\n\n");
+    return mct::bench::PlannerCompare(mct_db->db.get(),
+                                      mct_db->default_color(),
+                                      SigmodCatalog(data),
+                                      "BENCH_planner_sigmod.json");
+  }
 
   if (mct::bench::HasFlag(argc, argv, "--check")) {
     // EXPLAIN CHECK mode, as in bench_table2_tpcw: strict static analysis

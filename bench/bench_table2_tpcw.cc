@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_planner_compare.h"
 #include "bench_util.h"
 #include "common/strings.h"
 #include "query/trace.h"
@@ -83,6 +84,15 @@ int main(int argc, char** argv) {
   }
   shallow_db->db->tree(shallow_db->doc)->EnsureLabels();
   deep_db->db->tree(deep_db->doc)->EnsureLabels();
+
+  if (mct::bench::HasFlag(argc, argv, "--planner")) {
+    // Planner A/B mode: baseline pipeline vs cost-based planner + plan
+    // cache on every MCT read statement, with the CI regression gate.
+    std::printf("=== Planner A/B (TPC-W, MCT schema) ===\n\n");
+    return mct::bench::PlannerCompare(mct_db->db.get(),
+                                      mct_db->default_color(),
+                                      TpcwCatalog(data), "BENCH_planner.json");
+  }
 
   if (mct::bench::HasFlag(argc, argv, "--check")) {
     // EXPLAIN CHECK mode: statically analyze and execute every catalog

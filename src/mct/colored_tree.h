@@ -21,12 +21,22 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "mct/color.h"
 #include "mct/node_store.h"
 #include "storage/record_file.h"
 
 namespace mct {
+
+/// Children visited across all ForEachChild calls (process-wide, batched:
+/// one relaxed add per call). Pointer resolved once; registrations survive
+/// MetricsRegistry::ResetForTest so it never dangles.
+inline Counter* TreeChildIterCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("mct.tree.child_iter");
+  return c;
+}
 
 class ColoredTree {
  public:
@@ -68,15 +78,24 @@ class ColoredTree {
   std::vector<NodeId> Children(NodeId node) const;
 
   /// Visits children in order without materializing a vector (hot path for
-  /// per-row predicate evaluation).
+  /// per-row predicate evaluation). Exactly one hash lookup per child: the
+  /// sibling link is read from that lookup before `fn` runs, instead of a
+  /// second bounds-checked nodes_.at() to advance.
   template <typename Fn>
   void ForEachChild(NodeId node, Fn&& fn) const {
     auto it = nodes_.find(node);
     if (it == nodes_.end()) return;
-    for (NodeId c = it->second.first_child; c != kInvalidNodeId;
-         c = nodes_.at(c).next_sibling) {
+    uint64_t visited = 0;
+    NodeId c = it->second.first_child;
+    while (c != kInvalidNodeId) {
+      auto cit = nodes_.find(c);
+      assert(cit != nodes_.end());
+      NodeId next = cit->second.next_sibling;
+      ++visited;
       fn(c);
+      c = next;
     }
+    if (visited != 0) TreeChildIterCounter()->Inc(visited);
   }
 
   /// Pre-order (local document order) of the whole tree.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 #include <unordered_set>
 
 #include "common/metrics.h"
@@ -11,6 +12,7 @@
 #include "serialize/schema.h"
 #include "storage/wal.h"
 #include "query/trace.h"
+#include "query/twig.h"
 #include "xml/escape.h"
 
 namespace mct::mcx {
@@ -68,6 +70,15 @@ class TracePause {
  private:
   query::QueryTrace* t_;
 };
+
+// True for axes whose operator filters targets by membership in the step's
+// color — making a preceding cross-tree join on the context column
+// redundant (the planner's elision). self/attribute/descendant-or-self pass
+// context nodes through untested, so elision there would change results.
+bool AxisSubsumesCrossTree(Axis a) {
+  return a == Axis::kChild || a == Axis::kDescendant || a == Axis::kParent ||
+         a == Axis::kAncestor;
+}
 
 // Flattens an AND tree into conjuncts.
 void FlattenConjuncts(const Expr* e, std::vector<const Expr*>* out) {
@@ -192,6 +203,25 @@ Result<ColorId> Evaluator::ResolveColor(const std::string& name) const {
 }
 
 Result<QueryResult> Evaluator::Run(std::string_view text) {
+  if (opts_.planner && opts_.plan_cache != nullptr) {
+    std::string key(text);
+    if (std::shared_ptr<const void> hit = opts_.plan_cache->LookupExact(key)) {
+      auto cached = std::static_pointer_cast<const CachedStatement>(hit);
+      // `cached` keeps the payload alive even if the cache is invalidated
+      // mid-statement by a concurrent session.
+      return RunPlanned(cached->query, &cached->plan);
+    }
+    MCT_ASSIGN_OR_RETURN(ParsedQuery q, Parse(text));
+    auto cached = std::make_shared<CachedStatement>();
+    const std::string norm = query::NormalizeStatement(text);
+    if (!opts_.plan_cache->LookupSkeleton(norm, &cached->plan)) {
+      cached->plan = PlanFor(q);
+      opts_.plan_cache->InsertSkeleton(norm, cached->plan);
+    }
+    cached->query = std::move(q);
+    opts_.plan_cache->InsertExact(key, cached);
+    return RunPlanned(cached->query, &cached->plan);
+  }
   MCT_ASSIGN_OR_RETURN(ParsedQuery q, Parse(text));
   return Run(q);
 }
@@ -290,7 +320,27 @@ Status Evaluator::ForRows(size_t n, bool parallel_ok,
 }
 
 Result<QueryResult> Evaluator::Run(const ParsedQuery& q) {
+  if (opts_.planner) {
+    const query::StatementPlan plan = PlanFor(q);
+    return RunPlanned(q, &plan);
+  }
+  return RunPlanned(q, nullptr);
+}
+
+Result<QueryResult> Evaluator::RunPlanned(const ParsedQuery& q,
+                                          const query::StatementPlan* plan) {
   MCT_RETURN_IF_ERROR(MaybeAnalyze(q));
+  if (plan != nullptr) {
+    Note("EXPLAIN PLAN\n" + plan->Describe());
+    if (exec_.trace != nullptr) {
+      exec_.trace->Leaf("PLAN",
+                        StrFormat("cost %.1f baseline -> %.1f chosen",
+                                  plan->cost_baseline, plan->cost_chosen));
+    }
+  }
+  // Always (re)assign: a stale pointer from a prior statement must never
+  // leak into this one. The first EvalFLWORBindings call consumes it.
+  active_plan_ = plan;
   if (pool_ != nullptr) {
     // Interval relabeling is lazy-on-access; workers read labels through the
     // const accessors, which never relabel. Force every color's labels clean
@@ -303,7 +353,15 @@ Result<QueryResult> Evaluator::Run(const ParsedQuery& q) {
     static Counter* updates =
         MetricsRegistry::Global().counter("mct.eval.updates");
     updates->Inc();
-    return RunUpdate(q);
+    Result<QueryResult> r = RunUpdate(q);
+    active_plan_ = nullptr;
+    if (r.ok() && r->updated_count > 0 && opts_.plan_cache != nullptr) {
+      // Statistics (and any cached candidate counts) are stale now; cached
+      // plans stay *correct* (runtime guards re-validate), but re-planning
+      // against fresh stats is the better bet.
+      opts_.plan_cache->Invalidate();
+    }
+    return r;
   }
   static Counter* queries =
       MetricsRegistry::Global().counter("mct.eval.queries");
@@ -324,6 +382,246 @@ Result<QueryResult> Evaluator::Run(const ParsedQuery& q) {
     query::OpTrace* root = exec_.trace->mutable_root();
     root->rows_out = out.items.size();
     root->seconds = SecondsSince(t0);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Cost-based planning (query/planner.h)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Live statistics the cost model reads: per-(color, tag) element counts off
+// the tag index and whole-color sizes.
+class DbStatsProvider : public query::StatsProvider {
+ public:
+  explicit DbStatsProvider(const MctDatabase* db) : db_(db) {}
+  double TagCount(ColorId color, const std::string& tag) const override {
+    return static_cast<double>(db_->TagCount(color, tag));
+  }
+  double ColorSize(ColorId color) const override {
+    const ColoredTree* t = db_->tree(color);
+    return t != nullptr ? static_cast<double>(t->size()) : 0.0;
+  }
+
+ private:
+  const MctDatabase* db_;
+};
+
+}  // namespace
+
+const ColorFlowGraph* Evaluator::flow_graph() {
+  if (flow_graph_ == nullptr) {
+    const serialize::MctSchema* schema = opts_.schema;
+    if (schema == nullptr) {
+      if (inferred_schema_ == nullptr) {
+        inferred_schema_ = std::make_unique<serialize::MctSchema>(
+            serialize::InferSchema(*db_));
+      }
+      schema = inferred_schema_.get();
+    }
+    flow_graph_ = std::make_unique<ColorFlowGraph>(schema);
+  }
+  return flow_graph_.get();
+}
+
+query::StatementPlan Evaluator::PlanFor(const ParsedQuery& q) {
+  static Counter* planned =
+      MetricsRegistry::Global().counter("mct.planner.statements");
+  planned->Inc();
+  const std::vector<Binding>* bindings = nullptr;
+  if (q.is_update) {
+    bindings = &q.bindings;
+  } else if (q.root != nullptr && q.root->kind == Expr::Kind::kFLWOR) {
+    bindings = &q.root->bindings;
+  }
+  if (bindings == nullptr || bindings->empty()) return query::StatementPlan{};
+  DbStatsProvider stats(db_);
+  return query::PlanStatement(BuildBindingDescs(*bindings), stats);
+}
+
+std::vector<query::BindingDesc> Evaluator::BuildBindingDescs(
+    const std::vector<Binding>& bindings) {
+  const ColorFlowGraph* fg = flow_graph();
+  const std::set<std::string> all_colors = [&] {
+    std::set<std::string> s;
+    for (size_t c = 0; c < db_->num_colors(); ++c) {
+      s.insert(db_->ColorName(static_cast<ColorId>(c)));
+    }
+    return s;
+  }();
+
+  std::vector<query::BindingDesc> out;
+  out.reserve(bindings.size());
+  // Final color / flow set of each bound variable, mirroring the pipeline's
+  // column metadata. Absent entry = binding unplannable (plan baseline).
+  std::unordered_map<std::string, ColorId> var_color;
+  std::unordered_map<std::string, FlowSet> var_flow;
+  std::unordered_set<std::string> bound;
+  double acc_rows = 1;
+
+  for (const Binding& binding : bindings) {
+    query::BindingDesc d;
+    const Expr* pe = binding.expr.get();
+    if (pe != nullptr && pe->kind == Expr::Kind::kDistinctValues &&
+        !pe->children.empty()) {
+      pe = pe->children[0].get();
+    }
+    if (binding.is_let || pe == nullptr || pe->kind != Expr::Kind::kPath) {
+      // Index-aligned placeholder: the binding runs the baseline pipeline.
+      out.push_back(std::move(d));
+      bound.insert(binding.var);
+      var_color.erase(binding.var);
+      continue;
+    }
+    const PathExpr& path = pe->path;
+
+    ColorId cur_color = opts_.default_color;
+    FlowSet flow;
+    bool ok = true;
+    if (!path.start_var.empty()) {
+      auto it = var_color.find(path.start_var);
+      if (it == var_color.end()) {
+        ok = false;  // env var or unplannable source: no color known
+      } else {
+        cur_color = it->second;
+        auto fit = var_flow.find(path.start_var);
+        if (fit != var_flow.end()) flow = fit->second;
+      }
+      d.doc_context = false;
+      d.single_row = false;
+      d.in_rows = acc_rows;
+    } else {
+      // Mirrors the correlated-path detection in EvalFLWORBindings: a
+      // predicate referencing an already-bound variable seeds the
+      // accumulated table instead of a fresh one-row document base.
+      bool correlated = false;
+      if (!bound.empty()) {
+        std::vector<std::string> pred_vars;
+        for (const PathStep& step : path.steps) {
+          for (const auto& pred : step.predicates) {
+            CollectVars(*pred, &pred_vars);
+          }
+        }
+        for (const std::string& v : pred_vars) {
+          if (bound.contains(v)) {
+            correlated = true;
+            break;
+          }
+        }
+      }
+      d.doc_context = true;
+      d.single_row = !correlated;
+      d.in_rows = correlated ? acc_rows : 1;
+      flow = FlowSet::Document(all_colors);
+    }
+
+    for (const PathStep& step : path.steps) {
+      if (!ok) break;
+      ColorId c = opts_.default_color;
+      if (!step.color.empty()) {
+        c = db_->LookupColor(step.color);
+        if (c == kInvalidColorId) {
+          ok = false;  // the pipeline will raise the error; don't plan
+          break;
+        }
+      }
+      query::StepDesc s;
+      s.axis = static_cast<query::PlanAxis>(step.axis);
+      s.color = c;
+      s.tag = step.tag;
+      const bool first = d.steps.empty();
+      s.color_change = c != cur_color && !(first && d.doc_context);
+
+      // Color-flow cardinality: recolor (the lattice's color transition)
+      // then the axis transfer.
+      if (!flow.empty()) {
+        flow = fg->Recolor(flow, db_->ColorName(c));
+        switch (step.axis) {
+          case Axis::kChild:
+            flow = fg->Child(flow, step.tag);
+            break;
+          case Axis::kDescendant:
+            flow = fg->Descendant(flow, step.tag);
+            break;
+          case Axis::kDescendantOrSelf:
+            flow = fg->DescendantOrSelf(flow, step.tag);
+            break;
+          case Axis::kParent:
+            flow = fg->Parent(flow, step.tag);
+            break;
+          case Axis::kAncestor:
+            flow = fg->Ancestor(flow, step.tag);
+            break;
+          case Axis::kSelf:
+            flow = fg->Self(flow, step.tag);
+            break;
+          case Axis::kAttribute:
+            break;  // row count carries over; keep the element flow
+        }
+        if (step.axis != Axis::kAttribute) {
+          s.flow_out = flow.TotalEstimate();
+        }
+      }
+
+      for (const auto& pred : step.predicates) {
+        query::PredDesc p;
+        if (pred->kind == Expr::Kind::kNumber) {
+          p.positional = true;
+        } else if (pred->kind == Expr::Kind::kCompare &&
+                   pred->cmp == CmpOp::kEq && pred->children.size() == 2 &&
+                   pred->children[1]->kind == Expr::Kind::kString &&
+                   pred->children[0]->kind == Expr::Kind::kPath) {
+          // Mirror of the INDEX PROBE eligibility test in EvalSteps.
+          const PathExpr& lp = pred->children[0]->path;
+          const std::string& lit = pred->children[1]->str;
+          if (lp.start_var.empty() && !lp.from_document &&
+              lp.steps.size() == 1 && lp.steps[0].predicates.empty()) {
+            const PathStep& ps = lp.steps[0];
+            if (ps.axis == Axis::kChild && !ps.tag.empty()) {
+              p.seek = query::PredDesc::Seek::kChildContent;
+              p.est_matches =
+                  static_cast<double>(db_->ContentLookup(ps.tag, lit).size());
+            } else if (ps.axis == Axis::kAttribute) {
+              p.seek = query::PredDesc::Seek::kAttr;
+              p.est_matches =
+                  static_cast<double>(db_->AttrLookup(ps.tag, lit).size());
+            } else if (ps.axis == Axis::kSelf && ps.tag.empty() &&
+                       !step.tag.empty()) {
+              p.seek = query::PredDesc::Seek::kSelfContent;
+              p.est_matches =
+                  static_cast<double>(db_->ContentLookup(step.tag, lit).size());
+            }
+          }
+        }
+        s.preds.push_back(p);
+      }
+
+      cur_color = c;
+      d.steps.push_back(std::move(s));
+    }
+    if (!ok) d.steps.clear();  // unplannable: baseline every step
+
+    bound.insert(binding.var);
+    if (ok && !d.steps.empty()) {
+      var_color[binding.var] = cur_color;
+      var_flow[binding.var] = flow;
+      const query::StepDesc& lastst = d.steps.back();
+      double est = lastst.flow_out >= 0
+                       ? lastst.flow_out
+                       : static_cast<double>(
+                             db_->TagCount(lastst.color, lastst.tag));
+      for (const auto& p : lastst.preds) {
+        est *= p.positional ? 0.2 : 0.5;
+        (void)p;
+      }
+      acc_rows = std::max(1.0, est);
+    } else {
+      var_color.erase(binding.var);
+      var_flow.erase(binding.var);
+    }
+    out.push_back(std::move(d));
   }
   return out;
 }
@@ -407,8 +705,20 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
   FlattenConjuncts(where, &conjuncts);
   std::vector<bool> used(conjuncts.size(), false);
 
+  // Consume the statement plan (if any). Clearing it here means nested
+  // per-row FLWORs — which re-enter this function — run the baseline
+  // pipeline instead of misapplying the outer statement's plan.
+  const query::StatementPlan* plan = active_plan_;
+  active_plan_ = nullptr;
+  if (plan != nullptr && plan->bindings.size() != bindings.size()) {
+    plan = nullptr;
+  }
+
   Bindings acc;
-  for (const auto& binding : bindings) {
+  for (size_t bi = 0; bi < bindings.size(); ++bi) {
+    const auto& binding = bindings[bi];
+    const query::BindingPlan* bplan =
+        plan != nullptr ? &plan->bindings[bi] : nullptr;
     const Expr& be = *binding.expr;
     bool distinct = be.kind == Expr::Kind::kDistinctValues;
     const Expr& pe = distinct ? *be.children[0] : be;
@@ -460,8 +770,12 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
               "axis step from atomic-valued variable " + path.start_var);
         }
         TraceGroup g(exec_.trace, "FOR", binding.var);
+        if (g.enabled() && bplan != nullptr && bplan->est_rows >= 0) {
+          g.node()->est_rows = bplan->est_rows;
+        }
         MCT_ASSIGN_OR_RETURN(
-            acc, EvalSteps(std::move(acc), col, path.steps, binding.var, env));
+            acc, EvalSteps(std::move(acc), col, path.steps, binding.var, env,
+                           bplan));
       } else if (env.contains(path.start_var)) {
         // Correlated with an *outer* FLWOR variable: seed from the env.
         const Item& outer = env.at(path.start_var);
@@ -517,10 +831,13 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
         seeded.cols.push_back(ColumnInfo{opts_.default_color, false, ""});
         {
           TraceGroup g(exec_.trace, "FOR", binding.var);
+          if (g.enabled() && bplan != nullptr && bplan->est_rows >= 0) {
+            g.node()->est_rows = bplan->est_rows;
+          }
           MCT_ASSIGN_OR_RETURN(
               acc,
               EvalSteps(std::move(seeded), doc_col, path.steps, binding.var,
-                        env));
+                        env, bplan));
         }
         // Drop the #doc helper column.
         std::vector<int> keep_cols;
@@ -546,8 +863,12 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
       Bindings tb;
       {
         TraceGroup g(exec_.trace, "FOR", binding.var);
+        if (g.enabled() && bplan != nullptr && bplan->est_rows >= 0) {
+          g.node()->est_rows = bplan->est_rows;
+        }
         MCT_ASSIGN_OR_RETURN(
-            tb, EvalSteps(std::move(base), 0, path.steps, binding.var, env));
+            tb, EvalSteps(std::move(base), 0, path.steps, binding.var, env,
+                          bplan));
       }
       int keep = tb.table.ColumnOf(binding.var);
       tb.table = query::Project(tb.table, {keep});
@@ -630,39 +951,105 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
 
 Result<Evaluator::Bindings> Evaluator::EvalSteps(
     Bindings in, int ctx_col, const std::vector<PathStep>& steps,
-    const std::string& out_var, const Env& env) {
+    const std::string& out_var, const Env& env,
+    const query::BindingPlan* bplan) {
   const query::ExecContext& ctx = exec_;
   int cur = ctx_col;
   ColorId cur_color = in.cols[static_cast<size_t>(cur)].color;
   size_t original_cols = in.table.num_cols();
 
+  if (bplan != nullptr && bplan->use_path_stack) {
+    MCT_ASSIGN_OR_RETURN(std::optional<Bindings> spine,
+                         EvalSpine(in, ctx_col, steps, out_var));
+    if (spine.has_value()) return *std::move(spine);
+  }
+
   for (size_t si = 0; si < steps.size(); ++si) {
     const PathStep& step = steps[si];
+    const query::StepPlan* sp =
+        bplan != nullptr && si < bplan->steps.size() ? &bplan->steps[si]
+                                                     : nullptr;
     MCT_ASSIGN_OR_RETURN(ColorId c, ResolveColor(step.color));
     // Color transition on a bound column = the paper's color crossing,
     // implemented as the cross-tree join access method. Stepping off the
     // document node is free: the document carries every color.
     if (c != cur_color && in.table.vars[static_cast<size_t>(cur)] != "#doc") {
-      in.table = query::CrossTreeJoin(db_, in.table, cur, c, ctx);
-      in.cols[static_cast<size_t>(cur)].color = c;
-      Note(StrFormat("CROSS-TREE JOIN %s -> {%s}  (%zu rows)",
-                     in.table.vars[static_cast<size_t>(cur)].c_str(),
-                     db_->ColorName(c).c_str(), in.table.num_rows()));
+      if (sp != nullptr && sp->elide_cross_tree &&
+          AxisSubsumesCrossTree(step.axis)) {
+        // The upcoming axis operator only emits targets reached through
+        // `c`-colored structure, so the identity join is pure overhead.
+        // (Illegal before self/attribute/descendant-or-self: those pass
+        // context nodes through without a color membership test.)
+        in.cols[static_cast<size_t>(cur)].color = c;
+        Note(StrFormat("CROSS-TREE ELIDED %s -> {%s}  (%zu rows)",
+                       in.table.vars[static_cast<size_t>(cur)].c_str(),
+                       db_->ColorName(c).c_str(), in.table.num_rows()));
+        if (exec_.trace != nullptr) {
+          query::OpTrace* n = exec_.trace->Leaf("CROSS-TREE ELIDED");
+          n->rows_in = in.table.num_rows();
+          n->rows_out = in.table.num_rows();
+        }
+      } else {
+        in.table = query::CrossTreeJoin(db_, in.table, cur, c, ctx);
+        in.cols[static_cast<size_t>(cur)].color = c;
+        Note(StrFormat("CROSS-TREE JOIN %s -> {%s}  (%zu rows)",
+                       in.table.vars[static_cast<size_t>(cur)].c_str(),
+                       db_->ColorName(c).c_str(), in.table.num_rows()));
+      }
     }
     cur_color = c;
     bool is_final = si + 1 == steps.size();
     std::string col_name =
         is_final ? out_var : "#s" + std::to_string(si) + out_var;
+    bool has_positional = false;
+    for (const auto& pred : step.predicates) {
+      if (pred->kind == Expr::Kind::kNumber) has_positional = true;
+    }
+    // Predicate consumed by an index-seek pushdown (already enforced by the
+    // candidate set); -1 = none, the full predicate list runs.
+    int consumed_pred = -1;
     Table next;
     switch (step.axis) {
       case Axis::kChild:
         next = query::ExpandChildren(db_, in.table, cur, c, step.tag,
                                      col_name, ctx);
         break;
-      case Axis::kDescendant:
-        next = query::ExpandDescendants(db_, in.table, cur, c, step.tag,
-                                        col_name, ctx);
+      case Axis::kDescendant: {
+        // Planner-chosen access method, each guarded by a runtime
+        // precondition re-check; any failure falls back to the baseline
+        // structural join, so results never depend on the plan.
+        bool done = false;
+        if (sp != nullptr) {
+          if (sp->access == query::StepAccess::kScanShortcut &&
+              in.table.num_rows() == 1 &&
+              in.table.rows[0][static_cast<size_t>(cur)] == db_->document()) {
+            next = query::ExpandDescendantsRoot(db_, in.table, cur, c,
+                                                step.tag, col_name, ctx);
+            done = true;
+          } else if (sp->access == query::StepAccess::kIndexSeek &&
+                     !has_positional) {
+            std::optional<std::vector<NodeId>> cands =
+                SeekCandidates(step, sp->seek_pred, c);
+            if (cands.has_value()) {
+              next = query::ExpandDescendantsAmong(db_, in.table, cur, c,
+                                                   step.tag, *cands, col_name,
+                                                   ctx);
+              consumed_pred = sp->seek_pred;
+              done = true;
+            }
+          } else if (sp->access == query::StepAccess::kNavDescendant &&
+                     in.table.num_rows() <= sp->nav_max_rows) {
+            next = query::ExpandDescendantsNav(db_, in.table, cur, c,
+                                               step.tag, col_name, ctx);
+            done = true;
+          }
+        }
+        if (!done) {
+          next = query::ExpandDescendants(db_, in.table, cur, c, step.tag,
+                                          col_name, ctx);
+        }
         break;
+      }
       case Axis::kDescendantOrSelf: {
         next = query::ExpandDescendants(db_, in.table, cur, c, step.tag,
                                         col_name, ctx);
@@ -748,8 +1135,46 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
                      step.tag.empty() ? "node()" : step.tag.c_str(),
                      col_name.c_str(), in.table.num_rows()));
     }
+    if (exec_.trace != nullptr && sp != nullptr && sp->est_expand >= 0) {
+      exec_.trace->last()->est_rows =
+          consumed_pred >= 0 ? sp->est_out : sp->est_expand;
+    }
 
-    for (const auto& pred : step.predicates) {
+    // Predicate evaluation order: the planner's cheapest-first permutation
+    // when it validates against this step (full coverage, in range, no
+    // duplicates); otherwise the syntactic order. Positional predicates pin
+    // the syntactic order — their result depends on the rows that reach
+    // them. An index-seek's consumed predicate is skipped (the candidate
+    // set enforced it); if the seek did NOT fire, the planner's order
+    // already lists seek_pred, or the natural order covers it.
+    std::vector<int> pred_order;
+    pred_order.reserve(step.predicates.size());
+    for (int i = 0; i < static_cast<int>(step.predicates.size()); ++i) {
+      pred_order.push_back(i);
+    }
+    if (sp != nullptr && !sp->pred_order.empty() && !has_positional) {
+      std::vector<int> cand = sp->pred_order;
+      if (consumed_pred < 0 && sp->seek_pred >= 0) {
+        cand.insert(cand.begin(), sp->seek_pred);
+      }
+      const int n_preds = static_cast<int>(step.predicates.size());
+      std::vector<char> seen(static_cast<size_t>(n_preds), 0);
+      bool valid = static_cast<int>(cand.size()) ==
+                   n_preds - (consumed_pred >= 0 ? 1 : 0);
+      for (int pi : cand) {
+        if (pi < 0 || pi >= n_preds || seen[static_cast<size_t>(pi)] ||
+            pi == consumed_pred) {
+          valid = false;
+          break;
+        }
+        seen[static_cast<size_t>(pi)] = 1;
+      }
+      if (valid) pred_order = std::move(cand);
+    }
+
+    for (int pred_index : pred_order) {
+      if (pred_index == consumed_pred) continue;
+      const auto& pred = step.predicates[static_cast<size_t>(pred_index)];
       const auto pred_t0 = std::chrono::steady_clock::now();
       // Positional predicate [N]: keep the N-th (1-based) result of this
       // step per context row (rows grouped by every column but the new
@@ -866,6 +1291,10 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
       }
       in.table = std::move(filtered);
     }
+    if (exec_.trace != nullptr && sp != nullptr && sp->est_out >= 0 &&
+        !step.predicates.empty()) {
+      exec_.trace->last()->est_rows = sp->est_out;
+    }
   }
 
   // Keep the original columns plus the final step column.
@@ -888,6 +1317,131 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
     out.table.vars.back() = out_var;
   }
   return out;
+}
+
+Result<std::optional<Evaluator::Bindings>> Evaluator::EvalSpine(
+    const Bindings& in, int ctx_col, const std::vector<PathStep>& steps,
+    const std::string& out_var) {
+  // Runtime re-validation of the spine shape the planner saw: a lone
+  // document-root row and >= 2 predicate-free descendant steps in one
+  // color. Anything else -> nullopt, the caller runs the step loop.
+  if (in.table.num_rows() != 1 || in.table.num_cols() != 1 ||
+      ctx_col != 0 || in.table.vars[0] != "#doc" ||
+      in.table.rows[0][0] != db_->document() || steps.size() < 2) {
+    return std::optional<Bindings>();
+  }
+  ColorId spine_color = kInvalidColorId;
+  for (const PathStep& step : steps) {
+    if (step.axis != Axis::kDescendant || step.tag.empty() ||
+        !step.predicates.empty()) {
+      return std::optional<Bindings>();
+    }
+    MCT_ASSIGN_OR_RETURN(ColorId c, ResolveColor(step.color));
+    if (spine_color == kInvalidColorId) {
+      spine_color = c;
+    } else if (c != spine_color) {
+      return std::optional<Bindings>();
+    }
+  }
+
+  query::TwigPattern pattern;
+  int parent = -1;
+  for (const PathStep& step : steps) {
+    parent = pattern.Add(parent, step.tag, /*child_axis=*/false);
+  }
+  MCT_ASSIGN_OR_RETURN(Table matched,
+                       query::PathStackJoin(db_, spine_color, pattern, exec_));
+  ColoredTree* tree = db_->tree(spine_color);
+  tree->EnsureLabels();
+  const ColoredTree& ct = *tree;
+
+  // Restore the baseline pipeline's row order. Chaining k descendant
+  // expansions from the single document row orders rows lexicographically
+  // by (start(d_k), start(d_{k-1}), ..., start(d_1)) — the stack-tree merge
+  // emits (descendant, ancestor) pairs by descendant start, and each later
+  // expansion re-sorts by its own column with the previous order as the
+  // tie-break. Sorting the twig matches on the reversed tuple is exact.
+  const auto spine_t0 = std::chrono::steady_clock::now();
+  std::vector<size_t> order(matched.rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const auto& ra = matched.rows[a];
+    const auto& rb = matched.rows[b];
+    for (size_t k = ra.size(); k-- > 0;) {
+      uint64_t sa = ct.Start(ra[k]);
+      uint64_t sb = ct.Start(rb[k]);
+      if (sa != sb) return sa < sb;
+    }
+    return false;
+  });
+
+  // Project straight to the step loop's final layout: the original #doc
+  // column plus the last spine node, one row per twig match (duplicates
+  // preserved, exactly as the baseline projection keeps them).
+  Bindings out;
+  out.table.vars = in.table.vars;
+  out.table.vars.push_back(out_var);
+  out.cols = in.cols;
+  out.cols.push_back(ColumnInfo{spine_color, false, ""});
+  out.table.rows.reserve(matched.rows.size());
+  for (size_t i : order) {
+    std::vector<NodeId> row = in.table.rows[0];
+    row.push_back(matched.rows[i].back());
+    out.table.rows.push_back(std::move(row));
+  }
+  Note(StrFormat("PATH-STACK SPINE {%s} %zu steps -> %s  (%zu rows)",
+                 db_->ColorName(spine_color).c_str(), steps.size(),
+                 out_var.c_str(), out.table.num_rows()));
+  if (exec_.trace != nullptr) {
+    query::OpTrace* n = exec_.trace->Leaf("SPINE ORDER RESTORE");
+    n->rows_in = matched.num_rows();
+    n->rows_out = out.table.num_rows();
+    n->seconds = SecondsSince(spine_t0);
+  }
+  return std::optional<Bindings>(std::move(out));
+}
+
+std::optional<std::vector<NodeId>> Evaluator::SeekCandidates(
+    const PathStep& step, int seek_pred, ColorId step_color) {
+  if (seek_pred < 0 ||
+      seek_pred >= static_cast<int>(step.predicates.size())) {
+    return std::nullopt;
+  }
+  const Expr& pred = *step.predicates[static_cast<size_t>(seek_pred)];
+  if (pred.kind != Expr::Kind::kCompare || pred.cmp != CmpOp::kEq ||
+      pred.children.size() != 2 ||
+      pred.children[1]->kind != Expr::Kind::kString ||
+      pred.children[0]->kind != Expr::Kind::kPath) {
+    return std::nullopt;
+  }
+  const PathExpr& lp = pred.children[0]->path;
+  const std::string& lit = pred.children[1]->str;
+  if (!lp.start_var.empty() || lp.from_document || lp.steps.size() != 1 ||
+      !lp.steps[0].predicates.empty()) {
+    return std::nullopt;
+  }
+  const PathStep& ps = lp.steps[0];
+  std::vector<NodeId> cands;
+  if (ps.axis == Axis::kChild && !ps.tag.empty()) {
+    ColorId pc = step_color;
+    if (!ps.color.empty()) {
+      pc = db_->LookupColor(ps.color);
+      // Unknown color: fall back so the baseline probe raises the same
+      // error the unplanned pipeline would.
+      if (pc == kInvalidColorId) return std::nullopt;
+    }
+    for (NodeId hit : db_->ContentLookup(ps.tag, lit)) {
+      std::optional<NodeId> par = db_->Parent(hit, pc);
+      if (par.has_value()) cands.push_back(*par);
+    }
+  } else if (ps.axis == Axis::kAttribute) {
+    cands = db_->AttrLookup(ps.tag, lit);
+  } else if (ps.axis == Axis::kSelf && ps.tag.empty() && !step.tag.empty()) {
+    cands = db_->ContentLookup(step.tag, lit);
+  } else {
+    return std::nullopt;
+  }
+  return cands;
 }
 
 Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,

@@ -33,7 +33,9 @@
 #include "mct/database.h"
 #include "mcx/analysis.h"
 #include "mcx/ast.h"
+#include "mcx/color_flow.h"
 #include "query/ops.h"
+#include "query/planner.h"
 #include "query/table.h"
 
 namespace mct {
@@ -113,6 +115,20 @@ struct EvalOptions {
   /// statements in the unsynced window are then atomically all-or-prefix
   /// on a crash.
   bool wal_sync_each = true;
+  /// Cost-based physical planning (query/planner.h). Each statement is
+  /// compiled to a logical plan IR, costed against live statistics plus
+  /// color-flow cardinality estimates, and the chosen access methods
+  /// (scan shortcut / index seek pushdown / navigational descendant /
+  /// path-stack spine / predicate reordering / cross-tree elision) are
+  /// applied. Every planned execution is result-identical to the fixed
+  /// pipeline: each alternative re-validates its preconditions at runtime
+  /// and falls back to the baseline operator otherwise.
+  bool planner = false;
+  /// Normalized-statement plan cache consulted by Run(text) when `planner`
+  /// is set: exact-text hits skip parse + plan, literal-normalized hits
+  /// skip planning. Share one cache across evaluators over the same
+  /// database; it is invalidated automatically after any applied update.
+  query::PlanCache* plan_cache = nullptr;
 };
 
 class Evaluator {
@@ -128,8 +144,21 @@ class Evaluator {
   /// Runs a query or update.
   Result<QueryResult> Run(const ParsedQuery& q);
 
-  /// Convenience: parse + run.
+  /// Convenience: parse + run. With EvalOptions::planner and a plan_cache,
+  /// repeated statement texts skip parse + plan entirely.
   Result<QueryResult> Run(std::string_view text);
+
+  /// What PlanCache stores per exact statement text: the parsed form and
+  /// the chosen plan, reusable as long as the database is not updated.
+  struct CachedStatement {
+    ParsedQuery query;
+    query::StatementPlan plan;
+  };
+
+  /// Plans `q` against live database statistics and color-flow estimates.
+  /// Pure (does not execute); returns an empty plan for statements with no
+  /// FLWOR bindings.
+  query::StatementPlan PlanFor(const ParsedQuery& q);
 
   /// Serializes result items to XML text; node items are rendered with
   /// their subtree in `color`.
@@ -157,12 +186,29 @@ class Evaluator {
   /// strict mode rejects the statement.
   Status MaybeAnalyze(const ParsedQuery& q);
 
-  // FLWOR machinery.
+  // FLWOR machinery. `bplan` (when non-null) carries the planner's chosen
+  // access methods for this binding's steps; every application re-validates
+  // its preconditions and falls back to the baseline pipeline, so a stale
+  // or mismatched plan can change performance but never results.
   Result<Bindings> EvalFLWORBindings(const std::vector<Binding>& bindings,
                                      const Expr* where, const Env& env);
   Result<Bindings> EvalSteps(Bindings in, int ctx_col,
                              const std::vector<PathStep>& steps,
-                             const std::string& out_var, const Env& env);
+                             const std::string& out_var, const Env& env,
+                             const query::BindingPlan* bplan = nullptr);
+  /// Whole-binding descendant spine via PathStackJoin, with the baseline
+  /// row order restored by sorting on the reversed start-label tuple.
+  /// Returns nullopt when the runtime shape check fails (caller runs the
+  /// step loop as usual).
+  Result<std::optional<Bindings>> EvalSpine(const Bindings& in, int ctx_col,
+                                            const std::vector<PathStep>& steps,
+                                            const std::string& out_var);
+  /// Builds the candidate node set for an index-seek pushdown by probing
+  /// the content/attribute index with predicate `seek_pred` of `step`.
+  /// nullopt when the predicate no longer matches a probe-eligible shape.
+  std::optional<std::vector<NodeId>> SeekCandidates(const PathStep& step,
+                                                    int seek_pred,
+                                                    ColorId step_color);
   Result<Bindings> JoinIn(Bindings left, Bindings right, const Expr* conjunct,
                           const Env& env);
   Status ApplyResidual(Bindings* b, const Expr& conjunct, const Env& env);
@@ -207,6 +253,20 @@ class Evaluator {
   // Updates.
   Result<QueryResult> RunUpdate(const ParsedQuery& q);
 
+  /// Shared execution body of Run(ParsedQuery): analysis, plan
+  /// announcement, dispatch, trace stamping, update-side plan-cache
+  /// invalidation. `plan` may be null (baseline pipeline).
+  Result<QueryResult> RunPlanned(const ParsedQuery& q,
+                                 const query::StatementPlan* plan);
+  /// Mirrors the evaluator's per-binding step pipeline into the planner IR
+  /// (colors resolved, cross-tree joins, probe-eligible predicates,
+  /// color-flow cardinalities).
+  std::vector<query::BindingDesc> BuildBindingDescs(
+      const std::vector<Binding>& bindings);
+  /// Color-flow graph over opts_.schema (or a schema inferred on first
+  /// use), cached for the Evaluator's lifetime.
+  const ColorFlowGraph* flow_graph();
+
   /// Appends a plan-trace line when opts_.plan is set.
   void Note(std::string line) {
     if (opts_.plan != nullptr) opts_.plan->push_back(std::move(line));
@@ -219,6 +279,13 @@ class Evaluator {
   // Schema inferred from db_ on first analyzed statement (opts_.schema
   // null); cached for the Evaluator's lifetime.
   std::unique_ptr<serialize::MctSchema> inferred_schema_;
+  // Color-flow graph for planner cardinality estimates; built lazily over
+  // opts_.schema or inferred_schema_.
+  std::unique_ptr<ColorFlowGraph> flow_graph_;
+  // Plan for the statement currently entering execution; consumed (cleared)
+  // by the first EvalFLWORBindings call so nested per-row FLWORs never see
+  // the outer statement's plan.
+  const query::StatementPlan* active_plan_ = nullptr;
   // Worker pool for morsel-driven execution (null when num_threads == 1);
   // exec_ is the ExecContext handed to every physical operator.
   std::unique_ptr<ThreadPool> pool_;

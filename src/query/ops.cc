@@ -102,6 +102,43 @@ size_t ForEachMorsel(const ExecContext& ctx, size_t n, const Body& body) {
   return num_morsels;
 }
 
+// Shared build+probe core of HashValueJoin, generic over the key type so
+// the viewable specs can use std::string_view keys aliasing the node store
+// (no per-row copies) while kStringValue keeps owning strings. Emission is
+// identical either way, so both instantiations produce the same table.
+template <typename BuildKeyFn, typename ProbeKeyFn>
+size_t HashJoinEmit(const ExecContext& ctx, const Table& build,
+                    const Table& probe, bool build_left, Table* out,
+                    const BuildKeyFn& build_key, const ProbeKeyFn& probe_key) {
+  using Key = std::decay_t<decltype(*build_key(size_t{0}))>;
+  std::unordered_map<Key, std::vector<size_t>> ht;
+  for (size_t i = 0; i < build.rows.size(); ++i) {
+    auto k = build_key(i);
+    if (k.has_value()) ht[*k].push_back(i);
+  }
+  return MorselRun(
+      ctx, probe.rows.size(), out,
+      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
+        for (size_t pi = begin; pi < end; ++pi) {
+          const Row& prow = probe.rows[pi];
+          auto k = probe_key(pi);
+          if (!k.has_value()) continue;
+          auto it = ht.find(*k);
+          if (it == ht.end()) continue;
+          for (size_t bi : it->second) {
+            const Row& brow = build.rows[bi];
+            Row row;
+            row.reserve(out->vars.size());
+            const Row& l = build_left ? brow : prow;
+            const Row& r = build_left ? prow : brow;
+            row.insert(row.end(), l.begin(), l.end());
+            row.insert(row.end(), r.begin(), r.end());
+            rows->push_back(std::move(row));
+          }
+        }
+      });
+}
+
 }  // namespace
 
 std::optional<std::string> ExtractKey(const MctDatabase& db, NodeId node,
@@ -125,6 +162,38 @@ std::optional<std::string> ExtractKey(const MctDatabase& db, NodeId node,
     }
     case KeySpec::Kind::kStringValue:
       return db.StringValue(node, spec.color);
+  }
+  return std::nullopt;
+}
+
+bool KeySpecViewable(const KeySpec& spec) {
+  return spec.kind != KeySpec::Kind::kStringValue;
+}
+
+std::optional<std::string_view> ExtractKeyView(const MctDatabase& db,
+                                               NodeId node,
+                                               const KeySpec& spec) {
+  switch (spec.kind) {
+    case KeySpec::Kind::kOwnContent:
+      if (!db.store().HasContent(node)) return std::nullopt;
+      return std::string_view(db.Content(node));
+    case KeySpec::Kind::kChildContent: {
+      if (!db.Colors(node).Has(spec.color)) return std::nullopt;
+      std::optional<std::string_view> out;
+      db.tree(spec.color)->ForEachChild(node, [&](NodeId c) {
+        if (!out.has_value() && db.Tag(c) == spec.name) {
+          out = std::string_view(db.Content(c));
+        }
+      });
+      return out;
+    }
+    case KeySpec::Kind::kAttr: {
+      const std::string* v = db.FindAttr(node, spec.name);
+      if (v == nullptr) return std::nullopt;
+      return std::string_view(*v);
+    }
+    case KeySpec::Kind::kStringValue:
+      break;  // concatenates: no stable storage to view (precondition)
   }
   return std::nullopt;
 }
@@ -256,6 +325,206 @@ Table ExpandDescendants(MctDatabase* db, const Table& in, int col,
   // descendant order): callers that need input order should sort; FLWOR
   // semantics here only require the binding set, so we keep merge order.
   if (tr.enabled()) tr.Finish(out.num_rows(), morsels, descs.size());
+  return out;
+}
+
+Table ExpandDescendantsAmong(MctDatabase* db, const Table& in, int col,
+                             ColorId color, const std::string& tag,
+                             const std::vector<NodeId>& cands,
+                             const std::string& out_var,
+                             const ExecContext& ctx) {
+  if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
+  OpScope tr(ctx, "DESCENDANT SEEK", in.rows.size());
+  if (tr.enabled()) {
+    tr.set_detail(StrFormat("{%s}descendant::%s -> %s (%zu candidates)",
+                            db->ColorName(color).c_str(),
+                            tag.empty() ? "node()" : tag.c_str(),
+                            out_var.c_str(), cands.size()));
+  }
+  Table out = WithExtraColumn(in, out_var);
+  ColoredTree* t = db->tree(color);
+  t->EnsureLabels();
+  const ColoredTree& ct = *t;
+  NameId tag_id = TagFilterId(*db, tag);
+  if (!tag.empty() && tag_id == kInvalidNameId) {
+    if (tr.enabled()) tr.Finish(0, 0, 0);
+    return out;
+  }
+
+  // Normalize the candidate set to the exact subsequence of the tag scan it
+  // represents: color members of the right kind and tag, deduped, ascending
+  // start order (= local document order, the tag index's order). After
+  // this, the interval merge below sees precisely the baseline's descendant
+  // stream restricted to the candidates, so it emits the identical
+  // subsequence of the baseline's output rows.
+  std::vector<NodeId> descs;
+  descs.reserve(cands.size());
+  {
+    std::unordered_set<NodeId> seen;
+    seen.reserve(cands.size() * 2);
+    for (NodeId d : cands) {
+      if (!ct.Contains(d)) continue;
+      if (db->Kind(d) != xml::NodeKind::kElement) continue;
+      if (!TagIdMatches(*db, d, tag, tag_id)) continue;
+      if (seen.insert(d).second) descs.push_back(d);
+    }
+  }
+  std::sort(descs.begin(), descs.end(),
+            [&](NodeId a, NodeId b) { return ct.Start(a) < ct.Start(b); });
+  if (ctx.stats != nullptr) ctx.stats->rows_scanned += descs.size();
+  if (descs.empty() || in.rows.empty()) {
+    if (tr.enabled()) tr.Finish(0, 0, descs.size());
+    return out;
+  }
+
+  const auto groups = GroupByNode(in, col);
+  struct Anc {
+    uint64_t start, end;
+    NodeId node;
+  };
+  std::vector<Anc> ancs;
+  ancs.reserve(groups.size());
+  for (const auto& [n, _] : groups) {
+    if (!ct.Contains(n)) continue;
+    ancs.push_back(Anc{ct.Start(n), ct.End(n), n});
+  }
+  std::sort(ancs.begin(), ancs.end(),
+            [](const Anc& a, const Anc& b) { return a.start < b.start; });
+
+  size_t morsels = MorselRun(
+      ctx, descs.size(), &out,
+      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
+        std::vector<const Anc*> stack;
+        size_t ai = 0;
+        for (size_t di = begin; di < end; ++di) {
+          NodeId d = descs[di];
+          uint64_t ds = ct.Start(d);
+          uint64_t de = ct.End(d);
+          while (ai < ancs.size() && ancs[ai].start < ds) {
+            while (!stack.empty() && stack.back()->end < ancs[ai].start) {
+              stack.pop_back();
+            }
+            stack.push_back(&ancs[ai]);
+            ++ai;
+          }
+          while (!stack.empty() && stack.back()->end < ds) stack.pop_back();
+          for (const Anc* a : stack) {
+            if (a->end > de) {
+              for (size_t ri : groups.at(a->node)) {
+                EmitRow(rows, in.rows[ri], d);
+              }
+            }
+          }
+        }
+      });
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels, descs.size());
+  return out;
+}
+
+Table ExpandDescendantsNav(MctDatabase* db, const Table& in, int col,
+                           ColorId color, const std::string& tag,
+                           const std::string& out_var,
+                           const ExecContext& ctx) {
+  if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
+  OpScope tr(ctx, "DESCENDANT NAV", in.rows.size());
+  if (tr.enabled()) {
+    tr.set_detail(StrFormat("{%s}descendant::%s -> %s",
+                            db->ColorName(color).c_str(),
+                            tag.empty() ? "node()" : tag.c_str(),
+                            out_var.c_str()));
+  }
+  Table out = WithExtraColumn(in, out_var);
+  ColoredTree* t = db->tree(color);
+  t->EnsureLabels();
+  const ColoredTree& ct = *t;
+  NameId tag_id = TagFilterId(*db, tag);
+  if (!tag.empty() && tag_id == kInvalidNameId) {
+    if (tr.enabled()) tr.Finish(0, 0, 0);
+    return out;
+  }
+  if (in.rows.empty()) {
+    if (tr.enabled()) tr.Finish(0, 0, 0);
+    return out;
+  }
+
+  const auto groups = GroupByNode(in, col);
+  struct Anc {
+    uint64_t start;
+    NodeId node;
+  };
+  std::vector<Anc> ancs;
+  ancs.reserve(groups.size());
+  for (const auto& [n, _] : groups) {
+    if (!ct.Contains(n)) continue;
+    ancs.push_back(Anc{ct.Start(n), n});
+  }
+  std::sort(ancs.begin(), ancs.end(),
+            [](const Anc& a, const Anc& b) { return a.start < b.start; });
+
+  // Walk each context subtree; order hits globally like the interval merge
+  // does: by (descendant start, ancestor start). With nested contexts a
+  // descendant is found once per containing context, exactly as the merge
+  // emits it once per open stack entry, bottom (outermost) first.
+  struct Hit {
+    uint64_t ds;
+    size_t anc_idx;
+    NodeId d;
+  };
+  std::vector<Hit> hits;
+  size_t visited = 0;
+  for (size_t a = 0; a < ancs.size(); ++a) {
+    for (NodeId d : ct.PreOrder(ancs[a].node)) {
+      ++visited;
+      if (d == ancs[a].node) continue;  // proper descendants only
+      if (db->Kind(d) != xml::NodeKind::kElement) continue;
+      if (!TagIdMatches(*db, d, tag, tag_id)) continue;
+      hits.push_back(Hit{ct.Start(d), a, d});
+    }
+  }
+  if (ctx.stats != nullptr) ctx.stats->rows_scanned += visited;
+  std::sort(hits.begin(), hits.end(), [](const Hit& x, const Hit& y) {
+    return x.ds != y.ds ? x.ds < y.ds : x.anc_idx < y.anc_idx;
+  });
+  for (const Hit& h : hits) {
+    for (size_t ri : groups.at(ancs[h.anc_idx].node)) {
+      EmitRow(&out.rows, in.rows[ri], h.d);
+    }
+  }
+  if (tr.enabled()) tr.Finish(out.num_rows(), 1, hits.size());
+  return out;
+}
+
+Table ExpandDescendantsRoot(MctDatabase* db, const Table& in, int col,
+                            ColorId color, const std::string& tag,
+                            const std::string& out_var,
+                            const ExecContext& ctx) {
+  // Precondition fallback: only the lone document row qualifies.
+  if (in.rows.size() != 1 ||
+      in.rows[0][static_cast<size_t>(col)] != db->document()) {
+    return ExpandDescendants(db, in, col, color, tag, out_var, ctx);
+  }
+  if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
+  OpScope tr(ctx, "DESCENDANT SCAN", in.rows.size());
+  if (tr.enabled()) {
+    tr.set_detail(StrFormat("{%s}descendant::%s -> %s",
+                            db->ColorName(color).c_str(),
+                            tag.empty() ? "node()" : tag.c_str(),
+                            out_var.c_str()));
+  }
+  Table out = WithExtraColumn(in, out_var);
+  // Every tag-index entry of the color is a proper descendant of the
+  // document root, and the index is in local document order — exactly the
+  // (start(d), start(doc), row 0) order the interval merge would emit.
+  std::vector<NodeId> descs = db->TagScan(color, tag);
+  if (ctx.stats != nullptr) ctx.stats->rows_scanned += descs.size();
+  const ColoredTree* t = db->tree(color);
+  out.rows.reserve(descs.size());
+  for (NodeId d : descs) {
+    if (!t->Contains(d)) continue;
+    EmitRow(&out.rows, in.rows[0], d);
+  }
+  if (tr.enabled()) tr.Finish(out.num_rows(), descs.empty() ? 0 : 1,
+                              descs.size());
   return out;
 }
 
@@ -444,32 +713,32 @@ Table HashValueJoin(MctDatabase* db, const Table& left, int lcol,
   const KeySpec& pkey = build_left ? rkey : lkey;
   const MctDatabase& cdb = *db;
 
-  std::unordered_map<std::string, std::vector<size_t>> ht;
-  for (size_t i = 0; i < build.rows.size(); ++i) {
-    auto k = ExtractKey(cdb, build.rows[i][static_cast<size_t>(bcol)], bkey);
-    if (k.has_value()) ht[*k].push_back(i);
+  // Viewable keys (content / attribute images) hash as string_views into
+  // the node store — no per-row key copies on either side.
+  size_t morsels;
+  if (KeySpecViewable(bkey) && KeySpecViewable(pkey)) {
+    morsels = HashJoinEmit(
+        ctx, build, probe, build_left, &out,
+        [&](size_t i) {
+          return ExtractKeyView(cdb, build.rows[i][static_cast<size_t>(bcol)],
+                                bkey);
+        },
+        [&](size_t i) {
+          return ExtractKeyView(cdb, probe.rows[i][static_cast<size_t>(pcol)],
+                                pkey);
+        });
+  } else {
+    morsels = HashJoinEmit(
+        ctx, build, probe, build_left, &out,
+        [&](size_t i) {
+          return ExtractKey(cdb, build.rows[i][static_cast<size_t>(bcol)],
+                            bkey);
+        },
+        [&](size_t i) {
+          return ExtractKey(cdb, probe.rows[i][static_cast<size_t>(pcol)],
+                            pkey);
+        });
   }
-  size_t morsels = MorselRun(
-      ctx, probe.rows.size(), &out,
-      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
-        for (size_t pi = begin; pi < end; ++pi) {
-          const Row& prow = probe.rows[pi];
-          auto k = ExtractKey(cdb, prow[static_cast<size_t>(pcol)], pkey);
-          if (!k.has_value()) continue;
-          auto it = ht.find(*k);
-          if (it == ht.end()) continue;
-          for (size_t bi : it->second) {
-            const Row& brow = build.rows[bi];
-            Row row;
-            row.reserve(out.vars.size());
-            const Row& l = build_left ? brow : prow;
-            const Row& r = build_left ? prow : brow;
-            row.insert(row.end(), l.begin(), l.end());
-            row.insert(row.end(), r.begin(), r.end());
-            rows->push_back(std::move(row));
-          }
-        }
-      });
   if (tr.enabled()) tr.Finish(out.num_rows(), morsels, probe.rows.size());
   return out;
 }
@@ -698,24 +967,41 @@ Table SortRowsBy(const MctDatabase& db, const Table& in, int col,
                             descending ? " desc" : ""));
   }
   const size_t n = in.rows.size();
-  std::vector<std::string> keys(n);
-  size_t morsels = ForEachMorsel(ctx, n, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      keys[i] =
-          ExtractKey(db, in.rows[i][static_cast<size_t>(col)], key).value_or("");
-    }
-  });
-  auto key_less = [](const std::string& ka, const std::string& kb) {
+  auto key_less = [](std::string_view ka, std::string_view kb) {
     auto na = ParseDouble(ka), nb = ParseDouble(kb);
     if (na.has_value() && nb.has_value()) return *na < *nb;
     return ka < kb;
   };
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), size_t{0});
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return descending ? key_less(keys[b], keys[a])
-                      : key_less(keys[a], keys[b]);
-  });
+  auto sort_order = [&](const auto& keys) {
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return descending ? key_less(keys[b], keys[a])
+                        : key_less(keys[a], keys[b]);
+    });
+  };
+  size_t morsels;
+  if (KeySpecViewable(key)) {
+    // Viewable keys sort as views into the node store: extraction writes a
+    // pointer pair per row instead of copying every key string.
+    std::vector<std::string_view> keys(n);
+    morsels = ForEachMorsel(ctx, n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        keys[i] = ExtractKeyView(db, in.rows[i][static_cast<size_t>(col)], key)
+                      .value_or(std::string_view());
+      }
+    });
+    sort_order(keys);
+  } else {
+    std::vector<std::string> keys(n);
+    morsels = ForEachMorsel(ctx, n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        keys[i] = ExtractKey(db, in.rows[i][static_cast<size_t>(col)], key)
+                      .value_or("");
+      }
+    });
+    sort_order(keys);
+  }
   Table out;
   out.vars = in.vars;
   out.rows.reserve(n);

@@ -39,6 +39,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mct/database.h"
@@ -74,6 +75,19 @@ struct KeySpec {
 std::optional<std::string> ExtractKey(const MctDatabase& db, NodeId node,
                                       const KeySpec& spec);
 
+/// True when `spec`'s key can be served as a view into storage the
+/// database owns (content / attribute images are stable for the query's
+/// lifetime): kOwnContent, kChildContent and kAttr. kStringValue
+/// concatenates and must own its buffer.
+bool KeySpecViewable(const KeySpec& spec);
+
+/// Zero-copy variant for viewable specs: the returned view aliases the
+/// node store and stays valid until the database is mutated. Precondition:
+/// KeySpecViewable(spec).
+std::optional<std::string_view> ExtractKeyView(const MctDatabase& db,
+                                               NodeId node,
+                                               const KeySpec& spec);
+
 /// Index scan: one-column table of all `tag` elements in `color`, in local
 /// document order.
 Table TagScanTable(MctDatabase* db, ColorId color, const std::string& var,
@@ -91,6 +105,36 @@ Table ExpandChildren(MctDatabase* db, const Table& in, int col, ColorId color,
 Table ExpandDescendants(MctDatabase* db, const Table& in, int col,
                         ColorId color, const std::string& tag,
                         const std::string& out_var, const ExecContext& ctx);
+
+/// ExpandDescendants restricted to a caller-supplied candidate set instead
+/// of the full tag index (the planner's index-seek pushdown: candidates
+/// come from a content/attribute-index probe). `cands` may be unordered
+/// and contain duplicates or nodes outside `color`/`tag`; they are
+/// filtered, deduped and start-sorted before the identical interval merge,
+/// so the output matches ExpandDescendants over any superset restricted to
+/// these matches — same rows, same order.
+Table ExpandDescendantsAmong(MctDatabase* db, const Table& in, int col,
+                             ColorId color, const std::string& tag,
+                             const std::vector<NodeId>& cands,
+                             const std::string& out_var,
+                             const ExecContext& ctx);
+
+/// Navigational descendant step: pre-order-walks each context row's
+/// subtree instead of scanning the tag index. Result-identical (rows and
+/// order) to ExpandDescendants; chosen by the planner when the context is
+/// tiny and the subtrees are small.
+Table ExpandDescendantsNav(MctDatabase* db, const Table& in, int col,
+                           ColorId color, const std::string& tag,
+                           const std::string& out_var, const ExecContext& ctx);
+
+/// Descendant step off the lone document-root row: the tag scan already
+/// *is* the answer in the right order, so skip grouping and merging.
+/// Precondition: `in` has exactly one row and in.rows[0][col] is the
+/// document (asserted). Result-identical to ExpandDescendants.
+Table ExpandDescendantsRoot(MctDatabase* db, const Table& in, int col,
+                            ColorId color, const std::string& tag,
+                            const std::string& out_var,
+                            const ExecContext& ctx);
 
 /// Appends a column binding the parent of `col` in `color` when its tag is
 /// `tag` (empty = any); other rows drop out.

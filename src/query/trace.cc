@@ -19,6 +19,7 @@ OpTrace* QueryTrace::Open(std::string op, std::string detail) {
   OpTrace* ptr = node.get();
   stack_.back()->children.push_back(std::move(node));
   stack_.push_back(ptr);
+  last_ = ptr;
   return ptr;
 }
 
@@ -36,6 +37,7 @@ OpTrace* QueryTrace::Leaf(std::string op, std::string detail) {
   node->detail = std::move(detail);
   OpTrace* ptr = node.get();
   stack_.back()->children.push_back(std::move(node));
+  last_ = ptr;
   return ptr;
 }
 
@@ -72,6 +74,9 @@ void AppendTextRec(const OpTrace& t, int depth, std::string* out) {
         StrFormat(", crossings %llu",
                   static_cast<unsigned long long>(t.color_transitions)));
   }
+  if (t.est_rows >= 0) {
+    out->append(StrFormat(", est~%.0f", t.est_rows));
+  }
   out->append(StrFormat(", %.3f ms)\n", t.seconds * 1e3));
   for (const auto& c : t.children) AppendTextRec(*c, depth + 1, out);
 }
@@ -80,13 +85,15 @@ void AppendJsonRec(const OpTrace& t, std::string* out) {
   out->append(StrFormat(
       "{\"op\": \"%s\", \"detail\": \"%s\", \"rows_in\": %llu, "
       "\"rows_out\": %llu, \"morsels\": %llu, \"fanout_rows\": %llu, "
-      "\"color_transitions\": %llu, \"seconds\": %.9f, \"children\": [",
+      "\"color_transitions\": %llu, \"est_rows\": %.3f, \"seconds\": %.9f, "
+      "\"children\": [",
       EscapeJson(t.op).c_str(), EscapeJson(t.detail).c_str(),
       static_cast<unsigned long long>(t.rows_in),
       static_cast<unsigned long long>(t.rows_out),
       static_cast<unsigned long long>(t.morsels),
       static_cast<unsigned long long>(t.fanout_rows),
-      static_cast<unsigned long long>(t.color_transitions), t.seconds));
+      static_cast<unsigned long long>(t.color_transitions), t.est_rows,
+      t.seconds));
   for (size_t i = 0; i < t.children.size(); ++i) {
     if (i > 0) out->append(", ");
     AppendJsonRec(*t.children[i], out);

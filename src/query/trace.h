@@ -37,6 +37,9 @@ struct OpTrace {
   uint64_t fanout_rows = 0;
   /// Color transitions (cross-tree joins) performed by this node.
   uint64_t color_transitions = 0;
+  /// Planner cardinality estimate for rows_out (-1 = no plan / not
+  /// estimated). EXPLAIN PLAN renders estimated-vs-actual from this.
+  double est_rows = -1;
   double seconds = 0;
   std::vector<std::unique_ptr<OpTrace>> children;
 
@@ -73,6 +76,12 @@ class QueryTrace {
   const OpTrace& root() const { return root_; }
   OpTrace* mutable_root() { return &root_; }
 
+  /// The most recently opened/appended node (&scratch_ while paused, so
+  /// stamping an estimate on it is always safe and drops out with the
+  /// paused recording). The evaluator uses this to attach planner
+  /// estimates to the operator it just ran.
+  OpTrace* last() { return last_ != nullptr ? last_ : &scratch_; }
+
   /// Sum of color_transitions over the whole tree.
   uint64_t TotalColorTransitions() const;
   /// Number of operator/group nodes (excluding the root).
@@ -87,6 +96,7 @@ class QueryTrace {
   OpTrace root_;
   OpTrace scratch_;  // sink for recordings made while paused
   std::vector<OpTrace*> stack_;
+  OpTrace* last_ = nullptr;
   int paused_ = 0;
 };
 

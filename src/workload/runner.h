@@ -37,13 +37,20 @@ struct QueryRun {
 /// static analyzer (mcx/analysis.h): kWarn records diagnostics into
 /// `check` (when non-null) without blocking, kStrict additionally rejects
 /// statements with MCX0xx errors before execution (Status::StaticError).
+/// `planner` enables cost-based plan selection (EvalOptions::planner);
+/// `plan_cache` (implies planner-style session timing) additionally routes
+/// the statement through Evaluator::Run(text), so the measured wall time
+/// covers parse + plan + execute and repeated statements hit the cache —
+/// the workload-session cost the planner bench compares.
 Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
                           const std::string& text, bool collect_values = false,
                           int num_threads = 1, size_t morsel_size = 1024,
                           query::QueryTrace* trace = nullptr,
                           WalWriter* wal = nullptr,
                           mcx::AnalyzeMode analyze = mcx::AnalyzeMode::kOff,
-                          mcx::AnalysisReport* check = nullptr);
+                          mcx::AnalysisReport* check = nullptr,
+                          bool planner = false,
+                          query::PlanCache* plan_cache = nullptr);
 
 }  // namespace mct::workload
 

@@ -1,0 +1,574 @@
+// Cost-based planner tests.
+//
+// The load-bearing property is the determinism contract: for every catalog
+// statement, in every dialect, serial and parallel, the planned execution
+// must be *identical* (same items, same order, same node identities) to the
+// fixed baseline pipeline. On top of that: plan-cache hit/skeleton/
+// invalidation behavior, statement normalization, plan selection on
+// synthetic statistics, EXPLAIN PLAN surfacing, and the satellite coverage
+// (ForEachChild metrics, zero-copy key extraction).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "mcx/evaluator.h"
+#include "mcx/parser.h"
+#include "query/ops.h"
+#include "query/planner.h"
+#include "query/trace.h"
+#include "movie_fixture.h"
+#include "workload/catalog.h"
+#include "workload/runner.h"
+#include "workload/sigmodr_db.h"
+#include "workload/tpcw_db.h"
+
+namespace mct::workload {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 8};
+
+Result<mcx::QueryResult> RunWith(MctDatabase* db, ColorId default_color,
+                                 const std::string& text, bool planner,
+                                 int threads,
+                                 query::PlanCache* cache = nullptr,
+                                 std::vector<std::string>* plan_notes = nullptr,
+                                 query::QueryTrace* trace = nullptr) {
+  mcx::EvalOptions o;
+  o.default_color = default_color;
+  o.num_threads = threads;
+  o.planner = planner;
+  o.plan_cache = cache;
+  o.plan = plan_notes;
+  o.trace = trace;
+  mcx::Evaluator ev(db, o);
+  return ev.Run(text);
+}
+
+// Exact result identity: size, order, node identity, atomic values.
+void ExpectIdenticalItems(const mcx::QueryResult& base,
+                          const mcx::QueryResult& planned,
+                          const std::string& label) {
+  ASSERT_EQ(base.items.size(), planned.items.size()) << label;
+  for (size_t i = 0; i < base.items.size(); ++i) {
+    EXPECT_EQ(base.items[i].is_node, planned.items[i].is_node)
+        << label << " item " << i;
+    EXPECT_EQ(base.items[i].node, planned.items[i].node)
+        << label << " item " << i;
+    EXPECT_EQ(base.items[i].atomic, planned.items[i].atomic)
+        << label << " item " << i;
+  }
+}
+
+struct Dialect {
+  const char* name;
+  const std::string* text;
+  MctDatabase* db;
+  ColorId color;
+};
+
+template <typename DbT>
+std::vector<Dialect> DialectsOf(const CatalogQuery& q, DbT* mct_db,
+                                DbT* shallow_db, DbT* deep_db) {
+  std::vector<Dialect> out;
+  out.push_back({"mct", &q.mct, mct_db->db.get(), mct_db->default_color()});
+  out.push_back({"shallow", &q.shallow, shallow_db->db.get(),
+                 shallow_db->default_color()});
+  out.push_back({"deep", &q.deep, deep_db->db.get(), deep_db->default_color()});
+  if (!q.deep_nodup.empty()) {
+    out.push_back({"deep_nodup", &q.deep_nodup, deep_db->db.get(),
+                   deep_db->default_color()});
+  }
+  return out;
+}
+
+// ---- Differential suite: every catalog read statement, planner on vs
+// ---- forced baseline, serial and 8 threads.
+
+class TpcwPlannerDifferential : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new TpcwData(GenerateTpcw(TpcwScale::Tiny()));
+    mct_ = new TpcwDb(std::move(BuildTpcw(*data_, SchemaKind::kMct)).value());
+    shallow_ =
+        new TpcwDb(std::move(BuildTpcw(*data_, SchemaKind::kShallow)).value());
+    deep_ = new TpcwDb(std::move(BuildTpcw(*data_, SchemaKind::kDeep)).value());
+  }
+  static void TearDownTestSuite() {
+    delete mct_;
+    delete shallow_;
+    delete deep_;
+    delete data_;
+    mct_ = shallow_ = deep_ = nullptr;
+    data_ = nullptr;
+  }
+  static TpcwData* data_;
+  static TpcwDb* mct_;
+  static TpcwDb* shallow_;
+  static TpcwDb* deep_;
+};
+
+TpcwData* TpcwPlannerDifferential::data_ = nullptr;
+TpcwDb* TpcwPlannerDifferential::mct_ = nullptr;
+TpcwDb* TpcwPlannerDifferential::shallow_ = nullptr;
+TpcwDb* TpcwPlannerDifferential::deep_ = nullptr;
+
+TEST_F(TpcwPlannerDifferential, AllReadStatementsMatchBaseline) {
+  for (const CatalogQuery& q : TpcwCatalog(*data_)) {
+    if (q.is_update) continue;
+    for (const Dialect& d : DialectsOf(q, mct_, shallow_, deep_)) {
+      for (int threads : kThreadCounts) {
+        std::string label = q.id + "/" + d.name + "/t" +
+                            std::to_string(threads);
+        auto base = RunWith(d.db, d.color, *d.text, /*planner=*/false,
+                            threads);
+        auto planned = RunWith(d.db, d.color, *d.text, /*planner=*/true,
+                               threads);
+        ASSERT_TRUE(base.ok()) << label << ": " << base.status();
+        ASSERT_TRUE(planned.ok()) << label << ": " << planned.status();
+        ExpectIdenticalItems(*base, *planned, label);
+      }
+    }
+  }
+}
+
+TEST_F(TpcwPlannerDifferential, CachedRunsMatchBaseline) {
+  query::PlanCache cache;
+  for (const CatalogQuery& q : TpcwCatalog(*data_)) {
+    if (q.is_update) continue;
+    std::string label = q.id + "/mct/cached";
+    auto base =
+        RunWith(mct_->db.get(), mct_->default_color(), q.mct, false, 1);
+    ASSERT_TRUE(base.ok()) << label << ": " << base.status();
+    // Twice through the cache: the second run replays the cached
+    // parse + plan and must still be identical.
+    for (int round = 0; round < 2; ++round) {
+      auto planned = RunWith(mct_->db.get(), mct_->default_color(), q.mct,
+                             true, 1, &cache);
+      ASSERT_TRUE(planned.ok()) << label << ": " << planned.status();
+      ExpectIdenticalItems(*base, *planned, label);
+    }
+  }
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+class SigmodPlannerDifferential : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new SigmodData(GenerateSigmod(SigmodScale::Tiny()));
+    mct_ =
+        new SigmodDb(std::move(BuildSigmod(*data_, SchemaKind::kMct)).value());
+    shallow_ = new SigmodDb(
+        std::move(BuildSigmod(*data_, SchemaKind::kShallow)).value());
+    deep_ =
+        new SigmodDb(std::move(BuildSigmod(*data_, SchemaKind::kDeep)).value());
+  }
+  static void TearDownTestSuite() {
+    delete mct_;
+    delete shallow_;
+    delete deep_;
+    delete data_;
+    mct_ = shallow_ = deep_ = nullptr;
+    data_ = nullptr;
+  }
+  static SigmodData* data_;
+  static SigmodDb* mct_;
+  static SigmodDb* shallow_;
+  static SigmodDb* deep_;
+};
+
+SigmodData* SigmodPlannerDifferential::data_ = nullptr;
+SigmodDb* SigmodPlannerDifferential::mct_ = nullptr;
+SigmodDb* SigmodPlannerDifferential::shallow_ = nullptr;
+SigmodDb* SigmodPlannerDifferential::deep_ = nullptr;
+
+TEST_F(SigmodPlannerDifferential, AllReadStatementsMatchBaseline) {
+  for (const CatalogQuery& q : SigmodCatalog(*data_)) {
+    if (q.is_update) continue;
+    for (const Dialect& d : DialectsOf(q, mct_, shallow_, deep_)) {
+      for (int threads : kThreadCounts) {
+        std::string label = q.id + "/" + d.name + "/t" +
+                            std::to_string(threads);
+        auto base = RunWith(d.db, d.color, *d.text, false, threads);
+        auto planned = RunWith(d.db, d.color, *d.text, true, threads);
+        ASSERT_TRUE(base.ok()) << label << ": " << base.status();
+        ASSERT_TRUE(planned.ok()) << label << ": " << planned.status();
+        ExpectIdenticalItems(*base, *planned, label);
+      }
+    }
+  }
+}
+
+// ---- Update statements: planned effect == baseline effect, checked on
+// ---- twin freshly built databases.
+
+template <typename DataT, typename DbT, typename BuildFn, typename CatFn>
+void UpdateDifferential(const DataT& data, BuildFn build, CatFn catalog) {
+  auto queries = catalog(data);
+  for (const CatalogQuery& q : queries) {
+    if (!q.is_update) continue;
+    struct DialectSel {
+      const char* name;
+      const std::string* text;
+      SchemaKind kind;
+    };
+    std::vector<DialectSel> dialects = {
+        {"mct", &q.mct, SchemaKind::kMct},
+        {"shallow", &q.shallow, SchemaKind::kShallow},
+        {"deep", &q.deep, SchemaKind::kDeep},
+    };
+    for (const DialectSel& d : dialects) {
+      if (d.text->empty()) continue;
+      for (int threads : kThreadCounts) {
+        std::string label =
+            q.id + std::string("/") + d.name + "/t" + std::to_string(threads);
+        DbT base_db = std::move(build(data, d.kind)).value();
+        DbT plan_db = std::move(build(data, d.kind)).value();
+        auto base = RunWith(base_db.db.get(), base_db.default_color(),
+                            *d.text, false, threads);
+        auto planned = RunWith(plan_db.db.get(), plan_db.default_color(),
+                               *d.text, true, threads);
+        ASSERT_TRUE(base.ok()) << label << ": " << base.status();
+        ASSERT_TRUE(planned.ok()) << label << ": " << planned.status();
+        EXPECT_EQ(base->updated_count, planned->updated_count) << label;
+        DatabaseStats bs = base_db.db->Stats();
+        DatabaseStats ps = plan_db.db->Stats();
+        EXPECT_EQ(bs.num_elements, ps.num_elements) << label;
+        EXPECT_EQ(bs.num_struct_nodes, ps.num_struct_nodes) << label;
+        // Post-update reads agree (baseline pipeline on both databases).
+        int compared = 0;
+        for (const CatalogQuery& rq : queries) {
+          if (rq.is_update || !rq.comparable || compared >= 3) continue;
+          const std::string& text = d.kind == SchemaKind::kMct ? rq.mct
+                                    : d.kind == SchemaKind::kShallow
+                                        ? rq.shallow
+                                        : rq.deep;
+          if (text.empty()) continue;
+          auto br = RunWith(base_db.db.get(), base_db.default_color(), text,
+                            false, 1);
+          auto pr = RunWith(plan_db.db.get(), plan_db.default_color(), text,
+                            false, 1);
+          ASSERT_TRUE(br.ok()) << label << "/" << rq.id << ": " << br.status();
+          ASSERT_TRUE(pr.ok()) << label << "/" << rq.id << ": " << pr.status();
+          ASSERT_EQ(br->items.size(), pr->items.size())
+              << label << "/" << rq.id;
+          ++compared;
+        }
+      }
+    }
+  }
+}
+
+TEST(TpcwPlannerUpdates, PlannedEffectsMatchBaseline) {
+  TpcwData data = GenerateTpcw(TpcwScale::Tiny());
+  UpdateDifferential<TpcwData, TpcwDb>(
+      data, [](const TpcwData& d, SchemaKind k) { return BuildTpcw(d, k); },
+      [](const TpcwData& d) { return TpcwCatalog(d); });
+}
+
+TEST(SigmodPlannerUpdates, PlannedEffectsMatchBaseline) {
+  SigmodData data = GenerateSigmod(SigmodScale::Tiny());
+  UpdateDifferential<SigmodData, SigmodDb>(
+      data, [](const SigmodData& d, SchemaKind k) { return BuildSigmod(d, k); },
+      [](const SigmodData& d) { return SigmodCatalog(d); });
+}
+
+// ---- Plan cache behavior.
+
+TEST(PlanCacheTest, ExactHitSkipsParseAndPlan) {
+  testfix::MovieDb m = testfix::BuildMovieDb();
+  query::PlanCache cache;
+  const std::string q =
+      "for $m in document(\"d\")/{red}descendant::movie return $m";
+  auto r1 = RunWith(m.db.get(), m.red, q, true, 1, &cache);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  // One exact entry plus one skeleton entry.
+  EXPECT_EQ(cache.size(), 2u);
+  auto r2 = RunWith(m.db.get(), m.red, q, true, 1, &cache);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  ExpectIdenticalItems(*r1, *r2, "cache-hit");
+}
+
+TEST(PlanCacheTest, SkeletonHitReusesPlanAcrossLiterals) {
+  testfix::MovieDb m = testfix::BuildMovieDb();
+  query::PlanCache cache;
+  const std::string q1 =
+      "for $m in document(\"d\")/{red}descendant::movie[{red}child::name = \"All About Eve\"] "
+      "return $m";
+  const std::string q2 =
+      "for $m in document(\"d\")/{red}descendant::movie[{red}child::name = \"City Lights\"] "
+      "return $m";
+  ASSERT_EQ(query::NormalizeStatement(q1), query::NormalizeStatement(q2));
+  auto r1 = RunWith(m.db.get(), m.red, q1, true, 1, &cache);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_EQ(cache.stats().skeleton_hits, 0u);
+  auto r2 = RunWith(m.db.get(), m.red, q2, true, 1, &cache);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(cache.stats().skeleton_hits, 1u);
+  // Different literals, different results — the plan skeleton is shared,
+  // the candidate sets are rebuilt from the live literal at runtime.
+  ASSERT_EQ(r1->items.size(), 1u);
+  ASSERT_EQ(r2->items.size(), 1u);
+  EXPECT_EQ(r1->items[0].node, m.movie_eve);
+  EXPECT_EQ(r2->items[0].node, m.movie_lights);
+}
+
+TEST(PlanCacheTest, UpdateInvalidatesCache) {
+  TpcwData data = GenerateTpcw(TpcwScale::Tiny());
+  TpcwDb db = std::move(BuildTpcw(data, SchemaKind::kMct)).value();
+  auto queries = TpcwCatalog(data);
+  const CatalogQuery* read = nullptr;
+  const CatalogQuery* update = nullptr;
+  for (const CatalogQuery& q : queries) {
+    if (q.is_update && update == nullptr) update = &q;
+    if (!q.is_update && read == nullptr) read = &q;
+  }
+  ASSERT_NE(read, nullptr);
+  ASSERT_NE(update, nullptr);
+  query::PlanCache cache;
+  auto r = RunWith(db.db.get(), db.default_color(), read->mct, true, 1,
+                   &cache);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GE(cache.size(), 1u);
+  auto u = RunWith(db.db.get(), db.default_color(), update->mct, true, 1,
+                   &cache);
+  ASSERT_TRUE(u.ok()) << u.status();
+  ASSERT_GT(u->updated_count, 0u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_GE(cache.stats().invalidations, 1u);
+  // Re-running the read re-plans against post-update statistics.
+  auto r2 = RunWith(db.db.get(), db.default_color(), read->mct, true, 1,
+                    &cache);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_GE(cache.size(), 1u);
+}
+
+// ---- Statement normalization (cache skeleton keying).
+
+TEST(NormalizeStatementTest, ParameterizesLiterals) {
+  EXPECT_EQ(query::NormalizeStatement("a[b = \"xyz\"]"), "a[b = \"?\"]");
+  EXPECT_EQ(query::NormalizeStatement("a[2]"), "a[?]");
+  EXPECT_EQ(query::NormalizeStatement("a[b = 3.14]"), "a[b = ?]");
+  // Identifier-embedded digits are not literals.
+  EXPECT_EQ(query::NormalizeStatement("$v2/b1"), "$v2/b1");
+  // Different literals normalize to the same skeleton.
+  EXPECT_EQ(query::NormalizeStatement("x[y = \"a\"][1]"),
+            query::NormalizeStatement("x[y = \"bbb\"][7]"));
+  // Different structure does not.
+  EXPECT_NE(query::NormalizeStatement("x[y = \"a\"]"),
+            query::NormalizeStatement("x[z = \"a\"]"));
+}
+
+// ---- Plan selection on synthetic statistics (cost model unit tests).
+
+class FakeStats : public query::StatsProvider {
+ public:
+  FakeStats(double tag_count, double color_size)
+      : tag_count_(tag_count), color_size_(color_size) {}
+  double TagCount(ColorId, const std::string&) const override {
+    return tag_count_;
+  }
+  double ColorSize(ColorId) const override { return color_size_; }
+
+ private:
+  double tag_count_;
+  double color_size_;
+};
+
+TEST(PlanStatementTest, SelectiveSeekBeatsFullScan) {
+  query::BindingDesc b;
+  b.doc_context = true;
+  b.single_row = true;
+  query::StepDesc s;
+  s.axis = query::PlanAxis::kDescendant;
+  s.tag = "item";
+  query::PredDesc p;
+  p.seek = query::PredDesc::Seek::kAttr;
+  p.est_matches = 3;
+  s.preds.push_back(p);
+  b.steps.push_back(s);
+  FakeStats stats(/*tag_count=*/10000, /*color_size=*/50000);
+  query::StatementPlan plan = query::PlanStatement({b}, stats);
+  ASSERT_EQ(plan.bindings.size(), 1u);
+  ASSERT_EQ(plan.bindings[0].steps.size(), 1u);
+  EXPECT_EQ(plan.bindings[0].steps[0].access, query::StepAccess::kIndexSeek);
+  EXPECT_EQ(plan.bindings[0].steps[0].seek_pred, 0);
+  EXPECT_LT(plan.cost_chosen, plan.cost_baseline);
+  EXPECT_NE(plan.Describe().find("index-seek"), std::string::npos);
+}
+
+TEST(PlanStatementTest, SelectiveTwigChoosesPathStackSpine) {
+  query::BindingDesc b;
+  b.doc_context = true;
+  b.single_row = true;
+  query::StepDesc s1;
+  s1.axis = query::PlanAxis::kDescendant;
+  s1.tag = "bulk";
+  s1.flow_out = 50000;
+  query::StepDesc s2;
+  s2.axis = query::PlanAxis::kDescendant;
+  s2.tag = "rare";
+  s2.flow_out = 100;
+  b.steps = {s1, s2};
+  // TagCount is the same for both tags here; the spine wins because it
+  // never materializes the 50000-row intermediate.
+  FakeStats stats(/*tag_count=*/50000, /*color_size=*/200000);
+  query::StatementPlan plan = query::PlanStatement({b}, stats);
+  ASSERT_EQ(plan.bindings.size(), 1u);
+  EXPECT_TRUE(plan.bindings[0].use_path_stack);
+  EXPECT_LT(plan.cost_chosen, plan.cost_baseline);
+  EXPECT_NE(plan.Describe().find("path-stack spine"), std::string::npos);
+}
+
+TEST(PlanStatementTest, PositionalPredicatePinsOrderAndBlocksSeek) {
+  query::BindingDesc b;
+  b.doc_context = true;
+  b.single_row = true;
+  query::StepDesc s;
+  s.axis = query::PlanAxis::kDescendant;
+  s.tag = "item";
+  query::PredDesc pos;
+  pos.positional = true;
+  query::PredDesc seekable;
+  seekable.seek = query::PredDesc::Seek::kAttr;
+  seekable.est_matches = 1;
+  s.preds = {pos, seekable};
+  b.steps.push_back(s);
+  FakeStats stats(10000, 50000);
+  query::StatementPlan plan = query::PlanStatement({b}, stats);
+  ASSERT_EQ(plan.bindings[0].steps.size(), 1u);
+  EXPECT_NE(plan.bindings[0].steps[0].access, query::StepAccess::kIndexSeek);
+  EXPECT_TRUE(plan.bindings[0].steps[0].pred_order.empty());
+}
+
+// ---- End-to-end spine execution on a crafted selective twig.
+
+TEST(PlannerSpineTest, SpineExecutionMatchesBaseline) {
+  auto db = std::make_unique<MctDatabase>();
+  ColorId red = std::move(db->RegisterColor("red")).value();
+  NodeId root = db->document();
+  // 200 bulk nodes; only 5 carry a rare descendant — the shape where the
+  // holistic path-stack join beats materializing the intermediate step.
+  for (int i = 0; i < 200; ++i) {
+    NodeId a = testfix::MustCreate(*db, red, root, "a");
+    if (i % 40 == 0) {
+      NodeId mid = testfix::MustCreate(*db, red, a, "mid");
+      testfix::MustCreate(*db, red, mid, "b", "v" + std::to_string(i));
+    }
+  }
+  const std::string q =
+      "for $b in document(\"d\")/{red}descendant::a/{red}descendant::b return $b";
+  std::vector<std::string> notes;
+  auto planned = RunWith(db.get(), red, q, true, 1, nullptr, &notes);
+  auto base = RunWith(db.get(), red, q, false, 1);
+  ASSERT_TRUE(base.ok()) << base.status();
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  ASSERT_EQ(base->items.size(), 5u);
+  ExpectIdenticalItems(*base, *planned, "spine");
+  bool spine_used = false;
+  for (const std::string& n : notes) {
+    if (n.find("PATH-STACK SPINE") != std::string::npos) spine_used = true;
+  }
+  EXPECT_TRUE(spine_used) << "plan notes:\n" + [&] {
+    std::string all;
+    for (const auto& n : notes) all += n + "\n";
+    return all;
+  }();
+}
+
+// ---- EXPLAIN PLAN surfacing.
+
+TEST(ExplainPlanTest, NotesAndTraceCarryEstimates) {
+  testfix::MovieDb m = testfix::BuildMovieDb();
+  std::vector<std::string> notes;
+  query::QueryTrace trace;
+  const std::string q =
+      "for $m in document(\"d\")/{red}descendant::movie[{red}child::name = \"All About Eve\"] "
+      "return $m";
+  auto r = RunWith(m.db.get(), m.red, q, true, 1, nullptr, &notes, &trace);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_FALSE(notes.empty());
+  EXPECT_NE(notes[0].find("EXPLAIN PLAN"), std::string::npos);
+  EXPECT_NE(notes[0].find("cost"), std::string::npos);
+  std::string text = trace.ToText();
+  EXPECT_NE(text.find("PLAN"), std::string::npos) << text;
+  // Estimated-vs-actual: the planned step carries an est~ annotation.
+  EXPECT_NE(text.find("est~"), std::string::npos) << text;
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"est_rows\""), std::string::npos);
+}
+
+TEST(ExplainPlanTest, PlanForDescribesEveryBinding) {
+  testfix::MovieDb m = testfix::BuildMovieDb();
+  mcx::EvalOptions o;
+  o.default_color = m.red;
+  mcx::Evaluator ev(m.db.get(), o);
+  auto parsed = mcx::Parse(
+      "for $g in document(\"d\")/{red}descendant::genre "
+      "for $mv in $g/{red}descendant::movie return $mv");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  query::StatementPlan plan = ev.PlanFor(*parsed);
+  EXPECT_EQ(plan.bindings.size(), 2u);
+  std::string d = plan.Describe();
+  EXPECT_NE(d.find("binding 0"), std::string::npos) << d;
+  EXPECT_NE(d.find("binding 1"), std::string::npos) << d;
+}
+
+// ---- Satellite: ForEachChild is one lookup per child and counted.
+
+TEST(ChildIterMetricTest, ForEachChildCountsVisits) {
+  testfix::MovieDb m = testfix::BuildMovieDb();
+  const ColoredTree* t = m.db->tree(m.red);
+  std::vector<NodeId> children = t->Children(m.genre_comedy);
+  ASSERT_FALSE(children.empty());
+  Counter* c = TreeChildIterCounter();
+  uint64_t before = c->value();
+  std::vector<NodeId> seen;
+  t->ForEachChild(m.genre_comedy, [&](NodeId n) { seen.push_back(n); });
+  EXPECT_EQ(seen, children);
+  EXPECT_EQ(c->value() - before, static_cast<uint64_t>(children.size()));
+  // Childless node: no counter traffic.
+  before = c->value();
+  t->ForEachChild(m.actor_davis, [&](NodeId) {});
+  uint64_t delta = c->value() - before;
+  EXPECT_EQ(delta, t->Children(m.actor_davis).size());
+}
+
+// ---- Satellite: zero-copy key extraction agrees with the owning path.
+
+TEST(ExtractKeyViewTest, ViewMatchesOwningExtraction) {
+  testfix::MovieDb m = testfix::BuildMovieDb();
+  ASSERT_TRUE(m.db->SetAttr(m.movie_eve, "year", "1950").ok());
+  const MctDatabase& db = *m.db;
+
+  query::KeySpec own = query::KeySpec::OwnContent();
+  query::KeySpec child = query::KeySpec::ChildContent(m.red, "name");
+  query::KeySpec attr = query::KeySpec::Attr("year");
+  query::KeySpec sval = query::KeySpec::StringValue(m.red);
+
+  EXPECT_TRUE(query::KeySpecViewable(own));
+  EXPECT_TRUE(query::KeySpecViewable(child));
+  EXPECT_TRUE(query::KeySpecViewable(attr));
+  EXPECT_FALSE(query::KeySpecViewable(sval));
+
+  for (const query::KeySpec& spec : {own, child, attr}) {
+    for (NodeId n : {m.movie_eve, m.movie_lights, m.genre_comedy,
+                     m.actor_davis, m.role_margo}) {
+      auto owned = query::ExtractKey(db, n, spec);
+      auto view = query::ExtractKeyView(db, n, spec);
+      ASSERT_EQ(owned.has_value(), view.has_value());
+      if (owned.has_value()) {
+        EXPECT_EQ(std::string_view(*owned), *view);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mct::workload
