@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 
 #include "query/ops.h"
@@ -61,7 +63,7 @@ void BM_StructuralChildJoin(benchmark::State& state) {
   for (auto _ : state) {
     Table t = ExpandChildren(f->mct_db.db.get(), f->orders_mct, 0,
                              f->mct_db.cust, "orderline", "$l", nullptr);
-    benchmark::DoNotOptimize(t.rows.data());
+    benchmark::DoNotOptimize(t.cols.data());
     state.counters["rows"] = static_cast<double>(t.num_rows());
   }
 }
@@ -75,7 +77,7 @@ void BM_StructuralDescendantJoin(benchmark::State& state) {
   for (auto _ : state) {
     Table t = ExpandDescendants(f->mct_db.db.get(), customers, 0,
                                 f->mct_db.cust, "orderline", "$l", nullptr);
-    benchmark::DoNotOptimize(t.rows.data());
+    benchmark::DoNotOptimize(t.cols.data());
     state.counters["rows"] = static_cast<double>(t.num_rows());
   }
 }
@@ -89,7 +91,7 @@ void BM_CrossTreeJoin(benchmark::State& state) {
   for (auto _ : state) {
     Table t = CrossTreeJoin(f->mct_db.db.get(), lines, 0, f->mct_db.auth,
                             nullptr);
-    benchmark::DoNotOptimize(t.rows.data());
+    benchmark::DoNotOptimize(t.cols.data());
     state.counters["rows"] = static_cast<double>(t.num_rows());
   }
 }
@@ -103,7 +105,7 @@ void BM_HashValueJoin(benchmark::State& state) {
     Table t = HashValueJoin(f->shallow_db.db.get(), f->orders_shallow, 0,
                             KeySpec::Attr("id"), f->lines_shallow, 0,
                             KeySpec::Attr("orderIdRef"), nullptr);
-    benchmark::DoNotOptimize(t.rows.data());
+    benchmark::DoNotOptimize(t.cols.data());
     state.counters["rows"] = static_cast<double>(t.num_rows());
   }
 }
@@ -116,7 +118,7 @@ void BM_IdrefsJoin(benchmark::State& state) {
     Table t = IdrefsJoin(f->shallow_db.db.get(), f->lines_shallow, 0,
                          KeySpec::Attr("orderIdRef"), f->orders_shallow, 0,
                          KeySpec::Attr("id"), nullptr);
-    benchmark::DoNotOptimize(t.rows.data());
+    benchmark::DoNotOptimize(t.cols.data());
     state.counters["rows"] = static_cast<double>(t.num_rows());
   }
 }
@@ -126,23 +128,23 @@ BENCHMARK(BM_IdrefsJoin);
 void BM_NestedLoopInequalityJoin(benchmark::State& state) {
   Fixture* f = Fixture::Get();
   // First 500 orders on each side keeps the quadratic loop measurable.
-  Table small;
-  small.vars = f->orders_shallow.vars;
-  for (size_t i = 0; i < f->orders_shallow.rows.size() && i < 500; ++i) {
-    small.rows.push_back(f->orders_shallow.rows[i]);
-  }
+  const size_t n =
+      std::min<size_t>(f->orders_shallow.num_rows(), 500);
+  std::vector<uint32_t> head(n);
+  for (uint32_t i = 0; i < n; ++i) head[i] = i;
+  Table small = f->orders_shallow.GatherRows(head);
   MctDatabase* db = f->shallow_db.db.get();
   KeySpec total = KeySpec::ChildContent(f->shallow_db.doc, "total");
   for (auto _ : state) {
     Table t = NestedLoopJoin(
         db, small, small,
-        [&](const std::vector<NodeId>& l, const std::vector<NodeId>& r) {
-          auto lv = ExtractKey(*db, l[0], total);
-          auto rv = ExtractKey(*db, r[0], total);
+        [&](size_t l, size_t r) {
+          auto lv = ExtractKey(*db, small.At(l, 0), total);
+          auto rv = ExtractKey(*db, small.At(r, 0), total);
           return lv && rv && *lv > *rv;
         },
         nullptr);
-    benchmark::DoNotOptimize(t.rows.data());
+    benchmark::DoNotOptimize(t.cols.data());
     state.counters["rows"] = static_cast<double>(t.num_rows());
   }
 }
@@ -168,8 +170,9 @@ void BM_CrossTreeEarly(benchmark::State& state) {
     Table c = TagScanTable(db, cust, "$c", "customer", nullptr);
     c = FilterRows(
         c,
-        [&](const std::vector<NodeId>& row) {
-          auto v = ExtractKey(*db, row[0], KeySpec::ChildContent(cust, "uname"));
+        [&](size_t row) {
+          auto v = ExtractKey(*db, c.At(row, 0),
+                              KeySpec::ChildContent(cust, "uname"));
           return v.has_value() && *v == "user1";
         },
         nullptr);
@@ -177,7 +180,7 @@ void BM_CrossTreeEarly(benchmark::State& state) {
     Table crossed = CrossTreeJoin(db, lines, 1, auth, nullptr);
     Table items = ExpandParent(db, crossed, 1, auth, "item", "$i", nullptr);
     Table authors = ExpandParent(db, items, 2, auth, "author", "$a", nullptr);
-    benchmark::DoNotOptimize(authors.rows.data());
+    benchmark::DoNotOptimize(authors.cols.data());
     state.counters["rows"] = static_cast<double>(authors.num_rows());
   }
 }
@@ -195,8 +198,9 @@ void BM_CrossTreeLate(benchmark::State& state) {
     Table c = TagScanTable(db, cust, "$c", "customer", nullptr);
     c = FilterRows(
         c,
-        [&](const std::vector<NodeId>& row) {
-          auto v = ExtractKey(*db, row[0], KeySpec::ChildContent(cust, "uname"));
+        [&](size_t row) {
+          auto v = ExtractKey(*db, c.At(row, 0),
+                              KeySpec::ChildContent(cust, "uname"));
           return v.has_value() && *v == "user1";
         },
         nullptr);
@@ -207,7 +211,7 @@ void BM_CrossTreeLate(benchmark::State& state) {
     Table authors = ExpandParent(db, items, 1, auth, "author", "$a", nullptr);
     // Cross-tree join at the end = identity join of the two sides.
     Table joined = IdentityJoin(db, lines, 1, authors, 0, nullptr);
-    benchmark::DoNotOptimize(joined.rows.data());
+    benchmark::DoNotOptimize(joined.cols.data());
     state.counters["rows"] = static_cast<double>(joined.num_rows());
   }
 }
@@ -229,7 +233,7 @@ void BM_TwigPathHolistic(benchmark::State& state) {
   p.Add(i, "orderline", true);
   for (auto _ : state) {
     auto t = PathStackJoin(f->mct_db.db.get(), f->mct_db.auth, p, nullptr);
-    benchmark::DoNotOptimize(t->rows.data());
+    benchmark::DoNotOptimize(t->cols.data());
     state.counters["rows"] = static_cast<double>(t->num_rows());
   }
 }
@@ -243,7 +247,7 @@ void BM_TwigPathBinaryJoins(benchmark::State& state) {
     Table t = TagScanTable(db, auth, "$a", "author", nullptr);
     t = ExpandChildren(db, t, 0, auth, "item", "$i", nullptr);
     t = ExpandChildren(db, t, 1, auth, "orderline", "$l", nullptr);
-    benchmark::DoNotOptimize(t.rows.data());
+    benchmark::DoNotOptimize(t.cols.data());
     state.counters["rows"] = static_cast<double>(t.num_rows());
   }
 }

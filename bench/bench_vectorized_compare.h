@@ -1,0 +1,118 @@
+// Shared --batch A/B mode for the Table 2 benches: measure every read
+// statement of a catalog twice — row-at-a-time execution (the operators'
+// retained legacy paths, i.e. the pre-columnar cost profile) vs vectorized
+// batch execution over the columnar binding tables — print a comparison
+// table, write a machine-readable JSON with the per-statement numbers and
+// the geomean speedup, and gate on regressions.
+//
+// Both sides run the cost-based planner at one thread, so the only variable
+// is the execution style. The gate: any batch statement slower than its
+// row-at-a-time twin by more than 10% plus a 0.2 ms noise floor fails the
+// run (exit 1). Result counts must match exactly — a mismatch is a
+// determinism bug, not a perf regression, and also fails the run.
+//
+// Updates are excluded: TU2/TU4-style inserts are not idempotent, so an
+// A/B pair would measure two different databases.
+
+#ifndef COLORFUL_XML_BENCH_BENCH_VECTORIZED_COMPARE_H_
+#define COLORFUL_XML_BENCH_BENCH_VECTORIZED_COMPARE_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "query/planner.h"
+#include "workload/catalog.h"
+#include "workload/runner.h"
+
+namespace mct::bench {
+
+inline int VectorizedCompare(
+    MctDatabase* db, ColorId default_color,
+    const std::vector<workload::CatalogQuery>& catalog,
+    const char* json_path) {
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot create %s\n", json_path);
+    return 1;
+  }
+  // Session-style plan caches (one per arm), as in PlannerCompare: the
+  // timer covers parse + plan + execute, and cache hits skip the first two,
+  // so the measured delta is the execution style, not replanning.
+  query::PlanCache row_cache;
+  query::PlanCache batch_cache;
+  std::printf("%-6s %9s %10s %10s %8s\n", "Query", "Results", "Rows(s)",
+              "Batch(s)", "Speedup");
+  PrintRule(48);
+  std::fprintf(out, "{\"statements\": [");
+  bool first = true;
+  int regressions = 0;
+  int wins = 0;
+  int measured = 0;
+  double log_speedup_sum = 0;
+  for (const workload::CatalogQuery& q : catalog) {
+    if (q.is_update || q.mct.empty()) continue;
+    uint64_t row_count = 0;
+    uint64_t batch_count = 0;
+    auto once = [&](bool vectorized, uint64_t* count) -> double {
+      auto run = workload::RunQuery(db, default_color, q.mct, false, 1, 1024,
+                                    nullptr, nullptr, mcx::AnalyzeMode::kOff,
+                                    nullptr, /*planner=*/true,
+                                    vectorized ? &batch_cache : &row_cache,
+                                    vectorized);
+      if (!run.ok()) {
+        std::fprintf(stderr, "%s %s failed: %s\n",
+                     vectorized ? "batch" : "row-at-a-time", q.id.c_str(),
+                     run.status().ToString().c_str());
+        std::exit(1);
+      }
+      *count = run->result_count;
+      return run->seconds;
+    };
+    double rows = Repeated([&] { return once(false, &row_count); });
+    double batch = Repeated([&] { return once(true, &batch_count); });
+    if (row_count != batch_count) {
+      std::fprintf(stderr,
+                   "%s: batch result count %llu != row-at-a-time %llu — "
+                   "determinism violation\n",
+                   q.id.c_str(), static_cast<unsigned long long>(batch_count),
+                   static_cast<unsigned long long>(row_count));
+      std::fclose(out);
+      return 1;
+    }
+    ++measured;
+    double speedup = batch > 0 ? rows / batch : 0;
+    if (speedup > 0) log_speedup_sum += std::log(speedup);
+    bool regressed = batch > rows * 1.10 + 2e-4;
+    if (regressed) ++regressions;
+    if (speedup >= 1.3) ++wins;
+    std::printf("%-6s %9llu %10.5f %10.5f %7.2fx%s\n", q.id.c_str(),
+                static_cast<unsigned long long>(row_count), rows, batch,
+                speedup, regressed ? "  REGRESSED" : "");
+    if (!first) std::fprintf(out, ",\n");
+    first = false;
+    std::fprintf(out,
+                 "{\"query\": \"%s\", \"results\": %llu, "
+                 "\"rows_ms\": %.4f, \"batch_ms\": %.4f, "
+                 "\"speedup\": %.3f, \"regressed\": %s}",
+                 q.id.c_str(), static_cast<unsigned long long>(row_count),
+                 rows * 1e3, batch * 1e3, speedup,
+                 regressed ? "true" : "false");
+  }
+  double geomean =
+      measured > 0 ? std::exp(log_speedup_sum / measured) : 0;
+  std::fprintf(out, "],\n\"geomean_speedup\": %.3f}\n", geomean);
+  std::fclose(out);
+  PrintRule(48);
+  std::printf(
+      "%d statements; geomean %.2fx; %d at >=1.3x, %d regressed "
+      "(>10%% + 0.2 ms)\nJSON written to %s\n",
+      measured, geomean, wins, regressions, json_path);
+  return regressions > 0 ? 1 : 0;
+}
+
+}  // namespace mct::bench
+
+#endif  // COLORFUL_XML_BENCH_BENCH_VECTORIZED_COMPARE_H_

@@ -642,14 +642,16 @@ Result<std::vector<Item>> Evaluator::EvalFLWOR(const Expr& flwor,
   // sort stays serial and stable.
   if (flwor.order_by != nullptr) {
     const auto sort_t0 = std::chrono::steady_clock::now();
-    std::vector<std::pair<std::string, size_t>> keyed(b.table.rows.size());
+    const size_t n_rows = b.table.num_rows();
+    std::vector<std::pair<std::string, uint32_t>> keyed(n_rows);
     MCT_RETURN_IF_ERROR(ForRows(
-        b.table.rows.size(), IsPureExpr(*flwor.order_by), [&](size_t i) {
+        n_rows, IsPureExpr(*flwor.order_by), [&](size_t i) {
           EvalCtx c = base;
-          c.row = &b.table.rows[i];
+          c.row = i;
           std::vector<Item> items;
           MCT_ASSIGN_OR_RETURN(items, EvalExpr(c, *flwor.order_by));
-          keyed[i] = {items.empty() ? "" : Atomize(items[0]), i};
+          keyed[i] = {items.empty() ? "" : Atomize(items[0]),
+                      static_cast<uint32_t>(i)};
           return Status::OK();
         }));
     bool desc = flwor.order_descending;
@@ -662,24 +664,33 @@ Result<std::vector<Item>> Evaluator::EvalFLWOR(const Expr& flwor,
                        }
                        return desc ? x.first > y.first : x.first < y.first;
                      });
-    std::vector<std::vector<NodeId>> sorted;
-    sorted.reserve(b.table.rows.size());
-    for (const auto& [_, i] : keyed) sorted.push_back(b.table.rows[i]);
-    b.table.rows = std::move(sorted);
+    std::vector<uint32_t> order;
+    order.reserve(n_rows);
+    for (const auto& [_, i] : keyed) order.push_back(i);
+    if (exec_.batch) {
+      // The permutation becomes the selection vector: an O(rows) reorder
+      // with zero cell copies.
+      b.table.KeepRows(std::move(order));
+    } else {
+      Table sorted = query::Table::WithVars(b.table.vars);
+      sorted.Reserve(n_rows);
+      for (uint32_t i : order) sorted.AppendRow(b.table.RowAt(i));
+      b.table = std::move(sorted);
+    }
     if (exec_.trace != nullptr) {
       query::OpTrace* n = exec_.trace->Leaf("ORDER BY");
-      n->rows_in = n->rows_out = b.table.rows.size();
+      n->rows_in = n->rows_out = n_rows;
       n->seconds = SecondsSince(sort_t0);
     }
   }
   // Return clause: evaluate per row into per-row buffers (parallel when the
   // expression is pure), then concatenate in row order.
   const auto ret_t0 = std::chrono::steady_clock::now();
-  std::vector<std::vector<Item>> per_row(b.table.rows.size());
+  std::vector<std::vector<Item>> per_row(b.table.num_rows());
   MCT_RETURN_IF_ERROR(
-      ForRows(b.table.rows.size(), IsPureExpr(*flwor.ret), [&](size_t i) {
+      ForRows(b.table.num_rows(), IsPureExpr(*flwor.ret), [&](size_t i) {
         EvalCtx c = base;
-        c.row = &b.table.rows[i];
+        c.row = i;
         MCT_ASSIGN_OR_RETURN(per_row[i], EvalExpr(c, *flwor.ret));
         return Status::OK();
       }));
@@ -692,7 +703,7 @@ Result<std::vector<Item>> Evaluator::EvalFLWOR(const Expr& flwor,
   }
   if (exec_.trace != nullptr) {
     query::OpTrace* n = exec_.trace->Leaf("RETURN");
-    n->rows_in = b.table.rows.size();
+    n->rows_in = b.table.num_rows();
     n->rows_out = total;
     n->seconds = SecondsSince(ret_t0);
   }
@@ -737,16 +748,15 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
       MCT_ASSIGN_OR_RETURN(auto items, EvalExpr(c, pe));
       if (opts_.stats != nullptr) ++opts_.stats->dup_elims;
       std::unordered_set<std::string> seen;
-      acc.table.vars = {binding.var};
+      std::vector<NodeId> survivors;
       for (const Item& it : items) {
         if (!it.is_node) {
           return Status::NotSupported(
               "distinct-values over atomic items as a binding");
         }
-        if (seen.insert(Atomize(it)).second) {
-          acc.table.rows.push_back({it.node});
-        }
+        if (seen.insert(Atomize(it)).second) survivors.push_back(it.node);
       }
+      acc.table = Table::FromNodes(binding.var, std::move(survivors));
       acc.cols = {ColumnInfo{opts_.default_color, true, ""}};
       if (exec_.trace != nullptr) {
         query::OpTrace* n =
@@ -783,8 +793,7 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
           return Status::NotSupported("path from an atomic outer variable");
         }
         Bindings base;
-        base.table.vars = {path.start_var};
-        base.table.rows = {{outer.node}};
+        base.table = Table::FromNodes(path.start_var, {outer.node});
         base.cols = {ColumnInfo{opts_.default_color, false, ""}};
         Bindings tb;
         {
@@ -826,8 +835,10 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
       if (correlated) {
         Bindings seeded = std::move(acc);
         int doc_col = static_cast<int>(seeded.table.num_cols());
-        seeded.table.vars.push_back("#doc");
-        for (auto& row : seeded.table.rows) row.push_back(db_->document());
+        seeded.table.Flatten();
+        seeded.table.AppendColumn(
+            "#doc",
+            std::vector<NodeId>(seeded.table.num_rows(), db_->document()));
         seeded.cols.push_back(ColumnInfo{opts_.default_color, false, ""});
         {
           TraceGroup g(exec_.trace, "FOR", binding.var);
@@ -857,8 +868,7 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
         continue;
       }
       Bindings base;
-      base.table.vars = {"#doc"};
-      base.table.rows = {{db_->document()}};
+      base.table = Table::FromNodes("#doc", {db_->document()});
       base.cols = {ColumnInfo{opts_.default_color, false, ""}};
       Bindings tb;
       {
@@ -922,21 +932,28 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
     }
     if (distinct) {
       int col = acc.table.ColumnOf(binding.var);
+      const size_t rows_in = acc.table.num_rows();
       std::unordered_set<std::string> seen;
-      Table dedup;
-      dedup.vars = acc.table.vars;
-      for (const auto& row : acc.table.rows) {
-        const std::string& v = db_->Content(row[static_cast<size_t>(col)]);
-        if (seen.insert(v).second) dedup.rows.push_back(row);
+      std::vector<uint32_t> keep;
+      for (size_t i = 0; i < rows_in; ++i) {
+        const std::string& v = db_->Content(acc.table.At(i, col));
+        if (seen.insert(v).second) keep.push_back(static_cast<uint32_t>(i));
       }
       if (opts_.stats != nullptr) ++opts_.stats->dup_elims;
       if (exec_.trace != nullptr) {
         query::OpTrace* n =
             exec_.trace->Leaf("DISTINCT VALUES", binding.var);
-        n->rows_in = acc.table.num_rows();
-        n->rows_out = dedup.num_rows();
+        n->rows_in = rows_in;
+        n->rows_out = keep.size();
       }
-      acc.table = std::move(dedup);
+      if (exec_.batch) {
+        acc.table.KeepRows(std::move(keep));
+      } else {
+        Table dedup = Table::WithVars(acc.table.vars);
+        dedup.Reserve(keep.size());
+        for (uint32_t i : keep) dedup.AppendRow(acc.table.RowAt(i));
+        acc.table = std::move(dedup);
+      }
       acc.cols[static_cast<size_t>(col)].atomic = true;
     }
   }
@@ -1022,7 +1039,7 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
         if (sp != nullptr) {
           if (sp->access == query::StepAccess::kScanShortcut &&
               in.table.num_rows() == 1 &&
-              in.table.rows[0][static_cast<size_t>(cur)] == db_->document()) {
+              in.table.At(0, cur) == db_->document()) {
             next = query::ExpandDescendantsRoot(db_, in.table, cur, c,
                                                 step.tag, col_name, ctx);
             done = true;
@@ -1053,14 +1070,27 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
       case Axis::kDescendantOrSelf: {
         next = query::ExpandDescendants(db_, in.table, cur, c, step.tag,
                                         col_name, ctx);
-        size_t desc_rows = next.rows.size();
-        for (const auto& row : in.table.rows) {
-          NodeId n = row[static_cast<size_t>(cur)];
+        size_t desc_rows = next.num_rows();
+        // Self rows append after the descendant block (`next` is dense —
+        // expansion output).
+        std::vector<uint32_t> self_idx;
+        for (size_t i = 0; i < in.table.num_rows(); ++i) {
+          NodeId n = in.table.At(i, cur);
           if (db_->Kind(n) == xml::NodeKind::kElement &&
               (step.tag.empty() || db_->Tag(n) == step.tag)) {
-            auto copy = row;
-            copy.push_back(n);
-            next.rows.push_back(std::move(copy));
+            self_idx.push_back(static_cast<uint32_t>(i));
+          }
+        }
+        if (ctx.batch) {
+          query::Table::GatherInto(in.table, self_idx, &next, 0);
+          auto& node_col = next.cols.back();
+          for (uint32_t i : self_idx) node_col.push_back(in.table.At(i, cur));
+        } else {
+          next.Reserve(next.num_rows() + self_idx.size());
+          for (uint32_t i : self_idx) {
+            std::vector<NodeId> copy = in.table.RowAt(i);
+            copy.push_back(in.table.At(i, cur));
+            next.AppendRow(copy);
           }
         }
         // The descendant expansion above already closed its trace record;
@@ -1069,7 +1099,7 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
         if (exec_.trace != nullptr) {
           query::OpTrace* n = exec_.trace->Leaf("SELF MERGE");
           n->rows_in = desc_rows;
-          n->rows_out = next.rows.size();
+          n->rows_out = next.num_rows();
         }
         break;
       }
@@ -1083,16 +1113,14 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
         break;
       case Axis::kSelf: {
         next = in.table;
-        next.vars.push_back(col_name);
-        for (auto& row : next.rows) {
-          row.push_back(row[static_cast<size_t>(cur)]);
-        }
+        next.Flatten();
+        std::vector<NodeId> alias = next.cols[static_cast<size_t>(cur)];
+        next.AppendColumn(col_name, std::move(alias));
         if (!step.tag.empty()) {
+          const std::vector<NodeId>& nodes = next.cols.back();
           next = query::FilterRows(
               next,
-              [&](const std::vector<NodeId>& row) {
-                return db_->Tag(row.back()) == step.tag;
-              },
+              [&](size_t row) { return db_->Tag(nodes[row]) == step.tag; },
               ctx);
         }
         break;
@@ -1103,14 +1131,14 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
               "attribute steps are only supported as the final step");
         }
         next = in.table;
-        next.vars.push_back(col_name);
-        for (auto& row : next.rows) {
-          row.push_back(row[static_cast<size_t>(cur)]);
-        }
+        next.Flatten();
+        std::vector<NodeId> alias = next.cols[static_cast<size_t>(cur)];
+        next.AppendColumn(col_name, std::move(alias));
+        const std::vector<NodeId>& nodes = next.cols.back();
         next = query::FilterRows(
             next,
-            [&](const std::vector<NodeId>& row) {
-              return db_->FindAttr(row.back(), step.tag) != nullptr;
+            [&](size_t row) {
+              return db_->FindAttr(nodes[row], step.tag) != nullptr;
             },
             ctx);
         break;
@@ -1181,29 +1209,36 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
       // one).
       if (pred->kind == Expr::Kind::kNumber) {
         int64_t want = static_cast<int64_t>(pred->num);
-        Table filtered;
-        filtered.vars = in.table.vars;
+        const size_t rows_in = in.table.num_rows();
+        const size_t ncols = in.table.num_cols();
         std::unordered_map<std::string, int64_t> counts;
         std::string key;
-        for (const auto& row : in.table.rows) {
+        std::vector<uint32_t> keep;
+        for (size_t r = 0; r < rows_in; ++r) {
           key.clear();
-          for (size_t i = 0; i + 1 < row.size(); ++i) {
-            key.append(reinterpret_cast<const char*>(&row[i]),
-                       sizeof(NodeId));
+          for (size_t i = 0; i + 1 < ncols; ++i) {
+            NodeId v = in.table.At(r, static_cast<int>(i));
+            key.append(reinterpret_cast<const char*>(&v), sizeof(NodeId));
           }
-          if (++counts[key] == want) filtered.rows.push_back(row);
+          if (++counts[key] == want) keep.push_back(static_cast<uint32_t>(r));
         }
         Note(StrFormat("POSITION [%lld]  (%zu -> %zu rows)",
-                       static_cast<long long>(want), in.table.num_rows(),
-                       filtered.num_rows()));
+                       static_cast<long long>(want), rows_in, keep.size()));
         if (exec_.trace != nullptr) {
           query::OpTrace* n = exec_.trace->Leaf(
               "POSITION", StrFormat("[%lld]", static_cast<long long>(want)));
-          n->rows_in = in.table.num_rows();
-          n->rows_out = filtered.num_rows();
+          n->rows_in = rows_in;
+          n->rows_out = keep.size();
           n->seconds = SecondsSince(pred_t0);
         }
-        in.table = std::move(filtered);
+        if (exec_.batch) {
+          in.table.KeepRows(std::move(keep));
+        } else {
+          Table filtered = Table::WithVars(in.table.vars);
+          filtered.Reserve(keep.size());
+          for (uint32_t r : keep) filtered.AppendRow(in.table.RowAt(r));
+          in.table = std::move(filtered);
+        }
         continue;
       }
       // Index-backed fast path for string-literal equality predicates —
@@ -1244,52 +1279,151 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
           }
         }
       }
-      Table filtered;
-      filtered.vars = in.table.vars;
+      const size_t pred_rows_in = in.table.num_rows();
+      std::vector<uint32_t> keep;
       if (use_probe) {
-        for (const auto& row : in.table.rows) {
-          if (probe.contains(row[static_cast<size_t>(cur)])) {
-            filtered.rows.push_back(row);
+        for (size_t i = 0; i < pred_rows_in; ++i) {
+          if (probe.contains(in.table.At(i, cur))) {
+            keep.push_back(static_cast<uint32_t>(i));
           }
         }
         Note(StrFormat("INDEX PROBE predicate  (%zu -> %zu rows)",
-                       in.table.num_rows(), filtered.num_rows()));
+                       pred_rows_in, keep.size()));
         if (exec_.trace != nullptr) {
           query::OpTrace* n = exec_.trace->Leaf("INDEX PROBE", "predicate");
-          n->rows_in = in.table.num_rows();
-          n->rows_out = filtered.num_rows();
+          n->rows_in = pred_rows_in;
+          n->rows_out = keep.size();
           n->seconds = SecondsSince(pred_t0);
         }
       } else {
         // Per-row predicate evaluation: the hot path of scan-filter
         // queries. Pure predicates fan out across the pool; the keep mask
         // preserves row order exactly.
-        const size_t n = in.table.rows.size();
-        std::vector<char> keep(n, 0);
-        MCT_RETURN_IF_ERROR(ForRows(n, IsPureExpr(*pred), [&](size_t i) {
-          EvalCtx pc;
-          pc.b = &in;
-          pc.row = &in.table.rows[i];
-          pc.env = &env;
-          pc.ctx_node = in.table.rows[i][static_cast<size_t>(cur)];
-          pc.ctx_color = cur_color;
-          MCT_ASSIGN_OR_RETURN(bool k, EvalBool(pc, *pred));
-          keep[i] = k ? 1 : 0;
-          return Status::OK();
-        }));
-        for (size_t i = 0; i < n; ++i) {
-          if (keep[i]) filtered.rows.push_back(std::move(in.table.rows[i]));
+        std::vector<char> mask(pred_rows_in, 0);
+        // Vectorized comparison: residuals of shape
+        // [{c}child::tag <cmp> literal] and [@a <cmp> literal] compare one
+        // extracted value per row against a constant. The interpreter
+        // re-resolves the color, allocates candidate vectors, and atomizes
+        // through the generic Item machinery on every row; this hoists all
+        // of that out of the loop. Only exact interpreter equivalents
+        // qualify (single relative step, no step predicates, atomic literal
+        // rhs — the node-identity branch of EvalBool cannot trigger), and
+        // the legacy arm keeps the interpreter, so the --batch A/B measures
+        // the batch discipline.
+        bool fast = false;
+        if (exec_.batch && pred->kind == Expr::Kind::kCompare &&
+            (pred->children[1]->kind == Expr::Kind::kString ||
+             pred->children[1]->kind == Expr::Kind::kNumber) &&
+            pred->children[0]->kind == Expr::Kind::kPath) {
+          const PathExpr& lp = pred->children[0]->path;
+          if (lp.start_var.empty() && !lp.from_document &&
+              lp.steps.size() == 1 && lp.steps[0].predicates.empty()) {
+            const PathStep& ps = lp.steps[0];
+            const std::string lit =
+                pred->children[1]->kind == Expr::Kind::kString
+                    ? pred->children[1]->str
+                    : FormatNumber(pred->children[1]->num);
+            const CmpOp cmp = pred->cmp;
+            if (ps.axis == Axis::kChild && !ps.tag.empty()) {
+              ColorId pred_color = cur_color;
+              bool color_ok = true;
+              if (!ps.color.empty()) {
+                auto rc = ResolveColor(ps.color);
+                color_ok = rc.ok();
+                if (color_ok) pred_color = *rc;
+              }
+              if (color_ok) {
+                const size_t tag_count = db_->TagCount(pred_color, ps.tag);
+                if (tag_count <= pred_rows_in * 8) {
+                  // Selective tag: compare every tagged node once and
+                  // semi-join the parents, instead of walking each context
+                  // row's full child list (rows with many children — e.g.
+                  // an issue with hundreds of articles — pay one tag-index
+                  // pass instead of rows x fanout child visits).
+                  std::unordered_set<NodeId> hit_parents;
+                  for (NodeId v : db_->TagScan(pred_color, ps.tag)) {
+                    if (!CompareValues(cmp, Atomize(Item::OfNode(v)), lit)) {
+                      continue;
+                    }
+                    auto par = db_->Parent(v, pred_color);
+                    if (par.has_value()) hit_parents.insert(*par);
+                  }
+                  for (size_t i = 0; i < pred_rows_in; ++i) {
+                    mask[i] =
+                        hit_parents.contains(in.table.At(i, cur)) ? 1 : 0;
+                  }
+                } else {
+                  const ColoredTree* tree = db_->tree(pred_color);
+                  MCT_RETURN_IF_ERROR(
+                      ForRows(pred_rows_in, true, [&](size_t i) {
+                        NodeId n = in.table.At(i, cur);
+                        if (!db_->Colors(n).Has(pred_color)) {
+                          return Status::OK();
+                        }
+                        bool hit = false;
+                        tree->ForEachChild(n, [&](NodeId k) {
+                          if (hit ||
+                              db_->Kind(k) != xml::NodeKind::kElement ||
+                              db_->Tag(k) != ps.tag) {
+                            return;
+                          }
+                          if (CompareValues(cmp, Atomize(Item::OfNode(k)),
+                                            lit)) {
+                            hit = true;
+                          }
+                        });
+                        mask[i] = hit ? 1 : 0;
+                        return Status::OK();
+                      }));
+                }
+                fast = true;
+              }
+            } else if (ps.axis == Axis::kAttribute) {
+              MCT_RETURN_IF_ERROR(ForRows(pred_rows_in, true, [&](size_t i) {
+                const std::string* v =
+                    db_->FindAttr(in.table.At(i, cur), ps.tag);
+                mask[i] =
+                    v != nullptr && CompareValues(cmp, *v, lit) ? 1 : 0;
+                return Status::OK();
+              }));
+              fast = true;
+            }
+          }
         }
-        Note(StrFormat("FILTER predicate  (%zu -> %zu rows)",
-                       in.table.num_rows(), filtered.num_rows()));
+        if (!fast) {
+          MCT_RETURN_IF_ERROR(
+              ForRows(pred_rows_in, IsPureExpr(*pred), [&](size_t i) {
+                EvalCtx pc;
+                pc.b = &in;
+                pc.row = i;
+                pc.env = &env;
+                pc.ctx_node = in.table.At(i, cur);
+                pc.ctx_color = cur_color;
+                MCT_ASSIGN_OR_RETURN(bool k, EvalBool(pc, *pred));
+                mask[i] = k ? 1 : 0;
+                return Status::OK();
+              }));
+        }
+        for (size_t i = 0; i < pred_rows_in; ++i) {
+          if (mask[i]) keep.push_back(static_cast<uint32_t>(i));
+        }
+        Note(StrFormat("FILTER predicate  (%zu -> %zu rows)", pred_rows_in,
+                       keep.size()));
         if (exec_.trace != nullptr) {
           query::OpTrace* tn = exec_.trace->Leaf("FILTER", "predicate");
-          tn->rows_in = in.table.num_rows();
-          tn->rows_out = filtered.num_rows();
+          tn->rows_in = pred_rows_in;
+          tn->rows_out = keep.size();
           tn->seconds = SecondsSince(pred_t0);
         }
       }
-      in.table = std::move(filtered);
+      if (exec_.batch) {
+        in.table.KeepRows(std::move(keep));
+      } else {
+        Table filtered = Table::WithVars(in.table.vars);
+        filtered.Reserve(keep.size());
+        for (uint32_t i : keep) filtered.AppendRow(in.table.RowAt(i));
+        in.table = std::move(filtered);
+      }
     }
     if (exec_.trace != nullptr && sp != nullptr && sp->est_out >= 0 &&
         !step.predicates.empty()) {
@@ -1307,11 +1441,11 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
   out.table = query::Project(std::move(in.table), keep);
   for (int k : keep) out.cols.push_back(in.cols[static_cast<size_t>(k)]);
   if (steps.empty()) {
-    // Zero steps: alias the context column under the new name.
-    out.table.vars.push_back(out_var);
-    for (auto& row : out.table.rows) {
-      row.push_back(row[static_cast<size_t>(ctx_col)]);
-    }
+    // Zero steps: alias the context column under the new name (a column
+    // copy, no per-row work).
+    out.table.Flatten();
+    std::vector<NodeId> alias = out.table.cols[static_cast<size_t>(ctx_col)];
+    out.table.AppendColumn(out_var, std::move(alias));
     out.cols.push_back(out.cols[static_cast<size_t>(ctx_col)]);
   } else if (cur >= static_cast<int>(original_cols)) {
     out.table.vars.back() = out_var;
@@ -1327,7 +1461,7 @@ Result<std::optional<Evaluator::Bindings>> Evaluator::EvalSpine(
   // color. Anything else -> nullopt, the caller runs the step loop.
   if (in.table.num_rows() != 1 || in.table.num_cols() != 1 ||
       ctx_col != 0 || in.table.vars[0] != "#doc" ||
-      in.table.rows[0][0] != db_->document() || steps.size() < 2) {
+      in.table.At(0, 0) != db_->document() || steps.size() < 2) {
     return std::optional<Bindings>();
   }
   ColorId spine_color = kInvalidColorId;
@@ -1362,14 +1496,16 @@ Result<std::optional<Evaluator::Bindings>> Evaluator::EvalSpine(
   // expansion re-sorts by its own column with the previous order as the
   // tie-break. Sorting the twig matches on the reversed tuple is exact.
   const auto spine_t0 = std::chrono::steady_clock::now();
-  std::vector<size_t> order(matched.rows.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    const auto& ra = matched.rows[a];
-    const auto& rb = matched.rows[b];
-    for (size_t k = ra.size(); k-- > 0;) {
-      uint64_t sa = ct.Start(ra[k]);
-      uint64_t sb = ct.Start(rb[k]);
+  const size_t n_matches = matched.num_rows();
+  const size_t n_spine_cols = matched.num_cols();
+  std::vector<uint32_t> order(n_matches);
+  for (size_t i = 0; i < n_matches; ++i) order[i] = static_cast<uint32_t>(i);
+  // `matched` is dense (PathStackJoin output), so the comparator reads the
+  // label columns directly.
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t k = n_spine_cols; k-- > 0;) {
+      uint64_t sa = ct.Start(matched.cols[k][a]);
+      uint64_t sb = ct.Start(matched.cols[k][b]);
       if (sa != sb) return sa < sb;
     }
     return false;
@@ -1377,18 +1513,18 @@ Result<std::optional<Evaluator::Bindings>> Evaluator::EvalSpine(
 
   // Project straight to the step loop's final layout: the original #doc
   // column plus the last spine node, one row per twig match (duplicates
-  // preserved, exactly as the baseline projection keeps them).
+  // preserved, exactly as the baseline projection keeps them). Two column
+  // fills: a constant #doc column and a gather of the leaf label column.
   Bindings out;
   out.table.vars = in.table.vars;
   out.table.vars.push_back(out_var);
   out.cols = in.cols;
   out.cols.push_back(ColumnInfo{spine_color, false, ""});
-  out.table.rows.reserve(matched.rows.size());
-  for (size_t i : order) {
-    std::vector<NodeId> row = in.table.rows[0];
-    row.push_back(matched.rows[i].back());
-    out.table.rows.push_back(std::move(row));
-  }
+  out.table.cols.resize(2);
+  out.table.cols[0].assign(n_matches, in.table.At(0, 0));
+  const std::vector<NodeId>& leaf = matched.cols.back();
+  out.table.cols[1].reserve(n_matches);
+  for (uint32_t i : order) out.table.cols[1].push_back(leaf[i]);
   Note(StrFormat("PATH-STACK SPINE {%s} %zu steps -> %s  (%zu rows)",
                  db_->ColorName(spine_color).c_str(), steps.size(),
                  out_var.c_str(), out.table.num_rows()));
@@ -1450,18 +1586,19 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
   ExecStats* stats = opts_.stats;
   const auto join_t0 = std::chrono::steady_clock::now();
   Bindings out;
-  out.table.vars = left.table.vars;
-  out.table.vars.insert(out.table.vars.end(), right.table.vars.begin(),
-                        right.table.vars.end());
+  std::vector<std::string> out_vars = left.table.vars;
+  out_vars.insert(out_vars.end(), right.table.vars.begin(),
+                  right.table.vars.end());
+  out.table = query::Table::WithVars(std::move(out_vars));
   out.cols = left.cols;
   out.cols.insert(out.cols.end(), right.cols.begin(), right.cols.end());
 
   // Per-row key evaluation against one side's bindings.
-  auto key_fn = [&](const Bindings& b, const std::vector<NodeId>& row,
+  auto key_fn = [&](const Bindings& b, size_t row,
                     const Expr& e) -> Result<std::optional<std::string>> {
     EvalCtx c;
     c.b = &b;
-    c.row = &row;
+    c.row = row;
     c.env = &env;
     MCT_ASSIGN_OR_RETURN(auto items, EvalExpr(c, e));
     if (items.empty()) return std::optional<std::string>();
@@ -1475,10 +1612,30 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
     return nullptr;
   };
 
-  auto emit = [&](const std::vector<NodeId>& l, const std::vector<NodeId>& r) {
-    std::vector<NodeId> row = l;
-    row.insert(row.end(), r.begin(), r.end());
-    out.table.rows.push_back(std::move(row));
+  // Matching (left row, right row) index pairs in emission order; the
+  // output is materialized once at the end — per-column gathers under
+  // vectorized execution, per-row copies in legacy mode.
+  std::vector<uint32_t> li, ri;
+  auto emit = [&](size_t l, size_t r) {
+    li.push_back(static_cast<uint32_t>(l));
+    ri.push_back(static_cast<uint32_t>(r));
+  };
+  auto materialize = [&]() {
+    if (exec_.batch) {
+      query::Table::GatherInto(left.table, li, &out.table, 0);
+      query::Table::GatherInto(right.table, ri, &out.table,
+                               left.table.num_cols());
+    } else {
+      const size_t rc = right.table.num_cols();
+      out.table.Reserve(li.size());
+      for (size_t k = 0; k < li.size(); ++k) {
+        std::vector<NodeId> row = left.table.RowAt(li[k]);
+        for (size_t j = 0; j < rc; ++j) {
+          row.push_back(right.table.At(ri[k], static_cast<int>(j)));
+        }
+        out.table.AppendRow(row);
+      }
+    }
   };
 
   // Records the chosen join strategy as one trace leaf; rows_in counts both
@@ -1494,9 +1651,10 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
   if (conjunct == nullptr) {
     // No connecting condition: Cartesian product.
     if (stats != nullptr) ++stats->nested_loop_joins;
-    for (const auto& l : left.table.rows) {
-      for (const auto& r : right.table.rows) emit(l, r);
+    for (size_t i = 0; i < left.table.num_rows(); ++i) {
+      for (size_t j = 0; j < right.table.num_rows(); ++j) emit(i, j);
     }
+    materialize();
     Note(StrFormat("CARTESIAN PRODUCT  (%zu x %zu -> %zu rows)",
                    left.table.num_rows(), right.table.num_rows(),
                    out.table.num_rows()));
@@ -1519,27 +1677,30 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
     // Hash the id side.
     const Bindings& id_side = *sb;
     const Bindings& list_side = *sa;
-    std::unordered_map<std::string, std::vector<size_t>> ht;
-    for (size_t i = 0; i < id_side.table.rows.size(); ++i) {
-      MCT_ASSIGN_OR_RETURN(auto k, key_fn(id_side, id_side.table.rows[i], b2));
-      if (k.has_value() && !k->empty()) ht[*k].push_back(i);
+    const bool list_is_left = (&list_side == &left);
+    std::unordered_map<std::string, std::vector<uint32_t>> ht;
+    for (size_t i = 0; i < id_side.table.num_rows(); ++i) {
+      MCT_ASSIGN_OR_RETURN(auto k, key_fn(id_side, i, b2));
+      if (k.has_value() && !k->empty()) {
+        ht[*k].push_back(static_cast<uint32_t>(i));
+      }
     }
-    for (const auto& lrow : list_side.table.rows) {
+    for (size_t lrow = 0; lrow < list_side.table.num_rows(); ++lrow) {
       MCT_ASSIGN_OR_RETURN(auto list, key_fn(list_side, lrow, a));
       if (!list.has_value()) continue;
       for (const std::string& token : SplitWhitespace(*list)) {
         auto it = ht.find(token);
         if (it == ht.end()) continue;
-        for (size_t ri : it->second) {
-          const auto& rrow = id_side.table.rows[ri];
-          if (&list_side == &left) {
-            emit(lrow, rrow);
+        for (uint32_t id_row : it->second) {
+          if (list_is_left) {
+            emit(lrow, id_row);
           } else {
-            emit(rrow, lrow);
+            emit(id_row, lrow);
           }
         }
       }
     }
+    materialize();
     Note(StrFormat("IDREFS VALUE JOIN  (%zu x %zu -> %zu rows)",
                    left.table.num_rows(), right.table.num_rows(),
                    out.table.num_rows()));
@@ -1556,40 +1717,42 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
     const Expr* build_key = &a;
     const Bindings* probe = sb;
     const Expr* probe_key = &b2;
-    if (probe->table.rows.size() < build->table.rows.size()) {
+    if (probe->table.num_rows() < build->table.num_rows()) {
       std::swap(build, probe);
       std::swap(build_key, probe_key);
     }
-    const size_t bn = build->table.rows.size();
+    const size_t bn = build->table.num_rows();
     std::vector<std::optional<std::string>> bkeys(bn);
     MCT_RETURN_IF_ERROR(ForRows(bn, IsPureExpr(*build_key), [&](size_t i) {
-      MCT_ASSIGN_OR_RETURN(bkeys[i],
-                           key_fn(*build, build->table.rows[i], *build_key));
+      MCT_ASSIGN_OR_RETURN(bkeys[i], key_fn(*build, i, *build_key));
       return Status::OK();
     }));
-    std::unordered_map<std::string, std::vector<size_t>> ht;
+    std::unordered_map<std::string, std::vector<uint32_t>> ht;
     for (size_t i = 0; i < bn; ++i) {
-      if (bkeys[i].has_value()) ht[*bkeys[i]].push_back(i);
+      if (bkeys[i].has_value()) {
+        ht[*bkeys[i]].push_back(static_cast<uint32_t>(i));
+      }
     }
-    const size_t pn = probe->table.rows.size();
+    const size_t pn = probe->table.num_rows();
     std::vector<std::optional<std::string>> pkeys(pn);
     MCT_RETURN_IF_ERROR(ForRows(pn, IsPureExpr(*probe_key), [&](size_t i) {
-      MCT_ASSIGN_OR_RETURN(pkeys[i],
-                           key_fn(*probe, probe->table.rows[i], *probe_key));
+      MCT_ASSIGN_OR_RETURN(pkeys[i], key_fn(*probe, i, *probe_key));
       return Status::OK();
     }));
+    const bool build_left = (build == &left);
     for (size_t pi = 0; pi < pn; ++pi) {
       if (!pkeys[pi].has_value()) continue;
       auto it = ht.find(*pkeys[pi]);
       if (it == ht.end()) continue;
-      const auto& prow = probe->table.rows[pi];
-      for (size_t bi : it->second) {
-        const auto& brow = build->table.rows[bi];
-        const auto& lrow = (build == &left) ? brow : prow;
-        const auto& rrow = (build == &left) ? prow : brow;
-        emit(lrow, rrow);
+      for (uint32_t bi : it->second) {
+        if (build_left) {
+          emit(bi, pi);
+        } else {
+          emit(pi, bi);
+        }
       }
     }
+    materialize();
     Note(StrFormat("HASH VALUE JOIN  (%zu x %zu -> %zu rows)",
                    left.table.num_rows(), right.table.num_rows(),
                    out.table.num_rows()));
@@ -1605,17 +1768,16 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
   bool a_is_left = (sa == &left);
   const Expr& lkey_expr = a_is_left ? a : b2;
   const Expr& rkey_expr = a_is_left ? b2 : a;
-  const size_t ln = left.table.rows.size();
-  const size_t rn = right.table.rows.size();
+  const size_t ln = left.table.num_rows();
+  const size_t rn = right.table.num_rows();
   std::vector<std::optional<std::string>> lkeys(ln);
   MCT_RETURN_IF_ERROR(ForRows(ln, IsPureExpr(lkey_expr), [&](size_t i) {
-    MCT_ASSIGN_OR_RETURN(lkeys[i], key_fn(left, left.table.rows[i], lkey_expr));
+    MCT_ASSIGN_OR_RETURN(lkeys[i], key_fn(left, i, lkey_expr));
     return Status::OK();
   }));
   std::vector<std::optional<std::string>> rkeys(rn);
   MCT_RETURN_IF_ERROR(ForRows(rn, IsPureExpr(rkey_expr), [&](size_t i) {
-    MCT_ASSIGN_OR_RETURN(rkeys[i],
-                         key_fn(right, right.table.rows[i], rkey_expr));
+    MCT_ASSIGN_OR_RETURN(rkeys[i], key_fn(right, i, rkey_expr));
     return Status::OK();
   }));
   // The quadratic compare scans pre-extracted keys only, so it is always
@@ -1623,7 +1785,7 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
   // emit below reproduces the serial output exactly. A left-row morsel
   // covers O(rn) compares, so shrink it to keep ~morsel_size compares per
   // claim.
-  std::vector<std::vector<size_t>> matches(ln);
+  std::vector<std::vector<uint32_t>> matches(ln);
   const size_t compare_morsel = std::max<size_t>(
       1, opts_.morsel_size / std::max<size_t>(1, rn));
   MCT_RETURN_IF_ERROR(ForRows(
@@ -1634,14 +1796,15 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
           if (!rkeys[j].has_value()) continue;
           bool ok = a_is_left ? CompareValues(op, *lkeys[i], *rkeys[j])
                               : CompareValues(op, *rkeys[j], *lkeys[i]);
-          if (ok) matches[i].push_back(j);
+          if (ok) matches[i].push_back(static_cast<uint32_t>(j));
         }
         return Status::OK();
       },
       compare_morsel));
   for (size_t i = 0; i < ln; ++i) {
-    for (size_t j : matches[i]) emit(left.table.rows[i], right.table.rows[j]);
+    for (uint32_t j : matches[i]) emit(i, j);
   }
+  materialize();
   Note(StrFormat("NESTED-LOOP INEQUALITY JOIN  (%zu x %zu -> %zu rows)",
                  left.table.num_rows(), right.table.num_rows(),
                  out.table.num_rows()));
@@ -1654,29 +1817,35 @@ Status Evaluator::ApplyResidual(Bindings* b, const Expr& conjunct,
   // Residual where-conjuncts filter row by row; pure conjuncts fan out
   // across the pool with an order-preserving keep mask.
   const auto t0 = std::chrono::steady_clock::now();
-  const size_t n = b->table.rows.size();
-  std::vector<char> keep(n, 0);
+  const size_t n = b->table.num_rows();
+  std::vector<char> mask(n, 0);
   MCT_RETURN_IF_ERROR(ForRows(n, IsPureExpr(conjunct), [&](size_t i) {
     EvalCtx c;
     c.b = b;
-    c.row = &b->table.rows[i];
+    c.row = i;
     c.env = &env;
     MCT_ASSIGN_OR_RETURN(bool k, EvalBool(c, conjunct));
-    keep[i] = k ? 1 : 0;
+    mask[i] = k ? 1 : 0;
     return Status::OK();
   }));
-  Table filtered;
-  filtered.vars = b->table.vars;
+  std::vector<uint32_t> keep;
   for (size_t i = 0; i < n; ++i) {
-    if (keep[i]) filtered.rows.push_back(std::move(b->table.rows[i]));
+    if (mask[i]) keep.push_back(static_cast<uint32_t>(i));
   }
   if (exec_.trace != nullptr) {
     query::OpTrace* tn = exec_.trace->Leaf("FILTER", "residual");
     tn->rows_in = n;
-    tn->rows_out = filtered.num_rows();
+    tn->rows_out = keep.size();
     tn->seconds = SecondsSince(t0);
   }
-  b->table = std::move(filtered);
+  if (exec_.batch) {
+    b->table.KeepRows(std::move(keep));
+  } else {
+    Table filtered = Table::WithVars(b->table.vars);
+    filtered.Reserve(keep.size());
+    for (uint32_t i : keep) filtered.AppendRow(b->table.RowAt(i));
+    b->table = std::move(filtered);
+  }
   return Status::OK();
 }
 
@@ -1684,10 +1853,9 @@ Status Evaluator::ApplyResidual(Bindings* b, const Expr& conjunct,
 // Scalar / constructor evaluation
 // ---------------------------------------------------------------------------
 
-Item Evaluator::ColumnItem(const Bindings& b, const std::vector<NodeId>& row,
-                           int col) const {
+Item Evaluator::ColumnItem(const Bindings& b, size_t row, int col) const {
   const ColumnInfo& info = b.cols[static_cast<size_t>(col)];
-  NodeId n = row[static_cast<size_t>(col)];
+  NodeId n = b.table.At(row, col);
   if (!info.atomic) return Item::OfNode(n);
   if (!info.attr.empty()) {
     const std::string* v = db_->FindAttr(n, info.attr);
@@ -1840,10 +2008,10 @@ Result<std::vector<Item>> Evaluator::EvalExpr(const EvalCtx& c,
     case Expr::Kind::kNumber:
       return std::vector<Item>{Item::OfAtomic(FormatNumber(e.num))};
     case Expr::Kind::kVarRef: {
-      if (c.b != nullptr && c.row != nullptr) {
+      if (c.b != nullptr) {
         int col = c.b->table.ColumnOf(e.str);
         if (col >= 0) {
-          return std::vector<Item>{ColumnItem(*c.b, *c.row, col)};
+          return std::vector<Item>{ColumnItem(*c.b, c.row, col)};
         }
       }
       if (c.env != nullptr && c.env->contains(e.str)) {
@@ -1857,10 +2025,11 @@ Result<std::vector<Item>> Evaluator::EvalExpr(const EvalCtx& c,
       ColorId start_color;
       if (!p.start_var.empty()) {
         Item base;
-        if (c.b != nullptr && c.row != nullptr &&
-            c.b->table.ColumnOf(p.start_var) >= 0) {
-          int col = c.b->table.ColumnOf(p.start_var);
-          base = ColumnItem(*c.b, *c.row, col);
+        // Single column lookup (hot per-row path — no repeated scans).
+        const int col =
+            c.b != nullptr ? c.b->table.ColumnOf(p.start_var) : -1;
+        if (col >= 0) {
+          base = ColumnItem(*c.b, c.row, col);
           start_color = c.b->cols[static_cast<size_t>(col)].color;
         } else if (c.env != nullptr && c.env->contains(p.start_var)) {
           base = c.env->at(p.start_var);
@@ -1912,10 +2081,10 @@ Result<std::vector<Item>> Evaluator::EvalExpr(const EvalCtx& c,
       // Correlated nested FLWOR: current row variables become the outer
       // environment.
       Env child_env = c.env != nullptr ? *c.env : Env{};
-      if (c.b != nullptr && c.row != nullptr) {
+      if (c.b != nullptr) {
         for (size_t i = 0; i < c.b->table.vars.size(); ++i) {
           child_env[c.b->table.vars[i]] =
-              ColumnItem(*c.b, *c.row, static_cast<int>(i));
+              ColumnItem(*c.b, c.row, static_cast<int>(i));
         }
       }
       // A nested FLWOR runs once per outer row; recording every per-row
@@ -2110,8 +2279,8 @@ Result<QueryResult> Evaluator::RunUpdate(const ParsedQuery& q) {
   // Deduplicate target nodes (a node may be bound by several rows).
   std::vector<NodeId> targets;
   std::unordered_set<NodeId> seen;
-  for (const auto& row : b.table.rows) {
-    NodeId n = row[static_cast<size_t>(target)];
+  for (size_t i = 0; i < b.table.num_rows(); ++i) {
+    NodeId n = b.table.At(i, target);
     if (seen.insert(n).second) targets.push_back(n);
   }
 

@@ -106,6 +106,11 @@ struct EvalOptions {
   /// Rows per morsel for parallel operators; inputs at or below this size
   /// run serially regardless of num_threads.
   size_t morsel_size = 1024;
+  /// Vectorized (batch) operator execution (ExecContext::batch). false
+  /// routes the physical operators through their retained row-at-a-time
+  /// paths — the pre-columnar cost profile — for A/B measurement; results
+  /// are identical either way.
+  bool vectorized = true;
   /// When set, every successfully applied update statement is appended to
   /// this write-ahead log as a logical redo record (canonical statement
   /// text, replayable by RecoverDatabase) before Run returns.
@@ -139,7 +144,9 @@ class Evaluator {
         pool_(opts.num_threads != 1
                   ? std::make_unique<ThreadPool>(opts.num_threads)
                   : nullptr),
-        exec_(opts.stats, pool_.get(), opts.morsel_size, opts.trace) {}
+        exec_(opts.stats, pool_.get(), opts.morsel_size, opts.trace) {
+    exec_.batch = opts.vectorized;
+  }
 
   /// Runs a query or update.
   Result<QueryResult> Run(const ParsedQuery& q);
@@ -217,7 +224,10 @@ class Evaluator {
   // the outer variable environment, and a context node for relative paths.
   struct EvalCtx {
     const Bindings* b = nullptr;
-    const std::vector<NodeId>* row = nullptr;
+    /// Logical row index into b->table (meaningful only when b != nullptr).
+    /// An index, not a materialized row vector: the columnar table resolves
+    /// cells through At(), so per-row evaluation never copies a row.
+    size_t row = 0;
     const Env* env = nullptr;
     NodeId ctx_node = kInvalidNodeId;
     ColorId ctx_color = 0;
@@ -229,9 +239,8 @@ class Evaluator {
   Result<bool> EvalBool(const EvalCtx& c, const Expr& e);
   Result<std::vector<Item>> EvalRelPath(NodeId ctx, ColorId default_color,
                                         const PathExpr& p, const EvalCtx& c);
-  /// Reads the value of a bound variable column for a row.
-  Item ColumnItem(const Bindings& b, const std::vector<NodeId>& row,
-                  int col) const;
+  /// Reads the value of a bound variable column for a logical row.
+  Item ColumnItem(const Bindings& b, size_t row, int col) const;
   std::string Atomize(const Item& item) const;
 
   Result<std::vector<Item>> EvalFLWOR(const Expr& flwor, const Env& env);

@@ -1,10 +1,12 @@
 #include "query/ops.h"
 
 #include <algorithm>
+#include <cassert>
 #include <numeric>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "query/trace.h"
@@ -15,12 +17,38 @@ namespace {
 
 using Row = std::vector<NodeId>;
 
-// Groups row indices by the node bound in `col`.
-std::unordered_map<NodeId, std::vector<size_t>> GroupByNode(const Table& t,
-                                                            int col) {
-  std::unordered_map<NodeId, std::vector<size_t>> groups;
-  for (size_t i = 0; i < t.rows.size(); ++i) {
-    groups[t.rows[i][static_cast<size_t>(col)]].push_back(i);
+Counter* BatchCounter() {
+  static Counter* c = MetricsRegistry::Global().counter("mct.exec.batches");
+  return c;
+}
+
+// Selectivity (rows kept, in percent) of the row-dropping operators —
+// filters, cross-tree joins, semi-joins, dup-elim. Feeds the planner's
+// future calibration and the observability story; one histogram sample per
+// operator call, never per row.
+void ObserveSelectivity(size_t rows_in, size_t rows_out) {
+  static Histogram* h =
+      MetricsRegistry::Global().histogram("mct.exec.selectivity");
+  if (rows_in == 0) return;
+  h->Observe(static_cast<uint64_t>(rows_out * 100 / rows_in));
+}
+
+// Records `n` batch kernel invocations (emit-collection chunks + gather
+// passes) on the metrics registry and, when tracing, the operator's trace
+// node.
+void CountBatches(OpScope& tr, size_t n) {
+  if (n == 0) return;
+  BatchCounter()->Inc(n);
+  if (tr.enabled()) tr.AddBatches(n);
+}
+
+// Groups logical row indices by the node bound in `col`.
+std::unordered_map<NodeId, std::vector<uint32_t>> GroupByNode(const Table& t,
+                                                              int col) {
+  std::unordered_map<NodeId, std::vector<uint32_t>> groups;
+  const size_t n = t.num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    groups[t.At(i, col)].push_back(static_cast<uint32_t>(i));
   }
   return groups;
 }
@@ -29,13 +57,24 @@ Table WithExtraColumn(const Table& in, const std::string& out_var) {
   Table out;
   out.vars = in.vars;
   out.vars.push_back(out_var);
+  out.cols.resize(out.vars.size());
   return out;
 }
 
-void EmitRow(std::vector<Row>* out, const Row& base, NodeId extra) {
-  Row row = base;
+// Legacy row-at-a-time emit: materializes the base row (one heap
+// allocation plus a cell copy per column — the pre-columnar cost profile)
+// and appends the expansion binding.
+void EmitRowAt(std::vector<Row>* out, const Table& in, size_t i,
+               NodeId extra) {
+  Row row = in.RowAt(i);
   row.push_back(extra);
   out->push_back(std::move(row));
+}
+
+// Scatters legacy row buffers into the columnar output table.
+void AppendRows(Table* out, std::vector<Row>&& rows) {
+  out->Reserve(out->num_rows() + rows.size());
+  for (const auto& r : rows) out->AppendRow(r);
 }
 
 // Resolves a tag to its interned id once per operator call; kInvalidNameId
@@ -49,23 +88,77 @@ bool TagIdMatches(const MctDatabase& db, NodeId n, const std::string& tag,
   return tag.empty() || db.TagId(n) == tag_id;
 }
 
+// Per-morsel emit buffers of the vectorized operators. Each is a pair (or
+// single) of parallel index/value columns; morsel workers fill a private
+// chunk and the chunks concatenate in morsel index order, which preserves
+// the serial emission order exactly.
+
+// (input row index, emitted node) pairs of the expansion operators.
+struct EmitChunk {
+  std::vector<uint32_t> idx;
+  std::vector<NodeId> node;
+  size_t size() const { return idx.size(); }
+  void Reserve(size_t n) {
+    idx.reserve(n);
+    node.reserve(n);
+  }
+  void Append(EmitChunk&& o) {
+    idx.insert(idx.end(), o.idx.begin(), o.idx.end());
+    node.insert(node.end(), o.node.begin(), o.node.end());
+  }
+};
+
+// (left row, right row) pairs of the join operators.
+struct PairChunk {
+  std::vector<uint32_t> li, ri;
+  size_t size() const { return li.size(); }
+  void Reserve(size_t n) {
+    li.reserve(n);
+    ri.reserve(n);
+  }
+  void Append(PairChunk&& o) {
+    li.insert(li.end(), o.li.begin(), o.li.end());
+    ri.insert(ri.end(), o.ri.begin(), o.ri.end());
+  }
+};
+
+// Surviving logical row indices of filters and semi-joins.
+struct IdxChunk {
+  std::vector<uint32_t> idx;
+  size_t size() const { return idx.size(); }
+  void Reserve(size_t n) { idx.reserve(n); }
+  void Append(IdxChunk&& o) {
+    idx.insert(idx.end(), o.idx.begin(), o.idx.end());
+  }
+};
+
+// Legacy mode: fully materialized rows.
+struct RowChunk {
+  std::vector<Row> rows;
+  size_t size() const { return rows.size(); }
+  void Reserve(size_t n) { rows.reserve(n); }
+  void Append(RowChunk&& o) {
+    for (auto& r : o.rows) rows.push_back(std::move(r));
+  }
+};
+
 // Morsel-driven fan-out for emit-style operators: splits [0, n) into
-// ctx.morsel_size chunks, runs `body(begin, end, rows, stats)` per chunk
+// ctx.morsel_size chunks, runs `body(begin, end, chunk, stats)` per chunk
 // (workers claim chunks off a shared counter), and concatenates the
-// per-morsel row buffers in morsel index order — so the output row order is
+// per-morsel chunks in morsel index order — so the output order is
 // byte-identical to the serial run. Per-morsel ExecStats are merged into
 // ctx.stats after the fan-out; the hot path never touches an atomic.
 // Bodies may only perform const reads of shared state. Returns the number
 // of morsels claimed (1 for a serial run) for the plan trace.
-template <typename Body>
-size_t MorselRun(const ExecContext& ctx, size_t n, Table* out,
-                 const Body& body) {
+template <typename Chunk, typename Body>
+size_t MorselCollect(const ExecContext& ctx, size_t n, Chunk* out,
+                     const Body& body) {
   if (ctx.pool == nullptr || ctx.morsel_size == 0 || n <= ctx.morsel_size) {
-    body(0, n, &out->rows, ctx.stats);
+    body(0, n, out, ctx.stats);
     return n > 0 ? 1 : 0;
   }
   const size_t num_morsels = (n + ctx.morsel_size - 1) / ctx.morsel_size;
-  std::vector<std::vector<Row>> parts(num_morsels);
+  std::vector<Chunk> parts(num_morsels);
   std::vector<ExecStats> part_stats(ctx.stats != nullptr ? num_morsels : 0);
   ParallelFor(ctx.pool, num_morsels, [&](size_t m) {
     const size_t begin = m * ctx.morsel_size;
@@ -73,12 +166,10 @@ size_t MorselRun(const ExecContext& ctx, size_t n, Table* out,
     body(begin, end, &parts[m],
          ctx.stats != nullptr ? &part_stats[m] : nullptr);
   });
-  size_t total = out->rows.size();
+  size_t total = out->size();
   for (const auto& p : parts) total += p.size();
-  out->rows.reserve(total);
-  for (auto& p : parts) {
-    for (auto& r : p) out->rows.push_back(std::move(r));
-  }
+  out->Reserve(total);
+  for (auto& p : parts) out->Append(std::move(p));
   if (ctx.stats != nullptr) {
     for (const ExecStats& s : part_stats) ctx.stats->Merge(s);
   }
@@ -87,7 +178,7 @@ size_t MorselRun(const ExecContext& ctx, size_t n, Table* out,
 
 // Morsel fan-out for slot-writing loops (each index writes its own output
 // slot, nothing is appended): just splits the range across workers.
-// Returns the number of morsels claimed, as MorselRun does.
+// Returns the number of morsels claimed, as MorselCollect does.
 template <typename Body>
 size_t ForEachMorsel(const ExecContext& ctx, size_t n, const Body& body) {
   if (ctx.pool == nullptr || ctx.morsel_size == 0 || n <= ctx.morsel_size) {
@@ -102,41 +193,46 @@ size_t ForEachMorsel(const ExecContext& ctx, size_t n, const Body& body) {
   return num_morsels;
 }
 
-// Shared build+probe core of HashValueJoin, generic over the key type so
-// the viewable specs can use std::string_view keys aliasing the node store
-// (no per-row copies) while kStringValue keeps owning strings. Emission is
-// identical either way, so both instantiations produce the same table.
-template <typename BuildKeyFn, typename ProbeKeyFn>
-size_t HashJoinEmit(const ExecContext& ctx, const Table& build,
-                    const Table& probe, bool build_left, Table* out,
-                    const BuildKeyFn& build_key, const ProbeKeyFn& probe_key) {
-  using Key = std::decay_t<decltype(*build_key(size_t{0}))>;
-  std::unordered_map<Key, std::vector<size_t>> ht;
-  for (size_t i = 0; i < build.rows.size(); ++i) {
-    auto k = build_key(i);
-    if (k.has_value()) ht[*k].push_back(i);
+// Batch gather: materializes src's logical rows `idx` (in order) into
+// dst's columns [dst_col0, dst_col0 + src.num_cols()), which must be
+// empty. Column-at-a-time, morsel-parallel over the row range, so the
+// inner loop is a tight index copy per column. Returns the number of batch
+// kernel invocations (row chunks x columns) for the batch accounting.
+size_t GatherColumns(const ExecContext& ctx, const Table& src,
+                     std::span<const uint32_t> idx, Table* dst,
+                     size_t dst_col0) {
+  assert(dst->dense());
+  const size_t n = idx.size();
+  const size_t ncols = src.num_cols();
+  for (size_t j = 0; j < ncols; ++j) {
+    assert(dst->cols[dst_col0 + j].empty());
+    dst->cols[dst_col0 + j].resize(n);
   }
-  return MorselRun(
-      ctx, probe.rows.size(), out,
-      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
-        for (size_t pi = begin; pi < end; ++pi) {
-          const Row& prow = probe.rows[pi];
-          auto k = probe_key(pi);
-          if (!k.has_value()) continue;
-          auto it = ht.find(*k);
-          if (it == ht.end()) continue;
-          for (size_t bi : it->second) {
-            const Row& brow = build.rows[bi];
-            Row row;
-            row.reserve(out->vars.size());
-            const Row& l = build_left ? brow : prow;
-            const Row& r = build_left ? prow : brow;
-            row.insert(row.end(), l.begin(), l.end());
-            row.insert(row.end(), r.begin(), r.end());
-            rows->push_back(std::move(row));
-          }
-        }
-      });
+  if (n == 0 || ncols == 0) return 0;
+  size_t chunks = ForEachMorsel(ctx, n, [&](size_t begin, size_t end) {
+    for (size_t j = 0; j < ncols; ++j) {
+      const NodeId* in = src.cols[j].data();
+      NodeId* out = dst->cols[dst_col0 + j].data();
+      if (src.use_sel) {
+        const uint32_t* sel = src.sel.data();
+        for (size_t r = begin; r < end; ++r) out[r] = in[sel[idx[r]]];
+      } else {
+        for (size_t r = begin; r < end; ++r) out[r] = in[idx[r]];
+      }
+    }
+  });
+  return chunks * ncols;
+}
+
+// Materializes an expansion's output: batch-gathers the base columns for
+// the emitted row indices and installs the emitted bindings as the final
+// column (a move, not a copy). Returns the batch count.
+size_t GatherExpand(const ExecContext& ctx, const Table& in, EmitChunk&& hits,
+                    Table* out) {
+  const size_t gathers = GatherColumns(ctx, in, hits.idx, out, 0);
+  const bool any = !hits.node.empty();
+  out->cols.back() = std::move(hits.node);
+  return any ? gathers + 1 : 0;
 }
 
 }  // namespace
@@ -208,14 +304,15 @@ Table TagScanTable(MctDatabase* db, ColorId color, const std::string& var,
                             tag.c_str(), var.c_str()));
     tr.Finish(nodes.size(), nodes.empty() ? 0 : 1, nodes.size());
   }
-  return Table::FromNodes(var, nodes);
+  // The scan vector becomes the column directly — no per-row work.
+  return Table::FromNodes(var, std::move(nodes));
 }
 
 Table ExpandChildren(MctDatabase* db, const Table& in, int col, ColorId color,
                      const std::string& tag, const std::string& out_var,
                      const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
-  OpScope tr(ctx, "CHILD STEP", in.rows.size());
+  OpScope tr(ctx, "CHILD STEP", in.num_rows());
   if (tr.enabled()) {
     tr.set_detail(StrFormat("{%s}child::%s -> %s",
                             db->ColorName(color).c_str(),
@@ -230,54 +327,59 @@ Table ExpandChildren(MctDatabase* db, const Table& in, int col, ColorId color,
     return out;  // unknown tag
   }
   const MctDatabase& cdb = *db;
-  size_t morsels = MorselRun(
-      ctx, in.rows.size(), &out,
-      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
-        for (size_t i = begin; i < end; ++i) {
-          const Row& row = in.rows[i];
-          NodeId n = row[static_cast<size_t>(col)];
-          if (!cdb.Colors(n).Has(color)) continue;
-          t->ForEachChild(n, [&](NodeId c) {
-            if (cdb.Kind(c) == xml::NodeKind::kElement &&
-                TagIdMatches(cdb, c, tag, tag_id)) {
-              EmitRow(rows, row, c);
-            }
-          });
-        }
-      });
+  size_t morsels;
+  if (ctx.batch) {
+    EmitChunk hits;
+    morsels = MorselCollect(
+        ctx, in.num_rows(), &hits,
+        [&](size_t begin, size_t end, EmitChunk* chunk, ExecStats*) {
+          for (size_t i = begin; i < end; ++i) {
+            NodeId n = in.At(i, col);
+            if (!cdb.Colors(n).Has(color)) continue;
+            t->ForEachChild(n, [&](NodeId c) {
+              if (cdb.Kind(c) == xml::NodeKind::kElement &&
+                  TagIdMatches(cdb, c, tag, tag_id)) {
+                chunk->idx.push_back(static_cast<uint32_t>(i));
+                chunk->node.push_back(c);
+              }
+            });
+          }
+        });
+    CountBatches(tr, morsels + GatherExpand(ctx, in, std::move(hits), &out));
+  } else {
+    RowChunk rows;
+    morsels = MorselCollect(
+        ctx, in.num_rows(), &rows,
+        [&](size_t begin, size_t end, RowChunk* chunk, ExecStats*) {
+          for (size_t i = begin; i < end; ++i) {
+            NodeId n = in.At(i, col);
+            if (!cdb.Colors(n).Has(color)) continue;
+            t->ForEachChild(n, [&](NodeId c) {
+              if (cdb.Kind(c) == xml::NodeKind::kElement &&
+                  TagIdMatches(cdb, c, tag, tag_id)) {
+                EmitRowAt(&chunk->rows, in, i, c);
+              }
+            });
+          }
+        });
+    AppendRows(&out, std::move(rows.rows));
+  }
   if (tr.enabled()) tr.Finish(out.num_rows(), morsels);
   return out;
 }
 
-Table ExpandDescendants(MctDatabase* db, const Table& in, int col,
-                        ColorId color, const std::string& tag,
-                        const std::string& out_var, const ExecContext& ctx) {
-  if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
-  OpScope tr(ctx, "DESCENDANT STEP", in.rows.size());
-  if (tr.enabled()) {
-    tr.set_detail(StrFormat("{%s}descendant::%s -> %s",
-                            db->ColorName(color).c_str(),
-                            tag.empty() ? "node()" : tag.c_str(),
-                            out_var.c_str()));
-  }
-  Table out = WithExtraColumn(in, out_var);
-  std::vector<NodeId> descs = db->TagScan(color, tag);
-  if (ctx.stats != nullptr) ctx.stats->rows_scanned += descs.size();
-  if (descs.empty() || in.rows.empty()) {
-    if (tr.enabled()) tr.Finish(0, 0, descs.size());
-    return out;
-  }
+namespace {
 
-  ColoredTree* t = db->tree(color);
-  t->EnsureLabels();
-  const ColoredTree& ct = *t;  // clean labels: const reads from here on
+// A distinct ancestor candidate of the interval merge: the context node's
+// labels in the color, sorted by start.
+struct Anc {
+  uint64_t start, end;
+  NodeId node;
+};
 
-  // Distinct ancestor candidates (rows grouped per node), sorted by start.
-  const auto groups = GroupByNode(in, col);
-  struct Anc {
-    uint64_t start, end;
-    NodeId node;
-  };
+std::vector<Anc> AncCandidates(
+    const std::unordered_map<NodeId, std::vector<uint32_t>>& groups,
+    const ColoredTree& ct) {
   std::vector<Anc> ancs;
   ancs.reserve(groups.size());
   for (const auto& [n, _] : groups) {
@@ -286,16 +388,26 @@ Table ExpandDescendants(MctDatabase* db, const Table& in, int col,
   }
   std::sort(ancs.begin(), ancs.end(),
             [](const Anc& a, const Anc& b) { return a.start < b.start; });
+  return ancs;
+}
 
-  // Stack-based interval merge (stack-tree join, Al-Khalifa et al.): both
-  // inputs in ascending start order; the stack holds the chain of ancestor
-  // candidates currently open around the scan point. The stack state at a
-  // given descendant depends only on its start label, so each morsel of the
-  // descendant stream can rebuild it independently (one O(|ancs|) replay
-  // per morsel) and emit exactly the serial subsequence.
-  size_t morsels = MorselRun(
-      ctx, descs.size(), &out,
-      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
+// Stack-based interval merge (stack-tree join, Al-Khalifa et al.): both
+// inputs in ascending start order; the stack holds the chain of ancestor
+// candidates currently open around the scan point. The stack state at a
+// given descendant depends only on its start label, so each morsel of the
+// descendant stream can rebuild it independently (one O(|ancs|) replay
+// per morsel) and emit exactly the serial subsequence. `emit(chunk, ri,
+// d)` fires once per (input row, matched descendant) — into an EmitChunk
+// under batch execution, a materialized RowChunk in legacy mode.
+template <typename Chunk, typename EmitFn>
+size_t IntervalMerge(
+    const ExecContext& ctx, const std::vector<NodeId>& descs,
+    const std::vector<Anc>& ancs,
+    const std::unordered_map<NodeId, std::vector<uint32_t>>& groups,
+    const ColoredTree& ct, Chunk* out, const EmitFn& emit) {
+  return MorselCollect(
+      ctx, descs.size(), out,
+      [&](size_t begin, size_t end, Chunk* chunk, ExecStats*) {
         std::vector<const Anc*> stack;
         size_t ai = 0;
         for (size_t di = begin; di < end; ++di) {
@@ -314,13 +426,70 @@ Table ExpandDescendants(MctDatabase* db, const Table& in, int col,
           // nested). Guard de anyway for robustness against equal labels.
           for (const Anc* a : stack) {
             if (a->end > de) {
-              for (size_t ri : groups.at(a->node)) {
-                EmitRow(rows, in.rows[ri], d);
-              }
+              for (uint32_t ri : groups.at(a->node)) emit(chunk, ri, d);
             }
           }
         }
       });
+}
+
+// Shared emission tail of the descendant-merge operators: batch collects
+// (row, descendant) pairs then gathers; legacy materializes rows.
+size_t MergeEmit(const ExecContext& ctx, const Table& in,
+                 const std::vector<NodeId>& descs,
+                 const std::vector<Anc>& ancs,
+                 const std::unordered_map<NodeId, std::vector<uint32_t>>& groups,
+                 const ColoredTree& ct, Table* out, OpScope& tr) {
+  size_t morsels;
+  if (ctx.batch) {
+    EmitChunk hits;
+    morsels = IntervalMerge(ctx, descs, ancs, groups, ct, &hits,
+                            [](EmitChunk* chunk, uint32_t ri, NodeId d) {
+                              chunk->idx.push_back(ri);
+                              chunk->node.push_back(d);
+                            });
+    CountBatches(tr, morsels + GatherExpand(ctx, in, std::move(hits), out));
+  } else {
+    RowChunk rows;
+    morsels = IntervalMerge(ctx, descs, ancs, groups, ct, &rows,
+                            [&in](RowChunk* chunk, uint32_t ri, NodeId d) {
+                              EmitRowAt(&chunk->rows, in, ri, d);
+                            });
+    AppendRows(out, std::move(rows.rows));
+  }
+  return morsels;
+}
+
+}  // namespace
+
+Table ExpandDescendants(MctDatabase* db, const Table& in, int col,
+                        ColorId color, const std::string& tag,
+                        const std::string& out_var, const ExecContext& ctx) {
+  if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
+  OpScope tr(ctx, "DESCENDANT STEP", in.num_rows());
+  if (tr.enabled()) {
+    tr.set_detail(StrFormat("{%s}descendant::%s -> %s",
+                            db->ColorName(color).c_str(),
+                            tag.empty() ? "node()" : tag.c_str(),
+                            out_var.c_str()));
+  }
+  Table out = WithExtraColumn(in, out_var);
+  std::vector<NodeId> descs = db->TagScan(color, tag);
+  if (ctx.stats != nullptr) ctx.stats->rows_scanned += descs.size();
+  if (descs.empty() || in.num_rows() == 0) {
+    if (tr.enabled()) tr.Finish(0, 0, descs.size());
+    return out;
+  }
+
+  ColoredTree* t = db->tree(color);
+  t->EnsureLabels();
+  const ColoredTree& ct = *t;  // clean labels: const reads from here on
+
+  // Distinct ancestor candidates (rows grouped per node), sorted by start.
+  const auto groups = GroupByNode(in, col);
+  const std::vector<Anc> ancs = AncCandidates(groups, ct);
+
+  size_t morsels = MergeEmit(ctx, in, descs, ancs, groups, ct, &out, tr);
   // Re-establish row order of the left input (group expansion visits in
   // descendant order): callers that need input order should sort; FLWOR
   // semantics here only require the binding set, so we keep merge order.
@@ -334,7 +503,7 @@ Table ExpandDescendantsAmong(MctDatabase* db, const Table& in, int col,
                              const std::string& out_var,
                              const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
-  OpScope tr(ctx, "DESCENDANT SEEK", in.rows.size());
+  OpScope tr(ctx, "DESCENDANT SEEK", in.num_rows());
   if (tr.enabled()) {
     tr.set_detail(StrFormat("{%s}descendant::%s -> %s (%zu candidates)",
                             db->ColorName(color).c_str(),
@@ -372,51 +541,15 @@ Table ExpandDescendantsAmong(MctDatabase* db, const Table& in, int col,
   std::sort(descs.begin(), descs.end(),
             [&](NodeId a, NodeId b) { return ct.Start(a) < ct.Start(b); });
   if (ctx.stats != nullptr) ctx.stats->rows_scanned += descs.size();
-  if (descs.empty() || in.rows.empty()) {
+  if (descs.empty() || in.num_rows() == 0) {
     if (tr.enabled()) tr.Finish(0, 0, descs.size());
     return out;
   }
 
   const auto groups = GroupByNode(in, col);
-  struct Anc {
-    uint64_t start, end;
-    NodeId node;
-  };
-  std::vector<Anc> ancs;
-  ancs.reserve(groups.size());
-  for (const auto& [n, _] : groups) {
-    if (!ct.Contains(n)) continue;
-    ancs.push_back(Anc{ct.Start(n), ct.End(n), n});
-  }
-  std::sort(ancs.begin(), ancs.end(),
-            [](const Anc& a, const Anc& b) { return a.start < b.start; });
+  const std::vector<Anc> ancs = AncCandidates(groups, ct);
 
-  size_t morsels = MorselRun(
-      ctx, descs.size(), &out,
-      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
-        std::vector<const Anc*> stack;
-        size_t ai = 0;
-        for (size_t di = begin; di < end; ++di) {
-          NodeId d = descs[di];
-          uint64_t ds = ct.Start(d);
-          uint64_t de = ct.End(d);
-          while (ai < ancs.size() && ancs[ai].start < ds) {
-            while (!stack.empty() && stack.back()->end < ancs[ai].start) {
-              stack.pop_back();
-            }
-            stack.push_back(&ancs[ai]);
-            ++ai;
-          }
-          while (!stack.empty() && stack.back()->end < ds) stack.pop_back();
-          for (const Anc* a : stack) {
-            if (a->end > de) {
-              for (size_t ri : groups.at(a->node)) {
-                EmitRow(rows, in.rows[ri], d);
-              }
-            }
-          }
-        }
-      });
+  size_t morsels = MergeEmit(ctx, in, descs, ancs, groups, ct, &out, tr);
   if (tr.enabled()) tr.Finish(out.num_rows(), morsels, descs.size());
   return out;
 }
@@ -426,7 +559,7 @@ Table ExpandDescendantsNav(MctDatabase* db, const Table& in, int col,
                            const std::string& out_var,
                            const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
-  OpScope tr(ctx, "DESCENDANT NAV", in.rows.size());
+  OpScope tr(ctx, "DESCENDANT NAV", in.num_rows());
   if (tr.enabled()) {
     tr.set_detail(StrFormat("{%s}descendant::%s -> %s",
                             db->ColorName(color).c_str(),
@@ -442,24 +575,24 @@ Table ExpandDescendantsNav(MctDatabase* db, const Table& in, int col,
     if (tr.enabled()) tr.Finish(0, 0, 0);
     return out;
   }
-  if (in.rows.empty()) {
+  if (in.num_rows() == 0) {
     if (tr.enabled()) tr.Finish(0, 0, 0);
     return out;
   }
 
   const auto groups = GroupByNode(in, col);
-  struct Anc {
+  struct Ctx {
     uint64_t start;
     NodeId node;
   };
-  std::vector<Anc> ancs;
+  std::vector<Ctx> ancs;
   ancs.reserve(groups.size());
   for (const auto& [n, _] : groups) {
     if (!ct.Contains(n)) continue;
-    ancs.push_back(Anc{ct.Start(n), n});
+    ancs.push_back(Ctx{ct.Start(n), n});
   }
   std::sort(ancs.begin(), ancs.end(),
-            [](const Anc& a, const Anc& b) { return a.start < b.start; });
+            [](const Ctx& a, const Ctx& b) { return a.start < b.start; });
 
   // Walk each context subtree; order hits globally like the interval merge
   // does: by (descendant start, ancestor start). With nested contexts a
@@ -485,10 +618,25 @@ Table ExpandDescendantsNav(MctDatabase* db, const Table& in, int col,
   std::sort(hits.begin(), hits.end(), [](const Hit& x, const Hit& y) {
     return x.ds != y.ds ? x.ds < y.ds : x.anc_idx < y.anc_idx;
   });
-  for (const Hit& h : hits) {
-    for (size_t ri : groups.at(ancs[h.anc_idx].node)) {
-      EmitRow(&out.rows, in.rows[ri], h.d);
+  if (ctx.batch) {
+    EmitChunk emits;
+    emits.Reserve(hits.size());
+    for (const Hit& h : hits) {
+      for (uint32_t ri : groups.at(ancs[h.anc_idx].node)) {
+        emits.idx.push_back(ri);
+        emits.node.push_back(h.d);
+      }
     }
+    CountBatches(tr, 1 + GatherExpand(ctx, in, std::move(emits), &out));
+  } else {
+    std::vector<Row> rows;
+    rows.reserve(hits.size());
+    for (const Hit& h : hits) {
+      for (uint32_t ri : groups.at(ancs[h.anc_idx].node)) {
+        EmitRowAt(&rows, in, ri, h.d);
+      }
+    }
+    AppendRows(&out, std::move(rows));
   }
   if (tr.enabled()) tr.Finish(out.num_rows(), 1, hits.size());
   return out;
@@ -499,12 +647,11 @@ Table ExpandDescendantsRoot(MctDatabase* db, const Table& in, int col,
                             const std::string& out_var,
                             const ExecContext& ctx) {
   // Precondition fallback: only the lone document row qualifies.
-  if (in.rows.size() != 1 ||
-      in.rows[0][static_cast<size_t>(col)] != db->document()) {
+  if (in.num_rows() != 1 || in.At(0, col) != db->document()) {
     return ExpandDescendants(db, in, col, color, tag, out_var, ctx);
   }
   if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
-  OpScope tr(ctx, "DESCENDANT SCAN", in.rows.size());
+  OpScope tr(ctx, "DESCENDANT SCAN", in.num_rows());
   if (tr.enabled()) {
     tr.set_detail(StrFormat("{%s}descendant::%s -> %s",
                             db->ColorName(color).c_str(),
@@ -518,10 +665,25 @@ Table ExpandDescendantsRoot(MctDatabase* db, const Table& in, int col,
   std::vector<NodeId> descs = db->TagScan(color, tag);
   if (ctx.stats != nullptr) ctx.stats->rows_scanned += descs.size();
   const ColoredTree* t = db->tree(color);
-  out.rows.reserve(descs.size());
+  std::vector<NodeId> kept;
+  kept.reserve(descs.size());
   for (NodeId d : descs) {
-    if (!t->Contains(d)) continue;
-    EmitRow(&out.rows, in.rows[0], d);
+    if (t->Contains(d)) kept.push_back(d);
+  }
+  if (ctx.batch) {
+    // The base columns are n copies of the single input row; the emit
+    // column is the filtered scan itself (moved in).
+    const size_t ncols = in.num_cols();
+    for (size_t j = 0; j < ncols; ++j) {
+      out.cols[j].assign(kept.size(), in.At(0, static_cast<int>(j)));
+    }
+    if (!kept.empty()) CountBatches(tr, ncols + 1);
+    out.cols.back() = std::move(kept);
+  } else {
+    std::vector<Row> rows;
+    rows.reserve(kept.size());
+    for (NodeId d : kept) EmitRowAt(&rows, in, 0, d);
+    AppendRows(&out, std::move(rows));
   }
   if (tr.enabled()) tr.Finish(out.num_rows(), descs.empty() ? 0 : 1,
                               descs.size());
@@ -532,7 +694,7 @@ Table ExpandParent(MctDatabase* db, const Table& in, int col, ColorId color,
                    const std::string& tag, const std::string& out_var,
                    const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
-  OpScope tr(ctx, "PARENT STEP", in.rows.size());
+  OpScope tr(ctx, "PARENT STEP", in.num_rows());
   if (tr.enabled()) {
     tr.set_detail(StrFormat("{%s}parent::%s -> %s",
                             db->ColorName(color).c_str(),
@@ -546,18 +708,37 @@ Table ExpandParent(MctDatabase* db, const Table& in, int col, ColorId color,
     return out;
   }
   const MctDatabase& cdb = *db;
-  size_t morsels = MorselRun(
-      ctx, in.rows.size(), &out,
-      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
-        for (size_t i = begin; i < end; ++i) {
-          const Row& row = in.rows[i];
-          auto p = cdb.Parent(row[static_cast<size_t>(col)], color);
-          if (p.has_value() && cdb.Kind(*p) == xml::NodeKind::kElement &&
-              TagIdMatches(cdb, *p, tag, tag_id)) {
-            EmitRow(rows, row, *p);
+  size_t morsels;
+  if (ctx.batch) {
+    EmitChunk hits;
+    morsels = MorselCollect(
+        ctx, in.num_rows(), &hits,
+        [&](size_t begin, size_t end, EmitChunk* chunk, ExecStats*) {
+          for (size_t i = begin; i < end; ++i) {
+            auto p = cdb.Parent(in.At(i, col), color);
+            if (p.has_value() && cdb.Kind(*p) == xml::NodeKind::kElement &&
+                TagIdMatches(cdb, *p, tag, tag_id)) {
+              chunk->idx.push_back(static_cast<uint32_t>(i));
+              chunk->node.push_back(*p);
+            }
           }
-        }
-      });
+        });
+    CountBatches(tr, morsels + GatherExpand(ctx, in, std::move(hits), &out));
+  } else {
+    RowChunk rows;
+    morsels = MorselCollect(
+        ctx, in.num_rows(), &rows,
+        [&](size_t begin, size_t end, RowChunk* chunk, ExecStats*) {
+          for (size_t i = begin; i < end; ++i) {
+            auto p = cdb.Parent(in.At(i, col), color);
+            if (p.has_value() && cdb.Kind(*p) == xml::NodeKind::kElement &&
+                TagIdMatches(cdb, *p, tag, tag_id)) {
+              EmitRowAt(&chunk->rows, in, i, *p);
+            }
+          }
+        });
+    AppendRows(&out, std::move(rows.rows));
+  }
   if (tr.enabled()) tr.Finish(out.num_rows(), morsels);
   return out;
 }
@@ -566,7 +747,7 @@ Table ExpandAncestors(MctDatabase* db, const Table& in, int col, ColorId color,
                       const std::string& tag, const std::string& out_var,
                       const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
-  OpScope tr(ctx, "ANCESTOR STEP", in.rows.size());
+  OpScope tr(ctx, "ANCESTOR STEP", in.num_rows());
   if (tr.enabled()) {
     tr.set_detail(StrFormat("{%s}ancestor::%s -> %s",
                             db->ColorName(color).c_str(),
@@ -581,51 +762,130 @@ Table ExpandAncestors(MctDatabase* db, const Table& in, int col, ColorId color,
   }
   const ColoredTree* t = db->tree(color);
   const MctDatabase& cdb = *db;
-  size_t morsels = MorselRun(
-      ctx, in.rows.size(), &out,
-      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
-        for (size_t i = begin; i < end; ++i) {
-          const Row& row = in.rows[i];
-          NodeId n = row[static_cast<size_t>(col)];
-          if (!t->Contains(n)) continue;
-          for (NodeId p = t->Parent(n); p != kInvalidNodeId;
-               p = t->Parent(p)) {
-            if (cdb.Kind(p) == xml::NodeKind::kElement &&
-                TagIdMatches(cdb, p, tag, tag_id)) {
-              EmitRow(rows, row, p);
+  size_t morsels;
+  if (ctx.batch) {
+    EmitChunk hits;
+    morsels = MorselCollect(
+        ctx, in.num_rows(), &hits,
+        [&](size_t begin, size_t end, EmitChunk* chunk, ExecStats*) {
+          for (size_t i = begin; i < end; ++i) {
+            NodeId n = in.At(i, col);
+            if (!t->Contains(n)) continue;
+            for (NodeId p = t->Parent(n); p != kInvalidNodeId;
+                 p = t->Parent(p)) {
+              if (cdb.Kind(p) == xml::NodeKind::kElement &&
+                  TagIdMatches(cdb, p, tag, tag_id)) {
+                chunk->idx.push_back(static_cast<uint32_t>(i));
+                chunk->node.push_back(p);
+              }
             }
           }
-        }
-      });
+        });
+    CountBatches(tr, morsels + GatherExpand(ctx, in, std::move(hits), &out));
+  } else {
+    RowChunk rows;
+    morsels = MorselCollect(
+        ctx, in.num_rows(), &rows,
+        [&](size_t begin, size_t end, RowChunk* chunk, ExecStats*) {
+          for (size_t i = begin; i < end; ++i) {
+            NodeId n = in.At(i, col);
+            if (!t->Contains(n)) continue;
+            for (NodeId p = t->Parent(n); p != kInvalidNodeId;
+                 p = t->Parent(p)) {
+              if (cdb.Kind(p) == xml::NodeKind::kElement &&
+                  TagIdMatches(cdb, p, tag, tag_id)) {
+                EmitRowAt(&chunk->rows, in, i, p);
+              }
+            }
+          }
+        });
+    AppendRows(&out, std::move(rows.rows));
+  }
   if (tr.enabled()) tr.Finish(out.num_rows(), morsels);
   return out;
 }
 
+namespace {
+
+// Shared survivor collection of CrossTreeJoin: logical row indices whose
+// `col` node carries the target color.
+size_t CollectColorSurvivors(const ExecContext& ctx, const Table& in, int col,
+                             const ColoredTree& t, IdxChunk* keep) {
+  return MorselCollect(
+      ctx, in.num_rows(), keep,
+      [&](size_t begin, size_t end, IdxChunk* chunk, ExecStats*) {
+        for (size_t i = begin; i < end; ++i) {
+          if (t.Contains(in.At(i, col))) {
+            chunk->idx.push_back(static_cast<uint32_t>(i));
+          }
+        }
+      });
+}
+
+}  // namespace
+
 Table CrossTreeJoin(MctDatabase* db, const Table& in, int col, ColorId to_color,
                     const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->cross_tree_joins;
-  OpScope tr(ctx, "CROSS-TREE JOIN", in.rows.size());
+  OpScope tr(ctx, "CROSS-TREE JOIN", in.num_rows());
   if (tr.enabled()) {
     tr.set_detail(StrFormat("%s -> {%s}",
                             in.vars[static_cast<size_t>(col)].c_str(),
                             db->ColorName(to_color).c_str()));
     tr.AddColorTransition();
   }
-  Table out;
-  out.vars = in.vars;
   // Bulk identity join: follow the back-links from the shared node record
   // to the structural node of the target color (Section 6.2); rows whose
   // node lacks the color are dropped.
   const ColoredTree* t = db->tree(to_color);
-  size_t morsels = MorselRun(
-      ctx, in.rows.size(), &out,
-      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
-        for (size_t i = begin; i < end; ++i) {
-          if (t->Contains(in.rows[i][static_cast<size_t>(col)])) {
-            rows->push_back(in.rows[i]);
+  Table out = Table::WithVars(in.vars);
+  size_t morsels;
+  if (ctx.batch) {
+    IdxChunk keep;
+    morsels = CollectColorSurvivors(ctx, in, col, *t, &keep);
+    CountBatches(tr, morsels + GatherColumns(ctx, in, keep.idx, &out, 0));
+  } else {
+    RowChunk rows;
+    morsels = MorselCollect(
+        ctx, in.num_rows(), &rows,
+        [&](size_t begin, size_t end, RowChunk* chunk, ExecStats*) {
+          for (size_t i = begin; i < end; ++i) {
+            if (t->Contains(in.At(i, col))) {
+              chunk->rows.push_back(in.RowAt(i));
+            }
           }
-        }
-      });
+        });
+    AppendRows(&out, std::move(rows.rows));
+  }
+  ObserveSelectivity(in.num_rows(), out.num_rows());
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels);
+  return out;
+}
+
+Table CrossTreeJoin(MctDatabase* db, Table&& in, int col, ColorId to_color,
+                    const ExecContext& ctx) {
+  if (!ctx.batch) {
+    return CrossTreeJoin(db, static_cast<const Table&>(in), col, to_color,
+                         ctx);
+  }
+  if (ctx.stats != nullptr) ++ctx.stats->cross_tree_joins;
+  OpScope tr(ctx, "CROSS-TREE JOIN", in.num_rows());
+  if (tr.enabled()) {
+    tr.set_detail(StrFormat("%s -> {%s}",
+                            in.vars[static_cast<size_t>(col)].c_str(),
+                            db->ColorName(to_color).c_str()));
+    tr.AddColorTransition();
+  }
+  const ColoredTree* t = db->tree(to_color);
+  IdxChunk keep;
+  size_t morsels = CollectColorSurvivors(ctx, in, col, *t, &keep);
+  const size_t rows_in = in.num_rows();
+  // Survivors become the selection vector of the moved table: no cell
+  // copies at all.
+  Table out = std::move(in);
+  out.KeepRows(std::move(keep.idx));
+  CountBatches(tr, morsels);
+  ObserveSelectivity(rows_in, out.num_rows());
   if (tr.enabled()) tr.Finish(out.num_rows(), morsels);
   return out;
 }
@@ -634,14 +894,13 @@ Table StructuralSemiJoin(MctDatabase* db, const Table& in, int col,
                          ColorId color, const std::vector<NodeId>& anc_set,
                          const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->structural_joins;
-  OpScope tr(ctx, "STRUCTURAL SEMI-JOIN", in.rows.size());
+  OpScope tr(ctx, "STRUCTURAL SEMI-JOIN", in.num_rows());
   if (tr.enabled()) {
     tr.set_detail(StrFormat("{%s} %llu ancestors",
                             db->ColorName(color).c_str(),
                             static_cast<unsigned long long>(anc_set.size())));
   }
-  Table out;
-  out.vars = in.vars;
+  Table out = Table::WithVars(in.vars);
   ColoredTree* t = db->tree(color);
   t->EnsureLabels();
   const ColoredTree& ct = *t;
@@ -664,47 +923,168 @@ Table StructuralSemiJoin(MctDatabase* db, const Table& in, int col,
     running = std::max(running, ivs[i].end);
     prefix_max_end[i] = running;
   }
-  size_t morsels = MorselRun(
-      ctx, in.rows.size(), &out,
-      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
-        for (size_t i = begin; i < end; ++i) {
-          NodeId n = in.rows[i][static_cast<size_t>(col)];
-          if (!ct.Contains(n)) continue;
-          uint64_t s = ct.Start(n);
-          // Last interval with start < s.
-          size_t lo = 0, hi = ivs.size();
-          while (lo < hi) {
-            size_t mid = (lo + hi) / 2;
-            if (ivs[mid].start < s) {
-              lo = mid + 1;
-            } else {
-              hi = mid;
+  auto contained = [&](NodeId n) {
+    if (!ct.Contains(n)) return false;
+    uint64_t s = ct.Start(n);
+    // Last interval with start < s.
+    size_t lo = 0, hi = ivs.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (ivs[mid].start < s) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo > 0 && prefix_max_end[lo - 1] > s;
+  };
+  size_t morsels;
+  if (ctx.batch) {
+    IdxChunk keep;
+    morsels = MorselCollect(
+        ctx, in.num_rows(), &keep,
+        [&](size_t begin, size_t end, IdxChunk* chunk, ExecStats*) {
+          for (size_t i = begin; i < end; ++i) {
+            if (contained(in.At(i, col))) {
+              chunk->idx.push_back(static_cast<uint32_t>(i));
             }
           }
-          if (lo > 0 && prefix_max_end[lo - 1] > s) {
-            rows->push_back(in.rows[i]);
+        });
+    CountBatches(tr, morsels + GatherColumns(ctx, in, keep.idx, &out, 0));
+  } else {
+    RowChunk rows;
+    morsels = MorselCollect(
+        ctx, in.num_rows(), &rows,
+        [&](size_t begin, size_t end, RowChunk* chunk, ExecStats*) {
+          for (size_t i = begin; i < end; ++i) {
+            if (contained(in.At(i, col))) chunk->rows.push_back(in.RowAt(i));
           }
-        }
-      });
+        });
+    AppendRows(&out, std::move(rows.rows));
+  }
+  ObserveSelectivity(in.num_rows(), out.num_rows());
   if (tr.enabled()) tr.Finish(out.num_rows(), morsels);
   return out;
 }
+
+namespace {
+
+// Batch key extraction: fills one key slot per logical row (morsel-
+// parallel slot writes — extraction is the expensive part of a value
+// join). Returns the chunk count for the batch accounting.
+template <typename Key, typename Fn>
+size_t ExtractKeyColumn(const ExecContext& ctx, size_t n,
+                        std::vector<std::optional<Key>>* keys, const Fn& fn) {
+  keys->resize(n);
+  return ForEachMorsel(ctx, n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) (*keys)[i] = fn(i);
+  });
+}
+
+// Vectorized hash-join core: build a key -> build-row-index table
+// (serial), then probe morsel-parallel over the probe key column emitting
+// (left row, right row) pairs. Probe-major, bucket insertion order —
+// identical emission order to the legacy row-at-a-time join.
+template <typename Key>
+size_t HashJoinProbe(const ExecContext& ctx, bool build_left,
+                     const std::vector<std::optional<Key>>& bkeys,
+                     const std::vector<std::optional<Key>>& pkeys,
+                     PairChunk* pairs) {
+  std::unordered_map<Key, std::vector<uint32_t>> ht;
+  ht.reserve(bkeys.size() * 2);
+  for (size_t i = 0; i < bkeys.size(); ++i) {
+    if (bkeys[i].has_value()) {
+      ht[*bkeys[i]].push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return MorselCollect(
+      ctx, pkeys.size(), pairs,
+      [&](size_t begin, size_t end, PairChunk* chunk, ExecStats*) {
+        for (size_t pi = begin; pi < end; ++pi) {
+          if (!pkeys[pi].has_value()) continue;
+          auto it = ht.find(*pkeys[pi]);
+          if (it == ht.end()) continue;
+          for (uint32_t bi : it->second) {
+            chunk->li.push_back(build_left ? bi : static_cast<uint32_t>(pi));
+            chunk->ri.push_back(build_left ? static_cast<uint32_t>(pi) : bi);
+          }
+        }
+      });
+}
+
+// Legacy build+probe of HashValueJoin, generic over the key type so the
+// viewable specs can use std::string_view keys aliasing the node store.
+// Per-row key extraction and per-tuple row materialization — the
+// pre-columnar cost profile.
+template <typename BuildKeyFn, typename ProbeKeyFn>
+size_t HashJoinLegacy(const ExecContext& ctx, const Table& build,
+                      const Table& probe, bool build_left, Table* out,
+                      const BuildKeyFn& build_key,
+                      const ProbeKeyFn& probe_key) {
+  using Key = std::decay_t<decltype(*build_key(size_t{0}))>;
+  std::unordered_map<Key, std::vector<uint32_t>> ht;
+  for (size_t i = 0; i < build.num_rows(); ++i) {
+    auto k = build_key(i);
+    if (k.has_value()) ht[*k].push_back(static_cast<uint32_t>(i));
+  }
+  RowChunk rows;
+  size_t morsels = MorselCollect(
+      ctx, probe.num_rows(), &rows,
+      [&](size_t begin, size_t end, RowChunk* chunk, ExecStats*) {
+        for (size_t pi = begin; pi < end; ++pi) {
+          auto k = probe_key(pi);
+          if (!k.has_value()) continue;
+          auto it = ht.find(*k);
+          if (it == ht.end()) continue;
+          const Row prow = probe.RowAt(pi);
+          for (uint32_t bi : it->second) {
+            const Row brow = build.RowAt(bi);
+            Row row;
+            row.reserve(out->num_cols());
+            const Row& l = build_left ? brow : prow;
+            const Row& r = build_left ? prow : brow;
+            row.insert(row.end(), l.begin(), l.end());
+            row.insert(row.end(), r.begin(), r.end());
+            chunk->rows.push_back(std::move(row));
+          }
+        }
+      });
+  AppendRows(out, std::move(rows.rows));
+  return morsels;
+}
+
+Table JoinOutput(const Table& left, const Table& right) {
+  Table out;
+  out.vars = left.vars;
+  out.vars.insert(out.vars.end(), right.vars.begin(), right.vars.end());
+  out.cols.resize(out.vars.size());
+  return out;
+}
+
+// Materializes a join's output from collected row pairs: one batch gather
+// per side. Returns the batch count.
+size_t GatherJoin(const ExecContext& ctx, const Table& left,
+                  const Table& right, const PairChunk& pairs, Table* out) {
+  size_t batches = GatherColumns(ctx, left, pairs.li, out, 0);
+  batches += GatherColumns(ctx, right, pairs.ri, out, left.num_cols());
+  return batches;
+}
+
+}  // namespace
 
 Table HashValueJoin(MctDatabase* db, const Table& left, int lcol,
                     const KeySpec& lkey, const Table& right, int rcol,
                     const KeySpec& rkey, const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->value_joins;
-  OpScope tr(ctx, "HASH VALUE JOIN", left.rows.size() + right.rows.size());
+  OpScope tr(ctx, "HASH VALUE JOIN", left.num_rows() + right.num_rows());
   if (tr.enabled()) {
     tr.set_detail(StrFormat("%s = %s",
                             left.vars[static_cast<size_t>(lcol)].c_str(),
                             right.vars[static_cast<size_t>(rcol)].c_str()));
   }
-  Table out;
-  out.vars = left.vars;
-  out.vars.insert(out.vars.end(), right.vars.begin(), right.vars.end());
+  Table out = JoinOutput(left, right);
   // Build on the smaller input (serial); probe in parallel morsels.
-  const bool build_left = left.rows.size() <= right.rows.size();
+  const bool build_left = left.num_rows() <= right.num_rows();
   const Table& build = build_left ? left : right;
   const Table& probe = build_left ? right : left;
   const int bcol = build_left ? lcol : rcol;
@@ -716,30 +1096,42 @@ Table HashValueJoin(MctDatabase* db, const Table& left, int lcol,
   // Viewable keys (content / attribute images) hash as string_views into
   // the node store — no per-row key copies on either side.
   size_t morsels;
-  if (KeySpecViewable(bkey) && KeySpecViewable(pkey)) {
-    morsels = HashJoinEmit(
+  if (ctx.batch) {
+    PairChunk pairs;
+    size_t batches = 0;
+    if (KeySpecViewable(bkey) && KeySpecViewable(pkey)) {
+      std::vector<std::optional<std::string_view>> bk, pk;
+      batches += ExtractKeyColumn(ctx, build.num_rows(), &bk, [&](size_t i) {
+        return ExtractKeyView(cdb, build.At(i, bcol), bkey);
+      });
+      batches += ExtractKeyColumn(ctx, probe.num_rows(), &pk, [&](size_t i) {
+        return ExtractKeyView(cdb, probe.At(i, pcol), pkey);
+      });
+      morsels = HashJoinProbe(ctx, build_left, bk, pk, &pairs);
+    } else {
+      std::vector<std::optional<std::string>> bk, pk;
+      batches += ExtractKeyColumn(ctx, build.num_rows(), &bk, [&](size_t i) {
+        return ExtractKey(cdb, build.At(i, bcol), bkey);
+      });
+      batches += ExtractKeyColumn(ctx, probe.num_rows(), &pk, [&](size_t i) {
+        return ExtractKey(cdb, probe.At(i, pcol), pkey);
+      });
+      morsels = HashJoinProbe(ctx, build_left, bk, pk, &pairs);
+    }
+    CountBatches(tr, batches + morsels + GatherJoin(ctx, left, right, pairs,
+                                                    &out));
+  } else if (KeySpecViewable(bkey) && KeySpecViewable(pkey)) {
+    morsels = HashJoinLegacy(
         ctx, build, probe, build_left, &out,
-        [&](size_t i) {
-          return ExtractKeyView(cdb, build.rows[i][static_cast<size_t>(bcol)],
-                                bkey);
-        },
-        [&](size_t i) {
-          return ExtractKeyView(cdb, probe.rows[i][static_cast<size_t>(pcol)],
-                                pkey);
-        });
+        [&](size_t i) { return ExtractKeyView(cdb, build.At(i, bcol), bkey); },
+        [&](size_t i) { return ExtractKeyView(cdb, probe.At(i, pcol), pkey); });
   } else {
-    morsels = HashJoinEmit(
+    morsels = HashJoinLegacy(
         ctx, build, probe, build_left, &out,
-        [&](size_t i) {
-          return ExtractKey(cdb, build.rows[i][static_cast<size_t>(bcol)],
-                            bkey);
-        },
-        [&](size_t i) {
-          return ExtractKey(cdb, probe.rows[i][static_cast<size_t>(pcol)],
-                            pkey);
-        });
+        [&](size_t i) { return ExtractKey(cdb, build.At(i, bcol), bkey); },
+        [&](size_t i) { return ExtractKey(cdb, probe.At(i, pcol), pkey); });
   }
-  if (tr.enabled()) tr.Finish(out.num_rows(), morsels, probe.rows.size());
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels, probe.num_rows());
   return out;
 }
 
@@ -747,77 +1139,117 @@ Table IdrefsJoin(MctDatabase* db, const Table& left, int lcol,
                  const KeySpec& lkey, const Table& right, int rcol,
                  const KeySpec& rkey, const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->value_joins;
-  OpScope tr(ctx, "IDREFS VALUE JOIN", left.rows.size() + right.rows.size());
+  OpScope tr(ctx, "IDREFS VALUE JOIN", left.num_rows() + right.num_rows());
   if (tr.enabled()) {
     tr.set_detail(StrFormat("%s ~ %s",
                             left.vars[static_cast<size_t>(lcol)].c_str(),
                             right.vars[static_cast<size_t>(rcol)].c_str()));
   }
-  Table out;
-  out.vars = left.vars;
-  out.vars.insert(out.vars.end(), right.vars.begin(), right.vars.end());
+  Table out = JoinOutput(left, right);
   const MctDatabase& cdb = *db;
   // Hash the single-id side (serial), then probe once per token of each
   // list, morsel-parallel over the list side.
-  std::unordered_map<std::string, std::vector<size_t>> ht;
-  for (size_t i = 0; i < right.rows.size(); ++i) {
-    auto k = ExtractKey(cdb, right.rows[i][static_cast<size_t>(rcol)], rkey);
-    if (k.has_value()) ht[*k].push_back(i);
+  std::unordered_map<std::string, std::vector<uint32_t>> ht;
+  for (size_t i = 0; i < right.num_rows(); ++i) {
+    auto k = ExtractKey(cdb, right.At(i, rcol), rkey);
+    if (k.has_value()) ht[*k].push_back(static_cast<uint32_t>(i));
   }
-  size_t morsels = MorselRun(
-      ctx, left.rows.size(), &out,
-      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
-        for (size_t li = begin; li < end; ++li) {
-          const Row& lrow = left.rows[li];
-          auto list = ExtractKey(cdb, lrow[static_cast<size_t>(lcol)], lkey);
-          if (!list.has_value()) continue;
-          for (const std::string& token : SplitWhitespace(*list)) {
-            auto it = ht.find(token);
-            if (it == ht.end()) continue;
-            for (size_t ri : it->second) {
-              Row row = lrow;
-              row.insert(row.end(), right.rows[ri].begin(),
-                         right.rows[ri].end());
-              rows->push_back(std::move(row));
+  size_t morsels;
+  if (ctx.batch) {
+    PairChunk pairs;
+    morsels = MorselCollect(
+        ctx, left.num_rows(), &pairs,
+        [&](size_t begin, size_t end, PairChunk* chunk, ExecStats*) {
+          for (size_t li = begin; li < end; ++li) {
+            auto list = ExtractKey(cdb, left.At(li, lcol), lkey);
+            if (!list.has_value()) continue;
+            for (const std::string& token : SplitWhitespace(*list)) {
+              auto it = ht.find(token);
+              if (it == ht.end()) continue;
+              for (uint32_t ri : it->second) {
+                chunk->li.push_back(static_cast<uint32_t>(li));
+                chunk->ri.push_back(ri);
+              }
             }
           }
-        }
-      });
-  if (tr.enabled()) tr.Finish(out.num_rows(), morsels, left.rows.size());
+        });
+    CountBatches(tr, morsels + GatherJoin(ctx, left, right, pairs, &out));
+  } else {
+    RowChunk rows;
+    morsels = MorselCollect(
+        ctx, left.num_rows(), &rows,
+        [&](size_t begin, size_t end, RowChunk* chunk, ExecStats*) {
+          for (size_t li = begin; li < end; ++li) {
+            auto list = ExtractKey(cdb, left.At(li, lcol), lkey);
+            if (!list.has_value()) continue;
+            const Row lrow = left.RowAt(li);
+            for (const std::string& token : SplitWhitespace(*list)) {
+              auto it = ht.find(token);
+              if (it == ht.end()) continue;
+              for (uint32_t ri : it->second) {
+                Row row = lrow;
+                const Row rrow = right.RowAt(ri);
+                row.insert(row.end(), rrow.begin(), rrow.end());
+                chunk->rows.push_back(std::move(row));
+              }
+            }
+          }
+        });
+    AppendRows(&out, std::move(rows.rows));
+  }
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels, left.num_rows());
   return out;
 }
 
 Table NestedLoopJoin(MctDatabase* db, const Table& left, const Table& right,
-                     const std::function<bool(const std::vector<NodeId>&,
-                                              const std::vector<NodeId>&)>& pred,
+                     const std::function<bool(size_t, size_t)>& pred,
                      const ExecContext& ctx) {
   (void)db;
   if (ctx.stats != nullptr) ++ctx.stats->nested_loop_joins;
-  OpScope tr(ctx, "NESTED-LOOP JOIN",
-             left.rows.size() + right.rows.size());
+  OpScope tr(ctx, "NESTED-LOOP JOIN", left.num_rows() + right.num_rows());
   if (tr.enabled()) {
     tr.set_detail(StrFormat("%llu x %llu",
-                            static_cast<unsigned long long>(left.rows.size()),
-                            static_cast<unsigned long long>(right.rows.size())));
+                            static_cast<unsigned long long>(left.num_rows()),
+                            static_cast<unsigned long long>(right.num_rows())));
   }
-  Table out;
-  out.vars = left.vars;
-  out.vars.insert(out.vars.end(), right.vars.begin(), right.vars.end());
-  size_t morsels = MorselRun(
-      ctx, left.rows.size(), &out,
-      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
-        for (size_t i = begin; i < end; ++i) {
-          const Row& l = left.rows[i];
-          for (const Row& r : right.rows) {
-            if (pred(l, r)) {
-              Row row = l;
-              row.insert(row.end(), r.begin(), r.end());
-              rows->push_back(std::move(row));
+  Table out = JoinOutput(left, right);
+  const size_t rn = right.num_rows();
+  size_t morsels;
+  if (ctx.batch) {
+    PairChunk pairs;
+    morsels = MorselCollect(
+        ctx, left.num_rows(), &pairs,
+        [&](size_t begin, size_t end, PairChunk* chunk, ExecStats*) {
+          for (size_t i = begin; i < end; ++i) {
+            for (size_t j = 0; j < rn; ++j) {
+              if (pred(i, j)) {
+                chunk->li.push_back(static_cast<uint32_t>(i));
+                chunk->ri.push_back(static_cast<uint32_t>(j));
+              }
             }
           }
-        }
-      });
-  if (tr.enabled()) tr.Finish(out.num_rows(), morsels, left.rows.size());
+        });
+    CountBatches(tr, morsels + GatherJoin(ctx, left, right, pairs, &out));
+  } else {
+    RowChunk rows;
+    morsels = MorselCollect(
+        ctx, left.num_rows(), &rows,
+        [&](size_t begin, size_t end, RowChunk* chunk, ExecStats*) {
+          for (size_t i = begin; i < end; ++i) {
+            const Row lrow = left.RowAt(i);
+            for (size_t j = 0; j < rn; ++j) {
+              if (pred(i, j)) {
+                Row row = lrow;
+                const Row rrow = right.RowAt(j);
+                row.insert(row.end(), rrow.begin(), rrow.end());
+                chunk->rows.push_back(std::move(row));
+              }
+            }
+          }
+        });
+    AppendRows(&out, std::move(rows.rows));
+  }
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels, left.num_rows());
   return out;
 }
 
@@ -827,61 +1259,138 @@ Table IdentityJoin(MctDatabase* db, const Table& left, int lcol,
   if (ctx.stats != nullptr) {
     ++ctx.stats->structural_joins;  // identity = label equality
   }
-  OpScope tr(ctx, "IDENTITY JOIN", left.rows.size() + right.rows.size());
+  OpScope tr(ctx, "IDENTITY JOIN", left.num_rows() + right.num_rows());
   if (tr.enabled()) {
     tr.set_detail(StrFormat("%s is %s",
                             left.vars[static_cast<size_t>(lcol)].c_str(),
                             right.vars[static_cast<size_t>(rcol)].c_str()));
   }
-  Table out;
-  out.vars = left.vars;
-  out.vars.insert(out.vars.end(), right.vars.begin(), right.vars.end());
+  Table out = JoinOutput(left, right);
   const auto groups = GroupByNode(right, rcol);
-  size_t morsels = MorselRun(
-      ctx, left.rows.size(), &out,
-      [&](size_t begin, size_t end, std::vector<Row>* rows, ExecStats*) {
-        for (size_t li = begin; li < end; ++li) {
-          const Row& lrow = left.rows[li];
-          auto it = groups.find(lrow[static_cast<size_t>(lcol)]);
-          if (it == groups.end()) continue;
-          for (size_t ri : it->second) {
-            Row row = lrow;
-            row.insert(row.end(), right.rows[ri].begin(),
-                       right.rows[ri].end());
-            rows->push_back(std::move(row));
+  size_t morsels;
+  if (ctx.batch) {
+    PairChunk pairs;
+    morsels = MorselCollect(
+        ctx, left.num_rows(), &pairs,
+        [&](size_t begin, size_t end, PairChunk* chunk, ExecStats*) {
+          for (size_t li = begin; li < end; ++li) {
+            auto it = groups.find(left.At(li, lcol));
+            if (it == groups.end()) continue;
+            for (uint32_t ri : it->second) {
+              chunk->li.push_back(static_cast<uint32_t>(li));
+              chunk->ri.push_back(ri);
+            }
           }
-        }
-      });
-  if (tr.enabled()) tr.Finish(out.num_rows(), morsels, left.rows.size());
+        });
+    CountBatches(tr, morsels + GatherJoin(ctx, left, right, pairs, &out));
+  } else {
+    RowChunk rows;
+    morsels = MorselCollect(
+        ctx, left.num_rows(), &rows,
+        [&](size_t begin, size_t end, RowChunk* chunk, ExecStats*) {
+          for (size_t li = begin; li < end; ++li) {
+            auto it = groups.find(left.At(li, lcol));
+            if (it == groups.end()) continue;
+            const Row lrow = left.RowAt(li);
+            for (uint32_t ri : it->second) {
+              Row row = lrow;
+              const Row rrow = right.RowAt(ri);
+              row.insert(row.end(), rrow.begin(), rrow.end());
+              chunk->rows.push_back(std::move(row));
+            }
+          }
+        });
+    AppendRows(&out, std::move(rows.rows));
+  }
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels, left.num_rows());
   return out;
 }
 
-Table FilterRows(const Table& in,
-                 const std::function<bool(const std::vector<NodeId>&)>& pred,
+namespace {
+
+// Shared survivor collection of FilterRows.
+size_t CollectFilterSurvivors(const ExecContext& ctx, size_t n,
+                              const std::function<bool(size_t)>& pred,
+                              IdxChunk* keep) {
+  return MorselCollect(
+      ctx, n, keep,
+      [&](size_t begin, size_t end, IdxChunk* chunk, ExecStats*) {
+        for (size_t i = begin; i < end; ++i) {
+          if (pred(i)) chunk->idx.push_back(static_cast<uint32_t>(i));
+        }
+      });
+}
+
+}  // namespace
+
+Table FilterRows(const Table& in, const std::function<bool(size_t)>& pred,
                  const ExecContext& ctx) {
-  OpScope tr(ctx, "FILTER", in.rows.size());
-  Table out;
-  out.vars = in.vars;
-  size_t morsels =
-      MorselRun(ctx, in.rows.size(), &out,
-                [&](size_t begin, size_t end, std::vector<Row>* rows,
-                    ExecStats*) {
-                  for (size_t i = begin; i < end; ++i) {
-                    if (pred(in.rows[i])) rows->push_back(in.rows[i]);
-                  }
-                });
+  OpScope tr(ctx, "FILTER", in.num_rows());
+  Table out = Table::WithVars(in.vars);
+  size_t morsels;
+  if (ctx.batch) {
+    IdxChunk keep;
+    morsels = CollectFilterSurvivors(ctx, in.num_rows(), pred, &keep);
+    CountBatches(tr, morsels + GatherColumns(ctx, in, keep.idx, &out, 0));
+  } else {
+    RowChunk rows;
+    morsels = MorselCollect(
+        ctx, in.num_rows(), &rows,
+        [&](size_t begin, size_t end, RowChunk* chunk, ExecStats*) {
+          for (size_t i = begin; i < end; ++i) {
+            if (pred(i)) chunk->rows.push_back(in.RowAt(i));
+          }
+        });
+    AppendRows(&out, std::move(rows.rows));
+  }
+  ObserveSelectivity(in.num_rows(), out.num_rows());
+  if (tr.enabled()) tr.Finish(out.num_rows(), morsels);
+  return out;
+}
+
+Table FilterRows(Table&& in, const std::function<bool(size_t)>& pred,
+                 const ExecContext& ctx) {
+  if (!ctx.batch) {
+    return FilterRows(static_cast<const Table&>(in), pred, ctx);
+  }
+  OpScope tr(ctx, "FILTER", in.num_rows());
+  IdxChunk keep;
+  size_t morsels = CollectFilterSurvivors(ctx, in.num_rows(), pred, &keep);
+  const size_t rows_in = in.num_rows();
+  // Survivors become the selection vector of the moved table.
+  Table out = std::move(in);
+  out.KeepRows(std::move(keep.idx));
+  CountBatches(tr, morsels);
+  ObserveSelectivity(rows_in, out.num_rows());
   if (tr.enabled()) tr.Finish(out.num_rows(), morsels);
   return out;
 }
 
 namespace {
 
-void DupKey(const Row& row, const std::vector<int>& cols, std::string* key) {
+// Fixed-width byte key of one logical row's projection onto `cols`.
+void DupKeyAt(const Table& t, size_t row, const std::vector<int>& cols,
+              std::string* key) {
   key->clear();
   for (int c : cols) {
-    key->append(reinterpret_cast<const char*>(&row[static_cast<size_t>(c)]),
-                sizeof(NodeId));
+    NodeId v = t.At(row, c);
+    key->append(reinterpret_cast<const char*>(&v), sizeof(NodeId));
   }
+}
+
+// First-occurrence survivors of duplicate elimination. Inherently order-
+// dependent, so it stays serial.
+std::vector<uint32_t> DupSurvivors(const Table& in,
+                                   const std::vector<int>& cols) {
+  std::vector<uint32_t> keep;
+  std::unordered_set<std::string> seen;
+  std::string key;
+  const size_t n = in.num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    DupKeyAt(in, i, cols, &key);
+    if (seen.insert(key).second) keep.push_back(static_cast<uint32_t>(i));
+  }
+  return keep;
 }
 
 }  // namespace
@@ -889,70 +1398,81 @@ void DupKey(const Row& row, const std::vector<int>& cols, std::string* key) {
 Table DupElim(const Table& in, const std::vector<int>& cols,
               const ExecContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->dup_elims;
-  OpScope tr(ctx, "DUP ELIM", in.rows.size());
-  Table out;
-  out.vars = in.vars;
-  std::unordered_set<std::string> seen;
-  std::string key;
-  for (const auto& row : in.rows) {
-    DupKey(row, cols, &key);
-    if (seen.insert(key).second) out.rows.push_back(row);
+  OpScope tr(ctx, "DUP ELIM", in.num_rows());
+  const size_t n = in.num_rows();
+  Table out = Table::WithVars(in.vars);
+  if (ctx.batch) {
+    std::vector<uint32_t> keep = DupSurvivors(in, cols);
+    CountBatches(tr, GatherColumns(ctx, in, keep, &out, 0));
+  } else {
+    std::vector<Row> rows;
+    std::unordered_set<std::string> seen;
+    std::string key;
+    for (size_t i = 0; i < n; ++i) {
+      DupKeyAt(in, i, cols, &key);
+      if (seen.insert(key).second) rows.push_back(in.RowAt(i));
+    }
+    AppendRows(&out, std::move(rows));
   }
-  if (tr.enabled()) tr.Finish(out.num_rows(), in.rows.empty() ? 0 : 1, 0);
+  ObserveSelectivity(n, out.num_rows());
+  if (tr.enabled()) tr.Finish(out.num_rows(), n == 0 ? 0 : 1, 0);
   return out;
 }
 
 Table DupElim(Table&& in, const std::vector<int>& cols,
               const ExecContext& ctx) {
-  if (ctx.stats != nullptr) ++ctx.stats->dup_elims;
-  OpScope tr(ctx, "DUP ELIM", in.rows.size());
-  Table out;
-  out.vars = std::move(in.vars);
-  std::unordered_set<std::string> seen;
-  std::string key;
-  for (auto& row : in.rows) {
-    DupKey(row, cols, &key);
-    if (seen.insert(key).second) out.rows.push_back(std::move(row));
+  if (!ctx.batch) {
+    return DupElim(static_cast<const Table&>(in), cols, ctx);
   }
-  if (tr.enabled()) tr.Finish(out.num_rows(), in.rows.empty() ? 0 : 1, 0);
-  in.rows.clear();
+  if (ctx.stats != nullptr) ++ctx.stats->dup_elims;
+  OpScope tr(ctx, "DUP ELIM", in.num_rows());
+  const size_t n = in.num_rows();
+  std::vector<uint32_t> keep = DupSurvivors(in, cols);
+  // Survivors become the selection vector of the moved table.
+  Table out = std::move(in);
+  out.KeepRows(std::move(keep));
+  ObserveSelectivity(n, out.num_rows());
+  if (tr.enabled()) tr.Finish(out.num_rows(), n == 0 ? 0 : 1, 0);
   return out;
 }
 
 Table Project(const Table& in, const std::vector<int>& cols) {
   Table out;
-  for (int c : cols) out.vars.push_back(in.vars[static_cast<size_t>(c)]);
-  out.rows.reserve(in.rows.size());
-  for (const auto& row : in.rows) {
-    Row r;
-    r.reserve(cols.size());
-    for (int c : cols) r.push_back(row[static_cast<size_t>(c)]);
-    out.rows.push_back(std::move(r));
+  out.vars.reserve(cols.size());
+  out.cols.reserve(cols.size());
+  for (int c : cols) {
+    out.vars.push_back(in.vars[static_cast<size_t>(c)]);
+    out.cols.push_back(in.cols[static_cast<size_t>(c)]);
   }
+  out.sel = in.sel;
+  out.use_sel = in.use_sel;
   return out;
 }
 
 Table Project(Table&& in, const std::vector<int>& cols) {
-  // When the projection keeps columns in increasing order, each row can be
-  // compacted in place (cols[j] >= j, so left-to-right copies never clobber
-  // a source) — no per-row allocation at all.
-  bool increasing = true;
-  for (size_t j = 0; j + 1 < cols.size(); ++j) {
-    if (cols[j] >= cols[j + 1]) {
-      increasing = false;
-      break;
-    }
-  }
-  if (!increasing) return Project(in, cols);
+  // Move whole column vectors out of the source; a column referenced twice
+  // is copied from its first (already moved) occurrence. The selection
+  // vector carries over untouched.
   Table out;
-  for (int c : cols) out.vars.push_back(in.vars[static_cast<size_t>(c)]);
-  out.rows = std::move(in.rows);
-  for (auto& row : out.rows) {
-    for (size_t j = 0; j < cols.size(); ++j) {
-      row[j] = row[static_cast<size_t>(cols[j])];
+  out.vars.reserve(cols.size());
+  out.cols.reserve(cols.size());
+  std::vector<int> placed(in.cols.size(), -1);
+  for (size_t j = 0; j < cols.size(); ++j) {
+    const size_t c = static_cast<size_t>(cols[j]);
+    if (placed[c] < 0) {
+      out.vars.push_back(std::move(in.vars[c]));
+      out.cols.push_back(std::move(in.cols[c]));
+      placed[c] = static_cast<int>(j);
+    } else {
+      out.vars.push_back(out.vars[static_cast<size_t>(placed[c])]);
+      out.cols.push_back(out.cols[static_cast<size_t>(placed[c])]);
     }
-    row.resize(cols.size());
   }
+  out.sel = std::move(in.sel);
+  out.use_sel = in.use_sel;
+  in.vars.clear();
+  in.cols.clear();
+  in.use_sel = false;
   return out;
 }
 
@@ -961,24 +1481,26 @@ Table SortRowsBy(const MctDatabase& db, const Table& in, int col,
   // Decorate-sort: extract every key once (morsel-parallel — extraction is
   // the expensive part), then a serial stable sort of row indices, so the
   // result is identical to sorting rows with per-comparison extraction.
-  OpScope tr(ctx, "SORT", in.rows.size());
+  OpScope tr(ctx, "SORT", in.num_rows());
   if (tr.enabled()) {
-    tr.set_detail(StrFormat("by %s%s", in.vars[static_cast<size_t>(col)].c_str(),
+    tr.set_detail(StrFormat("by %s%s",
+                            in.vars[static_cast<size_t>(col)].c_str(),
                             descending ? " desc" : ""));
   }
-  const size_t n = in.rows.size();
+  const size_t n = in.num_rows();
   auto key_less = [](std::string_view ka, std::string_view kb) {
     auto na = ParseDouble(ka), nb = ParseDouble(kb);
     if (na.has_value() && nb.has_value()) return *na < *nb;
     return ka < kb;
   };
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), size_t{0});
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), uint32_t{0});
   auto sort_order = [&](const auto& keys) {
-    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return descending ? key_less(keys[b], keys[a])
-                        : key_less(keys[a], keys[b]);
-    });
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return descending ? key_less(keys[b], keys[a])
+                                         : key_less(keys[a], keys[b]);
+                     });
   };
   size_t morsels;
   if (KeySpecViewable(key)) {
@@ -987,7 +1509,7 @@ Table SortRowsBy(const MctDatabase& db, const Table& in, int col,
     std::vector<std::string_view> keys(n);
     morsels = ForEachMorsel(ctx, n, [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
-        keys[i] = ExtractKeyView(db, in.rows[i][static_cast<size_t>(col)], key)
+        keys[i] = ExtractKeyView(db, in.At(i, col), key)
                       .value_or(std::string_view());
       }
     });
@@ -996,16 +1518,20 @@ Table SortRowsBy(const MctDatabase& db, const Table& in, int col,
     std::vector<std::string> keys(n);
     morsels = ForEachMorsel(ctx, n, [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
-        keys[i] = ExtractKey(db, in.rows[i][static_cast<size_t>(col)], key)
-                      .value_or("");
+        keys[i] = ExtractKey(db, in.At(i, col), key).value_or("");
       }
     });
     sort_order(keys);
   }
-  Table out;
-  out.vars = in.vars;
-  out.rows.reserve(n);
-  for (size_t i : order) out.rows.push_back(in.rows[i]);
+  Table out = Table::WithVars(in.vars);
+  if (ctx.batch) {
+    CountBatches(tr, morsels + GatherColumns(ctx, in, order, &out, 0));
+  } else {
+    std::vector<Row> rows;
+    rows.reserve(n);
+    for (uint32_t i : order) rows.push_back(in.RowAt(i));
+    AppendRows(&out, std::move(rows));
+  }
   if (tr.enabled()) tr.Finish(out.num_rows(), morsels);
   return out;
 }

@@ -1,14 +1,24 @@
 // Physical operators over binding tables.
 //
 // Every operator takes an ExecContext (stats sink + optional worker pool).
+// Execution is vectorized by default (ExecContext::batch): operators
+// collect (input row index, emitted node) pairs into column chunks and
+// materialize their output table with per-column batch gathers; filters
+// and duplicate elimination flip the table's selection vector instead of
+// copying rows. ExecContext::batch = false routes the hot operators
+// through retained row-at-a-time paths (one materialized row vector per
+// tuple — the pre-columnar cost profile) for A/B measurement; both modes
+// produce identical tables.
+//
 // When a pool is present, row-oriented operators run morsel-driven: the
 // input rows are split into fixed-size morsels claimed by workers off a
-// shared counter; each morsel emits into a private buffer and the buffers
-// are concatenated in morsel index order, so the output is byte-identical
-// to the serial run (the determinism contract the tests enforce). Index
-// probes (TagScan, content/attr lookups) and hash-table builds stay in the
-// serial prefix of each operator; workers only perform const reads of the
-// in-memory tree and store images.
+// shared counter; each morsel emits into a private buffer (a column chunk
+// under batch execution) and the buffers are concatenated in morsel index
+// order, so the output is byte-identical to the serial run (the
+// determinism contract the tests enforce). Index probes (TagScan,
+// content/attr lookups) and hash-table builds stay in the serial prefix of
+// each operator; workers only perform const reads of the in-memory tree
+// and store images.
 //
 // The cost asymmetry these implement is the paper's central performance
 // claim (Section 7.2): structural (containment) joins are merge/hash joins
@@ -129,7 +139,7 @@ Table ExpandDescendantsNav(MctDatabase* db, const Table& in, int col,
 
 /// Descendant step off the lone document-root row: the tag scan already
 /// *is* the answer in the right order, so skip grouping and merging.
-/// Precondition: `in` has exactly one row and in.rows[0][col] is the
+/// Precondition: `in` has exactly one row and in.At(0, col) is the
 /// document (asserted). Result-identical to ExpandDescendants.
 Table ExpandDescendantsRoot(MctDatabase* db, const Table& in, int col,
                             ColorId color, const std::string& tag,
@@ -149,8 +159,12 @@ Table ExpandAncestors(MctDatabase* db, const Table& in, int col, ColorId color,
 
 /// Cross-tree join (the paper's color-transition access method): keeps rows
 /// whose `col` node also has `to_color`. The node keeps its identity; its
-/// structural context simply switches trees. Bulk identity join.
+/// structural context simply switches trees. Bulk identity join. The
+/// rvalue overload keeps the surviving rows by composing the selection
+/// vector in place — no row data moves at all.
 Table CrossTreeJoin(MctDatabase* db, const Table& in, int col, ColorId to_color,
+                    const ExecContext& ctx);
+Table CrossTreeJoin(MctDatabase* db, Table&& in, int col, ColorId to_color,
                     const ExecContext& ctx);
 
 /// Keeps rows where `filter` contains a node that is an ancestor (axis
@@ -175,11 +189,11 @@ Table IdrefsJoin(MctDatabase* db, const Table& left, int lcol,
 
 /// General theta join (used for inequality predicates; quadratic, matching
 /// the paper's observation that its two inequality-join queries scaled
-/// quadratically). `pred` must be safe to call concurrently when ctx.pool
-/// is set.
+/// quadratically). `pred(li, ri)` sees logical row indices of the two
+/// inputs (read cells with left.At(li, c) / right.At(ri, c)) and must be
+/// safe to call concurrently when ctx.pool is set.
 Table NestedLoopJoin(MctDatabase* db, const Table& left, const Table& right,
-                     const std::function<bool(const std::vector<NodeId>&,
-                                              const std::vector<NodeId>&)>& pred,
+                     const std::function<bool(size_t, size_t)>& pred,
                      const ExecContext& ctx);
 
 /// Joins two tables on node identity of (lcol, rcol) — how MCXQuery's
@@ -187,23 +201,28 @@ Table NestedLoopJoin(MctDatabase* db, const Table& left, const Table& right,
 Table IdentityJoin(MctDatabase* db, const Table& left, int lcol,
                    const Table& right, int rcol, const ExecContext& ctx);
 
-/// Keeps rows satisfying `pred`. `pred` must be safe to call concurrently
-/// when ctx.pool is set.
-Table FilterRows(const Table& in,
-                 const std::function<bool(const std::vector<NodeId>&)>& pred,
+/// Keeps rows satisfying `pred(row)`, where `row` is a logical row index
+/// (read cells with in.At(row, c)). `pred` must be safe to call
+/// concurrently when ctx.pool is set. The rvalue overload keeps survivors
+/// by composing the selection vector in place (no row data moves).
+Table FilterRows(const Table& in, const std::function<bool(size_t)>& pred,
+                 const ExecContext& ctx);
+Table FilterRows(Table&& in, const std::function<bool(size_t)>& pred,
                  const ExecContext& ctx);
 
 /// Removes duplicate rows w.r.t. the projection onto `cols` (first
 /// occurrence wins) — the duplicate elimination that hurts the deep
 /// baseline in Table 2. Inherently order-dependent, so it stays serial; the
-/// rvalue overload moves the surviving rows instead of copying them.
+/// rvalue overload keeps the surviving rows via the selection vector
+/// instead of copying them.
 Table DupElim(const Table& in, const std::vector<int>& cols,
               const ExecContext& ctx);
 Table DupElim(Table&& in, const std::vector<int>& cols,
               const ExecContext& ctx);
 
-/// Projects onto `cols` (in the given order). The rvalue overload compacts
-/// rows in place when possible instead of materializing fresh ones.
+/// Projects onto `cols` (in the given order). Columnar storage makes this
+/// O(cols): the overloads copy or move whole column vectors (the selection
+/// vector, when active, carries over untouched).
 Table Project(const Table& in, const std::vector<int>& cols);
 Table Project(Table&& in, const std::vector<int>& cols);
 

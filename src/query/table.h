@@ -5,12 +5,26 @@
 // Operators are set-oriented functions over Tables (Timber evaluated its
 // algebra bulk-wise too), which keeps join algorithms — the heart of the
 // paper's performance story — explicit and measurable.
+//
+// Storage is columnar: one contiguous std::vector<NodeId> per variable,
+// plus an optional selection vector. A row is a purely logical notion —
+// row r of column j is cols[j][sel[r]] (or cols[j][r] when no selection is
+// active). Filters and duplicate elimination flip selection indices
+// instead of copying rows; expansion operators and joins materialize their
+// output with per-column batch gathers. Compared to the former
+// row-of-rows layout (std::vector<std::vector<NodeId>>), this removes the
+// per-row heap allocation and lets operators process whole label columns
+// at a time (DESIGN.md §13, "Vectorized execution").
 
 #ifndef COLORFUL_XML_QUERY_TABLE_H_
 #define COLORFUL_XML_QUERY_TABLE_H_
 
+#include <cassert>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "mct/node_store.h"
@@ -27,35 +41,179 @@ struct Table {
   /// Column names (variable names like "$m"; internal step columns use
   /// positional names).
   std::vector<std::string> vars;
-  /// rows[i][j] binds vars[j].
-  std::vector<std::vector<NodeId>> rows;
+  /// Column storage, parallel to `vars`: cols[j][r] is the physical cell of
+  /// column j. Invariant: cols.size() == vars.size() and all columns have
+  /// equal length. Prefer the accessors below over direct indexing — they
+  /// resolve the selection vector.
+  std::vector<std::vector<NodeId>> cols;
+  /// Selection vector (active when `use_sel`): logical row r is physical
+  /// row sel[r] of every column. Produced by filters/dup-elim so a
+  /// selective operator costs O(kept) index writes, not O(kept * cols)
+  /// cell copies.
+  std::vector<uint32_t> sel;
+  bool use_sel = false;
 
-  size_t num_rows() const { return rows.size(); }
+  size_t num_rows() const {
+    if (use_sel) return sel.size();
+    return cols.empty() ? 0 : cols[0].size();
+  }
   size_t num_cols() const { return vars.size(); }
+  /// True when no selection vector is active, i.e. logical row order is
+  /// physical column order and ColumnSpan() views are valid.
+  bool dense() const { return !use_sel; }
 
-  /// Index of a variable, or -1.
-  int ColumnOf(const std::string& var) const {
+  /// The cell of logical row `row`, column `col`.
+  NodeId At(size_t row, int col) const {
+    const std::vector<NodeId>& c = cols[static_cast<size_t>(col)];
+    return use_sel ? c[sel[row]] : c[row];
+  }
+
+  /// Index of a variable, or -1. Takes a string_view so hot callers avoid
+  /// temporary std::string conversions; column counts are small (bounded by
+  /// the query's variable count), so a linear scan is fine — callers in
+  /// per-row loops should still hoist the lookup out of the loop.
+  int ColumnOf(std::string_view var) const {
     for (size_t i = 0; i < vars.size(); ++i) {
       if (vars[i] == var) return static_cast<int>(i);
     }
     return -1;
   }
 
-  /// Single-column table from a node list.
-  static Table FromNodes(std::string var, const std::vector<NodeId>& nodes) {
+  /// Empty table with the given column names (columns sized and empty).
+  static Table WithVars(std::vector<std::string> names) {
     Table t;
-    t.vars.push_back(std::move(var));
-    t.rows.reserve(nodes.size());
-    for (NodeId n : nodes) t.rows.push_back({n});
+    t.vars = std::move(names);
+    t.cols.resize(t.vars.size());
     return t;
   }
 
-  /// The nodes bound in one column, in row order (with duplicates).
+  /// Single-column table from a node list; the vector becomes the column
+  /// (no per-row work at all).
+  static Table FromNodes(std::string var, std::vector<NodeId> nodes) {
+    Table t;
+    t.vars.push_back(std::move(var));
+    t.cols.push_back(std::move(nodes));
+    return t;
+  }
+
+  /// Table from explicit rows (tests and small literal setups; O(rows *
+  /// cols) scatter).
+  static Table FromRows(std::vector<std::string> names,
+                        const std::vector<std::vector<NodeId>>& rows) {
+    Table t = WithVars(std::move(names));
+    for (auto& c : t.cols) c.reserve(rows.size());
+    for (const auto& r : rows) t.AppendRow(r);
+    return t;
+  }
+
+  /// Zero-copy view of one column. Precondition: dense() — callers holding
+  /// a selected table Flatten() first (or read through At()).
+  std::span<const NodeId> ColumnSpan(int col) const {
+    assert(dense());
+    return std::span<const NodeId>(cols[static_cast<size_t>(col)]);
+  }
+
+  /// The nodes bound in one column, in logical row order (with duplicates).
+  /// Materializing copy; prefer ColumnSpan() on dense tables.
   std::vector<NodeId> Column(int col) const {
+    const std::vector<NodeId>& c = cols[static_cast<size_t>(col)];
+    if (!use_sel) return c;
     std::vector<NodeId> out;
-    out.reserve(rows.size());
-    for (const auto& r : rows) out.push_back(r[static_cast<size_t>(col)]);
+    out.reserve(sel.size());
+    for (uint32_t s : sel) out.push_back(c[s]);
     return out;
+  }
+
+  /// Appends a new column. Precondition: dense() and (when columns exist)
+  /// data.size() == num_rows().
+  void AppendColumn(std::string var, std::vector<NodeId> data) {
+    assert(dense());
+    assert(cols.empty() || data.size() == num_rows());
+    vars.push_back(std::move(var));
+    cols.push_back(std::move(data));
+  }
+
+  /// Appends one row (cell per column). Precondition: dense(). Row-at-a-
+  /// time shape: the vectorized paths use gathers instead.
+  void AppendRow(const std::vector<NodeId>& row) {
+    assert(dense() && row.size() == cols.size());
+    for (size_t j = 0; j < cols.size(); ++j) cols[j].push_back(row[j]);
+  }
+
+  /// Reserves capacity for n rows in every column.
+  void Reserve(size_t n) {
+    for (auto& c : cols) c.reserve(n);
+  }
+
+  /// Restricts the table to the given logical rows, in order, by composing
+  /// the selection vector in place — O(keep) regardless of column count.
+  void KeepRows(std::vector<uint32_t> keep) {
+    if (use_sel) {
+      for (uint32_t& k : keep) k = sel[k];
+    }
+    sel = std::move(keep);
+    use_sel = true;
+  }
+
+  /// Materializes the selection vector into dense columns.
+  void Flatten() {
+    if (!use_sel) return;
+    for (auto& c : cols) {
+      std::vector<NodeId> packed;
+      packed.reserve(sel.size());
+      for (uint32_t s : sel) packed.push_back(c[s]);
+      c = std::move(packed);
+    }
+    sel.clear();
+    use_sel = false;
+  }
+
+  /// New dense table holding the given logical rows of this table, in
+  /// order (duplicates allowed) — the batch gather join/sort emits use.
+  Table GatherRows(std::span<const uint32_t> idx) const {
+    Table out = WithVars(vars);
+    GatherInto(*this, idx, &out, 0);
+    return out;
+  }
+
+  /// Batch gather: appends src's logical rows `idx` (in order) into dst's
+  /// columns [dst_col0, dst_col0 + src.num_cols()). Column-at-a-time, so
+  /// the inner loop is a tight index copy per column. dst must be dense.
+  static void GatherInto(const Table& src, std::span<const uint32_t> idx,
+                         Table* dst, size_t dst_col0) {
+    assert(dst->dense());
+    for (size_t j = 0; j < src.cols.size(); ++j) {
+      const std::vector<NodeId>& in = src.cols[j];
+      std::vector<NodeId>& out = dst->cols[dst_col0 + j];
+      out.reserve(out.size() + idx.size());
+      if (src.use_sel) {
+        for (uint32_t r : idx) out.push_back(in[src.sel[r]]);
+      } else {
+        for (uint32_t r : idx) out.push_back(in[r]);
+      }
+    }
+  }
+
+  /// One logical row materialized as a vector (legacy row-at-a-time paths
+  /// and tests).
+  std::vector<NodeId> RowAt(size_t row) const {
+    std::vector<NodeId> r;
+    r.reserve(cols.size());
+    for (size_t j = 0; j < cols.size(); ++j) {
+      r.push_back(At(row, static_cast<int>(j)));
+    }
+    return r;
+  }
+
+  /// The whole table as row vectors — differential tests compare layouts
+  /// through this, so columnar/selected/dense variants of the same logical
+  /// table compare equal.
+  std::vector<std::vector<NodeId>> ToRows() const {
+    std::vector<std::vector<NodeId>> rows;
+    const size_t n = num_rows();
+    rows.reserve(n);
+    for (size_t i = 0; i < n; ++i) rows.push_back(RowAt(i));
+    return rows;
   }
 };
 
@@ -101,6 +259,13 @@ struct ExecContext {
   /// operator checks this exactly once, so a disabled trace costs one
   /// branch per operator call, never per row.
   QueryTrace* trace = nullptr;
+  /// Vectorized (batch) execution: operators emit (row index, value) pairs
+  /// into column chunks and materialize output with per-column gathers;
+  /// filters flip selection vectors. false routes the hot operators
+  /// through the retained row-at-a-time paths, which re-materialize one
+  /// row vector per tuple — the pre-columnar cost profile the --batch A/B
+  /// benchmark compares against. Results are identical either way.
+  bool batch = true;
 
   ExecContext() = default;
   ExecContext(ExecStats* s) : stats(s) {}  // NOLINT: implicit by design

@@ -69,6 +69,10 @@ void AppendTextRec(const OpTrace& t, int depth, std::string* out) {
     out->append(StrFormat(", morsels %llu",
                           static_cast<unsigned long long>(t.morsels)));
   }
+  if (t.batches > 0) {
+    out->append(StrFormat(", batches %llu",
+                          static_cast<unsigned long long>(t.batches)));
+  }
   if (t.color_transitions > 0) {
     out->append(
         StrFormat(", crossings %llu",
@@ -85,6 +89,7 @@ void AppendJsonRec(const OpTrace& t, std::string* out) {
   out->append(StrFormat(
       "{\"op\": \"%s\", \"detail\": \"%s\", \"rows_in\": %llu, "
       "\"rows_out\": %llu, \"morsels\": %llu, \"fanout_rows\": %llu, "
+      "\"batches\": %llu, "
       "\"color_transitions\": %llu, \"est_rows\": %.3f, \"seconds\": %.9f, "
       "\"children\": [",
       EscapeJson(t.op).c_str(), EscapeJson(t.detail).c_str(),
@@ -92,6 +97,7 @@ void AppendJsonRec(const OpTrace& t, std::string* out) {
       static_cast<unsigned long long>(t.rows_out),
       static_cast<unsigned long long>(t.morsels),
       static_cast<unsigned long long>(t.fanout_rows),
+      static_cast<unsigned long long>(t.batches),
       static_cast<unsigned long long>(t.color_transitions), t.est_rows,
       t.seconds));
   for (size_t i = 0; i < t.children.size(); ++i) {

@@ -35,6 +35,10 @@ struct OpTrace {
   /// Rows driven through the morsel fan-out. Usually rows_in; descendant
   /// expansion drives the scanned descendant stream instead.
   uint64_t fanout_rows = 0;
+  /// Column-batch kernel invocations this operator performed under
+  /// vectorized execution: emit-collection chunks plus gather passes.
+  /// 0 = the operator ran row-at-a-time (or emitted nothing).
+  uint64_t batches = 0;
   /// Color transitions (cross-tree joins) performed by this node.
   uint64_t color_transitions = 0;
   /// Planner cardinality estimate for rows_out (-1 = no plan / not
@@ -137,6 +141,7 @@ class OpScope {
     node_->fanout_rows = fanout_rows;
   }
   void AddColorTransition() { ++node_->color_transitions; }
+  void AddBatches(uint64_t n) { node_->batches += n; }
 
  private:
   QueryTrace* trace_;

@@ -99,6 +99,7 @@ Result<Table> PathStackJoin(MctDatabase* db, ColorId color,
 
   Table out;
   for (int i = 0; i < k; ++i) out.vars.push_back(ColName(pattern, i));
+  out.cols.resize(out.vars.size());
 
   // Streams in pattern order (node 0 is the path root).
   std::vector<std::vector<StreamElem>> streams;
@@ -121,7 +122,7 @@ Result<Table> PathStackJoin(MctDatabase* db, ColorId color,
   std::vector<NodeId> partial(static_cast<size_t>(k));
   auto expand = [&](auto&& self, int level, int max_idx) -> void {
     if (level < 0) {
-      out.rows.push_back(partial);
+      out.AppendRow(partial);
       return;
     }
     for (int idx = 0; idx <= max_idx; ++idx) {
@@ -228,33 +229,54 @@ Result<Table> TwigStackJoin(MctDatabase* db, ColorId color,
         extra_r.push_back(static_cast<int>(j));
       }
     }
-    auto key_of = [](const std::vector<NodeId>& row,
+    auto key_of = [](const Table& t, size_t row,
                      const std::vector<int>& cols) {
       std::string key;
       for (int c : cols) {
-        key.append(reinterpret_cast<const char*>(&row[static_cast<size_t>(c)]),
-                   sizeof(NodeId));
+        NodeId v = t.At(row, c);
+        key.append(reinterpret_cast<const char*>(&v), sizeof(NodeId));
       }
       return key;
     };
-    std::unordered_map<std::string, std::vector<size_t>> ht;
-    for (size_t i = 0; i < right.rows.size(); ++i) {
-      ht[key_of(right.rows[i], shared_r)].push_back(i);
+    std::unordered_map<std::string, std::vector<uint32_t>> ht;
+    for (size_t i = 0; i < right.num_rows(); ++i) {
+      ht[key_of(right, i, shared_r)].push_back(static_cast<uint32_t>(i));
     }
-    Table merged;
-    merged.vars = acc.vars;
+    std::vector<std::string> merged_vars = acc.vars;
     for (int c : extra_r) {
-      merged.vars.push_back(right.vars[static_cast<size_t>(c)]);
+      merged_vars.push_back(right.vars[static_cast<size_t>(c)]);
     }
-    for (const auto& lrow : acc.rows) {
-      auto it = ht.find(key_of(lrow, shared_l));
-      if (it == ht.end()) continue;
-      for (size_t ri : it->second) {
-        std::vector<NodeId> row = lrow;
-        for (int c : extra_r) {
-          row.push_back(right.rows[ri][static_cast<size_t>(c)]);
+    Table merged = Table::WithVars(std::move(merged_vars));
+    if (ctx.batch) {
+      // Collect matching (acc row, right row) pairs, then materialize both
+      // sides with column-at-a-time gathers.
+      std::vector<uint32_t> li, ri;
+      for (size_t i = 0; i < acc.num_rows(); ++i) {
+        auto it = ht.find(key_of(acc, i, shared_l));
+        if (it == ht.end()) continue;
+        for (uint32_t r : it->second) {
+          li.push_back(static_cast<uint32_t>(i));
+          ri.push_back(r);
         }
-        merged.rows.push_back(std::move(row));
+      }
+      const size_t acc_cols = acc.num_cols();
+      Table::GatherInto(acc, li, &merged, 0);
+      // Project the right side down to its extra columns first (a column
+      // move, no cell copies), so the gather touches only those.
+      Table rex = Project(std::move(right), extra_r);
+      Table::GatherInto(rex, ri, &merged, acc_cols);
+    } else {
+      for (size_t i = 0; i < acc.num_rows(); ++i) {
+        auto it = ht.find(key_of(acc, i, shared_l));
+        if (it == ht.end()) continue;
+        std::vector<NodeId> lrow = acc.RowAt(i);
+        for (uint32_t ri : it->second) {
+          std::vector<NodeId> row = lrow;
+          for (int c : extra_r) {
+            row.push_back(right.At(ri, c));
+          }
+          merged.AppendRow(row);
+        }
       }
     }
     acc = std::move(merged);
@@ -264,7 +286,7 @@ Result<Table> TwigStackJoin(MctDatabase* db, ColorId color,
   for (size_t i = 0; i < pattern.nodes.size(); ++i) {
     order.push_back(acc.ColumnOf(ColName(pattern, static_cast<int>(i))));
   }
-  return Project(acc, order);
+  return Project(std::move(acc), order);
 }
 
 }  // namespace mct::query

@@ -10,7 +10,8 @@ Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
                           int num_threads, size_t morsel_size,
                           query::QueryTrace* trace, WalWriter* wal,
                           mcx::AnalyzeMode analyze, mcx::AnalysisReport* check,
-                          bool planner, query::PlanCache* plan_cache) {
+                          bool planner, query::PlanCache* plan_cache,
+                          bool vectorized) {
   QueryRun run;
   mcx::EvalOptions opts;
   opts.default_color = default_color;
@@ -23,6 +24,7 @@ Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
   opts.check = check;
   opts.planner = planner || plan_cache != nullptr;
   opts.plan_cache = plan_cache;
+  opts.vectorized = vectorized;
   mcx::Evaluator ev(db, opts);
   mcx::QueryResult result;
   bool is_update = false;

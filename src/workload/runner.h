@@ -41,7 +41,9 @@ struct QueryRun {
 /// `plan_cache` (implies planner-style session timing) additionally routes
 /// the statement through Evaluator::Run(text), so the measured wall time
 /// covers parse + plan + execute and repeated statements hit the cache —
-/// the workload-session cost the planner bench compares.
+/// the workload-session cost the planner bench compares. `vectorized`
+/// follows EvalOptions::vectorized: false runs the operators' retained
+/// row-at-a-time paths (the --batch A/B baseline); results are identical.
 Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
                           const std::string& text, bool collect_values = false,
                           int num_threads = 1, size_t morsel_size = 1024,
@@ -50,7 +52,8 @@ Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
                           mcx::AnalyzeMode analyze = mcx::AnalyzeMode::kOff,
                           mcx::AnalysisReport* check = nullptr,
                           bool planner = false,
-                          query::PlanCache* plan_cache = nullptr);
+                          query::PlanCache* plan_cache = nullptr,
+                          bool vectorized = true);
 
 }  // namespace mct::workload
 

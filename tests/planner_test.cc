@@ -35,7 +35,8 @@ Result<mcx::QueryResult> RunWith(MctDatabase* db, ColorId default_color,
                                  int threads,
                                  query::PlanCache* cache = nullptr,
                                  std::vector<std::string>* plan_notes = nullptr,
-                                 query::QueryTrace* trace = nullptr) {
+                                 query::QueryTrace* trace = nullptr,
+                                 bool vectorized = true) {
   mcx::EvalOptions o;
   o.default_color = default_color;
   o.num_threads = threads;
@@ -43,6 +44,7 @@ Result<mcx::QueryResult> RunWith(MctDatabase* db, ColorId default_color,
   o.plan_cache = cache;
   o.plan = plan_notes;
   o.trace = trace;
+  o.vectorized = vectorized;
   mcx::Evaluator ev(db, o);
   return ev.Run(text);
 }
@@ -134,6 +136,33 @@ TEST_F(TpcwPlannerDifferential, AllReadStatementsMatchBaseline) {
   }
 }
 
+// Vectorized differential: batch execution must be byte-identical to the
+// retained row-at-a-time paths (the pre-columnar layout's cost profile) for
+// every read statement, every dialect, serial and parallel, planner on/off.
+TEST_F(TpcwPlannerDifferential, VectorizedMatchesRowAtATime) {
+  for (const CatalogQuery& q : TpcwCatalog(*data_)) {
+    if (q.is_update) continue;
+    for (const Dialect& d : DialectsOf(q, mct_, shallow_, deep_)) {
+      for (int threads : kThreadCounts) {
+        for (bool planner : {false, true}) {
+          std::string label = q.id + "/" + d.name + "/t" +
+                              std::to_string(threads) +
+                              (planner ? "/planned" : "/base");
+          auto rows = RunWith(d.db, d.color, *d.text, planner, threads,
+                              nullptr, nullptr, nullptr,
+                              /*vectorized=*/false);
+          auto batch = RunWith(d.db, d.color, *d.text, planner, threads,
+                               nullptr, nullptr, nullptr,
+                               /*vectorized=*/true);
+          ASSERT_TRUE(rows.ok()) << label << ": " << rows.status();
+          ASSERT_TRUE(batch.ok()) << label << ": " << batch.status();
+          ExpectIdenticalItems(*rows, *batch, label);
+        }
+      }
+    }
+  }
+}
+
 TEST_F(TpcwPlannerDifferential, CachedRunsMatchBaseline) {
   query::PlanCache cache;
   for (const CatalogQuery& q : TpcwCatalog(*data_)) {
@@ -196,6 +225,30 @@ TEST_F(SigmodPlannerDifferential, AllReadStatementsMatchBaseline) {
         ASSERT_TRUE(base.ok()) << label << ": " << base.status();
         ASSERT_TRUE(planned.ok()) << label << ": " << planned.status();
         ExpectIdenticalItems(*base, *planned, label);
+      }
+    }
+  }
+}
+
+TEST_F(SigmodPlannerDifferential, VectorizedMatchesRowAtATime) {
+  for (const CatalogQuery& q : SigmodCatalog(*data_)) {
+    if (q.is_update) continue;
+    for (const Dialect& d : DialectsOf(q, mct_, shallow_, deep_)) {
+      for (int threads : kThreadCounts) {
+        for (bool planner : {false, true}) {
+          std::string label = q.id + "/" + d.name + "/t" +
+                              std::to_string(threads) +
+                              (planner ? "/planned" : "/base");
+          auto rows = RunWith(d.db, d.color, *d.text, planner, threads,
+                              nullptr, nullptr, nullptr,
+                              /*vectorized=*/false);
+          auto batch = RunWith(d.db, d.color, *d.text, planner, threads,
+                               nullptr, nullptr, nullptr,
+                               /*vectorized=*/true);
+          ASSERT_TRUE(rows.ok()) << label << ": " << rows.status();
+          ASSERT_TRUE(batch.ok()) << label << ": " << batch.status();
+          ExpectIdenticalItems(*rows, *batch, label);
+        }
       }
     }
   }

@@ -87,8 +87,7 @@ TEST(ExpandTest, DescendantsStep) {
   ExecStats stats;
   Table genres = TagScanTable(f.db.get(), f.red, "$g", "movie-genre", &stats);
   Table sub = FilterRows(
-      genres,
-      [&](const std::vector<NodeId>& r) { return r[0] == f.genre_comedy; },
+      genres, [&](size_t r) { return genres.At(r, 0) == f.genre_comedy; },
       &stats);
   Table movies =
       ExpandDescendants(f.db.get(), sub, 0, f.red, "movie", "$m", &stats);
@@ -128,9 +127,7 @@ TEST(ExpandTest, ParentStep) {
 TEST(ExpandTest, AncestorsStep) {
   MovieDb f = BuildMovieDb();
   ExecStats stats;
-  Table t;
-  t.vars = {"$m"};
-  t.rows = {{f.movie_lights}};
+  Table t = Table::FromNodes("$m", {f.movie_lights});
   Table ancs =
       ExpandAncestors(f.db.get(), t, 0, f.red, "movie-genre", "$g", &stats);
   // Slapstick, Comedy, All.
@@ -179,7 +176,7 @@ TEST(ValueJoinTest, HashJoinOnChildContent) {
       blue_roles, 0, KeySpec::ChildContent(f.blue, "name"), &stats);
   // Each role matches itself (names are unique).
   EXPECT_EQ(joined.num_rows(), 2u);
-  for (const auto& row : joined.rows) EXPECT_EQ(row[0], row[1]);
+  for (const auto& row : joined.ToRows()) EXPECT_EQ(row[0], row[1]);
   EXPECT_EQ(stats.value_joins, 1u);
 }
 
@@ -197,7 +194,7 @@ TEST(ValueJoinTest, IdrefsJoin) {
       IdrefsJoin(f.db.get(), movies, 0, KeySpec::Attr("actorIdRefs"), actors,
                  0, KeySpec::Attr("id"), &stats);
   EXPECT_EQ(joined.num_rows(), 2u);
-  for (const auto& row : joined.rows) {
+  for (const auto& row : joined.ToRows()) {
     if (row[0] == f.movie_eve) {
       EXPECT_EQ(row[1], f.actor_davis);
     }
@@ -215,7 +212,7 @@ TEST(JoinTest, IdentityJoin) {
   Table joined =
       IdentityJoin(f.db.get(), red_movies, 0, green_movies, 0, &stats);
   EXPECT_EQ(joined.num_rows(), 2u);  // Eve, Sunset
-  for (const auto& row : joined.rows) EXPECT_EQ(row[0], row[1]);
+  for (const auto& row : joined.ToRows()) EXPECT_EQ(row[0], row[1]);
 }
 
 TEST(JoinTest, NestedLoopInequality) {
@@ -226,24 +223,22 @@ TEST(JoinTest, NestedLoopInequality) {
   KeySpec votes = KeySpec::ChildContent(f.green, "votes");
   Table joined = NestedLoopJoin(
       f.db.get(), g, g2,
-      [&](const std::vector<NodeId>& l, const std::vector<NodeId>& r) {
-        auto lv = ExtractKey(*f.db, l[0], votes);
-        auto rv = ExtractKey(*f.db, r[0], votes);
+      [&](size_t l, size_t r) {
+        auto lv = ExtractKey(*f.db, g.At(l, 0), votes);
+        auto rv = ExtractKey(*f.db, g2.At(r, 0), votes);
         if (!lv || !rv) return false;
         return *mct::ParseDouble(*lv) > *mct::ParseDouble(*rv);
       },
       &stats);
   // Eve (14) > Sunset (8): exactly one pair.
   ASSERT_EQ(joined.num_rows(), 1u);
-  EXPECT_EQ(joined.rows[0][0], f.movie_eve);
-  EXPECT_EQ(joined.rows[0][1], f.movie_sunset);
+  EXPECT_EQ(joined.At(0, 0), f.movie_eve);
+  EXPECT_EQ(joined.At(0, 1), f.movie_sunset);
   EXPECT_EQ(stats.nested_loop_joins, 1u);
 }
 
 TEST(DupElimTest, RemovesDuplicateProjections) {
-  Table t;
-  t.vars = {"$a", "$b"};
-  t.rows = {{1, 2}, {1, 3}, {1, 2}, {2, 2}};
+  Table t = Table::FromRows({"$a", "$b"}, {{1, 2}, {1, 3}, {1, 2}, {2, 2}});
   ExecStats stats;
   Table d1 = DupElim(t, {0, 1}, &stats);
   EXPECT_EQ(d1.num_rows(), 3u);
@@ -253,12 +248,10 @@ TEST(DupElimTest, RemovesDuplicateProjections) {
 }
 
 TEST(ProjectTest, ReordersColumns) {
-  Table t;
-  t.vars = {"$a", "$b", "$c"};
-  t.rows = {{1, 2, 3}};
+  Table t = Table::FromRows({"$a", "$b", "$c"}, {{1, 2, 3}});
   Table p = Project(t, {2, 0});
   EXPECT_EQ(p.vars, (std::vector<std::string>{"$c", "$a"}));
-  EXPECT_EQ(p.rows[0], (std::vector<NodeId>{3, 1}));
+  EXPECT_EQ(p.RowAt(0), (std::vector<NodeId>{3, 1}));
 }
 
 TEST(SortTest, NumericAndLexicographic) {
@@ -268,13 +261,13 @@ TEST(SortTest, NumericAndLexicographic) {
   KeySpec votes = KeySpec::ChildContent(f.green, "votes");
   Table asc = SortRowsBy(*f.db, movies, 0, votes);
   ASSERT_EQ(asc.num_rows(), 2u);
-  EXPECT_EQ(asc.rows[0][0], f.movie_sunset);  // 8 before 14 numerically
+  EXPECT_EQ(asc.At(0, 0), f.movie_sunset);  // 8 before 14 numerically
   Table desc = SortRowsBy(*f.db, movies, 0, votes, /*descending=*/true);
-  EXPECT_EQ(desc.rows[0][0], f.movie_eve);
+  EXPECT_EQ(desc.At(0, 0), f.movie_eve);
   // Lexicographic on names.
   Table by_name =
       SortRowsBy(*f.db, movies, 0, KeySpec::ChildContent(f.green, "name"));
-  EXPECT_EQ(by_name.rows[0][0], f.movie_eve);  // "All..." < "Sunset..."
+  EXPECT_EQ(by_name.At(0, 0), f.movie_eve);  // "All..." < "Sunset..."
 }
 
 // Property: ExpandDescendants agrees with a naive O(n*m) oracle on random
@@ -297,26 +290,26 @@ TEST_P(StructuralJoinProperty, MatchesNaiveOracle) {
   // Oracle.
   std::multiset<std::pair<NodeId, NodeId>> expect;
   ColoredTree* t = db.tree(c);
-  for (const auto& arow : as.rows) {
-    auto pre = t->PreOrder(arow[0]);
+  for (NodeId a : as.Column(0)) {
+    auto pre = t->PreOrder(a);
     for (NodeId d : pre) {
-      if (d != arow[0] && db.Tag(d) == "b") expect.insert({arow[0], d});
+      if (d != a && db.Tag(d) == "b") expect.insert({a, d});
     }
   }
   std::multiset<std::pair<NodeId, NodeId>> got;
-  for (const auto& row : joined.rows) got.insert({row[0], row[1]});
+  for (const auto& row : joined.ToRows()) got.insert({row[0], row[1]});
   EXPECT_EQ(got, expect);
 
   // Children step also agrees with a direct oracle.
   Table kids = ExpandChildren(&db, as, 0, c, "b", "$b", &stats);
   std::multiset<std::pair<NodeId, NodeId>> expect_kids;
-  for (const auto& arow : as.rows) {
-    for (NodeId k : t->Children(arow[0])) {
-      if (db.Tag(k) == "b") expect_kids.insert({arow[0], k});
+  for (NodeId a : as.Column(0)) {
+    for (NodeId k : t->Children(a)) {
+      if (db.Tag(k) == "b") expect_kids.insert({a, k});
     }
   }
   std::multiset<std::pair<NodeId, NodeId>> got_kids;
-  for (const auto& row : kids.rows) got_kids.insert({row[0], row[1]});
+  for (const auto& row : kids.ToRows()) got_kids.insert({row[0], row[1]});
   EXPECT_EQ(got_kids, expect_kids);
 
   // SemiJoin(b under a-set) == distinct right sides of the descendant join.
@@ -353,7 +346,7 @@ void ExpectParallelMatchesSerial(const Op& op) {
       Table par = op(ExecContext(&par_stats, &pool, morsel));
       EXPECT_EQ(par.vars, serial.vars)
           << "threads=" << threads << " morsel=" << morsel;
-      EXPECT_EQ(par.rows, serial.rows)
+      EXPECT_EQ(par.ToRows(), serial.ToRows())
           << "threads=" << threads << " morsel=" << morsel;
       EXPECT_EQ(par_stats, serial_stats)
           << "threads=" << threads << " morsel=" << morsel;
@@ -409,17 +402,16 @@ TEST(ParallelDeterminismTest, MovieFixtureOperators) {
   ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
     return NestedLoopJoin(
         db, green, green,
-        [&](const std::vector<NodeId>& l, const std::vector<NodeId>& r) {
-          auto lv = ExtractKey(*db, l[0], votes);
-          auto rv = ExtractKey(*db, r[0], votes);
+        [&](size_t l, size_t r) {
+          auto lv = ExtractKey(*db, green.At(l, 0), votes);
+          auto rv = ExtractKey(*db, green.At(r, 0), votes);
           return lv && rv && *lv > *rv;
         },
         ctx);
   });
   ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
     return FilterRows(
-        movies,
-        [&](const std::vector<NodeId>& r) { return r[0] != f.movie_lights; },
+        movies, [&](size_t r) { return movies.At(r, 0) != f.movie_lights; },
         ctx);
   });
   ExpectParallelMatchesSerial([&](const ExecContext& ctx) {
@@ -464,7 +456,7 @@ TEST_P(ParallelDeterminismProperty, RandomTreesByteIdentical) {
   ExecStats s2;
   Table par = ExpandDescendants(&db, as, 0, c, "b", "$b",
                                 ExecContext(&s2, &pool4, 257));
-  EXPECT_EQ(par.rows, serial.rows);
+  EXPECT_EQ(par.ToRows(), serial.ToRows());
   EXPECT_EQ(s1, s2);
 }
 
@@ -513,6 +505,128 @@ TEST(ParallelDeterminismTest, TpcwCatalogEndToEnd) {
             << q.id << " " << d.name << " x" << threads;
         EXPECT_EQ(par->stats, serial->stats)
             << q.id << " " << d.name << " x" << threads;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized vs row-at-a-time differential: the legacy (batch=false) operator
+// paths replay the pre-columnar execution strategy, so they double as the
+// oracle — both modes must emit identical row sequences and identical stats.
+// ---------------------------------------------------------------------------
+
+template <typename Op>
+void ExpectBatchMatchesLegacy(const Op& op) {
+  ExecStats batch_stats;
+  Table batch = op(ExecContext(&batch_stats));
+  ExecStats legacy_stats;
+  ExecContext legacy_ctx(&legacy_stats);
+  legacy_ctx.batch = false;
+  Table legacy = op(legacy_ctx);
+  EXPECT_EQ(batch.vars, legacy.vars);
+  EXPECT_EQ(batch.ToRows(), legacy.ToRows());
+  EXPECT_EQ(batch_stats, legacy_stats);
+}
+
+TEST(VectorizedDifferentialTest, OperatorsMatchRowAtATime) {
+  MovieDb f = BuildMovieDb();
+  ASSERT_TRUE(f.db->SetAttr(f.actor_davis, "id", "a1").ok());
+  ASSERT_TRUE(f.db->SetAttr(f.actor_chaplin, "id", "a2").ok());
+  ASSERT_TRUE(f.db->SetAttr(f.movie_eve, "actorIdRefs", "a1 a2").ok());
+  ASSERT_TRUE(f.db->SetAttr(f.movie_lights, "actorIdRefs", "a2").ok());
+  MctDatabase* db = f.db.get();
+
+  Table movies = TagScanTable(db, f.red, "$m", "movie", nullptr);
+  Table genres = TagScanTable(db, f.red, "$g", "movie-genre", nullptr);
+  Table actors = TagScanTable(db, f.blue, "$a", "actor", nullptr);
+  Table green = TagScanTable(db, f.green, "$m2", "movie", nullptr);
+  KeySpec votes = KeySpec::ChildContent(f.green, "votes");
+
+  ExpectBatchMatchesLegacy([&](const ExecContext& ctx) {
+    return ExpandChildren(db, movies, 0, f.red, "name", "$n", ctx);
+  });
+  ExpectBatchMatchesLegacy([&](const ExecContext& ctx) {
+    return ExpandDescendants(db, genres, 0, f.red, "movie", "$m", ctx);
+  });
+  ExpectBatchMatchesLegacy([&](const ExecContext& ctx) {
+    return ExpandAncestors(db, movies, 0, f.red, "movie-genre", "$g", ctx);
+  });
+  ExpectBatchMatchesLegacy([&](const ExecContext& ctx) {
+    return CrossTreeJoin(db, movies, 0, f.green, ctx);
+  });
+  ExpectBatchMatchesLegacy([&](const ExecContext& ctx) {
+    return HashValueJoin(db, movies, 0, KeySpec::ChildContent(f.red, "name"),
+                         green, 0, KeySpec::ChildContent(f.green, "name"),
+                         ctx);
+  });
+  ExpectBatchMatchesLegacy([&](const ExecContext& ctx) {
+    return IdrefsJoin(db, movies, 0, KeySpec::Attr("actorIdRefs"), actors, 0,
+                      KeySpec::Attr("id"), ctx);
+  });
+  ExpectBatchMatchesLegacy([&](const ExecContext& ctx) {
+    return IdentityJoin(db, movies, 0, green, 0, ctx);
+  });
+  ExpectBatchMatchesLegacy([&](const ExecContext& ctx) {
+    return FilterRows(
+        movies, [&](size_t r) { return movies.At(r, 0) != f.movie_lights; },
+        ctx);
+  });
+  ExpectBatchMatchesLegacy([&](const ExecContext& ctx) {
+    Table t = Table::FromRows({"$a", "$b"}, {{1, 2}, {1, 3}, {1, 2}, {2, 2}});
+    return DupElim(std::move(t), {0, 1}, ctx);
+  });
+  ExpectBatchMatchesLegacy([&](const ExecContext& ctx) {
+    return SortRowsBy(*db, green, 0, votes, /*descending=*/true, ctx);
+  });
+}
+
+// End-to-end A/B: the whole evaluator (planner on and off) must return the
+// same values and stats with vectorized execution disabled.
+TEST(VectorizedDifferentialTest, TpcwCatalogEndToEnd) {
+  using workload::BuildTpcw;
+  using workload::CatalogQuery;
+  using workload::GenerateTpcw;
+  using workload::RunQuery;
+  using workload::SchemaKind;
+  using workload::TpcwScale;
+
+  auto data = GenerateTpcw(TpcwScale::Tiny());
+  auto mct_db = BuildTpcw(data, SchemaKind::kMct);
+  auto shallow_db = BuildTpcw(data, SchemaKind::kShallow);
+  ASSERT_TRUE(mct_db.ok());
+  ASSERT_TRUE(shallow_db.ok());
+
+  for (const CatalogQuery& q : workload::TpcwCatalog(data)) {
+    if (q.is_update) continue;
+    struct Dialect {
+      workload::TpcwDb* db;
+      const std::string* text;
+      const char* name;
+    };
+    Dialect dialects[] = {{&*mct_db, &q.mct, "mct"},
+                          {&*shallow_db, &q.shallow, "shallow"}};
+    for (const Dialect& d : dialects) {
+      if (d.text->empty()) continue;
+      for (bool planner : {false, true}) {
+        auto vec = RunQuery(d.db->db.get(), d.db->default_color(), *d.text,
+                            /*collect_values=*/true, /*num_threads=*/1,
+                            /*morsel_size=*/1024, nullptr, nullptr,
+                            mcx::AnalyzeMode::kOff, nullptr, planner, nullptr,
+                            /*vectorized=*/true);
+        auto row = RunQuery(d.db->db.get(), d.db->default_color(), *d.text,
+                            /*collect_values=*/true, /*num_threads=*/1,
+                            /*morsel_size=*/1024, nullptr, nullptr,
+                            mcx::AnalyzeMode::kOff, nullptr, planner, nullptr,
+                            /*vectorized=*/false);
+        ASSERT_TRUE(vec.ok()) << q.id << " " << d.name;
+        ASSERT_TRUE(row.ok()) << q.id << " " << d.name;
+        EXPECT_EQ(vec->result_count, row->result_count)
+            << q.id << " " << d.name << " planner=" << planner;
+        EXPECT_EQ(vec->values, row->values)
+            << q.id << " " << d.name << " planner=" << planner;
+        EXPECT_EQ(vec->stats, row->stats)
+            << q.id << " " << d.name << " planner=" << planner;
       }
     }
   }

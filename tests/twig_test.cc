@@ -42,7 +42,7 @@ TEST(PathStackTest, SimplePathOnMovieDb) {
   // (Comedy,Lights,Tramp), (Slapstick,Lights,Tramp).
   EXPECT_EQ(t->num_rows(), 5u);
   EXPECT_EQ(stats.structural_joins, 1u);  // one holistic join
-  for (const auto& row : t->rows) {
+  for (const auto& row : t->ToRows()) {
     EXPECT_TRUE(f.db->tree(f.red)->IsAncestor(row[0], row[1]));
     EXPECT_EQ(f.db->tree(f.red)->Parent(row[2]), row[1]);
   }
@@ -97,7 +97,7 @@ TEST(TwigStackTest, BranchingTwigOnMovieDb) {
   ASSERT_TRUE(t.ok()) << t.status();
   // Eve and City Lights have roles; Sunset's role is on the other movie.
   std::set<NodeId> movies;
-  for (const auto& row : t->rows) movies.insert(row[0]);
+  for (NodeId m2 : t->Column(0)) movies.insert(m2);
   EXPECT_EQ(movies, (std::set<NodeId>{f.movie_eve, f.movie_lights}));
 }
 
@@ -135,9 +135,10 @@ TEST_P(TwigProperty, AgreesWithBinaryJoinPlans) {
               : ExpandDescendants(&db, bin, static_cast<int>(i) - 1, c, n.tag,
                                   "#" + std::to_string(i), nullptr);
   }
-  std::multiset<std::vector<NodeId>> expect(bin.rows.begin(), bin.rows.end());
-  std::multiset<std::vector<NodeId>> got(holistic->rows.begin(),
-                                         holistic->rows.end());
+  auto bin_rows = bin.ToRows();
+  auto hol_rows = holistic->ToRows();
+  std::multiset<std::vector<NodeId>> expect(bin_rows.begin(), bin_rows.end());
+  std::multiset<std::vector<NodeId>> got(hol_rows.begin(), hol_rows.end());
   EXPECT_EQ(got.size(), expect.size());
   EXPECT_TRUE(got == expect);
 
@@ -156,9 +157,10 @@ TEST_P(TwigProperty, AgreesWithBinaryJoinPlans) {
                       : ExpandDescendants(&db, bt, 0, c, n.tag,
                                           "#" + std::to_string(i), nullptr);
   }
-  std::multiset<std::vector<NodeId>> bexpect(bt.rows.begin(), bt.rows.end());
-  std::multiset<std::vector<NodeId>> bgot(twig->rows.begin(),
-                                          twig->rows.end());
+  auto bt_rows = bt.ToRows();
+  auto twig_rows = twig->ToRows();
+  std::multiset<std::vector<NodeId>> bexpect(bt_rows.begin(), bt_rows.end());
+  std::multiset<std::vector<NodeId>> bgot(twig_rows.begin(), twig_rows.end());
   EXPECT_TRUE(bgot == bexpect)
       << "twig " << bgot.size() << " vs binary " << bexpect.size();
 }
