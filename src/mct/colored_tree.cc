@@ -26,16 +26,26 @@ static_assert(sizeof(DiskStructRecord) == 48);
 }  // namespace
 
 ColoredTree::ColoredTree(ColorId color, StorageEnv* env)
-    : color_(color), struct_file_(env->pool(), sizeof(DiskStructRecord)) {}
+    : color_(color),
+      struct_file_(
+          std::make_shared<RecordFile>(env->pool(), sizeof(DiskStructRecord))) {
+}
+
+ColoredTree::ColoredTree(const ColoredTree& o, bool write_through)
+    : color_(o.color_),
+      root_(o.root_),
+      nodes_(o.nodes_),
+      struct_file_(o.struct_file_),
+      write_through_(write_through),
+      labels_dirty_(o.labels_dirty_) {}
 
 Status ColoredTree::SetRoot(NodeId node) {
   if (root_ != kInvalidNodeId) {
     return Status::AlreadyExists("colored tree already has a root");
   }
   root_ = node;
-  StructNode sn;
+  StructNode& sn = nodes_.Put(node);
   sn.level = 0;
-  nodes_.emplace(node, sn);
   MCT_RETURN_IF_ERROR(AppendStructRecord(node));
   labels_dirty_ = true;
   return Status::OK();
@@ -46,26 +56,26 @@ Status ColoredTree::AppendChild(NodeId parent, NodeId child) {
 }
 
 Status ColoredTree::InsertChild(NodeId parent, NodeId child, NodeId before) {
-  if (!nodes_.contains(parent)) {
+  if (!nodes_.Contains(parent)) {
     return Status::NotFound(
         StrFormat("parent node %u is not in colored tree %u", parent, color_));
   }
-  if (nodes_.contains(child)) {
+  if (nodes_.Contains(child)) {
     // A node can appear at most once in any colored tree; MCXQuery turns
     // this into its dynamic error (Section 4.2).
     return Status::AlreadyExists(
         StrFormat("node %u already occurs in colored tree %u", child, color_));
   }
   if (before != kInvalidNodeId) {
-    auto it = nodes_.find(before);
-    if (it == nodes_.end() || it->second.parent != parent) {
+    const StructNode* b = nodes_.Find(before);
+    if (b == nullptr || b->parent != parent) {
       return Status::InvalidArgument("'before' is not a child of 'parent'");
     }
   }
-  StructNode sn;
+  uint32_t parent_level = nodes_.At(parent).level;
+  StructNode& sn = nodes_.Put(child);
   sn.parent = parent;
-  sn.level = nodes_[parent].level + 1;
-  nodes_.emplace(child, sn);
+  sn.level = parent_level + 1;
   MCT_RETURN_IF_ERROR(LinkChild(parent, child, before));
   MCT_RETURN_IF_ERROR(AppendStructRecord(child));
   if (!labels_dirty_) TryGapLabel(child);
@@ -73,125 +83,138 @@ Status ColoredTree::InsertChild(NodeId parent, NodeId child, NodeId before) {
 }
 
 Status ColoredTree::LinkChild(NodeId parent, NodeId child, NodeId before) {
-  StructNode& p = nodes_[parent];
-  StructNode& c = nodes_[child];
+  // Mut() may copy the chunk another reference points into, so sibling and
+  // parent fields are updated one Mut at a time, never holding two
+  // references at once.
   if (before == kInvalidNodeId) {
-    c.prev_sibling = p.last_child;
-    if (p.last_child != kInvalidNodeId) {
-      nodes_[p.last_child].next_sibling = child;
-      MCT_RETURN_IF_ERROR(WriteStructRecord(p.last_child));
+    NodeId last = nodes_.At(parent).last_child;
+    nodes_.Mut(child).prev_sibling = last;
+    if (last != kInvalidNodeId) {
+      nodes_.Mut(last).next_sibling = child;
+      MCT_RETURN_IF_ERROR(WriteStructRecord(last));
     } else {
-      p.first_child = child;
+      nodes_.Mut(parent).first_child = child;
     }
-    p.last_child = child;
+    nodes_.Mut(parent).last_child = child;
   } else {
-    StructNode& b = nodes_[before];
-    c.next_sibling = before;
-    c.prev_sibling = b.prev_sibling;
-    if (b.prev_sibling != kInvalidNodeId) {
-      nodes_[b.prev_sibling].next_sibling = child;
-      MCT_RETURN_IF_ERROR(WriteStructRecord(b.prev_sibling));
-    } else {
-      p.first_child = child;
+    NodeId prev = nodes_.At(before).prev_sibling;
+    {
+      StructNode& c = nodes_.Mut(child);
+      c.next_sibling = before;
+      c.prev_sibling = prev;
     }
-    b.prev_sibling = child;
+    if (prev != kInvalidNodeId) {
+      nodes_.Mut(prev).next_sibling = child;
+      MCT_RETURN_IF_ERROR(WriteStructRecord(prev));
+    } else {
+      nodes_.Mut(parent).first_child = child;
+    }
+    nodes_.Mut(before).prev_sibling = child;
     MCT_RETURN_IF_ERROR(WriteStructRecord(before));
   }
   return WriteStructRecord(parent);
 }
 
 void ColoredTree::TryGapLabel(NodeId node) {
-  StructNode& c = nodes_[node];
-  const StructNode& p = nodes_[c.parent];
-  uint64_t lo = (c.prev_sibling != kInvalidNodeId) ? nodes_[c.prev_sibling].end
-                                                   : p.start;
+  const StructNode& c = nodes_.At(node);
+  const StructNode& p = nodes_.At(c.parent);
+  uint64_t lo = (c.prev_sibling != kInvalidNodeId)
+                    ? nodes_.At(c.prev_sibling).end
+                    : p.start;
   uint64_t hi = (c.next_sibling != kInvalidNodeId)
-                    ? nodes_[c.next_sibling].start
+                    ? nodes_.At(c.next_sibling).start
                     : p.end;
   if (hi <= lo || hi - lo < 3) {
     labels_dirty_ = true;
     return;
   }
   uint64_t third = (hi - lo) / 3;
-  c.start = lo + third;
-  c.end = lo + 2 * third;
+  {
+    StructNode& m = nodes_.Mut(node);
+    m.start = lo + third;
+    m.end = lo + 2 * third;
+  }
   Status s = WriteStructRecord(node);
   (void)s;
 }
 
 Status ColoredTree::DetachSubtree(NodeId node, std::vector<NodeId>* removed) {
-  auto it = nodes_.find(node);
-  if (it == nodes_.end()) {
+  const StructNode* it = nodes_.Find(node);
+  if (it == nullptr) {
     return Status::NotFound(
         StrFormat("node %u is not in colored tree %u", node, color_));
   }
   if (node == root_) {
     return Status::InvalidArgument("cannot detach the document root");
   }
-  // Unlink from parent / siblings.
-  StructNode& c = it->second;
-  StructNode& p = nodes_[c.parent];
-  if (c.prev_sibling != kInvalidNodeId) {
-    nodes_[c.prev_sibling].next_sibling = c.next_sibling;
-    MCT_RETURN_IF_ERROR(WriteStructRecord(c.prev_sibling));
+  // Unlink from parent / siblings (values copied out first; Mut may move
+  // the chunk the last reference pointed into).
+  NodeId parent = it->parent;
+  NodeId prev = it->prev_sibling;
+  NodeId next = it->next_sibling;
+  if (prev != kInvalidNodeId) {
+    nodes_.Mut(prev).next_sibling = next;
+    MCT_RETURN_IF_ERROR(WriteStructRecord(prev));
   } else {
-    p.first_child = c.next_sibling;
+    nodes_.Mut(parent).first_child = next;
   }
-  if (c.next_sibling != kInvalidNodeId) {
-    nodes_[c.next_sibling].prev_sibling = c.prev_sibling;
-    MCT_RETURN_IF_ERROR(WriteStructRecord(c.next_sibling));
+  if (next != kInvalidNodeId) {
+    nodes_.Mut(next).prev_sibling = prev;
+    MCT_RETURN_IF_ERROR(WriteStructRecord(next));
   } else {
-    p.last_child = c.prev_sibling;
+    nodes_.Mut(parent).last_child = prev;
   }
-  MCT_RETURN_IF_ERROR(WriteStructRecord(c.parent));
-  // Remove the whole subtree from the member map.
+  MCT_RETURN_IF_ERROR(WriteStructRecord(parent));
+  // Remove the whole subtree from the member set.
   std::vector<NodeId> stack{node};
   while (!stack.empty()) {
     NodeId n = stack.back();
     stack.pop_back();
     removed->push_back(n);
-    const StructNode& sn = nodes_[n];
-    // Tombstone the backing record.
-    DiskStructRecord dead{};
-    dead.node = kInvalidNodeId;
-    MCT_RETURN_IF_ERROR(struct_file_.Write(sn.file_index, &dead));
+    const StructNode& sn = nodes_.At(n);
+    if (write_through_) {
+      // Tombstone the backing record.
+      DiskStructRecord dead{};
+      dead.node = kInvalidNodeId;
+      MCT_RETURN_IF_ERROR(struct_file_->Write(sn.file_index, &dead));
+    }
     for (NodeId ch = sn.first_child; ch != kInvalidNodeId;
-         ch = nodes_[ch].next_sibling) {
+         ch = nodes_.At(ch).next_sibling) {
       stack.push_back(ch);
     }
   }
-  for (NodeId n : *removed) nodes_.erase(n);
+  for (NodeId n : *removed) nodes_.Erase(n);
   // Remaining labels stay mutually consistent after a detach (pre-order
   // event numbers of survivors keep their relative order), so no relabel.
   return Status::OK();
 }
 
 NodeId ColoredTree::Parent(NodeId node) const {
-  auto it = nodes_.find(node);
-  return it == nodes_.end() ? kInvalidNodeId : it->second.parent;
+  const StructNode* sn = nodes_.Find(node);
+  return sn == nullptr ? kInvalidNodeId : sn->parent;
 }
 
 NodeId ColoredTree::FirstChild(NodeId node) const {
-  auto it = nodes_.find(node);
-  return it == nodes_.end() ? kInvalidNodeId : it->second.first_child;
+  const StructNode* sn = nodes_.Find(node);
+  return sn == nullptr ? kInvalidNodeId : sn->first_child;
 }
 
 NodeId ColoredTree::NextSibling(NodeId node) const {
-  auto it = nodes_.find(node);
-  return it == nodes_.end() ? kInvalidNodeId : it->second.next_sibling;
+  const StructNode* sn = nodes_.Find(node);
+  return sn == nullptr ? kInvalidNodeId : sn->next_sibling;
 }
 
 NodeId ColoredTree::PrevSibling(NodeId node) const {
-  auto it = nodes_.find(node);
-  return it == nodes_.end() ? kInvalidNodeId : it->second.prev_sibling;
+  const StructNode* sn = nodes_.Find(node);
+  return sn == nullptr ? kInvalidNodeId : sn->prev_sibling;
 }
 
 std::vector<NodeId> ColoredTree::Children(NodeId node) const {
   std::vector<NodeId> out;
-  auto it = nodes_.find(node);
-  if (it == nodes_.end()) return out;
-  for (NodeId c = it->second.first_child; c != kInvalidNodeId;
-       c = nodes_.at(c).next_sibling) {
+  const StructNode* sn = nodes_.Find(node);
+  if (sn == nullptr) return out;
+  for (NodeId c = sn->first_child; c != kInvalidNodeId;
+       c = nodes_.At(c).next_sibling) {
     out.push_back(c);
   }
   return out;
@@ -201,13 +224,13 @@ std::vector<NodeId> ColoredTree::PreOrder() const { return PreOrder(root_); }
 
 std::vector<NodeId> ColoredTree::PreOrder(NodeId node) const {
   std::vector<NodeId> out;
-  if (!nodes_.contains(node)) return out;
-  out.reserve(nodes_.size());
+  if (!nodes_.Contains(node)) return out;
+  out.reserve(nodes_.count());
   // Iterative pre-order using first_child / next_sibling.
   NodeId cur = node;
   while (cur != kInvalidNodeId) {
     out.push_back(cur);
-    const StructNode& sn = nodes_.at(cur);
+    const StructNode& sn = nodes_.At(cur);
     if (sn.first_child != kInvalidNodeId) {
       cur = sn.first_child;
       continue;
@@ -216,7 +239,7 @@ std::vector<NodeId> ColoredTree::PreOrder(NodeId node) const {
     NodeId climb = cur;
     cur = kInvalidNodeId;
     while (climb != node) {
-      const StructNode& csn = nodes_.at(climb);
+      const StructNode& csn = nodes_.At(climb);
       if (csn.next_sibling != kInvalidNodeId) {
         cur = csn.next_sibling;
         break;
@@ -229,25 +252,25 @@ std::vector<NodeId> ColoredTree::PreOrder(NodeId node) const {
 
 uint64_t ColoredTree::Start(NodeId node) {
   EnsureLabels();
-  return nodes_.at(node).start;
+  return nodes_.At(node).start;
 }
 
 uint64_t ColoredTree::End(NodeId node) {
   EnsureLabels();
-  return nodes_.at(node).end;
+  return nodes_.At(node).end;
 }
 
 uint32_t ColoredTree::Level(NodeId node) {
   EnsureLabels();
-  return nodes_.at(node).level;
+  return nodes_.At(node).level;
 }
 
 bool ColoredTree::IsAncestor(NodeId anc, NodeId desc) {
   EnsureLabels();
-  auto a = nodes_.find(anc);
-  auto d = nodes_.find(desc);
-  if (a == nodes_.end() || d == nodes_.end()) return false;
-  return a->second.start < d->second.start && d->second.end < a->second.end;
+  const StructNode* a = nodes_.Find(anc);
+  const StructNode* d = nodes_.Find(desc);
+  if (a == nullptr || d == nullptr) return false;
+  return a->start < d->start && d->end < a->end;
 }
 
 void ColoredTree::EnsureLabels() {
@@ -268,24 +291,25 @@ void ColoredTree::Relabel() {
   std::vector<Frame> stack{{root_, false}};
   while (!stack.empty()) {
     Frame& f = stack.back();
-    StructNode& sn = nodes_[f.node];
     if (!f.entered) {
       f.entered = true;
+      NodeId parent = nodes_.At(f.node).parent;
+      uint32_t level =
+          (parent == kInvalidNodeId) ? 0 : nodes_.At(parent).level + 1;
+      StructNode& sn = nodes_.Mut(f.node);
       sn.start = (++event) * kLabelGap;
-      sn.level = (sn.parent == kInvalidNodeId)
-                     ? 0
-                     : nodes_[sn.parent].level + 1;
+      sn.level = level;
       // Push children in reverse so the leftmost is processed first.
       std::vector<NodeId> kids;
       for (NodeId c = sn.first_child; c != kInvalidNodeId;
-           c = nodes_[c].next_sibling) {
+           c = nodes_.At(c).next_sibling) {
         kids.push_back(c);
       }
       for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
         stack.push_back({*it, false});
       }
     } else {
-      sn.end = (++event) * kLabelGap;
+      nodes_.Mut(f.node).end = (++event) * kLabelGap;
       Status s = WriteStructRecord(f.node);
       (void)s;
       stack.pop_back();
@@ -295,7 +319,8 @@ void ColoredTree::Relabel() {
 }
 
 Status ColoredTree::WriteStructRecord(NodeId node) {
-  const StructNode& sn = nodes_.at(node);
+  if (!write_through_) return Status::OK();
+  const StructNode& sn = nodes_.At(node);
   DiskStructRecord rec{node,
                        sn.parent,
                        sn.first_child,
@@ -306,11 +331,13 @@ Status ColoredTree::WriteStructRecord(NodeId node) {
                        sn.end,
                        sn.level,
                        0};
-  return struct_file_.Write(sn.file_index, &rec);
+  if (sn.file_index >= struct_file_->num_records()) return Status::OK();
+  return struct_file_->Write(sn.file_index, &rec);
 }
 
 Status ColoredTree::AppendStructRecord(NodeId node) {
-  StructNode& sn = nodes_[node];
+  if (!write_through_) return Status::OK();
+  const StructNode& sn = nodes_.At(node);
   DiskStructRecord rec{node,
                        sn.parent,
                        sn.first_child,
@@ -321,7 +348,8 @@ Status ColoredTree::AppendStructRecord(NodeId node) {
                        sn.end,
                        sn.level,
                        0};
-  MCT_ASSIGN_OR_RETURN(sn.file_index, struct_file_.Append(&rec));
+  MCT_ASSIGN_OR_RETURN(uint64_t idx, struct_file_->Append(&rec));
+  nodes_.Mut(node).file_index = idx;
   return Status::OK();
 }
 

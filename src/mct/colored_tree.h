@@ -12,15 +12,29 @@
 // Labels give O(1) ancestor/descendant tests and the per-color *local
 // document order* (Section 3.1), which is what the structural join
 // operators sort-merge on.
+//
+// MVCC (DESIGN.md §14): structural records live in a CowChunkVector keyed
+// by NodeId with engagement = tree membership, so a snapshot clone shares
+// every 64-node chunk a later commit does not touch. This is the
+// "copy-on-write at the structural-node level" of the MVCC design — a
+// commit that inserts under one parent privatizes only the chunks holding
+// that parent, its neighbors, and the new node. The backing record file is
+// shared across the lineage and written only when write_through is set.
+//
+// CowChunkVector references are stable only until the next Put/Mut/Erase
+// on the same instance (which may copy the chunk they point into), so the
+// implementation re-acquires after every mutating call instead of holding
+// references across them.
 
 #ifndef COLORFUL_XML_MCT_COLORED_TREE_H_
 #define COLORFUL_XML_MCT_COLORED_TREE_H_
 
 #include <cassert>
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
+#include "common/cow.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "mct/color.h"
@@ -42,6 +56,10 @@ class ColoredTree {
  public:
   ColoredTree(ColorId color, StorageEnv* env);
 
+  /// COW clone: shares every structural chunk and the backing record file
+  /// with `o`. Detached clones (write_through false) never write the file.
+  ColoredTree(const ColoredTree& o, bool write_through);
+
   ColoredTree(const ColoredTree&) = delete;
   ColoredTree& operator=(const ColoredTree&) = delete;
 
@@ -53,7 +71,7 @@ class ColoredTree {
   NodeId root() const { return root_; }
 
   /// True when `node` participates in this colored tree.
-  bool Contains(NodeId node) const { return nodes_.contains(node); }
+  bool Contains(NodeId node) const { return nodes_.Contains(node); }
 
   /// Appends `child` as the last child of `parent`.
   /// AlreadyExists when `child` is already in this tree — the hook for
@@ -78,19 +96,18 @@ class ColoredTree {
   std::vector<NodeId> Children(NodeId node) const;
 
   /// Visits children in order without materializing a vector (hot path for
-  /// per-row predicate evaluation). Exactly one hash lookup per child: the
-  /// sibling link is read from that lookup before `fn` runs, instead of a
-  /// second bounds-checked nodes_.at() to advance.
+  /// per-row predicate evaluation). Exactly one chunk probe per child: the
+  /// sibling link is read from that probe before `fn` runs.
   template <typename Fn>
   void ForEachChild(NodeId node, Fn&& fn) const {
-    auto it = nodes_.find(node);
-    if (it == nodes_.end()) return;
+    const StructNode* sn = nodes_.Find(node);
+    if (sn == nullptr) return;
     uint64_t visited = 0;
-    NodeId c = it->second.first_child;
+    NodeId c = sn->first_child;
     while (c != kInvalidNodeId) {
-      auto cit = nodes_.find(c);
-      assert(cit != nodes_.end());
-      NodeId next = cit->second.next_sibling;
+      const StructNode* cn = nodes_.Find(c);
+      assert(cn != nullptr);
+      NodeId next = cn->next_sibling;
       ++visited;
       fn(c);
       c = next;
@@ -115,32 +132,35 @@ class ColoredTree {
 
   uint64_t Start(NodeId node) const {
     assert(!labels_dirty_);
-    return nodes_.at(node).start;
+    return nodes_.At(node).start;
   }
   uint64_t End(NodeId node) const {
     assert(!labels_dirty_);
-    return nodes_.at(node).end;
+    return nodes_.At(node).end;
   }
   uint32_t Level(NodeId node) const {
     assert(!labels_dirty_);
-    return nodes_.at(node).level;
+    return nodes_.At(node).level;
   }
   bool IsAncestor(NodeId anc, NodeId desc) const {
     assert(!labels_dirty_);
-    auto a = nodes_.find(anc);
-    auto d = nodes_.find(desc);
-    if (a == nodes_.end() || d == nodes_.end()) return false;
-    return a->second.start < d->second.start && d->second.end < a->second.end;
+    const StructNode* a = nodes_.Find(anc);
+    const StructNode* d = nodes_.Find(desc);
+    if (a == nullptr || d == nullptr) return false;
+    return a->start < d->start && d->end < a->end;
   }
 
   /// Relabels now if dirty (updates fold this into their measured cost).
   void EnsureLabels();
   bool labels_dirty() const { return labels_dirty_; }
 
-  size_t size() const { return nodes_.size(); }
+  size_t size() const { return nodes_.count(); }
 
   /// Bytes of the backing structural record file.
-  uint64_t FileBytes() const { return struct_file_.SizeBytes(); }
+  uint64_t FileBytes() const { return struct_file_->SizeBytes(); }
+
+  /// COW chunks resident in this version (for the leak test baseline).
+  size_t ResidentChunks() const { return nodes_.num_chunks(); }
 
  private:
   struct StructNode {
@@ -168,8 +188,9 @@ class ColoredTree {
 
   ColorId color_;
   NodeId root_ = kInvalidNodeId;
-  std::unordered_map<NodeId, StructNode> nodes_;
-  RecordFile struct_file_;
+  CowChunkVector<StructNode> nodes_;
+  std::shared_ptr<RecordFile> struct_file_;
+  bool write_through_ = true;
   bool labels_dirty_ = true;
 };
 

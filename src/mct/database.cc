@@ -12,12 +12,37 @@ MctDatabase::MctDatabase() : MctDatabase(StorageEnv::CreateInMemory()) {}
 MctDatabase::MctDatabase(std::unique_ptr<StorageEnv> env)
     : env_(std::move(env)),
       store_(env_.get()),
-      tag_index_(env_->pool()),
-      content_index_(env_->pool()),
-      attr_index_(env_->pool()) {
+      tag_index_(std::make_shared<BPlusTree>(env_->pool())),
+      content_index_(std::make_shared<BPlusTree>(env_->pool())),
+      attr_index_(std::make_shared<BPlusTree>(env_->pool())),
+      tag_image_(std::make_shared<IndexMap>()),
+      content_image_(std::make_shared<IndexMap>()),
+      attr_image_(std::make_shared<IndexMap>()) {
   auto doc = store_.CreateNode(xml::NodeKind::kDocument, "#document");
   assert(doc.ok());
   document_ = *doc;
+}
+
+MctDatabase::MctDatabase(const MctDatabase& o, bool write_through)
+    : env_(o.env_),
+      store_(o.store_, write_through),
+      colors_(o.colors_),
+      document_(o.document_),
+      tag_index_(o.tag_index_),
+      content_index_(o.content_index_),
+      attr_index_(o.attr_index_),
+      tag_image_(o.tag_image_),
+      content_image_(o.content_image_),
+      attr_image_(o.attr_image_),
+      write_through_(write_through) {
+  trees_.reserve(o.trees_.size());
+  for (const auto& t : o.trees_) {
+    trees_.push_back(std::make_unique<ColoredTree>(*t, write_through));
+  }
+}
+
+std::unique_ptr<MctDatabase> MctDatabase::CowClone(bool write_through) const {
+  return std::unique_ptr<MctDatabase>(new MctDatabase(*this, write_through));
 }
 
 MctDatabase::~MctDatabase() = default;
@@ -30,6 +55,42 @@ uint32_t MctDatabase::HashValue(std::string_view s) {
     h *= 16777619u;
   }
   return h;
+}
+
+void MctDatabase::ImageInsert(std::shared_ptr<IndexMap>* image, uint64_t key,
+                              NodeId n) {
+  if (image->use_count() > 1) {
+    *image = std::make_shared<IndexMap>(**image);
+  }
+  PostingList& slot = (**image)[key];
+  auto next = slot == nullptr ? std::make_shared<std::vector<NodeId>>()
+                              : std::make_shared<std::vector<NodeId>>(*slot);
+  auto it = std::lower_bound(next->begin(), next->end(), n);
+  if (it == next->end() || *it != n) next->insert(it, n);
+  slot = std::move(next);
+}
+
+void MctDatabase::ImageErase(std::shared_ptr<IndexMap>* image, uint64_t key,
+                             NodeId n) {
+  if (image->use_count() > 1) {
+    *image = std::make_shared<IndexMap>(**image);
+  }
+  auto f = (*image)->find(key);
+  if (f == (*image)->end()) return;
+  auto next = std::make_shared<std::vector<NodeId>>(*f->second);
+  auto it = std::lower_bound(next->begin(), next->end(), n);
+  if (it != next->end() && *it == n) next->erase(it);
+  if (next->empty()) {
+    (*image)->erase(f);
+  } else {
+    f->second = std::move(next);
+  }
+}
+
+const std::vector<NodeId>* MctDatabase::ImageFind(const IndexMap& image,
+                                                  uint64_t key) {
+  auto it = image.find(key);
+  return it == image.end() ? nullptr : it->second.get();
 }
 
 Result<ColorId> MctDatabase::RegisterColor(std::string_view name) {
@@ -60,11 +121,42 @@ Status MctDatabase::AddNodeColor(NodeId node, ColorId color, NodeId parent,
   if (color >= trees_.size()) {
     return Status::InvalidArgument("unregistered color");
   }
+  bool first_color = store_.Colors(node).empty();
   MCT_RETURN_IF_ERROR(trees_[color]->InsertChild(parent, node, before));
   store_.AddColor(node, color);
   if (store_.Kind(node) == xml::NodeKind::kElement) {
-    MCT_RETURN_IF_ERROR(tag_index_.Insert(
-        IndexKey::Make(color, store_.Name(node), 0, node), node));
+    ImageInsert(&tag_image_, TagKey(color, store_.Name(node)), node);
+    if (write_through_) {
+      // Accounting mirror; a discarded trial clone can leave stale entries
+      // behind, so B+Tree maintenance tolerates conflicts.
+      Status s = tag_index_->Insert(
+          IndexKey::Make(color, store_.Name(node), 0, node), node);
+      (void)s;
+    }
+  }
+  if (first_color) {
+    // The node enters the database: its content and attribute values
+    // become index-visible.
+    if (store_.HasContent(node)) {
+      ImageInsert(&content_image_,
+                  ValueKey(store_.Name(node), HashValue(store_.Content(node))),
+                  node);
+      if (write_through_) {
+        Status s = content_index_->Insert(
+            IndexKey::Make(store_.Name(node), HashValue(store_.Content(node)),
+                           0, node),
+            node);
+        (void)s;
+      }
+    }
+    for (const NodeAttr& a : store_.Attrs(node)) {
+      ImageInsert(&attr_image_, ValueKey(a.name, HashValue(a.value)), node);
+      if (write_through_) {
+        Status s = attr_index_->Insert(
+            IndexKey::Make(a.name, HashValue(a.value), 0, node), node);
+        (void)s;
+      }
+    }
   }
   return Status::OK();
 }
@@ -78,21 +170,33 @@ Status MctDatabase::RemoveNodeColor(NodeId node, ColorId color) {
   for (NodeId n : removed) {
     store_.RemoveColor(n, color);
     if (store_.Kind(n) == xml::NodeKind::kElement) {
-      MCT_RETURN_IF_ERROR(
-          tag_index_.Delete(IndexKey::Make(color, store_.Name(n), 0, n), n));
+      ImageErase(&tag_image_, TagKey(color, store_.Name(n)), n);
+      if (write_through_) {
+        Status s =
+            tag_index_->Delete(IndexKey::Make(color, store_.Name(n), 0, n), n);
+        (void)s;
+      }
     }
     if (store_.Colors(n).empty()) {
       // Last color gone: the node leaves the database entirely.
       if (store_.HasContent(n)) {
-        Status s = content_index_.Delete(
-            IndexKey::Make(store_.Name(n), HashValue(store_.Content(n)), 0, n),
-            n);
-        (void)s;  // absent for non-element content carriers
+        ImageErase(&content_image_,
+                   ValueKey(store_.Name(n), HashValue(store_.Content(n))), n);
+        if (write_through_) {
+          Status s = content_index_->Delete(
+              IndexKey::Make(store_.Name(n), HashValue(store_.Content(n)), 0,
+                             n),
+              n);
+          (void)s;  // absent for non-element content carriers
+        }
       }
       for (const NodeAttr& a : store_.Attrs(n)) {
-        Status s = attr_index_.Delete(
-            IndexKey::Make(a.name, HashValue(a.value), 0, n), n);
-        (void)s;
+        ImageErase(&attr_image_, ValueKey(a.name, HashValue(a.value)), n);
+        if (write_through_) {
+          Status s = attr_index_->Delete(
+              IndexKey::Make(a.name, HashValue(a.value), 0, n), n);
+          (void)s;
+        }
       }
       store_.MarkDead(n);
     }
@@ -101,28 +205,55 @@ Status MctDatabase::RemoveNodeColor(NodeId node, ColorId color) {
 }
 
 Status MctDatabase::SetContent(NodeId node, std::string_view text) {
-  if (store_.HasContent(node)) {
-    MCT_RETURN_IF_ERROR(content_index_.Delete(
-        IndexKey::Make(store_.Name(node), HashValue(store_.Content(node)), 0,
-                       node),
-        node));
+  bool indexed = Indexed(node);
+  if (indexed && store_.HasContent(node)) {
+    ImageErase(&content_image_,
+               ValueKey(store_.Name(node), HashValue(store_.Content(node))),
+               node);
+    if (write_through_) {
+      Status s = content_index_->Delete(
+          IndexKey::Make(store_.Name(node), HashValue(store_.Content(node)), 0,
+                         node),
+          node);
+      (void)s;
+    }
   }
   MCT_RETURN_IF_ERROR(store_.SetContent(node, text));
-  return content_index_.Insert(
-      IndexKey::Make(store_.Name(node), HashValue(text), 0, node), node);
+  if (indexed) {
+    ImageInsert(&content_image_, ValueKey(store_.Name(node), HashValue(text)),
+                node);
+    if (write_through_) {
+      Status s = content_index_->Insert(
+          IndexKey::Make(store_.Name(node), HashValue(text), 0, node), node);
+      (void)s;
+    }
+  }
+  return Status::OK();
 }
 
 Status MctDatabase::SetAttr(NodeId node, std::string_view name,
                             std::string_view value) {
+  bool indexed = Indexed(node);
   const std::string* old = store_.FindAttr(node, name);
   NameId name_id = store_.mutable_names()->Intern(name);
-  if (old != nullptr) {
-    MCT_RETURN_IF_ERROR(attr_index_.Delete(
-        IndexKey::Make(name_id, HashValue(*old), 0, node), node));
+  if (indexed && old != nullptr) {
+    ImageErase(&attr_image_, ValueKey(name_id, HashValue(*old)), node);
+    if (write_through_) {
+      Status s = attr_index_->Delete(
+          IndexKey::Make(name_id, HashValue(*old), 0, node), node);
+      (void)s;
+    }
   }
   MCT_RETURN_IF_ERROR(store_.SetAttr(node, name, value));
-  return attr_index_.Insert(
-      IndexKey::Make(name_id, HashValue(value), 0, node), node);
+  if (indexed) {
+    ImageInsert(&attr_image_, ValueKey(name_id, HashValue(value)), node);
+    if (write_through_) {
+      Status s = attr_index_->Insert(
+          IndexKey::Make(name_id, HashValue(value), 0, node), node);
+      (void)s;
+    }
+  }
+  return Status::OK();
 }
 
 std::optional<NodeId> MctDatabase::Parent(NodeId node, ColorId color) const {
@@ -164,15 +295,13 @@ std::vector<NodeId> MctDatabase::TagScan(ColorId color, std::string_view tag) {
   std::vector<NodeId> out;
   NameId tag_id = store_.names().Lookup(tag);
   if (tag_id == kInvalidNameId || color >= trees_.size()) return out;
-  auto it = tag_index_.Seek(IndexKey::Make(color, tag_id, 0, 0));
-  if (!it.ok()) return out;
-  while (it->Valid() && it->key().k[0] == color && it->key().k[1] == tag_id) {
-    out.push_back(static_cast<NodeId>(it->value()));
-    if (!it->Next().ok()) break;
-  }
-  // Index order is by node id (stable under relabeling); re-establish the
+  const std::vector<NodeId>* list =
+      ImageFind(*tag_image_, TagKey(color, tag_id));
+  if (list == nullptr) return out;
+  out = *list;
+  // Posting order is by node id (stable under relabeling); re-establish the
   // local document order the structural operators need. Keys are extracted
-  // once before sorting (Start() is a hash lookup).
+  // once before sorting (Start() is a chunk probe).
   ColoredTree* t = trees_[color].get();
   t->EnsureLabels();
   std::vector<std::pair<uint64_t, NodeId>> keyed;
@@ -188,13 +317,11 @@ std::vector<NodeId> MctDatabase::ContentLookup(std::string_view tag,
   std::vector<NodeId> out;
   NameId tag_id = store_.names().Lookup(tag);
   if (tag_id == kInvalidNameId) return out;
-  uint32_t h = HashValue(value);
-  auto it = content_index_.Seek(IndexKey::Make(tag_id, h, 0, 0));
-  if (!it.ok()) return out;
-  while (it->Valid() && it->key().k[0] == tag_id && it->key().k[1] == h) {
-    NodeId n = static_cast<NodeId>(it->value());
+  const std::vector<NodeId>* list =
+      ImageFind(*content_image_, ValueKey(tag_id, HashValue(value)));
+  if (list == nullptr) return out;
+  for (NodeId n : *list) {
     if (store_.Content(n) == value) out.push_back(n);  // hash verify
-    if (!it->Next().ok()) break;
   }
   return out;
 }
@@ -204,14 +331,12 @@ std::vector<NodeId> MctDatabase::AttrLookup(std::string_view name,
   std::vector<NodeId> out;
   NameId name_id = store_.names().Lookup(name);
   if (name_id == kInvalidNameId) return out;
-  uint32_t h = HashValue(value);
-  auto it = attr_index_.Seek(IndexKey::Make(name_id, h, 0, 0));
-  if (!it.ok()) return out;
-  while (it->Valid() && it->key().k[0] == name_id && it->key().k[1] == h) {
-    NodeId n = static_cast<NodeId>(it->value());
+  const std::vector<NodeId>* list =
+      ImageFind(*attr_image_, ValueKey(name_id, HashValue(value)));
+  if (list == nullptr) return out;
+  for (NodeId n : *list) {
     const std::string* v = store_.FindAttr(n, name);
     if (v != nullptr && *v == value) out.push_back(n);
-    if (!it->Next().ok()) break;
   }
   return out;
 }
@@ -219,14 +344,9 @@ std::vector<NodeId> MctDatabase::AttrLookup(std::string_view name,
 size_t MctDatabase::TagCount(ColorId color, std::string_view tag) const {
   NameId tag_id = store_.names().Lookup(tag);
   if (tag_id == kInvalidNameId || color >= trees_.size()) return 0;
-  auto it = tag_index_.Seek(IndexKey::Make(color, tag_id, 0, 0));
-  if (!it.ok()) return 0;
-  size_t n = 0;
-  while (it->Valid() && it->key().k[0] == color && it->key().k[1] == tag_id) {
-    ++n;
-    if (!it->Next().ok()) break;
-  }
-  return n;
+  const std::vector<NodeId>* list =
+      ImageFind(*tag_image_, TagKey(color, tag_id));
+  return list == nullptr ? 0 : list->size();
 }
 
 DatabaseStats MctDatabase::Stats() const {
@@ -239,9 +359,15 @@ DatabaseStats MctDatabase::Stats() const {
     s.num_struct_nodes += t->size();
     s.data_bytes += t->FileBytes();
   }
-  s.index_bytes = tag_index_.SizeBytes() + content_index_.SizeBytes() +
-                  attr_index_.SizeBytes();
+  s.index_bytes = tag_index_->SizeBytes() + content_index_->SizeBytes() +
+                  attr_index_->SizeBytes();
   return s;
+}
+
+size_t MctDatabase::ResidentChunks() const {
+  size_t n = store_.ResidentChunks();
+  for (const auto& t : trees_) n += t->ResidentChunks();
+  return n;
 }
 
 }  // namespace mct

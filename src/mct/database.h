@@ -15,6 +15,18 @@
 //
 // A conventional XML database is the single-color special case, which is
 // how the shallow and deep baselines of Section 7 are represented.
+//
+// MVCC (DESIGN.md §14): CowClone() snapshots the whole database in time
+// proportional to (nodes / 64): node and structural chunks are shared
+// copy-on-write, and the tag/content/attribute indexes are *resident
+// images* — hash maps of immutable posting lists shared between versions
+// and copied per-bucket on write. The query path reads only the resident
+// state, never the (single-threaded) buffer pool; the backing files and
+// B+Trees survive purely for Table-1 accounting, written by the
+// write-through committer lineage alone. Index entries exist only for
+// nodes carrying at least one color, so query-side constructor scratch
+// (free elements built by RETURN clauses on detached reader clones) never
+// touches the shared images.
 
 #ifndef COLORFUL_XML_MCT_DATABASE_H_
 #define COLORFUL_XML_MCT_DATABASE_H_
@@ -23,6 +35,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -59,6 +72,14 @@ class MctDatabase {
 
   MctDatabase(const MctDatabase&) = delete;
   MctDatabase& operator=(const MctDatabase&) = delete;
+
+  /// COW snapshot of this database. The clone shares node/structural
+  /// chunks and index posting lists with its source and privatizes only
+  /// what it subsequently writes. `write_through` = the clone continues
+  /// the committer lineage (its mutations reach the backing files);
+  /// detached clones (reader snapshots, trial statement sandboxes) leave
+  /// the files alone and may be discarded freely.
+  std::unique_ptr<MctDatabase> CowClone(bool write_through) const;
 
   // ---- Palette ----
 
@@ -158,23 +179,62 @@ class MctDatabase {
   /// Table 1 statistics.
   DatabaseStats Stats() const;
 
+  /// COW chunks resident in this version, store plus every colored tree —
+  /// the baseline the epoch-retirement leak test compares CowLiveChunks()
+  /// against once all other versions are retired.
+  size_t ResidentChunks() const;
+
   /// The 32-bit value hash the content/attribute indexes key on. Public so
   /// tests can engineer colliding values and assert the lookup recheck.
   static uint32_t HashValue(std::string_view s);
 
  private:
-  std::unique_ptr<StorageEnv> env_;
+  // Resident index image: immutable posting lists (sorted by node id)
+  // behind a per-version map. Mutation copies the map when shared with
+  // another version (bucket-shallow) and always replaces the touched
+  // posting list, so published versions stay frozen.
+  using PostingList = std::shared_ptr<const std::vector<NodeId>>;
+  using IndexMap = std::unordered_map<uint64_t, PostingList>;
+
+  MctDatabase(const MctDatabase& o, bool write_through);
+
+  static uint64_t TagKey(ColorId color, NameId tag) {
+    return (uint64_t{color} << 32) | tag;
+  }
+  static uint64_t ValueKey(NameId name, uint32_t hash) {
+    return (uint64_t{name} << 32) | hash;
+  }
+  static void ImageInsert(std::shared_ptr<IndexMap>* image, uint64_t key,
+                          NodeId n);
+  static void ImageErase(std::shared_ptr<IndexMap>* image, uint64_t key,
+                         NodeId n);
+  static const std::vector<NodeId>* ImageFind(const IndexMap& image,
+                                              uint64_t key);
+
+  /// True when the node's content/attribute values are index-visible (it
+  /// carries at least one color).
+  bool Indexed(NodeId n) const { return !store_.Colors(n).empty(); }
+
+  std::shared_ptr<StorageEnv> env_;
   NodeStore store_;
   ColorRegistry colors_;
   std::vector<std::unique_ptr<ColoredTree>> trees_;
   NodeId document_ = kInvalidNodeId;
+  // Accounting B+Trees (Table 1 index_bytes), shared across the version
+  // lineage and maintained best-effort by the write-through chain only;
+  // the query path reads the resident images instead.
   // (color, tag, node) -> node; unique by final component per the bptree
   // contract.
-  BPlusTree tag_index_;
+  std::shared_ptr<BPlusTree> tag_index_;
   // (tag, hash(content), node) -> node.
-  BPlusTree content_index_;
+  std::shared_ptr<BPlusTree> content_index_;
   // (attr name, hash(value), node) -> node.
-  BPlusTree attr_index_;
+  std::shared_ptr<BPlusTree> attr_index_;
+  // Resident images keyed TagKey / ValueKey.
+  std::shared_ptr<IndexMap> tag_image_;
+  std::shared_ptr<IndexMap> content_image_;
+  std::shared_ptr<IndexMap> attr_image_;
+  bool write_through_ = true;
 };
 
 }  // namespace mct

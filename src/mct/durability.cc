@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <set>
+#include <utility>
 
 #include "common/metrics.h"
 #include "common/strings.h"
@@ -54,7 +56,35 @@ Result<std::vector<uint64_t>> ListCheckpoints(const std::string& dir,
   return seqs;
 }
 
+/// Registry behind DirLock. Leaked singletons: locks held in static
+/// objects must stay releasable through shutdown.
+std::mutex& DirLockMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+std::set<std::pair<const FileEnv*, std::string>>& DirLockSet() {
+  static auto* s = new std::set<std::pair<const FileEnv*, std::string>>;
+  return *s;
+}
+
 }  // namespace
+
+std::string WalFilePath(const std::string& dir) { return WalPath(dir); }
+
+Result<DirLock> DirLock::Acquire(FileEnv* env, const std::string& dir) {
+  std::lock_guard<std::mutex> lock(DirLockMutex());
+  if (!DirLockSet().emplace(env, dir).second) {
+    return Status::AlreadyExists("writer session already open on " + dir);
+  }
+  return DirLock(env, dir);
+}
+
+void DirLock::Release() {
+  if (env_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(DirLockMutex());
+  DirLockSet().erase({env_, dir_});
+  env_ = nullptr;
+}
 
 Result<RecoveredDatabase> RecoverDatabase(const std::string& dir,
                                           FileEnv* env) {
@@ -152,6 +182,7 @@ Result<std::unique_ptr<DurableSession>> DurableSession::Open(
   MCT_RETURN_IF_ERROR(env->CreateDirIfMissing(dir));
   auto session =
       std::unique_ptr<DurableSession>(new DurableSession(dir, env));
+  MCT_ASSIGN_OR_RETURN(session->lock_, DirLock::Acquire(env, dir));
   MCT_ASSIGN_OR_RETURN(RecoveredDatabase rec, RecoverDatabase(dir, env));
   session->db_ = std::move(rec.db);
   MCT_ASSIGN_OR_RETURN(

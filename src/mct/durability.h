@@ -48,6 +48,10 @@ struct RecoveredDatabase {
 /// ones; checkpoints present but none valid, an unrecognizable WAL, or a
 /// replay failure are Corruption. An empty/missing dir recovers to an empty
 /// database. `env` null uses the real filesystem.
+/// Path of the write-ahead log inside a database directory (shared by
+/// DurableSession and the serving layer's ColorServer).
+std::string WalFilePath(const std::string& dir);
+
 Result<RecoveredDatabase> RecoverDatabase(const std::string& dir,
                                           FileEnv* env = nullptr);
 
@@ -58,8 +62,48 @@ Result<RecoveredDatabase> RecoverDatabase(const std::string& dir,
 Status CheckpointDatabase(MctDatabase& db, const std::string& dir,
                           uint64_t last_lsn, FileEnv* env = nullptr);
 
+/// Process-wide writer exclusivity: at most one writer-capable handle
+/// (DurableSession, or the serving layer's ColorServer) may have a given
+/// (env, dir) open at a time. A second Acquire returns AlreadyExists until
+/// the first lock is destroyed — turning the old "one writer session per
+/// dir" comment into an enforced invariant instead of a latent assumption.
+/// Keyed by env identity so independent in-memory FaultInjectionEnvs never
+/// conflict. Move-only RAII.
+class DirLock {
+ public:
+  static Result<DirLock> Acquire(FileEnv* env, const std::string& dir);
+
+  DirLock() = default;
+  DirLock(DirLock&& o) noexcept : env_(o.env_), dir_(std::move(o.dir_)) {
+    o.env_ = nullptr;
+  }
+  DirLock& operator=(DirLock&& o) noexcept {
+    if (this != &o) {
+      Release();
+      env_ = o.env_;
+      dir_ = std::move(o.dir_);
+      o.env_ = nullptr;
+    }
+    return *this;
+  }
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+  ~DirLock() { Release(); }
+
+  bool held() const { return env_ != nullptr; }
+
+ private:
+  DirLock(FileEnv* env, std::string dir) : env_(env), dir_(std::move(dir)) {}
+  void Release();
+
+  FileEnv* env_ = nullptr;
+  std::string dir_;
+};
+
 /// One durably-persisted database: recovery on open, WAL-logged updates,
-/// explicit checkpoints. Not thread-safe; one writer session per dir.
+/// explicit checkpoints. Not thread-safe; holds the dir's writer lock for
+/// its lifetime (a concurrent Open of the same (env, dir) fails with
+/// AlreadyExists).
 class DurableSession {
  public:
   /// Opens `dir` (creating it if missing), recovering existing state.
@@ -92,6 +136,7 @@ class DurableSession {
 
   std::string dir_;
   FileEnv* env_;
+  DirLock lock_;
   std::unique_ptr<MctDatabase> db_;
   std::unique_ptr<WalWriter> wal_;
 };

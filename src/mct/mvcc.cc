@@ -1,0 +1,147 @@
+#include "mct/mvcc.h"
+
+#include <cassert>
+
+#include "common/cow.h"
+#include "common/metrics.h"
+
+namespace mct {
+
+namespace {
+
+Gauge* LiveVersionsGauge() {
+  static Gauge* g = MetricsRegistry::Global().gauge("mct.mvcc.live_versions");
+  return g;
+}
+Gauge* PinnedGauge() {
+  static Gauge* g =
+      MetricsRegistry::Global().gauge("mct.mvcc.pinned_snapshots");
+  return g;
+}
+Gauge* CowChunksGauge() {
+  static Gauge* g = MetricsRegistry::Global().gauge("mct.mvcc.cow_chunks");
+  return g;
+}
+Counter* PublishedCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("mct.mvcc.epochs_published");
+  return c;
+}
+Counter* RetiredCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("mct.mvcc.epochs_retired");
+  return c;
+}
+
+}  // namespace
+
+void MvccManager::Pin::Release() {
+  if (mgr_ != nullptr) {
+    // Drop the snapshot reference before unpinning so retirement inside
+    // Unpin sees the true remaining sharing.
+    db_.reset();
+    MvccManager* m = mgr_;
+    mgr_ = nullptr;
+    m->Unpin(epoch_);
+    epoch_ = 0;
+  } else {
+    db_.reset();
+  }
+}
+
+void MvccManager::Seed(std::shared_ptr<const MctDatabase> db, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(versions_.empty());
+  assert(epoch > 0);
+  versions_[epoch] = Version{std::move(db), 0};
+  head_epoch_ = epoch;
+  UpdateGaugesLocked();
+}
+
+MvccManager::Pin MvccManager::PinHead() {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(head_epoch_ != 0);
+  Version& v = versions_.at(head_epoch_);
+  ++v.pins;
+  ++total_pins_;
+  UpdateGaugesLocked();
+  return Pin(this, head_epoch_, v.db);
+}
+
+std::shared_ptr<const MctDatabase> MvccManager::Head() {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(head_epoch_ != 0);
+  return versions_.at(head_epoch_).db;
+}
+
+uint64_t MvccManager::head_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_epoch_;
+}
+
+uint64_t MvccManager::Publish(std::shared_ptr<const MctDatabase> db) {
+  std::vector<std::shared_ptr<const MctDatabase>> retired;
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(head_epoch_ != 0);
+    epoch = head_epoch_ + 1;
+    versions_[epoch] = Version{std::move(db), 0};
+    head_epoch_ = epoch;
+    PublishedCounter()->Inc();
+    RetireLocked(&retired);
+    UpdateGaugesLocked();
+  }
+  retired.clear();  // destroy outside the lock: chunk frees can cascade
+  return epoch;
+}
+
+void MvccManager::Unpin(uint64_t epoch) {
+  std::vector<std::shared_ptr<const MctDatabase>> retired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = versions_.find(epoch);
+    assert(it != versions_.end());
+    --it->second.pins;
+    --total_pins_;
+    RetireLocked(&retired);
+    UpdateGaugesLocked();
+  }
+  retired.clear();
+}
+
+void MvccManager::RetireLocked(
+    std::vector<std::shared_ptr<const MctDatabase>>* out) {
+  for (auto it = versions_.begin(); it != versions_.end();) {
+    if (it->first >= head_epoch_ || it->second.pins > 0) {
+      ++it;
+      continue;
+    }
+    out->push_back(std::move(it->second.db));
+    it = versions_.erase(it);
+    RetiredCounter()->Inc();
+  }
+}
+
+void MvccManager::UpdateGaugesLocked() {
+  LiveVersionsGauge()->Set(static_cast<int64_t>(versions_.size()));
+  PinnedGauge()->Set(total_pins_);
+  CowChunksGauge()->Set(CowLiveChunks());
+}
+
+uint64_t MvccManager::oldest_live_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_.empty() ? 0 : versions_.begin()->first;
+}
+
+size_t MvccManager::live_versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_.size();
+}
+
+int64_t MvccManager::pinned_snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_pins_;
+}
+
+}  // namespace mct

@@ -1,0 +1,130 @@
+// MvccManager: epoch-stamped snapshot versions of one MctDatabase lineage
+// (DESIGN.md §14).
+//
+// Life of an epoch:
+//   1. the committer clones the head version (MctDatabase::CowClone),
+//      applies a group of update statements, makes them durable (WAL
+//      fsync), and Publish()es the result — the new head, epoch = old + 1;
+//   2. reader sessions PinHead() and run every query of their transaction
+//      against that frozen version; published versions are never mutated,
+//      so readers take no locks on the data;
+//   3. once a pre-head version has no pins, Retire() drops the manager's
+//      reference. COW chunks the retired version privatized are freed the
+//      moment the last snapshot sharing them goes away (plain shared_ptr
+//      reclamation — there is no version chain to traverse).
+//
+// Publish order is the commit linearization point: head_epoch() is
+// monotone, and a snapshot pinned at epoch e observes exactly the prefix
+// of commits with epoch <= e, all-or-nothing.
+//
+// Thread-safe. Metrics (mct.mvcc.*) are written with Set() from
+// authoritative internal state under the manager mutex, so a concurrent
+// MetricsRegistry::ResetForTest is self-healing: the next transition
+// rewrites every gauge from truth instead of compounding a lost delta.
+
+#ifndef COLORFUL_XML_MCT_MVCC_H_
+#define COLORFUL_XML_MCT_MVCC_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mct/database.h"
+
+namespace mct {
+
+class MvccManager {
+ public:
+  /// RAII snapshot pin: holds one version alive and counted until
+  /// destroyed. Move-only.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& o) noexcept { *this = std::move(o); }
+    Pin& operator=(Pin&& o) noexcept {
+      Release();
+      mgr_ = o.mgr_;
+      epoch_ = o.epoch_;
+      db_ = std::move(o.db_);
+      o.mgr_ = nullptr;
+      o.epoch_ = 0;
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { Release(); }
+
+    /// Epoch of the pinned version; 0 when empty.
+    uint64_t epoch() const { return epoch_; }
+    /// The frozen snapshot; null when empty.
+    const MctDatabase* db() const { return db_.get(); }
+    std::shared_ptr<const MctDatabase> shared_db() const { return db_; }
+    bool valid() const { return db_ != nullptr; }
+
+    void Release();
+
+   private:
+    friend class MvccManager;
+    Pin(MvccManager* mgr, uint64_t epoch,
+        std::shared_ptr<const MctDatabase> db)
+        : mgr_(mgr), epoch_(epoch), db_(std::move(db)) {}
+
+    MvccManager* mgr_ = nullptr;
+    uint64_t epoch_ = 0;
+    std::shared_ptr<const MctDatabase> db_;
+  };
+
+  MvccManager() = default;
+  MvccManager(const MvccManager&) = delete;
+  MvccManager& operator=(const MvccManager&) = delete;
+
+  /// Installs the initial version as `epoch` (recovery seeds with the
+  /// number of WAL-replayed commits + 1 so epochs keep advancing across
+  /// restarts). Must be called exactly once, before any other method.
+  void Seed(std::shared_ptr<const MctDatabase> db, uint64_t epoch);
+
+  /// Pins the newest published version.
+  Pin PinHead();
+
+  /// The newest published version without pinning (the committer's clone
+  /// base — safe because the returned shared_ptr keeps it alive anyway).
+  std::shared_ptr<const MctDatabase> Head();
+  uint64_t head_epoch() const;
+
+  /// Publishes `db` as the next epoch and retires unpinned predecessors.
+  /// Returns the new epoch. The caller must not mutate `db` afterwards —
+  /// it is now a frozen snapshot readers run against.
+  uint64_t Publish(std::shared_ptr<const MctDatabase> db);
+
+  /// Oldest epoch still held (pinned or head) — the plan-cache pruning
+  /// horizon: entries stamped below it can never be hit again.
+  uint64_t oldest_live_epoch() const;
+
+  /// Observability (also mirrored into mct.mvcc.* gauges).
+  size_t live_versions() const;
+  int64_t pinned_snapshots() const;
+
+ private:
+  struct Version {
+    std::shared_ptr<const MctDatabase> db;
+    int64_t pins = 0;
+  };
+
+  void Unpin(uint64_t epoch);
+  /// Drops pre-head versions with no pins. Caller holds mu_; retired
+  /// references are appended to `out` so the caller destroys them after
+  /// unlocking (chunk reclamation can be a large free cascade).
+  void RetireLocked(std::vector<std::shared_ptr<const MctDatabase>>* out);
+  void UpdateGaugesLocked();
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, Version> versions_;
+  uint64_t head_epoch_ = 0;
+  int64_t total_pins_ = 0;
+};
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_MCT_MVCC_H_

@@ -205,7 +205,8 @@ Result<ColorId> Evaluator::ResolveColor(const std::string& name) const {
 Result<QueryResult> Evaluator::Run(std::string_view text) {
   if (opts_.planner && opts_.plan_cache != nullptr) {
     std::string key(text);
-    if (std::shared_ptr<const void> hit = opts_.plan_cache->LookupExact(key)) {
+    if (std::shared_ptr<const void> hit =
+            opts_.plan_cache->LookupExact(key, opts_.cache_epoch)) {
       auto cached = std::static_pointer_cast<const CachedStatement>(hit);
       // `cached` keeps the payload alive even if the cache is invalidated
       // mid-statement by a concurrent session.
@@ -214,12 +215,13 @@ Result<QueryResult> Evaluator::Run(std::string_view text) {
     MCT_ASSIGN_OR_RETURN(ParsedQuery q, Parse(text));
     auto cached = std::make_shared<CachedStatement>();
     const std::string norm = query::NormalizeStatement(text);
-    if (!opts_.plan_cache->LookupSkeleton(norm, &cached->plan)) {
+    if (!opts_.plan_cache->LookupSkeleton(norm, &cached->plan,
+                                          opts_.cache_epoch)) {
       cached->plan = PlanFor(q);
-      opts_.plan_cache->InsertSkeleton(norm, cached->plan);
+      opts_.plan_cache->InsertSkeleton(norm, cached->plan, opts_.cache_epoch);
     }
     cached->query = std::move(q);
-    opts_.plan_cache->InsertExact(key, cached);
+    opts_.plan_cache->InsertExact(key, cached, opts_.cache_epoch);
     return RunPlanned(cached->query, &cached->plan);
   }
   MCT_ASSIGN_OR_RETURN(ParsedQuery q, Parse(text));
@@ -355,10 +357,13 @@ Result<QueryResult> Evaluator::RunPlanned(const ParsedQuery& q,
     updates->Inc();
     Result<QueryResult> r = RunUpdate(q);
     active_plan_ = nullptr;
-    if (r.ok() && r->updated_count > 0 && opts_.plan_cache != nullptr) {
+    if (r.ok() && r->updated_count > 0 && opts_.plan_cache != nullptr &&
+        opts_.cache_epoch == 0) {
       // Statistics (and any cached candidate counts) are stale now; cached
       // plans stay *correct* (runtime guards re-validate), but re-planning
-      // against fresh stats is the better bet.
+      // against fresh stats is the better bet. Epoch-stamped sessions skip
+      // this: publishing the commit bumps the epoch, which retires old
+      // entries on their next lookup with no invalidation window.
       opts_.plan_cache->Invalidate();
     }
     return r;

@@ -134,6 +134,14 @@ struct EvalOptions {
   /// skip planning. Share one cache across evaluators over the same
   /// database; it is invalidated automatically after any applied update.
   query::PlanCache* plan_cache = nullptr;
+  /// Epoch stamp for plan-cache entries (MVCC snapshot sessions). 0 = the
+  /// embedded single-version mode: entries are unstamped and any applied
+  /// update blanket-invalidates the cache. Non-zero = the session's pinned
+  /// epoch: entries are stamped with it for recency-based pruning and
+  /// updates do NOT invalidate — sharing plans across epochs is sound
+  /// because plans are result-identical by construction, so commit
+  /// publication needs no cache barrier.
+  uint64_t cache_epoch = 0;
 };
 
 class Evaluator {

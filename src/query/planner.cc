@@ -427,7 +427,8 @@ Counter* CacheCounter(const char* name) {
 }
 }  // namespace
 
-std::shared_ptr<const void> PlanCache::LookupExact(const std::string& text) {
+std::shared_ptr<const void> PlanCache::LookupExact(const std::string& text,
+                                                   uint64_t epoch) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = exact_.find(text);
   if (it == exact_.end()) {
@@ -435,32 +436,44 @@ std::shared_ptr<const void> PlanCache::LookupExact(const std::string& text) {
     CacheCounter("mct.planner.cache_misses")->Inc();
     return nullptr;
   }
+  // A hit at any epoch is sound — plans are result-identical by the
+  // determinism contract — so no replan stampede after every commit. The
+  // stamp advances to the newest epoch that used the entry (Prune's
+  // recency horizon).
+  if (epoch > it->second.epoch) it->second.epoch = epoch;
   ++stats_.hits;
   CacheCounter("mct.planner.cache_hits")->Inc();
-  return it->second;
+  return it->second.payload;
 }
 
 void PlanCache::InsertExact(const std::string& text,
-                            std::shared_ptr<const void> payload) {
+                            std::shared_ptr<const void> payload,
+                            uint64_t epoch) {
   std::lock_guard<std::mutex> lk(mu_);
-  exact_[text] = std::move(payload);
+  auto it = exact_.find(text);
+  // Never clobber a newer session's entry with an older snapshot's plan.
+  if (it != exact_.end() && it->second.epoch > epoch) return;
+  exact_[text] = ExactEntry{std::move(payload), epoch};
 }
 
 bool PlanCache::LookupSkeleton(const std::string& normalized,
-                               StatementPlan* out) {
+                               StatementPlan* out, uint64_t epoch) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = skeletons_.find(normalized);
   if (it == skeletons_.end()) return false;
+  if (epoch > it->second.epoch) it->second.epoch = epoch;
   ++stats_.skeleton_hits;
   CacheCounter("mct.planner.skeleton_hits")->Inc();
-  if (out != nullptr) *out = it->second;
+  if (out != nullptr) *out = it->second.plan;
   return true;
 }
 
 void PlanCache::InsertSkeleton(const std::string& normalized,
-                               const StatementPlan& plan) {
+                               const StatementPlan& plan, uint64_t epoch) {
   std::lock_guard<std::mutex> lk(mu_);
-  skeletons_[normalized] = plan;
+  auto it = skeletons_.find(normalized);
+  if (it != skeletons_.end() && it->second.epoch > epoch) return;
+  skeletons_[normalized] = SkeletonEntry{plan, epoch};
 }
 
 void PlanCache::Invalidate() {
@@ -469,6 +482,16 @@ void PlanCache::Invalidate() {
   skeletons_.clear();
   ++stats_.invalidations;
   CacheCounter("mct.planner.cache_invalidations")->Inc();
+}
+
+void PlanCache::Prune(uint64_t min_epoch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = exact_.begin(); it != exact_.end();) {
+    it = it->second.epoch < min_epoch ? exact_.erase(it) : std::next(it);
+  }
+  for (auto it = skeletons_.begin(); it != skeletons_.end();) {
+    it = it->second.epoch < min_epoch ? skeletons_.erase(it) : std::next(it);
+  }
 }
 
 PlanCache::Stats PlanCache::stats() const {

@@ -167,8 +167,21 @@ std::string NormalizeStatement(std::string_view text);
 ///    the caller layer) — a hit skips parse and plan entirely;
 ///  * skeleton: NormalizeStatement(text) -> StatementPlan — a hit after an
 ///    exact miss skips costing (the statement still parses once).
-/// Invalidate() empties both levels; the evaluator calls it after every
-/// applied update statement. Thread-safe.
+///
+/// Epoch stamping (MVCC, DESIGN.md §14): entries are stamped with the
+/// newest epoch that planned OR reused them, and a lookup at any epoch
+/// hits — sound because every plan is result-identical to the fixed
+/// pipeline (the determinism contract above) and re-validates its
+/// preconditions at runtime, so a plan from an older snapshot can cost
+/// time but never answers. That removes both the ordering-sensitive
+/// blanket invalidation (a commit publishing epoch e+1 needs no cache
+/// barrier) and the replan stampede a strict per-epoch cache would cause
+/// after every commit. The stamp is a recency horizon for memory
+/// pressure: Prune(min_epoch) drops entries not used since min_epoch.
+///
+/// Epoch 0 is the single-version embedded mode: entries are stamped 0 and
+/// the evaluator calls Invalidate() after every applied update statement,
+/// exactly the pre-MVCC contract. Thread-safe.
 class PlanCache {
  public:
   struct Stats {
@@ -178,22 +191,36 @@ class PlanCache {
     uint64_t invalidations = 0;   // Invalidate() calls
   };
 
-  std::shared_ptr<const void> LookupExact(const std::string& text);
-  void InsertExact(const std::string& text,
-                   std::shared_ptr<const void> payload);
-  bool LookupSkeleton(const std::string& normalized, StatementPlan* out);
-  void InsertSkeleton(const std::string& normalized,
-                      const StatementPlan& plan);
+  std::shared_ptr<const void> LookupExact(const std::string& text,
+                                          uint64_t epoch = 0);
+  void InsertExact(const std::string& text, std::shared_ptr<const void> payload,
+                   uint64_t epoch = 0);
+  bool LookupSkeleton(const std::string& normalized, StatementPlan* out,
+                      uint64_t epoch = 0);
+  void InsertSkeleton(const std::string& normalized, const StatementPlan& plan,
+                      uint64_t epoch = 0);
   void Invalidate();
+  /// Drops every entry last used below `min_epoch` (memory cap, not a
+  /// correctness barrier).
+  void Prune(uint64_t min_epoch);
 
   Stats stats() const;
   size_t size() const;
 
  private:
+  struct ExactEntry {
+    std::shared_ptr<const void> payload;
+    uint64_t epoch = 0;
+  };
+  struct SkeletonEntry {
+    StatementPlan plan;
+    uint64_t epoch = 0;
+  };
+
   mutable std::mutex mu_;
   Stats stats_;
-  std::unordered_map<std::string, std::shared_ptr<const void>> exact_;
-  std::unordered_map<std::string, StatementPlan> skeletons_;
+  std::unordered_map<std::string, ExactEntry> exact_;
+  std::unordered_map<std::string, SkeletonEntry> skeletons_;
 };
 
 }  // namespace mct::query

@@ -1,0 +1,203 @@
+// Concurrent multi-session serving with MVCC snapshot isolation
+// (DESIGN.md §14).
+//
+// ColorServer owns one durable database directory (recovery on Open, the
+// PR 3 WAL for commits, explicit checkpoints) and serves any number of
+// concurrent Sessions, each on its own thread:
+//
+//  * reads run against an immutable epoch snapshot pinned at Begin() —
+//    no locks on the data, repeatable results for the whole transaction;
+//  * update statements funnel through a cross-session group committer
+//    (leader/follower over a writer queue, LevelDB-style): the leader
+//    clones the head version copy-on-write, applies every queued
+//    statement — each through its own trial clone, so a failing statement
+//    is discarded whole — appends the survivors to the WAL, makes the
+//    batch durable with ONE fsync, and publishes the result as the next
+//    epoch. Publish order is the commit linearization point.
+//
+// A session that commits an update is re-pinned to the publishing epoch,
+// so it reads its own writes; sessions that only read keep their snapshot
+// until Commit(). The process-wide PlanCache is shared across sessions
+// with epoch-stamped entries (query/planner.h), so commits need no cache
+// barrier.
+//
+// ColorServer methods are thread-safe; an individual Session is owned by
+// one thread at a time (the normal one-connection-one-thread model).
+
+#ifndef COLORFUL_XML_SERVE_SERVER_H_
+#define COLORFUL_XML_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "mct/color.h"
+#include "mct/database.h"
+#include "mct/durability.h"
+#include "mct/mvcc.h"
+#include "mcx/evaluator.h"
+#include "query/planner.h"
+#include "storage/wal.h"
+
+namespace mct::serve {
+
+struct ServerOptions {
+  /// Color used by statements without explicit {color} annotations.
+  ColorId default_color = 0;
+  /// Admission control: at most this many sessions may be inside the
+  /// commit path (queued or applying) at once; further writers block.
+  int max_concurrent_writers = 4;
+  /// Maximum live sessions; 0 = unlimited. Connect() fails with
+  /// OutOfRange beyond it.
+  int max_sessions = 0;
+  /// Cost-based planning + the shared epoch-stamped plan cache for reads.
+  bool planner = true;
+  /// Fsync the WAL once per commit group before publishing (durability
+  /// before visibility). false trades durability of the newest commits
+  /// for throughput — snapshot isolation itself is unaffected.
+  bool sync_commits = true;
+};
+
+/// One committed update statement, in publish order. Statements grouped
+/// into one batch share an epoch.
+struct CommittedStatement {
+  uint64_t epoch = 0;
+  ColorId default_color = 0;
+  std::string text;
+};
+
+class ColorServer;
+
+/// One client connection. Begin() pins an epoch snapshot; Run() executes
+/// reads against it and routes updates through the server's group
+/// committer; Commit() releases the snapshot. Run() auto-begins when no
+/// transaction is open. Not thread-safe; must not outlive its server.
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Pins the current head epoch for subsequent reads.
+  Status Begin();
+  /// Ends the transaction and releases the snapshot.
+  Status Commit();
+
+  Result<mcx::QueryResult> Run(std::string_view text);
+  Result<mcx::QueryResult> Run(std::string_view text, ColorId default_color);
+
+  /// Epoch of the pinned snapshot; 0 when no transaction is open.
+  uint64_t snapshot_epoch() const { return pin_.epoch(); }
+  /// The session's private view of the pinned snapshot (tests and tools
+  /// render results through it); null when no transaction is open.
+  const MctDatabase* snapshot_db() const { return reader_.get(); }
+
+ private:
+  friend class ColorServer;
+  explicit Session(ColorServer* server) : server_(server) {}
+
+  ColorServer* server_;
+  MvccManager::Pin pin_;
+  /// Private detached clone of the pinned snapshot: the read path mutates
+  /// (lazy relabeling, RETURN constructors create free nodes), so the
+  /// shared frozen version itself is never handed to an evaluator.
+  std::unique_ptr<MctDatabase> reader_;
+};
+
+class ColorServer {
+ public:
+  /// Recovers `dir` (checkpoint + WAL replay), takes the directory writer
+  /// lock, and publishes the recovered database as the seed epoch.
+  static Result<std::unique_ptr<ColorServer>> Open(const std::string& dir,
+                                                   ServerOptions opts = {},
+                                                   FileEnv* env = nullptr);
+  ~ColorServer();
+
+  /// Replaces the database wholesale (initial load): checkpoints `db`,
+  /// resets the WAL, publishes it as the next epoch. Requires no commit
+  /// in flight; concurrent readers keep their old snapshots.
+  Status Bootstrap(std::unique_ptr<MctDatabase> db);
+
+  /// Opens a session. Fails with OutOfRange past max_sessions.
+  Result<std::unique_ptr<Session>> Connect();
+
+  /// Checkpoints the head snapshot and resets the WAL. Waits for in-flight
+  /// commits; safe with concurrent readers and writers.
+  Status Checkpoint();
+
+  /// Every committed statement since Open/Bootstrap, in publish order.
+  /// The differential-test oracle replays this against a twin database.
+  std::vector<CommittedStatement> CommitHistory() const;
+
+  uint64_t head_epoch() const { return mvcc_.head_epoch(); }
+  const ServerOptions& options() const { return opts_; }
+  MvccManager& mvcc() { return mvcc_; }
+  query::PlanCache& plan_cache() { return plan_cache_; }
+
+ private:
+  friend class Session;
+
+  struct CommitRequest {
+    std::string text;
+    ColorId default_color = 0;
+    bool done = false;
+    Status status = Status::OK();
+    mcx::QueryResult result;
+    uint64_t epoch = 0;
+  };
+
+  ColorServer(std::string dir, ServerOptions opts, FileEnv* env)
+      : dir_(std::move(dir)), opts_(opts), env_(env) {}
+
+  /// Group commit entry point: enqueue, then either lead the batch or wait
+  /// for a leader to carry the request. Returns the statement's result.
+  Result<mcx::QueryResult> CommitStatement(std::string_view text,
+                                           ColorId default_color,
+                                           uint64_t* out_epoch);
+  /// Leader body: applies `batch` against a COW clone of head, syncs the
+  /// WAL once, publishes. Called with commit_mu_ released (the queue front
+  /// keeps leadership exclusive).
+  void ApplyBatch(const std::vector<CommitRequest*>& batch);
+
+  void ReleaseSession();
+
+  std::string dir_;
+  ServerOptions opts_;
+  FileEnv* env_ = nullptr;
+  DirLock lock_;
+  std::unique_ptr<WalWriter> wal_;  // leader- or checkpoint-owned only
+  MvccManager mvcc_;
+  query::PlanCache plan_cache_;
+
+  /// Writer queue. front() is the leader; everyone else waits on
+  /// commit_cv_ until done or promoted. queue empty <=> no commit in
+  /// flight (the leader's request stays at front while it applies).
+  mutable std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  std::deque<CommitRequest*> commit_queue_;
+  /// First WAL-sync failure; once set the server refuses further commits
+  /// (records past the failed sync have unknown durability, so applying
+  /// more on top could replay statements never acknowledged).
+  Status broken_ = Status::OK();
+
+  /// Admission gate for the commit path.
+  std::mutex admit_mu_;
+  std::condition_variable admit_cv_;
+  int active_writers_ = 0;
+
+  mutable std::mutex history_mu_;
+  std::vector<CommittedStatement> history_;
+
+  mutable std::mutex sessions_mu_;
+  int live_sessions_ = 0;
+};
+
+}  // namespace mct::serve
+
+#endif  // COLORFUL_XML_SERVE_SERVER_H_

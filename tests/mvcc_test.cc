@@ -1,0 +1,419 @@
+// Concurrency battery for MVCC snapshot isolation (DESIGN.md §14).
+//
+// Three attack angles:
+//  1. differential: randomized interleavings of reader and writer sessions;
+//    every reader result must be byte-identical to a serial replay of the
+//    commit history, truncated at the reader's pinned epoch, against a twin
+//    database (snapshot isolation = "you see exactly a prefix of commits");
+//  2. linearizability of commits: each committed statement mutates every
+//    movie at once, so any snapshot exposing a half-applied commit changes
+//    an invariant count; epochs observed by one session are monotone;
+//  3. resource convergence: sustained update churn with snapshot-holding
+//    readers must retire versions and free COW chunks once the pins drop
+//    (mct.mvcc.* gauges + the process-global chunk census).
+//
+// The whole file runs under the tsan preset in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cow.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "mct/database.h"
+#include "mct/durability.h"
+#include "mct/mvcc.h"
+#include "mcx/evaluator.h"
+#include "movie_fixture.h"
+#include "serve/server.h"
+#include "storage/fault_env.h"
+
+namespace mct {
+namespace {
+
+using serve::ColorServer;
+using serve::CommittedStatement;
+using serve::ServerOptions;
+using serve::Session;
+using testfix::BuildMovieDb;
+
+constexpr char kDir[] = "/db";
+
+// Read queries the differential battery replays. No constructors: results
+// are stored nodes and atomics, so serialization is a pure function of the
+// snapshot.
+const char* const kReads[] = {
+    "for $m in document(\"d\")/{red}descendant::movie return $m",
+    "for $t in document(\"d\")/{red}descendant::tick return $t",
+    "for $n in document(\"d\")/{blue}descendant::actor/{blue}child::name "
+    "return $n",
+    "for $m in document(\"d\")/{red}descendant::movie"
+    "[{red}child::name = \"City Lights\"] return $m",
+};
+
+/// Deterministic byte rendering of a result against the snapshot it was
+/// produced from: node identity + tag + content, atomics verbatim. Node
+/// ids are creation-ordered, so a twin database replaying the same
+/// statement sequence reproduces them exactly.
+std::string Render(const MctDatabase& db, const mcx::QueryResult& r) {
+  std::string out;
+  for (const mcx::Item& it : r.items) {
+    if (!it.is_node) {
+      out += "a:" + it.atomic + ";";
+      continue;
+    }
+    out += "n" + std::to_string(it.node) + ":" + db.Tag(it.node) + ":" +
+           db.Content(it.node) + ";";
+  }
+  return out;
+}
+
+std::unique_ptr<ColorServer> OpenServer(FaultInjectionEnv* env,
+                                        ServerOptions opts = {}) {
+  auto server = ColorServer::Open(kDir, opts, env);
+  EXPECT_TRUE(server.ok()) << server.status();
+  Status s = (*server)->Bootstrap(BuildMovieDb().db);
+  EXPECT_TRUE(s.ok()) << s;
+  return std::move(*server);
+}
+
+/// Twin-database oracle: the bootstrapped fixture plus every committed
+/// statement with epoch <= `epoch`, replayed serially.
+std::unique_ptr<MctDatabase> OracleAt(
+    const std::vector<CommittedStatement>& history, uint64_t epoch) {
+  auto f = BuildMovieDb();
+  for (const CommittedStatement& c : history) {
+    if (c.epoch > epoch) break;  // history is in publish order
+    mcx::EvalOptions o;
+    o.default_color = c.default_color;
+    mcx::Evaluator ev(f.db.get(), o);
+    auto r = ev.Run(c.text);
+    EXPECT_TRUE(r.ok()) << r.status() << " replaying: " << c.text;
+  }
+  return std::move(f.db);
+}
+
+std::string InsertTick(const std::string& movie, const std::string& label) {
+  return "for $m in document(\"d\")/{red}descendant::movie"
+         "[{red}child::name = \"" +
+         movie + "\"] update $m { insert <tick>" + label +
+         "</tick> into {red} }";
+}
+
+// ---------------------------------------------------------------------------
+// 1. Differential snapshot-isolation test: randomized interleavings, every
+//    reader byte-identical to the serial oracle at its pinned epoch.
+// ---------------------------------------------------------------------------
+
+struct Observation {
+  uint64_t epoch = 0;
+  int query = 0;
+  std::string bytes;
+};
+
+TEST(MvccDifferentialTest, RandomizedReadersMatchSerialOracle) {
+  FaultInjectionEnv env;
+  auto server = OpenServer(&env);
+  const char* movies[] = {"All About Eve", "City Lights", "Sunset Boulevard"};
+
+  constexpr int kReaders = 4;
+  constexpr int kWriters = 3;
+  constexpr int kRounds = 12;
+
+  std::vector<std::vector<Observation>> observed(kReaders);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(0x5eed0 + w);
+      auto session = server->Connect();
+      ASSERT_TRUE(session.ok()) << session.status();
+      for (int k = 0; k < kRounds; ++k) {
+        const char* movie = movies[rng.Next() % 3];
+        std::string stmt = InsertTick(
+            movie, "w" + std::to_string(w) + "-" + std::to_string(k));
+        auto r = (*session)->Run(stmt);
+        ASSERT_TRUE(r.ok()) << r.status();
+        if (rng.Next() % 4 == 0) std::this_thread::yield();
+      }
+    });
+  }
+  for (int i = 0; i < kReaders; ++i) {
+    threads.emplace_back([&, i] {
+      Rng rng(0xbeef0 + i);
+      auto session = server->Connect();
+      ASSERT_TRUE(session.ok()) << session.status();
+      for (int k = 0; k < kRounds; ++k) {
+        ASSERT_TRUE((*session)->Begin().ok());
+        // A few queries inside one transaction: all must agree on the
+        // pinned epoch's state even as commits land concurrently.
+        int probes = 1 + static_cast<int>(rng.Next() % 3);
+        for (int p = 0; p < probes; ++p) {
+          int q = static_cast<int>(rng.Next() % 4);
+          auto r = (*session)->Run(kReads[q]);
+          ASSERT_TRUE(r.ok()) << r.status();
+          observed[i].push_back({(*session)->snapshot_epoch(), q,
+                                 Render(*(*session)->snapshot_db(), *r)});
+        }
+        ASSERT_TRUE((*session)->Commit().ok());
+        if (rng.Next() % 3 == 0) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Serial replay oracle, memoized per (epoch, query).
+  std::vector<CommittedStatement> history = server->CommitHistory();
+  for (size_t i = 1; i < history.size(); ++i) {
+    ASSERT_GE(history[i].epoch, history[i - 1].epoch) << "history unordered";
+  }
+  std::map<uint64_t, std::unique_ptr<MctDatabase>> oracles;
+  size_t checked = 0;
+  for (const auto& per_reader : observed) {
+    for (const Observation& ob : per_reader) {
+      auto it = oracles.find(ob.epoch);
+      if (it == oracles.end()) {
+        it = oracles.emplace(ob.epoch, OracleAt(history, ob.epoch)).first;
+      }
+      mcx::Evaluator ev(it->second.get(), {});
+      auto want = ev.Run(kReads[ob.query]);
+      ASSERT_TRUE(want.ok()) << want.status();
+      EXPECT_EQ(ob.bytes, Render(*it->second, *want))
+          << "reader diverged from serial replay at epoch " << ob.epoch
+          << ", query " << ob.query;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// 2. Linearizability of commits + snapshot stability under stress.
+// ---------------------------------------------------------------------------
+
+// Each commit inserts one tick into EVERY movie; a snapshot that exposes a
+// half-applied commit breaks tick_count % 3 == 0. Parameterized over the
+// session counts the acceptance criteria name ({2, 8}).
+class MvccStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MvccStressTest, CommitsAtomicEpochsMonotone) {
+  FaultInjectionEnv env;
+  ServerOptions opts;
+  opts.max_concurrent_writers = 2;
+  auto server = OpenServer(&env, opts);
+
+  const int sessions = GetParam();
+  const int rounds = 64 / sessions + 4;
+  const char* kAllMovies =
+      "for $m in document(\"d\")/{red}descendant::movie "
+      "update $m { insert <tick>x</tick> into {red} }";
+  const char* kCountTicks =
+      "for $t in document(\"d\")/{red}descendant::tick return $t";
+
+  std::atomic<uint64_t> committed{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < sessions; ++i) {
+    threads.emplace_back([&, i] {
+      auto session = server->Connect();
+      ASSERT_TRUE(session.ok()) << session.status();
+      uint64_t last_epoch = 0;
+      for (int k = 0; k < rounds; ++k) {
+        ASSERT_TRUE((*session)->Begin().ok());
+        uint64_t epoch = (*session)->snapshot_epoch();
+        ASSERT_GE(epoch, last_epoch) << "snapshot epoch went backwards";
+        last_epoch = epoch;
+
+        auto first = (*session)->Run(kCountTicks);
+        ASSERT_TRUE(first.ok()) << first.status();
+        ASSERT_EQ(first->items.size() % 3, 0u)
+            << "half-applied commit visible at epoch " << epoch;
+
+        if (i % 2 == 0) {
+          auto r = (*session)->Run(kAllMovies);
+          ASSERT_TRUE(r.ok()) << r.status();
+          committed.fetch_add(1);
+          // The write re-pinned the session (read-your-writes).
+          ASSERT_GT((*session)->snapshot_epoch(), epoch);
+          last_epoch = (*session)->snapshot_epoch();
+          auto mine = (*session)->Run(kCountTicks);
+          ASSERT_TRUE(mine.ok());
+          ASSERT_GT(mine->items.size(), first->items.size());
+        } else {
+          // Pure reader: the snapshot must not move mid-transaction.
+          auto again = (*session)->Run(kCountTicks);
+          ASSERT_TRUE(again.ok());
+          ASSERT_EQ(again->items.size(), first->items.size())
+              << "repeatable read violated within one transaction";
+          ASSERT_EQ((*session)->snapshot_epoch(), epoch);
+        }
+        ASSERT_TRUE((*session)->Commit().ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Totals linearize: every acknowledged commit is in the history exactly
+  // once and contributed exactly 3 ticks to the final state.
+  std::vector<CommittedStatement> history = server->CommitHistory();
+  EXPECT_EQ(history.size(), committed.load());
+  auto session = server->Connect();
+  ASSERT_TRUE(session.ok());
+  auto final_count = (*session)->Run(kCountTicks);
+  ASSERT_TRUE(final_count.ok()) << final_count.status();
+  EXPECT_EQ(final_count->items.size(), 3 * committed.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sessions, MvccStressTest, ::testing::Values(2, 8));
+
+// ---------------------------------------------------------------------------
+// 3. Epoch retirement: versions and COW chunks converge after churn.
+// ---------------------------------------------------------------------------
+
+TEST(MvccRetirementTest, ChurnedVersionsAndChunksAreReclaimed) {
+  FaultInjectionEnv env;
+  auto server = OpenServer(&env);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+
+  const size_t head0 = server->mvcc().Head()->ResidentChunks();
+  const int64_t live0 = CowLiveChunks();
+
+  {
+    std::vector<std::thread> threads;
+    for (int w = 0; w < 2; ++w) {
+      threads.emplace_back([&, w] {
+        auto session = server->Connect();
+        ASSERT_TRUE(session.ok());
+        for (int k = 0; k < 20; ++k) {
+          auto r = (*session)->Run(InsertTick(
+              "All About Eve", std::to_string(w) + "." + std::to_string(k)));
+          ASSERT_TRUE(r.ok()) << r.status();
+        }
+      });
+    }
+    // Churning readers: pin, read, release — holding snapshots just long
+    // enough that retirement has to actually wait for them.
+    threads.emplace_back([&] {
+      auto session = server->Connect();
+      ASSERT_TRUE(session.ok());
+      for (int k = 0; k < 30; ++k) {
+        ASSERT_TRUE((*session)->Begin().ok());
+        auto r = (*session)->Run(kReads[1]);
+        ASSERT_TRUE(r.ok());
+        ASSERT_TRUE((*session)->Commit().ok());
+      }
+    });
+    for (auto& t : threads) t.join();
+  }
+
+  // All sessions dropped: only the head version may survive.
+  EXPECT_EQ(server->mvcc().live_versions(), 1u);
+  EXPECT_EQ(server->mvcc().pinned_snapshots(), 0);
+  EXPECT_EQ(reg.gauge("mct.mvcc.live_versions")->value(), 1);
+  EXPECT_EQ(reg.gauge("mct.mvcc.pinned_snapshots")->value(), 0);
+  EXPECT_GT(reg.counter("mct.mvcc.epochs_published")->value(), 0u);
+  EXPECT_GT(reg.counter("mct.mvcc.epochs_retired")->value(), 0u);
+
+  // Chunk census: everything beyond the head's own growth was freed with
+  // the retired versions (no epoch leaks COW chunks).
+  const size_t head1 = server->mvcc().Head()->ResidentChunks();
+  EXPECT_EQ(CowLiveChunks() - live0,
+            static_cast<int64_t>(head1) - static_cast<int64_t>(head0));
+}
+
+// The gauges are written from authoritative state under the manager mutex,
+// so a ResetForTest racing live traffic heals on the next transition
+// instead of drifting by a lost delta.
+TEST(MvccRetirementTest, GaugesSelfHealAfterMetricsReset) {
+  FaultInjectionEnv env;
+  auto server = OpenServer(&env);
+  MetricsRegistry::Global().ResetForTest();
+  auto session = server->Connect();
+  ASSERT_TRUE(session.ok());
+  auto r = (*session)->Run(InsertTick("City Lights", "post-reset"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(MetricsRegistry::Global().gauge("mct.mvcc.live_versions")->value(),
+            static_cast<int64_t>(server->mvcc().live_versions()));
+  EXPECT_EQ(
+      MetricsRegistry::Global().gauge("mct.mvcc.pinned_snapshots")->value(),
+      server->mvcc().pinned_snapshots());
+}
+
+// ---------------------------------------------------------------------------
+// 4. Writer exclusivity + admission control + session cap.
+// ---------------------------------------------------------------------------
+
+TEST(ServeAdmissionTest, DirectoryWriterLockIsExclusive) {
+  FaultInjectionEnv env;
+  {
+    auto server = ColorServer::Open(kDir, {}, &env);
+    ASSERT_TRUE(server.ok()) << server.status();
+    // Second writer-capable handle on the same (env, dir): refused, for
+    // ColorServer and DurableSession alike.
+    auto twin = ColorServer::Open(kDir, {}, &env);
+    EXPECT_FALSE(twin.ok());
+    auto durable = DurableSession::Open(kDir, &env);
+    EXPECT_FALSE(durable.ok());
+  }
+  // Lock released with the server: reopening now works.
+  auto reopened = DurableSession::Open(kDir, &env);
+  EXPECT_TRUE(reopened.ok()) << reopened.status();
+}
+
+TEST(ServeAdmissionTest, SessionCapAndWriterGate) {
+  FaultInjectionEnv env;
+  ServerOptions opts;
+  opts.max_sessions = 2;
+  opts.max_concurrent_writers = 1;
+  auto server = OpenServer(&env, opts);
+
+  auto s1 = server->Connect();
+  auto s2 = server->Connect();
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_FALSE(server->Connect().ok()) << "session cap not enforced";
+  s2->reset();
+  EXPECT_TRUE(server->Connect().ok()) << "closed session not released";
+
+  // Writer gate of 1 still commits from both sessions (serialized).
+  auto s3 = server->Connect();
+  ASSERT_TRUE(s3.ok());
+  std::thread t([&] {
+    auto r = (*s1)->Run(InsertTick("All About Eve", "gate-a"));
+    ASSERT_TRUE(r.ok()) << r.status();
+  });
+  auto r = (*s3)->Run(InsertTick("City Lights", "gate-b"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  t.join();
+  EXPECT_EQ(server->CommitHistory().size(), 2u);
+}
+
+// Group commit batches concurrent statements into shared epochs; a failing
+// statement is rejected whole without poisoning its batch-mates.
+TEST(ServeAdmissionTest, FailingStatementDoesNotPoisonBatch) {
+  FaultInjectionEnv env;
+  auto server = OpenServer(&env);
+  auto session = server->Connect();
+  ASSERT_TRUE(session.ok());
+  uint64_t before = server->head_epoch();
+
+  // Updates binding zero rows apply vacuously (ok, zero count); a static
+  // failure comes from an unknown color.
+  auto bad = (*session)->Run(
+      "for $m in document(\"d\")/{chartreuse}descendant::movie "
+      "update $m { insert <tick>x</tick> into {chartreuse} }");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(server->head_epoch(), before) << "failed statement published";
+  EXPECT_TRUE(server->CommitHistory().empty());
+
+  auto good = (*session)->Run(InsertTick("All About Eve", "ok"));
+  EXPECT_TRUE(good.ok()) << good.status() << " (batch poisoned?)";
+  EXPECT_EQ(server->head_epoch(), before + 1);
+}
+
+}  // namespace
+}  // namespace mct

@@ -16,7 +16,11 @@
 #include "mcx/evaluator.h"
 #include "serialize/exchange.h"
 #include "movie_fixture.h"
+#include "serve/server.h"
 #include "storage/fault_env.h"
+
+#include <thread>
+#include <vector>
 
 namespace mct {
 namespace {
@@ -331,6 +335,215 @@ TEST(RecoveryTest, RealFilesystemEndToEnd) {
   EXPECT_EQ(rec->replayed_records, 1u);  // only U3 is past the checkpoint
   ExpectState(rec->db.get(), 3);
   std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Crash during concurrent group commit (the serving layer, DESIGN.md §14).
+// The kill points target the commit path's own ordering contract: WAL
+// append -> one group fsync -> publish. Acknowledged commits must survive
+// any crash; unacknowledged ones may only vanish whole or as a prefix.
+// ---------------------------------------------------------------------------
+
+std::string TickInsert(const std::string& movie, const std::string& label) {
+  return "for $m in document(\"d\")/{red}descendant::movie"
+         "[{red}child::name = \"" +
+         movie + "\"] update $m { insert <tick>" + label +
+         "</tick> into {red} }";
+}
+
+/// Bootstrapped fixture plus the first `limit` committed statements.
+std::unique_ptr<MctDatabase> ServerOracle(
+    const std::vector<serve::CommittedStatement>& history, size_t limit) {
+  auto f = BuildMovieDb();
+  for (size_t i = 0; i < limit && i < history.size(); ++i) {
+    mcx::EvalOptions o;
+    o.default_color = history[i].default_color;
+    mcx::Evaluator ev(f.db.get(), o);
+    auto r = ev.Run(history[i].text);
+    EXPECT_TRUE(r.ok()) << r.status();
+  }
+  return std::move(f.db);
+}
+
+void ExpectServerState(MctDatabase* got,
+                       const std::vector<serve::CommittedStatement>& history,
+                       size_t limit, const char* what) {
+  auto want = ServerOracle(history, limit);
+  std::string why;
+  EXPECT_TRUE(serialize::DatabasesIsomorphic(*got, *want, &why))
+      << what << ": " << why;
+}
+
+TEST(ServeRecoveryTest, CrashAfterConcurrentCommitsLosesNothingAcknowledged) {
+  FaultInjectionEnv env;
+  std::vector<serve::CommittedStatement> history;
+  {
+    auto server = serve::ColorServer::Open(kDir, {}, &env);
+    ASSERT_TRUE(server.ok()) << server.status();
+    ASSERT_TRUE((*server)->Bootstrap(BuildMovieDb().db).ok());
+
+    std::vector<std::thread> writers;
+    for (int w = 0; w < 2; ++w) {
+      writers.emplace_back([&, w] {
+        auto session = (*server)->Connect();
+        ASSERT_TRUE(session.ok());
+        for (int k = 0; k < 6; ++k) {
+          auto r = (*session)->Run(TickInsert(
+              "City Lights", std::to_string(w) + "-" + std::to_string(k)));
+          ASSERT_TRUE(r.ok()) << r.status();
+        }
+      });
+    }
+    for (auto& t : writers) t.join();
+
+    // A reader pins a snapshot, the power goes out under it: its in-memory
+    // version is untouched, so the open transaction stays consistent.
+    auto reader = (*server)->Connect();
+    ASSERT_TRUE(reader.ok());
+    ASSERT_TRUE((*reader)->Begin().ok());
+    auto pre = (*reader)->Run(
+        "for $t in document(\"d\")/{red}descendant::tick return $t");
+    ASSERT_TRUE(pre.ok());
+    EXPECT_EQ(pre->items.size(), 12u);
+
+    history = (*server)->CommitHistory();
+    env.SimulateCrash();
+
+    auto post = (*reader)->Run(
+        "for $t in document(\"d\")/{red}descendant::tick return $t");
+    ASSERT_TRUE(post.ok()) << post.status();
+    EXPECT_EQ(post->items.size(), pre->items.size());
+    ASSERT_TRUE((*reader)->Commit().ok());
+  }
+
+  // Every acknowledged commit was group-fsynced before its publish, so all
+  // twelve replay.
+  auto rec = RecoverDatabase(kDir, &env);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  ASSERT_EQ(history.size(), 12u);
+  ExpectServerState(rec->db.get(), history, history.size(),
+                    "acknowledged commits lost");
+}
+
+TEST(ServeRecoveryTest, WalAppendFailureFailsOnlyThatStatement) {
+  FaultInjectionEnv env;
+  auto server = serve::ColorServer::Open(kDir, {}, &env);
+  ASSERT_TRUE(server.ok()) << server.status();
+  ASSERT_TRUE((*server)->Bootstrap(BuildMovieDb().db).ok());
+  auto session = (*server)->Connect();
+  ASSERT_TRUE(session.ok());
+
+  env.FailNthAppend("wal", 1);
+  uint64_t before = (*server)->head_epoch();
+  auto bad = (*session)->Run(TickInsert("All About Eve", "doomed"));
+  EXPECT_FALSE(bad.ok()) << "statement acked without a WAL record";
+  EXPECT_EQ((*server)->head_epoch(), before);
+
+  auto good = (*session)->Run(TickInsert("All About Eve", "fine"));
+  ASSERT_TRUE(good.ok()) << good.status();
+  auto history = (*server)->CommitHistory();
+  ASSERT_EQ(history.size(), 1u);
+
+  env.SimulateCrash();
+  server->reset();
+  auto rec = RecoverDatabase(kDir, &env);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  ExpectServerState(rec->db.get(), history, 1, "surviving commit wrong");
+}
+
+TEST(ServeRecoveryTest, GroupSyncFailurePublishesNothingAndGoesReadOnly) {
+  FaultInjectionEnv env;
+  auto server = serve::ColorServer::Open(kDir, {}, &env);
+  ASSERT_TRUE(server.ok()) << server.status();
+  ASSERT_TRUE((*server)->Bootstrap(BuildMovieDb().db).ok());
+  auto session = (*server)->Connect();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->Run(TickInsert("City Lights", "acked")).ok());
+
+  env.FailNextSync();
+  uint64_t before = (*server)->head_epoch();
+  auto failed = (*session)->Run(TickInsert("City Lights", "lost"));
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ((*server)->head_epoch(), before)
+      << "published without durability";
+
+  // The WAL now holds an appended record of unknown durability: the server
+  // refuses further commits rather than risk replaying an unacked one...
+  auto rejected = (*session)->Run(TickInsert("City Lights", "after"));
+  EXPECT_FALSE(rejected.ok());
+  // ...but snapshot reads still work.
+  ASSERT_TRUE((*session)->Begin().ok());
+  auto read = (*session)->Run(
+      "for $t in document(\"d\")/{red}descendant::tick return $t");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->items.size(), 1u);
+  ASSERT_TRUE((*session)->Commit().ok());
+
+  auto history = (*server)->CommitHistory();
+  env.SimulateCrash();
+  session->reset();
+  server->reset();
+  auto rec = RecoverDatabase(kDir, &env);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  ExpectServerState(rec->db.get(), history, 1,
+                    "recovery disagrees with acknowledged history");
+}
+
+TEST(ServeRecoveryTest, TornUnsyncedTailRecoversToCommitPrefix) {
+  // sync_commits=false acknowledges before durability (the documented
+  // trade); a crash may then tear the unsynced WAL tail at any byte. The
+  // all-or-prefix contract: recovery lands on SOME prefix of the history.
+  FaultInjectionEnv env;
+  serve::ServerOptions opts;
+  opts.sync_commits = false;
+  std::vector<serve::CommittedStatement> history;
+  const std::string wal_path = WalFilePath(kDir);
+  {
+    auto server = serve::ColorServer::Open(kDir, opts, &env);
+    ASSERT_TRUE(server.ok()) << server.status();
+    ASSERT_TRUE((*server)->Bootstrap(BuildMovieDb().db).ok());
+    auto session = (*server)->Connect();
+    ASSERT_TRUE(session.ok());
+    for (int k = 0; k < 4; ++k) {
+      ASSERT_TRUE(
+          (*session)->Run(TickInsert("Sunset Boulevard", std::to_string(k)))
+              .ok());
+    }
+    history = (*server)->CommitHistory();
+    ASSERT_EQ(history.size(), 4u);
+  }
+  const uint64_t tail = env.UnsyncedBytes(wal_path);
+  ASSERT_GT(tail, 0u);
+
+  // ~a dozen tear points across the tail, plus both edges; per-byte
+  // coverage of torn records already lives in the WAL format tests.
+  const uint64_t step = tail / 12 + 1;
+  for (uint64_t keep = 0; keep <= tail; keep += step) {
+    FaultInjectionEnv torn;
+    {
+      auto server = serve::ColorServer::Open(kDir, opts, &torn);
+      ASSERT_TRUE(server.ok()) << server.status();
+      ASSERT_TRUE((*server)->Bootstrap(BuildMovieDb().db).ok());
+      auto session = (*server)->Connect();
+      ASSERT_TRUE(session.ok());
+      for (int k = 0; k < 4; ++k) {
+        ASSERT_TRUE(
+            (*session)->Run(TickInsert("Sunset Boulevard", std::to_string(k)))
+                .ok());
+      }
+      torn.SimulateCrashKeepingPrefix("wal", keep);
+    }
+    auto rec = RecoverDatabase(kDir, &torn);
+    ASSERT_TRUE(rec.ok()) << rec.status() << " keep=" << keep;
+    bool matched = false;
+    for (size_t n = 0; n <= history.size() && !matched; ++n) {
+      auto want = ServerOracle(history, n);
+      std::string why;
+      matched = serialize::DatabasesIsomorphic(*rec->db, *want, &why);
+    }
+    EXPECT_TRUE(matched)
+        << "keep=" << keep << ": recovered state is not a commit prefix";
+  }
 }
 
 }  // namespace
