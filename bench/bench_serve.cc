@@ -13,8 +13,16 @@
 // The acceptance gate (--check): under mixed load, reader p99 must stay
 // within 2x the read-only p99 — snapshots make readers (almost) immune to
 // writers. Results land in BENCH_serve.json.
+//
+// --overload adds a third phase: a closed-loop writer burst offering far
+// more load than the writer gate admits, against a server with a bounded
+// admission queue (ServerOptions::max_queue_depth). Excess commits must be
+// shed fast with ResourceExhausted instead of piling up, and readers must
+// stay responsive — the overload gate (with --check) requires sheds > 0
+// and overload reader p99 within 3x the uncontended baseline.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -93,6 +101,7 @@ void ReaderLoop(serve::ColorServer* server,
 int Main(int argc, char** argv) {
   double scale = ScaleFromArgs(argc, argv);
   bool check = HasFlag(argc, argv, "--check");
+  bool overload = HasFlag(argc, argv, "--overload");
 
   workload::TpcwData data =
       workload::GenerateTpcw(workload::TpcwScale::Default().ScaledBy(scale));
@@ -110,6 +119,13 @@ int Main(int argc, char** argv) {
   opts.default_color = tpcw->default_color();
   opts.planner = true;
   opts.max_concurrent_writers = kWriters;
+  if (overload) {
+    // Bounded admission from the start: the paced phases never fill a
+    // 2-deep queue (writers offer well under capacity), so A and B measure
+    // exactly what they do without --overload; only the burst phase can
+    // trip the bound.
+    opts.max_queue_depth = 2;
+  }
   auto server = serve::ColorServer::Open("/bench", opts, &env);
   if (!server.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
@@ -216,8 +232,59 @@ int Main(int argc, char** argv) {
     mixed_write.Finish();
   }
 
+  // ---- Phase C (--overload): closed-loop writer burst vs bounded queue. ----
+  // 8 writers commit back-to-back against a writer gate of 2 and a 2-deep
+  // admission queue: offered load exceeds capacity by construction, so the
+  // server must shed (retryable ResourceExhausted) rather than queue
+  // without bound. Readers run their open-loop schedule throughout.
+  PhaseStats over_read;
+  uint64_t burst_served = 0;
+  uint64_t burst_shed = 0;
+  if (overload) {
+    constexpr int kBurstWriters = 8;
+    const int burst_ops = std::max(20, ops / 2);
+    std::atomic<uint64_t> served{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kBurstWriters; ++w) {
+      writers.emplace_back([&, w] {
+        auto session = (*server)->Connect();
+        if (!session.ok()) std::abort();
+        for (int k = 0; k < burst_ops && !stop.load(); ++k) {
+          const workload::TpcwItem& item =
+              data.items[static_cast<size_t>(k * kBurstWriters + w) %
+                         data.items.size()];
+          std::string stmt = StrFormat(
+              "for $i in document(\"tpcw.xml\")/{auth}descendant::item"
+              "[{auth}child::title = \"%s\"] "
+              "update $i { insert <note>o%d-%d</note> into {auth} }",
+              item.title.c_str(), w, k);
+          auto r = (*session)->Run(stmt);
+          if (r.ok()) {
+            served.fetch_add(1);
+          } else if (r.status().IsResourceExhausted()) {
+            shed.fetch_add(1);
+          } else {
+            std::fprintf(stderr, "overload commit failed: %s\n",
+                         r.status().ToString().c_str());
+            std::abort();
+          }
+        }
+      });
+    }
+    run_readers(&over_read);
+    stop.store(true);  // readers done: cap the burst so the phase ends
+    for (auto& t : writers) t.join();
+    burst_served = served.load();
+    burst_shed = shed.load();
+  }
+
   double ratio = read_only.p99 > 0 ? mixed_read.p99 / read_only.p99 : 0;
   bool check_ok = ratio <= 2.0;
+  double over_ratio =
+      read_only.p99 > 0 ? over_read.p99 / read_only.p99 : 0;
+  bool overload_ok = !overload || (burst_shed > 0 && over_ratio <= 3.0);
   uint64_t commits =
       MetricsRegistry::Global().counter("mct.serve.committed_statements")
           ->value();
@@ -237,9 +304,20 @@ int Main(int argc, char** argv) {
               mixed_read.p99, mixed_read.p999);
   std::printf("%-18s %10.3f %10.3f %10.3f\n", "mixed:commits", mixed_write.p50,
               mixed_write.p99, mixed_write.p999);
+  if (overload) {
+    std::printf("%-18s %10.3f %10.3f %10.3f\n", "overload:reads", over_read.p50,
+                over_read.p99, over_read.p999);
+  }
   PrintRule();
   std::printf("reader p99 ratio (mixed / read-only): %.2fx  [%s]\n", ratio,
               check_ok ? "ok" : "FAIL > 2x");
+  if (overload) {
+    std::printf("overload: %llu served, %llu shed; reader p99 %.2fx "
+                "read-only  [%s]\n",
+                static_cast<unsigned long long>(burst_served),
+                static_cast<unsigned long long>(burst_shed), over_ratio,
+                overload_ok ? "ok" : "FAIL");
+  }
   std::printf("%llu statements in %llu group commits, final epoch %llu\n",
               static_cast<unsigned long long>(commits),
               static_cast<unsigned long long>(batches),
@@ -271,13 +349,23 @@ int Main(int argc, char** argv) {
                static_cast<unsigned long long>(commits));
   std::fprintf(out, "  \"group_commits\": %llu,\n",
                static_cast<unsigned long long>(batches));
+  if (overload) {
+    std::fprintf(out,
+                 "  \"overload\": {\"served\": %llu, \"shed\": %llu, "
+                 "\"reader_p99_ms\": %.4f, \"reader_p99_ratio\": %.4f},\n",
+                 static_cast<unsigned long long>(burst_served),
+                 static_cast<unsigned long long>(burst_shed), over_read.p99,
+                 over_ratio);
+    std::fprintf(out, "  \"overload_ok\": %s,\n",
+                 overload_ok ? "true" : "false");
+  }
   std::fprintf(out, "  \"reader_p99_ratio\": %.4f,\n", ratio);
   std::fprintf(out, "  \"check_ok\": %s\n", check_ok ? "true" : "false");
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("Wrote BENCH_serve.json\n");
 
-  return (check && !check_ok) ? 1 : 0;
+  return (check && !(check_ok && overload_ok)) ? 1 : 0;
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+#include "common/governor.h"
+
+#include "common/metrics.h"
+#include "common/strings.h"
+
+namespace mct {
+
+namespace {
+
+Counter* CancelsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("mct.governor.cancels");
+  return c;
+}
+Counter* DeadlineHitsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("mct.governor.deadline_hits");
+  return c;
+}
+Counter* BudgetRejectionsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("mct.governor.budget_rejections");
+  return c;
+}
+Gauge* PeakBytesGauge() {
+  static Gauge* g =
+      MetricsRegistry::Global().gauge("mct.governor.peak_bytes");
+  return g;
+}
+
+}  // namespace
+
+MemoryBudget::~MemoryBudget() {
+  PeakBytesGauge()->SetMax(static_cast<int64_t>(peak()));
+  uint64_t outstanding = used_.load(std::memory_order_relaxed);
+  if (outstanding > 0 && parent_ != nullptr) parent_->Release(outstanding);
+}
+
+Status MemoryBudget::TryCharge(uint64_t bytes) {
+  if (bytes == 0) return Status::OK();
+  uint64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limit_ != 0 && now > limit_) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        StrFormat("memory budget exceeded: %llu + %llu bytes over the "
+                  "%llu-byte cap",
+                  static_cast<unsigned long long>(now - bytes),
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(limit_)));
+  }
+  if (parent_ != nullptr) {
+    Status s = parent_->TryCharge(bytes);
+    if (!s.ok()) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return s;
+    }
+  }
+  // Lost races under-report the peak by at most the racing charges; the
+  // watermark is diagnostic, not a correctness input.
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (peak < now && !peak_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+void MemoryBudget::Release(uint64_t bytes) {
+  if (bytes == 0) return;
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (parent_ != nullptr) parent_->Release(bytes);
+}
+
+bool ResourceGovernor::ShouldStop() {
+  if (tripped()) return true;
+  if (cancel_ != nullptr && cancel_->cancel_requested()) {
+    Trip(Status::Cancelled("query cancelled"));
+    return true;
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    Trip(Status::DeadlineExceeded("query deadline exceeded"));
+    return true;
+  }
+  return false;
+}
+
+bool ResourceGovernor::ChargeOrStop(uint64_t bytes) {
+  if (tripped()) return true;
+  if (budget_ == nullptr) return false;
+  Status s = budget_->TryCharge(bytes);
+  if (s.ok()) return false;
+  Trip(std::move(s));
+  return true;
+}
+
+void ResourceGovernor::Trip(Status s) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // First violation wins; concurrent morsel workers may race here.
+    if (tripped_.load(std::memory_order_relaxed)) return;
+    status_ = std::move(s);
+    if (status_.IsCancelled()) {
+      CancelsCounter()->Inc();
+    } else if (status_.IsDeadlineExceeded()) {
+      DeadlineHitsCounter()->Inc();
+    } else if (status_.IsResourceExhausted()) {
+      BudgetRejectionsCounter()->Inc();
+    }
+    tripped_.store(true, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace mct

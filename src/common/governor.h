@@ -1,0 +1,168 @@
+// Per-query resource governor: cooperative cancellation, wall-clock
+// deadlines, and memory budgets (DESIGN.md §15).
+//
+// Query evaluation over trees is NP-hard in combined complexity, so a
+// single bad statement can run (and allocate) essentially forever. The
+// governor bounds that damage cooperatively: every physical operator and
+// evaluator loop checks a ResourceGovernor carried on ExecContext once per
+// morsel/batch — the same zero-cost-when-off discipline as QueryTrace
+// (null pointer = one branch per operator, never per row) — and large
+// materializations (columnar emit buffers, join scratch) are charged to a
+// MemoryBudget before they grow.
+//
+// Three pieces:
+//
+//  * CancelToken — a sticky atomic cancel flag another thread may raise at
+//    any time (Session::Cancel). Safe to share across threads.
+//  * MemoryBudget — atomic byte accounting against a cap, optionally
+//    chained to a parent budget (per-query -> process-wide). The per-query
+//    budget is an allocation meter: charges accumulate over the statement
+//    (intermediates are not released individually), which keeps the hot
+//    path to one fetch_add and still bounds a runaway join, whose output
+//    is exactly what blows up. Destruction returns the total to the
+//    parent, so process-wide accounting never leaks across statements.
+//  * ResourceGovernor — binds the two plus a monotonic deadline for one
+//    statement execution. The first violation trips a sticky error
+//    (Cancelled / DeadlineExceeded / ResourceExhausted); operators that
+//    cannot return a Status (they return bare Tables) stop emitting and
+//    the evaluator surfaces the sticky status before any truncated output
+//    can escape as a result.
+//
+// Thread safety: morsel workers check and charge one governor
+// concurrently; the trip flag is atomic and the sticky status is
+// mutex-guarded (taken only on the first violation).
+
+#ifndef COLORFUL_XML_COMMON_GOVERNOR_H_
+#define COLORFUL_XML_COMMON_GOVERNOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "common/status.h"
+
+namespace mct {
+
+/// Sticky cross-thread cancellation flag. RequestCancel may be called from
+/// any thread at any time; the governed execution observes it at its next
+/// morsel boundary.
+class CancelToken {
+ public:
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  /// Re-arms the token for the next statement (a cancelled session is not
+  /// dead — clear and continue).
+  void Clear() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Atomic byte accounting against a cap. limit_bytes == 0 means unlimited
+/// (the budget still counts, e.g. to feed a parent's cap). A parent chain
+/// lets a per-statement budget also draw down a process-wide one; a charge
+/// refused by any level is rolled back at every level below it.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(uint64_t limit_bytes = 0,
+                        MemoryBudget* parent = nullptr)
+      : limit_(limit_bytes), parent_(parent) {}
+  /// Returns the outstanding total to the parent and publishes the peak to
+  /// the mct.governor.peak_bytes high-watermark gauge.
+  ~MemoryBudget();
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Accounts `bytes` against this budget and every parent. On refusal
+  /// (any level would exceed its cap) nothing stays charged and a
+  /// ResourceExhausted describing the refusing level is returned.
+  Status TryCharge(uint64_t bytes);
+  /// Returns `bytes` to this budget and every parent.
+  void Release(uint64_t bytes);
+
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  uint64_t limit() const { return limit_; }
+
+ private:
+  const uint64_t limit_;
+  MemoryBudget* const parent_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+/// One statement execution's guard: checked at morsel/batch boundaries by
+/// every physical operator and evaluator loop (via ExecContext::governor).
+/// Any of the three inputs may be absent; a governor is only constructed
+/// when at least one is present, so ungoverned execution pays one null
+/// check per operator.
+class ResourceGovernor {
+ public:
+  ResourceGovernor(
+      CancelToken* cancel,
+      std::optional<std::chrono::steady_clock::time_point> deadline,
+      MemoryBudget* budget)
+      : cancel_(cancel),
+        has_deadline_(deadline.has_value()),
+        deadline_(deadline.value_or(std::chrono::steady_clock::time_point())),
+        budget_(budget) {}
+
+  ResourceGovernor(const ResourceGovernor&) = delete;
+  ResourceGovernor& operator=(const ResourceGovernor&) = delete;
+
+  /// True once any violation has tripped: one relaxed load, the hot check.
+  bool tripped() const { return tripped_.load(std::memory_order_relaxed); }
+
+  /// Morsel-boundary check for operators that return bare Tables: true
+  /// when execution must stop (already tripped, cancel requested, or the
+  /// deadline passed — the latter two trip the sticky status here). The
+  /// caller stops emitting; the evaluator surfaces status().
+  bool ShouldStop();
+
+  /// Morsel-boundary check for Status-returning paths: OK, or the sticky
+  /// violation status.
+  Status Check() {
+    if (!ShouldStop()) return Status::OK();
+    return status();
+  }
+
+  /// Charges `bytes` to the memory budget (no-op without one); a refusal
+  /// trips ResourceExhausted. Returns true when execution must stop.
+  bool ChargeOrStop(uint64_t bytes);
+
+  /// Charge for Status-returning paths.
+  Status Charge(uint64_t bytes) {
+    if (!ChargeOrStop(bytes)) return Status::OK();
+    return status();
+  }
+
+  /// The sticky first-violation status; OK when not tripped.
+  Status status() const {
+    if (!tripped()) return Status::OK();
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+
+  MemoryBudget* budget() const { return budget_; }
+
+ private:
+  void Trip(Status s);
+
+  CancelToken* const cancel_;
+  const bool has_deadline_;
+  const std::chrono::steady_clock::time_point deadline_;
+  MemoryBudget* const budget_;
+
+  std::atomic<bool> tripped_{false};
+  mutable std::mutex mu_;
+  Status status_;  // guarded by mu_; set once by the first Trip
+};
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_COMMON_GOVERNOR_H_

@@ -37,6 +37,14 @@ class Gauge {
  public:
   void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
   void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if it is below (high-watermark gauges like
+  /// mct.governor.peak_bytes); concurrent SetMax calls keep the maximum.
+  void SetMax(int64_t v) {
+    int64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v && !v_.compare_exchange_weak(cur, v,
+                                                std::memory_order_relaxed)) {
+    }
+  }
   int64_t value() const { return v_.load(std::memory_order_relaxed); }
   void Reset() { v_.store(0, std::memory_order_relaxed); }
 

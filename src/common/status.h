@@ -32,6 +32,16 @@ enum class StatusCode : int {
   // MCXQuery static-analysis rejection: strict mode refused to execute a
   // statement whose analysis produced errors (MCX0xx diagnostics).
   kStaticError = 11,
+  // The caller (or its session) requested cancellation; the operation was
+  // abandoned cooperatively with no side effects.
+  kCancelled = 12,
+  // The operation's wall-clock deadline passed before it completed.
+  kDeadlineExceeded = 13,
+  // A resource cap refused the operation: memory budget, session limit,
+  // writer-queue depth. The only retryable code (see IsRetryable) — the
+  // resource may free up; a deadline that passed or a cancel that was
+  // requested will not un-happen.
+  kResourceExhausted = 14,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -94,6 +104,15 @@ class [[nodiscard]] Status {
   static Status StaticError(std::string msg) {
     return Status(StatusCode::kStaticError, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -116,6 +135,23 @@ class [[nodiscard]] Status {
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsStaticError() const { return code() == StatusCode::kStaticError; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+
+  /// Retryability classification (gRPC-style). True only for
+  /// ResourceExhausted: the pressure that refused the operation (memory
+  /// budget, admission queue, session cap) may clear, so a client should
+  /// retry with exponential backoff. Cancelled reflects a caller decision
+  /// and DeadlineExceeded a deadline that has already passed — retrying
+  /// either verbatim cannot succeed.
+  bool IsRetryable() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -285,6 +285,7 @@ Status Evaluator::ForRows(size_t n, bool parallel_ok,
                           size_t morsel_override) {
   const size_t morsel =
       morsel_override != 0 ? morsel_override : opts_.morsel_size;
+  ResourceGovernor* gov = exec_.governor;
   if (pool_ == nullptr || !parallel_ok || opts_.morsel_size == 0 ||
       n <= morsel) {
     if (pool_ != nullptr && opts_.morsel_size != 0 && !parallel_ok &&
@@ -295,7 +296,13 @@ Status Evaluator::ForRows(size_t n, bool parallel_ok,
           MetricsRegistry::Global().counter("mct.eval.serial_fallbacks");
       fallbacks->Inc();
     }
+    // Governed runs check at morsel granularity even on the serial path so
+    // cancellation latency stays bounded by one morsel of row work.
+    const size_t check_every = gov != nullptr && morsel != 0 ? morsel : n + 1;
     for (size_t i = 0; i < n; ++i) {
+      if (gov != nullptr && i != 0 && i % check_every == 0) {
+        MCT_RETURN_IF_ERROR(gov->Check());
+      }
       MCT_RETURN_IF_ERROR(fn(i));
     }
     return Status::OK();
@@ -303,6 +310,13 @@ Status Evaluator::ForRows(size_t n, bool parallel_ok,
   const size_t num_morsels = (n + morsel - 1) / morsel;
   std::vector<Status> errors(num_morsels);
   ParallelFor(pool_.get(), num_morsels, [&](size_t m) {
+    if (gov != nullptr) {
+      Status s = gov->Check();
+      if (!s.ok()) {
+        errors[m] = std::move(s);
+        return;
+      }
+    }
     const size_t begin = m * morsel;
     const size_t end = std::min(n, begin + morsel);
     for (size_t i = begin; i < end; ++i) {
@@ -331,6 +345,11 @@ Result<QueryResult> Evaluator::Run(const ParsedQuery& q) {
 
 Result<QueryResult> Evaluator::RunPlanned(const ParsedQuery& q,
                                           const query::StatementPlan* plan) {
+  // Fail fast when the statement arrives already cancelled or past its
+  // deadline (e.g. it sat in a commit queue): no work, no side effects.
+  if (exec_.governor != nullptr) {
+    MCT_RETURN_IF_ERROR(exec_.governor->Check());
+  }
   MCT_RETURN_IF_ERROR(MaybeAnalyze(q));
   if (plan != nullptr) {
     Note("EXPLAIN PLAN\n" + plan->Describe());
@@ -388,6 +407,12 @@ Result<QueryResult> Evaluator::RunPlanned(const ParsedQuery& q,
     root->rows_out = out.items.size();
     root->seconds = SecondsSince(t0);
   }
+  // Operators that return bare Tables cannot surface a governor trip
+  // themselves — they stop emitting and the sticky status is checked here,
+  // before any (truncated) result escapes to the caller.
+  if (exec_.governor != nullptr && exec_.governor->tripped()) {
+    return exec_.governor->status();
+  }
   return out;
 }
 
@@ -443,7 +468,8 @@ query::StatementPlan Evaluator::PlanFor(const ParsedQuery& q) {
   }
   if (bindings == nullptr || bindings->empty()) return query::StatementPlan{};
   DbStatsProvider stats(db_);
-  return query::PlanStatement(BuildBindingDescs(*bindings), stats);
+  return query::PlanStatement(BuildBindingDescs(*bindings), stats,
+                              exec_.governor);
 }
 
 std::vector<query::BindingDesc> Evaluator::BuildBindingDescs(
@@ -732,6 +758,12 @@ Result<Evaluator::Bindings> Evaluator::EvalFLWORBindings(
 
   Bindings acc;
   for (size_t bi = 0; bi < bindings.size(); ++bi) {
+    // Binding boundaries are the FLWOR loop's natural morsel edges: a
+    // cancelled/expired statement stops before materializing the next
+    // (possibly multiplicative) binding table.
+    if (exec_.governor != nullptr) {
+      MCT_RETURN_IF_ERROR(exec_.governor->Check());
+    }
     const auto& binding = bindings[bi];
     const query::BindingPlan* bplan =
         plan != nullptr ? &plan->bindings[bi] : nullptr;
@@ -987,6 +1019,9 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
   }
 
   for (size_t si = 0; si < steps.size(); ++si) {
+    if (exec_.governor != nullptr) {
+      MCT_RETURN_IF_ERROR(exec_.governor->Check());
+    }
     const PathStep& step = steps[si];
     const query::StepPlan* sp =
         bplan != nullptr && si < bplan->steps.size() ? &bplan->steps[si]
@@ -1503,6 +1538,13 @@ Result<std::optional<Evaluator::Bindings>> Evaluator::EvalSpine(
   const auto spine_t0 = std::chrono::steady_clock::now();
   const size_t n_matches = matched.num_rows();
   const size_t n_spine_cols = matched.num_cols();
+  if (exec_.governor != nullptr) {
+    // The order-restore permutation and the projected output are the
+    // spine's remaining materializations; charge them before allocating.
+    MCT_RETURN_IF_ERROR(exec_.governor->Charge(
+        static_cast<uint64_t>(n_matches) *
+        (sizeof(uint32_t) + 2 * sizeof(NodeId))));
+  }
   std::vector<uint32_t> order(n_matches);
   for (size_t i = 0; i < n_matches; ++i) order[i] = static_cast<uint32_t>(i);
   // `matched` is dense (PathStackJoin output), so the comparator reads the
@@ -1625,7 +1667,15 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
     li.push_back(static_cast<uint32_t>(l));
     ri.push_back(static_cast<uint32_t>(r));
   };
-  auto materialize = [&]() {
+  auto materialize = [&]() -> Status {
+    if (exec_.governor != nullptr) {
+      // The joined table is this statement's dominant materialization:
+      // charge it (plus the pair-index scratch) before the column fills.
+      MCT_RETURN_IF_ERROR(exec_.governor->Charge(
+          static_cast<uint64_t>(li.size()) *
+          ((left.table.num_cols() + right.table.num_cols()) * sizeof(NodeId) +
+           2 * sizeof(uint32_t))));
+    }
     if (exec_.batch) {
       query::Table::GatherInto(left.table, li, &out.table, 0);
       query::Table::GatherInto(right.table, ri, &out.table,
@@ -1641,6 +1691,7 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
         out.table.AppendRow(row);
       }
     }
+    return Status::OK();
   };
 
   // Records the chosen join strategy as one trace leaf; rows_in counts both
@@ -1654,12 +1705,18 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
   };
 
   if (conjunct == nullptr) {
-    // No connecting condition: Cartesian product.
+    // No connecting condition: Cartesian product. Poll the governor per
+    // left row (each covers one full right-side sweep) so an exploding
+    // product is cancellable long before materialization.
     if (stats != nullptr) ++stats->nested_loop_joins;
+    const size_t cart_rn = right.table.num_rows();
     for (size_t i = 0; i < left.table.num_rows(); ++i) {
-      for (size_t j = 0; j < right.table.num_rows(); ++j) emit(i, j);
+      if (exec_.governor != nullptr && cart_rn > 256) {
+        MCT_RETURN_IF_ERROR(exec_.governor->Check());
+      }
+      for (size_t j = 0; j < cart_rn; ++j) emit(i, j);
     }
-    materialize();
+    MCT_RETURN_IF_ERROR(materialize());
     Note(StrFormat("CARTESIAN PRODUCT  (%zu x %zu -> %zu rows)",
                    left.table.num_rows(), right.table.num_rows(),
                    out.table.num_rows()));
@@ -1684,6 +1741,10 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
     const Bindings& list_side = *sa;
     const bool list_is_left = (&list_side == &left);
     std::unordered_map<std::string, std::vector<uint32_t>> ht;
+    if (exec_.governor != nullptr) {
+      MCT_RETURN_IF_ERROR(
+          exec_.governor->Charge(id_side.table.num_rows() * 64));
+    }
     for (size_t i = 0; i < id_side.table.num_rows(); ++i) {
       MCT_ASSIGN_OR_RETURN(auto k, key_fn(id_side, i, b2));
       if (k.has_value() && !k->empty()) {
@@ -1705,7 +1766,7 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
         }
       }
     }
-    materialize();
+    MCT_RETURN_IF_ERROR(materialize());
     Note(StrFormat("IDREFS VALUE JOIN  (%zu x %zu -> %zu rows)",
                    left.table.num_rows(), right.table.num_rows(),
                    out.table.num_rows()));
@@ -1727,6 +1788,10 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
       std::swap(build_key, probe_key);
     }
     const size_t bn = build->table.num_rows();
+    if (exec_.governor != nullptr) {
+      // Hash-table scratch: same per-entry estimate as HashJoinProbe.
+      MCT_RETURN_IF_ERROR(exec_.governor->Charge(bn * 64));
+    }
     std::vector<std::optional<std::string>> bkeys(bn);
     MCT_RETURN_IF_ERROR(ForRows(bn, IsPureExpr(*build_key), [&](size_t i) {
       MCT_ASSIGN_OR_RETURN(bkeys[i], key_fn(*build, i, *build_key));
@@ -1757,7 +1822,7 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
         }
       }
     }
-    materialize();
+    MCT_RETURN_IF_ERROR(materialize());
     Note(StrFormat("HASH VALUE JOIN  (%zu x %zu -> %zu rows)",
                    left.table.num_rows(), right.table.num_rows(),
                    out.table.num_rows()));
@@ -1809,7 +1874,7 @@ Result<Evaluator::Bindings> Evaluator::JoinIn(Bindings left, Bindings right,
   for (size_t i = 0; i < ln; ++i) {
     for (uint32_t j : matches[i]) emit(i, j);
   }
-  materialize();
+  MCT_RETURN_IF_ERROR(materialize());
   Note(StrFormat("NESTED-LOOP INEQUALITY JOIN  (%zu x %zu -> %zu rows)",
                  left.table.num_rows(), right.table.num_rows(),
                  out.table.num_rows()));
@@ -2287,6 +2352,18 @@ Result<QueryResult> Evaluator::RunUpdate(const ParsedQuery& q) {
   for (size_t i = 0; i < b.table.num_rows(); ++i) {
     NodeId n = b.table.At(i, target);
     if (seen.insert(n).second) targets.push_back(n);
+  }
+
+  // Last governed no-side-effects point: every read (binding evaluation,
+  // target dedup) is done and no mutation has been applied yet. A statement
+  // cancelled or expired by here returns with the database untouched and
+  // nothing in the WAL. No further checks are inserted below — aborting
+  // between mutations and the WAL append would leave applied changes
+  // unlogged. (A trip inside a nested action expression follows the
+  // engine's existing mid-update error semantics; serve sessions get
+  // whole-statement atomicity from their trial clones, DESIGN.md §14.)
+  if (exec_.governor != nullptr) {
+    MCT_RETURN_IF_ERROR(exec_.governor->Check());
   }
 
   QueryResult result;

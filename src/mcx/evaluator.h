@@ -23,11 +23,14 @@
 #ifndef COLORFUL_XML_MCX_EVALUATOR_H_
 #define COLORFUL_XML_MCX_EVALUATOR_H_
 
+#include <chrono>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "mct/database.h"
@@ -142,6 +145,24 @@ struct EvalOptions {
   /// because plans are result-identical by construction, so commit
   /// publication needs no cache barrier.
   uint64_t cache_epoch = 0;
+  /// Resource governor inputs (common/governor.h, DESIGN.md §15). When any
+  /// is set the Evaluator constructs a per-statement ResourceGovernor and
+  /// carries it on ExecContext: every physical operator and evaluator loop
+  /// checks it at morsel/batch boundaries, and large materializations are
+  /// charged to the budget. All unset (the default) costs one null check
+  /// per operator — the QueryTrace discipline.
+  ///
+  /// Cross-thread cancellation flag; may be raised at any time by another
+  /// thread (e.g. serve::Session::Cancel). Checked cooperatively; a trip
+  /// surfaces as Status::Cancelled with no side effects for updates.
+  CancelToken* cancel_token = nullptr;
+  /// Monotonic wall-clock deadline; execution past it fails with
+  /// Status::DeadlineExceeded within roughly one morsel of work.
+  std::optional<std::chrono::steady_clock::time_point> deadline = std::nullopt;
+  /// Byte budget for this statement's materializations (columnar emit
+  /// buffers, join scratch); refusal fails with Status::ResourceExhausted.
+  /// Chain the budget to a process-wide parent to cap total pressure.
+  MemoryBudget* memory_budget = nullptr;
 };
 
 class Evaluator {
@@ -154,6 +175,12 @@ class Evaluator {
                   : nullptr),
         exec_(opts.stats, pool_.get(), opts.morsel_size, opts.trace) {
     exec_.batch = opts.vectorized;
+    if (opts_.cancel_token != nullptr || opts_.deadline.has_value() ||
+        opts_.memory_budget != nullptr) {
+      governor_ = std::make_unique<ResourceGovernor>(
+          opts_.cancel_token, opts_.deadline, opts_.memory_budget);
+      exec_.governor = governor_.get();
+    }
   }
 
   /// Runs a query or update.
@@ -306,6 +333,9 @@ class Evaluator {
   // Worker pool for morsel-driven execution (null when num_threads == 1);
   // exec_ is the ExecContext handed to every physical operator.
   std::unique_ptr<ThreadPool> pool_;
+  // Per-statement resource governor (null when no cancel token, deadline
+  // or memory budget was supplied); exec_.governor points at it.
+  std::unique_ptr<ResourceGovernor> governor_;
   query::ExecContext exec_;
   // Pending constructed edges: parent -> ordered children, waiting for
   // createColor.

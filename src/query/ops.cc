@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/governor.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -154,6 +155,19 @@ template <typename Chunk, typename Body>
 size_t MorselCollect(const ExecContext& ctx, size_t n, Chunk* out,
                      const Body& body) {
   if (ctx.pool == nullptr || ctx.morsel_size == 0 || n <= ctx.morsel_size) {
+    if (ctx.governor != nullptr) {
+      // Governed serial run: chunk the loop at morsel granularity anyway,
+      // so cancellation latency stays bounded by one morsel of work. The
+      // ungoverned path below is untouched (single body call, no checks).
+      const size_t step = ctx.morsel_size != 0 ? ctx.morsel_size : (n + 1);
+      size_t chunks = 0;
+      for (size_t b = 0; b < n; b += step) {
+        if (ctx.governor->ShouldStop()) break;
+        body(b, std::min(n, b + step), out, ctx.stats);
+        ++chunks;
+      }
+      return chunks;
+    }
     body(0, n, out, ctx.stats);
     return n > 0 ? 1 : 0;
   }
@@ -161,6 +175,9 @@ size_t MorselCollect(const ExecContext& ctx, size_t n, Chunk* out,
   std::vector<Chunk> parts(num_morsels);
   std::vector<ExecStats> part_stats(ctx.stats != nullptr ? num_morsels : 0);
   ParallelFor(ctx.pool, num_morsels, [&](size_t m) {
+    // Tripped governor: workers drain remaining morsels without running
+    // them; the truncated output is discarded by the evaluator.
+    if (ctx.governor != nullptr && ctx.governor->ShouldStop()) return;
     const size_t begin = m * ctx.morsel_size;
     const size_t end = std::min(n, begin + ctx.morsel_size);
     body(begin, end, &parts[m],
@@ -182,11 +199,24 @@ size_t MorselCollect(const ExecContext& ctx, size_t n, Chunk* out,
 template <typename Body>
 size_t ForEachMorsel(const ExecContext& ctx, size_t n, const Body& body) {
   if (ctx.pool == nullptr || ctx.morsel_size == 0 || n <= ctx.morsel_size) {
+    if (ctx.governor != nullptr) {
+      // Governed serial run: morsel-granular chunks for bounded
+      // cancellation latency (see MorselCollect).
+      const size_t step = ctx.morsel_size != 0 ? ctx.morsel_size : (n + 1);
+      size_t chunks = 0;
+      for (size_t b = 0; b < n; b += step) {
+        if (ctx.governor->ShouldStop()) break;
+        body(b, std::min(n, b + step));
+        ++chunks;
+      }
+      return chunks;
+    }
     body(0, n);
     return n > 0 ? 1 : 0;
   }
   const size_t num_morsels = (n + ctx.morsel_size - 1) / ctx.morsel_size;
   ParallelFor(ctx.pool, num_morsels, [&](size_t m) {
+    if (ctx.governor != nullptr && ctx.governor->ShouldStop()) return;
     const size_t begin = m * ctx.morsel_size;
     body(begin, std::min(n, begin + ctx.morsel_size));
   });
@@ -204,6 +234,14 @@ size_t GatherColumns(const ExecContext& ctx, const Table& src,
   assert(dst->dense());
   const size_t n = idx.size();
   const size_t ncols = src.num_cols();
+  // Columnar emit buffers are the dominant materialization: charge them to
+  // the memory budget before they grow. A refusal trips the governor; the
+  // destination columns stay empty (schema intact, zero rows) and the
+  // evaluator surfaces the sticky status before the output can escape.
+  if (ctx.governor != nullptr &&
+      ctx.governor->ChargeOrStop(n * ncols * sizeof(NodeId))) {
+    return 0;
+  }
   for (size_t j = 0; j < ncols; ++j) {
     assert(dst->cols[dst_col0 + j].empty());
     dst->cols[dst_col0 + j].resize(n);
@@ -230,6 +268,12 @@ size_t GatherColumns(const ExecContext& ctx, const Table& src,
 size_t GatherExpand(const ExecContext& ctx, const Table& in, EmitChunk&& hits,
                     Table* out) {
   const size_t gathers = GatherColumns(ctx, in, hits.idx, out, 0);
+  if (ctx.governor != nullptr && ctx.governor->tripped()) {
+    // The gather was refused (or cancelled mid-way): emit a consistent
+    // zero-row table rather than columns of unequal length.
+    for (auto& c : out->cols) c.clear();
+    hits.node.clear();
+  }
   const bool any = !hits.node.empty();
   out->cols.back() = std::move(hits.node);
   return any ? gathers + 1 : 0;
@@ -990,6 +1034,11 @@ size_t HashJoinProbe(const ExecContext& ctx, bool build_left,
                      const std::vector<std::optional<Key>>& bkeys,
                      const std::vector<std::optional<Key>>& pkeys,
                      PairChunk* pairs) {
+  // Join scratch: charge the hash table (bucket array + per-entry node and
+  // row-index vector, ~48 bytes each) before building it.
+  if (ctx.governor != nullptr && ctx.governor->ChargeOrStop(bkeys.size() * 48)) {
+    return 0;
+  }
   std::unordered_map<Key, std::vector<uint32_t>> ht;
   ht.reserve(bkeys.size() * 2);
   for (size_t i = 0; i < bkeys.size(); ++i) {
@@ -1148,7 +1197,12 @@ Table IdrefsJoin(MctDatabase* db, const Table& left, int lcol,
   Table out = JoinOutput(left, right);
   const MctDatabase& cdb = *db;
   // Hash the single-id side (serial), then probe once per token of each
-  // list, morsel-parallel over the list side.
+  // list, morsel-parallel over the list side. The table (string keys +
+  // row-index vectors, ~64 bytes each) is join scratch: budget it first.
+  if (ctx.governor != nullptr &&
+      ctx.governor->ChargeOrStop(right.num_rows() * 64)) {
+    return out;
+  }
   std::unordered_map<std::string, std::vector<uint32_t>> ht;
   for (size_t i = 0; i < right.num_rows(); ++i) {
     auto k = ExtractKey(cdb, right.At(i, rcol), rkey);
@@ -1214,6 +1268,11 @@ Table NestedLoopJoin(MctDatabase* db, const Table& left, const Table& right,
   }
   Table out = JoinOutput(left, right);
   const size_t rn = right.num_rows();
+  // The quadratic operator: one morsel of left rows costs O(morsel * rn)
+  // predicate calls, so a morsel-boundary check alone could be arbitrarily
+  // late. When governed and the inner side is large enough to amortize a
+  // clock read, check per left row.
+  const bool row_check = ctx.governor != nullptr && rn > 256;
   size_t morsels;
   if (ctx.batch) {
     PairChunk pairs;
@@ -1221,6 +1280,7 @@ Table NestedLoopJoin(MctDatabase* db, const Table& left, const Table& right,
         ctx, left.num_rows(), &pairs,
         [&](size_t begin, size_t end, PairChunk* chunk, ExecStats*) {
           for (size_t i = begin; i < end; ++i) {
+            if (row_check && ctx.governor->ShouldStop()) return;
             for (size_t j = 0; j < rn; ++j) {
               if (pred(i, j)) {
                 chunk->li.push_back(static_cast<uint32_t>(i));
@@ -1236,6 +1296,7 @@ Table NestedLoopJoin(MctDatabase* db, const Table& left, const Table& right,
         ctx, left.num_rows(), &rows,
         [&](size_t begin, size_t end, RowChunk* chunk, ExecStats*) {
           for (size_t i = begin; i < end; ++i) {
+            if (row_check && ctx.governor->ShouldStop()) return;
             const Row lrow = left.RowAt(i);
             for (size_t j = 0; j < rn; ++j) {
               if (pred(i, j)) {

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 
+#include "common/governor.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 
@@ -197,10 +198,18 @@ std::string FmtEst(double v) {
 }  // namespace
 
 StatementPlan PlanStatement(const std::vector<BindingDesc>& bindings,
-                            const StatsProvider& stats) {
+                            const StatsProvider& stats,
+                            ResourceGovernor* governor) {
   StatementPlan plan;
   plan.bindings.reserve(bindings.size());
   for (const BindingDesc& b : bindings) {
+    if (governor != nullptr && governor->ShouldStop()) {
+      // Deadline already passed or session cancelled: don't spend time
+      // costing a statement that will not run. The empty plan is the
+      // all-baseline shape; the evaluator surfaces the governor's status
+      // before execution starts.
+      return StatementPlan{};
+    }
     BindingPlan bp;
     bp.steps.resize(b.steps.size());
     double rows = std::max(b.in_rows, 1.0);

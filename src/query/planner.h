@@ -48,6 +48,10 @@
 
 #include "mct/color.h"
 
+namespace mct {
+class ResourceGovernor;
+}
+
 namespace mct::query {
 
 /// Axes of the logical IR (mirrors mcx::Axis without depending on the AST).
@@ -155,8 +159,13 @@ class StatsProvider {
 
 /// Chooses a physical plan for the statement. Pure function of the IR and
 /// the statistics; never fails (unknown structure degrades to kBaseline).
+/// `governor` (optional) is checked once per binding: a statement whose
+/// deadline already passed, or whose session was cancelled, skips costing
+/// and returns the empty (all-baseline) plan — the evaluator surfaces the
+/// governor's status before executing it.
 StatementPlan PlanStatement(const std::vector<BindingDesc>& bindings,
-                            const StatsProvider& stats);
+                            const StatsProvider& stats,
+                            ResourceGovernor* governor = nullptr);
 
 /// Replaces string and standalone numeric literals with `?` — the plan-cache
 /// parameterization key. Identifiers, tags, variables and colors survive.

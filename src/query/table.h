@@ -30,6 +30,7 @@
 #include "mct/node_store.h"
 
 namespace mct {
+class ResourceGovernor;
 class ThreadPool;
 }
 
@@ -259,6 +260,15 @@ struct ExecContext {
   /// operator checks this exactly once, so a disabled trace costs one
   /// branch per operator call, never per row.
   QueryTrace* trace = nullptr;
+  /// Per-query resource governor (common/governor.h): cooperative
+  /// cancellation, deadline, and memory budget, checked at morsel/batch
+  /// boundaries with the same zero-cost-when-off discipline as `trace` —
+  /// nullptr (the default) costs one branch per operator, never per row.
+  /// When the governor trips, operators stop emitting (their truncated
+  /// output is never returned: the evaluator surfaces the governor's
+  /// sticky status first) and large materializations are charged to the
+  /// budget before they grow.
+  ResourceGovernor* governor = nullptr;
   /// Vectorized (batch) execution: operators emit (row index, value) pairs
   /// into column chunks and materialize output with per-column gathers;
   /// filters flip selection vectors. false routes the hot operators

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/governor.h"
 #include "common/strings.h"
 
 namespace mct::query {
@@ -118,14 +119,33 @@ Result<Table> PathStackJoin(MctDatabase* db, ColorId color,
   std::vector<std::vector<Entry>> stacks(static_cast<size_t>(k));
   ColoredTree* t = db->tree(color);
 
-  // Emits every solution ending at the just-pushed leaf entry.
+  // Governor hooks: the merge loop advances one stream element per
+  // iteration (checked every 1024), but one leaf push can expand into a
+  // combinatorial number of solutions — so the emitter itself re-checks
+  // and charges the output every 1024 rows, and a trip aborts the
+  // recursion via `stopped`.
+  ResourceGovernor* gov = ctx.governor;
+  bool stopped = false;
   std::vector<NodeId> partial(static_cast<size_t>(k));
+  auto emit_row_ok = [&]() -> bool {
+    out.AppendRow(partial);
+    if (gov != nullptr && (out.num_rows() & 1023) == 0 &&
+        (gov->ShouldStop() ||
+         gov->ChargeOrStop(1024 * static_cast<uint64_t>(k) *
+                           sizeof(NodeId)))) {
+      return false;
+    }
+    return true;
+  };
+
+  // Emits every solution ending at the just-pushed leaf entry.
   auto expand = [&](auto&& self, int level, int max_idx) -> void {
+    if (stopped) return;
     if (level < 0) {
-      out.AppendRow(partial);
+      if (!emit_row_ok()) stopped = true;
       return;
     }
-    for (int idx = 0; idx <= max_idx; ++idx) {
+    for (int idx = 0; idx <= max_idx && !stopped; ++idx) {
       const Entry& entry = stacks[static_cast<size_t>(level)]
                                  [static_cast<size_t>(idx)];
       // Child-axis edges are verified against the parent pointer; the
@@ -140,8 +160,13 @@ Result<Table> PathStackJoin(MctDatabase* db, ColorId color,
     }
   };
 
+  uint64_t iters = 0;
   while (cursor[static_cast<size_t>(k - 1)] <
          streams[static_cast<size_t>(k - 1)].size()) {
+    if (gov != nullptr &&
+        (stopped || ((++iters & 1023) == 0 && gov->ShouldStop()))) {
+      break;
+    }
     // qmin: the stream whose next element has the smallest start.
     int qmin = -1;
     uint64_t min_start = ~0ULL;
@@ -190,6 +215,8 @@ Result<Table> PathStackJoin(MctDatabase* db, ColorId color,
     }
     cursor[static_cast<size_t>(qmin)]++;
   }
+  // A governed abort must never surface its truncated table as a result.
+  if (gov != nullptr && gov->tripped()) return gov->status();
   return out;
 }
 
@@ -238,6 +265,10 @@ Result<Table> TwigStackJoin(MctDatabase* db, ColorId color,
       }
       return key;
     };
+    // Join scratch (string keys + row-index vectors, ~64 bytes/entry).
+    if (ctx.governor != nullptr) {
+      MCT_RETURN_IF_ERROR(ctx.governor->Charge(right.num_rows() * 64));
+    }
     std::unordered_map<std::string, std::vector<uint32_t>> ht;
     for (size_t i = 0; i < right.num_rows(); ++i) {
       ht[key_of(right, i, shared_r)].push_back(static_cast<uint32_t>(i));
@@ -252,6 +283,9 @@ Result<Table> TwigStackJoin(MctDatabase* db, ColorId color,
       // sides with column-at-a-time gathers.
       std::vector<uint32_t> li, ri;
       for (size_t i = 0; i < acc.num_rows(); ++i) {
+        if (ctx.governor != nullptr && (i & 1023) == 0) {
+          MCT_RETURN_IF_ERROR(ctx.governor->Check());
+        }
         auto it = ht.find(key_of(acc, i, shared_l));
         if (it == ht.end()) continue;
         for (uint32_t r : it->second) {
@@ -260,6 +294,12 @@ Result<Table> TwigStackJoin(MctDatabase* db, ColorId color,
         }
       }
       const size_t acc_cols = acc.num_cols();
+      // Merged output buffers (Table::GatherInto has no ExecContext, so
+      // the charge happens here).
+      if (ctx.governor != nullptr) {
+        MCT_RETURN_IF_ERROR(ctx.governor->Charge(
+            li.size() * merged.num_cols() * sizeof(NodeId)));
+      }
       Table::GatherInto(acc, li, &merged, 0);
       // Project the right side down to its extra columns first (a column
       // move, no cell copies), so the gather touches only those.
@@ -267,6 +307,9 @@ Result<Table> TwigStackJoin(MctDatabase* db, ColorId color,
       Table::GatherInto(rex, ri, &merged, acc_cols);
     } else {
       for (size_t i = 0; i < acc.num_rows(); ++i) {
+        if (ctx.governor != nullptr && (i & 1023) == 0) {
+          MCT_RETURN_IF_ERROR(ctx.governor->Check());
+        }
         auto it = ht.find(key_of(acc, i, shared_l));
         if (it == ht.end()) continue;
         std::vector<NodeId> lrow = acc.RowAt(i);

@@ -1,6 +1,8 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/metrics.h"
@@ -25,6 +27,16 @@ Counter* CommitsCounter() {
 Counter* BatchesCounter() {
   static Counter* c =
       MetricsRegistry::Global().counter("mct.serve.group_commits");
+  return c;
+}
+Counter* QueueShedsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("mct.governor.queue_sheds");
+  return c;
+}
+Counter* RetriesCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("mct.governor.retries");
   return c;
 }
 
@@ -74,9 +86,36 @@ Result<mcx::QueryResult> Session::Run(std::string_view text,
   auto parsed = mcx::Parse(text);
   if (!parsed.ok()) return parsed.status();
 
+  // The statement's deadline is stamped at acceptance, so for updates it
+  // covers queue wait and retries too — a statement cannot dodge its
+  // timeout by sitting in the commit queue or backing off.
+  const ServerOptions& sopts = server_->opts_;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (sopts.statement_timeout_ms > 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(sopts.statement_timeout_ms);
+  }
+
   if (parsed->is_update) {
     uint64_t epoch = 0;
-    auto r = server_->CommitStatement(text, default_color, &epoch);
+    Result<mcx::QueryResult> r =
+        server_->CommitStatement(text, default_color, &cancel_, deadline,
+                                 &epoch);
+    // Retryable failures (queue shed, memory pressure) back off with
+    // jitter and try again, up to admission_retries attempts; Cancelled
+    // and DeadlineExceeded fail straight through (retrying cannot help).
+    for (int attempt = 0;
+         !r.ok() && r.status().IsRetryable() &&
+         attempt < sopts.admission_retries;
+         ++attempt) {
+      RetriesCounter()->Inc();
+      const int64_t base_us = 500ll << std::min(attempt, 8);
+      const int64_t jitter_us =
+          retry_rng_.UniformInt(base_us / 2, base_us + base_us / 2);
+      std::this_thread::sleep_for(std::chrono::microseconds(jitter_us));
+      r = server_->CommitStatement(text, default_color, &cancel_, deadline,
+                                   &epoch);
+    }
     if (r.ok() && pin_.valid()) {
       // Read-your-writes: the old snapshot predates the commit, so re-pin
       // at (at least) the publishing epoch.
@@ -86,11 +125,21 @@ Result<mcx::QueryResult> Session::Run(std::string_view text,
   }
 
   if (!pin_.valid()) MCT_RETURN_IF_ERROR(Begin());
+  // Per-statement budget, drawing down the server-wide pool; outstanding
+  // bytes return to the pool when the statement finishes (dtor).
+  MemoryBudget stmt_budget(
+      sopts.statement_memory_limit,
+      sopts.total_memory_limit > 0 ? &server_->total_budget_ : nullptr);
   mcx::EvalOptions o;
   o.default_color = default_color;
   o.planner = server_->opts_.planner;
   o.plan_cache = server_->opts_.planner ? &server_->plan_cache_ : nullptr;
   o.cache_epoch = pin_.epoch();
+  o.cancel_token = &cancel_;
+  o.deadline = deadline;
+  if (sopts.statement_memory_limit > 0 || sopts.total_memory_limit > 0) {
+    o.memory_budget = &stmt_budget;
+  }
   mcx::Evaluator ev(reader_.get(), o);
   auto r = ev.Run(text);
   if (r.ok()) ReadsCounter()->Inc();
@@ -143,7 +192,10 @@ Status ColorServer::Bootstrap(std::unique_ptr<MctDatabase> db) {
 Result<std::unique_ptr<Session>> ColorServer::Connect() {
   std::lock_guard<std::mutex> lock(sessions_mu_);
   if (opts_.max_sessions > 0 && live_sessions_ >= opts_.max_sessions) {
-    return Status::OutOfRange("session limit reached");
+    // ResourceExhausted, not OutOfRange: the limit is a transient capacity
+    // condition (a slot frees when any session closes), so clients may
+    // retry with backoff — the error-code contract IsRetryable() encodes.
+    return Status::ResourceExhausted("session limit reached");
   }
   ++live_sessions_;
   return std::unique_ptr<Session>(new Session(this));
@@ -177,20 +229,34 @@ std::vector<CommittedStatement> ColorServer::CommitHistory() const {
   return history_;
 }
 
-Result<mcx::QueryResult> ColorServer::CommitStatement(std::string_view text,
-                                                      ColorId default_color,
-                                                      uint64_t* out_epoch) {
-  // Admission: bound the number of sessions inside the commit path.
+Result<mcx::QueryResult> ColorServer::CommitStatement(
+    std::string_view text, ColorId default_color, CancelToken* cancel,
+    std::optional<std::chrono::steady_clock::time_point> deadline,
+    uint64_t* out_epoch) {
+  // Admission: bound the number of sessions inside the commit path. With
+  // max_queue_depth > 0 the wait itself is bounded too: an arrival that
+  // would queue behind max_queue_depth waiters is shed immediately with a
+  // retryable ResourceExhausted instead of piling onto a saturated server.
   {
     std::unique_lock<std::mutex> g(admit_mu_);
+    if (opts_.max_queue_depth > 0 &&
+        active_writers_ >= opts_.max_concurrent_writers &&
+        admit_waiters_ >= opts_.max_queue_depth) {
+      QueueShedsCounter()->Inc();
+      return Status::ResourceExhausted("commit admission queue full");
+    }
+    ++admit_waiters_;
     admit_cv_.wait(
         g, [&] { return active_writers_ < opts_.max_concurrent_writers; });
+    --admit_waiters_;
     ++active_writers_;
   }
 
   CommitRequest req;
   req.text = std::string(text);
   req.default_color = default_color;
+  req.cancel = cancel;
+  req.deadline = deadline;
 
   {
     std::unique_lock<std::mutex> lk(commit_mu_);
@@ -238,9 +304,14 @@ void ColorServer::ApplyBatch(const std::vector<CommitRequest*>& batch) {
   std::vector<CommitRequest*> applied;
   for (CommitRequest* r : batch) {
     // Statement atomicity: apply against a trial clone of the pending
-    // state; a mid-statement failure discards the trial whole instead of
-    // leaving the batch half-mutated.
+    // state; a mid-statement failure — including a governor trip — discards
+    // the trial whole instead of leaving the batch half-mutated. A request
+    // cancelled or expired while it sat in the queue is shed by the
+    // evaluator's entry check before any work happens.
     std::unique_ptr<MctDatabase> trial = pending->CowClone(true);
+    MemoryBudget stmt_budget(
+        opts_.statement_memory_limit,
+        opts_.total_memory_limit > 0 ? &total_budget_ : nullptr);
     mcx::EvalOptions o;
     o.default_color = r->default_color;
     o.planner = opts_.planner;
@@ -252,6 +323,11 @@ void ColorServer::ApplyBatch(const std::vector<CommitRequest*>& batch) {
     o.cache_epoch = base_epoch;
     o.wal = wal_.get();
     o.wal_sync_each = false;  // one fsync per group, below
+    o.cancel_token = r->cancel;
+    o.deadline = r->deadline;
+    if (opts_.statement_memory_limit > 0 || opts_.total_memory_limit > 0) {
+      o.memory_budget = &stmt_budget;
+    }
     mcx::Evaluator ev(trial.get(), o);
     auto res = ev.Run(r->text);
     if (res.ok()) {

@@ -36,7 +36,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/result.h"
+#include "common/rng.h"
 #include "mct/color.h"
 #include "mct/database.h"
 #include "mct/durability.h"
@@ -54,7 +56,7 @@ struct ServerOptions {
   /// commit path (queued or applying) at once; further writers block.
   int max_concurrent_writers = 4;
   /// Maximum live sessions; 0 = unlimited. Connect() fails with
-  /// OutOfRange beyond it.
+  /// ResourceExhausted (retryable) beyond it.
   int max_sessions = 0;
   /// Cost-based planning + the shared epoch-stamped plan cache for reads.
   bool planner = true;
@@ -62,6 +64,27 @@ struct ServerOptions {
   /// before visibility). false trades durability of the newest commits
   /// for throughput — snapshot isolation itself is unaffected.
   bool sync_commits = true;
+  /// Per-statement wall-clock timeout in milliseconds; 0 = none. The
+  /// deadline is stamped when Run() accepts the statement, so for updates
+  /// it covers queue wait too: a statement that expires while queued is
+  /// shed without executing (DeadlineExceeded).
+  int64_t statement_timeout_ms = 0;
+  /// Per-statement memory budget in bytes (charged by operators for
+  /// columnar emit buffers and join scratch); 0 = none. Statements that
+  /// exceed it fail with ResourceExhausted.
+  uint64_t statement_memory_limit = 0;
+  /// Process-wide cap the per-statement budgets chain to; 0 = none.
+  /// Concurrent statements draw down one shared pool, so overload degrades
+  /// into per-statement ResourceExhausted instead of an OOM kill.
+  uint64_t total_memory_limit = 0;
+  /// Bounded writer admission: at most this many writers may *wait* for a
+  /// commit slot; one more fast-fails with ResourceExhausted (a load shed,
+  /// counted by mct.governor.queue_sheds). 0 = legacy unbounded blocking.
+  int max_queue_depth = 0;
+  /// Session::Run retries a retryable failure (ResourceExhausted: queue
+  /// shed, memory) this many times with exponential backoff + jitter
+  /// before surfacing it. 0 = fail straight through.
+  int admission_retries = 0;
 };
 
 /// One committed update statement, in publish order. Statements grouped
@@ -92,6 +115,18 @@ class Session {
   Result<mcx::QueryResult> Run(std::string_view text);
   Result<mcx::QueryResult> Run(std::string_view text, ColorId default_color);
 
+  /// Cancels the statement this session is currently running (and any
+  /// later one, until ClearCancel). Safe to call from any thread — this is
+  /// the one cross-thread entry point on a Session. The victim observes
+  /// the flag at its next morsel boundary and fails with Cancelled; an
+  /// update cancelled mid-trial is discarded whole (trial clone), so it
+  /// leaves no side effects.
+  void Cancel() { cancel_.RequestCancel(); }
+  /// Re-arms the session after a cancel; subsequent statements run
+  /// normally.
+  void ClearCancel() { cancel_.Clear(); }
+  CancelToken* cancel_token() { return &cancel_; }
+
   /// Epoch of the pinned snapshot; 0 when no transaction is open.
   uint64_t snapshot_epoch() const { return pin_.epoch(); }
   /// The session's private view of the pinned snapshot (tests and tools
@@ -108,6 +143,12 @@ class Session {
   /// (lazy relabeling, RETURN constructors create free nodes), so the
   /// shared frozen version itself is never handed to an evaluator.
   std::unique_ptr<MctDatabase> reader_;
+  /// Raised by Cancel() from any thread; carried into every statement this
+  /// session runs (reads directly, updates through the commit queue).
+  CancelToken cancel_;
+  /// Backoff jitter for retryable commit failures. Seeded per session;
+  /// only this session's thread draws from it.
+  Rng retry_rng_{reinterpret_cast<uint64_t>(this)};
 };
 
 class ColorServer {
@@ -124,7 +165,8 @@ class ColorServer {
   /// in flight; concurrent readers keep their old snapshots.
   Status Bootstrap(std::unique_ptr<MctDatabase> db);
 
-  /// Opens a session. Fails with OutOfRange past max_sessions.
+  /// Opens a session. Fails with ResourceExhausted (retryable — a slot
+  /// frees when any session closes) past max_sessions.
   Result<std::unique_ptr<Session>> Connect();
 
   /// Checkpoints the head snapshot and resets the WAL. Waits for in-flight
@@ -146,6 +188,11 @@ class ColorServer {
   struct CommitRequest {
     std::string text;
     ColorId default_color = 0;
+    /// Governor inputs carried through the queue: the leader hands them to
+    /// the trial evaluator, and a request already cancelled or expired
+    /// when the leader reaches it is shed without executing.
+    CancelToken* cancel = nullptr;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
     bool done = false;
     Status status = Status::OK();
     mcx::QueryResult result;
@@ -153,13 +200,19 @@ class ColorServer {
   };
 
   ColorServer(std::string dir, ServerOptions opts, FileEnv* env)
-      : dir_(std::move(dir)), opts_(opts), env_(env) {}
+      : dir_(std::move(dir)),
+        opts_(opts),
+        env_(env),
+        total_budget_(opts.total_memory_limit) {}
 
   /// Group commit entry point: enqueue, then either lead the batch or wait
   /// for a leader to carry the request. Returns the statement's result.
-  Result<mcx::QueryResult> CommitStatement(std::string_view text,
-                                           ColorId default_color,
-                                           uint64_t* out_epoch);
+  /// Fast-fails with ResourceExhausted when the bounded admission queue is
+  /// full (max_queue_depth > 0).
+  Result<mcx::QueryResult> CommitStatement(
+      std::string_view text, ColorId default_color, CancelToken* cancel,
+      std::optional<std::chrono::steady_clock::time_point> deadline,
+      uint64_t* out_epoch);
   /// Leader body: applies `batch` against a COW clone of head, syncs the
   /// WAL once, publishes. Called with commit_mu_ released (the queue front
   /// keeps leadership exclusive).
@@ -186,10 +239,17 @@ class ColorServer {
   /// more on top could replay statements never acknowledged).
   Status broken_ = Status::OK();
 
-  /// Admission gate for the commit path.
+  /// Admission gate for the commit path. admit_waiters_ counts writers
+  /// blocked on a commit slot; with max_queue_depth > 0 an arrival beyond
+  /// it is shed instead of queued.
   std::mutex admit_mu_;
   std::condition_variable admit_cv_;
   int active_writers_ = 0;
+  int admit_waiters_ = 0;
+
+  /// Process-wide memory pool per-statement budgets chain to (limit 0 =
+  /// unlimited, when total_memory_limit is unset).
+  MemoryBudget total_budget_;
 
   mutable std::mutex history_mu_;
   std::vector<CommittedStatement> history_;

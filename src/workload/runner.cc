@@ -11,8 +11,10 @@ Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
                           query::QueryTrace* trace, WalWriter* wal,
                           mcx::AnalyzeMode analyze, mcx::AnalysisReport* check,
                           bool planner, query::PlanCache* plan_cache,
-                          bool vectorized) {
+                          bool vectorized, CancelToken* cancel,
+                          int64_t deadline_ms, uint64_t memory_limit_bytes) {
   QueryRun run;
+  MemoryBudget budget(memory_limit_bytes);
   mcx::EvalOptions opts;
   opts.default_color = default_color;
   opts.stats = &run.stats;
@@ -25,6 +27,12 @@ Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
   opts.planner = planner || plan_cache != nullptr;
   opts.plan_cache = plan_cache;
   opts.vectorized = vectorized;
+  opts.cancel_token = cancel;
+  if (deadline_ms > 0) {
+    opts.deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(deadline_ms);
+  }
+  if (memory_limit_bytes > 0) opts.memory_budget = &budget;
   mcx::Evaluator ev(db, opts);
   mcx::QueryResult result;
   bool is_update = false;

@@ -44,6 +44,10 @@ struct QueryRun {
 /// the workload-session cost the planner bench compares. `vectorized`
 /// follows EvalOptions::vectorized: false runs the operators' retained
 /// row-at-a-time paths (the --batch A/B baseline); results are identical.
+/// Resource governor (common/governor.h): `cancel` may be raised from
+/// another thread to abort the run; `deadline_ms` > 0 bounds its wall
+/// clock; `memory_limit_bytes` > 0 caps its materialized bytes — trips
+/// surface as Cancelled / DeadlineExceeded / ResourceExhausted.
 Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
                           const std::string& text, bool collect_values = false,
                           int num_threads = 1, size_t morsel_size = 1024,
@@ -53,7 +57,10 @@ Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
                           mcx::AnalysisReport* check = nullptr,
                           bool planner = false,
                           query::PlanCache* plan_cache = nullptr,
-                          bool vectorized = true);
+                          bool vectorized = true,
+                          CancelToken* cancel = nullptr,
+                          int64_t deadline_ms = 0,
+                          uint64_t memory_limit_bytes = 0);
 
 }  // namespace mct::workload
 

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -72,6 +75,37 @@ TEST(MetricsTest, HistogramBucketsAndPercentiles) {
   EXPECT_GE(h.ApproxPercentile(1.0), 512u);
 }
 
+TEST(MetricsTest, GaugeSetMaxIsMonotone) {
+  Gauge g;
+  g.SetMax(10);
+  EXPECT_EQ(g.value(), 10);
+  g.SetMax(5);  // lower: no effect
+  EXPECT_EQ(g.value(), 10);
+  g.SetMax(12);
+  EXPECT_EQ(g.value(), 12);
+  // Interacts with Set as a plain write: SetMax only ever raises.
+  g.Set(3);
+  g.SetMax(2);
+  EXPECT_EQ(g.value(), 3);
+}
+
+TEST(MetricsTest, GaugeSetMaxConcurrentKeepsGlobalMax) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g, t] {
+      // Interleaved ranges; the global max is kThreads * kPerThread - 1.
+      for (int64_t i = 0; i < kPerThread; ++i) {
+        g.SetMax(i * kThreads + t);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.value(), static_cast<int64_t>(kThreads) * kPerThread - 1);
+}
+
 TEST(MetricsTest, RegistryCreatesOnFirstUseAndKeepsPointersAcrossReset) {
   MetricsRegistry& reg = MetricsRegistry::Global();
   Counter* a = reg.counter("mct.test.some_counter");
@@ -121,6 +155,69 @@ TEST(MetricsTest, DumpsContainRegisteredInstruments) {
   EXPECT_NE(json.find("\"mct.test.dumped\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"mct.test.dumped_hist\""), std::string::npos);
   reg.ResetForTest();
+}
+
+TEST(MetricsTest, GovernorInstrumentsCountTripsOnce) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* cancels = reg.counter("mct.governor.cancels");
+  Counter* deadline_hits = reg.counter("mct.governor.deadline_hits");
+  Counter* rejections = reg.counter("mct.governor.budget_rejections");
+  const uint64_t cancels0 = cancels->value();
+  const uint64_t deadline0 = deadline_hits->value();
+  const uint64_t reject0 = rejections->value();
+
+  // Cancel trip: counted once even though the governor is checked twice
+  // (the sticky flag short-circuits).
+  CancelToken token;
+  token.RequestCancel();
+  {
+    ResourceGovernor gov(&token, std::nullopt, nullptr);
+    EXPECT_TRUE(gov.ShouldStop());
+    EXPECT_TRUE(gov.ShouldStop());
+    EXPECT_TRUE(gov.status().IsCancelled());
+  }
+  EXPECT_EQ(cancels->value() - cancels0, 1u);
+
+  // Deadline trip.
+  {
+    ResourceGovernor gov(
+        nullptr,
+        std::chrono::steady_clock::now() - std::chrono::milliseconds(1),
+        nullptr);
+    EXPECT_TRUE(gov.ShouldStop());
+    EXPECT_TRUE(gov.ShouldStop());
+    EXPECT_TRUE(gov.status().IsDeadlineExceeded());
+  }
+  EXPECT_EQ(deadline_hits->value() - deadline0, 1u);
+
+  // Budget rejection.
+  {
+    MemoryBudget budget(1024);
+    ResourceGovernor gov(nullptr, std::nullopt, &budget);
+    EXPECT_FALSE(gov.ChargeOrStop(512));
+    EXPECT_TRUE(gov.ChargeOrStop(4096));
+    EXPECT_TRUE(gov.ChargeOrStop(1));  // already tripped
+    EXPECT_TRUE(gov.status().IsResourceExhausted());
+  }
+  EXPECT_EQ(rejections->value() - reject0, 1u);
+}
+
+TEST(MetricsTest, GovernorPeakBytesGaugeIsHighWatermark) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Gauge* peak = reg.gauge("mct.governor.peak_bytes");
+  peak->Set(0);
+  {
+    MemoryBudget budget(1 << 20);
+    ASSERT_TRUE(budget.TryCharge(4096).ok());
+    budget.Release(4096);
+    ASSERT_TRUE(budget.TryCharge(100).ok());
+  }  // dtor publishes peak (4096, not the final 100)
+  EXPECT_EQ(peak->value(), 4096);
+  {
+    MemoryBudget budget(1 << 20);
+    ASSERT_TRUE(budget.TryCharge(64).ok());
+  }  // smaller peak must not lower the gauge
+  EXPECT_EQ(peak->value(), 4096);
 }
 
 TEST(MetricsTest, BufferPoolScriptedPatternCountsHitsMissesEvictions) {

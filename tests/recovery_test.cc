@@ -445,6 +445,7 @@ TEST(ServeRecoveryTest, WalAppendFailureFailsOnlyThatStatement) {
   ASSERT_EQ(history.size(), 1u);
 
   env.SimulateCrash();
+  session->reset();  // sessions must not outlive their server
   server->reset();
   auto rec = RecoverDatabase(kDir, &env);
   ASSERT_TRUE(rec.ok()) << rec.status();
