@@ -1,0 +1,254 @@
+// Shared --check-masked mode for the Table 2 benches: a strict sweep of
+// the secure-color-view stack (DESIGN.md §16) over a whole workload
+// catalog, under a random per-run visibility mask.
+//
+// For every read statement the sweep runs five configurations against the
+// same database and cross-checks them:
+//
+//   * no mask (baseline) vs a full-visibility mask — must be byte-identical
+//     (the zero-cost / no-behavior-change guarantee);
+//   * masked kWarn with the planner off vs on (shared plan cache) — must be
+//     byte-identical (planner pruning agrees with evaluator filtering);
+//   * masked kStrict — either rejects with PermissionDenied, or returns
+//     exactly the masked kWarn result (enforcement mode never changes the
+//     result of an admitted statement);
+//   * every node in a masked result must carry at least one readable color
+//     (the layer-3 leak scan: a node reachable only through invisible
+//     colors escaping into bindings is the bug class this gate exists for).
+//
+// Update statements run under a read-only projection of the mask (empty
+// write set), so both kStrict and kWarn must refuse them with
+// PermissionDenied before any side effect; a canary read re-run at the end
+// proves the database never changed. Any violation exits nonzero, so CI
+// runs this as a gate (.github/workflows/ci.yml, lint job).
+//
+// The mask is drawn from a seed printed on stdout (override with
+// --seed=N) so failures reproduce exactly.
+
+#ifndef COLORFUL_XML_BENCH_BENCH_MASKED_CHECK_H_
+#define COLORFUL_XML_BENCH_BENCH_MASKED_CHECK_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "mct/color.h"
+#include "mcx/evaluator.h"
+#include "query/planner.h"
+#include "workload/catalog.h"
+
+namespace mct::bench {
+
+/// "--seed=123" from argv, else wall-clock derived (printed for repro).
+inline uint64_t MaskSeedFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string prefix = "--seed=";
+    if (arg.rfind(prefix, 0) == 0) {
+      return static_cast<uint64_t>(std::stoull(arg.substr(prefix.size())));
+    }
+  }
+  return static_cast<uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+}
+
+struct MaskedRun {
+  Status status = Status::OK();
+  std::string rendered;  // canonical item dump (node ids / atomics)
+  size_t leaked = 0;     // result nodes with no readable color
+};
+
+inline MaskedRun RunMaskedOnce(MctDatabase* db, ColorId default_color,
+                               const std::string& text, const ColorMask& mask,
+                               mcx::AnalyzeMode enforcement, bool planner,
+                               query::PlanCache* cache) {
+  MaskedRun out;
+  mcx::EvalOptions o;
+  o.default_color = default_color;
+  o.mask = mask;
+  o.mask_enforcement = enforcement;
+  o.planner = planner || cache != nullptr;
+  o.plan_cache = cache;
+  mcx::Evaluator ev(db, o);
+  auto r = ev.Run(text);
+  if (!r.ok()) {
+    out.status = r.status();
+    return out;
+  }
+  for (const mcx::Item& item : r->items) {
+    if (item.is_node) {
+      out.rendered += "n" + std::to_string(item.node) + ";";
+      if (mask.active && !mask.CanReadAny(db->Colors(item.node))) {
+        ++out.leaked;
+      }
+    } else {
+      out.rendered += "a:" + item.atomic + ";";
+    }
+  }
+  if (r->updated_count > 0) {
+    out.rendered += "u" + std::to_string(r->updated_count) + ";";
+  }
+  return out;
+}
+
+inline int MaskedCheck(MctDatabase* db, ColorId default_color,
+                       const std::vector<workload::CatalogQuery>& catalog,
+                       const char* json_path, uint64_t seed) {
+  const size_t num_colors = db->num_colors();
+  Rng rng(seed);
+  // Random allow-set: the default color stays readable (so a useful
+  // fraction of statements is admitted), at least one other color is
+  // masked whenever the palette has one.
+  ColorSet visible = ColorSet::Of(default_color);
+  ColorSet all;
+  for (ColorId c = 0; c < num_colors; ++c) {
+    all.Add(c);
+    if (c != default_color && rng.Uniform(2) == 0) visible.Add(c);
+  }
+  if (visible == all && num_colors > 1) {
+    ColorId victim = static_cast<ColorId>(rng.Uniform(num_colors));
+    if (victim == default_color) victim = (victim + 1) % num_colors;
+    visible.Remove(victim);
+  }
+  const ColorMask masked = ColorMask::AllowOnly(visible);
+  const ColorMask full_mask = ColorMask::AllowOnly(all);
+  const ColorMask read_only(visible, ColorSet());
+
+  std::string mask_names;
+  for (ColorId c : visible.ToVector()) {
+    if (!mask_names.empty()) mask_names += ",";
+    mask_names += db->ColorName(c);
+  }
+  std::printf("mask seed %llu: visible {%s} of %zu colors\n\n",
+              static_cast<unsigned long long>(seed), mask_names.c_str(),
+              num_colors);
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot create %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(out, "[");
+  bool first = true;
+  int violations = 0;
+  int rejected = 0;
+  int admitted = 0;
+  query::PlanCache cache;
+  std::string canary_text;
+  std::string canary_before;
+
+  auto fail = [&](const std::string& id, const std::string& why) {
+    std::fprintf(stderr, "MASK VIOLATION %s: %s\n", id.c_str(), why.c_str());
+    ++violations;
+  };
+
+  for (const workload::CatalogQuery& q : catalog) {
+    if (q.mct.empty()) continue;
+    std::string verdict;
+    if (q.is_update) {
+      // Updates run under the write-empty projection: both enforcement
+      // modes must refuse before any side effect.
+      for (mcx::AnalyzeMode mode :
+           {mcx::AnalyzeMode::kStrict, mcx::AnalyzeMode::kWarn}) {
+        MaskedRun r = RunMaskedOnce(db, default_color, q.mct, read_only, mode,
+                                    false, nullptr);
+        if (r.status.ok()) {
+          fail(q.id, "write-invisible update was admitted");
+        } else if (!r.status.IsPermissionDenied()) {
+          fail(q.id, "update rejected with wrong status: " +
+                         r.status.ToString());
+        }
+      }
+      ++rejected;
+      verdict = "write-blocked";
+    } else {
+      MaskedRun base = RunMaskedOnce(db, default_color, q.mct, ColorMask(),
+                                     mcx::AnalyzeMode::kStrict, false,
+                                     nullptr);
+      if (!base.status.ok()) {
+        fail(q.id, "unmasked baseline failed: " + base.status.ToString());
+        continue;
+      }
+      if (canary_text.empty()) {
+        canary_text = q.mct;
+        canary_before = base.rendered;
+      }
+      MaskedRun full = RunMaskedOnce(db, default_color, q.mct, full_mask,
+                                     mcx::AnalyzeMode::kStrict, false,
+                                     nullptr);
+      if (!full.status.ok()) {
+        fail(q.id, "full-visibility mask rejected: " + full.status.ToString());
+      } else if (full.rendered != base.rendered) {
+        fail(q.id, "full-visibility mask result differs from no-mask");
+      }
+      MaskedRun warn_off = RunMaskedOnce(db, default_color, q.mct, masked,
+                                         mcx::AnalyzeMode::kWarn, false,
+                                         nullptr);
+      MaskedRun warn_on = RunMaskedOnce(db, default_color, q.mct, masked,
+                                        mcx::AnalyzeMode::kWarn, true, &cache);
+      if (!warn_off.status.ok() || !warn_on.status.ok()) {
+        fail(q.id, "masked kWarn run failed: " +
+                       (warn_off.status.ok() ? warn_on : warn_off)
+                           .status.ToString());
+        continue;
+      }
+      if (warn_off.rendered != warn_on.rendered) {
+        fail(q.id, "planner pruning disagrees with evaluator filtering");
+      }
+      if (warn_off.leaked + warn_on.leaked > 0) {
+        fail(q.id, std::to_string(warn_off.leaked + warn_on.leaked) +
+                       " result node(s) carry no readable color");
+      }
+      MaskedRun strict = RunMaskedOnce(db, default_color, q.mct, masked,
+                                       mcx::AnalyzeMode::kStrict, false,
+                                       nullptr);
+      if (strict.status.ok()) {
+        ++admitted;
+        verdict = "admitted";
+        if (strict.rendered != warn_off.rendered) {
+          fail(q.id, "kStrict result differs from kWarn for an admitted "
+                     "statement");
+        }
+      } else {
+        ++rejected;
+        verdict = "rejected";
+        if (!strict.status.IsPermissionDenied()) {
+          fail(q.id,
+               "strict rejection has wrong status: " + strict.status.ToString());
+        }
+      }
+      std::printf("%-6s %-13s base=%6zu masked=%6zu\n", q.id.c_str(),
+                  verdict.c_str(), base.rendered.size(),
+                  warn_off.rendered.size());
+    }
+    if (!first) std::fprintf(out, ",\n");
+    first = false;
+    std::fprintf(out, "{\"query\": \"%s\", \"verdict\": \"%s\"}", q.id.c_str(),
+                 verdict.c_str());
+  }
+
+  // Canary: the write-blocked updates above must not have moved the db.
+  if (!canary_text.empty()) {
+    MaskedRun after = RunMaskedOnce(db, default_color, canary_text,
+                                    ColorMask(), mcx::AnalyzeMode::kStrict,
+                                    false, nullptr);
+    if (!after.status.ok() || after.rendered != canary_before) {
+      fail("canary", "database changed despite write-blocked updates");
+    }
+  }
+
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf(
+      "\n%d admitted, %d rejected/blocked, %d violation(s)\n"
+      "JSON written to %s\n",
+      admitted, rejected, violations, json_path);
+  return violations > 0 ? 1 : 0;
+}
+
+}  // namespace mct::bench
+
+#endif  // COLORFUL_XML_BENCH_BENCH_MASKED_CHECK_H_

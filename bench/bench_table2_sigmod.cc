@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_masked_check.h"
 #include "bench_planner_compare.h"
 #include "bench_util.h"
 #include "bench_vectorized_compare.h"
@@ -93,6 +94,15 @@ int main(int argc, char** argv) {
                                          mct_db->default_color(),
                                          SigmodCatalog(data),
                                          "BENCH_vectorized_sigmod.json");
+  }
+
+  if (mct::bench::HasFlag(argc, argv, "--check-masked")) {
+    // Secure-color-view strict sweep, as in bench_table2_tpcw.
+    std::printf("=== Masked sweep (SIGMOD-Record, MCT schema) ===\n\n");
+    return mct::bench::MaskedCheck(mct_db->db.get(), mct_db->default_color(),
+                                   SigmodCatalog(data),
+                                   "BENCH_masked_sigmod.json",
+                                   mct::bench::MaskSeedFromArgs(argc, argv));
   }
 
   if (mct::bench::HasFlag(argc, argv, "--check")) {

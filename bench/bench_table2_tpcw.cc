@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_masked_check.h"
 #include "bench_planner_compare.h"
 #include "bench_util.h"
 #include "bench_vectorized_compare.h"
@@ -103,6 +104,18 @@ int main(int argc, char** argv) {
                                          mct_db->default_color(),
                                          TpcwCatalog(data),
                                          "BENCH_vectorized.json");
+  }
+
+  if (mct::bench::HasFlag(argc, argv, "--check-masked")) {
+    // Secure-color-view strict sweep (DESIGN.md §16): random per-run mask,
+    // cross-checking analyzer rejection, planner pruning, and evaluator
+    // filtering over the whole catalog. Exit nonzero on any leak or
+    // strict/planner disagreement.
+    std::printf("=== Masked sweep (TPC-W, MCT schema) ===\n\n");
+    return mct::bench::MaskedCheck(mct_db->db.get(), mct_db->default_color(),
+                                   TpcwCatalog(data),
+                                   "BENCH_masked_tpcw.json",
+                                   mct::bench::MaskSeedFromArgs(argc, argv));
   }
 
   if (mct::bench::HasFlag(argc, argv, "--check")) {

@@ -42,6 +42,10 @@ enum class StatusCode : int {
   // resource may free up; a deadline that passed or a cancel that was
   // requested will not un-happen.
   kResourceExhausted = 14,
+  // The session's color visibility mask forbids the statement: it names,
+  // traverses, or writes a color outside the mask (MCX2xx diagnostics,
+  // mcx/analysis.h). Refused before any side effect.
+  kPermissionDenied = 15,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -113,6 +117,9 @@ class [[nodiscard]] Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -141,6 +148,9 @@ class [[nodiscard]] Status {
   }
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsPermissionDenied() const {
+    return code() == StatusCode::kPermissionDenied;
   }
 
   /// Retryability classification (gRPC-style). True only for

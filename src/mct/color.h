@@ -62,6 +62,50 @@ class ColorSet {
   uint64_t mask_ = 0;
 };
 
+/// Per-session color visibility mask (DESIGN.md §16): an allow-set of
+/// colors with a read/write split, the unit of multi-tenant isolation.
+/// Default-constructed masks are inactive and grant everything — the
+/// zero-cost-when-off path checked with one branch per use, like the
+/// resource governor. An active mask is immutable for a session's
+/// lifetime; `write` is intersected with `read` on construction (writing
+/// a color you cannot read back would be a blind side channel).
+struct ColorMask {
+  bool active = false;
+  ColorSet read;
+  ColorSet write;
+
+  ColorMask() = default;
+  ColorMask(ColorSet read_set, ColorSet write_set)
+      : active(true), read(read_set), write(write_set.Intersect(read_set)) {}
+  /// Read/write symmetric mask over one allow-set.
+  static ColorMask AllowOnly(ColorSet colors) {
+    return ColorMask(colors, colors);
+  }
+
+  bool CanRead(ColorId c) const { return !active || read.Has(c); }
+  bool CanWrite(ColorId c) const { return !active || write.Has(c); }
+  /// True iff at least one color of `s` is readable (a node is visible
+  /// when any of its colors is).
+  bool CanReadAny(ColorSet s) const {
+    return !active || !read.Intersect(s).empty();
+  }
+
+  /// Stable identity of the mask for plan-cache keys: 0 for the inactive
+  /// mask (so unmasked sessions share entries), nonzero and injective in
+  /// (read, write) otherwise. Plans are pruned against the mask, so a hit
+  /// is only sound between sessions with identical masks.
+  uint64_t Fingerprint() const {
+    if (!active) return 0;
+    // splitmix64 over the two 64-bit sets; the |1 keeps an active
+    // fingerprint from colliding with the inactive 0.
+    uint64_t h = read.mask() + 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h ^= write.mask() + 0x94d049bb133111ebULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return (h ^ (h >> 31)) | 1;
+  }
+};
+
 /// Maps color names ("red", "green", ...) to dense ids, per database.
 class ColorRegistry {
  public:

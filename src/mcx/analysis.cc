@@ -57,8 +57,16 @@ enum class Truth { kFalse, kTrue, kUnknown };
 
 /// The value category the analyzer tracks for an expression: a node flow
 /// (possibly tainted by an earlier diagnostic) or an atomic value.
+///
+/// With an active visibility mask the analyzer runs two lattices in
+/// lockstep: `flow` is filtered to mask-visible colors after every step
+/// (mirroring the evaluator's per-step enforcement), while `unmasked`
+/// ignores the mask. Divergence between the two is exactly the MCX2xx
+/// signal: masked-empty + unmasked-nonempty = MCX201; shared colors of a
+/// join all invisible = MCX203. Without a mask the two are identical.
 struct AbstractValue {
   FlowSet flow;
+  FlowSet unmasked;
   bool atomic = false;
   bool tainted = false;
 };
@@ -75,7 +83,7 @@ class Analyzer {
       AnalyzeUpdate();
     } else if (q_.root != nullptr) {
       AbstractValue v = AnalyzeExpr(*q_.root, DocumentValue());
-      (void)v;
+      MaybeWarnStructuralLeak(v, q_.root->span);
     }
     return std::move(report_);
   }
@@ -87,8 +95,25 @@ class Analyzer {
 
   AbstractValue DocumentValue() const {
     AbstractValue v;
+    // The shared document node carries every color and is visible to every
+    // session, so the mask does not filter it.
     v.flow = FlowSet::Document(graph_.schema().colors());
+    v.unmasked = v.flow;
     return v;
+  }
+
+  /// Drops lattice points whose color is outside the read mask (the
+  /// document node is exempt: it is shared across all sessions). Identity
+  /// when no mask is active.
+  FlowSet FilterVisible(const FlowSet& in) const {
+    if (!opts_.mask.active) return in;
+    FlowSet out;
+    for (const auto& [tc, est] : in.points()) {
+      if (tc.type == kDocumentType || opts_.mask.CanRead(tc.color)) {
+        out.Add(tc, est);
+      }
+    }
+    return out;
   }
 
   void Diag(const std::string& code, Severity sev, const SourceSpan& span,
@@ -136,6 +161,26 @@ class Analyzer {
     return cur;
   }
 
+  FlowSet Transfer(Axis axis, const FlowSet& in, const std::string& tag) const {
+    switch (axis) {
+      case Axis::kChild:
+        return graph_.Child(in, tag);
+      case Axis::kDescendant:
+        return graph_.Descendant(in, tag);
+      case Axis::kDescendantOrSelf:
+        return graph_.DescendantOrSelf(in, tag);
+      case Axis::kParent:
+        return graph_.Parent(in, tag);
+      case Axis::kAncestor:
+        return graph_.Ancestor(in, tag);
+      case Axis::kSelf:
+        return graph_.Self(in, tag);
+      case Axis::kAttribute:
+        break;  // handled by the caller
+    }
+    return FlowSet();
+  }
+
   AbstractValue AnalyzeStep(const PathStep& step, AbstractValue in) {
     const SourceSpan& span = step.span;
 
@@ -153,9 +198,10 @@ class Analyzer {
     // Color resolution mirrors the evaluator: an explicit {color} forces a
     // cross-tree transition; an uncolored step inherits the color(s) the
     // flow is already in (EvalRelPath semantics), except off the document
-    // node, where the statement default applies.
+    // node, where the statement default applies. Resolution consults the
+    // unmasked flow so that masked and unmasked lattices agree on it.
     std::string color = step.color;
-    if (color.empty() && in.flow.IsDocumentOnly()) {
+    if (color.empty() && in.unmasked.IsDocumentOnly()) {
       color = opts_.default_color;
     }
 
@@ -164,6 +210,7 @@ class Analyzer {
            "unknown color '" + color + "' (schema colors: " + ColorList() +
                ")");
       in.flow = FlowSet();
+      in.unmasked = FlowSet();
       in.tainted = true;
       return in;
     }
@@ -173,36 +220,45 @@ class Analyzer {
                "' in node test: no element type with that name in the "
                "schema");
       in.flow = FlowSet();
+      in.unmasked = FlowSet();
       in.tainted = true;
       return in;
     }
 
-    const bool had_input = !in.flow.empty();
-    FlowSet shifted =
-        color.empty() ? in.flow : graph_.Recolor(in.flow, color);
+    // MCX200: the statement *names* a color the session cannot read.
+    // MCX201: the step never names one, but the only color it can resolve
+    // to (the statement default, inherited off the document) is invisible —
+    // the mask-filtered lattice state is empty before the step runs.
+    // Either way the flow is dead; taint so downstream steps don't cascade.
+    if (opts_.mask.active && !color.empty() && !opts_.mask.CanRead(color)) {
+      if (!step.color.empty()) {
+        Diag("MCX200", Severity::kError, span,
+             "color '" + color +
+                 "' is outside the session's visibility mask");
+      } else {
+        Diag("MCX201", Severity::kError, span,
+             "step " + RenderStep(step, color) +
+                 " is reachable only through the statement default color '" +
+                 color + "', which is outside the visibility mask");
+      }
+      in.flow = FlowSet();
+      in.unmasked = FlowSet();
+      in.tainted = true;
+      return in;
+    }
+
+    const bool had_input = !in.unmasked.empty();
+    FlowSet shifted_u =
+        color.empty() ? in.unmasked : graph_.Recolor(in.unmasked, color);
+    FlowSet out_unmasked = Transfer(step.axis, shifted_u, step.tag);
 
     FlowSet out;
-    switch (step.axis) {
-      case Axis::kChild:
-        out = graph_.Child(shifted, step.tag);
-        break;
-      case Axis::kDescendant:
-        out = graph_.Descendant(shifted, step.tag);
-        break;
-      case Axis::kDescendantOrSelf:
-        out = graph_.DescendantOrSelf(shifted, step.tag);
-        break;
-      case Axis::kParent:
-        out = graph_.Parent(shifted, step.tag);
-        break;
-      case Axis::kAncestor:
-        out = graph_.Ancestor(shifted, step.tag);
-        break;
-      case Axis::kSelf:
-        out = graph_.Self(shifted, step.tag);
-        break;
-      case Axis::kAttribute:
-        break;  // handled above
+    if (opts_.mask.active) {
+      FlowSet shifted =
+          color.empty() ? in.flow : graph_.Recolor(in.flow, color);
+      out = FilterVisible(Transfer(step.axis, shifted, step.tag));
+    } else {
+      out = out_unmasked;
     }
 
     report_.flow.push_back(
@@ -211,11 +267,12 @@ class Analyzer {
 
     AbstractValue result;
     result.flow = out;
+    result.unmasked = out_unmasked;
     result.tainted = in.tainted;
 
-    if (out.empty() && had_input && !in.tainted) {
+    if (out_unmasked.empty() && had_input && !in.tainted) {
       std::string why;
-      if (shifted.empty()) {
+      if (shifted_u.empty()) {
         why = ": no element type reaching this step carries color '" + color +
               "'";
       }
@@ -223,6 +280,20 @@ class Analyzer {
            "statically empty step " + RenderStep(step, color) +
                ": the schema admits no matching (type, color) pair" + why);
       result.tainted = true;  // suppress cascading MCX003 downstream
+      return result;
+    }
+
+    // MCX201: the schema reaches this step, but only through colors the
+    // mask hides — at runtime the enforcement layer filters every binding,
+    // so the step is empty for this session.
+    if (opts_.mask.active && out.empty() && !out_unmasked.empty() &&
+        !in.tainted && !in.flow.empty()) {
+      Diag("MCX201", Severity::kError, span,
+           "step " + RenderStep(step, color) +
+               " is reachable only through colors outside the visibility "
+               "mask (unmasked flow " +
+               RenderFlow(out_unmasked) + ")");
+      result.tainted = true;
       return result;
     }
 
@@ -404,19 +475,80 @@ class Analyzer {
   /// MCX101: a comparison whose two operands are node flows in disjoint
   /// color sets is a cross-tree join the engine cannot satisfy from shared
   /// subtrees (and, with value semantics, very likely unintended).
+  /// MCX203: the join's only bridges are invisible — either the operands
+  /// share colors but every shared color is masked, or they share none and
+  /// the sole color both operand types also carry is masked. Both cases
+  /// reveal correlations through a hierarchy the session must not see.
   void CheckCrossTreeJoin(const Expr& lhs, const AbstractValue& lv,
                           const Expr& rhs, const AbstractValue& rv,
                           const SourceSpan& span) {
     if (lv.tainted || rv.tainted || lv.atomic || rv.atomic) return;
     if (lhs.kind != Expr::Kind::kPath || rhs.kind != Expr::Kind::kPath)
       return;
-    if (lv.flow.empty() || rv.flow.empty()) return;
-    for (const auto& [tc, _] : lv.flow.points()) {
-      if (rv.flow.ContainsColor(tc.color)) return;
+    if (lv.unmasked.empty() || rv.unmasked.empty()) return;
+    bool share_visible = false;
+    bool share_any = false;
+    for (const auto& [tc, _] : lv.unmasked.points()) {
+      if (!rv.unmasked.ContainsColor(tc.color)) continue;
+      share_any = true;
+      if (opts_.mask.CanRead(tc.color)) {
+        share_visible = true;
+        break;
+      }
+    }
+    if (share_visible) return;
+    if (share_any) {
+      // Only reachable with an active mask: without one CanRead is
+      // always true, so any shared color sets share_visible.
+      Diag("MCX203", Severity::kError, span,
+           "cross-tree join bridges only through colors outside the "
+           "visibility mask: " +
+               RenderFlow(lv.unmasked) + " vs " + RenderFlow(rv.unmasked));
+      return;
+    }
+    // No shared color at all — but with a mask, check whether a *hidden*
+    // color bridges the join: both operand types also carry some masked
+    // color, so the rows satisfying the join at runtime may be exactly the
+    // shared nodes of that masked hierarchy. Evaluating it would reveal
+    // correlations through structure the session must not see — an error,
+    // where the plain disjoint case is only the MCX101 warning.
+    if (opts_.mask.active) {
+      for (const std::string& c : graph_.schema().colors()) {
+        if (opts_.mask.CanRead(c)) continue;
+        if (!graph_.Recolor(lv.unmasked, c).empty() &&
+            !graph_.Recolor(rv.unmasked, c).empty()) {
+          Diag("MCX203", Severity::kError, span,
+               "cross-tree join " + RenderFlow(lv.unmasked) + " vs " +
+                   RenderFlow(rv.unmasked) +
+                   " bridges only through the masked color '" + c + "'");
+          return;
+        }
+      }
     }
     Diag("MCX101", Severity::kWarning, span,
          "comparison joins across colored trees with no shared color: " +
-             RenderFlow(lv.flow) + " vs " + RenderFlow(rv.flow));
+             RenderFlow(lv.unmasked) + " vs " + RenderFlow(rv.unmasked));
+  }
+
+  /// MCX204 (warn): some element type in the result also carries a color
+  /// outside the mask — the returned nodes may be the very nodes a masked
+  /// sibling hierarchy is built from, so their existence, identity, and
+  /// content leak structural context of that hierarchy.
+  void MaybeWarnStructuralLeak(const AbstractValue& v, const SourceSpan& span) {
+    if (!opts_.mask.active || v.tainted || v.atomic) return;
+    if (v.flow.empty() || v.flow.IsDocumentOnly()) return;
+    for (const std::string& c : graph_.schema().colors()) {
+      if (opts_.mask.CanRead(c)) continue;
+      FlowSet shared = graph_.Recolor(v.flow, c);
+      if (!shared.empty() && !shared.IsDocumentOnly()) {
+        Diag("MCX204", Severity::kWarning, span,
+             "result nodes of flow " + RenderFlow(v.flow) +
+                 " are shared with the masked color '" + c +
+                 "': node identity may leak structural context of that "
+                 "hierarchy");
+        return;
+      }
+    }
   }
 
   // ---- expressions -------------------------------------------------------
@@ -457,6 +589,13 @@ class Analyzer {
         return v;
       }
       case Expr::Kind::kCreateColor: {
+        // createColor writes a (possibly new) color: an allow-list mask
+        // that does not name it refuses the write.
+        if (opts_.mask.active && !opts_.mask.CanWrite(e.str)) {
+          Diag("MCX202", Severity::kError, e.span,
+               "createColor targets color '" + e.str +
+                   "', which is outside the session's write mask");
+        }
         if (e.children.size() == 1 && e.children[0] != nullptr) {
           AnalyzeExpr(*e.children[0], ctx);
           CheckDuplicateIdentity(*e.children[0], e.str, e.span);
@@ -592,9 +731,18 @@ class Analyzer {
       return;
     }
 
-    FlowSet in_color = graph_.Recolor(target.flow, color);
+    // MCX202: every update action (insert / delete / replace) mutates the
+    // named colored tree, so it needs that color in the write mask.
+    if (opts_.mask.active && !opts_.mask.CanWrite(color)) {
+      Diag("MCX202", Severity::kError, a.span,
+           "update action targets color '" + color +
+               "', which is outside the session's write mask");
+      return;
+    }
+
+    FlowSet in_color = graph_.Recolor(target.unmasked, color);
     const bool target_reaches_color =
-        target.tainted || target.flow.empty() || !in_color.empty();
+        target.tainted || target.unmasked.empty() || !in_color.empty();
 
     switch (a.kind) {
       case UpdateAction::Kind::kInsert: {
@@ -619,7 +767,8 @@ class Analyzer {
         // the abstract context is empty to avoid a spurious MCX003.
         if (!target_reaches_color) break;
         AbstractValue ctx = target;
-        ctx.flow = in_color;
+        ctx.unmasked = in_color;
+        ctx.flow = FilterVisible(in_color);
         if (!a.selector.steps.empty()) {
           AnalyzePath(a.selector, ctx, a.span);
         }
@@ -742,7 +891,18 @@ AnalysisReport Analyze(const ParsedQuery& q, const AnalyzeOptions& opts) {
     return r;
   }
   Analyzer a(q, opts);
-  return a.Run();
+  AnalysisReport r = a.Run();
+  // Deterministic rendering: diagnostics in (byte offset, code) order
+  // regardless of traversal order, stable for ties so equal-position
+  // duplicates keep their emission order.
+  std::stable_sort(r.diagnostics.begin(), r.diagnostics.end(),
+                   [](const Diagnostic& lhs, const Diagnostic& rhs) {
+                     if (lhs.span.begin != rhs.span.begin) {
+                       return lhs.span.begin < rhs.span.begin;
+                     }
+                     return lhs.code < rhs.code;
+                   });
+  return r;
 }
 
 }  // namespace mct::mcx

@@ -21,6 +21,21 @@
 //     MCX103  quant(e,c) statistics imply cardinality blowup
 //     MCX104  positional predicate beyond the schema's quantifier bound
 //
+// With an active visibility mask (secure color views, DESIGN.md §16) the
+// same pass additionally emits the MCX2xx family:
+//
+//   errors (strict mode rejects with Status::PermissionDenied)
+//     MCX200  statement explicitly names a color outside the read mask
+//     MCX201  step is reachable only through invisible colors — it names
+//             none itself, but the inherited/default color is masked and
+//             the mask-filtered lattice state is empty
+//     MCX202  update inserts / relabels into a write-invisible color
+//     MCX203  cross-tree join whose only bridging colors are masked
+//
+//   warnings
+//     MCX204  result nodes are shared with a masked sibling hierarchy
+//             (structural context may leak through node identity)
+//
 // The full catalog with rationale lives in DESIGN.md §11.
 
 #ifndef COLORFUL_XML_MCX_ANALYSIS_H_
@@ -70,6 +85,30 @@ struct AnalysisReport {
   std::string ToJson() const;
 };
 
+/// Name-level projection of a session's ColorMask (mct/color.h): the
+/// analyzer reasons over schema color names, not dense ids, so the caller
+/// resolves ids to names before analysis. Inactive = everything visible.
+struct VisibilityMask {
+  bool active = false;
+  std::vector<std::string> read;
+  std::vector<std::string> write;
+
+  bool CanRead(const std::string& color) const {
+    if (!active) return true;
+    for (const std::string& c : read) {
+      if (c == color) return true;
+    }
+    return false;
+  }
+  bool CanWrite(const std::string& color) const {
+    if (!active) return true;
+    for (const std::string& c : write) {
+      if (c == color) return true;
+    }
+    return false;
+  }
+};
+
 struct AnalyzeOptions {
   /// The schema to check against (required).
   const serialize::MctSchema* schema = nullptr;
@@ -77,6 +116,9 @@ struct AnalyzeOptions {
   std::string default_color;
   /// MCX103 fires when a step's estimated cardinality exceeds this.
   double blowup_threshold = 1e8;
+  /// Session visibility mask; when active the pass runs the MCX2xx
+  /// visibility analysis alongside the MCX0xx/1xx checks.
+  VisibilityMask mask;
 };
 
 /// Analyzes a parsed statement. Never fails: problems become diagnostics.

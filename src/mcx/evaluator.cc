@@ -204,9 +204,13 @@ Result<ColorId> Evaluator::ResolveColor(const std::string& name) const {
 
 Result<QueryResult> Evaluator::Run(std::string_view text) {
   if (opts_.planner && opts_.plan_cache != nullptr) {
+    // Masked plans are pruned against the session's visibility mask, so the
+    // cache is sliced by mask fingerprint: tenants with different masks
+    // never exchange entries (and the common unmasked case shares slice 0).
+    const uint64_t fp = opts_.mask.Fingerprint();
     std::string key(text);
     if (std::shared_ptr<const void> hit =
-            opts_.plan_cache->LookupExact(key, opts_.cache_epoch)) {
+            opts_.plan_cache->LookupExact(key, opts_.cache_epoch, fp)) {
       auto cached = std::static_pointer_cast<const CachedStatement>(hit);
       // `cached` keeps the payload alive even if the cache is invalidated
       // mid-statement by a concurrent session.
@@ -216,12 +220,13 @@ Result<QueryResult> Evaluator::Run(std::string_view text) {
     auto cached = std::make_shared<CachedStatement>();
     const std::string norm = query::NormalizeStatement(text);
     if (!opts_.plan_cache->LookupSkeleton(norm, &cached->plan,
-                                          opts_.cache_epoch)) {
+                                          opts_.cache_epoch, fp)) {
       cached->plan = PlanFor(q);
-      opts_.plan_cache->InsertSkeleton(norm, cached->plan, opts_.cache_epoch);
+      opts_.plan_cache->InsertSkeleton(norm, cached->plan, opts_.cache_epoch,
+                                       fp);
     }
     cached->query = std::move(q);
-    opts_.plan_cache->InsertExact(key, cached, opts_.cache_epoch);
+    opts_.plan_cache->InsertExact(key, cached, opts_.cache_epoch, fp);
     return RunPlanned(cached->query, &cached->plan);
   }
   MCT_ASSIGN_OR_RETURN(ParsedQuery q, Parse(text));
@@ -229,7 +234,11 @@ Result<QueryResult> Evaluator::Run(std::string_view text) {
 }
 
 Status Evaluator::MaybeAnalyze(const ParsedQuery& q) {
-  if (opts_.analyze == AnalyzeMode::kOff) return Status::OK();
+  // An active mask forces the visibility analysis even when schema checking
+  // is off: kStrict enforcement needs the MCX2xx findings before any side
+  // effect, and even kWarn sessions want the diagnostics in EXPLAIN CHECK.
+  const bool mask_on = opts_.mask.active;
+  if (opts_.analyze == AnalyzeMode::kOff && !mask_on) return Status::OK();
   static Counter* runs =
       MetricsRegistry::Global().counter("mct.analysis.runs");
   static Counter* errors =
@@ -238,6 +247,12 @@ Status Evaluator::MaybeAnalyze(const ParsedQuery& q) {
       MetricsRegistry::Global().counter("mct.analysis.warnings");
   static Counter* rejected =
       MetricsRegistry::Global().counter("mct.analysis.rejected");
+  static Counter* vis_runs =
+      MetricsRegistry::Global().counter("mct.analysis.visibility.runs");
+  static Counter* vis_violations =
+      MetricsRegistry::Global().counter("mct.analysis.visibility.violations");
+  static Counter* vis_rejected =
+      MetricsRegistry::Global().counter("mct.analysis.visibility.rejected");
   runs->Inc();
 
   const serialize::MctSchema* schema = opts_.schema;
@@ -252,28 +267,61 @@ Status Evaluator::MaybeAnalyze(const ParsedQuery& q) {
   AnalyzeOptions ao;
   ao.schema = schema;
   ao.default_color = db_->ColorName(opts_.default_color);
+  if (mask_on) {
+    vis_runs->Inc();
+    ao.mask.active = true;
+    // Bits beyond the palette name no color in this database; dropping them
+    // is harmless (they could never be read anyway).
+    for (ColorId c : opts_.mask.read.ToVector()) {
+      if (c < db_->num_colors()) ao.mask.read.push_back(db_->ColorName(c));
+    }
+    for (ColorId c : opts_.mask.write.ToVector()) {
+      if (c < db_->num_colors()) ao.mask.write.push_back(db_->ColorName(c));
+    }
+  }
   AnalysisReport report = Analyze(q, ao);
   errors->Inc(report.num_errors());
   warnings->Inc(report.num_warnings());
 
-  const bool reject =
-      opts_.analyze == AnalyzeMode::kStrict && report.HasErrors();
-  std::string first_error;
-  if (reject) {
-    for (const Diagnostic& d : report.diagnostics) {
-      if (d.severity == Severity::kError) {
-        first_error = d.ToString();
-        break;
-      }
+  // MCX2xx (visibility) errors reject under mask_enforcement; MCX0xx
+  // (schema) errors reject under analyze == kStrict. The two gates are
+  // independent: a masked session with analyze == kOff still refuses
+  // permission violations, and a strict-analysis session without a mask
+  // behaves exactly as before.
+  const bool schema_strict = opts_.analyze == AnalyzeMode::kStrict;
+  const bool mask_strict =
+      mask_on && opts_.mask_enforcement == AnalyzeMode::kStrict;
+  auto is_visibility = [](const Diagnostic& d) {
+    return d.code.size() == 6 && d.code.compare(0, 4, "MCX2") == 0;
+  };
+  std::string first_schema_error;
+  std::string first_vis_error;
+  size_t num_schema_errors = 0;
+  size_t num_vis_errors = 0;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.severity != Severity::kError) continue;
+    if (is_visibility(d)) {
+      if (num_vis_errors++ == 0) first_vis_error = d.ToString();
+    } else {
+      if (num_schema_errors++ == 0) first_schema_error = d.ToString();
     }
   }
-  const size_t num_errors = report.num_errors();
+  if (num_vis_errors > 0) vis_violations->Inc(num_vis_errors);
   if (opts_.check != nullptr) *opts_.check = std::move(report);
-  if (reject) {
+  if (mask_strict && num_vis_errors > 0) {
     rejected->Inc();
-    std::string msg = first_error;
-    if (num_errors > 1) {
-      msg += StrFormat(" (and %zu more error(s))", num_errors - 1);
+    vis_rejected->Inc();
+    std::string msg = first_vis_error;
+    if (num_vis_errors > 1) {
+      msg += StrFormat(" (and %zu more error(s))", num_vis_errors - 1);
+    }
+    return Status::PermissionDenied(std::move(msg));
+  }
+  if (schema_strict && num_schema_errors > 0) {
+    rejected->Inc();
+    std::string msg = first_schema_error;
+    if (num_schema_errors > 1) {
+      msg += StrFormat(" (and %zu more error(s))", num_schema_errors - 1);
     }
     return Status::StaticError(std::move(msg));
   }
@@ -562,6 +610,7 @@ std::vector<query::BindingDesc> Evaluator::BuildBindingDescs(
       s.axis = static_cast<query::PlanAxis>(step.axis);
       s.color = c;
       s.tag = step.tag;
+      s.masked = !opts_.mask.CanRead(c);
       const bool first = d.steps.empty();
       s.color_change = c != cur_color && !(first && d.doc_context);
 
@@ -1013,9 +1062,24 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
   size_t original_cols = in.table.num_cols();
 
   if (bplan != nullptr && bplan->use_path_stack) {
-    MCT_ASSIGN_OR_RETURN(std::optional<Bindings> spine,
-                         EvalSpine(in, ctx_col, steps, out_var));
-    if (spine.has_value()) return *std::move(spine);
+    // The planner never chooses a spine over masked steps (and the plan
+    // cache is fingerprint-sliced), but re-validate here: the holistic join
+    // bypasses the per-step mask filter below.
+    bool spine_masked = false;
+    if (exec_.mask != nullptr) {
+      for (const PathStep& st : steps) {
+        MCT_ASSIGN_OR_RETURN(ColorId sc, ResolveColor(st.color));
+        if (!exec_.mask->CanRead(sc)) {
+          spine_masked = true;
+          break;
+        }
+      }
+    }
+    if (!spine_masked) {
+      MCT_ASSIGN_OR_RETURN(std::optional<Bindings> spine,
+                           EvalSpine(in, ctx_col, steps, out_var));
+      if (spine.has_value()) return *std::move(spine);
+    }
   }
 
   for (size_t si = 0; si < steps.size(); ++si) {
@@ -1027,6 +1091,14 @@ Result<Evaluator::Bindings> Evaluator::EvalSteps(
         bplan != nullptr && si < bplan->steps.size() ? &bplan->steps[si]
                                                      : nullptr;
     MCT_ASSIGN_OR_RETURN(ColorId c, ResolveColor(step.color));
+    // Hard evaluator guarantee (DESIGN.md §16): a step into a read-invisible
+    // color binds nothing, regardless of enforcement mode or plan choice.
+    // Emptying the context here covers the axes evaluated inline below
+    // (self, attribute, the self-merge of descendant-or-self); the
+    // color-parameterized operators also refuse masked colors themselves.
+    if (exec_.mask != nullptr && !exec_.mask->CanRead(c)) {
+      in.table.KeepRows({});
+    }
     // Color transition on a bound column = the paper's color crossing,
     // implemented as the cross-tree join access method. Stepping off the
     // document node is free: the document carries every color.
@@ -1956,6 +2028,13 @@ Result<std::vector<Item>> Evaluator::EvalRelPath(NodeId ctx,
       if (step.color.empty()) return color;
       return ResolveColor(step.color);
     }());
+    // Same hard guarantee as EvalSteps: navigation into a read-invisible
+    // color yields nothing (this is the row-at-a-time path predicates and
+    // update selectors run through).
+    if (exec_.mask != nullptr && !exec_.mask->CanRead(color)) {
+      cur.clear();
+      break;
+    }
     std::vector<NodeId> next;
     // Start offset of each context node's results in `next` (positional
     // predicates are per context, XPath semantics).
@@ -2195,6 +2274,16 @@ Result<std::vector<Item>> Evaluator::EvalExpr(const EvalCtx& c,
       return std::vector<Item>{Item::OfNode(node)};
     }
     case Expr::Kind::kCreateColor: {
+      // Write gate: a masked session may only mint or extend colors inside
+      // its write set (checked before RegisterColor can grow the palette).
+      if (exec_.mask != nullptr) {
+        ColorId existing = db_->LookupColor(e.str);
+        if (existing == kInvalidColorId || !exec_.mask->CanWrite(existing)) {
+          return Status::PermissionDenied("createColor targets color '" +
+                                          e.str +
+                                          "' outside the session write set");
+        }
+      }
       MCT_ASSIGN_OR_RETURN(ColorId color, [&]() -> Result<ColorId> {
         ColorId existing = db_->LookupColor(e.str);
         if (existing != kInvalidColorId) return existing;
@@ -2366,6 +2455,24 @@ Result<QueryResult> Evaluator::RunUpdate(const ParsedQuery& q) {
     MCT_RETURN_IF_ERROR(exec_.governor->Check());
   }
 
+  // Write-visibility gate (DESIGN.md §16): resolve every action's color up
+  // front and refuse before the first mutation, so a kWarn session that was
+  // admitted past the analyzer still cannot touch a write-invisible color —
+  // the database stays untouched and nothing reaches the WAL.
+  if (exec_.mask != nullptr) {
+    for (const UpdateAction& action : q.actions) {
+      ColorId color = target_color;
+      if (!action.color.empty()) {
+        MCT_ASSIGN_OR_RETURN(color, ResolveColor(action.color));
+      }
+      if (!exec_.mask->CanWrite(color)) {
+        return Status::PermissionDenied("update targets write-invisible "
+                                        "color '" +
+                                        db_->ColorName(color) + "'");
+      }
+    }
+  }
+
   QueryResult result;
   ColorSet touched;
   for (NodeId t : targets) {
@@ -2478,9 +2585,15 @@ void Evaluator::ToXmlRec(NodeId n, ColorId color, std::string* out) {
 }
 
 std::string Evaluator::ToXml(const QueryResult& r, ColorId color) {
+  // Serialization walks the subtree in `color`; a read-invisible render
+  // color would leak the structural context of a masked hierarchy, so node
+  // items are dropped entirely (atomic items carry no structure and pass).
+  const bool color_blocked =
+      exec_.mask != nullptr && !exec_.mask->CanRead(color);
   std::string out;
   for (const Item& it : r.items) {
     if (it.is_node) {
+      if (color_blocked) continue;
       ToXmlRec(it.node, color, &out);
     } else {
       out.append(xml::EscapeText(it.atomic));

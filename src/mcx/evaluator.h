@@ -163,6 +163,18 @@ struct EvalOptions {
   /// buffers, join scratch); refusal fails with Status::ResourceExhausted.
   /// Chain the budget to a process-wide parent to cap total pressure.
   MemoryBudget* memory_budget = nullptr;
+  /// Session color visibility mask (secure color views, DESIGN.md §16).
+  /// Inactive (the default) costs nothing. Active masks are enforced at
+  /// three layers: the MCX2xx visibility analysis runs on every statement
+  /// (even with analyze == kOff), the planner prunes masked steps, and the
+  /// evaluator empties every step, navigation, serialization and update
+  /// that would touch a read-invisible color.
+  ColorMask mask = {};
+  /// Gate for MCX2xx findings when `mask` is active: kStrict (default)
+  /// rejects violating statements with Status::PermissionDenied before any
+  /// side effect; kWarn (or kOff) admits them and relies on the evaluator
+  /// layer to filter — results then silently exclude invisible nodes.
+  AnalyzeMode mask_enforcement = AnalyzeMode::kStrict;
 };
 
 class Evaluator {
@@ -181,6 +193,7 @@ class Evaluator {
           opts_.cancel_token, opts_.deadline, opts_.memory_budget);
       exec_.governor = governor_.get();
     }
+    if (opts_.mask.active) exec_.mask = &opts_.mask;
   }
 
   /// Runs a query or update.

@@ -10,6 +10,7 @@
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "mct/color.h"
 #include "query/trace.h"
 
 namespace mct::query {
@@ -21,6 +22,15 @@ using Row = std::vector<NodeId>;
 Counter* BatchCounter() {
   static Counter* c = MetricsRegistry::Global().counter("mct.exec.batches");
   return c;
+}
+
+// Visibility backstop (DESIGN.md §16): a color-parameterized operator
+// asked to expand into a read-invisible color emits nothing. The analyzer
+// and the evaluator's per-step filtering normally stop such steps far
+// earlier; this guard makes the leak-freedom guarantee hold even for a
+// code path that bypasses both. One branch per operator call.
+bool MaskBlocks(const ExecContext& ctx, ColorId color) {
+  return ctx.mask != nullptr && !ctx.mask->CanRead(color);
 }
 
 // Selectivity (rows kept, in percent) of the row-dropping operators —
@@ -341,6 +351,10 @@ std::optional<std::string_view> ExtractKeyView(const MctDatabase& db,
 Table TagScanTable(MctDatabase* db, ColorId color, const std::string& var,
                    const std::string& tag, const ExecContext& ctx) {
   OpScope tr(ctx, "TAG SCAN", 0);
+  if (MaskBlocks(ctx, color)) {
+    if (tr.enabled()) tr.Finish(0, 0, 0);
+    return Table::FromNodes(var, {});
+  }
   std::vector<NodeId> nodes = db->TagScan(color, tag);
   if (ctx.stats != nullptr) ctx.stats->rows_scanned += nodes.size();
   if (tr.enabled()) {
@@ -364,6 +378,10 @@ Table ExpandChildren(MctDatabase* db, const Table& in, int col, ColorId color,
                             out_var.c_str()));
   }
   Table out = WithExtraColumn(in, out_var);
+  if (MaskBlocks(ctx, color)) {
+    if (tr.enabled()) tr.Finish(0, 0, 0);
+    return out;
+  }
   const ColoredTree* t = db->tree(color);
   NameId tag_id = TagFilterId(*db, tag);
   if (!tag.empty() && tag_id == kInvalidNameId) {
@@ -518,6 +536,10 @@ Table ExpandDescendants(MctDatabase* db, const Table& in, int col,
                             out_var.c_str()));
   }
   Table out = WithExtraColumn(in, out_var);
+  if (MaskBlocks(ctx, color)) {
+    if (tr.enabled()) tr.Finish(0, 0, 0);
+    return out;
+  }
   std::vector<NodeId> descs = db->TagScan(color, tag);
   if (ctx.stats != nullptr) ctx.stats->rows_scanned += descs.size();
   if (descs.empty() || in.num_rows() == 0) {
@@ -555,6 +577,10 @@ Table ExpandDescendantsAmong(MctDatabase* db, const Table& in, int col,
                             out_var.c_str(), cands.size()));
   }
   Table out = WithExtraColumn(in, out_var);
+  if (MaskBlocks(ctx, color)) {
+    if (tr.enabled()) tr.Finish(0, 0, 0);
+    return out;
+  }
   ColoredTree* t = db->tree(color);
   t->EnsureLabels();
   const ColoredTree& ct = *t;
@@ -611,6 +637,10 @@ Table ExpandDescendantsNav(MctDatabase* db, const Table& in, int col,
                             out_var.c_str()));
   }
   Table out = WithExtraColumn(in, out_var);
+  if (MaskBlocks(ctx, color)) {
+    if (tr.enabled()) tr.Finish(0, 0, 0);
+    return out;
+  }
   ColoredTree* t = db->tree(color);
   t->EnsureLabels();
   const ColoredTree& ct = *t;
@@ -703,6 +733,10 @@ Table ExpandDescendantsRoot(MctDatabase* db, const Table& in, int col,
                             out_var.c_str()));
   }
   Table out = WithExtraColumn(in, out_var);
+  if (MaskBlocks(ctx, color)) {
+    if (tr.enabled()) tr.Finish(0, 0, 0);
+    return out;
+  }
   // Every tag-index entry of the color is a proper descendant of the
   // document root, and the index is in local document order — exactly the
   // (start(d), start(doc), row 0) order the interval merge would emit.
@@ -746,6 +780,10 @@ Table ExpandParent(MctDatabase* db, const Table& in, int col, ColorId color,
                             out_var.c_str()));
   }
   Table out = WithExtraColumn(in, out_var);
+  if (MaskBlocks(ctx, color)) {
+    if (tr.enabled()) tr.Finish(0, 0, 0);
+    return out;
+  }
   NameId tag_id = TagFilterId(*db, tag);
   if (!tag.empty() && tag_id == kInvalidNameId) {
     if (tr.enabled()) tr.Finish(0, 0, 0);
@@ -799,6 +837,10 @@ Table ExpandAncestors(MctDatabase* db, const Table& in, int col, ColorId color,
                             out_var.c_str()));
   }
   Table out = WithExtraColumn(in, out_var);
+  if (MaskBlocks(ctx, color)) {
+    if (tr.enabled()) tr.Finish(0, 0, 0);
+    return out;
+  }
   NameId tag_id = TagFilterId(*db, tag);
   if (!tag.empty() && tag_id == kInvalidNameId) {
     if (tr.enabled()) tr.Finish(0, 0, 0);
@@ -881,8 +923,12 @@ Table CrossTreeJoin(MctDatabase* db, const Table& in, int col, ColorId to_color,
   // Bulk identity join: follow the back-links from the shared node record
   // to the structural node of the target color (Section 6.2); rows whose
   // node lacks the color are dropped.
-  const ColoredTree* t = db->tree(to_color);
   Table out = Table::WithVars(in.vars);
+  if (MaskBlocks(ctx, to_color)) {
+    if (tr.enabled()) tr.Finish(0, 0, 0);
+    return out;
+  }
+  const ColoredTree* t = db->tree(to_color);
   size_t morsels;
   if (ctx.batch) {
     IdxChunk keep;
@@ -920,6 +966,12 @@ Table CrossTreeJoin(MctDatabase* db, Table&& in, int col, ColorId to_color,
                             db->ColorName(to_color).c_str()));
     tr.AddColorTransition();
   }
+  if (MaskBlocks(ctx, to_color)) {
+    Table out = std::move(in);
+    out.KeepRows({});
+    if (tr.enabled()) tr.Finish(0, 0, 0);
+    return out;
+  }
   const ColoredTree* t = db->tree(to_color);
   IdxChunk keep;
   size_t morsels = CollectColorSurvivors(ctx, in, col, *t, &keep);
@@ -945,6 +997,10 @@ Table StructuralSemiJoin(MctDatabase* db, const Table& in, int col,
                             static_cast<unsigned long long>(anc_set.size())));
   }
   Table out = Table::WithVars(in.vars);
+  if (MaskBlocks(ctx, color)) {
+    if (tr.enabled()) tr.Finish(0, 0, 0);
+    return out;
+  }
   ColoredTree* t = db->tree(color);
   t->EnsureLabels();
   const ColoredTree& ct = *t;

@@ -164,6 +164,7 @@ bool SpineEligible(const BindingDesc& b) {
   if (b.steps.size() < 2) return false;
   for (size_t i = 0; i < b.steps.size(); ++i) {
     const StepDesc& s = b.steps[i];
+    if (s.masked) return false;  // visibility layer empties the step
     if (s.axis != PlanAxis::kDescendant) return false;
     if (s.tag.empty()) return false;
     if (!s.preds.empty()) return false;
@@ -218,6 +219,22 @@ StatementPlan PlanStatement(const std::vector<BindingDesc>& bindings,
     for (size_t si = 0; si < b.steps.size(); ++si) {
       const StepDesc& step = b.steps[si];
       StepPlan& sp = bp.steps[si];
+
+      // Masked step: the visibility layer empties it at runtime, so any
+      // index seek, shortcut or elision would be wasted (or worse, the
+      // elided cross-tree filter is what enforcement relies on). Keep the
+      // baseline shape with zero estimates and move on; downstream steps
+      // see ~zero input rows.
+      if (step.masked) {
+        sp.access = StepAccess::kBaseline;
+        sp.seek_pred = -1;
+        sp.est_in = rows;
+        sp.est_expand = 0;
+        sp.est_out = 0;
+        rows = 1e-3;
+        continue;
+      }
+
       double tag_count = step.tag.empty() ? stats.ColorSize(step.color)
                                           : stats.TagCount(step.color, step.tag);
       double color_size = std::max(stats.ColorSize(step.color), 1.0);
@@ -434,13 +451,27 @@ namespace {
 Counter* CacheCounter(const char* name) {
   return MetricsRegistry::Global().counter(name);
 }
+
+/// Cache key: the statement (or skeleton) text, extended with the mask
+/// fingerprint when one is set. Masked tenants get their own slice — a
+/// plan pruned against one mask must never serve another — while unmasked
+/// sessions keep the plain-text key (zero cost when off) and different
+/// tenants coexist instead of evicting each other.
+std::string CacheKey(const std::string& text, uint64_t fingerprint) {
+  if (fingerprint == 0) return text;
+  return text + '\x1f' + std::to_string(fingerprint);
+}
 }  // namespace
 
 std::shared_ptr<const void> PlanCache::LookupExact(const std::string& text,
-                                                   uint64_t epoch) {
+                                                   uint64_t epoch,
+                                                   uint64_t fingerprint) {
   std::lock_guard<std::mutex> lk(mu_);
-  auto it = exact_.find(text);
-  if (it == exact_.end()) {
+  auto it = exact_.find(CacheKey(text, fingerprint));
+  // The fingerprint is part of the key, so a lookup can only ever see an
+  // entry planned under the same visibility mask; the stored fingerprint
+  // double-checks that invariant.
+  if (it == exact_.end() || it->second.fingerprint != fingerprint) {
     ++stats_.misses;
     CacheCounter("mct.planner.cache_misses")->Inc();
     return nullptr;
@@ -457,19 +488,23 @@ std::shared_ptr<const void> PlanCache::LookupExact(const std::string& text,
 
 void PlanCache::InsertExact(const std::string& text,
                             std::shared_ptr<const void> payload,
-                            uint64_t epoch) {
+                            uint64_t epoch, uint64_t fingerprint) {
   std::lock_guard<std::mutex> lk(mu_);
-  auto it = exact_.find(text);
+  std::string key = CacheKey(text, fingerprint);
+  auto it = exact_.find(key);
   // Never clobber a newer session's entry with an older snapshot's plan.
   if (it != exact_.end() && it->second.epoch > epoch) return;
-  exact_[text] = ExactEntry{std::move(payload), epoch};
+  exact_[key] = ExactEntry{std::move(payload), epoch, fingerprint};
 }
 
 bool PlanCache::LookupSkeleton(const std::string& normalized,
-                               StatementPlan* out, uint64_t epoch) {
+                               StatementPlan* out, uint64_t epoch,
+                               uint64_t fingerprint) {
   std::lock_guard<std::mutex> lk(mu_);
-  auto it = skeletons_.find(normalized);
-  if (it == skeletons_.end()) return false;
+  auto it = skeletons_.find(CacheKey(normalized, fingerprint));
+  if (it == skeletons_.end() || it->second.fingerprint != fingerprint) {
+    return false;
+  }
   if (epoch > it->second.epoch) it->second.epoch = epoch;
   ++stats_.skeleton_hits;
   CacheCounter("mct.planner.skeleton_hits")->Inc();
@@ -478,11 +513,13 @@ bool PlanCache::LookupSkeleton(const std::string& normalized,
 }
 
 void PlanCache::InsertSkeleton(const std::string& normalized,
-                               const StatementPlan& plan, uint64_t epoch) {
+                               const StatementPlan& plan, uint64_t epoch,
+                               uint64_t fingerprint) {
   std::lock_guard<std::mutex> lk(mu_);
-  auto it = skeletons_.find(normalized);
+  std::string key = CacheKey(normalized, fingerprint);
+  auto it = skeletons_.find(key);
   if (it != skeletons_.end() && it->second.epoch > epoch) return;
-  skeletons_[normalized] = SkeletonEntry{plan, epoch};
+  skeletons_[key] = SkeletonEntry{plan, epoch, fingerprint};
 }
 
 void PlanCache::Invalidate() {

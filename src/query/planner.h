@@ -87,6 +87,10 @@ struct StepDesc {
   std::string tag;  // empty = any element
   /// The fixed pipeline inserts a cross-tree join before this step.
   bool color_change = false;
+  /// The session's visibility mask hides this step's color: the evaluator
+  /// empties it at runtime, so the planner must not spend index seeks or
+  /// spine machinery on it (and must not elide the cross-tree filter).
+  bool masked = false;
   std::vector<PredDesc> preds;
   /// Color-flow lattice estimate of this step's output cardinality
   /// (absolute rows, pre-predicates); -1 when no schema flow is available.
@@ -200,14 +204,19 @@ class PlanCache {
     uint64_t invalidations = 0;   // Invalidate() calls
   };
 
+  /// `fingerprint` is the session's ColorMask fingerprint (0 = no mask).
+  /// Plans are pruned against the mask, so a hit requires the entry's
+  /// fingerprint to match exactly — unmasked sessions share the 0 slice,
+  /// and no entry ever crosses tenants with different masks.
   std::shared_ptr<const void> LookupExact(const std::string& text,
-                                          uint64_t epoch = 0);
+                                          uint64_t epoch = 0,
+                                          uint64_t fingerprint = 0);
   void InsertExact(const std::string& text, std::shared_ptr<const void> payload,
-                   uint64_t epoch = 0);
+                   uint64_t epoch = 0, uint64_t fingerprint = 0);
   bool LookupSkeleton(const std::string& normalized, StatementPlan* out,
-                      uint64_t epoch = 0);
+                      uint64_t epoch = 0, uint64_t fingerprint = 0);
   void InsertSkeleton(const std::string& normalized, const StatementPlan& plan,
-                      uint64_t epoch = 0);
+                      uint64_t epoch = 0, uint64_t fingerprint = 0);
   void Invalidate();
   /// Drops every entry last used below `min_epoch` (memory cap, not a
   /// correctness barrier).
@@ -220,10 +229,12 @@ class PlanCache {
   struct ExactEntry {
     std::shared_ptr<const void> payload;
     uint64_t epoch = 0;
+    uint64_t fingerprint = 0;
   };
   struct SkeletonEntry {
     StatementPlan plan;
     uint64_t epoch = 0;
+    uint64_t fingerprint = 0;
   };
 
   mutable std::mutex mu_;

@@ -32,6 +32,7 @@
 namespace mct {
 class ResourceGovernor;
 class ThreadPool;
+struct ColorMask;
 }
 
 namespace mct::query {
@@ -276,6 +277,13 @@ struct ExecContext {
   /// row vector per tuple — the pre-columnar cost profile the --batch A/B
   /// benchmark compares against. Results are identical either way.
   bool batch = true;
+  /// Session color visibility mask (mct/color.h, DESIGN.md §16): the
+  /// defense-in-depth backstop below the analyzer and the evaluator's own
+  /// per-step filtering. Color-parameterized operators asked to expand
+  /// into a read-invisible color emit nothing. nullptr or inactive = all
+  /// colors visible, one branch per operator call (same discipline as
+  /// `governor`).
+  const ColorMask* mask = nullptr;
 
   ExecContext() = default;
   ExecContext(ExecStats* s) : stats(s) {}  // NOLINT: implicit by design

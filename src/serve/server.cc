@@ -100,7 +100,7 @@ Result<mcx::QueryResult> Session::Run(std::string_view text,
     uint64_t epoch = 0;
     Result<mcx::QueryResult> r =
         server_->CommitStatement(text, default_color, &cancel_, deadline,
-                                 &epoch);
+                                 mask_, &epoch);
     // Retryable failures (queue shed, memory pressure) back off with
     // jitter and try again, up to admission_retries attempts; Cancelled
     // and DeadlineExceeded fail straight through (retrying cannot help).
@@ -114,7 +114,7 @@ Result<mcx::QueryResult> Session::Run(std::string_view text,
           retry_rng_.UniformInt(base_us / 2, base_us + base_us / 2);
       std::this_thread::sleep_for(std::chrono::microseconds(jitter_us));
       r = server_->CommitStatement(text, default_color, &cancel_, deadline,
-                                   &epoch);
+                                   mask_, &epoch);
     }
     if (r.ok() && pin_.valid()) {
       // Read-your-writes: the old snapshot predates the commit, so re-pin
@@ -140,6 +140,8 @@ Result<mcx::QueryResult> Session::Run(std::string_view text,
   if (sopts.statement_memory_limit > 0 || sopts.total_memory_limit > 0) {
     o.memory_budget = &stmt_budget;
   }
+  o.mask = mask_;
+  o.mask_enforcement = sopts.mask_enforcement;
   mcx::Evaluator ev(reader_.get(), o);
   auto r = ev.Run(text);
   if (r.ok()) ReadsCounter()->Inc();
@@ -201,6 +203,12 @@ Result<std::unique_ptr<Session>> ColorServer::Connect() {
   return std::unique_ptr<Session>(new Session(this));
 }
 
+Result<std::unique_ptr<Session>> ColorServer::Connect(const ColorMask& mask) {
+  MCT_ASSIGN_OR_RETURN(std::unique_ptr<Session> s, Connect());
+  s->mask_ = mask;
+  return s;
+}
+
 void ColorServer::ReleaseSession() {
   std::lock_guard<std::mutex> lock(sessions_mu_);
   --live_sessions_;
@@ -232,7 +240,7 @@ std::vector<CommittedStatement> ColorServer::CommitHistory() const {
 Result<mcx::QueryResult> ColorServer::CommitStatement(
     std::string_view text, ColorId default_color, CancelToken* cancel,
     std::optional<std::chrono::steady_clock::time_point> deadline,
-    uint64_t* out_epoch) {
+    const ColorMask& mask, uint64_t* out_epoch) {
   // Admission: bound the number of sessions inside the commit path. With
   // max_queue_depth > 0 the wait itself is bounded too: an arrival that
   // would queue behind max_queue_depth waiters is shed immediately with a
@@ -257,6 +265,7 @@ Result<mcx::QueryResult> ColorServer::CommitStatement(
   req.default_color = default_color;
   req.cancel = cancel;
   req.deadline = deadline;
+  req.mask = mask;
 
   {
     std::unique_lock<std::mutex> lk(commit_mu_);
@@ -328,6 +337,8 @@ void ColorServer::ApplyBatch(const std::vector<CommitRequest*>& batch) {
     if (opts_.statement_memory_limit > 0 || opts_.total_memory_limit > 0) {
       o.memory_budget = &stmt_budget;
     }
+    o.mask = r->mask;
+    o.mask_enforcement = opts_.mask_enforcement;
     mcx::Evaluator ev(trial.get(), o);
     auto res = ev.Run(r->text);
     if (res.ok()) {

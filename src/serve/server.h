@@ -85,6 +85,12 @@ struct ServerOptions {
   /// shed, memory) this many times with exponential backoff + jitter
   /// before surfacing it. 0 = fail straight through.
   int admission_retries = 0;
+  /// Enforcement mode for masked sessions (secure color views, DESIGN.md
+  /// §16): kStrict (default) rejects statements that name or require an
+  /// invisible color with PermissionDenied before any side effect; kWarn
+  /// admits them and relies on the evaluator layer to filter invisible
+  /// nodes out of results. Sessions without a mask are unaffected.
+  mcx::AnalyzeMode mask_enforcement = mcx::AnalyzeMode::kStrict;
 };
 
 /// One committed update statement, in publish order. Statements grouped
@@ -127,6 +133,12 @@ class Session {
   void ClearCancel() { cancel_.Clear(); }
   CancelToken* cancel_token() { return &cancel_; }
 
+  /// The session's color visibility mask, fixed at Connect for the whole
+  /// session lifetime (inactive for sessions opened without one). There is
+  /// deliberately no setter: a mask that could widen mid-transaction would
+  /// break the plan-cache fingerprint slicing and snapshot reasoning.
+  const ColorMask& mask() const { return mask_; }
+
   /// Epoch of the pinned snapshot; 0 when no transaction is open.
   uint64_t snapshot_epoch() const { return pin_.epoch(); }
   /// The session's private view of the pinned snapshot (tests and tools
@@ -149,6 +161,9 @@ class Session {
   /// Backoff jitter for retryable commit failures. Seeded per session;
   /// only this session's thread draws from it.
   Rng retry_rng_{reinterpret_cast<uint64_t>(this)};
+  /// Visibility mask (immutable; set by Connect(mask)). Carried into every
+  /// statement this session runs, reads and commits alike.
+  ColorMask mask_;
 };
 
 class ColorServer {
@@ -168,6 +183,12 @@ class ColorServer {
   /// Opens a session. Fails with ResourceExhausted (retryable — a slot
   /// frees when any session closes) past max_sessions.
   Result<std::unique_ptr<Session>> Connect();
+  /// Opens a session restricted to `mask` for its whole lifetime — the
+  /// multi-tenant entry point. The mask governs reads (invisible colors
+  /// bind and serialize nothing), commits (write-invisible colors are
+  /// refused per ServerOptions::mask_enforcement), and plan-cache sharing
+  /// (entries are sliced by mask fingerprint).
+  Result<std::unique_ptr<Session>> Connect(const ColorMask& mask);
 
   /// Checkpoints the head snapshot and resets the WAL. Waits for in-flight
   /// commits; safe with concurrent readers and writers.
@@ -193,6 +214,10 @@ class ColorServer {
     /// when the leader reaches it is shed without executing.
     CancelToken* cancel = nullptr;
     std::optional<std::chrono::steady_clock::time_point> deadline;
+    /// The submitting session's visibility mask: the trial evaluator
+    /// enforces it, so a masked tenant's update cannot touch an invisible
+    /// color even though the committer runs on a shared thread.
+    ColorMask mask;
     bool done = false;
     Status status = Status::OK();
     mcx::QueryResult result;
@@ -212,7 +237,7 @@ class ColorServer {
   Result<mcx::QueryResult> CommitStatement(
       std::string_view text, ColorId default_color, CancelToken* cancel,
       std::optional<std::chrono::steady_clock::time_point> deadline,
-      uint64_t* out_epoch);
+      const ColorMask& mask, uint64_t* out_epoch);
   /// Leader body: applies `batch` against a COW clone of head, syncs the
   /// WAL once, publishes. Called with commit_mu_ released (the queue front
   /// keeps leadership exclusive).

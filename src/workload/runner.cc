@@ -12,7 +12,9 @@ Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
                           mcx::AnalyzeMode analyze, mcx::AnalysisReport* check,
                           bool planner, query::PlanCache* plan_cache,
                           bool vectorized, CancelToken* cancel,
-                          int64_t deadline_ms, uint64_t memory_limit_bytes) {
+                          int64_t deadline_ms, uint64_t memory_limit_bytes,
+                          const ColorMask& mask,
+                          mcx::AnalyzeMode mask_enforcement) {
   QueryRun run;
   MemoryBudget budget(memory_limit_bytes);
   mcx::EvalOptions opts;
@@ -33,6 +35,8 @@ Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
                     std::chrono::milliseconds(deadline_ms);
   }
   if (memory_limit_bytes > 0) opts.memory_budget = &budget;
+  opts.mask = mask;
+  opts.mask_enforcement = mask_enforcement;
   mcx::Evaluator ev(db, opts);
   mcx::QueryResult result;
   bool is_update = false;

@@ -48,6 +48,9 @@ struct QueryRun {
 /// another thread to abort the run; `deadline_ms` > 0 bounds its wall
 /// clock; `memory_limit_bytes` > 0 caps its materialized bytes — trips
 /// surface as Cancelled / DeadlineExceeded / ResourceExhausted.
+/// Secure color views (DESIGN.md §16): an active `mask` restricts the run
+/// to its visible colors; `mask_enforcement` kStrict rejects violating
+/// statements with PermissionDenied, kWarn filters silently.
 Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
                           const std::string& text, bool collect_values = false,
                           int num_threads = 1, size_t morsel_size = 1024,
@@ -60,7 +63,10 @@ Result<QueryRun> RunQuery(MctDatabase* db, ColorId default_color,
                           bool vectorized = true,
                           CancelToken* cancel = nullptr,
                           int64_t deadline_ms = 0,
-                          uint64_t memory_limit_bytes = 0);
+                          uint64_t memory_limit_bytes = 0,
+                          const ColorMask& mask = {},
+                          mcx::AnalyzeMode mask_enforcement =
+                              mcx::AnalyzeMode::kStrict);
 
 }  // namespace mct::workload
 

@@ -488,5 +488,307 @@ TEST(AnalysisTest, AnalysisOnOffDifferential) {
   }
 }
 
+// ---- MCX2xx secure color views (DESIGN.md §16) ----------------------------
+
+// Analyzes `text` on the movie fixture under a visibility mask.
+AnalysisReport AnalyzeMasked(const std::string& text,
+                             std::vector<std::string> read,
+                             std::vector<std::string> write) {
+  MovieDb f = BuildMovieDb();
+  serialize::MctSchema schema = serialize::InferSchema(*f.db);
+  auto parsed = Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  AnalyzeOptions opts;
+  opts.schema = &schema;
+  opts.default_color = "red";
+  opts.mask.active = true;
+  opts.mask.read = std::move(read);
+  opts.mask.write = std::move(write);
+  return Analyze(*parsed, opts);
+}
+
+TEST(AnalysisTest, Mcx200NamedInvisibleColor) {
+  AnalysisReport r = AnalyzeMasked(
+      std::string("for $a in ") + kDoc +
+          "/{green}descendant::movie-award return $a",
+      {"red", "blue"}, {"red", "blue"});
+  ASSERT_TRUE(HasCode(r, "MCX200")) << Codes(r);
+  EXPECT_TRUE(r.HasErrors());
+  const Diagnostic& d = r.diagnostics[0];
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_TRUE(d.span.valid());
+  EXPECT_NE(d.message.find("green"), std::string::npos);
+}
+
+TEST(AnalysisTest, Mcx200TaintSuppressesDownstreamCascade) {
+  // The masked first step poisons the flow; the visible downstream step
+  // must not pile MCX003/MCX201 on top of the MCX200.
+  AnalysisReport r = AnalyzeMasked(
+      std::string("for $m in ") + kDoc +
+          "/{green}descendant::movie/{red}child::name return $m",
+      {"red", "blue"}, {"red", "blue"});
+  EXPECT_TRUE(HasCode(r, "MCX200")) << Codes(r);
+  EXPECT_FALSE(HasCode(r, "MCX003")) << Codes(r);
+  EXPECT_FALSE(HasCode(r, "MCX201")) << Codes(r);
+  EXPECT_EQ(r.num_errors(), 1u) << Codes(r);
+}
+
+TEST(AnalysisTest, Mcx201DefaultColorInvisible) {
+  // The statement names no color at all; the steps resolve to the default
+  // (red), which the mask hides — reachable only through invisible colors.
+  AnalysisReport r = AnalyzeMasked(
+      std::string("for $m in ") + kDoc + "/descendant::movie return $m",
+      {"green", "blue"}, {"green", "blue"});
+  ASSERT_TRUE(HasCode(r, "MCX201")) << Codes(r);
+  EXPECT_TRUE(r.HasErrors());
+  EXPECT_FALSE(HasCode(r, "MCX200")) << Codes(r);
+  EXPECT_NE(r.diagnostics[0].message.find("default"), std::string::npos);
+}
+
+TEST(AnalysisTest, Mcx202UpdateIntoWriteInvisibleColor) {
+  // green is readable but not writable: the binding passes, the insert
+  // into {green} is refused.
+  AnalysisReport r = AnalyzeMasked(
+      std::string("for $v in ") + kDoc +
+          "/{green}descendant::votes "
+          "update $v { insert <flag>x</flag> into {green} }",
+      {"red", "green"}, {"red"});
+  ASSERT_TRUE(HasCode(r, "MCX202")) << Codes(r);
+  EXPECT_TRUE(r.HasErrors());
+  EXPECT_NE(Codes(r).find("write mask"), std::string::npos);
+}
+
+TEST(AnalysisTest, Mcx202CreateColorOutsideWriteMask) {
+  AnalysisReport r = AnalyzeMasked(
+      std::string("for $m in ") + kDoc +
+          "/{red}descendant::movie "
+          "return createColor(black, <wrap> { $m } </wrap>)",
+      {"red"}, {"red"});
+  ASSERT_TRUE(HasCode(r, "MCX202")) << Codes(r);
+  EXPECT_TRUE(r.HasErrors());
+}
+
+TEST(AnalysisTest, Mcx203JoinBridgesOnlyThroughMaskedColor) {
+  // The red-vs-blue name join of the MCX101 test: the `name` type also
+  // carries green (award names), so with green masked the join's only
+  // bridge is invisible — error, not the plain MCX101 warning.
+  const std::string join =
+      std::string("for $g in ") + kDoc +
+      "/{red}descendant::movie-genre, $a in " + kDoc +
+      "/{blue}descendant::actor "
+      "where $g/{red}child::name = $a/{blue}child::name return $g";
+  AnalysisReport masked =
+      AnalyzeMasked(join, {"red", "blue"}, {"red", "blue"});
+  ASSERT_TRUE(HasCode(masked, "MCX203")) << Codes(masked);
+  EXPECT_TRUE(masked.HasErrors());
+  EXPECT_FALSE(HasCode(masked, "MCX101")) << Codes(masked);
+  // Unmasked, the same statement stays the MCX101 warning.
+  AnalysisReport plain = AnalyzeOnMovieDb(join);
+  EXPECT_TRUE(HasCode(plain, "MCX101")) << Codes(plain);
+  EXPECT_FALSE(HasCode(plain, "MCX203")) << Codes(plain);
+}
+
+TEST(AnalysisTest, Mcx204ResultSharedWithMaskedColor) {
+  // movie nodes are red+green; returning them under a green-less mask may
+  // leak the structure of the green hierarchy through node identity.
+  AnalysisReport r = AnalyzeMasked(
+      std::string("for $m in ") + kDoc + "/{red}descendant::movie return $m",
+      {"red", "blue"}, {"red", "blue"});
+  ASSERT_TRUE(HasCode(r, "MCX204")) << Codes(r);
+  EXPECT_FALSE(r.HasErrors());  // warning only
+  EXPECT_NE(Codes(r).find("green"), std::string::npos);
+}
+
+TEST(AnalysisTest, FullMaskMatchesNoMaskDiagnostics) {
+  // A mask admitting every schema color must not change the diagnostics of
+  // any statement (the zero-cost-when-on-but-full contract).
+  const std::string kStatements[] = {
+      std::string("for $m in ") + kDoc +
+          "/{red}descendant::movie return $m/{red}child::name",
+      std::string("for $v in ") + kDoc +
+          "/{red}descendant::votes return $v",  // MCX003
+      std::string("for $g in ") + kDoc +
+          "/{red}descendant::movie-genre, $a in " + kDoc +
+          "/{blue}descendant::actor "
+          "where $g/{red}child::name = $a/{blue}child::name "
+          "return $g",  // MCX101
+  };
+  for (const std::string& text : kStatements) {
+    AnalysisReport plain = AnalyzeOnMovieDb(text);
+    AnalysisReport full = AnalyzeMasked(text, {"red", "green", "blue"},
+                                        {"red", "green", "blue"});
+    EXPECT_EQ(Codes(plain), Codes(full)) << text;
+  }
+}
+
+TEST(AnalysisTest, DiagnosticsSortedBySourceOffset) {
+  // MCX204 is emitted after the whole statement is analyzed but anchors at
+  // the statement root, before the mid-statement MCX102 span — rendering
+  // must reorder by byte offset, not emission order.
+  AnalysisReport r = AnalyzeMasked(
+      std::string("for $m in ") + kDoc +
+          "/{red}descendant::movie where 1 > 2 return $m",
+      {"red", "blue"}, {"red", "blue"});
+  ASSERT_TRUE(HasCode(r, "MCX204")) << Codes(r);
+  ASSERT_TRUE(HasCode(r, "MCX102")) << Codes(r);
+  for (size_t i = 1; i < r.diagnostics.size(); ++i) {
+    EXPECT_LE(r.diagnostics[i - 1].span.begin, r.diagnostics[i].span.begin)
+        << Codes(r);
+  }
+}
+
+// ---- MCX2xx evaluator wiring -----------------------------------------------
+
+TEST(AnalysisTest, StrictMaskRejectsWithPermissionDenied) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const uint64_t vis0 =
+      reg.counter("mct.analysis.visibility.rejected")->value();
+  MovieDb f = BuildMovieDb();
+  EvalOptions opts;  // analyze stays kOff: the mask alone forces the pass
+  opts.mask = ColorMask::AllowOnly(
+      ColorSet::Of(f.red).Union(ColorSet::Of(f.blue)));
+  AnalysisReport report;
+  opts.check = &report;
+  Evaluator ev(f.db.get(), opts);
+  auto r = ev.Run(std::string("for $a in ") + kDoc +
+                  "/{green}descendant::movie-award return $a");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsPermissionDenied()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find("MCX200"), std::string::npos);
+  EXPECT_TRUE(HasCode(report, "MCX200"));
+  EXPECT_EQ(reg.counter("mct.analysis.visibility.rejected")->value(),
+            vis0 + 1);
+}
+
+TEST(AnalysisTest, WarnMaskFiltersResultsAtEvaluatorLayer) {
+  MovieDb f = BuildMovieDb();
+  EvalOptions opts;
+  opts.mask = ColorMask::AllowOnly(
+      ColorSet::Of(f.red).Union(ColorSet::Of(f.blue)));
+  opts.mask_enforcement = AnalyzeMode::kWarn;
+  Evaluator ev(f.db.get(), opts);
+  const std::string q = std::string("for $a in ") + kDoc +
+                        "/{green}descendant::movie-award return $a";
+  auto masked = ev.Run(q);
+  ASSERT_TRUE(masked.ok()) << masked.status().ToString();
+  EXPECT_EQ(masked->items.size(), 0u);  // layer-3 filtering, no leak
+
+  MovieDb g = BuildMovieDb();
+  Evaluator plain(g.db.get(), EvalOptions{});
+  auto open = plain.Run(q);
+  ASSERT_TRUE(open.ok());
+  EXPECT_GT(open->items.size(), 0u);  // the same query sees data unmasked
+}
+
+TEST(AnalysisTest, MaskedUpdateRefusedBeforeSideEffects) {
+  // Even under kWarn (analyzer does not reject), the evaluator's write
+  // gate refuses before the first mutation.
+  MovieDb f = BuildMovieDb();
+  const size_t nodes_before = f.db->store().size();
+  EvalOptions opts;
+  opts.mask = ColorMask(
+      ColorSet::Of(f.red).Union(ColorSet::Of(f.green)), ColorSet::Of(f.red));
+  opts.mask_enforcement = AnalyzeMode::kWarn;
+  Evaluator ev(f.db.get(), opts);
+  auto r = ev.Run(std::string("for $v in ") + kDoc +
+                  "/{green}descendant::votes "
+                  "update $v { insert <flag>x</flag> into {green} }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsPermissionDenied()) << r.status().ToString();
+  EXPECT_EQ(f.db->store().size(), nodes_before);
+}
+
+TEST(AnalysisTest, FullMaskRunsMatchNoMaskRuns) {
+  const char* kQueries[] = {
+      "for $m in document(\"d\")/{red}descendant::movie-genre"
+      "[{red}child::name = \"Comedy\"]/{red}descendant::movie "
+      "return $m/{red}child::name",
+      "for $a in document(\"d\")/{blue}descendant::actor "
+      "return $a/{blue}child::name",
+  };
+  for (const char* text : kQueries) {
+    MovieDb f = BuildMovieDb();
+    Evaluator plain(f.db.get(), EvalOptions{});
+    auto base = plain.Run(text);
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+    MovieDb g = BuildMovieDb();
+    EvalOptions opts;
+    ColorSet all;
+    for (size_t c = 0; c < g.db->num_colors(); ++c) {
+      all.Add(static_cast<ColorId>(c));
+    }
+    opts.mask = ColorMask::AllowOnly(all);
+    Evaluator full(g.db.get(), opts);
+    auto masked = full.Run(text);
+    ASSERT_TRUE(masked.ok()) << masked.status().ToString();
+
+    ASSERT_EQ(base->items.size(), masked->items.size()) << text;
+    for (size_t i = 0; i < base->items.size(); ++i) {
+      ASSERT_EQ(base->items[i].is_node, masked->items[i].is_node);
+      if (base->items[i].is_node) {
+        EXPECT_EQ(f.db->Content(base->items[i].node),
+                  g.db->Content(masked->items[i].node));
+      } else {
+        EXPECT_EQ(base->items[i].atomic, masked->items[i].atomic);
+      }
+    }
+  }
+}
+
+// ---- masked vs unmasked workload differentials ----------------------------
+
+// Full-visibility masks must be byte-identical to running with no mask at
+// all, across every statement of both workload catalogs.
+TEST(AnalysisTest, TpcwFullMaskDifferential) {
+  workload::TpcwData data =
+      workload::GenerateTpcw(workload::TpcwScale::Default().ScaledBy(0.02));
+  auto db = workload::BuildTpcw(data, workload::SchemaKind::kMct);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ColorSet all;
+  for (size_t c = 0; c < db->db->num_colors(); ++c) {
+    all.Add(static_cast<ColorId>(c));
+  }
+  const ColorMask full = ColorMask::AllowOnly(all);
+  for (const workload::CatalogQuery& q : workload::TpcwCatalog(data)) {
+    if (q.mct.empty()) continue;
+    auto base = workload::RunQuery(db->db.get(), db->default_color(), q.mct,
+                                   /*collect_values=*/true);
+    ASSERT_TRUE(base.ok()) << q.id << ": " << base.status().ToString();
+    auto masked = workload::RunQuery(
+        db->db.get(), db->default_color(), q.mct, /*collect_values=*/true,
+        1, 1024, nullptr, nullptr, AnalyzeMode::kOff, nullptr, false,
+        nullptr, true, nullptr, 0, 0, full);
+    ASSERT_TRUE(masked.ok()) << q.id << ": " << masked.status().ToString();
+    EXPECT_EQ(base->result_count, masked->result_count) << q.id;
+    EXPECT_EQ(base->values, masked->values) << q.id;
+  }
+}
+
+TEST(AnalysisTest, SigmodFullMaskDifferential) {
+  workload::SigmodData data = workload::GenerateSigmod(
+      workload::SigmodScale::Default().ScaledBy(0.05));
+  auto db = workload::BuildSigmod(data, workload::SchemaKind::kMct);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ColorSet all;
+  for (size_t c = 0; c < db->db->num_colors(); ++c) {
+    all.Add(static_cast<ColorId>(c));
+  }
+  const ColorMask full = ColorMask::AllowOnly(all);
+  for (const workload::CatalogQuery& q : workload::SigmodCatalog(data)) {
+    if (q.mct.empty()) continue;
+    auto base = workload::RunQuery(db->db.get(), db->default_color(), q.mct,
+                                   /*collect_values=*/true);
+    ASSERT_TRUE(base.ok()) << q.id << ": " << base.status().ToString();
+    auto masked = workload::RunQuery(
+        db->db.get(), db->default_color(), q.mct, /*collect_values=*/true,
+        1, 1024, nullptr, nullptr, AnalyzeMode::kOff, nullptr, false,
+        nullptr, true, nullptr, 0, 0, full);
+    ASSERT_TRUE(masked.ok()) << q.id << ": " << masked.status().ToString();
+    EXPECT_EQ(base->result_count, masked->result_count) << q.id;
+    EXPECT_EQ(base->values, masked->values) << q.id;
+  }
+}
+
 }  // namespace
 }  // namespace mct::mcx

@@ -415,5 +415,174 @@ TEST(ServeAdmissionTest, FailingStatementDoesNotPoisonBatch) {
   EXPECT_EQ(server->head_epoch(), before + 1);
 }
 
+// ---------------------------------------------------------------------------
+// 4. Multi-tenant secure color views (DESIGN.md §16): sessions with
+//    disjoint masks share one server, one snapshot chain, and one plan
+//    cache — and must never observe each other's private hierarchy.
+// ---------------------------------------------------------------------------
+
+TEST(ServeMaskTest, StrictMaskedSessionRejectsForeignColor) {
+  FaultInjectionEnv env;
+  auto server = OpenServer(&env);  // mask_enforcement defaults to kStrict
+  testfix::MovieDb ids = BuildMovieDb();  // same registration order as server
+
+  auto red = server->Connect(ColorMask::AllowOnly(ColorSet::Of(ids.red)));
+  ASSERT_TRUE(red.ok()) << red.status();
+  auto own = (*red)->Run(
+      "for $m in document(\"d\")/{red}descendant::movie return $m");
+  ASSERT_TRUE(own.ok()) << own.status();
+  EXPECT_EQ(own->items.size(), 3u);
+
+  auto foreign = (*red)->Run(
+      "for $n in document(\"d\")/{blue}descendant::actor return $n");
+  ASSERT_FALSE(foreign.ok());
+  EXPECT_TRUE(foreign.status().IsPermissionDenied()) << foreign.status();
+
+  // An unmasked session on the same server is unaffected.
+  auto open = server->Connect();
+  ASSERT_TRUE(open.ok());
+  auto all = (*open)->Run(
+      "for $n in document(\"d\")/{blue}descendant::actor return $n");
+  ASSERT_TRUE(all.ok()) << all.status();
+  EXPECT_EQ(all->items.size(), 2u);
+}
+
+TEST(ServeMaskTest, StrictMaskRejectsBeforeWalAppend) {
+  FaultInjectionEnv env;
+  auto server = OpenServer(&env);
+  testfix::MovieDb ids = BuildMovieDb();
+  // green is readable but not writable for this tenant.
+  auto session = server->Connect(
+      ColorMask(ColorSet::Of(ids.red).Union(ColorSet::Of(ids.green)),
+                ColorSet::Of(ids.red)));
+  ASSERT_TRUE(session.ok()) << session.status();
+  const uint64_t before = server->head_epoch();
+
+  auto bad = (*session)->Run(
+      "for $a in document(\"d\")/{green}descendant::movie-award "
+      "update $a { insert <tick>x</tick> into {green} }");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsPermissionDenied()) << bad.status();
+  // Rejected before any side effect: nothing published, nothing in the
+  // WAL-backed history (the PR 8 killed-update contract).
+  EXPECT_EQ(server->head_epoch(), before);
+  EXPECT_TRUE(server->CommitHistory().empty());
+
+  // The same session's in-mask update commits normally afterwards.
+  auto good = (*session)->Run(InsertTick("All About Eve", "ok"));
+  EXPECT_TRUE(good.ok()) << good.status();
+  EXPECT_EQ(server->head_epoch(), before + 1);
+}
+
+TEST(ServeMaskTest, PlanCacheHitsNeverCrossMaskFingerprints) {
+  FaultInjectionEnv env;
+  ServerOptions opts;
+  opts.mask_enforcement = mcx::AnalyzeMode::kWarn;  // admit, filter at layer 3
+  auto server = OpenServer(&env, opts);
+  testfix::MovieDb ids = BuildMovieDb();
+  const char* kQ =
+      "for $m in document(\"d\")/{red}descendant::movie return $m";
+
+  auto open = server->Connect();
+  ASSERT_TRUE(open.ok());
+  auto r1 = (*open)->Run(kQ);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  ASSERT_EQ(r1->items.size(), 3u);
+  auto r2 = (*open)->Run(kQ);  // exact hit in the unmasked (fp = 0) slice
+  ASSERT_TRUE(r2.ok());
+  const auto s1 = server->plan_cache().stats();
+  EXPECT_GE(s1.hits, 1u);
+
+  // A blue-only tenant running the same text must miss the unmasked slice
+  // and see nothing — a cross-fingerprint hit would leak an unpruned plan.
+  auto masked =
+      server->Connect(ColorMask::AllowOnly(ColorSet::Of(ids.blue)));
+  ASSERT_TRUE(masked.ok());
+  auto r3 = (*masked)->Run(kQ);
+  ASSERT_TRUE(r3.ok()) << r3.status();
+  EXPECT_EQ(r3->items.size(), 0u) << "cached plan crossed tenants";
+  const auto s2 = server->plan_cache().stats();
+  EXPECT_EQ(s2.misses, s1.misses + 1)
+      << "masked lookup hit another tenant's slice";
+
+  // Second masked run hits its own slice and stays empty.
+  auto r4 = (*masked)->Run(kQ);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(r4->items.size(), 0u);
+  const auto s3 = server->plan_cache().stats();
+  EXPECT_EQ(s3.hits, s2.hits + 1);
+
+  // The unmasked tenant still sees full results from its slice.
+  auto r5 = (*open)->Run(kQ);
+  ASSERT_TRUE(r5.ok());
+  EXPECT_EQ(r5->items.size(), 3u);
+}
+
+// Chaos battery: disjoint-masked tenants churn concurrently (kWarn, so
+// statements execute and rely on evaluator-layer filtering). Red tenants
+// commit ticks and must see their own writes atomically; blue tenants must
+// see their actors and never a single red node — and vice versa. Runs
+// under the tsan preset in CI like the rest of this file.
+class MaskedChaosTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaskedChaosTest, DisjointTenantsNeverLeak) {
+  FaultInjectionEnv env;
+  ServerOptions opts;
+  opts.mask_enforcement = mcx::AnalyzeMode::kWarn;
+  opts.max_concurrent_writers = 2;
+  auto server = OpenServer(&env, opts);
+  testfix::MovieDb ids = BuildMovieDb();
+  const ColorMask red_only = ColorMask::AllowOnly(ColorSet::Of(ids.red));
+  const ColorMask blue_only = ColorMask::AllowOnly(ColorSet::Of(ids.blue));
+
+  const char* kAllMovies =
+      "for $m in document(\"d\")/{red}descendant::movie "
+      "update $m { insert <tick>x</tick> into {red} }";
+  const char* kCountTicks =
+      "for $t in document(\"d\")/{red}descendant::tick return $t";
+  const char* kActorNames =
+      "for $n in document(\"d\")/{blue}descendant::actor/{blue}child::name "
+      "return $n";
+
+  const int sessions = GetParam();
+  const int rounds = 48 / sessions + 4;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < sessions; ++i) {
+    threads.emplace_back([&, i] {
+      const bool red_tenant = i % 2 == 0;
+      auto session = server->Connect(red_tenant ? red_only : blue_only);
+      ASSERT_TRUE(session.ok()) << session.status();
+      for (int k = 0; k < rounds; ++k) {
+        ASSERT_TRUE((*session)->Begin().ok());
+        // The other tenant's hierarchy is invisible, every round.
+        auto foreign =
+            (*session)->Run(red_tenant ? kActorNames : kCountTicks);
+        ASSERT_TRUE(foreign.ok()) << foreign.status();
+        ASSERT_EQ(foreign->items.size(), 0u) << "masked color leaked";
+        if (red_tenant) {
+          // Own hierarchy: fully visible, commit-atomic (ticks arrive in
+          // multiples of 3), and read-your-writes after a commit.
+          auto ticks = (*session)->Run(kCountTicks);
+          ASSERT_TRUE(ticks.ok()) << ticks.status();
+          ASSERT_EQ(ticks->items.size() % 3, 0u);
+          auto w = (*session)->Run(kAllMovies);
+          ASSERT_TRUE(w.ok()) << w.status();
+          auto mine = (*session)->Run(kCountTicks);
+          ASSERT_TRUE(mine.ok());
+          ASSERT_GT(mine->items.size(), ticks->items.size());
+        } else {
+          auto actors = (*session)->Run(kActorNames);
+          ASSERT_TRUE(actors.ok()) << actors.status();
+          ASSERT_EQ(actors->items.size(), 2u);
+        }
+        ASSERT_TRUE((*session)->Commit().ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sessions, MaskedChaosTest, ::testing::Values(2, 8));
+
 }  // namespace
 }  // namespace mct
