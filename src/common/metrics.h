@@ -19,8 +19,16 @@
 
 namespace mct {
 
-/// Monotonically increasing event count.
-class Counter {
+/// Cache-line size for padding hot atomics. Hardcoded rather than
+/// std::hardware_destructive_interference_size, which libstdc++ warns is
+/// ABI-fragile; 64 is correct for every target this builds on.
+inline constexpr size_t kCacheLineBytes = 64;
+
+/// Monotonically increasing event count. Counters are allocated
+/// individually and hammered from shard-parallel tasks, so each one is
+/// padded to a cache line: two hot counters that happen to be neighbors in
+/// the heap must not false-share.
+class alignas(kCacheLineBytes) Counter {
  public:
   void Inc(uint64_t delta = 1) {
     v_.fetch_add(delta, std::memory_order_relaxed);
@@ -32,8 +40,8 @@ class Counter {
   std::atomic<uint64_t> v_{0};
 };
 
-/// Last-written level (queue depths, fan-out widths).
-class Gauge {
+/// Last-written level (queue depths, fan-out widths). Padded like Counter.
+class alignas(kCacheLineBytes) Gauge {
  public:
   void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
   void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }

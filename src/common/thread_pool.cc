@@ -103,7 +103,14 @@ void ParallelFor(ThreadPool* pool, size_t num_tasks,
     for (size_t i = 0; i < num_tasks; ++i) body(i);
     return;
   }
-  std::atomic<size_t> next{0};
+  // The shared claim counter is the hottest atomic in a shard-parallel
+  // fan-out; pad it so the surrounding stack frame (the closure's captured
+  // state, read-only during the loop) never shares its cache line.
+  struct alignas(kCacheLineBytes) PaddedCounter {
+    std::atomic<size_t> v{0};
+    char pad[kCacheLineBytes - sizeof(std::atomic<size_t>)];
+  } counter;
+  std::atomic<size_t>& next = counter.v;
   pool->Execute([&] {
     for (;;) {
       size_t task = next.fetch_add(1, std::memory_order_relaxed);

@@ -43,7 +43,10 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  // The lock word is pounded by every worker at every generation edge;
+  // keep it off the cache line holding workers_, whose size is read
+  // lock-free by num_threads() in every ParallelFor dispatch.
+  alignas(64) std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   const std::function<void()>* job_ = nullptr;  // guarded by mu_

@@ -1,0 +1,20 @@
+#include "mct/shard.h"
+
+namespace mct {
+
+void ShardMap::BuildColor(std::vector<uint64_t>* out, uint64_t n, uint64_t lo,
+                          uint64_t hi) {
+  if (hi <= lo) hi = lo + 1;  // degenerate tree: all shards but 0 empty
+  const uint64_t span = hi - lo;
+  out->resize(n + 1);
+  for (uint64_t s = 0; s <= n; ++s) {
+    // lo + span*s/n without overflow: span < 2^63 in practice (labels are
+    // event counts * 2^16), but split the multiply anyway.
+    (*out)[s] = lo + (span / n) * s + (span % n) * s / n;
+  }
+  // Guarantee exact cover regardless of rounding.
+  (*out)[0] = lo;
+  (*out)[n] = hi;
+}
+
+}  // namespace mct

@@ -1,0 +1,178 @@
+// ShardMap: interval-range sharding of colored trees (DESIGN.md §17).
+//
+// The (start, end, level) labels give every colored tree a total order on
+// starts, so a tree partitions naturally into N contiguous *start-label
+// ranges*. A ShardMap freezes one such partition per color: shard s of
+// color c owns every structural node whose start label falls in
+// [boundary[c][s], boundary[c][s+1]). Because a full relabel spaces starts
+// uniformly (kLabelGap apart), splitting the root's label interval into N
+// equal subranges yields near-equal node counts per shard in O(1) per
+// color — no histogram pass.
+//
+// Two properties make shards useful to the structural join operators:
+//
+//  * Run cutting. Any start-sorted node sequence (a TagScan, a stream of
+//    descendant candidates) decomposes into at most N contiguous runs,
+//    one per shard, by binary-searching the boundaries. Processing runs
+//    in shard order and concatenating outputs reproduces the serial
+//    document-order result exactly — the streaming merge is free.
+//
+//  * Interval pruning. A context ancestor with interval (a.start, a.end)
+//    can only cover descendants whose starts lie inside it. A shard whose
+//    range is disjoint from *every* context interval therefore emits
+//    nothing and can be skipped without touching a node. The rule is
+//    conservative (intersection is necessary, not sufficient), so pruning
+//    never changes results.
+//
+// A ShardMap is immutable once built and shared across MVCC versions via
+// shared_ptr; any structural mutation invalidates only the mutating
+// version's pointer (shard-local invalidation), and the next query
+// rebuilds lazily. shard_count = 1 disables the map entirely — every
+// operator then takes its pre-shard code path, bit for bit.
+
+#ifndef COLORFUL_XML_MCT_SHARD_H_
+#define COLORFUL_XML_MCT_SHARD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/metrics.h"
+#include "mct/color.h"
+
+namespace mct {
+
+/// mct.shard.* metrics family. Pointers resolved once; registrations
+/// survive MetricsRegistry::ResetForTest so they never dangle.
+inline Counter* ShardTasksCounter() {
+  static Counter* c = MetricsRegistry::Global().counter("mct.shard.tasks");
+  return c;
+}
+inline Counter* ShardPrunedCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("mct.shard.pruned_shards");
+  return c;
+}
+inline Counter* ShardMergeRowsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("mct.shard.merge_rows");
+  return c;
+}
+
+class ShardMap {
+ public:
+  /// Builds a map with `shard_count` shards over `color_count` colors.
+  /// `root_range(c)` must return the label interval [start, end] of color
+  /// c's root (labels clean). shard_count must be >= 2 — a 1-shard map is
+  /// represented by *no* map.
+  template <typename RootRangeFn>
+  ShardMap(int shard_count, size_t color_count, RootRangeFn&& root_range)
+      : shard_count_(shard_count) {
+    boundaries_.resize(color_count);
+    for (size_t c = 0; c < color_count; ++c) {
+      auto [lo, hi] = root_range(static_cast<ColorId>(c));
+      // Half-open label space [lo, hi+1): the root's own start is in shard
+      // 0, the maximal end label in shard N-1.
+      BuildColor(&boundaries_[c], static_cast<uint64_t>(shard_count_), lo,
+                 hi + 1);
+    }
+  }
+
+  int shard_count() const { return shard_count_; }
+  size_t color_count() const { return boundaries_.size(); }
+
+  /// [lo, hi) start-label range owned by `shard` in `color`.
+  std::pair<uint64_t, uint64_t> Range(ColorId color, int shard) const {
+    const std::vector<uint64_t>& b = boundaries_[color];
+    return {b[static_cast<size_t>(shard)], b[static_cast<size_t>(shard) + 1]};
+  }
+
+  /// Shard owning start label `start` in `color`.
+  int ShardOf(ColorId color, uint64_t start) const {
+    const std::vector<uint64_t>& b = boundaries_[color];
+    // upper_bound over the interior boundaries b[1..N-1].
+    int lo = 0;
+    int hi = shard_count_ - 1;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (start < b[static_cast<size_t>(mid) + 1]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  /// Cuts a start-sorted sequence of `n` elements (start of element i given
+  /// by `start_of(i)`) into per-shard runs: returns N+1 cut indices with
+  /// shard s owning [cuts[s], cuts[s+1]). Concatenating runs in shard order
+  /// is the identity permutation — document order is preserved.
+  template <typename StartFn>
+  std::vector<size_t> CutRuns(ColorId color, size_t n,
+                              StartFn&& start_of) const {
+    const std::vector<uint64_t>& b = boundaries_[color];
+    std::vector<size_t> cuts(static_cast<size_t>(shard_count_) + 1, n);
+    cuts[0] = 0;
+    size_t pos = 0;
+    for (int s = 1; s < shard_count_; ++s) {
+      // First index with start >= b[s], searching from the previous cut.
+      size_t lo = pos;
+      size_t hi = n;
+      while (lo < hi) {
+        size_t mid = lo + (hi - lo) / 2;
+        if (start_of(mid) < b[static_cast<size_t>(s)]) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      pos = lo;
+      cuts[static_cast<size_t>(s)] = pos;
+    }
+    return cuts;
+  }
+
+  /// The interval-pruning rule: true when no context interval
+  /// [starts[i], ends_prefix_max over starts < hi] can contain a start in
+  /// [lo, hi) — i.e. the shard range is disjoint from every interval and
+  /// the shard's descendant run cannot produce output. `starts` must be
+  /// sorted ascending and `prefix_max_end[i]` = max(end[0..i]).
+  static bool RangeDisjoint(const std::vector<uint64_t>& starts,
+                            const std::vector<uint64_t>& prefix_max_end,
+                            uint64_t lo, uint64_t hi) {
+    // An interval (a.start, a.end) intersects [lo, hi) iff
+    // a.start < hi and a.end > lo. Among intervals with start < hi the
+    // largest end is prefix_max_end[k-1]; if even that one ends at or
+    // before lo, every interval is disjoint from the shard range.
+    size_t k = 0;
+    {
+      size_t l = 0;
+      size_t h = starts.size();
+      while (l < h) {
+        size_t mid = l + (h - l) / 2;
+        if (starts[mid] < hi) {
+          l = mid + 1;
+        } else {
+          h = mid;
+        }
+      }
+      k = l;
+    }
+    if (k == 0) return true;
+    return prefix_max_end[k - 1] <= lo;
+  }
+
+ private:
+  static void BuildColor(std::vector<uint64_t>* out, uint64_t n, uint64_t lo,
+                         uint64_t hi);
+
+  int shard_count_;
+  /// boundaries_[c] has shard_count_+1 entries; shard s of color c owns
+  /// starts in [boundaries_[c][s], boundaries_[c][s+1]).
+  std::vector<std::vector<uint64_t>> boundaries_;
+};
+
+}  // namespace mct
+
+#endif  // COLORFUL_XML_MCT_SHARD_H_

@@ -28,12 +28,30 @@ void PageGuard::Release() {
   }
 }
 
-BufferPool::BufferPool(DiskManager* disk, uint32_t capacity_pages)
+namespace {
+
+// Labeled pools register "mct.buffer_pool.<label>.<stat>"; the unlabeled
+// default keeps the legacy process-wide "mct.buffer_pool.<stat>" names.
+std::string PoolMetricName(const std::string& label, const char* stat) {
+  std::string name = "mct.buffer_pool.";
+  if (!label.empty()) {
+    name += label;
+    name += '.';
+  }
+  name += stat;
+  return name;
+}
+
+}  // namespace
+
+BufferPool::BufferPool(DiskManager* disk, uint32_t capacity_pages,
+                       const std::string& label)
     : disk_(disk),
-      m_hits_(MetricsRegistry::Global().counter("mct.buffer_pool.hits")),
-      m_misses_(MetricsRegistry::Global().counter("mct.buffer_pool.misses")),
-      m_evictions_(
-          MetricsRegistry::Global().counter("mct.buffer_pool.evictions")) {
+      m_hits_(MetricsRegistry::Global().counter(PoolMetricName(label, "hits"))),
+      m_misses_(
+          MetricsRegistry::Global().counter(PoolMetricName(label, "misses"))),
+      m_evictions_(MetricsRegistry::Global().counter(
+          PoolMetricName(label, "evictions"))) {
   frames_.resize(capacity_pages);
   free_frames_.reserve(capacity_pages);
   for (uint32_t i = 0; i < capacity_pages; ++i) {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -55,8 +56,14 @@ class PageGuard {
 
 class BufferPool {
  public:
-  /// `capacity_pages` frames over `disk` (not owned).
-  BufferPool(DiskManager* disk, uint32_t capacity_pages);
+  /// `capacity_pages` frames over `disk` (not owned). `label` names this
+  /// pool's metric instruments: empty (the default) keeps the legacy
+  /// process-wide "mct.buffer_pool.*" names, a non-empty label registers
+  /// "mct.buffer_pool.<label>.*" so co-resident pools (per-shard pools,
+  /// side-by-side databases) report hits/misses/evictions separately
+  /// instead of folding into one process-global stream.
+  BufferPool(DiskManager* disk, uint32_t capacity_pages,
+             const std::string& label = std::string());
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -114,8 +121,10 @@ class BufferPool {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
-  // Process-wide metric instruments (common/metrics.h), looked up once at
-  // construction and bumped alongside the per-pool counters above.
+  // Metric instruments (common/metrics.h), looked up once at construction
+  // and bumped alongside the per-pool counters above. Labeled pools get
+  // their own "mct.buffer_pool.<label>.*" instruments, so eviction stats
+  // stay attributable per pool instead of merging process-globally.
   Counter* m_hits_;
   Counter* m_misses_;
   Counter* m_evictions_;

@@ -27,20 +27,25 @@ class StorageEnv {
 
   /// In-memory environment (warm-cache benchmarking; default pool is
   /// effectively unbounded so timing measures the engine, not eviction).
+  /// `pool_label` names the pool's metric instruments (see BufferPool) so
+  /// multiple co-resident environments keep separate eviction stats.
   static std::unique_ptr<StorageEnv> CreateInMemory(
-      uint32_t pool_pages = 32768) {
+      uint32_t pool_pages = 32768, const std::string& pool_label = "") {
     auto env = std::make_unique<StorageEnv>();
     env->disk_ = DiskManager::CreateInMemory();
-    env->pool_ = std::make_unique<BufferPool>(env->disk_.get(), pool_pages);
+    env->pool_ = std::make_unique<BufferPool>(env->disk_.get(), pool_pages,
+                                              pool_label);
     return env;
   }
 
   /// File-backed environment at `path`.
-  static Result<std::unique_ptr<StorageEnv>> OpenFile(const std::string& path,
-                                                      uint32_t pool_pages) {
+  static Result<std::unique_ptr<StorageEnv>> OpenFile(
+      const std::string& path, uint32_t pool_pages,
+      const std::string& pool_label = "") {
     auto env = std::make_unique<StorageEnv>();
     MCT_RETURN_IF_ERROR(DiskManager::OpenFile(path, &env->disk_));
-    env->pool_ = std::make_unique<BufferPool>(env->disk_.get(), pool_pages);
+    env->pool_ = std::make_unique<BufferPool>(env->disk_.get(), pool_pages,
+                                              pool_label);
     return env;
   }
 
